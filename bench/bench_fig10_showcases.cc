@@ -1,0 +1,113 @@
+// Reproduces Fig. 10: "Extracted Provenance Bundles, Sept 2009".
+//
+// The paper showcases two discovered bundles: IBM's CICS partner
+// conference and the Samoa tsunami, rendering their provenance trees
+// (red root node, RT/comment propagation paths). We inject two analogous
+// named events into the synthetic stream, run the engine, retrieve each
+// event's bundle by hashtag query, and render ASCII + DOT trees.
+
+#include <cstdio>
+
+#include "common/env.h"
+#include "core/engine.h"
+#include "gen/generator.h"
+#include "harness.h"
+#include "query/query_processor.h"
+#include "query/tree_export.h"
+#include "stream/replay.h"
+
+namespace microprov {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchOptions options = ParseArgs(argc, argv, /*default_messages=*/60000);
+
+  GeneratorOptions gen_options;
+  gen_options.seed = options.seed;
+  gen_options.total_messages = options.messages;
+  StreamGenerator generator(gen_options);
+
+  InjectedEvent cics;
+  cics.name = "ibm-cics-conference";
+  cics.start = gen_options.start_date + 40 * kSecondsPerDay;
+  cics.size = 28;
+  cics.duration_secs = 10 * kSecondsPerHour;
+  cics.hashtags = {"cics", "ibm"};
+  cics.topic_words = {"mainframe", "partner", "conference", "keynote",
+                      "transaction", "enterprise"};
+  cics.rt_probability = 0.55;
+  generator.Inject(cics);
+
+  InjectedEvent tsunami;
+  tsunami.name = "samoa-tsunami";
+  tsunami.start = gen_options.start_date + 59 * kSecondsPerDay;
+  tsunami.size = 45;
+  tsunami.duration_secs = 18 * kSecondsPerHour;
+  tsunami.hashtags = {"tsunami", "samoa"};
+  tsunami.urls = {"bit.ly/quakealert"};
+  tsunami.topic_words = {"earthquake", "wave",   "pacific", "warning",
+                         "sumatra",    "rescue", "coast",   "alert"};
+  tsunami.rt_probability = 0.6;
+  generator.Inject(tsunami);
+
+  std::vector<Message> messages = generator.Generate();
+  PrintBanner("bench_fig10_showcases",
+              "Figure 10: extracted provenance bundles (showcases)",
+              options, messages);
+
+  SimulatedClock clock;
+  ProvenanceEngine engine(
+      EngineOptions::ForConfig(IndexConfig::kFullIndex), &clock, nullptr);
+  StreamReplayer replayer(&clock);
+  Status st = replayer.Replay(
+      messages, [&](const Message& msg) { return engine.Ingest(msg); });
+  if (!st.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  BundleQueryProcessor processor(&engine);
+  int failures = 0;
+  for (const char* query : {"#cics ibm conference", "#tsunami samoa"}) {
+    std::printf("\n=== query: %s ===\n", query);
+    auto results = processor.Search(query, 1, clock.Now());
+    if (results.empty()) {
+      std::printf("no bundle found!\n");
+      ++failures;
+      continue;
+    }
+    const Bundle* bundle = engine.pool().Get(results[0].bundle);
+    if (bundle == nullptr) {
+      ++failures;
+      continue;
+    }
+    std::printf("%s\n", RenderAsciiTree(*bundle, 56).c_str());
+    // Also export DOT for figure regeneration.
+    if (!options.csv_dir.empty()) {
+      Env::Default()->CreateDirIfMissing(options.csv_dir);
+      std::string path = options.csv_dir + "/fig10_bundle_" +
+                         std::to_string(bundle->id()) + ".dot";
+      Env::Default()->WriteStringToFile(path, RenderDot(*bundle));
+      std::printf("(dot written to %s)\n", path.c_str());
+    }
+    // Propagation-path stats, mirroring the figure's visual claims.
+    size_t rt_edges = 0;
+    for (const Edge& edge : bundle->Edges()) {
+      if (edge.type == ConnectionType::kRt) ++rt_edges;
+    }
+    std::printf("bundle %llu: %zu messages, %zu edges (%zu RT) — "
+                "propagation trail recovered\n",
+                (unsigned long long)bundle->id(), bundle->size(),
+                bundle->Edges().size(), rt_edges);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace microprov
+
+int main(int argc, char** argv) {
+  return microprov::bench::Run(argc, argv);
+}

@@ -1,0 +1,81 @@
+// Reproduces Fig. 12: "Time Cost of Provenance Maintenance".
+//
+// Cumulative processing time vs. incoming messages for the three
+// configurations. Expected shape: all three grow linearly; absolute
+// numbers differ from the paper (they ran Python on a 2011 server; this
+// is C++), but linearity and the relative ordering are the claims.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "eval/runner.h"
+#include "harness.h"
+
+namespace microprov {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchOptions options = ParseArgs(argc, argv);
+  std::vector<Message> messages = GetDataset(options);
+  PrintBanner("bench_fig12_time_cost",
+              "Figure 12: cumulative maintenance time vs. messages",
+              options, messages);
+
+  RunnerOptions runner_options;
+  runner_options.checkpoint_every = options.EffectiveCheckpoint();
+  auto results_or = RunAllConfigs(messages, options.EffectivePoolLimit(),
+                                  options.bundle_cap, runner_options);
+  if (!results_or.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 results_or.status().ToString().c_str());
+    return 1;
+  }
+  const auto& results = *results_or;
+
+  SeriesTable table({"messages", "full_secs", "partial_secs",
+                     "bundle_limit_secs"});
+  const size_t checkpoints = results[0].samples.size();
+  for (size_t i = 0; i < checkpoints; ++i) {
+    table.AddRow(
+        {StringPrintf("%llu",
+                      (unsigned long long)
+                          results[0].samples[i].messages_seen),
+         StringPrintf("%.3f", results[0].samples[i].timers.total_secs()),
+         StringPrintf("%.3f", results[1].samples[i].timers.total_secs()),
+         StringPrintf("%.3f",
+                      results[2].samples[i].timers.total_secs())});
+  }
+  EmitTable(table, "fig12_time_cost", options);
+
+  // Linearity check: the second-half slope should be within 3x of the
+  // first-half slope for each configuration.
+  for (size_t c = 0; c < 3; ++c) {
+    const auto& samples = results[c].samples;
+    if (samples.size() < 4) continue;
+    size_t mid = samples.size() / 2;
+    double first_half = samples[mid].timers.total_secs();
+    double second_half =
+        samples.back().timers.total_secs() - first_half;
+    std::printf("%-14s first-half=%.3fs second-half=%.3fs (linear if "
+                "comparable)\n",
+                std::string(
+                    IndexConfigToString(results[c].options.config))
+                    .c_str(),
+                first_half, second_half);
+  }
+  std::printf("throughput: %.0f msgs/sec (full index)\n",
+              static_cast<double>(options.messages) /
+                  std::max(1e-9,
+                           results[0].samples.back().timers.total_secs()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace microprov
+
+int main(int argc, char** argv) {
+  return microprov::bench::Run(argc, argv);
+}

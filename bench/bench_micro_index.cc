@@ -1,0 +1,101 @@
+// Microbenchmarks for the text-search substrate: posting-list iteration,
+// document insertion, and BM25 top-k retrieval.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "index/memory_index.h"
+#include "index/searcher.h"
+
+namespace microprov {
+namespace {
+
+void BM_PostingListAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    PostingList list;
+    for (DocId d = 0; d < 10000; ++d) {
+      list.Add(d * 3, 1 + (d % 4));
+    }
+    benchmark::DoNotOptimize(list.encoded_size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_PostingListAppend);
+
+void BM_PostingListIterate(benchmark::State& state) {
+  PostingList list;
+  for (DocId d = 0; d < 100000; ++d) list.Add(d * 2, 1);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (auto it = list.NewIterator(); it.Valid(); it.Next()) {
+      sum += it.posting().doc;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_PostingListIterate);
+
+std::vector<std::vector<std::string>> MakeDocs(size_t n) {
+  Random rng(5);
+  std::vector<std::vector<std::string>> docs;
+  docs.reserve(n);
+  for (size_t d = 0; d < n; ++d) {
+    std::vector<std::string> tokens;
+    size_t len = 4 + rng.Uniform(8);
+    for (size_t t = 0; t < len; ++t) {
+      tokens.push_back(
+          StringPrintf("term%llu", (unsigned long long)rng.Uniform(5000)));
+    }
+    docs.push_back(std::move(tokens));
+  }
+  return docs;
+}
+
+void BM_MemoryIndexAdd(benchmark::State& state) {
+  auto docs = MakeDocs(10000);
+  for (auto _ : state) {
+    MemoryIndex index;
+    for (const auto& doc : docs) {
+      benchmark::DoNotOptimize(index.AddDocument(doc));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_MemoryIndexAdd)->Unit(benchmark::kMillisecond);
+
+void BM_SearcherTopK(benchmark::State& state) {
+  auto docs = MakeDocs(static_cast<size_t>(state.range(0)));
+  MemoryIndex index;
+  for (const auto& doc : docs) index.AddDocument(doc);
+  Searcher searcher(&index);
+  Random rng(9);
+  for (auto _ : state) {
+    std::vector<std::string> query = {
+        StringPrintf("term%llu", (unsigned long long)rng.Uniform(5000)),
+        StringPrintf("term%llu", (unsigned long long)rng.Uniform(5000))};
+    benchmark::DoNotOptimize(searcher.TopK(query, 10));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SearcherTopK)->Arg(1000)->Arg(50000);
+
+void BM_SearcherConjunctive(benchmark::State& state) {
+  auto docs = MakeDocs(50000);
+  MemoryIndex index;
+  for (const auto& doc : docs) index.AddDocument(doc);
+  Searcher searcher(&index);
+  Random rng(11);
+  for (auto _ : state) {
+    std::vector<std::string> query = {
+        StringPrintf("term%llu", (unsigned long long)rng.Uniform(100)),
+        StringPrintf("term%llu", (unsigned long long)rng.Uniform(100))};
+    benchmark::DoNotOptimize(searcher.TopKConjunctive(query, 10));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SearcherConjunctive);
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,106 @@
+// Microbenchmarks for the storage layer: log append throughput, bundle
+// encode/decode, and bundle-store point reads.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/env.h"
+#include "storage/bundle_codec.h"
+#include "storage/bundle_store.h"
+#include "storage/log_writer.h"
+
+namespace microprov {
+namespace {
+
+std::string TempDir() {
+  std::string tmpl = "/tmp/microprov_bench_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  return made != nullptr ? made : "/tmp";
+}
+
+std::unique_ptr<Bundle> MakeBundle(BundleId id, size_t n) {
+  auto bundle = std::make_unique<Bundle>(id);
+  for (size_t i = 0; i < n; ++i) {
+    Message msg;
+    msg.id = static_cast<MessageId>(id * 1000 + i);
+    msg.date = 1251763200 + static_cast<Timestamp>(i);
+    msg.user = "user" + std::to_string(i % 5);
+    msg.text = "some message body text with a few words #tag";
+    msg.hashtags = {"tag"};
+    msg.keywords = {"messag", "bodi", "word"};
+    bundle->AddMessage(std::move(msg),
+                       i == 0 ? kInvalidMessageId
+                              : static_cast<MessageId>(id * 1000 + i - 1),
+                       ConnectionType::kHashtag, 0.5f);
+  }
+  return bundle;
+}
+
+void BM_LogAppend(benchmark::State& state) {
+  const std::string dir = TempDir();
+  const std::string path = dir + "/bench.log";
+  std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto file_or = Env::Default()->NewWritableFile(path);
+    log::Writer writer(std::move(*file_or));
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      benchmark::DoNotOptimize(writer.AddRecord(payload));
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * 1000 * state.range(0));
+  Env::Default()->RemoveFile(path);
+}
+BENCHMARK(BM_LogAppend)->Arg(128)->Arg(4096)->Arg(65536);
+
+void BM_BundleEncode(benchmark::State& state) {
+  auto bundle = MakeBundle(1, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::string encoded;
+    EncodeBundle(*bundle, &encoded);
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BundleEncode)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_BundleDecode(benchmark::State& state) {
+  auto bundle = MakeBundle(1, static_cast<size_t>(state.range(0)));
+  std::string encoded;
+  EncodeBundle(*bundle, &encoded);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodeBundle(encoded));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BundleDecode)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_BundleStoreGet(benchmark::State& state) {
+  const std::string dir = TempDir();
+  BundleStore::Options options;
+  options.dir = dir + "/store";
+  options.cache_entries = static_cast<size_t>(state.range(0));
+  auto store_or = BundleStore::Open(options);
+  auto& store = *store_or;
+  const size_t kBundles = 512;
+  for (BundleId id = 1; id <= kBundles; ++id) {
+    store->Put(*MakeBundle(id, 20));
+  }
+  BundleId id = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Get(1 + (id++ % kBundles)));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["hit_rate"] =
+      store->cache_hits() + store->cache_misses() == 0
+          ? 0.0
+          : static_cast<double>(store->cache_hits()) /
+                (store->cache_hits() + store->cache_misses());
+}
+BENCHMARK(BM_BundleStoreGet)->Arg(16)->Arg(512);
+
+}  // namespace
+}  // namespace microprov

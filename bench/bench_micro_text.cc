@@ -1,0 +1,59 @@
+// Microbenchmarks for the text pipeline: tokenizer, tweet parser, and
+// Porter stemmer, on realistic micro-blog strings.
+
+#include <benchmark/benchmark.h>
+
+#include "text/stemmer.h"
+#include "text/tokenizer.h"
+#include "text/tweet_parser.h"
+
+namespace microprov {
+namespace {
+
+constexpr const char* kSamples[] = {
+    "Classy. Way it should be RT @AmalieBenjamin: Lester getting an "
+    "ovation from the #Yankee Stadium crowd as he gets to his feet. "
+    "#redsox",
+    "#Redsox - glee ! - I put up awesome NY Yankee Stadium photos - "
+    "Yankees - MLB - http://bit.ly/Uvcpr",
+    "unbelievable!! #redsox",
+    "WHEW!! RT @MLB: RT @IanMBrowne X-rays on Lester negative. Contusion "
+    "of the right quad. Day to Day. #redsox",
+    "Yankee Magic, you can only find it at Yankee Stadium! THE "
+    "YANKEEEEEEEEESS WIN!!!",
+};
+
+void BM_Tokenize(benchmark::State& state) {
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Tokenize(kSamples[i++ % std::size(kSamples)]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_ParseTweet(benchmark::State& state) {
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ParseTweet(kSamples[i++ % std::size(kSamples)]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseTweet);
+
+void BM_PorterStem(benchmark::State& state) {
+  constexpr const char* kWords[] = {"relational",  "conditional",
+                                    "hopefulness", "yankees",
+                                    "winning",     "vietnamization"};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PorterStem(kWords[i++ % std::size(kWords)]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PorterStem);
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,138 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "gen/dataset.h"
+
+namespace microprov {
+namespace bench {
+
+size_t BenchOptions::EffectivePoolLimit() const {
+  if (pool_limit > 0) return pool_limit;
+  // Paper: M = 10k for a 700k stream.
+  size_t scaled = static_cast<size_t>(
+      10000.0 * static_cast<double>(messages) / 700000.0);
+  return scaled < 500 ? 500 : scaled;
+}
+
+uint64_t BenchOptions::EffectiveCheckpoint() const {
+  if (checkpoint_every > 0) return checkpoint_every;
+  uint64_t derived = messages / 14;
+  return derived == 0 ? 1 : derived;
+}
+
+namespace {
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--messages N] [--full] [--seed N] [--pool-limit N]\n"
+      "          [--bundle-cap N] [--checkpoint N] [--csv DIR]\n"
+      "          [--data DIR]\n",
+      argv0);
+  std::exit(2);
+}
+
+uint64_t ParseU64(const char* value, const char* argv0) {
+  char* end = nullptr;
+  uint64_t parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') Usage(argv0);
+  return parsed;
+}
+}  // namespace
+
+BenchOptions ParseArgs(int argc, char** argv, uint64_t default_messages,
+                       uint64_t paper_messages) {
+  BenchOptions options;
+  options.messages = default_messages;
+  for (int i = 1; i < argc; ++i) {
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--messages") == 0) {
+      options.messages = ParseU64(next_value(), argv[0]);
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      options.full_scale = true;
+      options.messages = paper_messages;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      options.seed = ParseU64(next_value(), argv[0]);
+    } else if (std::strcmp(argv[i], "--pool-limit") == 0) {
+      options.pool_limit =
+          static_cast<size_t>(ParseU64(next_value(), argv[0]));
+    } else if (std::strcmp(argv[i], "--bundle-cap") == 0) {
+      options.bundle_cap =
+          static_cast<size_t>(ParseU64(next_value(), argv[0]));
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
+      options.checkpoint_every = ParseU64(next_value(), argv[0]);
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      options.csv_dir = next_value();
+    } else if (std::strcmp(argv[i], "--data") == 0) {
+      options.data_dir = next_value();
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  return options;
+}
+
+std::vector<Message> GetDataset(const BenchOptions& options) {
+  GeneratorOptions gen_options;
+  gen_options.seed = options.seed;
+  gen_options.total_messages = options.messages;
+  auto messages_or = GenerateOrLoadDataset(gen_options, options.data_dir);
+  if (!messages_or.ok()) {
+    std::fprintf(stderr, "dataset generation failed: %s\n",
+                 messages_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*messages_or);
+}
+
+void PrintBanner(const std::string& title, const std::string& figure,
+                 const BenchOptions& options,
+                 const std::vector<Message>& messages) {
+  DatasetStats stats = ComputeDatasetStats(messages);
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s  (Yao et al., ICDE 2012)\n", figure.c_str());
+  std::printf("stream: %s msgs, %s .. %s, %.1f%% RT, %.1f%% tagged\n",
+              HumanCount(stats.total).c_str(),
+              FormatTimestamp(stats.min_date).c_str(),
+              FormatTimestamp(stats.max_date).c_str(),
+              100.0 * stats.retweets / std::max<uint64_t>(1, stats.total),
+              100.0 * stats.with_hashtags /
+                  std::max<uint64_t>(1, stats.total));
+  std::printf("pool limit M=%zu, bundle cap=%zu, checkpoint every %s\n",
+              options.EffectivePoolLimit(), options.bundle_cap,
+              HumanCount(options.EffectiveCheckpoint()).c_str());
+  if (!options.full_scale) {
+    std::printf("note: reduced scale (use --full for the paper's size); "
+                "pool limit scales with the stream\n");
+  }
+  std::printf("================================================================\n");
+}
+
+void EmitTable(const SeriesTable& table, const std::string& slug,
+               const BenchOptions& options) {
+  std::printf("%s\n", table.ToAlignedString().c_str());
+  if (!options.csv_dir.empty()) {
+    Env::Default()->CreateDirIfMissing(options.csv_dir);
+    std::string path = options.csv_dir + "/" + slug + ".csv";
+    Status st = table.WriteCsv(path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "csv write failed: %s\n",
+                   st.ToString().c_str());
+    } else {
+      std::printf("(csv written to %s)\n", path.c_str());
+    }
+  }
+}
+
+}  // namespace bench
+}  // namespace microprov

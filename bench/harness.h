@@ -1,0 +1,64 @@
+#ifndef MICROPROV_BENCH_HARNESS_H_
+#define MICROPROV_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/series.h"
+#include "gen/generator.h"
+#include "stream/message.h"
+
+namespace microprov {
+namespace bench {
+
+/// Shared command-line contract for the figure-reproduction harnesses.
+///
+///   --messages N     stream length (default per bench; Fig. 6-8/11-13
+///                    use 120k by default, --full switches to the paper's
+///                    700k / 2.1M / 4.25M scales)
+///   --full           run at the paper's scale
+///   --seed N         generator seed (default 42)
+///   --pool-limit N   bundle-pool limit M (default scales with messages)
+///   --bundle-cap N   bundle-size cap for the Bundle Limit config
+///   --checkpoint N   sampling interval (default messages/14)
+///   --csv DIR        also write each series as CSV into DIR
+///   --data DIR       dataset cache directory (default ./bench_data)
+struct BenchOptions {
+  uint64_t messages = 120000;
+  bool full_scale = false;
+  uint64_t seed = 42;
+  size_t pool_limit = 0;  // 0 = derive from messages
+  size_t bundle_cap = 300;
+  uint64_t checkpoint_every = 0;  // 0 = derive from messages
+  std::string csv_dir;
+  std::string data_dir = "bench_data";
+
+  /// The paper's 10k pool on a 700k stream, scaled proportionally, with
+  /// a floor so tiny runs still exercise refinement.
+  size_t EffectivePoolLimit() const;
+  uint64_t EffectiveCheckpoint() const;
+};
+
+/// Parses flags; exits with a usage message on error. `paper_messages` is
+/// the stream length --full selects.
+BenchOptions ParseArgs(int argc, char** argv,
+                       uint64_t default_messages = 120000,
+                       uint64_t paper_messages = 700000);
+
+/// Generates (or loads from cache) the benchmark dataset.
+std::vector<Message> GetDataset(const BenchOptions& options);
+
+/// Prints the standard banner: bench name, figure reference, dataset
+/// stats, and configuration.
+void PrintBanner(const std::string& title, const std::string& figure,
+                 const BenchOptions& options,
+                 const std::vector<Message>& messages);
+
+/// Prints a table and optionally writes its CSV (named `<slug>.csv`).
+void EmitTable(const SeriesTable& table, const std::string& slug,
+               const BenchOptions& options);
+
+}  // namespace bench
+}  // namespace microprov
+
+#endif  // MICROPROV_BENCH_HARNESS_H_

@@ -1,0 +1,88 @@
+// Search comparison: the paper's Fig. 1 vs. Fig. 2 side by side.
+//
+// Builds both retrieval paths over the same synthetic stream — a flat
+// per-message BM25 index (traditional search) and the provenance-bundle
+// index — then runs the same query through both and prints the two
+// result pages.
+//
+//   $ ./search_comparison [query]
+
+#include <cstdio>
+#include <string>
+
+#include "core/engine.h"
+#include "gen/generator.h"
+#include "query/query_processor.h"
+#include "stream/replay.h"
+
+using namespace microprov;
+
+int main(int argc, char** argv) {
+  GeneratorOptions gen_options;
+  gen_options.seed = 1453;
+  gen_options.total_messages = 40000;
+  StreamGenerator generator(gen_options);
+
+  // A named event so the default query has something meaty to find.
+  InjectedEvent game;
+  game.name = "yankee-redsox-game";
+  game.start = gen_options.start_date + 50 * kSecondsPerDay;
+  game.size = 35;
+  game.duration_secs = 8 * kSecondsPerHour;
+  game.hashtags = {"redsox", "yankees"};
+  game.topic_words = {"lester",  "ovation", "stadium", "inning",
+                      "pitcher", "crowd",   "win",     "score"};
+  game.rt_probability = 0.5;
+  generator.Inject(game);
+
+  std::string query_text =
+      argc > 1 ? argv[1] : "yankee redsox #redsox";
+
+  std::printf("indexing %llu messages both ways...\n",
+              (unsigned long long)gen_options.total_messages);
+  std::vector<Message> messages = generator.Generate();
+
+  SimulatedClock clock;
+  ProvenanceEngine engine(
+      EngineOptions::ForConfig(IndexConfig::kFullIndex), &clock, nullptr);
+  MessageSearchIndex flat;
+  StreamReplayer replayer(&clock);
+  Status st = replayer.Replay(messages, [&](const Message& msg) {
+    flat.Add(msg);
+    return engine.Ingest(msg);
+  });
+  if (!st.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // ---- Fig. 1: common micro-blog message search ----
+  std::printf("\n=== flat message search: '%s' ===\n",
+              query_text.c_str());
+  std::printf("%-14s %-19s %s\n", "user", "post time", "content");
+  for (const auto& hit : flat.Search(query_text, 7)) {
+    std::printf("%-14s %s  %.70s\n", hit.user.c_str(),
+                FormatTimestamp(hit.date).c_str(), hit.text.c_str());
+  }
+
+  // ---- Fig. 2: provenance-supported search ----
+  std::printf("\n=== provenance bundle search: '%s' ===\n",
+              query_text.c_str());
+  std::printf("%-10s %-40s %-5s %s\n", "bundle", "summary words", "size",
+              "last post");
+  BundleQueryProcessor bundles(&engine);
+  for (const auto& hit : bundles.Search(query_text, 5, clock.Now())) {
+    std::string words;
+    for (size_t i = 0; i < hit.summary_words.size() && i < 6; ++i) {
+      if (!words.empty()) words += ", ";
+      words += hit.summary_words[i];
+    }
+    std::printf("%-10llu %-40.40s %-5zu %s\n",
+                (unsigned long long)hit.bundle, words.c_str(), hit.size,
+                FormatTimestamp(hit.last_post).c_str());
+  }
+  std::printf("\n(each bundle row groups related messages and preserves "
+              "their provenance connections; see event_tracking for the "
+              "tree view)\n");
+  return 0;
+}

@@ -1,0 +1,3 @@
+// LruCache is header-only; this translation unit exists so the build
+// exercises the header's self-containedness.
+#include "common/cache.h"

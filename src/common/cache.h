@@ -1,0 +1,94 @@
+#ifndef MICROPROV_COMMON_CACHE_H_
+#define MICROPROV_COMMON_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace microprov {
+
+/// Simple single-threaded LRU cache mapping Key -> Value with a capacity in
+/// entries. Used by the on-disk bundle store's read path. Not thread-safe
+/// (the engine is single-writer, matching the paper's ingest loop).
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Inserts or overwrites; evicts the least-recently-used entry when full.
+  void Put(const Key& key, Value value) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      Touch(it);
+      return;
+    }
+    if (capacity_ == 0) return;
+    if (map_.size() >= capacity_) {
+      const Key& victim = order_.back().first;
+      map_.erase(victim);
+      order_.pop_back();
+      ++evictions_;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_[key] = order_.begin();
+  }
+
+  /// Returns a copy of the cached value, promoting it to most-recent.
+  std::optional<Value> Get(const Key& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    Touch(it);
+    return it->second->second;
+  }
+
+  bool Contains(const Key& key) const { return map_.count(key) > 0; }
+
+  void Erase(const Key& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    order_.erase(it->second);
+    map_.erase(it);
+  }
+
+  void Clear() {
+    map_.clear();
+    order_.clear();
+  }
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  using Entry = std::pair<Key, Value>;
+  using ListIt = typename std::list<Entry>::iterator;
+
+  void Touch(typename std::unordered_map<Key, ListIt, Hash>::iterator it) {
+    order_.splice(order_.begin(), order_, it->second);
+    it->second = order_.begin();
+  }
+
+  size_t capacity_;
+  std::list<Entry> order_;  // front = most recent
+  std::unordered_map<Key, ListIt, Hash> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_COMMON_CACHE_H_

@@ -1,0 +1,51 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace microprov {
+
+Timestamp SystemClock::Now() const {
+  return static_cast<Timestamp>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string FormatTimestamp(Timestamp t) {
+  std::time_t tt = static_cast<std::time_t>(t);
+  std::tm tm{};
+  gmtime_r(&tt, &tm);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec);
+  return buf;
+}
+
+Timestamp ParseTimestamp(const std::string& s) {
+  std::tm tm{};
+  int year, mon, day, hour, min, sec;
+  if (std::sscanf(s.c_str(), "%d-%d-%d %d:%d:%d", &year, &mon, &day, &hour,
+                  &min, &sec) != 6) {
+    return -1;
+  }
+  tm.tm_year = year - 1900;
+  tm.tm_mon = mon - 1;
+  tm.tm_mday = day;
+  tm.tm_hour = hour;
+  tm.tm_min = min;
+  tm.tm_sec = sec;
+  std::time_t tt = timegm(&tm);
+  if (tt == static_cast<std::time_t>(-1)) return -1;
+  return static_cast<Timestamp>(tt);
+}
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace microprov

@@ -1,0 +1,63 @@
+#ifndef MICROPROV_COMMON_CLOCK_H_
+#define MICROPROV_COMMON_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace microprov {
+
+/// Timestamps throughout the library are seconds since the Unix epoch.
+using Timestamp = int64_t;
+
+constexpr Timestamp kSecondsPerMinute = 60;
+constexpr Timestamp kSecondsPerHour = 3600;
+constexpr Timestamp kSecondsPerDay = 86400;
+
+/// Source of "now" for the provenance engine. The paper replays an archived
+/// stream and treats the latest message's post date as the current time; the
+/// engine therefore never reads the wall clock directly.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Timestamp Now() const = 0;
+};
+
+/// Clock driven by the stream replayer: Advance() moves time forward
+/// monotonically (out-of-order timestamps do not move it back).
+class SimulatedClock final : public Clock {
+ public:
+  explicit SimulatedClock(Timestamp start = 0) : now_(start) {}
+
+  Timestamp Now() const override { return now_; }
+
+  /// Moves the clock to `t` if `t` is later than the current time.
+  void Advance(Timestamp t) {
+    if (t > now_) now_ = t;
+  }
+
+  /// Sets the clock unconditionally (tests only).
+  void Set(Timestamp t) { now_ = t; }
+
+ private:
+  Timestamp now_;
+};
+
+/// Wall-clock-backed implementation for interactive examples.
+class SystemClock final : public Clock {
+ public:
+  Timestamp Now() const override;
+};
+
+/// Formats as "YYYY-MM-DD HH:MM:SS" (UTC).
+std::string FormatTimestamp(Timestamp t);
+
+/// Parses "YYYY-MM-DD HH:MM:SS" (UTC). Returns -1 on malformed input.
+Timestamp ParseTimestamp(const std::string& s);
+
+/// Monotonic nanosecond counter for measuring elapsed real time in the
+/// benchmark harness (never used by the engine's logic).
+int64_t MonotonicNanos();
+
+}  // namespace microprov
+
+#endif  // MICROPROV_COMMON_CLOCK_H_

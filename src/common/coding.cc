@@ -1,0 +1,117 @@
+#include "common/coding.h"
+
+#include <cstring>
+
+namespace microprov {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  buf[0] = static_cast<char>(value & 0xFF);
+  buf[1] = static_cast<char>((value >> 8) & 0xFF);
+  buf[2] = static_cast<char>((value >> 16) & 0xFF);
+  buf[3] = static_cast<char>((value >> 24) & 0xFF);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  PutFixed32(dst, static_cast<uint32_t>(value & 0xFFFFFFFFu));
+  PutFixed32(dst, static_cast<uint32_t>(value >> 32));
+}
+
+bool GetFixed32(std::string_view* input, uint32_t* value) {
+  if (input->size() < 4) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(input->data());
+  *value = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+  input->remove_prefix(4);
+  return true;
+}
+
+bool GetFixed64(std::string_view* input, uint64_t* value) {
+  if (input->size() < 8) return false;
+  uint32_t lo = 0, hi = 0;
+  GetFixed32(input, &lo);
+  GetFixed32(input, &hi);
+  *value = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value | 0x80);
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+bool GetVarint64(std::string_view* input, uint64_t* value) {
+  uint64_t result = 0;
+  const auto* p = reinterpret_cast<const unsigned char*>(input->data());
+  size_t n = input->size();
+  for (size_t i = 0; i < n && i < 10; ++i) {
+    uint64_t byte = p[i];
+    result |= (byte & 0x7F) << (7 * i);
+    if ((byte & 0x80) == 0) {
+      if (i == 9 && byte > 1) return false;  // 64-bit overflow
+      *value = result;
+      input->remove_prefix(i + 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetVarint32(std::string_view* input, uint32_t* value) {
+  uint64_t v = 0;
+  std::string_view copy = *input;
+  if (!GetVarint64(&copy, &v) || v > 0xFFFFFFFFull) return false;
+  *value = static_cast<uint32_t>(v);
+  *input = copy;
+  return true;
+}
+
+void PutVarsint64(std::string* dst, int64_t value) {
+  PutVarint64(dst, ZigZagEncode(value));
+}
+
+bool GetVarsint64(std::string_view* input, int64_t* value) {
+  uint64_t v = 0;
+  if (!GetVarint64(input, &v)) return false;
+  *value = ZigZagDecode(v);
+  return true;
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value) {
+  std::string_view copy = *input;
+  uint32_t len = 0;
+  if (!GetVarint32(&copy, &len)) return false;
+  if (copy.size() < len) return false;
+  *value = copy.substr(0, len);
+  copy.remove_prefix(len);
+  *input = copy;
+  return true;
+}
+
+int VarintLength(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace microprov

@@ -1,0 +1,45 @@
+#ifndef MICROPROV_COMMON_CODING_H_
+#define MICROPROV_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace microprov {
+
+// Little-endian fixed-width and LEB128 varint encoding primitives used by
+// the storage layer and index segments. All Get* functions consume bytes
+// from the front of `*input` and return false on underflow / malformed
+// input without consuming.
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+bool GetFixed32(std::string_view* input, uint32_t* value);
+bool GetFixed64(std::string_view* input, uint64_t* value);
+
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+bool GetVarint32(std::string_view* input, uint32_t* value);
+bool GetVarint64(std::string_view* input, uint64_t* value);
+
+/// ZigZag transform so small negative numbers stay small when varinted.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void PutVarsint64(std::string* dst, int64_t value);
+bool GetVarsint64(std::string_view* input, int64_t* value);
+
+/// Length-prefixed string: varint32 length followed by the bytes.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+/// Number of bytes PutVarint64 would emit.
+int VarintLength(uint64_t value);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_COMMON_CODING_H_

@@ -1,0 +1,33 @@
+#ifndef MICROPROV_COMMON_CRC32C_H_
+#define MICROPROV_COMMON_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace microprov {
+namespace crc32c {
+
+/// Returns the CRC-32C (Castagnoli) of data, continuing from `init_crc`
+/// (the CRC of preceding bytes; 0 for a fresh computation).
+uint32_t Extend(uint32_t init_crc, std::string_view data);
+
+/// CRC-32C of `data`.
+inline uint32_t Value(std::string_view data) { return Extend(0, data); }
+
+/// Masked CRC for storing alongside the data it covers (RocksDB-style):
+/// a CRC of a string that contains embedded CRCs tends to be weak, so
+/// stored CRCs are rotated and offset.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8ul;
+}
+
+/// Inverse of Mask().
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8ul;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace crc32c
+}  // namespace microprov
+
+#endif  // MICROPROV_COMMON_CRC32C_H_

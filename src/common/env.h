@@ -1,0 +1,109 @@
+#ifndef MICROPROV_COMMON_ENV_H_
+#define MICROPROV_COMMON_ENV_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace microprov {
+
+/// Buffered append-only file handle. Not thread-safe.
+class WritableFile {
+ public:
+  ~WritableFile();
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+
+  Status Append(std::string_view data);
+  Status Flush();
+  /// Flush + fsync.
+  Status Sync();
+  Status Close();
+
+  /// Bytes appended so far (including unflushed).
+  uint64_t size() const { return size_; }
+
+ private:
+  friend class Env;
+  WritableFile(std::string name, std::FILE* f)
+      : name_(std::move(name)), file_(f) {}
+  std::string name_;
+  std::FILE* file_;
+  uint64_t size_ = 0;
+};
+
+/// Forward-only reader.
+class SequentialFile {
+ public:
+  ~SequentialFile();
+  SequentialFile(const SequentialFile&) = delete;
+  SequentialFile& operator=(const SequentialFile&) = delete;
+
+  /// Reads up to n bytes into *result (resized to the bytes actually read;
+  /// empty at EOF).
+  Status Read(size_t n, std::string* result);
+  Status Skip(uint64_t n);
+
+ private:
+  friend class Env;
+  SequentialFile(std::string name, std::FILE* f)
+      : name_(std::move(name)), file_(f) {}
+  std::string name_;
+  std::FILE* file_;
+};
+
+/// Positioned reader.
+class RandomAccessFile {
+ public:
+  ~RandomAccessFile();
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+
+  /// Reads up to n bytes at `offset` into *result.
+  Status Read(uint64_t offset, size_t n, std::string* result) const;
+
+ private:
+  friend class Env;
+  RandomAccessFile(std::string name, int fd)
+      : name_(std::move(name)), fd_(fd) {}
+  std::string name_;
+  int fd_;
+};
+
+/// Minimal filesystem facade (POSIX-backed). A single process-wide instance
+/// suffices; the indirection exists so tests can run in temp dirs and so the
+/// storage layer never calls the OS directly.
+class Env {
+ public:
+  static Env* Default();
+
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path);
+  StatusOr<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path);
+  StatusOr<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path);
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path);
+
+  bool FileExists(const std::string& path);
+  StatusOr<uint64_t> GetFileSize(const std::string& path);
+  Status CreateDirIfMissing(const std::string& path);
+  Status RemoveFile(const std::string& path);
+  Status RenameFile(const std::string& from, const std::string& to);
+  StatusOr<std::vector<std::string>> ListDir(const std::string& path);
+
+  /// Reads a whole file into *contents.
+  Status ReadFileToString(const std::string& path, std::string* contents);
+  /// Atomically (write temp + rename) writes `data` to `path`.
+  Status WriteStringToFile(const std::string& path, std::string_view data);
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_COMMON_ENV_H_

@@ -1,0 +1,43 @@
+#ifndef MICROPROV_COMMON_HASH_H_
+#define MICROPROV_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace microprov {
+
+/// 64-bit FNV-1a. Deterministic across platforms; used for term hashing and
+/// deduplication keys, not for adversarial inputs.
+uint64_t Fnv1a64(std::string_view data);
+
+/// 64-bit avalanching mix (splitmix64 finalizer). Good for integer keys.
+uint64_t Mix64(uint64_t x);
+
+/// Combines two 64-bit hashes (boost-style).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+/// Heterogeneous string hash: lets unordered containers keyed by
+/// std::string be probed with a string_view without materializing a
+/// temporary std::string (C++20 transparent lookup).
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// Hash functor for (int64, int64) pairs, e.g. provenance edges.
+struct PairHash {
+  size_t operator()(const std::pair<int64_t, int64_t>& p) const {
+    return static_cast<size_t>(
+        HashCombine(Mix64(static_cast<uint64_t>(p.first)),
+                    Mix64(static_cast<uint64_t>(p.second))));
+  }
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_COMMON_HASH_H_

@@ -1,0 +1,132 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace microprov {
+
+void ExactHistogram::Add(int64_t value) {
+  ++buckets_[value];
+  ++count_;
+  sum_ += static_cast<double>(value);
+}
+
+void ExactHistogram::Merge(const ExactHistogram& other) {
+  for (const auto& [v, c] : other.buckets_) {
+    buckets_[v] += c;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+int64_t ExactHistogram::min() const {
+  return buckets_.empty() ? 0 : buckets_.begin()->first;
+}
+
+int64_t ExactHistogram::max() const {
+  return buckets_.empty() ? 0 : buckets_.rbegin()->first;
+}
+
+double ExactHistogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t ExactHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (const auto& [v, c] : buckets_) {
+    seen += c;
+    if (static_cast<double>(seen) >= target) return v;
+  }
+  return buckets_.rbegin()->first;
+}
+
+std::string ExactHistogram::ToAsciiChart(int num_buckets,
+                                         int bar_width) const {
+  std::string out;
+  if (count_ == 0) return "(empty)\n";
+  const int64_t lo = min();
+  const int64_t hi = max();
+  const int64_t width =
+      std::max<int64_t>(1, (hi - lo + num_buckets) / num_buckets);
+  std::vector<uint64_t> bars(static_cast<size_t>(num_buckets), 0);
+  for (const auto& [v, c] : buckets_) {
+    size_t idx = static_cast<size_t>((v - lo) / width);
+    if (idx >= bars.size()) idx = bars.size() - 1;
+    bars[idx] += c;
+  }
+  const uint64_t peak = *std::max_element(bars.begin(), bars.end());
+  for (int i = 0; i < num_buckets; ++i) {
+    const int64_t b_lo = lo + i * width;
+    const int64_t b_hi = b_lo + width - 1;
+    const uint64_t c = bars[static_cast<size_t>(i)];
+    int len = peak == 0 ? 0
+                        : static_cast<int>(static_cast<double>(c) /
+                                           static_cast<double>(peak) *
+                                           bar_width);
+    StringAppendF(&out, "%8lld..%-8lld %10llu |%s\n",
+                  (long long)b_lo, (long long)b_hi, (unsigned long long)c,
+                  std::string(static_cast<size_t>(len), '#').c_str());
+  }
+  return out;
+}
+
+std::vector<uint64_t> ExactHistogram::BucketizeByEdges(
+    const std::vector<int64_t>& edges) const {
+  std::vector<uint64_t> out(edges.size(), 0);
+  for (const auto& [v, c] : buckets_) {
+    // Find the last edge <= v.
+    auto it = std::upper_bound(edges.begin(), edges.end(), v);
+    if (it == edges.begin()) continue;  // below the first edge
+    out[static_cast<size_t>(it - edges.begin() - 1)] += c;
+  }
+  return out;
+}
+
+LatencyHistogram::LatencyHistogram() {
+  // ~90 buckets: 1ns .. ~100s growing by ~1.3x.
+  uint64_t b = 1;
+  while (b < 100ULL * 1000 * 1000 * 1000) {
+    boundaries_.push_back(b);
+    uint64_t next = b + std::max<uint64_t>(1, b * 3 / 10);
+    b = next;
+  }
+  boundaries_.push_back(UINT64_MAX);
+  counts_.assign(boundaries_.size(), 0);
+}
+
+void LatencyHistogram::Add(uint64_t nanos) {
+  auto it =
+      std::lower_bound(boundaries_.begin(), boundaries_.end(), nanos);
+  ++counts_[static_cast<size_t>(it - boundaries_.begin())];
+  ++count_;
+  sum_ += static_cast<double>(nanos);
+  max_seen_ = std::max(max_seen_, nanos);
+}
+
+double LatencyHistogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (static_cast<double>(seen) >= target) return boundaries_[i];
+  }
+  return max_seen_;
+}
+
+std::string LatencyHistogram::Summary() const {
+  return StringPrintf(
+      "count=%llu mean=%.0fns p50=%lluns p99=%lluns max=%lluns",
+      (unsigned long long)count_, Mean(), (unsigned long long)Percentile(50),
+      (unsigned long long)Percentile(99), (unsigned long long)max_seen_);
+}
+
+}  // namespace microprov

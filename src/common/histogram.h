@@ -1,0 +1,68 @@
+#ifndef MICROPROV_COMMON_HISTOGRAM_H_
+#define MICROPROV_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace microprov {
+
+/// Exact integer-valued histogram (value -> count). Used for the paper's
+/// bundle-size and time-span distributions (Fig. 6), where values are small
+/// enough that exact counting is cheap.
+class ExactHistogram {
+ public:
+  void Add(int64_t value);
+  void Merge(const ExactHistogram& other);
+
+  uint64_t count() const { return count_; }
+  int64_t min() const;
+  int64_t max() const;
+  double Mean() const;
+  /// p in [0, 100]; returns the smallest value v such that at least p% of
+  /// samples are <= v. Returns 0 on an empty histogram.
+  int64_t Percentile(double p) const;
+
+  const std::map<int64_t, uint64_t>& buckets() const { return buckets_; }
+
+  /// Re-buckets into `num_buckets` equal-width ranges over [min, max] and
+  /// renders rows of "lo..hi  count  bar" for terminal display.
+  std::string ToAsciiChart(int num_buckets = 20, int bar_width = 40) const;
+
+  /// Groups counts into caller-provided right-open ranges
+  /// [edges[i], edges[i+1]); the final bucket is [edges.back(), +inf).
+  std::vector<uint64_t> BucketizeByEdges(
+      const std::vector<int64_t>& edges) const;
+
+ private:
+  std::map<int64_t, uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+/// Fixed-boundary latency histogram with exponentially growing buckets,
+/// suitable for nanosecond timings in the microbenches.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Add(uint64_t nanos);
+  uint64_t count() const { return count_; }
+  double Mean() const;
+  uint64_t Percentile(double p) const;
+  uint64_t max_seen() const { return max_seen_; }
+
+  std::string Summary() const;
+
+ private:
+  std::vector<uint64_t> boundaries_;  // upper bounds, ascending
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  uint64_t max_seen_ = 0;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_COMMON_HISTOGRAM_H_

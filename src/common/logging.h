@@ -1,0 +1,48 @@
+#ifndef MICROPROV_COMMON_LOGGING_H_
+#define MICROPROV_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace microprov {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum severity; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log line; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+// Usage: LOG_INFO() << "msg" << value;
+// Filtering happens at emit time against the global level.
+#define LOG_DEBUG() \
+  ::microprov::internal_logging::LogMessage(::microprov::LogLevel::kDebug, __FILE__, __LINE__).stream()
+#define LOG_INFO() \
+  ::microprov::internal_logging::LogMessage(::microprov::LogLevel::kInfo, __FILE__, __LINE__).stream()
+#define LOG_WARN() \
+  ::microprov::internal_logging::LogMessage(::microprov::LogLevel::kWarn, __FILE__, __LINE__).stream()
+#define LOG_ERROR() \
+  ::microprov::internal_logging::LogMessage(::microprov::LogLevel::kError, __FILE__, __LINE__).stream()
+
+}  // namespace microprov
+
+#endif  // MICROPROV_COMMON_LOGGING_H_

@@ -1,0 +1,55 @@
+#ifndef MICROPROV_COMMON_MEMORY_USAGE_H_
+#define MICROPROV_COMMON_MEMORY_USAGE_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace microprov {
+
+// Approximate heap-memory accounting (RocksDB ApproximateMemoryUsage
+// style). The paper's Fig. 11(a) compares the resident cost of the three
+// index configurations; since we cannot portably ask the allocator, every
+// long-lived structure sums its parts with these helpers. Constants model a
+// typical 64-bit glibc malloc layout; absolute numbers are approximate but
+// *relative* growth (flat vs. linear) — which is what the figure shows — is
+// faithful.
+
+/// Per-allocation malloc bookkeeping overhead.
+inline constexpr size_t kMallocOverhead = 16;
+
+/// Heap bytes owned by a std::string (0 when stored inline via SSO).
+inline size_t ApproxMemoryUsage(const std::string& s) {
+  // libstdc++ SSO capacity is 15 bytes.
+  if (s.capacity() <= 15) return 0;
+  return s.capacity() + 1 + kMallocOverhead;
+}
+
+/// Heap bytes owned by a vector of POD-ish elements.
+template <typename T>
+size_t ApproxVectorUsage(const std::vector<T>& v) {
+  if (v.capacity() == 0) return 0;
+  return v.capacity() * sizeof(T) + kMallocOverhead;
+}
+
+/// Heap bytes owned by a vector of strings (buffer + per-string heap).
+inline size_t ApproxMemoryUsage(const std::vector<std::string>& v) {
+  size_t total = ApproxVectorUsage(v);
+  for (const auto& s : v) total += ApproxMemoryUsage(s);
+  return total;
+}
+
+/// Rough per-node cost of an unordered_map entry (node + bucket share).
+template <typename K, typename V, typename H, typename E, typename A>
+size_t ApproxMapOverhead(const std::unordered_map<K, V, H, E, A>& m) {
+  // Node: key + value + next pointer (+ cached hash) + malloc header;
+  // bucket array: one pointer per bucket.
+  const size_t per_node = sizeof(K) + sizeof(V) + 2 * sizeof(void*) +
+                          kMallocOverhead;
+  return m.size() * per_node + m.bucket_count() * sizeof(void*);
+}
+
+}  // namespace microprov
+
+#endif  // MICROPROV_COMMON_MEMORY_USAGE_H_

@@ -1,0 +1,85 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace microprov {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  // Seed the four lanes with splitmix64 so any seed (including 0) works.
+  uint64_t x = seed;
+  for (auto& lane : s_) {
+    lane = Mix64(x++);
+  }
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+int64_t Random::UniformRange(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Random::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  cached_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  has_cached_gaussian_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Random::NextExponential(double lambda) {
+  double u = NextDouble();
+  while (u <= 1e-300) u = NextDouble();
+  return -std::log(u) / lambda;
+}
+
+uint32_t Random::NextGeometric(double p) {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return 0;
+  double u = NextDouble();
+  while (u <= 1e-300) u = NextDouble();
+  return static_cast<uint32_t>(std::log(u) / std::log(1.0 - p));
+}
+
+}  // namespace microprov

@@ -1,0 +1,47 @@
+#ifndef MICROPROV_COMMON_RANDOM_H_
+#define MICROPROV_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace microprov {
+
+/// Deterministic, seedable PRNG (xoshiro256**). All dataset generation and
+/// property tests use this so runs are reproducible across platforms,
+/// independent of libstdc++'s distribution implementations.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next();
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Uniform in [lo, hi]. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Exponential with rate lambda (> 0), i.e. mean 1/lambda.
+  double NextExponential(double lambda);
+
+  /// Geometric-ish integer: number of Bernoulli(p) failures before success.
+  uint32_t NextGeometric(double p);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_COMMON_RANDOM_H_

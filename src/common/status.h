@@ -1,0 +1,119 @@
+#ifndef MICROPROV_COMMON_STATUS_H_
+#define MICROPROV_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace microprov {
+
+/// Error-handling vocabulary for the whole library. Library code never
+/// throws; fallible operations return a `Status` (or `StatusOr<T>`,
+/// see statusor.h) in the style of RocksDB / Arrow.
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kIOError = 3,
+  kCorruption = 4,
+  kNotSupported = 5,
+  kResourceExhausted = 6,
+  kFailedPrecondition = 7,
+  kInternal = 8,
+};
+
+/// Returns a stable human-readable name, e.g. "IOError".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap value type carrying success or a (code, message) pair.
+///
+/// The OK status carries no allocation. Statuses are copyable and movable;
+/// a moved-from Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&& other) noexcept
+      : code_(other.code_), message_(std::move(other.message_)) {
+    other.code_ = StatusCode::kOk;
+    other.message_.clear();
+  }
+  Status& operator=(Status&& other) noexcept {
+    code_ = other.code_;
+    message_ = std::move(other.message_);
+    other.code_ = StatusCode::kOk;
+    other.message_.clear();
+    return *this;
+  }
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, std::string(msg));
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, std::string(msg));
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(StatusCode::kIOError, std::string(msg));
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(StatusCode::kCorruption, std::string(msg));
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(StatusCode::kNotSupported, std::string(msg));
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(StatusCode::kResourceExhausted, std::string(msg));
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(StatusCode::kFailedPrecondition, std::string(msg));
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(StatusCode::kInternal, std::string(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller. Usable only in functions
+/// returning Status.
+#define MICROPROV_RETURN_IF_ERROR(expr)           \
+  do {                                            \
+    ::microprov::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace microprov
+
+#endif  // MICROPROV_COMMON_STATUS_H_

@@ -1,0 +1,79 @@
+#ifndef MICROPROV_COMMON_STATUSOR_H_
+#define MICROPROV_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace microprov {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent. Constructing a StatusOr from an OK status is a
+/// programming error and is converted to an Internal error.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed with OK status");
+    }
+  }
+
+  /// Constructs from a value; the resulting StatusOr is OK.
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of `rexpr` (a StatusOr expression) to `lhs`, or returns
+/// its status from the enclosing Status-returning function.
+#define MICROPROV_ASSIGN_OR_RETURN(lhs, rexpr)      \
+  auto MICROPROV_CONCAT_(_sor_, __LINE__) = (rexpr); \
+  if (!MICROPROV_CONCAT_(_sor_, __LINE__).ok())      \
+    return MICROPROV_CONCAT_(_sor_, __LINE__).status(); \
+  lhs = std::move(MICROPROV_CONCAT_(_sor_, __LINE__)).value()
+
+#define MICROPROV_CONCAT_INNER_(a, b) a##b
+#define MICROPROV_CONCAT_(a, b) MICROPROV_CONCAT_INNER_(a, b)
+
+}  // namespace microprov
+
+#endif  // MICROPROV_COMMON_STATUSOR_H_

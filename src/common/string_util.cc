@@ -1,0 +1,128 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace microprov {
+
+std::vector<std::string> Split(std::string_view s, char delim,
+                               bool keep_empty) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) pos = s.size();
+    std::string_view piece = s.substr(start, pos - start);
+    if (keep_empty || !piece.empty()) out.emplace_back(piece);
+    if (pos == s.size()) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])))
+      ++i;
+    size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i])))
+      ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+namespace {
+std::string VStringPrintf(const char* fmt, va_list ap) {
+  va_list ap2;
+  va_copy(ap2, ap);
+  int needed = std::vsnprintf(nullptr, 0, fmt, ap);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+}  // namespace
+
+std::string StringPrintf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::string out = VStringPrintf(fmt, ap);
+  va_end(ap);
+  return out;
+}
+
+void StringAppendF(std::string* dst, const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  dst->append(VStringPrintf(fmt, ap));
+  va_end(ap);
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  if (u == 0) return StringPrintf("%llu B", (unsigned long long)bytes);
+  return StringPrintf("%.1f %s", v, units[u]);
+}
+
+std::string HumanCount(uint64_t n) {
+  if (n >= 1000000) {
+    double m = static_cast<double>(n) / 1e6;
+    return (n % 1000000 == 0) ? StringPrintf("%.0fm", m)
+                              : StringPrintf("%.2fm", m);
+  }
+  if (n >= 1000) {
+    double k = static_cast<double>(n) / 1e3;
+    return (n % 1000 == 0) ? StringPrintf("%.0fk", k)
+                           : StringPrintf("%.1fk", k);
+  }
+  return StringPrintf("%llu", (unsigned long long)n);
+}
+
+}  // namespace microprov

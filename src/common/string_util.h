@@ -1,0 +1,48 @@
+#ifndef MICROPROV_COMMON_STRING_UTIL_H_
+#define MICROPROV_COMMON_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace microprov {
+
+/// Splits on a single delimiter character. Empty pieces are kept when
+/// `keep_empty` is true (default false).
+std::vector<std::string> Split(std::string_view s, char delim,
+                               bool keep_empty = false);
+
+/// Splits on any run of ASCII whitespace.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// ASCII-only lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Appends printf-style formatted text to *dst.
+void StringAppendF(std::string* dst, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/// Human-readable byte size, e.g. "1.5 MB".
+std::string HumanBytes(uint64_t bytes);
+
+/// Human-readable count, e.g. "700k", "4.25m".
+std::string HumanCount(uint64_t n);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_COMMON_STRING_UTIL_H_

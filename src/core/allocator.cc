@@ -1,0 +1,91 @@
+#include "core/allocator.h"
+
+#include <cassert>
+
+namespace microprov {
+
+namespace {
+
+bool SharesAnyIndicant(const Message& a, const Message& b) {
+  for (const auto& x : a.hashtags) {
+    for (const auto& y : b.hashtags) {
+      if (x == y) return true;
+    }
+  }
+  for (const auto& x : a.urls) {
+    for (const auto& y : b.urls) {
+      if (x == y) return true;
+    }
+  }
+  for (const auto& x : a.keywords) {
+    for (const auto& y : b.keywords) {
+      if (x == y) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Placement AllocateMessage(const Bundle& bundle, const Message& msg,
+                          const ScoringWeights& weights,
+                          size_t max_scan) {
+  assert(!bundle.empty());
+
+  // RT fast paths: exact re-shared id, then latest message by that author.
+  if (msg.is_retweet) {
+    if (msg.retweet_of_id != kInvalidMessageId) {
+      const BundleMessage* target = bundle.Find(msg.retweet_of_id);
+      if (target != nullptr) {
+        return Placement{target->msg.id, ConnectionType::kRt, 1.0};
+      }
+    }
+    if (!msg.retweet_of_user.empty()) {
+      const BundleMessage* latest =
+          bundle.LatestByUser(msg.retweet_of_user);
+      if (latest != nullptr) {
+        return Placement{latest->msg.id, ConnectionType::kRt, 1.0};
+      }
+    }
+  }
+
+  // Eq. 5 over candidates that share at least one indicant (Alg. 2
+  // lines 1-5), scanning the most recent `max_scan` members plus the
+  // bundle's first message (the cascade origin).
+  const std::vector<BundleMessage>& members = bundle.messages();
+  const size_t scan_from =
+      (max_scan == 0 || members.size() <= max_scan)
+          ? 0
+          : members.size() - max_scan;
+  const BundleMessage* best = nullptr;
+  double best_score = -1.0;
+  auto consider = [&](const BundleMessage& bm) {
+    if (!SharesAnyIndicant(msg, bm.msg)) return;
+    double score = MessageSimilarity(msg, bm.msg, weights);
+    if (score > best_score ||
+        (score == best_score && best != nullptr &&
+         bm.msg.date > best->msg.date)) {
+      best = &bm;
+      best_score = score;
+    }
+  };
+  if (scan_from > 0) consider(members.front());
+  for (size_t i = scan_from; i < members.size(); ++i) {
+    consider(members[i]);
+  }
+
+  if (best == nullptr) {
+    // No indicant overlap (e.g. matched purely via freshness): continue
+    // the bundle's most recent thread.
+    for (size_t i = scan_from; i < members.size(); ++i) {
+      const BundleMessage& bm = members[i];
+      if (best == nullptr || bm.msg.date > best->msg.date) best = &bm;
+    }
+    return Placement{best->msg.id, ConnectionType::kText,
+                     MessageSimilarity(msg, best->msg, weights)};
+  }
+  return Placement{best->msg.id, DominantConnectionType(msg, best->msg),
+                   best_score};
+}
+
+}  // namespace microprov

@@ -1,0 +1,37 @@
+#ifndef MICROPROV_CORE_ALLOCATOR_H_
+#define MICROPROV_CORE_ALLOCATOR_H_
+
+#include "core/bundle.h"
+#include "core/scoring.h"
+
+namespace microprov {
+
+/// Alg. 2's output: where inside the chosen bundle the new message
+/// attaches.
+struct Placement {
+  MessageId parent = kInvalidMessageId;
+  ConnectionType type = ConnectionType::kText;
+  double score = 0.0;
+};
+
+/// Alg. 2: Message Allocation inside the Bundle. Gathers member messages
+/// sharing an indicant with `msg`, scores each with Eq. 5, and connects the
+/// new message to the argmax. RT is resolved first: a known re-shared
+/// message id, or the most recent message by the re-shared author, wins
+/// outright (both O(1) via bundle indexes). With no overlapping candidate
+/// the message attaches to the bundle's most recent member (pure temporal
+/// continuation).
+///
+/// `max_scan` bounds the similarity scan to the most recent members (plus
+/// the root): Eq. 4's time-closeness already makes distant-past members
+/// lose, and an unbounded scan makes insertion into a hot-event bundle
+/// O(|B|) — quadratic over the event. 0 = scan everything (exact Alg. 2).
+///
+/// Requires !bundle.empty().
+Placement AllocateMessage(const Bundle& bundle, const Message& msg,
+                          const ScoringWeights& weights,
+                          size_t max_scan = 256);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_CORE_ALLOCATOR_H_

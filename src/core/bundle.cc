@@ -1,0 +1,102 @@
+#include "core/bundle.h"
+
+#include <algorithm>
+
+#include "common/memory_usage.h"
+
+namespace microprov {
+
+void Bundle::BumpCount(std::unordered_map<std::string, uint32_t>* counts,
+                       const std::string& value) {
+  auto [it, inserted] = counts->try_emplace(value, 0);
+  ++it->second;
+  if (inserted) {
+    mem_usage_ += ::microprov::ApproxMemoryUsage(value) +
+                  sizeof(std::pair<std::string, uint32_t>) +
+                  2 * sizeof(void*) + kMallocOverhead;
+  }
+}
+
+void Bundle::AddMessage(Message msg, MessageId parent, ConnectionType type,
+                        float score) {
+  const Timestamp date = msg.date;
+  if (messages_.empty()) {
+    start_time_ = date;
+    end_time_ = date;
+  } else {
+    start_time_ = std::min(start_time_, date);
+    end_time_ = std::max(end_time_, date);
+  }
+  last_update_ = std::max(last_update_, date);
+
+  mem_usage_ += msg.ApproxMemoryUsage() + sizeof(BundleMessage) -
+                sizeof(Message);
+
+  for (const std::string& tag : msg.hashtags) {
+    BumpCount(&hashtag_counts_, tag);
+  }
+  for (const std::string& url : msg.urls) {
+    BumpCount(&url_counts_, url);
+  }
+  size_t kw = 0;
+  for (const std::string& keyword : msg.keywords) {
+    if (kw++ >= kSummaryKeywordsPerMessage) break;
+    BumpCount(&keyword_counts_, keyword);
+  }
+  BumpCount(&user_counts_, msg.user);
+
+  by_id_[msg.id] = messages_.size();
+  mem_usage_ += sizeof(std::pair<MessageId, size_t>) + 2 * sizeof(void*) +
+                kMallocOverhead;
+  auto [uit, user_inserted] =
+      latest_by_user_.try_emplace(msg.user, messages_.size());
+  if (!user_inserted &&
+      messages_[uit->second].msg.date <= date) {
+    uit->second = messages_.size();
+  }
+  if (user_inserted) {
+    mem_usage_ += sizeof(std::pair<std::string, size_t>) +
+                  2 * sizeof(void*) + kMallocOverhead;
+  }
+  messages_.push_back(
+      BundleMessage{std::move(msg), parent, type, score});
+}
+
+const BundleMessage* Bundle::LatestByUser(const std::string& user) const {
+  auto it = latest_by_user_.find(user);
+  if (it == latest_by_user_.end()) return nullptr;
+  return &messages_[it->second];
+}
+
+const BundleMessage* Bundle::Find(MessageId id) const {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return nullptr;
+  return &messages_[it->second];
+}
+
+std::vector<Edge> Bundle::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(messages_.size());
+  for (const BundleMessage& bm : messages_) {
+    if (bm.parent == kInvalidMessageId) continue;
+    edges.push_back(Edge{bm.parent, bm.msg.id, bm.conn_type,
+                         bm.conn_score});
+  }
+  return edges;
+}
+
+std::vector<std::pair<std::string, uint32_t>> Bundle::TopKeywords(
+    size_t k) const {
+  std::vector<std::pair<std::string, uint32_t>> all(
+      keyword_counts_.begin(), keyword_counts_.end());
+  size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  all.resize(take);
+  return all;
+}
+
+}  // namespace microprov

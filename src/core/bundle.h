@@ -1,0 +1,118 @@
+#ifndef MICROPROV_CORE_BUNDLE_H_
+#define MICROPROV_CORE_BUNDLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/connection.h"
+#include "stream/message.h"
+
+namespace microprov {
+
+/// A message plus its intra-bundle provenance connection.
+struct BundleMessage {
+  Message msg;
+  /// Parent message id within this bundle; kInvalidMessageId for the root.
+  MessageId parent = kInvalidMessageId;
+  ConnectionType conn_type = ConnectionType::kText;
+  float conn_score = 0.0f;
+};
+
+/// Provenance bundle (Definition 3): a group of related messages forming a
+/// directed tree — each message keeps its single maximum-scored connection
+/// to a prior message. The bundle maintains an indicant summary (hashtag /
+/// URL / keyword / user counts, Fig. 3) used for matching, ranking, and
+/// summary-index removal, plus incremental memory accounting for the
+/// Fig. 11 experiments.
+class Bundle {
+ public:
+  explicit Bundle(BundleId id) : id_(id) {}
+  Bundle(const Bundle&) = delete;
+  Bundle& operator=(const Bundle&) = delete;
+
+  BundleId id() const { return id_; }
+  size_t size() const { return messages_.size(); }
+  bool empty() const { return messages_.empty(); }
+
+  /// Closed bundles accept no further messages (bundle-size constraint,
+  /// Section V-B) and are flushed to disk at the next refinement scan.
+  bool closed() const { return closed_; }
+  void Close() { closed_ = true; }
+
+  /// Earliest / latest message dates (Alg. 2 lines 8-13).
+  Timestamp start_time() const { return start_time_; }
+  Timestamp end_time() const { return end_time_; }
+  /// Date of the most recently *inserted* message — "last update time"
+  /// used by the G-score (Eq. 6) and the aging test.
+  Timestamp last_update() const { return last_update_; }
+
+  /// Appends `msg` connected to `parent` (kInvalidMessageId for roots).
+  void AddMessage(Message msg, MessageId parent, ConnectionType type,
+                  float score);
+
+  const std::vector<BundleMessage>& messages() const { return messages_; }
+
+  /// The message with id `id`, or nullptr.
+  const BundleMessage* Find(MessageId id) const;
+
+  /// All intra-bundle edges (excluding roots).
+  std::vector<Edge> Edges() const;
+
+  // Indicant summaries: value -> number of member messages carrying it.
+  const std::unordered_map<std::string, uint32_t>& hashtag_counts() const {
+    return hashtag_counts_;
+  }
+  const std::unordered_map<std::string, uint32_t>& url_counts() const {
+    return url_counts_;
+  }
+  const std::unordered_map<std::string, uint32_t>& keyword_counts() const {
+    return keyword_counts_;
+  }
+  const std::unordered_map<std::string, uint32_t>& user_counts() const {
+    return user_counts_;
+  }
+
+  bool HasUser(const std::string& user) const {
+    return user_counts_.count(user) > 0;
+  }
+
+  /// The most recently posted member message by `user`, or nullptr.
+  /// O(1): maintained incrementally for Alg. 2's RT resolution.
+  const BundleMessage* LatestByUser(const std::string& user) const;
+
+  /// Most frequent keywords, ties broken lexicographically — the "summary
+  /// words" column of the paper's Fig. 2 result list.
+  std::vector<std::pair<std::string, uint32_t>> TopKeywords(
+      size_t k) const;
+
+  /// Approximate heap footprint, maintained incrementally.
+  size_t ApproxMemoryUsage() const { return mem_usage_; }
+
+  /// Number of keyword indicants each message contributes to summaries.
+  static constexpr size_t kSummaryKeywordsPerMessage = 6;
+
+ private:
+  void BumpCount(std::unordered_map<std::string, uint32_t>* counts,
+                 const std::string& value);
+
+  BundleId id_;
+  bool closed_ = false;
+  Timestamp start_time_ = 0;
+  Timestamp end_time_ = 0;
+  Timestamp last_update_ = 0;
+  std::vector<BundleMessage> messages_;
+  std::unordered_map<MessageId, size_t> by_id_;
+  /// user -> index of their latest-dated message in messages_.
+  std::unordered_map<std::string, size_t> latest_by_user_;
+  std::unordered_map<std::string, uint32_t> hashtag_counts_;
+  std::unordered_map<std::string, uint32_t> url_counts_;
+  std::unordered_map<std::string, uint32_t> keyword_counts_;
+  std::unordered_map<std::string, uint32_t> user_counts_;
+  size_t mem_usage_ = sizeof(Bundle);
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_CORE_BUNDLE_H_

@@ -1,0 +1,79 @@
+#include "core/burst.h"
+
+#include <algorithm>
+
+namespace microprov {
+
+uint32_t ArrivalProfile::peak() const {
+  uint32_t best = 0;
+  for (uint32_t c : counts) best = std::max(best, c);
+  return best;
+}
+
+double ArrivalProfile::mean() const {
+  if (counts.empty()) return 0.0;
+  uint64_t total = 0;
+  for (uint32_t c : counts) total += c;
+  return static_cast<double>(total) / static_cast<double>(counts.size());
+}
+
+ArrivalProfile ComputeArrivalProfile(const Bundle& bundle,
+                                     Timestamp window_secs) {
+  ArrivalProfile profile;
+  profile.window_secs = std::max<Timestamp>(1, window_secs);
+  if (bundle.empty()) return profile;
+  profile.start = bundle.start_time();
+  const Timestamp span = bundle.end_time() - bundle.start_time();
+  const size_t windows =
+      static_cast<size_t>(span / profile.window_secs) + 1;
+  profile.counts.assign(windows, 0);
+  for (const BundleMessage& bm : bundle.messages()) {
+    size_t idx = static_cast<size_t>(
+        (bm.msg.date - profile.start) / profile.window_secs);
+    if (idx >= profile.counts.size()) idx = profile.counts.size() - 1;
+    ++profile.counts[idx];
+  }
+  return profile;
+}
+
+double BurstScore(const Bundle& bundle, Timestamp window_secs) {
+  if (bundle.size() < 2) return 0.0;
+  ArrivalProfile profile = ComputeArrivalProfile(bundle, window_secs);
+  if (profile.counts.size() < 2) {
+    // Everything inside one window: maximally concentrated, but scale by
+    // volume so a 2-message blip doesn't read as a major burst.
+    double volume = static_cast<double>(bundle.size());
+    return volume / (volume + 8.0);
+  }
+  const double mean = profile.mean();
+  if (mean <= 0.0) return 0.0;
+  const double ratio = static_cast<double>(profile.peak()) / mean;
+  // ratio 1 (uniform) -> 0; grows toward 1 as the peak dominates.
+  return (ratio - 1.0) / (ratio + 3.0);
+}
+
+bool IsBurstingNow(const Bundle& bundle, Timestamp now,
+                   Timestamp window_secs, double factor,
+                   uint32_t min_recent) {
+  if (bundle.empty()) return false;
+  window_secs = std::max<Timestamp>(1, window_secs);
+  uint32_t recent = 0;
+  for (const BundleMessage& bm : bundle.messages()) {
+    if (bm.msg.date > now - window_secs && bm.msg.date <= now) {
+      ++recent;
+    }
+  }
+  if (recent < min_recent) return false;
+  // Historical rate: messages per window over the bundle's life before
+  // the current window.
+  const Timestamp history_span =
+      std::max<Timestamp>(window_secs,
+                          (now - window_secs) - bundle.start_time());
+  const double windows =
+      static_cast<double>(history_span) / window_secs;
+  const double historical =
+      static_cast<double>(bundle.size() - recent) / std::max(1.0, windows);
+  return static_cast<double>(recent) >= factor * std::max(0.5, historical);
+}
+
+}  // namespace microprov

@@ -1,0 +1,48 @@
+#ifndef MICROPROV_CORE_BURST_H_
+#define MICROPROV_CORE_BURST_H_
+
+#include <vector>
+
+#include "core/bundle.h"
+
+namespace microprov {
+
+// Burst analysis over provenance bundles. The paper motivates the index
+// with "rapid changing scenarios [where] lots of events appear and soon
+// are replaced by other newly emerging topics"; these helpers make that
+// dynamic observable: per-bundle arrival-rate profiles and a burst score
+// that monitoring UIs (see examples/stream_monitor) can rank on.
+
+/// Message-arrival histogram for one bundle: messages per fixed-width
+/// window covering [start_time, end_time].
+struct ArrivalProfile {
+  Timestamp window_secs = 0;
+  Timestamp start = 0;
+  /// counts[i] = messages dated within window i.
+  std::vector<uint32_t> counts;
+
+  uint32_t peak() const;
+  double mean() const;
+};
+
+/// Computes the profile with `window_secs` buckets (>= 1 enforced).
+ArrivalProfile ComputeArrivalProfile(const Bundle& bundle,
+                                     Timestamp window_secs);
+
+/// Burst score in [0, 1]: how concentrated the bundle's activity is
+/// relative to a uniform spread (peak-to-mean, saturating). Singleton or
+/// uniform bundles score ~0; a bundle whose messages pile into one
+/// window scores toward 1.
+double BurstScore(const Bundle& bundle,
+                  Timestamp window_secs = kSecondsPerHour);
+
+/// True when the bundle is "hot" as of `now`: a recent window's arrival
+/// count is at least `factor` times the bundle's historical mean and at
+/// least `min_recent` messages landed within the last window.
+bool IsBurstingNow(const Bundle& bundle, Timestamp now,
+                   Timestamp window_secs = kSecondsPerHour,
+                   double factor = 3.0, uint32_t min_recent = 3);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_CORE_BURST_H_

@@ -1,0 +1,56 @@
+#ifndef MICROPROV_CORE_CONNECTION_H_
+#define MICROPROV_CORE_CONNECTION_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "stream/message.h"
+
+namespace microprov {
+
+/// Unique id of a provenance bundle. Ids start at 1; 0 is invalid.
+using BundleId = uint64_t;
+
+inline constexpr BundleId kInvalidBundleId = 0;
+
+/// The paper's Table II: how a later message tj connects to an earlier ti.
+enum class ConnectionType : uint8_t {
+  kRt = 0,       // tj re-shares ti
+  kUrl = 1,      // url(tj) ∩ url(ti) != ∅
+  kHashtag = 2,  // hashtag(tj) ∩ hashtag(ti) != ∅
+  kText = 3,     // text(tj) ∩ text(ti) != ∅ (shared keywords)
+};
+
+std::string_view ConnectionTypeToString(ConnectionType type);
+
+/// A provenance connection: `child` (later) derives from `parent`
+/// (earlier). Each message retains at most one such edge — its
+/// maximum-scored connection to a prior message (Section III).
+struct Edge {
+  MessageId parent = kInvalidMessageId;
+  MessageId child = kInvalidMessageId;
+  ConnectionType type = ConnectionType::kText;
+  float score = 0.0f;
+
+  bool operator==(const Edge& other) const {
+    return parent == other.parent && child == other.child;
+  }
+};
+
+inline std::string_view ConnectionTypeToString(ConnectionType type) {
+  switch (type) {
+    case ConnectionType::kRt:
+      return "RT";
+    case ConnectionType::kUrl:
+      return "URL";
+    case ConnectionType::kHashtag:
+      return "hashtag";
+    case ConnectionType::kText:
+      return "text";
+  }
+  return "?";
+}
+
+}  // namespace microprov
+
+#endif  // MICROPROV_CORE_CONNECTION_H_

@@ -1,0 +1,14 @@
+#include "core/edge_log.h"
+
+namespace microprov {
+
+EdgeLog::KeySet EdgeLog::ToKeySet() const {
+  KeySet set;
+  set.reserve(edges_.size());
+  for (const Edge& edge : edges_) {
+    set.emplace(edge.parent, edge.child);
+  }
+  return set;
+}
+
+}  // namespace microprov

@@ -1,0 +1,36 @@
+#ifndef MICROPROV_CORE_EDGE_LOG_H_
+#define MICROPROV_CORE_EDGE_LOG_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/connection.h"
+
+namespace microprov {
+
+/// Cumulative record of every provenance connection an engine emitted, in
+/// emission order. The Fig. 8/9 experiments compare the edge sets E0 (full
+/// index), E1, E2 at checkpoints; logging at emission time means an edge
+/// survives here even after its bundle is later evicted from memory.
+class EdgeLog {
+ public:
+  void Record(const Edge& edge) { edges_.push_back(edge); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  size_t size() const { return edges_.size(); }
+
+  /// Set of (parent, child) pairs for set-intersection metrics.
+  using KeySet =
+      std::unordered_set<std::pair<MessageId, MessageId>, PairHash>;
+  KeySet ToKeySet() const;
+
+ private:
+  std::vector<Edge> edges_;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_CORE_EDGE_LOG_H_

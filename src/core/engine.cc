@@ -1,0 +1,127 @@
+#include "core/engine.h"
+
+#include "core/allocator.h"
+
+namespace microprov {
+
+std::string_view IndexConfigToString(IndexConfig config) {
+  switch (config) {
+    case IndexConfig::kFullIndex:
+      return "Full Index";
+    case IndexConfig::kPartialIndex:
+      return "Partial Index";
+    case IndexConfig::kBundleLimit:
+      return "Bundle Limit";
+  }
+  return "?";
+}
+
+EngineOptions EngineOptions::ForConfig(IndexConfig config,
+                                       size_t pool_limit,
+                                       size_t bundle_cap) {
+  EngineOptions options;
+  options.config = config;
+  switch (config) {
+    case IndexConfig::kFullIndex:
+      options.pool.max_pool_size = 0;   // never refine
+      options.pool.max_bundle_size = 0; // never cap
+      break;
+    case IndexConfig::kPartialIndex:
+      options.pool.max_pool_size = pool_limit;
+      options.pool.max_bundle_size = 0;
+      break;
+    case IndexConfig::kBundleLimit:
+      options.pool.max_pool_size = pool_limit;
+      options.pool.max_bundle_size = bundle_cap;
+      break;
+  }
+  return options;
+}
+
+ProvenanceEngine::ProvenanceEngine(const EngineOptions& options,
+                                   const Clock* clock,
+                                   BundleArchive* archive)
+    : options_(options),
+      clock_(clock),
+      archive_(archive),
+      pool_(options.pool) {
+  if (archive_ != nullptr) {
+    pool_.ReserveIdsThrough(archive_->MaxBundleId());
+  }
+}
+
+Status ProvenanceEngine::Ingest(const Message& msg, IngestResult* result) {
+  const Timestamp now = clock_->Now();
+  IngestResult local;
+  Bundle* bundle = nullptr;
+
+  {
+    // Stage 1: bundle match (Alg. 1 steps 1-2).
+    ScopedStageTimer timer(&timers_.bundle_match_nanos);
+    std::optional<MatchResult> match =
+        FindBestBundle(msg, index_, pool_, now, options_.matcher);
+    if (match) {
+      bundle = pool_.Get(match->bundle);
+      local.bundle = match->bundle;
+      local.match_score = match->score;
+    }
+  }
+
+  {
+    // Stage 2: message placement (Alg. 2), or bundle creation.
+    ScopedStageTimer timer(&timers_.message_placement_nanos);
+    if (bundle == nullptr) {
+      bundle = pool_.Create();
+      local.bundle = bundle->id();
+      local.created_bundle = true;
+      bundle->AddMessage(msg, kInvalidMessageId, ConnectionType::kText,
+                         0.0f);
+    } else {
+      Placement placement =
+          AllocateMessage(*bundle, msg, options_.matcher.weights,
+                          options_.allocate_scan_window);
+      local.parent = placement.parent;
+      local.connection = placement.type;
+      bundle->AddMessage(msg, placement.parent, placement.type,
+                         static_cast<float>(placement.score));
+      if (options_.record_edges) {
+        edge_log_.Record(Edge{placement.parent, msg.id, placement.type,
+                              static_cast<float>(placement.score)});
+      }
+    }
+    pool_.NoteMessageAdded();
+
+    // Alg. 1 step 3: update the summary index with the new message.
+    index_.AddMessage(bundle->id(), msg,
+                      Bundle::kSummaryKeywordsPerMessage);
+
+    // Bundle-size constraint (Section V-B): cap reached -> closed.
+    const size_t cap = pool_.options().max_bundle_size;
+    if (cap > 0 && bundle->size() >= cap && !bundle->closed()) {
+      bundle->Close();
+      pool_.RecordClosed();
+    }
+  }
+
+  {
+    // Stage 3: memory refinement (Alg. 3) when the pool outgrows M.
+    ScopedStageTimer timer(&timers_.memory_refinement_nanos);
+    if (pool_.NeedsRefinement()) {
+      MICROPROV_RETURN_IF_ERROR(pool_.Refine(now, &index_, archive_));
+    }
+  }
+
+  ++ingested_;
+  if (result != nullptr) *result = local;
+  return Status::OK();
+}
+
+Status ProvenanceEngine::Drain() {
+  return pool_.Drain(&index_, archive_);
+}
+
+size_t ProvenanceEngine::ApproxMemoryUsage() const {
+  return pool_.ApproxMemoryUsage() + index_.ApproxMemoryUsage();
+}
+
+}  // namespace microprov

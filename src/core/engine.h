@@ -1,0 +1,103 @@
+#ifndef MICROPROV_CORE_ENGINE_H_
+#define MICROPROV_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/edge_log.h"
+#include "core/matcher.h"
+#include "core/pool.h"
+#include "core/stats.h"
+#include "core/summary_index.h"
+
+namespace microprov {
+
+/// The paper's three experimental configurations (Section VI-A).
+enum class IndexConfig {
+  /// No pool limit, no bundle-size cap: the ground-truth baseline.
+  kFullIndex,
+  /// Pool refinement (Alg. 3) without the bundle-size constraint.
+  kPartialIndex,
+  /// Pool refinement plus the bundle-size constraint ("Bundle Limit").
+  kBundleLimit,
+};
+
+std::string_view IndexConfigToString(IndexConfig config);
+
+struct EngineOptions {
+  IndexConfig config = IndexConfig::kPartialIndex;
+  MatcherOptions matcher;
+  PoolOptions pool;
+  /// Record every connection into the edge log (evaluation harness).
+  bool record_edges = true;
+  /// Alg. 2 scan window: most-recent members considered for the Eq. 5
+  /// similarity argmax (0 = unbounded, exact but O(|B|) per insert).
+  size_t allocate_scan_window = 256;
+
+  /// Canonical knobs per configuration; `pool_limit`/`bundle_cap`
+  /// override the defaults (10k / 300, mirroring the paper's setup).
+  static EngineOptions ForConfig(IndexConfig config,
+                                 size_t pool_limit = 10000,
+                                 size_t bundle_cap = 300);
+};
+
+/// Result of ingesting one message.
+struct IngestResult {
+  BundleId bundle = kInvalidBundleId;
+  bool created_bundle = false;
+  MessageId parent = kInvalidMessageId;
+  ConnectionType connection = ConnectionType::kText;
+  double match_score = 0.0;
+};
+
+/// The provenance-based indexing engine (Fig. 4): an in-memory summary
+/// index + bundle pool fed by the message stream, with an optional on-disk
+/// archive for bundles leaving memory. Acts as "an additional engine
+/// besides the common micro-blog message retrieval counterpart" — it never
+/// blocks on the text-search index.
+///
+/// Single-writer: Ingest is not thread-safe (matches the paper's design;
+/// the stream is totally ordered by date).
+class ProvenanceEngine {
+ public:
+  /// `clock` provides "now" for freshness and aging decisions and must
+  /// outlive the engine. `archive` may be nullptr (no disk back-end).
+  ProvenanceEngine(const EngineOptions& options, const Clock* clock,
+                   BundleArchive* archive);
+
+  ProvenanceEngine(const ProvenanceEngine&) = delete;
+  ProvenanceEngine& operator=(const ProvenanceEngine&) = delete;
+
+  /// Alg. 1 end-to-end: match -> allocate (Alg. 2) -> index update ->
+  /// maybe refine (Alg. 3).
+  Status Ingest(const Message& msg, IngestResult* result = nullptr);
+
+  /// Flushes every live bundle to the archive (end-of-stream).
+  Status Drain();
+
+  const BundlePool& pool() const { return pool_; }
+  const SummaryIndex& summary_index() const { return index_; }
+  const EdgeLog& edge_log() const { return edge_log_; }
+  const StageTimers& timers() const { return timers_; }
+  const EngineOptions& options() const { return options_; }
+  uint64_t messages_ingested() const { return ingested_; }
+
+  /// In-memory footprint: pool + summary index (Fig. 11(a)).
+  size_t ApproxMemoryUsage() const;
+
+ private:
+  EngineOptions options_;
+  const Clock* clock_;
+  BundleArchive* archive_;
+  SummaryIndex index_;
+  BundlePool pool_;
+  EdgeLog edge_log_;
+  StageTimers timers_;
+  uint64_t ingested_ = 0;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_CORE_ENGINE_H_

@@ -1,0 +1,24 @@
+#include "core/indicant.h"
+
+namespace microprov {
+
+void ForEachIndicant(
+    const Message& msg, size_t max_keywords,
+    const std::function<void(IndicantType, std::string_view)>& fn) {
+  for (const std::string& tag : msg.hashtags) {
+    fn(IndicantType::kHashtag, tag);
+  }
+  for (const std::string& url : msg.urls) {
+    fn(IndicantType::kUrl, url);
+  }
+  size_t kw = 0;
+  for (const std::string& keyword : msg.keywords) {
+    if (kw++ >= max_keywords) break;
+    fn(IndicantType::kKeyword, keyword);
+  }
+  if (!msg.user.empty()) {
+    fn(IndicantType::kUser, msg.user);
+  }
+}
+
+}  // namespace microprov

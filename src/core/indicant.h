@@ -1,0 +1,51 @@
+#ifndef MICROPROV_CORE_INDICANT_H_
+#define MICROPROV_CORE_INDICANT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "stream/message.h"
+
+namespace microprov {
+
+/// Connection indicants the summary index keys on (Section IV-B): the
+/// annotated fields of a message that suggest which bundle it belongs to.
+/// kUser indexes message authorship, which is how "tj re-shares a message
+/// by user u" resolves to candidate bundles containing u's messages.
+enum class IndicantType : uint8_t {
+  kHashtag = 0,
+  kUrl = 1,
+  kKeyword = 2,
+  kUser = 3,
+};
+
+inline constexpr int kNumIndicantTypes = 4;
+
+std::string_view IndicantTypeToString(IndicantType type);
+
+/// Invokes `fn(type, value)` for every indicant of `msg`, visiting at most
+/// `max_keywords` keyword indicants (keyword lists can be long; the index
+/// keys on the first few, which arrive in text order and carry the most
+/// signal).
+void ForEachIndicant(
+    const Message& msg, size_t max_keywords,
+    const std::function<void(IndicantType, std::string_view)>& fn);
+
+inline std::string_view IndicantTypeToString(IndicantType type) {
+  switch (type) {
+    case IndicantType::kHashtag:
+      return "hashtag";
+    case IndicantType::kUrl:
+      return "url";
+    case IndicantType::kKeyword:
+      return "keyword";
+    case IndicantType::kUser:
+      return "user";
+  }
+  return "?";
+}
+
+}  // namespace microprov
+
+#endif  // MICROPROV_CORE_INDICANT_H_

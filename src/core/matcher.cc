@@ -1,0 +1,51 @@
+#include "core/matcher.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace microprov {
+
+std::optional<MatchResult> FindBestBundle(const Message& msg,
+                                          const SummaryIndex& index,
+                                          const BundlePool& pool,
+                                          Timestamp now,
+                                          const MatcherOptions& options) {
+  std::unordered_map<BundleId, CandidateHits> candidates =
+      index.Candidates(msg, Bundle::kSummaryKeywordsPerMessage,
+                       options.max_posting_fanout);
+  if (candidates.empty()) return std::nullopt;
+
+  // Optionally bound scoring work to the strongest raw overlaps.
+  std::vector<std::pair<BundleId, CandidateHits>> ordered(
+      candidates.begin(), candidates.end());
+  if (options.max_candidates > 0 &&
+      ordered.size() > options.max_candidates) {
+    std::partial_sort(
+        ordered.begin(), ordered.begin() + options.max_candidates,
+        ordered.end(), [](const auto& a, const auto& b) {
+          if (a.second.total() != b.second.total()) {
+            return a.second.total() > b.second.total();
+          }
+          return a.first < b.first;
+        });
+    ordered.resize(options.max_candidates);
+  }
+
+  std::optional<MatchResult> best;
+  for (const auto& [bundle_id, hits] : ordered) {
+    const Bundle* bundle = pool.Get(bundle_id);
+    if (bundle == nullptr || bundle->closed()) continue;
+    const size_t cap = pool.options().max_bundle_size;
+    if (cap > 0 && bundle->size() >= cap) continue;
+    double score =
+        BundleMatchScore(msg, *bundle, hits, now, options.weights);
+    if (!best || score > best->score ||
+        (score == best->score && bundle_id < best->bundle)) {
+      best = MatchResult{bundle_id, score};
+    }
+  }
+  if (!best || best->score < options.match_threshold) return std::nullopt;
+  return best;
+}
+
+}  // namespace microprov

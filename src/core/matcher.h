@@ -1,0 +1,46 @@
+#ifndef MICROPROV_CORE_MATCHER_H_
+#define MICROPROV_CORE_MATCHER_H_
+
+#include <optional>
+
+#include "common/clock.h"
+#include "core/pool.h"
+#include "core/scoring.h"
+#include "core/summary_index.h"
+
+namespace microprov {
+
+/// Alg. 1's `select_max_score`: picks the best live bundle for a message.
+struct MatcherOptions {
+  ScoringWeights weights;
+  /// Minimum Eq. 1 score to join an existing bundle; below it (or with no
+  /// candidates at all) a new bundle is created. Calibrated so that a
+  /// shared hashtag, URL, or RT signal (plus freshness) joins, while a
+  /// couple of shared commonplace keywords alone does not — otherwise
+  /// early bundles snowball into stream-sized groups.
+  double match_threshold = 1.0;
+  /// Evaluate at most this many candidates, strongest raw overlap first
+  /// (0 = all). Bounds per-message work under adversarial indicant reuse.
+  size_t max_candidates = 64;
+  /// Skip indicant values whose summary-index posting list exceeds this
+  /// many bundles (0 = no cap); see SummaryIndex::Candidates.
+  size_t max_posting_fanout = 512;
+};
+
+struct MatchResult {
+  BundleId bundle = kInvalidBundleId;
+  double score = 0.0;
+};
+
+/// Steps 1-2 of Alg. 1: fetch candidates via the summary index, score each
+/// with Eq. 1, and return the argmax if it clears the threshold. Closed and
+/// size-capped bundles are skipped (they accept no messages).
+std::optional<MatchResult> FindBestBundle(const Message& msg,
+                                          const SummaryIndex& index,
+                                          const BundlePool& pool,
+                                          Timestamp now,
+                                          const MatcherOptions& options);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_CORE_MATCHER_H_

@@ -1,0 +1,114 @@
+#include "core/pool.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/memory_usage.h"
+#include "core/scoring.h"
+
+namespace microprov {
+
+Bundle* BundlePool::Create() {
+  BundleId id = next_id_++;
+  auto [it, inserted] =
+      bundles_.emplace(id, std::make_unique<Bundle>(id));
+  ++stats_.bundles_created;
+  return it->second.get();
+}
+
+Bundle* BundlePool::Get(BundleId id) {
+  auto it = bundles_.find(id);
+  return it == bundles_.end() ? nullptr : it->second.get();
+}
+
+const Bundle* BundlePool::Get(BundleId id) const {
+  auto it = bundles_.find(id);
+  return it == bundles_.end() ? nullptr : it->second.get();
+}
+
+Status BundlePool::Discard(Bundle* bundle, SummaryIndex* index,
+                           BundleArchive* archive, bool archive_it) {
+  if (index != nullptr) index->RemoveBundle(*bundle);
+  if (archive_it && archive != nullptr) {
+    MICROPROV_RETURN_IF_ERROR(archive->Put(*bundle));
+  }
+  total_messages_ -= bundle->size();
+  bundles_.erase(bundle->id());
+  return Status::OK();
+}
+
+Status BundlePool::Refine(Timestamp now, SummaryIndex* index,
+                          BundleArchive* archive) {
+  ++stats_.refinement_runs;
+
+  // Stage 1 (Alg. 3 lines 1-13): aging tiny bundles die, aging closed
+  // bundles are dumped to disk, everything else is scored by G.
+  std::vector<std::pair<double, BundleId>> waiting;
+  std::vector<Bundle*> delete_tiny;
+  std::vector<Bundle*> dump_closed;
+  waiting.reserve(bundles_.size());
+  for (auto& [id, bundle] : bundles_) {
+    const bool aging = now - bundle->last_update() > options_.aging_secs;
+    if (aging && bundle->size() < options_.tiny_size) {
+      delete_tiny.push_back(bundle.get());
+    } else if (aging && bundle->closed()) {
+      dump_closed.push_back(bundle.get());
+    } else {
+      waiting.emplace_back(GScore(*bundle, now), id);
+    }
+  }
+  for (Bundle* bundle : delete_tiny) {
+    MICROPROV_RETURN_IF_ERROR(
+        Discard(bundle, index, archive, /*archive_it=*/false));
+    ++stats_.bundles_deleted_tiny;
+  }
+  for (Bundle* bundle : dump_closed) {
+    MICROPROV_RETURN_IF_ERROR(
+        Discard(bundle, index, archive, /*archive_it=*/true));
+    ++stats_.bundles_dumped_closed;
+  }
+
+  // Stage 2 (lines 14-20): evict by descending G until the pool reaches
+  // its target size.
+  const size_t target = static_cast<size_t>(
+      static_cast<double>(options_.max_pool_size) *
+      options_.target_fraction);
+  if (bundles_.size() <= target) return Status::OK();
+
+  std::sort(waiting.begin(), waiting.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;  // deterministic ties
+            });
+  for (const auto& [g, id] : waiting) {
+    if (bundles_.size() <= target) break;
+    Bundle* bundle = Get(id);
+    if (bundle == nullptr) continue;
+    const bool archive_it =
+        options_.archive_evicted && bundle->size() >= options_.tiny_size;
+    MICROPROV_RETURN_IF_ERROR(Discard(bundle, index, archive, archive_it));
+    ++stats_.bundles_evicted_ranked;
+  }
+  return Status::OK();
+}
+
+Status BundlePool::Drain(SummaryIndex* index, BundleArchive* archive) {
+  std::vector<Bundle*> all;
+  all.reserve(bundles_.size());
+  for (auto& [id, bundle] : bundles_) all.push_back(bundle.get());
+  for (Bundle* bundle : all) {
+    MICROPROV_RETURN_IF_ERROR(
+        Discard(bundle, index, archive, /*archive_it=*/true));
+  }
+  return Status::OK();
+}
+
+size_t BundlePool::ApproxMemoryUsage() const {
+  size_t total = sizeof(BundlePool) + ApproxMapOverhead(bundles_);
+  for (const auto& [id, bundle] : bundles_) {
+    total += bundle->ApproxMemoryUsage();
+  }
+  return total;
+}
+
+}  // namespace microprov

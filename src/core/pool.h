@@ -1,0 +1,126 @@
+#ifndef MICROPROV_CORE_POOL_H_
+#define MICROPROV_CORE_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/bundle.h"
+#include "core/summary_index.h"
+
+namespace microprov {
+
+/// Destination for bundles leaving memory (the paper's on-disk storage
+/// back-end). Implemented by storage::BundleStore; tests may use a mock.
+class BundleArchive {
+ public:
+  virtual ~BundleArchive() = default;
+  virtual Status Put(const Bundle& bundle) = 0;
+  /// Largest bundle id the archive has seen (0 when empty). A restarted
+  /// engine resumes id allocation above this so archived and live ids
+  /// never collide.
+  virtual BundleId MaxBundleId() const { return 0; }
+};
+
+/// Knobs for Alg. 3's refinement process and the bundle-size constraint.
+struct PoolOptions {
+  /// "Limitation of Bundle Pool Size M": refinement triggers when the
+  /// in-memory bundle count exceeds this. 0 disables refinement entirely
+  /// (the Full Index baseline).
+  size_t max_pool_size = 10000;
+  /// After a refinement pass the pool is reduced to this fraction of
+  /// max_pool_size, so scans don't re-trigger on every insertion.
+  double target_fraction = 0.8;
+  /// "Bundle Refine Time T": bundles idle longer than this are aging.
+  Timestamp aging_secs = 24 * kSecondsPerHour;
+  /// "Bundle Refining Size R": aging bundles smaller than this are deleted
+  /// outright (aging tiny ones).
+  size_t tiny_size = 3;
+  /// Bundle-size constraint: bundles reaching this size are closed to new
+  /// messages and flushed on the next scan. 0 disables the cap (Full and
+  /// Partial Index configurations).
+  size_t max_bundle_size = 0;
+  /// Evicted (non-tiny) bundles are dumped to the archive when one is
+  /// attached; tiny ones are always dropped.
+  bool archive_evicted = true;
+};
+
+/// Counters reported by the figure harnesses.
+struct PoolStats {
+  uint64_t bundles_created = 0;
+  uint64_t bundles_deleted_tiny = 0;
+  uint64_t bundles_dumped_closed = 0;
+  uint64_t bundles_evicted_ranked = 0;
+  uint64_t refinement_runs = 0;
+  uint64_t bundles_closed = 0;
+};
+
+/// In-memory bundle pool plus Alg. 3's refinement process. Owns the live
+/// bundles; the summary index and archive are collaborators passed to
+/// Refine so eviction keeps them consistent.
+class BundlePool {
+ public:
+  explicit BundlePool(const PoolOptions& options) : options_(options) {}
+  BundlePool(const BundlePool&) = delete;
+  BundlePool& operator=(const BundlePool&) = delete;
+
+  /// Creates a fresh empty bundle and returns it (owned by the pool).
+  Bundle* Create();
+
+  /// Raises the id allocator so future bundles get ids > `floor`
+  /// (restart recovery). No effect if ids are already past it.
+  void ReserveIdsThrough(BundleId floor) {
+    if (floor >= next_id_) next_id_ = floor + 1;
+  }
+
+  /// Live bundle by id, or nullptr.
+  Bundle* Get(BundleId id);
+  const Bundle* Get(BundleId id) const;
+
+  size_t size() const { return bundles_.size(); }
+  const std::unordered_map<BundleId, std::unique_ptr<Bundle>>& bundles()
+      const {
+    return bundles_;
+  }
+
+  /// True when an insertion should be followed by a refinement pass.
+  bool NeedsRefinement() const {
+    return options_.max_pool_size > 0 &&
+           bundles_.size() > options_.max_pool_size;
+  }
+
+  /// Alg. 3. Deletes aging tiny bundles, dumps aging closed bundles to
+  /// `archive`, then evicts by descending G-score until the pool is at
+  /// target size. Removes evicted bundles from `index`.
+  Status Refine(Timestamp now, SummaryIndex* index, BundleArchive* archive);
+
+  /// Removes every bundle from memory (dumping to `archive` if present);
+  /// used at shutdown so the store holds the complete provenance record.
+  Status Drain(SummaryIndex* index, BundleArchive* archive);
+
+  const PoolOptions& options() const { return options_; }
+  const PoolStats& stats() const { return stats_; }
+  void RecordClosed() { ++stats_.bundles_closed; }
+
+  /// Total messages held in memory (Fig. 11(b)).
+  uint64_t TotalMessages() const { return total_messages_; }
+  void NoteMessageAdded() { ++total_messages_; }
+
+  size_t ApproxMemoryUsage() const;
+
+ private:
+  Status Discard(Bundle* bundle, SummaryIndex* index,
+                 BundleArchive* archive, bool archive_it);
+
+  PoolOptions options_;
+  std::unordered_map<BundleId, std::unique_ptr<Bundle>> bundles_;
+  BundleId next_id_ = 1;
+  PoolStats stats_;
+  uint64_t total_messages_ = 0;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_CORE_POOL_H_

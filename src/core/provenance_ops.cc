@@ -1,0 +1,173 @@
+#include "core/provenance_ops.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace microprov {
+
+namespace {
+
+// parent -> children ids, one pass over the bundle.
+std::unordered_map<MessageId, std::vector<MessageId>> ChildrenOf(
+    const Bundle& bundle) {
+  std::unordered_map<MessageId, std::vector<MessageId>> children;
+  for (const BundleMessage& bm : bundle.messages()) {
+    if (bm.parent != kInvalidMessageId) {
+      children[bm.parent].push_back(bm.msg.id);
+    }
+  }
+  return children;
+}
+
+}  // namespace
+
+std::vector<MessageId> PathToRoot(const Bundle& bundle, MessageId id) {
+  std::vector<MessageId> path;
+  std::unordered_set<MessageId> seen;
+  const BundleMessage* current = bundle.Find(id);
+  while (current != nullptr) {
+    if (!seen.insert(current->msg.id).second) break;  // cycle guard
+    path.push_back(current->msg.id);
+    if (current->parent == kInvalidMessageId) break;
+    current = bundle.Find(current->parent);
+  }
+  return path;
+}
+
+std::vector<MessageId> Ancestors(const Bundle& bundle, MessageId id) {
+  std::vector<MessageId> path = PathToRoot(bundle, id);
+  if (!path.empty()) path.erase(path.begin());
+  return path;
+}
+
+std::vector<MessageId> Descendants(const Bundle& bundle, MessageId id) {
+  std::vector<MessageId> out;
+  if (bundle.Find(id) == nullptr) return out;
+  auto children = ChildrenOf(bundle);
+  std::deque<MessageId> queue = {id};
+  std::unordered_set<MessageId> seen = {id};
+  while (!queue.empty()) {
+    MessageId node = queue.front();
+    queue.pop_front();
+    auto it = children.find(node);
+    if (it == children.end()) continue;
+    for (MessageId child : it->second) {
+      if (!seen.insert(child).second) continue;
+      out.push_back(child);
+      queue.push_back(child);
+    }
+  }
+  return out;
+}
+
+size_t SubtreeSize(const Bundle& bundle, MessageId id) {
+  if (bundle.Find(id) == nullptr) return 0;
+  return 1 + Descendants(bundle, id).size();
+}
+
+int Depth(const Bundle& bundle, MessageId id) {
+  std::vector<MessageId> path = PathToRoot(bundle, id);
+  if (path.empty()) return -1;
+  return static_cast<int>(path.size()) - 1;
+}
+
+CascadeStats ComputeCascadeStats(const Bundle& bundle) {
+  CascadeStats stats;
+  stats.messages = bundle.size();
+  if (bundle.empty()) return stats;
+
+  auto children = ChildrenOf(bundle);
+  std::unordered_set<std::string> users;
+  size_t depth_total = 0;
+  size_t non_leaves = 0;
+  size_t child_total = 0;
+
+  // Depth via memoized walk.
+  std::unordered_map<MessageId, size_t> depth_of;
+  for (const BundleMessage& bm : bundle.messages()) {
+    users.insert(bm.msg.user);
+    if (bm.parent == kInvalidMessageId) {
+      ++stats.roots;
+    } else {
+      switch (bm.conn_type) {
+        case ConnectionType::kRt:
+          ++stats.rt_edges;
+          break;
+        case ConnectionType::kUrl:
+          ++stats.url_edges;
+          break;
+        case ConnectionType::kHashtag:
+          ++stats.hashtag_edges;
+          break;
+        case ConnectionType::kText:
+          ++stats.text_edges;
+          break;
+      }
+    }
+    // Messages arrive parent-before-child, so one forward pass works;
+    // fall back to the path walk if the parent is somehow unseen.
+    size_t depth = 0;
+    if (bm.parent != kInvalidMessageId) {
+      auto it = depth_of.find(bm.parent);
+      depth = it != depth_of.end()
+                  ? it->second + 1
+                  : static_cast<size_t>(
+                        std::max(0, Depth(bundle, bm.msg.id)));
+    }
+    depth_of[bm.msg.id] = depth;
+    depth_total += depth;
+    stats.max_depth = std::max(stats.max_depth, depth);
+
+    auto cit = children.find(bm.msg.id);
+    if (cit == children.end()) {
+      ++stats.leaves;
+    } else {
+      ++non_leaves;
+      child_total += cit->second.size();
+    }
+  }
+  stats.avg_depth =
+      static_cast<double>(depth_total) / static_cast<double>(stats.messages);
+  stats.avg_branching =
+      non_leaves == 0 ? 0.0
+                      : static_cast<double>(child_total) /
+                            static_cast<double>(non_leaves);
+  stats.distinct_users = users.size();
+  return stats;
+}
+
+std::vector<MessageId> LongestChain(const Bundle& bundle) {
+  std::vector<MessageId> best;
+  for (const BundleMessage& bm : bundle.messages()) {
+    std::vector<MessageId> path = PathToRoot(bundle, bm.msg.id);
+    if (path.size() > best.size()) best = std::move(path);
+  }
+  std::reverse(best.begin(), best.end());  // root-first
+  return best;
+}
+
+std::vector<std::pair<MessageId, size_t>> TopInfluencers(
+    const Bundle& bundle, size_t k) {
+  // Count strict descendants by accumulating subtree sizes bottom-up:
+  // walk each message's path to the root, crediting every ancestor.
+  std::unordered_map<MessageId, size_t> influence;
+  for (const BundleMessage& bm : bundle.messages()) {
+    for (MessageId ancestor : Ancestors(bundle, bm.msg.id)) {
+      ++influence[ancestor];
+    }
+  }
+  std::vector<std::pair<MessageId, size_t>> ranked(influence.begin(),
+                                                   influence.end());
+  size_t take = std::min(k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + take, ranked.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  ranked.resize(take);
+  return ranked;
+}
+
+}  // namespace microprov

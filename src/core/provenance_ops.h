@@ -1,0 +1,67 @@
+#ifndef MICROPROV_CORE_PROVENANCE_OPS_H_
+#define MICROPROV_CORE_PROVENANCE_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bundle.h"
+
+namespace microprov {
+
+// Provenance operators over bundle trees — the paper's closing future
+// work ("the provenance operators built on these provenance bundle and
+// indexing structure could be investigated"). These are the
+// transformation-provenance analogues of classic lineage queries:
+// where did a message come from (ancestors), what did it influence
+// (descendants), and how did the cascade unfold (stats).
+
+/// Chain from `id` up to its bundle root, inclusive of both ends:
+/// {id, parent(id), ..., root}. Empty if `id` is not in the bundle.
+/// Cycle-safe: malformed parent links terminate the walk.
+std::vector<MessageId> PathToRoot(const Bundle& bundle, MessageId id);
+
+/// Strict ancestors of `id` (PathToRoot minus the message itself).
+std::vector<MessageId> Ancestors(const Bundle& bundle, MessageId id);
+
+/// All messages whose provenance chain passes through `id` (strict
+/// descendants, BFS order: nearest first).
+std::vector<MessageId> Descendants(const Bundle& bundle, MessageId id);
+
+/// Number of nodes in `id`'s subtree, including itself. 0 if absent.
+size_t SubtreeSize(const Bundle& bundle, MessageId id);
+
+/// Edge-distance from the root (root = 0). -1 if `id` is not present.
+int Depth(const Bundle& bundle, MessageId id);
+
+/// Aggregate cascade statistics for a bundle (development-trail shape).
+struct CascadeStats {
+  size_t messages = 0;
+  size_t roots = 0;       // messages without an in-bundle parent
+  size_t leaves = 0;      // messages nothing derives from
+  size_t max_depth = 0;   // longest chain (edges)
+  double avg_depth = 0;   // mean depth over all messages
+  /// Mean children per non-leaf message.
+  double avg_branching = 0;
+  // Edge counts by connection type (Table II).
+  size_t rt_edges = 0;
+  size_t url_edges = 0;
+  size_t hashtag_edges = 0;
+  size_t text_edges = 0;
+  /// Distinct authors participating.
+  size_t distinct_users = 0;
+};
+
+CascadeStats ComputeCascadeStats(const Bundle& bundle);
+
+/// The single deepest derivation chain (root-first). For the paper's
+/// storyline exploration: the longest development trail in the bundle.
+std::vector<MessageId> LongestChain(const Bundle& bundle);
+
+/// Messages ranked by how many strict descendants they have — "the most
+/// influential" posts of the bundle (information-cascade origins).
+std::vector<std::pair<MessageId, size_t>> TopInfluencers(
+    const Bundle& bundle, size_t k);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_CORE_PROVENANCE_OPS_H_

@@ -1,0 +1,93 @@
+#include "core/quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "core/provenance_ops.h"
+
+namespace microprov {
+
+namespace {
+
+// Smoothly maps a non-negative count onto [0, 1): 0 -> 0, scale -> 0.5.
+double Saturate(double value, double scale) {
+  if (value <= 0) return 0.0;
+  return value / (value + scale);
+}
+
+}  // namespace
+
+double MessageCredibility(const Bundle& bundle, MessageId id) {
+  const BundleMessage* bm = bundle.Find(id);
+  if (bm == nullptr) return 0.0;
+
+  std::vector<MessageId> descendants = Descendants(bundle, id);
+  if (descendants.empty()) {
+    // No feedback at all; tiny residual credit for carrying indicants.
+    return bm->msg.urls.empty() && bm->msg.hashtags.empty() ? 0.0 : 0.05;
+  }
+  size_t reshares = 0;
+  std::unordered_set<std::string> resharers;
+  for (MessageId did : descendants) {
+    const BundleMessage* child = bundle.Find(did);
+    if (child == nullptr) continue;
+    if (child->conn_type == ConnectionType::kRt) ++reshares;
+    resharers.insert(child->msg.user);
+  }
+  // Feedback volume, audience diversity, and whether the re-sharers are
+  // distinct people (a single account re-sharing itself is spam-shaped).
+  double volume = Saturate(static_cast<double>(descendants.size()), 5.0);
+  double rt_share = descendants.empty()
+                        ? 0.0
+                        : static_cast<double>(reshares) /
+                              static_cast<double>(descendants.size());
+  double diversity =
+      Saturate(static_cast<double>(resharers.size()), 3.0);
+  return std::min(1.0, 0.5 * volume + 0.2 * rt_share + 0.3 * diversity);
+}
+
+double BundleQuality(const Bundle& bundle, const QualityWeights& weights) {
+  if (bundle.empty()) return 0.0;
+  CascadeStats stats = ComputeCascadeStats(bundle);
+
+  const double audience =
+      Saturate(static_cast<double>(stats.distinct_users), 8.0);
+
+  const size_t feedback_edges = stats.rt_edges;
+  const double feedback = Saturate(static_cast<double>(feedback_edges), 5.0);
+
+  // Substance: average distinct keywords per message, saturating at ~4
+  // ("ugh" scores 0-1 keyword; a written-out report scores 5+).
+  double keyword_total = 0;
+  for (const BundleMessage& bm : bundle.messages()) {
+    keyword_total += static_cast<double>(bm.msg.keywords.size());
+  }
+  const double substance =
+      Saturate(keyword_total / static_cast<double>(bundle.size()), 3.0);
+
+  const double development =
+      Saturate(static_cast<double>(stats.max_depth), 3.0);
+
+  const double total_weight = weights.audience + weights.feedback +
+                              weights.substance + weights.development;
+  if (total_weight <= 0) return 0.0;
+  return (weights.audience * audience + weights.feedback * feedback +
+          weights.substance * substance +
+          weights.development * development) /
+         total_weight;
+}
+
+bool IsLikelyNoise(const Bundle& bundle, MessageId id) {
+  const BundleMessage* bm = bundle.Find(id);
+  if (bm == nullptr) return true;
+  // Feedback rescues anything.
+  if (!Descendants(bundle, id).empty()) return false;
+  // Substantial text stands on its own.
+  if (bm->msg.keywords.size() >= 3) return false;
+  // A URL is a pointer to content, not noise.
+  if (!bm->msg.urls.empty()) return false;
+  return true;
+}
+
+}  // namespace microprov

@@ -1,0 +1,44 @@
+#ifndef MICROPROV_CORE_QUALITY_H_
+#define MICROPROV_CORE_QUALITY_H_
+
+#include "core/bundle.h"
+
+namespace microprov {
+
+// Provenance-based quality assessment — the paper's third motivating
+// benefit ("Quality Identification: ... Through the sources, developments
+// and user feedbacks collected from provenance discovery, users can
+// better distinguish the credibility of information") and its closing
+// future work ("social provenance tools to enable collaborative data
+// quality assessments"). Scores are heuristic, in [0, 1], and derived
+// purely from provenance structure — no content model required.
+
+struct QualityWeights {
+  /// Share of the score carried by audience breadth (distinct users).
+  double audience = 0.3;
+  /// Share carried by feedback volume (re-shares + comments).
+  double feedback = 0.3;
+  /// Share carried by content substance (keyword density).
+  double substance = 0.2;
+  /// Share carried by development depth (multi-step trails indicate a
+  /// topic that sustained attention rather than a one-off blip).
+  double development = 0.2;
+};
+
+/// Per-message credibility inside a bundle: how much collective feedback
+/// (re-shares, derived messages, distinct re-sharers) backs it. A root
+/// that spawned a deep, multi-author cascade scores near 1; an isolated
+/// leaf scores near 0.
+double MessageCredibility(const Bundle& bundle, MessageId id);
+
+/// Bundle-level quality score in [0, 1].
+double BundleQuality(const Bundle& bundle,
+                     const QualityWeights& weights = {});
+
+/// Classification the paper's Fig. 1 motivates: short, feedback-free
+/// messages in tiny bundles are noise ("ugh #redsox").
+bool IsLikelyNoise(const Bundle& bundle, MessageId id);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_CORE_QUALITY_H_

@@ -1,0 +1,107 @@
+#include "core/scoring.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace microprov {
+
+namespace {
+
+/// Count of values in `needles` present in `haystack`.
+size_t SharedCount(const std::vector<std::string>& needles,
+                   const std::vector<std::string>& haystack) {
+  size_t shared = 0;
+  for (const std::string& n : needles) {
+    for (const std::string& h : haystack) {
+      if (n == h) {
+        ++shared;
+        break;
+      }
+    }
+  }
+  return shared;
+}
+
+}  // namespace
+
+double BundleMatchScore(const Message& msg, const Bundle& bundle,
+                        const CandidateHits& hits, Timestamp now,
+                        const ScoringWeights& weights) {
+  double score = weights.alpha_url * hits.url_hits +
+                 weights.beta_hashtag * hits.hashtag_hits +
+                 weights.keyword_weight * hits.keyword_hits;
+  // Freshness: under similar overlap a fresh bundle wins (Section IV-C).
+  const double age =
+      static_cast<double>(std::max<Timestamp>(0, now - bundle.last_update()));
+  score += weights.gamma_time / (age / weights.time_scale_secs + 1.0);
+  // RT: the re-shared author having messages in this bundle is near-proof.
+  if (msg.is_retweet && hits.user_hits > 0) {
+    score += weights.rt_bonus;
+  }
+  // Bundle-size factor: damp the attractor effect of very large bundles.
+  score -= weights.size_penalty *
+           std::log2(1.0 + static_cast<double>(bundle.size()));
+  return score;
+}
+
+double UrlSimilarity(const Message& new_msg, const Message& old_msg) {
+  if (new_msg.urls.empty()) return 0.0;
+  return static_cast<double>(SharedCount(new_msg.urls, old_msg.urls)) /
+         static_cast<double>(new_msg.urls.size());
+}
+
+double HashtagSimilarity(const Message& new_msg, const Message& old_msg) {
+  if (new_msg.hashtags.empty()) return 0.0;
+  return static_cast<double>(
+             SharedCount(new_msg.hashtags, old_msg.hashtags)) /
+         static_cast<double>(new_msg.hashtags.size());
+}
+
+double KeywordSimilarity(const Message& new_msg, const Message& old_msg) {
+  if (new_msg.keywords.empty()) return 0.0;
+  return static_cast<double>(
+             SharedCount(new_msg.keywords, old_msg.keywords)) /
+         static_cast<double>(new_msg.keywords.size());
+}
+
+double TimeCloseness(Timestamp a, Timestamp b, double scale_secs) {
+  const double delta = std::abs(static_cast<double>(a - b));
+  return 1.0 / (delta / scale_secs + 1.0);
+}
+
+double MessageSimilarity(const Message& new_msg, const Message& old_msg,
+                         const ScoringWeights& weights) {
+  return weights.alpha_url * UrlSimilarity(new_msg, old_msg) +
+         weights.beta_hashtag * HashtagSimilarity(new_msg, old_msg) +
+         weights.keyword_weight * KeywordSimilarity(new_msg, old_msg) +
+         weights.gamma_time *
+             TimeCloseness(new_msg.date, old_msg.date,
+                           weights.time_scale_secs);
+}
+
+double GScore(const Bundle& bundle, Timestamp now) {
+  const double age_hours =
+      static_cast<double>(std::max<Timestamp>(0, now - bundle.last_update())) /
+      static_cast<double>(kSecondsPerHour);
+  const double size = static_cast<double>(std::max<size_t>(1, bundle.size()));
+  return age_hours + 1.0 / size;
+}
+
+ConnectionType DominantConnectionType(const Message& new_msg,
+                                      const Message& old_msg) {
+  if (new_msg.is_retweet &&
+      (new_msg.retweet_of_id == old_msg.id ||
+       (!new_msg.retweet_of_user.empty() &&
+        new_msg.retweet_of_user == old_msg.user))) {
+    return ConnectionType::kRt;
+  }
+  if (SharedCount(new_msg.urls, old_msg.urls) > 0) {
+    return ConnectionType::kUrl;
+  }
+  if (SharedCount(new_msg.hashtags, old_msg.hashtags) > 0) {
+    return ConnectionType::kHashtag;
+  }
+  return ConnectionType::kText;
+}
+
+}  // namespace microprov

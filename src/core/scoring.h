@@ -1,0 +1,76 @@
+#ifndef MICROPROV_CORE_SCORING_H_
+#define MICROPROV_CORE_SCORING_H_
+
+#include "common/clock.h"
+#include "core/bundle.h"
+#include "core/connection.h"
+#include "core/summary_index.h"
+#include "stream/message.h"
+
+namespace microprov {
+
+/// Tuning weights for the paper's scoring functions. The α/β/γ names follow
+/// Eq. 1 (bundle match) and Eq. 5 (message similarity); the paper leaves
+/// their values as manually-set system parameters.
+struct ScoringWeights {
+  /// Eq. 1 / Eq. 5 α: URL overlap weight.
+  double alpha_url = 2.0;
+  /// Eq. 1 / Eq. 5 β: hashtag overlap weight.
+  double beta_hashtag = 1.0;
+  /// Shared-keyword weight (the "..." of Eq. 1; Table II's text link).
+  /// Deliberately small: a couple of shared Zipf-head words is weak
+  /// evidence, and over-weighting it makes early bundles snowball.
+  double keyword_weight = 0.2;
+  /// Eq. 1 / Eq. 5 γ: time-closeness weight.
+  double gamma_time = 0.5;
+  /// Bonus when the new message re-shares a user present in the bundle —
+  /// RT is the strongest connection in Table II.
+  double rt_bonus = 4.0;
+  /// Time closeness decays as 1 / (Δt / scale + 1); scale is one hour by
+  /// default so same-hour messages score near 1 and day-apart near 0.
+  double time_scale_secs = static_cast<double>(kSecondsPerHour);
+  /// Eq. 1's bundle-size factor: large bundles hold many distinct
+  /// indicant values and would otherwise act as match attractors for
+  /// weak (keyword-only) overlaps, snowballing into the huge groups the
+  /// paper warns about in Section V-B. Applied as
+  /// −size_penalty · log2(1 + |B|).
+  double size_penalty = 0.08;
+};
+
+/// Eq. 1: relevance between incoming message `msg` and candidate bundle
+/// `bundle`, combining per-type indicant overlap (precomputed by the
+/// summary index into `hits`), bundle freshness relative to `now`, and the
+/// RT signal. Higher is better.
+double BundleMatchScore(const Message& msg, const Bundle& bundle,
+                        const CandidateHits& hits, Timestamp now,
+                        const ScoringWeights& weights);
+
+/// Eq. 2: U(ti,tj) — fraction of the new message's URLs shared with `old`.
+double UrlSimilarity(const Message& new_msg, const Message& old_msg);
+
+/// Eq. 3: H(ti,tj) — fraction of the new message's hashtags shared.
+double HashtagSimilarity(const Message& new_msg, const Message& old_msg);
+
+/// Keyword analogue of Eqs. 2-3.
+double KeywordSimilarity(const Message& new_msg, const Message& old_msg);
+
+/// Eq. 4: T(ti,tj) = 1 / (|Δdate| / scale + 1).
+double TimeCloseness(Timestamp a, Timestamp b, double scale_secs);
+
+/// Eq. 5: S(ti,tj) = α·U + β·H + kw·K + γ·T.
+double MessageSimilarity(const Message& new_msg, const Message& old_msg,
+                         const ScoringWeights& weights);
+
+/// Eq. 6: G(B) = (now − date(B)) + 1/|B|, where date(B) is the bundle's
+/// last update. Higher G = staler/smaller = evict first. The time term is
+/// measured in hours so the two addends share the paper's magnitudes.
+double GScore(const Bundle& bundle, Timestamp now);
+
+/// Dominant connection type given a pairwise comparison (used to label the
+/// edge recorded by Alg. 2).
+ConnectionType DominantConnectionType(const Message& new_msg,
+                                      const Message& old_msg);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_CORE_SCORING_H_

@@ -1,0 +1,104 @@
+#include "core/social_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace microprov {
+
+void SocialGraph::AddBundle(const Bundle& bundle) {
+  for (const BundleMessage& bm : bundle.messages()) {
+    if (bm.parent == kInvalidMessageId) continue;
+    const BundleMessage* parent = bundle.Find(bm.parent);
+    if (parent == nullptr) continue;
+    const std::string& source = parent->msg.user;
+    const std::string& amplifier = bm.msg.user;
+    if (source == amplifier) continue;  // self-threads are not feedback
+    ++edges_[source][amplifier];
+    ++out_degree_[source];
+    ++in_degree_[amplifier];
+  }
+}
+
+size_t SocialGraph::num_edges() const {
+  size_t total = 0;
+  for (const auto& [source, amplifiers] : edges_) {
+    total += amplifiers.size();
+  }
+  return total;
+}
+
+size_t SocialGraph::num_users() const {
+  std::unordered_set<std::string> users;
+  for (const auto& [user, count] : out_degree_) users.insert(user);
+  for (const auto& [user, count] : in_degree_) users.insert(user);
+  return users.size();
+}
+
+uint32_t SocialGraph::InteractionCount(
+    const std::string& source, const std::string& amplifier) const {
+  auto it = edges_.find(source);
+  if (it == edges_.end()) return 0;
+  auto jt = it->second.find(amplifier);
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+uint32_t SocialGraph::OutDegree(const std::string& user) const {
+  auto it = out_degree_.find(user);
+  return it == out_degree_.end() ? 0 : it->second;
+}
+
+uint32_t SocialGraph::InDegree(const std::string& user) const {
+  auto it = in_degree_.find(user);
+  return it == in_degree_.end() ? 0 : it->second;
+}
+
+namespace {
+std::vector<SocialGraph::UserRank> RankMap(
+    const std::unordered_map<std::string, uint32_t>& degree, size_t k) {
+  std::vector<SocialGraph::UserRank> ranked;
+  ranked.reserve(degree.size());
+  for (const auto& [user, count] : degree) {
+    ranked.push_back({user, count});
+  }
+  size_t take = std::min(k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + take, ranked.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.amplifications != b.amplifications) {
+                        return a.amplifications > b.amplifications;
+                      }
+                      return a.user < b.user;
+                    });
+  ranked.resize(take);
+  return ranked;
+}
+}  // namespace
+
+std::vector<SocialGraph::UserRank> SocialGraph::TopSources(
+    size_t k) const {
+  return RankMap(out_degree_, k);
+}
+
+std::vector<SocialGraph::UserRank> SocialGraph::TopAmplifiers(
+    size_t k) const {
+  return RankMap(in_degree_, k);
+}
+
+std::vector<SocialGraph::PairRank> SocialGraph::TopPairs(size_t k) const {
+  std::vector<PairRank> ranked;
+  for (const auto& [source, amplifiers] : edges_) {
+    for (const auto& [amplifier, count] : amplifiers) {
+      ranked.push_back({source, amplifier, count});
+    }
+  }
+  size_t take = std::min(k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + take, ranked.end(),
+                    [](const PairRank& a, const PairRank& b) {
+                      if (a.count != b.count) return a.count > b.count;
+                      if (a.source != b.source) return a.source < b.source;
+                      return a.amplifier < b.amplifier;
+                    });
+  ranked.resize(take);
+  return ranked;
+}
+
+}  // namespace microprov

@@ -1,0 +1,71 @@
+#ifndef MICROPROV_CORE_SOCIAL_GRAPH_H_
+#define MICROPROV_CORE_SOCIAL_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/bundle.h"
+
+namespace microprov {
+
+// Social-provenance analysis — the paper's closing future work: "By
+// harnessing the user feedbacks and interaction inside bundles, we can
+// develop the social provenance tools". Provenance edges are user
+// interactions (B re-shared/extended A); aggregating them across bundles
+// yields a who-amplifies-whom graph.
+
+/// Directed user-interaction multigraph accumulated from bundles: an
+/// edge (source -> amplifier) for every provenance connection where
+/// `amplifier`'s message derives from `source`'s.
+class SocialGraph {
+ public:
+  /// Adds every intra-bundle connection of `bundle`.
+  void AddBundle(const Bundle& bundle);
+
+  /// Number of distinct (source, amplifier) pairs.
+  size_t num_edges() const;
+  size_t num_users() const;
+
+  /// Interactions from `source` to `amplifier` (0 if none).
+  uint32_t InteractionCount(const std::string& source,
+                            const std::string& amplifier) const;
+
+  /// Total times `user`'s messages were derived from (their "amplified"
+  /// reach across all bundles).
+  uint32_t OutDegree(const std::string& user) const;
+  /// Total times `user` derived from others.
+  uint32_t InDegree(const std::string& user) const;
+
+  struct UserRank {
+    std::string user;
+    uint32_t amplifications = 0;
+  };
+  /// Users whose content is most re-shared/extended, descending.
+  std::vector<UserRank> TopSources(size_t k) const;
+  /// Users who amplify others the most, descending.
+  std::vector<UserRank> TopAmplifiers(size_t k) const;
+
+  struct PairRank {
+    std::string source;
+    std::string amplifier;
+    uint32_t count = 0;
+  };
+  /// Heaviest interaction pairs — recurring amplification relationships
+  /// (follower/fan structure visible purely from provenance).
+  std::vector<PairRank> TopPairs(size_t k) const;
+
+ private:
+  // (source, amplifier) -> count.
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, uint32_t>>
+      edges_;
+  std::unordered_map<std::string, uint32_t> out_degree_;
+  std::unordered_map<std::string, uint32_t> in_degree_;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_CORE_SOCIAL_GRAPH_H_

@@ -1,0 +1,49 @@
+#ifndef MICROPROV_CORE_STATS_H_
+#define MICROPROV_CORE_STATS_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace microprov {
+
+/// Cumulative wall-time per ingest stage (Fig. 13: bundle match, message
+/// placement, memory refinement). Nanosecond precision, monotonic clock.
+struct StageTimers {
+  int64_t bundle_match_nanos = 0;
+  int64_t message_placement_nanos = 0;
+  int64_t memory_refinement_nanos = 0;
+
+  double bundle_match_secs() const {
+    return static_cast<double>(bundle_match_nanos) * 1e-9;
+  }
+  double message_placement_secs() const {
+    return static_cast<double>(message_placement_nanos) * 1e-9;
+  }
+  double memory_refinement_secs() const {
+    return static_cast<double>(memory_refinement_nanos) * 1e-9;
+  }
+  double total_secs() const {
+    return bundle_match_secs() + message_placement_secs() +
+           memory_refinement_secs();
+  }
+};
+
+/// RAII accumulator: adds elapsed monotonic time to `*sink` at scope exit.
+class ScopedStageTimer {
+ public:
+  explicit ScopedStageTimer(int64_t* sink)
+      : sink_(sink), start_(MonotonicNanos()) {}
+  ~ScopedStageTimer() { *sink_ += MonotonicNanos() - start_; }
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  int64_t* sink_;
+  int64_t start_;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_CORE_STATS_H_

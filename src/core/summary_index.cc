@@ -1,0 +1,131 @@
+#include "core/summary_index.h"
+
+#include "common/memory_usage.h"
+
+namespace microprov {
+
+void SummaryIndex::AddMessage(BundleId id, const Message& msg,
+                              size_t max_keywords) {
+  ForEachIndicant(
+      msg, max_keywords, [&](IndicantType type, std::string_view value) {
+        PostingMap& map = MapFor(type);
+        auto it = map.find(value);
+        if (it == map.end()) {
+          it = map.emplace(std::string(value),
+                           std::unordered_map<BundleId, uint32_t>())
+                   .first;
+        }
+        auto [pit, inserted] = it->second.try_emplace(id, 0);
+        ++pit->second;
+        if (inserted) ++num_postings_;
+      });
+}
+
+void SummaryIndex::Remove(IndicantType type, const std::string& value,
+                          BundleId id, uint32_t count) {
+  PostingMap& map = MapFor(type);
+  auto it = map.find(value);
+  if (it == map.end()) return;
+  auto pit = it->second.find(id);
+  if (pit == it->second.end()) return;
+  if (pit->second <= count) {
+    it->second.erase(pit);
+    --num_postings_;
+    if (it->second.empty()) map.erase(it);
+  } else {
+    pit->second -= count;
+  }
+}
+
+void SummaryIndex::RemoveBundle(const Bundle& bundle) {
+  for (const auto& [value, count] : bundle.hashtag_counts()) {
+    Remove(IndicantType::kHashtag, value, bundle.id(), count);
+  }
+  for (const auto& [value, count] : bundle.url_counts()) {
+    Remove(IndicantType::kUrl, value, bundle.id(), count);
+  }
+  for (const auto& [value, count] : bundle.keyword_counts()) {
+    Remove(IndicantType::kKeyword, value, bundle.id(), count);
+  }
+  for (const auto& [value, count] : bundle.user_counts()) {
+    Remove(IndicantType::kUser, value, bundle.id(), count);
+  }
+}
+
+std::unordered_map<BundleId, CandidateHits> SummaryIndex::Candidates(
+    const Message& msg, size_t max_keywords, size_t max_fanout) const {
+  std::unordered_map<BundleId, CandidateHits> out;
+  ForEachIndicant(
+      msg, max_keywords, [&](IndicantType type, std::string_view value) {
+        // The author's own name matching a bundle's users is not evidence
+        // by itself; only the *re-shared* user is a join signal. Plain
+        // user indicants are indexed (so RTs can find them) but do not
+        // vote during candidate fetch.
+        if (type == IndicantType::kUser) return;
+        const PostingMap& map = MapFor(type);
+        auto it = map.find(value);
+        if (it == map.end()) return;
+        if (max_fanout > 0 && it->second.size() > max_fanout) return;
+        for (const auto& [bundle_id, count] : it->second) {
+          CandidateHits& hits = out[bundle_id];
+          switch (type) {
+            case IndicantType::kHashtag:
+              ++hits.hashtag_hits;
+              break;
+            case IndicantType::kUrl:
+              ++hits.url_hits;
+              break;
+            case IndicantType::kKeyword:
+              ++hits.keyword_hits;
+              break;
+            case IndicantType::kUser:
+              break;
+          }
+        }
+      });
+  // RT target user: bundles containing messages by the re-shared author.
+  if (msg.is_retweet && !msg.retweet_of_user.empty()) {
+    const PostingMap& users = MapFor(IndicantType::kUser);
+    auto it = users.find(msg.retweet_of_user);
+    if (it != users.end() &&
+        (max_fanout == 0 || it->second.size() <= max_fanout)) {
+      for (const auto& [bundle_id, count] : it->second) {
+        ++out[bundle_id].user_hits;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<BundleId> SummaryIndex::Lookup(IndicantType type,
+                                           const std::string& value) const {
+  std::vector<BundleId> out;
+  const PostingMap& map = MapFor(type);
+  auto it = map.find(value);
+  if (it == map.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [bundle_id, count] : it->second) {
+    out.push_back(bundle_id);
+  }
+  return out;
+}
+
+size_t SummaryIndex::num_keys() const {
+  size_t total = 0;
+  for (const PostingMap& map : maps_) total += map.size();
+  return total;
+}
+
+size_t SummaryIndex::ApproxMemoryUsage() const {
+  size_t total = sizeof(SummaryIndex);
+  for (const PostingMap& map : maps_) {
+    total += ApproxMapOverhead(map);
+    for (const auto& [value, postings] : map) {
+      total += ::microprov::ApproxMemoryUsage(value);
+      total += ApproxMapOverhead(postings);
+    }
+  }
+  return total;
+}
+
+}  // namespace microprov

@@ -1,0 +1,93 @@
+#ifndef MICROPROV_CORE_SUMMARY_INDEX_H_
+#define MICROPROV_CORE_SUMMARY_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/bundle.h"
+#include "core/indicant.h"
+#include "stream/message.h"
+
+namespace microprov {
+
+/// Per-candidate tally of how many distinct indicant values a new message
+/// shares with a bundle, split by type — the inputs to the Eq. 1 match
+/// score (|url(t) ∩ url(B)|, |tag(t) ∩ tag(B)|, ...).
+struct CandidateHits {
+  uint32_t hashtag_hits = 0;
+  uint32_t url_hits = 0;
+  uint32_t keyword_hits = 0;
+  uint32_t user_hits = 0;
+
+  uint32_t total() const {
+    return hashtag_hits + url_hits + keyword_hits + user_hits;
+  }
+};
+
+/// The paper's summary index (Fig. 5): for every indicant value, the list
+/// of bundles whose members carry it, with per-bundle occurrence counts.
+/// Candidate fetch for a new message is a union over its indicants' bundle
+/// lists (Alg. 1, step 1); bundle insertion updates the affected entries
+/// (Alg. 1, step 3); pool refinement removes evicted bundles' entries.
+class SummaryIndex {
+ public:
+  SummaryIndex() = default;
+  SummaryIndex(const SummaryIndex&) = delete;
+  SummaryIndex& operator=(const SummaryIndex&) = delete;
+
+  /// Registers `msg` (already inserted into bundle `id`).
+  void AddMessage(BundleId id, const Message& msg, size_t max_keywords);
+
+  /// Removes all of `bundle`'s entries (uses the bundle's own indicant
+  /// summaries as the reverse mapping).
+  void RemoveBundle(const Bundle& bundle);
+
+  /// Step 1 of Alg. 1: bundles sharing at least one indicant with `msg`,
+  /// with per-type distinct-value hit counts. Indicant values whose
+  /// posting list exceeds `max_fanout` bundles are skipped (0 = no cap):
+  /// a value carried by thousands of bundles is a de-facto stopword with
+  /// no discriminating power, and expanding it would make candidate fetch
+  /// O(pool size) per message.
+  std::unordered_map<BundleId, CandidateHits> Candidates(
+      const Message& msg, size_t max_keywords,
+      size_t max_fanout = 0) const;
+
+  /// Bundles carrying a specific indicant value (query support).
+  std::vector<BundleId> Lookup(IndicantType type,
+                               const std::string& value) const;
+
+  /// Number of distinct indicant keys across all types.
+  size_t num_keys() const;
+  /// Total number of (key, bundle) postings.
+  size_t num_postings() const { return num_postings_; }
+
+  size_t ApproxMemoryUsage() const;
+
+ private:
+  // value -> (bundle -> count of member messages with that value).
+  // Transparent hashing allows string_view probes on the ingest path.
+  using PostingMap =
+      std::unordered_map<std::string,
+                         std::unordered_map<BundleId, uint32_t>,
+                         TransparentStringHash, std::equal_to<>>;
+
+  PostingMap& MapFor(IndicantType type) {
+    return maps_[static_cast<size_t>(type)];
+  }
+  const PostingMap& MapFor(IndicantType type) const {
+    return maps_[static_cast<size_t>(type)];
+  }
+
+  void Remove(IndicantType type, const std::string& value, BundleId id,
+              uint32_t count);
+
+  PostingMap maps_[kNumIndicantTypes];
+  size_t num_postings_ = 0;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_CORE_SUMMARY_INDEX_H_

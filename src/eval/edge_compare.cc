@@ -1,0 +1,84 @@
+#include "eval/edge_compare.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace microprov {
+
+EdgeMetrics CompareEdges(const EdgeLog& truth, const EdgeLog& approx) {
+  EdgeLog::KeySet truth_set = truth.ToKeySet();
+  EdgeMetrics metrics;
+  metrics.truth_edges = truth_set.size();
+  metrics.approx_edges = approx.size();
+  for (const Edge& edge : approx.edges()) {
+    if (truth_set.count({edge.parent, edge.child}) > 0) {
+      ++metrics.matched;
+    }
+  }
+  return metrics;
+}
+
+std::vector<EdgeMetrics> CompareEdgesAtCheckpoints(
+    const EdgeLog& truth, const EdgeLog& approx,
+    const std::vector<uint64_t>& message_boundaries) {
+  // Each child has at most one edge per run; map child -> parent once.
+  std::unordered_map<MessageId, MessageId> truth_parent;
+  truth_parent.reserve(truth.size());
+  for (const Edge& edge : truth.edges()) {
+    truth_parent[edge.child] = edge.parent;
+  }
+
+  // Sort edge children so we can count per-boundary with prefix sums.
+  // Edges are already recorded in ingest (=child id) order but sorting
+  // keeps the contract independent of that detail.
+  struct ChildEdge {
+    MessageId child;
+    MessageId parent;
+  };
+  std::vector<ChildEdge> approx_edges;
+  approx_edges.reserve(approx.size());
+  for (const Edge& edge : approx.edges()) {
+    approx_edges.push_back({edge.child, edge.parent});
+  }
+  std::sort(approx_edges.begin(), approx_edges.end(),
+            [](const ChildEdge& a, const ChildEdge& b) {
+              return a.child < b.child;
+            });
+  std::vector<MessageId> truth_children;
+  truth_children.reserve(truth.size());
+  for (const Edge& edge : truth.edges()) {
+    truth_children.push_back(edge.child);
+  }
+  std::sort(truth_children.begin(), truth_children.end());
+
+  std::vector<EdgeMetrics> out;
+  out.reserve(message_boundaries.size());
+  size_t ai = 0;      // cursor into approx_edges
+  size_t ti = 0;      // cursor into truth_children
+  uint64_t matched = 0;
+  std::vector<uint64_t> boundaries = message_boundaries;
+  std::sort(boundaries.begin(), boundaries.end());
+  for (uint64_t boundary : boundaries) {
+    while (ai < approx_edges.size() &&
+           approx_edges[ai].child < static_cast<MessageId>(boundary)) {
+      auto it = truth_parent.find(approx_edges[ai].child);
+      if (it != truth_parent.end() &&
+          it->second == approx_edges[ai].parent) {
+        ++matched;
+      }
+      ++ai;
+    }
+    while (ti < truth_children.size() &&
+           truth_children[ti] < static_cast<MessageId>(boundary)) {
+      ++ti;
+    }
+    EdgeMetrics metrics;
+    metrics.truth_edges = ti;
+    metrics.approx_edges = ai;
+    metrics.matched = matched;
+    out.push_back(metrics);
+  }
+  return out;
+}
+
+}  // namespace microprov

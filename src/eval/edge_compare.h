@@ -1,0 +1,46 @@
+#ifndef MICROPROV_EVAL_EDGE_COMPARE_H_
+#define MICROPROV_EVAL_EDGE_COMPARE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/edge_log.h"
+
+namespace microprov {
+
+/// Section VI-B metrics comparing an approximate method's edge set E_i
+/// against the Full Index ground truth E_0:
+///   accuracy = |E_i ∩ E_0| / |E_i|   (how much of what we found is right)
+///   coverage = |E_i ∩ E_0| / |E_0|   (the paper's "return": how much of
+///                                     the truth we found)
+struct EdgeMetrics {
+  uint64_t truth_edges = 0;
+  uint64_t approx_edges = 0;
+  uint64_t matched = 0;
+
+  double accuracy() const {
+    return approx_edges == 0
+               ? 0.0
+               : static_cast<double>(matched) / approx_edges;
+  }
+  double coverage() const {
+    return truth_edges == 0 ? 0.0
+                            : static_cast<double>(matched) / truth_edges;
+  }
+};
+
+/// Whole-run comparison.
+EdgeMetrics CompareEdges(const EdgeLog& truth, const EdgeLog& approx);
+
+/// Checkpointed comparison (Fig. 8): for each boundary b in
+/// `message_boundaries` (exclusive upper bounds on message id, i.e. the
+/// cumulative message counts at checkpoints), computes metrics over the
+/// edges whose child id < b. Relies on message ids being assigned in
+/// stream order, so "first k messages" == "ids < k".
+std::vector<EdgeMetrics> CompareEdgesAtCheckpoints(
+    const EdgeLog& truth, const EdgeLog& approx,
+    const std::vector<uint64_t>& message_boundaries);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_EVAL_EDGE_COMPARE_H_

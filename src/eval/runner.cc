@@ -1,0 +1,85 @@
+#include "eval/runner.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "storage/bundle_store.h"
+#include "stream/replay.h"
+
+namespace microprov {
+
+StatusOr<RunResult> RunEngine(const std::vector<Message>& messages,
+                              const EngineOptions& engine_options,
+                              const RunnerOptions& runner_options) {
+  SimulatedClock clock;
+  std::unique_ptr<BundleStore> store;
+  if (!runner_options.store_dir.empty()) {
+    BundleStore::Options store_options;
+    store_options.dir = runner_options.store_dir;
+    auto store_or = BundleStore::Open(store_options);
+    if (!store_or.ok()) return store_or.status();
+    store = std::move(*store_or);
+  }
+  ProvenanceEngine engine(engine_options, &clock, store.get());
+
+  RunResult result;
+  result.options = engine_options;
+
+  StreamReplayer replayer(&clock);
+  replayer.set_checkpoint_every(runner_options.checkpoint_every);
+  replayer.set_checkpoint([&](uint64_t seen, Timestamp now) {
+    CheckpointSample sample;
+    sample.messages_seen = seen;
+    sample.sim_now = now;
+    sample.pool_bundles = engine.pool().size();
+    sample.pool_messages = engine.pool().TotalMessages();
+    sample.memory_bytes = engine.ApproxMemoryUsage();
+    sample.edges_emitted = engine.edge_log().size();
+    sample.timers = engine.timers();
+    sample.pool_stats = engine.pool().stats();
+    result.samples.push_back(sample);
+    result.boundaries.push_back(seen);
+  });
+
+  Status st = replayer.Replay(
+      messages, [&](const Message& msg) { return engine.Ingest(msg); });
+  if (!st.ok()) return st;
+
+  result.edges = engine.edge_log();
+  result.final_pool_stats = engine.pool().stats();
+  result.final_timers = engine.timers();
+  result.final_bundle_sizes_and_spans.reserve(engine.pool().size());
+  for (const auto& [id, bundle] : engine.pool().bundles()) {
+    result.final_bundle_sizes_and_spans.emplace_back(
+        bundle->size(), bundle->end_time() - bundle->start_time());
+  }
+  LOG_INFO() << IndexConfigToString(engine_options.config) << ": ingested "
+             << HumanCount(engine.messages_ingested()) << " msgs, pool="
+             << engine.pool().size() << " bundles, mem="
+             << HumanBytes(engine.ApproxMemoryUsage()) << ", edges="
+             << engine.edge_log().size();
+  return result;
+}
+
+StatusOr<std::vector<RunResult>> RunAllConfigs(
+    const std::vector<Message>& messages, size_t pool_limit,
+    size_t bundle_cap, const RunnerOptions& runner_options) {
+  std::vector<RunResult> results;
+  for (IndexConfig config :
+       {IndexConfig::kFullIndex, IndexConfig::kPartialIndex,
+        IndexConfig::kBundleLimit}) {
+    EngineOptions options =
+        EngineOptions::ForConfig(config, pool_limit, bundle_cap);
+    RunnerOptions ropts = runner_options;
+    if (!ropts.store_dir.empty()) {
+      ropts.store_dir = StringPrintf(
+          "%s/%d", runner_options.store_dir.c_str(),
+          static_cast<int>(config));
+    }
+    auto result_or = RunEngine(messages, options, ropts);
+    if (!result_or.ok()) return result_or.status();
+    results.push_back(std::move(*result_or));
+  }
+  return results;
+}
+
+}  // namespace microprov

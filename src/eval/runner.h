@@ -1,0 +1,62 @@
+#ifndef MICROPROV_EVAL_RUNNER_H_
+#define MICROPROV_EVAL_RUNNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/engine.h"
+#include "stream/message.h"
+
+namespace microprov {
+
+/// Snapshot of an engine's state at a stream checkpoint, feeding the
+/// figure series (Figs. 7, 11, 12, 13).
+struct CheckpointSample {
+  uint64_t messages_seen = 0;
+  Timestamp sim_now = 0;
+  size_t pool_bundles = 0;
+  uint64_t pool_messages = 0;
+  size_t memory_bytes = 0;
+  uint64_t edges_emitted = 0;
+  StageTimers timers;
+  PoolStats pool_stats;
+};
+
+/// Outcome of replaying a dataset through one engine configuration.
+struct RunResult {
+  EngineOptions options;
+  std::vector<CheckpointSample> samples;
+  /// Cumulative message-count boundaries matching `samples` (for the
+  /// checkpointed edge comparison).
+  std::vector<uint64_t> boundaries;
+  /// The engine's full edge log (moved out of the engine at the end).
+  EdgeLog edges;
+  PoolStats final_pool_stats;
+  StageTimers final_timers;
+  /// Live pool contents at end of stream (bundle sizes / time spans for
+  /// Fig. 6 when the run is Full Index).
+  std::vector<std::pair<size_t, Timestamp>> final_bundle_sizes_and_spans;
+};
+
+struct RunnerOptions {
+  uint64_t checkpoint_every = 50000;
+  /// When non-empty, the engine archives evicted bundles here.
+  std::string store_dir;
+};
+
+/// Replays `messages` through a fresh engine with `engine_options`,
+/// sampling at checkpoints. The simulated clock follows the stream.
+StatusOr<RunResult> RunEngine(const std::vector<Message>& messages,
+                              const EngineOptions& engine_options,
+                              const RunnerOptions& runner_options);
+
+/// Convenience: the three paper configurations over the same stream.
+StatusOr<std::vector<RunResult>> RunAllConfigs(
+    const std::vector<Message>& messages, size_t pool_limit,
+    size_t bundle_cap, const RunnerOptions& runner_options);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_EVAL_RUNNER_H_

@@ -1,0 +1,71 @@
+#include "eval/series.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/env.h"
+#include "common/string_util.h"
+
+namespace microprov {
+
+void SeriesTable::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void SeriesTable::AddNumericRow(const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    // Integers print without a decimal tail.
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        std::abs(v) < 1e15) {
+      cells.push_back(StringPrintf("%lld", (long long)v));
+    } else {
+      cells.push_back(StringPrintf("%.*f", precision, v));
+    }
+  }
+  AddRow(std::move(cells));
+}
+
+std::string SeriesTable::ToAlignedString() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    StringAppendF(&out, "%-*s  ", static_cast<int>(widths[i]),
+                  columns_[i].c_str());
+  }
+  out += "\n";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    out += std::string(widths[i], '-') + "  ";
+  }
+  out += "\n";
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      StringAppendF(&out, "%*s  ", static_cast<int>(widths[i]),
+                    row[i].c_str());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Status SeriesTable::WriteCsv(const std::string& path) const {
+  std::string csv = Join(columns_, ",") + "\n";
+  for (const auto& row : rows_) {
+    csv += Join(row, ",") + "\n";
+  }
+  return Env::Default()->WriteStringToFile(path, csv);
+}
+
+}  // namespace microprov

@@ -1,0 +1,44 @@
+#ifndef MICROPROV_EVAL_SERIES_H_
+#define MICROPROV_EVAL_SERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace microprov {
+
+/// Tabular series collector for the figure harnesses: named columns, one
+/// row per checkpoint. Renders an aligned terminal table and writes CSV so
+/// the paper's plots can be regenerated with any plotting tool.
+class SeriesTable {
+ public:
+  explicit SeriesTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Appends a row; must match the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows.
+  void AddNumericRow(const std::vector<double>& values, int precision = 4);
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+  /// Aligned fixed-width rendering.
+  std::string ToAlignedString() const;
+
+  /// RFC-4180-ish CSV (cells are simple numerics/identifiers here).
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_EVAL_SERIES_H_

@@ -1,0 +1,73 @@
+#include "gen/dataset.h"
+
+#include <algorithm>
+
+#include "common/env.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "stream/stream_io.h"
+
+namespace microprov {
+
+StatusOr<std::vector<Message>> GenerateOrLoadDataset(
+    const GeneratorOptions& options, const std::string& cache_dir) {
+  std::string path;
+  if (!cache_dir.empty()) {
+    // The cache key folds in every generator knob (hashed), so stale
+    // files are ignored when defaults or explicit options change.
+    uint64_t params_hash = Fnv1a64(StringPrintf(
+        "v2|%llu|%.3f|%zu|%.3f|%.3f|%llu|%llu|%.1f|%zu|%.3f|%zu|%zu|%.3f",
+        (unsigned long long)options.duration_days, options.noise_fraction,
+        options.num_users, options.user_zipf,
+        options.event_options.size_alpha,
+        (unsigned long long)options.event_options.min_event_size,
+        (unsigned long long)options.event_options.max_event_size,
+        options.event_options.duration_scale_secs,
+        options.event_options.topic_words_per_event,
+        options.event_options.shared_hashtag_fraction,
+        options.event_options.num_shared_hashtags,
+        options.text_options.vocabulary_size,
+        options.text_options.background_zipf));
+    path = StringPrintf("%s/stream_seed%llu_n%llu_%08llx.tsv",
+                        cache_dir.c_str(), (unsigned long long)options.seed,
+                        (unsigned long long)options.total_messages,
+                        (unsigned long long)(params_hash & 0xFFFFFFFF));
+    if (Env::Default()->FileExists(path)) {
+      LOG_INFO() << "loading cached dataset " << path;
+      return LoadMessages(path);
+    }
+  }
+  LOG_INFO() << "generating dataset: " << HumanCount(options.total_messages)
+             << " messages (seed " << options.seed << ")";
+  StreamGenerator generator(options);
+  std::vector<Message> messages = generator.Generate();
+  if (!path.empty()) {
+    MICROPROV_RETURN_IF_ERROR(
+        Env::Default()->CreateDirIfMissing(cache_dir));
+    MICROPROV_RETURN_IF_ERROR(SaveMessages(path, messages));
+    LOG_INFO() << "cached dataset to " << path;
+  }
+  return messages;
+}
+
+DatasetStats ComputeDatasetStats(const std::vector<Message>& messages) {
+  DatasetStats stats;
+  stats.total = messages.size();
+  if (messages.empty()) return stats;
+  stats.min_date = messages.front().date;
+  stats.max_date = messages.front().date;
+  double text_total = 0;
+  for (const Message& msg : messages) {
+    if (msg.is_retweet) ++stats.retweets;
+    if (!msg.hashtags.empty()) ++stats.with_hashtags;
+    if (!msg.urls.empty()) ++stats.with_urls;
+    stats.min_date = std::min(stats.min_date, msg.date);
+    stats.max_date = std::max(stats.max_date, msg.date);
+    text_total += static_cast<double>(msg.text.size());
+  }
+  stats.avg_text_length = text_total / static_cast<double>(stats.total);
+  return stats;
+}
+
+}  // namespace microprov

@@ -1,0 +1,38 @@
+#ifndef MICROPROV_GEN_DATASET_H_
+#define MICROPROV_GEN_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "gen/generator.h"
+#include "stream/message.h"
+
+namespace microprov {
+
+/// Generates (or loads from a cache file, if present and matching) a
+/// dataset. Figure harnesses share datasets this way so the 700k-message
+/// stream is synthesized once per checkout, not once per bench binary.
+///
+/// The cache key is `<dir>/stream_seed<seed>_n<total>.tsv`; pass an empty
+/// `cache_dir` to skip caching.
+StatusOr<std::vector<Message>> GenerateOrLoadDataset(
+    const GeneratorOptions& options, const std::string& cache_dir);
+
+/// Fast sanity statistics over a dataset (used by tests and the harness
+/// banner): counts per kind and basic temporal extent.
+struct DatasetStats {
+  uint64_t total = 0;
+  uint64_t retweets = 0;
+  uint64_t with_hashtags = 0;
+  uint64_t with_urls = 0;
+  Timestamp min_date = 0;
+  Timestamp max_date = 0;
+  double avg_text_length = 0;
+};
+
+DatasetStats ComputeDatasetStats(const std::vector<Message>& messages);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_GEN_DATASET_H_

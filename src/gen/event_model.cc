@@ -1,0 +1,112 @@
+#include "gen/event_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "gen/zipf.h"
+
+namespace microprov {
+
+EventModel::EventModel(const EventModelOptions& options,
+                       const TextModel* text_model)
+    : options_(options), text_model_(text_model) {
+  // Deterministic shared-hashtag pool drawn from the head of the text
+  // model's vocabulary.
+  Random rng(0xbeefcafe);
+  for (size_t i = 0; i < options_.num_shared_hashtags; ++i) {
+    shared_hashtags_.push_back(
+        text_model_->WordAt(rng.Uniform(text_model_->vocabulary_size() / 10)));
+  }
+}
+
+EventSpec EventModel::SampleEvent(Random* rng, int64_t event_id,
+                                  Timestamp start,
+                                  Timestamp horizon) const {
+  EventSpec spec;
+  spec.event_id = event_id;
+  spec.start = start;
+  spec.size = SamplePowerLaw(rng, options_.min_event_size,
+                             options_.max_event_size, options_.size_alpha);
+
+  double base = options_.duration_scale_secs *
+                std::sqrt(static_cast<double>(spec.size));
+  double jitter = std::exp(rng->NextGaussian() * 0.6);
+  int64_t duration = static_cast<int64_t>(base * jitter);
+  duration = std::max<int64_t>(duration, 10 * kSecondsPerMinute);
+  if (start + duration > horizon) duration = horizon - start;
+  spec.duration_secs = std::max<int64_t>(duration, kSecondsPerMinute);
+
+  // Signature hashtag: unique per event, or a shared popular one.
+  if (rng->Bernoulli(options_.shared_hashtag_fraction) &&
+      !shared_hashtags_.empty()) {
+    spec.hashtags.push_back(
+        shared_hashtags_[rng->Uniform(shared_hashtags_.size())]);
+  } else {
+    spec.hashtags.push_back(StringPrintf(
+        "%s%lld",
+        text_model_->WordAt(rng->Uniform(text_model_->vocabulary_size()))
+            .c_str(),
+        (long long)(event_id % 1000)));
+  }
+  // Optional secondary tags (possibly shared).
+  size_t extra_tags = rng->Uniform(3);  // 0..2
+  for (size_t i = 0; i < extra_tags; ++i) {
+    if (rng->Bernoulli(0.5) && !shared_hashtags_.empty()) {
+      spec.hashtags.push_back(
+          shared_hashtags_[rng->Uniform(shared_hashtags_.size())]);
+    } else {
+      spec.hashtags.push_back(
+          text_model_->WordAt(rng->Uniform(text_model_->vocabulary_size())));
+    }
+  }
+
+  size_t num_urls = rng->Uniform(4);  // 0..3
+  static constexpr const char* kShorteners[] = {"bit.ly", "ow.ly", "is.gd",
+                                                "tinyurl.com"};
+  for (size_t i = 0; i < num_urls; ++i) {
+    spec.urls.push_back(StringPrintf(
+        "%s/%llx", kShorteners[rng->Uniform(std::size(kShorteners))],
+        (unsigned long long)rng->Next() & 0xFFFFFFF));
+  }
+
+  spec.topic_words =
+      text_model_->SampleTopicWords(rng, options_.topic_words_per_event);
+
+  // Big events re-share more aggressively.
+  spec.rt_probability = spec.size > 100 ? 0.5 : 0.3;
+  return spec;
+}
+
+std::vector<Timestamp> EventModel::SampleEmissionTimes(
+    Random* rng, const EventSpec& spec) const {
+  std::vector<Timestamp> times;
+  times.reserve(spec.size);
+  times.push_back(spec.start);
+  // Exponentially decaying intensity: inverse-CDF of an exponential
+  // truncated to [0, duration], so most offsets land early in the window.
+  const double span = static_cast<double>(spec.duration_secs);
+  const double kRate = 3.0;  // intensity e-folds ~3 times over the window
+  const double norm = 1.0 - std::exp(-kRate);
+  for (uint64_t i = 1; i < spec.size; ++i) {
+    double u = rng->NextDouble();
+    double frac = -std::log(1.0 - u * norm) / kRate;
+    times.push_back(spec.start + static_cast<Timestamp>(frac * span));
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+size_t EventModel::SampleRtTarget(Random* rng, size_t i) const {
+  // Mix of preferential attachment to the root (breaking news pattern) and
+  // recency (conversation pattern).
+  if (rng->Bernoulli(0.4)) return 0;  // re-share the origin
+  if (rng->Bernoulli(0.5)) {
+    // Recent message: within the last 8.
+    size_t window = std::min<size_t>(i, 8);
+    return i - 1 - rng->Uniform(window);
+  }
+  return rng->Uniform(i);  // uniform over history
+}
+
+}  // namespace microprov

@@ -1,0 +1,82 @@
+#ifndef MICROPROV_GEN_EVENT_MODEL_H_
+#define MICROPROV_GEN_EVENT_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "gen/text_model.h"
+
+namespace microprov {
+
+/// A synthetic real-world event: a burst of topically-coherent messages
+/// with shared hashtags/URLs and an internal RT cascade. Events are the
+/// ground-truth analogue of the paper's provenance bundles.
+struct EventSpec {
+  int64_t event_id = 0;
+  Timestamp start = 0;
+  /// Event activity window; messages decay exponentially over it.
+  int64_t duration_secs = 0;
+  /// Number of messages this event emits.
+  uint64_t size = 0;
+  /// 1-3 hashtags; the first is the event's signature tag.
+  std::vector<std::string> hashtags;
+  /// 0-3 short-link URLs associated with the event.
+  std::vector<std::string> urls;
+  /// Topical content words.
+  std::vector<std::string> topic_words;
+  /// Probability that a non-first message is an RT of an earlier one.
+  double rt_probability = 0.35;
+  /// Probability a message carries one of the event hashtags.
+  double hashtag_probability = 0.8;
+  /// Probability a message carries one of the event URLs.
+  double url_probability = 0.25;
+};
+
+/// Parameters governing the population of events.
+struct EventModelOptions {
+  /// Power-law exponent of event sizes (>1; higher = fewer big events).
+  double size_alpha = 2.1;
+  uint64_t min_event_size = 2;
+  uint64_t max_event_size = 4000;
+  /// Base duration scale: a size-s event lasts roughly
+  /// `duration_scale_secs * sqrt(s)` (jittered), capped by the stream span.
+  double duration_scale_secs = 2.0 * kSecondsPerHour;
+  size_t topic_words_per_event = 24;
+  /// Fraction of events that reuse a globally popular hashtag instead of a
+  /// unique one (creates cross-event indicant collisions, the hard case
+  /// for the summary index).
+  double shared_hashtag_fraction = 0.15;
+  size_t num_shared_hashtags = 40;
+};
+
+/// Draws event populations and per-event message schedules.
+class EventModel {
+ public:
+  EventModel(const EventModelOptions& options, const TextModel* text_model);
+
+  /// Creates a new event starting at `start`, sized from the power law,
+  /// constrained to end before `horizon`.
+  EventSpec SampleEvent(Random* rng, int64_t event_id, Timestamp start,
+                        Timestamp horizon) const;
+
+  /// Emission times for an event's messages: front-loaded (exponential
+  /// decay over the duration), sorted ascending, first at event start.
+  std::vector<Timestamp> SampleEmissionTimes(Random* rng,
+                                             const EventSpec& spec) const;
+
+  /// For message #i (i >= 1) of an event, picks the index of the earlier
+  /// message an RT re-shares: preferential attachment — earlier, more
+  /// re-shared messages attract more re-shares, with a recency component.
+  size_t SampleRtTarget(Random* rng, size_t i) const;
+
+ private:
+  EventModelOptions options_;
+  const TextModel* text_model_;
+  std::vector<std::string> shared_hashtags_;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_GEN_EVENT_MODEL_H_

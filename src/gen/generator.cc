@@ -1,0 +1,234 @@
+#include "gen/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace microprov {
+
+namespace {
+
+// Pre-sort draft record; RT targets are event-local until ids exist.
+struct Draft {
+  Message msg;
+  std::string body;  // text without RT prefix, for quoting
+  int64_t event_id = -1;
+  int64_t local_idx = -1;
+  int64_t rt_local_target = -1;
+};
+
+}  // namespace
+
+namespace {
+
+// A single event bigger than ~2% of the whole stream would be an
+// artifact of running at reduced scale (the paper's defaults assume a
+// 700k-message stream); clamp so distribution shapes survive downscaling.
+GeneratorOptions ClampEventSize(GeneratorOptions options) {
+  const uint64_t cap =
+      std::max<uint64_t>(20, options.total_messages / 50);
+  if (options.event_options.max_event_size > cap) {
+    options.event_options.max_event_size = cap;
+  }
+  return options;
+}
+
+}  // namespace
+
+StreamGenerator::StreamGenerator(const GeneratorOptions& options)
+    : options_(ClampEventSize(options)),
+      text_model_([&] {
+        TextModel::Options topts = options_.text_options;
+        topts.seed = options_.seed ^ 0x7477;
+        return topts;
+      }()),
+      event_model_(options_.event_options, &text_model_) {}
+
+void StreamGenerator::Inject(InjectedEvent event) {
+  injected_.push_back(std::move(event));
+}
+
+std::vector<Message> StreamGenerator::Generate(GroundTruth* truth) {
+  Random rng(options_.seed);
+  ZipfSampler user_sampler(options_.num_users, options_.user_zipf);
+
+  const Timestamp start = options_.start_date;
+  const Timestamp horizon =
+      start + options_.duration_days * kSecondsPerDay;
+
+  const uint64_t noise_budget = static_cast<uint64_t>(
+      static_cast<double>(options_.total_messages) *
+      options_.noise_fraction);
+  uint64_t injected_total = 0;
+  for (const auto& ev : injected_) injected_total += ev.size;
+  const uint64_t event_budget =
+      options_.total_messages > noise_budget + injected_total
+          ? options_.total_messages - noise_budget - injected_total
+          : 0;
+
+  std::vector<Draft> drafts;
+  drafts.reserve(options_.total_messages);
+
+  auto sample_user = [&]() {
+    return StringPrintf("user%zu", user_sampler.Sample(&rng));
+  };
+
+  auto emit_event_messages = [&](const EventSpec& spec, int64_t event_id) {
+    std::vector<Timestamp> times =
+        event_model_.SampleEmissionTimes(&rng, spec);
+    // Track each emitted message's author/body for RT quoting.
+    std::vector<std::string> authors(times.size());
+    std::vector<std::string> bodies(times.size());
+    for (size_t i = 0; i < times.size(); ++i) {
+      Draft d;
+      d.event_id = event_id;
+      d.local_idx = static_cast<int64_t>(i);
+      d.msg.date = times[i];
+      d.msg.user = sample_user();
+      authors[i] = d.msg.user;
+
+      const bool is_rt =
+          i > 0 && rng.Bernoulli(spec.rt_probability);
+      if (is_rt) {
+        size_t target = event_model_.SampleRtTarget(&rng, i);
+        d.rt_local_target = static_cast<int64_t>(target);
+        std::string comment;
+        if (rng.Bernoulli(0.4)) {
+          comment = text_model_.ComposeBody(&rng, spec.topic_words,
+                                            1 + rng.Uniform(3), 0.5);
+          comment += " ";
+        }
+        d.body = bodies[target];
+        d.msg.text = comment + "RT @" + authors[target] + ": " + d.body;
+      } else {
+        std::string body = text_model_.ComposeBody(
+            &rng, spec.topic_words, 4 + rng.Uniform(9), 0.55);
+        if (rng.Bernoulli(spec.hashtag_probability) &&
+            !spec.hashtags.empty()) {
+          size_t ntags = 1 + rng.Uniform(spec.hashtags.size());
+          for (size_t t = 0; t < ntags; ++t) {
+            body += " #" + spec.hashtags[t];
+          }
+        }
+        if (rng.Bernoulli(spec.url_probability) && !spec.urls.empty()) {
+          body += " http://" + spec.urls[rng.Uniform(spec.urls.size())];
+        }
+        d.body = body;
+        d.msg.text = std::move(body);
+      }
+      bodies[i] = d.body;
+      drafts.push_back(std::move(d));
+    }
+  };
+
+  // ---- regular events ----
+  int64_t next_event_id = 0;
+  uint64_t emitted = 0;
+  while (emitted < event_budget) {
+    // Events start anywhere in the first 95% of the window.
+    Timestamp ev_start =
+        start + static_cast<Timestamp>(rng.NextDouble() * 0.95 *
+                                       static_cast<double>(horizon - start));
+    EventSpec spec =
+        event_model_.SampleEvent(&rng, next_event_id, ev_start, horizon);
+    if (spec.size > event_budget - emitted) {
+      spec.size = event_budget - emitted;
+      if (spec.size == 0) break;
+    }
+    emit_event_messages(spec, next_event_id);
+    emitted += spec.size;
+    ++next_event_id;
+  }
+
+  // ---- injected showcase events ----
+  int64_t injected_id = -2;
+  for (const auto& inj : injected_) {
+    EventSpec spec;
+    spec.event_id = injected_id;
+    spec.start = inj.start != 0 ? inj.start : start + kSecondsPerDay;
+    spec.size = inj.size != 0 ? inj.size : 20;
+    spec.duration_secs =
+        inj.duration_secs != 0 ? inj.duration_secs : 6 * kSecondsPerHour;
+    spec.hashtags = inj.hashtags;
+    spec.urls = inj.urls;
+    spec.topic_words = !inj.topic_words.empty()
+                           ? inj.topic_words
+                           : text_model_.SampleTopicWords(&rng, 16);
+    spec.rt_probability = inj.rt_probability;
+    emit_event_messages(spec, injected_id);
+    --injected_id;
+  }
+
+  // ---- noise ----
+  for (uint64_t i = 0; i < noise_budget; ++i) {
+    Draft d;
+    d.event_id = -1;
+    d.msg.date = start + static_cast<Timestamp>(
+                             rng.NextDouble() *
+                             static_cast<double>(horizon - start));
+    d.msg.user = sample_user();
+    std::string body;
+    if (rng.Bernoulli(0.5)) {
+      body = text_model_.ComposeInterjection(&rng);
+    } else {
+      body = text_model_.ComposeBody(&rng, {}, 2 + rng.Uniform(5), 0.0);
+    }
+    // A slice of noise piggybacks on popular hashtags ("#redsox sigh!").
+    if (rng.Bernoulli(0.2)) {
+      body += " #" + text_model_.WordAt(
+                         rng.Uniform(text_model_.vocabulary_size() / 10));
+    }
+    d.body = body;
+    d.msg.text = std::move(body);
+    drafts.push_back(std::move(d));
+  }
+
+  // ---- order by date, assign ids, resolve RT targets ----
+  std::stable_sort(drafts.begin(), drafts.end(),
+                   [](const Draft& a, const Draft& b) {
+                     return a.msg.date < b.msg.date;
+                   });
+
+  // (event_id, local_idx) -> global id.
+  std::unordered_map<std::pair<int64_t, int64_t>, MessageId, PairHash>
+      local_to_global;
+  auto key_of = [](int64_t event_id, int64_t local_idx) {
+    return std::make_pair(event_id, local_idx);
+  };
+
+  std::vector<Message> out;
+  out.reserve(drafts.size());
+  if (truth != nullptr) {
+    truth->event_of.clear();
+    truth->event_of.reserve(drafts.size());
+    truth->num_events = next_event_id;
+  }
+  for (size_t i = 0; i < drafts.size(); ++i) {
+    Draft& d = drafts[i];
+    d.msg.id = static_cast<MessageId>(i);
+    if (d.local_idx >= 0) {
+      local_to_global[key_of(d.event_id, d.local_idx)] = d.msg.id;
+    }
+    if (d.rt_local_target >= 0) {
+      auto it = local_to_global.find(key_of(d.event_id, d.rt_local_target));
+      assert(it != local_to_global.end());
+      d.msg.retweet_of_id = it->second;
+      d.msg.is_retweet = true;
+    }
+    if (options_.extract_indicants_from_text) {
+      MessageId rt_id = d.msg.retweet_of_id;
+      bool was_rt = d.msg.is_retweet;
+      ExtractIndicants(&d.msg);
+      d.msg.retweet_of_id = rt_id;
+      d.msg.is_retweet = was_rt || d.msg.is_retweet;
+    }
+    if (truth != nullptr) truth->event_of.push_back(d.event_id);
+    out.push_back(std::move(d.msg));
+  }
+  return out;
+}
+
+}  // namespace microprov

@@ -1,0 +1,83 @@
+#include "gen/text_model.h"
+
+#include <unordered_set>
+
+namespace microprov {
+
+namespace {
+
+constexpr const char* kOnsets[] = {"b",  "br", "c",  "ch", "d",  "dr",
+                                   "f",  "fl", "g",  "gr", "h",  "j",
+                                   "k",  "l",  "m",  "n",  "p",  "pr",
+                                   "r",  "s",  "sh", "sl", "st", "t",
+                                   "th", "tr", "v",  "w",  "z"};
+constexpr const char* kNuclei[] = {"a",  "e",  "i",  "o",  "u",
+                                   "ai", "ea", "ee", "oo", "ou"};
+constexpr const char* kCodas[] = {"",  "",  "n", "r", "s", "t",
+                                  "l", "m", "k", "nd", "ng", "st"};
+
+constexpr const char* kInterjections[] = {
+    "wow",  "ugh",   "argh", "sigh",  "yay",   "whew", "meh",
+    "haha", "hmm",   "oops", "yikes", "woohoo", "bah",  "phew"};
+
+std::string MakeWord(Random* rng, size_t syllables) {
+  std::string w;
+  for (size_t i = 0; i < syllables; ++i) {
+    w += kOnsets[rng->Uniform(std::size(kOnsets))];
+    w += kNuclei[rng->Uniform(std::size(kNuclei))];
+    w += kCodas[rng->Uniform(std::size(kCodas))];
+  }
+  return w;
+}
+
+}  // namespace
+
+TextModel::TextModel(const Options& options)
+    : background_(options.vocabulary_size, options.background_zipf) {
+  Random rng(options.seed);
+  std::unordered_set<std::string> seen;
+  words_.reserve(options.vocabulary_size);
+  while (words_.size() < options.vocabulary_size) {
+    size_t syllables = 1 + rng.Uniform(3);  // 1..3
+    std::string w = MakeWord(&rng, syllables);
+    if (w.size() < 3) continue;
+    if (seen.insert(w).second) words_.push_back(std::move(w));
+  }
+}
+
+std::vector<std::string> TextModel::SampleTopicWords(Random* rng,
+                                                     size_t count) const {
+  std::vector<std::string> topic;
+  std::unordered_set<size_t> used;
+  // Topic words come from the mid/tail of the vocabulary so that distinct
+  // topics rarely share identifying words.
+  const size_t head = words_.size() / 20;
+  while (topic.size() < count && used.size() < words_.size() - head) {
+    size_t idx = head + rng->Uniform(words_.size() - head);
+    if (used.insert(idx).second) topic.push_back(words_[idx]);
+  }
+  return topic;
+}
+
+std::string TextModel::ComposeBody(
+    Random* rng, const std::vector<std::string>& topic_words,
+    size_t num_words, double topic_share) const {
+  std::string out;
+  for (size_t i = 0; i < num_words; ++i) {
+    if (!out.empty()) out.push_back(' ');
+    if (!topic_words.empty() && rng->Bernoulli(topic_share)) {
+      out += topic_words[rng->Uniform(topic_words.size())];
+    } else {
+      out += words_[background_.Sample(rng)];
+    }
+  }
+  return out;
+}
+
+std::string TextModel::ComposeInterjection(Random* rng) const {
+  std::string out = kInterjections[rng->Uniform(std::size(kInterjections))];
+  if (rng->Bernoulli(0.4)) out += "!!";
+  return out;
+}
+
+}  // namespace microprov

@@ -1,0 +1,54 @@
+#ifndef MICROPROV_GEN_TEXT_MODEL_H_
+#define MICROPROV_GEN_TEXT_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "gen/zipf.h"
+
+namespace microprov {
+
+/// Deterministic synthetic-English model. Builds a fixed vocabulary of
+/// pronounceable words (syllable concatenation) with Zipfian background
+/// frequencies, plus per-topic word subsets. Message texts mix topic words
+/// with background words, which gives the text/keyword indicants a
+/// realistic overlap structure (same-topic messages share words; unrelated
+/// messages rarely collide beyond stopword-like high-frequency terms).
+class TextModel {
+ public:
+  struct Options {
+    size_t vocabulary_size = 6000;
+    /// Zipf exponent for the background word distribution.
+    double background_zipf = 1.05;
+    uint64_t seed = 1;
+  };
+
+  explicit TextModel(const Options& options);
+
+  /// The word with rank `i` (stable across runs with the same seed).
+  const std::string& WordAt(size_t i) const { return words_[i]; }
+  size_t vocabulary_size() const { return words_.size(); }
+
+  /// Draws `count` distinct topical words for a new topic.
+  std::vector<std::string> SampleTopicWords(Random* rng,
+                                            size_t count) const;
+
+  /// Composes message body text: `num_words` words, `topic_share` of them
+  /// drawn from `topic_words` (when non-empty), the rest from the
+  /// background distribution.
+  std::string ComposeBody(Random* rng,
+                          const std::vector<std::string>& topic_words,
+                          size_t num_words, double topic_share) const;
+
+  /// Short interjection like "wow", "ugh!!" used for noise messages.
+  std::string ComposeInterjection(Random* rng) const;
+
+ private:
+  std::vector<std::string> words_;
+  ZipfSampler background_;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_GEN_TEXT_MODEL_H_

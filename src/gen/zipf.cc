@@ -1,0 +1,44 @@
+#include "gen/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace microprov {
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  assert(n >= 1);
+  cdf_.resize(n);
+  double total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (double& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // guard against FP drift
+}
+
+size_t ZipfSampler::Sample(Random* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(size_t rank) const {
+  if (rank >= cdf_.size()) return 0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+uint64_t SamplePowerLaw(Random* rng, uint64_t x_min, uint64_t x_max,
+                        double alpha) {
+  assert(alpha > 1.0 && x_min >= 1 && x_max >= x_min);
+  double u = rng->NextDouble();
+  while (u >= 1.0) u = rng->NextDouble();
+  double x = static_cast<double>(x_min) *
+             std::pow(1.0 - u, -1.0 / (alpha - 1.0));
+  if (x > static_cast<double>(x_max)) return x_max;
+  return static_cast<uint64_t>(x);
+}
+
+}  // namespace microprov

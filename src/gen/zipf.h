@@ -1,0 +1,43 @@
+#ifndef MICROPROV_GEN_ZIPF_H_
+#define MICROPROV_GEN_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace microprov {
+
+/// Samples ranks in [0, n) with probability proportional to
+/// 1 / (rank+1)^s. Popularity of users, hashtags, and background topics in
+/// micro-blog streams is famously Zipfian; the generator leans on this for
+/// realistic head/tail shape. Precomputes the CDF (O(n) memory) and samples
+/// by binary search (O(log n)).
+class ZipfSampler {
+ public:
+  /// Requires n >= 1, s >= 0 (s == 0 is uniform).
+  ZipfSampler(size_t n, double s);
+
+  /// Returns a rank in [0, n); rank 0 is the most popular.
+  size_t Sample(Random* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+  /// Probability mass of `rank` (for tests).
+  double Pmf(size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;  // inclusive cumulative probability
+};
+
+/// Samples from a discrete power law on {x_min, x_min+1, ...} with exponent
+/// `alpha` (> 1), truncated at `x_max`, via inverse-CDF of the continuous
+/// Pareto. Event sizes in social streams follow this: most events are tiny,
+/// a few are huge (paper Fig. 6(a)).
+uint64_t SamplePowerLaw(Random* rng, uint64_t x_min, uint64_t x_max,
+                        double alpha);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_GEN_ZIPF_H_

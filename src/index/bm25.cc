@@ -1,0 +1,25 @@
+#include "index/bm25.h"
+
+#include <cmath>
+
+namespace microprov {
+
+double Bm25Idf(uint32_t num_docs, uint32_t doc_freq) {
+  if (doc_freq == 0 || num_docs == 0) return 0.0;
+  double n = static_cast<double>(num_docs);
+  double df = static_cast<double>(doc_freq);
+  return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+}
+
+double Bm25Term(double idf, uint32_t tf, uint32_t doc_len,
+                double avg_doc_len, const Bm25Params& params) {
+  if (tf == 0) return 0.0;
+  double tf_d = static_cast<double>(tf);
+  double norm = avg_doc_len <= 0.0
+                    ? 1.0
+                    : params.k1 * (1.0 - params.b +
+                                   params.b * doc_len / avg_doc_len);
+  return idf * (tf_d * (params.k1 + 1.0)) / (tf_d + norm);
+}
+
+}  // namespace microprov

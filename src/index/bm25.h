@@ -1,0 +1,24 @@
+#ifndef MICROPROV_INDEX_BM25_H_
+#define MICROPROV_INDEX_BM25_H_
+
+#include <cstdint>
+
+namespace microprov {
+
+/// Okapi BM25 parameters; defaults are the textbook values.
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+/// Robertson-Sparck-Jones IDF with the +1 floor Lucene uses so common
+/// terms never score negative.
+double Bm25Idf(uint32_t num_docs, uint32_t doc_freq);
+
+/// Per-term, per-document BM25 contribution.
+double Bm25Term(double idf, uint32_t tf, uint32_t doc_len,
+                double avg_doc_len, const Bm25Params& params);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_INDEX_BM25_H_

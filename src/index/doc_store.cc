@@ -1,0 +1,12 @@
+#include "index/doc_store.h"
+
+#include "common/memory_usage.h"
+
+namespace microprov {
+
+size_t DocStore::ApproxMemoryUsage() const {
+  return sizeof(DocStore) + ApproxVectorUsage(external_ids_) +
+         ::microprov::ApproxMemoryUsage(snippets_);
+}
+
+}  // namespace microprov

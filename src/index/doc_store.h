@@ -1,0 +1,35 @@
+#ifndef MICROPROV_INDEX_DOC_STORE_H_
+#define MICROPROV_INDEX_DOC_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/posting_list.h"
+
+namespace microprov {
+
+/// Maps dense DocIds back to application objects: the external id (a
+/// MessageId or BundleId) plus an optional stored snippet for display.
+class DocStore {
+ public:
+  DocId Add(int64_t external_id, std::string snippet = {}) {
+    external_ids_.push_back(external_id);
+    snippets_.push_back(std::move(snippet));
+    return static_cast<DocId>(external_ids_.size() - 1);
+  }
+
+  int64_t ExternalId(DocId doc) const { return external_ids_[doc]; }
+  const std::string& Snippet(DocId doc) const { return snippets_[doc]; }
+  size_t size() const { return external_ids_.size(); }
+
+  size_t ApproxMemoryUsage() const;
+
+ private:
+  std::vector<int64_t> external_ids_;
+  std::vector<std::string> snippets_;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_INDEX_DOC_STORE_H_

@@ -1,0 +1,58 @@
+#include "index/memory_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/memory_usage.h"
+
+namespace microprov {
+
+DocId MemoryIndex::AddDocument(const std::vector<std::string>& tokens) {
+  const DocId doc = num_docs_++;
+  // Coalesce term frequencies first so each posting list sees one Add.
+  std::unordered_map<TermId, uint32_t> tfs;
+  for (const std::string& tok : tokens) {
+    ++tfs[vocab_.GetOrAdd(tok)];
+  }
+  if (vocab_.size() > lists_.size()) lists_.resize(vocab_.size());
+  // Deterministic order (TermId ascending) keeps encodes reproducible.
+  std::vector<std::pair<TermId, uint32_t>> sorted(tfs.begin(), tfs.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& [term, tf] : sorted) {
+    lists_[term].Add(doc, tf);
+  }
+  doc_lengths_.push_back(static_cast<uint32_t>(tokens.size()));
+  total_length_ += tokens.size();
+  return doc;
+}
+
+double MemoryIndex::average_doc_length() const {
+  return num_docs_ == 0
+             ? 0.0
+             : static_cast<double>(total_length_) / num_docs_;
+}
+
+uint32_t MemoryIndex::DocFreq(std::string_view term) const {
+  TermId id = vocab_.Find(term);
+  if (id == kInvalidTermId) return 0;
+  return lists_[id].doc_count();
+}
+
+PostingList::Iterator MemoryIndex::Postings(std::string_view term) const {
+  TermId id = vocab_.Find(term);
+  if (id == kInvalidTermId) return empty_.NewIterator();
+  return lists_[id].NewIterator();
+}
+
+size_t MemoryIndex::ApproxMemoryUsage() const {
+  size_t total = sizeof(MemoryIndex);
+  total += vocab_.ApproxMemoryUsage();
+  total += ApproxVectorUsage(lists_);
+  for (const PostingList& list : lists_) {
+    total += list.ApproxMemoryUsage() - sizeof(PostingList);
+  }
+  total += ApproxVectorUsage(doc_lengths_);
+  return total;
+}
+
+}  // namespace microprov

@@ -1,0 +1,55 @@
+#ifndef MICROPROV_INDEX_MEMORY_INDEX_H_
+#define MICROPROV_INDEX_MEMORY_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/posting_list.h"
+#include "text/vocabulary.h"
+
+namespace microprov {
+
+/// In-memory inverted index over tokenized documents: term -> compressed
+/// posting list, plus the per-document statistics BM25 needs. This is the
+/// "Lucene" role in the paper's stack (their query support is implemented
+/// with Lucene); the query module builds message and bundle indexes on it.
+class MemoryIndex {
+ public:
+  MemoryIndex() = default;
+  MemoryIndex(const MemoryIndex&) = delete;
+  MemoryIndex& operator=(const MemoryIndex&) = delete;
+
+  /// Adds a document; returns its DocId (dense, insertion order). Tokens
+  /// are raw terms (already normalized); duplicates raise tf.
+  DocId AddDocument(const std::vector<std::string>& tokens);
+
+  uint32_t num_docs() const { return num_docs_; }
+  double average_doc_length() const;
+  uint32_t doc_length(DocId doc) const { return doc_lengths_[doc]; }
+
+  /// Document frequency of `term` (0 if unseen).
+  uint32_t DocFreq(std::string_view term) const;
+
+  /// Posting iterator for `term`; Valid() is false for unseen terms.
+  PostingList::Iterator Postings(std::string_view term) const;
+
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+  /// Posting list by TermId (segment serialization). Requires id < size.
+  const PostingList& list(TermId id) const { return lists_[id]; }
+
+  size_t ApproxMemoryUsage() const;
+
+ private:
+  Vocabulary vocab_;
+  std::vector<PostingList> lists_;  // indexed by TermId
+  std::vector<uint32_t> doc_lengths_;
+  uint64_t total_length_ = 0;
+  uint32_t num_docs_ = 0;
+  PostingList empty_;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_INDEX_MEMORY_INDEX_H_

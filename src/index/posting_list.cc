@@ -1,0 +1,68 @@
+#include "index/posting_list.h"
+
+#include <cassert>
+
+#include "common/coding.h"
+#include "common/memory_usage.h"
+
+namespace microprov {
+
+void PostingList::Add(DocId doc, uint32_t tf) {
+  assert(doc_count_ == 0 || doc >= last_doc_);
+  if (doc_count_ > 0 && doc == last_doc_) {
+    // Accumulating tf for the trailing doc would require re-encoding; the
+    // in-memory index coalesces tf before calling Add, so this is a no-op
+    // guard in release and an assert in debug.
+    assert(false && "duplicate doc in posting list");
+    return;
+  }
+  uint32_t delta = doc_count_ == 0 ? doc : doc - last_doc_;
+  PutVarint32(&data_, delta);
+  PutVarint32(&data_, tf);
+  last_doc_ = doc;
+  ++doc_count_;
+}
+
+std::vector<Posting> PostingList::Decode() const {
+  std::vector<Posting> out;
+  out.reserve(doc_count_);
+  for (auto it = NewIterator(); it.Valid(); it.Next()) {
+    out.push_back(it.posting());
+  }
+  return out;
+}
+
+size_t PostingList::ApproxMemoryUsage() const {
+  return sizeof(PostingList) + ::microprov::ApproxMemoryUsage(data_);
+}
+
+PostingList::Iterator::Iterator(const PostingList* list)
+    : Iterator(std::string_view(list->data_)) {}
+
+PostingList::Iterator::Iterator(std::string_view encoded)
+    : rest_(encoded) {
+  valid_ = !rest_.empty();
+  if (valid_) {
+    uint32_t delta = 0, tf = 0;
+    GetVarint32(&rest_, &delta);
+    GetVarint32(&rest_, &tf);
+    current_ = {delta, tf};
+  }
+}
+
+void PostingList::Iterator::Next() {
+  if (rest_.empty()) {
+    valid_ = false;
+    return;
+  }
+  uint32_t delta = 0, tf = 0;
+  GetVarint32(&rest_, &delta);
+  GetVarint32(&rest_, &tf);
+  current_ = {current_.doc + delta, tf};
+}
+
+void PostingList::Iterator::SkipTo(DocId target) {
+  while (valid_ && current_.doc < target) Next();
+}
+
+}  // namespace microprov

@@ -1,0 +1,77 @@
+#ifndef MICROPROV_INDEX_POSTING_LIST_H_
+#define MICROPROV_INDEX_POSTING_LIST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace microprov {
+
+/// Document id within an index (dense, assigned in insertion order).
+using DocId = uint32_t;
+
+/// One (document, term-frequency) pair.
+struct Posting {
+  DocId doc = 0;
+  uint32_t tf = 0;
+
+  bool operator==(const Posting& other) const = default;
+};
+
+/// Compressed posting list: doc ids delta-encoded as varints, term
+/// frequencies as varints. Append-only; docs must be added in ascending
+/// order (the in-memory index guarantees this because doc ids grow with
+/// insertion).
+class PostingList {
+ public:
+  PostingList() = default;
+
+  /// Appends a posting. Requires doc > the last appended doc (or tf
+  /// accumulation onto the same trailing doc).
+  void Add(DocId doc, uint32_t tf);
+
+  uint32_t doc_count() const { return doc_count_; }
+  size_t encoded_size() const { return data_.size(); }
+  /// Raw encoded bytes (for segment serialization).
+  std::string_view encoded() const { return data_; }
+
+  /// Decodes the full list (tests, merges).
+  std::vector<Posting> Decode() const;
+
+  /// Forward iterator over the compressed list.
+  class Iterator {
+   public:
+    explicit Iterator(const PostingList* list);
+    /// Iterates raw encoded posting bytes (used by on-disk segments).
+    explicit Iterator(std::string_view encoded);
+
+    bool Valid() const { return valid_; }
+    void Next();
+    Posting posting() const { return current_; }
+
+    /// Advances to the first posting with doc >= target.
+    void SkipTo(DocId target);
+
+   private:
+    std::string_view rest_;
+    Posting current_;
+    bool valid_ = false;
+  };
+
+  Iterator NewIterator() const { return Iterator(this); }
+
+  size_t ApproxMemoryUsage() const;
+
+ private:
+  friend class Iterator;
+  std::string data_;
+  DocId last_doc_ = 0;
+  uint32_t doc_count_ = 0;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_INDEX_POSTING_LIST_H_

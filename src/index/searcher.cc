@@ -1,0 +1,87 @@
+#include "index/searcher.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace microprov {
+
+std::vector<SearchHit> Searcher::RankAccumulated(
+    std::vector<std::pair<DocId, double>>&& scores, size_t k) const {
+  std::vector<SearchHit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    hits.push_back({doc, score});
+  }
+  size_t take = std::min(k, hits.size());
+  std::partial_sort(hits.begin(), hits.begin() + take, hits.end(),
+                    [](const SearchHit& a, const SearchHit& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.doc < b.doc;
+                    });
+  hits.resize(take);
+  return hits;
+}
+
+std::vector<SearchHit> Searcher::TopK(
+    const std::vector<std::string>& terms, size_t k) const {
+  std::unordered_map<DocId, double> acc;
+  const uint32_t n = index_->num_docs();
+  const double avg = index_->average_doc_length();
+  for (const std::string& term : terms) {
+    uint32_t df = index_->DocFreq(term);
+    if (df == 0) continue;
+    double idf = Bm25Idf(n, df);
+    for (auto it = index_->Postings(term); it.Valid(); it.Next()) {
+      Posting p = it.posting();
+      acc[p.doc] += Bm25Term(idf, p.tf, index_->doc_length(p.doc), avg,
+                             params_);
+    }
+  }
+  std::vector<std::pair<DocId, double>> scores(acc.begin(), acc.end());
+  return RankAccumulated(std::move(scores), k);
+}
+
+std::vector<SearchHit> Searcher::TopKConjunctive(
+    const std::vector<std::string>& terms, size_t k) const {
+  if (terms.empty()) return {};
+  // Gather iterators; an unseen term means an empty result.
+  std::vector<PostingList::Iterator> iters;
+  std::vector<double> idfs;
+  const uint32_t n = index_->num_docs();
+  const double avg = index_->average_doc_length();
+  for (const std::string& term : terms) {
+    uint32_t df = index_->DocFreq(term);
+    if (df == 0) return {};
+    iters.push_back(index_->Postings(term));
+    idfs.push_back(Bm25Idf(n, df));
+  }
+
+  std::vector<std::pair<DocId, double>> scores;
+  // Classic leapfrog intersection driven by the first iterator.
+  while (iters[0].Valid()) {
+    DocId candidate = iters[0].posting().doc;
+    bool all_match = true;
+    for (size_t i = 1; i < iters.size(); ++i) {
+      iters[i].SkipTo(candidate);
+      if (!iters[i].Valid()) return RankAccumulated(std::move(scores), k);
+      if (iters[i].posting().doc != candidate) {
+        all_match = false;
+        // Re-anchor on the larger doc.
+        iters[0].SkipTo(iters[i].posting().doc);
+        break;
+      }
+    }
+    if (all_match) {
+      double score = 0;
+      for (size_t i = 0; i < iters.size(); ++i) {
+        score += Bm25Term(idfs[i], iters[i].posting().tf,
+                          index_->doc_length(candidate), avg, params_);
+      }
+      scores.emplace_back(candidate, score);
+      iters[0].Next();
+    }
+  }
+  return RankAccumulated(std::move(scores), k);
+}
+
+}  // namespace microprov

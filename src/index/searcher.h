@@ -1,0 +1,43 @@
+#ifndef MICROPROV_INDEX_SEARCHER_H_
+#define MICROPROV_INDEX_SEARCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "index/bm25.h"
+#include "index/memory_index.h"
+
+namespace microprov {
+
+/// One ranked hit.
+struct SearchHit {
+  DocId doc = 0;
+  double score = 0.0;
+};
+
+/// Ranked retrieval over a MemoryIndex.
+class Searcher {
+ public:
+  explicit Searcher(const MemoryIndex* index, Bm25Params params = {})
+      : index_(index), params_(params) {}
+
+  /// Disjunctive (OR) BM25 top-k. Terms absent from the index contribute
+  /// nothing. Ties break toward smaller DocId for determinism.
+  std::vector<SearchHit> TopK(const std::vector<std::string>& terms,
+                              size_t k) const;
+
+  /// Conjunctive (AND) retrieval: docs containing every term, BM25-ranked.
+  std::vector<SearchHit> TopKConjunctive(
+      const std::vector<std::string>& terms, size_t k) const;
+
+ private:
+  std::vector<SearchHit> RankAccumulated(
+      std::vector<std::pair<DocId, double>>&& scores, size_t k) const;
+
+  const MemoryIndex* index_;
+  Bm25Params params_;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_INDEX_SEARCHER_H_

@@ -1,0 +1,173 @@
+#include "index/segment.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/env.h"
+
+namespace microprov {
+
+namespace {
+constexpr uint32_t kSegmentMagic = 0x4753454Du;  // "MSEG"
+}  // namespace
+
+Status WriteSegment(const MemoryIndex& index, const DocStore& docs,
+                    const std::string& path) {
+  if (index.num_docs() != docs.size()) {
+    return Status::InvalidArgument(
+        "index and doc store disagree on document count");
+  }
+  std::string body;
+  PutFixed32(&body, kSegmentMagic);
+  PutFixed32(&body, index.num_docs());
+
+  // Term dictionary + postings blob.
+  const Vocabulary& vocab = index.vocabulary();
+  std::string dict;
+  std::string blob;
+  PutVarint32(&dict, static_cast<uint32_t>(vocab.size()));
+  for (TermId id = 0; id < vocab.size(); ++id) {
+    const PostingList& list = index.list(id);
+    PutLengthPrefixed(&dict, vocab.TermOf(id));
+    PutVarint32(&dict, list.doc_count());
+    PutVarint64(&dict, blob.size());
+    PutVarint32(&dict, static_cast<uint32_t>(list.encoded_size()));
+    blob.append(list.encoded());
+  }
+  PutLengthPrefixed(&body, dict);
+  PutLengthPrefixed(&body, blob);
+
+  // Doc lengths.
+  uint64_t total_length = 0;
+  std::string lengths;
+  for (DocId d = 0; d < index.num_docs(); ++d) {
+    PutVarint32(&lengths, index.doc_length(d));
+    total_length += index.doc_length(d);
+  }
+  PutVarint64(&body, total_length);
+  PutLengthPrefixed(&body, lengths);
+
+  // Doc store.
+  std::string store;
+  for (DocId d = 0; d < docs.size(); ++d) {
+    PutVarsint64(&store, docs.ExternalId(d));
+    PutLengthPrefixed(&store, docs.Snippet(d));
+  }
+  PutLengthPrefixed(&body, store);
+
+  // Trailing CRC over everything before it.
+  PutFixed32(&body, crc32c::Mask(crc32c::Value(body)));
+  return Env::Default()->WriteStringToFile(path, body);
+}
+
+StatusOr<std::unique_ptr<SegmentReader>> SegmentReader::Open(
+    const std::string& path) {
+  std::string contents;
+  MICROPROV_RETURN_IF_ERROR(
+      Env::Default()->ReadFileToString(path, &contents));
+  if (contents.size() < 12) {
+    return Status::Corruption("segment too small: " + path);
+  }
+
+  // Verify CRC.
+  std::string_view tail(contents.data() + contents.size() - 4, 4);
+  uint32_t stored = 0;
+  GetFixed32(&tail, &stored);
+  std::string_view covered(contents.data(), contents.size() - 4);
+  if (crc32c::Unmask(stored) != crc32c::Value(covered)) {
+    return Status::Corruption("segment checksum mismatch: " + path);
+  }
+
+  std::string_view input = covered;
+  uint32_t magic = 0;
+  uint32_t num_docs = 0;
+  if (!GetFixed32(&input, &magic) || magic != kSegmentMagic) {
+    return Status::Corruption("bad segment magic: " + path);
+  }
+  if (!GetFixed32(&input, &num_docs)) {
+    return Status::Corruption("truncated segment header");
+  }
+
+  auto reader = std::unique_ptr<SegmentReader>(new SegmentReader());
+  reader->num_docs_ = num_docs;
+
+  std::string_view dict, blob;
+  if (!GetLengthPrefixed(&input, &dict) ||
+      !GetLengthPrefixed(&input, &blob)) {
+    return Status::Corruption("truncated segment dictionary/blob");
+  }
+  reader->blob_.assign(blob);
+
+  uint32_t num_terms = 0;
+  if (!GetVarint32(&dict, &num_terms)) {
+    return Status::Corruption("truncated term count");
+  }
+  reader->dict_.reserve(num_terms);
+  for (uint32_t i = 0; i < num_terms; ++i) {
+    std::string_view term;
+    TermEntry entry;
+    uint64_t offset = 0;
+    if (!GetLengthPrefixed(&dict, &term) ||
+        !GetVarint32(&dict, &entry.df) || !GetVarint64(&dict, &offset) ||
+        !GetVarint32(&dict, &entry.length)) {
+      return Status::Corruption("truncated term entry");
+    }
+    entry.offset = offset;
+    if (entry.offset + entry.length > reader->blob_.size()) {
+      return Status::Corruption("posting extent out of range");
+    }
+    reader->dict_.emplace(std::string(term), entry);
+  }
+
+  std::string_view lengths;
+  if (!GetVarint64(&input, &reader->total_length_) ||
+      !GetLengthPrefixed(&input, &lengths)) {
+    return Status::Corruption("truncated doc lengths");
+  }
+  reader->doc_lengths_.reserve(num_docs);
+  for (uint32_t i = 0; i < num_docs; ++i) {
+    uint32_t len = 0;
+    if (!GetVarint32(&lengths, &len)) {
+      return Status::Corruption("truncated doc length entry");
+    }
+    reader->doc_lengths_.push_back(len);
+  }
+
+  std::string_view store;
+  if (!GetLengthPrefixed(&input, &store)) {
+    return Status::Corruption("truncated doc store");
+  }
+  reader->external_ids_.reserve(num_docs);
+  reader->snippets_.reserve(num_docs);
+  for (uint32_t i = 0; i < num_docs; ++i) {
+    int64_t ext = 0;
+    std::string_view snippet;
+    if (!GetVarsint64(&store, &ext) ||
+        !GetLengthPrefixed(&store, &snippet)) {
+      return Status::Corruption("truncated doc store entry");
+    }
+    reader->external_ids_.push_back(ext);
+    reader->snippets_.emplace_back(snippet);
+  }
+  return reader;
+}
+
+double SegmentReader::average_doc_length() const {
+  return num_docs_ == 0
+             ? 0.0
+             : static_cast<double>(total_length_) / num_docs_;
+}
+
+uint32_t SegmentReader::DocFreq(std::string_view term) const {
+  auto it = dict_.find(std::string(term));
+  return it == dict_.end() ? 0 : it->second.df;
+}
+
+PostingList::Iterator SegmentReader::Postings(
+    std::string_view term) const {
+  auto it = dict_.find(std::string(term));
+  if (it == dict_.end()) return PostingList::Iterator(std::string_view());
+  return PostingList::Iterator(std::string_view(
+      blob_.data() + it->second.offset, it->second.length));
+}
+
+}  // namespace microprov

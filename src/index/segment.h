@@ -1,0 +1,62 @@
+#ifndef MICROPROV_INDEX_SEGMENT_H_
+#define MICROPROV_INDEX_SEGMENT_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "index/doc_store.h"
+#include "index/memory_index.h"
+
+namespace microprov {
+
+/// Immutable on-disk snapshot of a MemoryIndex + DocStore. A segment file
+/// is written atomically (temp + rename), CRC-protected, and contains:
+///   header | term dictionary | postings blob | doc lengths | doc store
+/// Readers load the dictionary eagerly and iterate postings in place.
+///
+/// The engine uses segments to persist the message-search index alongside
+/// the bundle store so a restarted process can serve queries without
+/// re-ingesting the stream.
+Status WriteSegment(const MemoryIndex& index, const DocStore& docs,
+                    const std::string& path);
+
+class SegmentReader {
+ public:
+  static StatusOr<std::unique_ptr<SegmentReader>> Open(
+      const std::string& path);
+
+  uint32_t num_docs() const { return num_docs_; }
+  double average_doc_length() const;
+  uint32_t doc_length(DocId doc) const { return doc_lengths_[doc]; }
+  uint32_t DocFreq(std::string_view term) const;
+  PostingList::Iterator Postings(std::string_view term) const;
+
+  int64_t ExternalId(DocId doc) const { return external_ids_[doc]; }
+  const std::string& Snippet(DocId doc) const { return snippets_[doc]; }
+  size_t num_terms() const { return dict_.size(); }
+
+ private:
+  SegmentReader() = default;
+
+  struct TermEntry {
+    uint32_t df = 0;
+    uint64_t offset = 0;
+    uint32_t length = 0;
+  };
+
+  std::unordered_map<std::string, TermEntry> dict_;
+  std::string blob_;
+  std::vector<uint32_t> doc_lengths_;
+  std::vector<int64_t> external_ids_;
+  std::vector<std::string> snippets_;
+  uint64_t total_length_ = 0;
+  uint32_t num_docs_ = 0;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_INDEX_SEGMENT_H_

@@ -1,0 +1,141 @@
+#include "query/query_processor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace microprov {
+
+void MessageSearchIndex::Add(const Message& msg) {
+  std::vector<std::string> tokens = msg.keywords;
+  tokens.insert(tokens.end(), msg.hashtags.begin(), msg.hashtags.end());
+  tokens.insert(tokens.end(), msg.urls.begin(), msg.urls.end());
+  index_.AddDocument(tokens);
+  docs_.Add(msg.id, msg.text);
+  users_.push_back(msg.user);
+  dates_.push_back(msg.date);
+}
+
+std::vector<MessageSearchResult> MessageSearchIndex::Search(
+    const std::string& query, size_t k) const {
+  ParsedQuery parsed = ParseQuery(query);
+  std::vector<std::string> terms = parsed.keywords;
+  terms.insert(terms.end(), parsed.hashtags.begin(), parsed.hashtags.end());
+  terms.insert(terms.end(), parsed.urls.begin(), parsed.urls.end());
+  Searcher searcher(&index_);
+  std::vector<MessageSearchResult> out;
+  for (const SearchHit& hit : searcher.TopK(terms, k)) {
+    out.push_back(MessageSearchResult{
+        docs_.ExternalId(hit.doc), hit.score, users_[hit.doc],
+        dates_[hit.doc], docs_.Snippet(hit.doc)});
+  }
+  return out;
+}
+
+size_t MessageSearchIndex::ApproxMemoryUsage() const {
+  size_t total = index_.ApproxMemoryUsage() + docs_.ApproxMemoryUsage();
+  for (const auto& u : users_) total += u.capacity();
+  total += dates_.capacity() * sizeof(Timestamp);
+  return total;
+}
+
+std::vector<BundleSearchResult> BundleQueryProcessor::Search(
+    const std::string& query, size_t k, Timestamp now,
+    const SearchFilters& filters) const {
+  ParsedQuery parsed = ParseQuery(query);
+  if (parsed.empty()) return {};
+
+  auto passes = [&](const Bundle& bundle) {
+    if (bundle.size() < filters.min_bundle_size) return false;
+    if (filters.since != 0 && bundle.end_time() < filters.since) {
+      return false;
+    }
+    if (filters.until != 0 && bundle.start_time() > filters.until) {
+      return false;
+    }
+    return true;
+  };
+
+  const SummaryIndex& index = engine_->summary_index();
+  const BundlePool& pool = engine_->pool();
+
+  // Candidate bundles: union of postings for each query term, checking
+  // keywords, hashtags (a bare word may name a tag), and URLs.
+  std::unordered_set<BundleId> candidates;
+  for (const std::string& term : parsed.keywords) {
+    for (BundleId id : index.Lookup(IndicantType::kKeyword, term)) {
+      candidates.insert(id);
+    }
+    for (BundleId id : index.Lookup(IndicantType::kHashtag, term)) {
+      candidates.insert(id);
+    }
+  }
+  // Raw (unstemmed) words reach hashtags stored verbatim.
+  for (const std::string& word : parsed.raw_words) {
+    for (BundleId id : index.Lookup(IndicantType::kHashtag, word)) {
+      candidates.insert(id);
+    }
+  }
+  for (const std::string& tag : parsed.hashtags) {
+    for (BundleId id : index.Lookup(IndicantType::kHashtag, tag)) {
+      candidates.insert(id);
+    }
+  }
+  for (const std::string& url : parsed.urls) {
+    for (BundleId id : index.Lookup(IndicantType::kUrl, url)) {
+      candidates.insert(id);
+    }
+  }
+
+  auto make_result = [&](const Bundle& bundle, bool archived) {
+    BundleSearchResult result;
+    result.bundle = bundle.id();
+    result.score = BundleRelevance(parsed, bundle, index, pool.size(),
+                                   now, weights_);
+    result.size = bundle.size();
+    result.last_post = bundle.end_time();
+    for (auto& [word, count] : bundle.TopKeywords(10)) {
+      result.summary_words.push_back(word);
+    }
+    result.archived = archived;
+    return result;
+  };
+
+  std::vector<BundleSearchResult> results;
+  results.reserve(candidates.size());
+  for (BundleId id : candidates) {
+    const Bundle* bundle = pool.Get(id);
+    if (bundle == nullptr || !passes(*bundle)) continue;
+    results.push_back(make_result(*bundle, /*archived=*/false));
+  }
+
+  // Archived candidates via the store's term index.
+  if (archive_ != nullptr && filters.include_archived) {
+    std::unordered_set<BundleId> archived_ids;
+    auto collect = [&](const std::string& term) {
+      for (BundleId id : archive_->FindByTerm(term)) {
+        if (candidates.count(id) == 0) archived_ids.insert(id);
+      }
+    };
+    for (const std::string& term : parsed.keywords) collect(term);
+    for (const std::string& word : parsed.raw_words) collect(word);
+    for (const std::string& tag : parsed.hashtags) collect(tag);
+    size_t decoded = 0;
+    for (BundleId id : archived_ids) {
+      if (decoded++ >= kMaxArchivedCandidates) break;
+      auto bundle_or = archive_->Get(id);
+      if (!bundle_or.ok() || !passes(**bundle_or)) continue;
+      results.push_back(make_result(**bundle_or, /*archived=*/true));
+    }
+  }
+  size_t take = std::min(k, results.size());
+  std::partial_sort(results.begin(), results.begin() + take, results.end(),
+                    [](const BundleSearchResult& a,
+                       const BundleSearchResult& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.bundle < b.bundle;
+                    });
+  results.resize(take);
+  return results;
+}
+
+}  // namespace microprov

@@ -1,0 +1,106 @@
+#ifndef MICROPROV_QUERY_QUERY_PROCESSOR_H_
+#define MICROPROV_QUERY_QUERY_PROCESSOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "index/doc_store.h"
+#include "index/memory_index.h"
+#include "index/searcher.h"
+#include "query/bundle_ranker.h"
+#include "storage/bundle_store.h"
+
+namespace microprov {
+
+/// One row of the paper's Fig. 2(a) result list: a bundle with its summary
+/// words, size, and last-post time.
+struct BundleSearchResult {
+  BundleId bundle = kInvalidBundleId;
+  double score = 0.0;
+  size_t size = 0;
+  Timestamp last_post = 0;
+  std::vector<std::string> summary_words;
+  /// True when the bundle was served from the on-disk archive rather
+  /// than the live pool.
+  bool archived = false;
+};
+
+/// One row of the paper's Fig. 1 flat search: a single message.
+struct MessageSearchResult {
+  MessageId message = kInvalidMessageId;
+  double score = 0.0;
+  std::string user;
+  Timestamp date = 0;
+  std::string text;
+};
+
+/// Flat keyword search over individual messages — the traditional
+/// retrieval paradigm the paper contrasts against (Fig. 1). Backed by the
+/// text-search substrate (BM25 over message keywords + hashtags).
+class MessageSearchIndex {
+ public:
+  /// Indexes a message (keywords, hashtags, URLs).
+  void Add(const Message& msg);
+
+  std::vector<MessageSearchResult> Search(const std::string& query,
+                                          size_t k) const;
+
+  size_t size() const { return docs_.size(); }
+  size_t ApproxMemoryUsage() const;
+
+ private:
+  MemoryIndex index_;
+  DocStore docs_;
+  std::vector<std::string> users_;
+  std::vector<Timestamp> dates_;
+};
+
+/// Optional result filters, mirroring the paper's demo-site list view
+/// (bundles with size and last-post columns, browsable by time).
+struct SearchFilters {
+  /// Keep bundles whose activity overlaps [since, until] (0 = open end).
+  Timestamp since = 0;
+  Timestamp until = 0;
+  /// Drop bundles smaller than this (singleton/noise suppression).
+  size_t min_bundle_size = 0;
+  /// Whether to consult the attached archive at all.
+  bool include_archived = true;
+};
+
+/// Bundle retrieval (Section V-C): queries return ranked provenance
+/// bundles from the engine's live pool, scored by Eq. 7. With an
+/// attached BundleStore, bundles that refinement moved to disk are
+/// searched too (via the store's term index) and marked `archived`.
+class BundleQueryProcessor {
+ public:
+  explicit BundleQueryProcessor(const ProvenanceEngine* engine,
+                                QueryWeights weights = {},
+                                BundleStore* archive = nullptr)
+      : engine_(engine), weights_(weights), archive_(archive) {}
+
+  /// Top-k bundles for `query` as of time `now`. Candidates are fetched
+  /// through the summary index (term -> bundle postings), so cost scales
+  /// with matching bundles, not pool size.
+  std::vector<BundleSearchResult> Search(const std::string& query,
+                                         size_t k, Timestamp now) const {
+    return Search(query, k, now, SearchFilters{});
+  }
+
+  /// As above with result filters applied before ranking.
+  std::vector<BundleSearchResult> Search(
+      const std::string& query, size_t k, Timestamp now,
+      const SearchFilters& filters) const;
+
+  /// Cap on archived bundles decoded per query (point reads from disk).
+  static constexpr size_t kMaxArchivedCandidates = 64;
+
+ private:
+  const ProvenanceEngine* engine_;
+  QueryWeights weights_;
+  BundleStore* archive_;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_QUERY_QUERY_PROCESSOR_H_

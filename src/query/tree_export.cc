@@ -1,0 +1,114 @@
+#include "query/tree_export.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace microprov {
+
+namespace {
+
+std::string Truncate(const std::string& text, size_t max_chars) {
+  if (text.size() <= max_chars) return text;
+  return text.substr(0, max_chars - 3) + "...";
+}
+
+// parent id -> children (kInvalidMessageId keys the roots), date-ordered.
+std::map<MessageId, std::vector<const BundleMessage*>> BuildChildren(
+    const Bundle& bundle) {
+  std::map<MessageId, std::vector<const BundleMessage*>> children;
+  for (const BundleMessage& bm : bundle.messages()) {
+    children[bm.parent].push_back(&bm);
+  }
+  for (auto& [parent, kids] : children) {
+    std::sort(kids.begin(), kids.end(),
+              [](const BundleMessage* a, const BundleMessage* b) {
+                if (a->msg.date != b->msg.date) {
+                  return a->msg.date < b->msg.date;
+                }
+                return a->msg.id < b->msg.id;
+              });
+  }
+  return children;
+}
+
+void RenderSubtree(
+    const std::map<MessageId, std::vector<const BundleMessage*>>& children,
+    MessageId node_id, const BundleMessage* node, int depth,
+    size_t max_text_chars, std::string* out) {
+  if (node != nullptr) {
+    StringAppendF(out, "%*s", depth * 2, "");
+    if (depth > 0) {
+      StringAppendF(out, "└─[%s] ",
+                    std::string(ConnectionTypeToString(node->conn_type))
+                        .c_str());
+    }
+    StringAppendF(out, "@%s (%s) %s\n", node->msg.user.c_str(),
+                  FormatTimestamp(node->msg.date).c_str(),
+                  Truncate(node->msg.text, max_text_chars).c_str());
+  }
+  auto it = children.find(node_id);
+  if (it == children.end()) return;
+  for (const BundleMessage* child : it->second) {
+    RenderSubtree(children, child->msg.id, child, depth + 1,
+                  max_text_chars, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderAsciiTree(const Bundle& bundle, size_t max_text_chars) {
+  std::string out = SummarizeBundle(bundle) + "\n";
+  auto children = BuildChildren(bundle);
+  RenderSubtree(children, kInvalidMessageId, nullptr, -1, max_text_chars,
+                &out);
+  return out;
+}
+
+std::string RenderDot(const Bundle& bundle, size_t max_text_chars) {
+  std::string out;
+  StringAppendF(&out, "digraph bundle_%llu {\n",
+                (unsigned long long)bundle.id());
+  out += "  rankdir=TB;\n  node [shape=box, fontsize=9];\n";
+  for (const BundleMessage& bm : bundle.messages()) {
+    std::string label = StringPrintf(
+        "@%s\\n%s", bm.msg.user.c_str(),
+        Truncate(bm.msg.text, max_text_chars).c_str());
+    // Escape double quotes for DOT.
+    std::string escaped;
+    for (char c : label) {
+      if (c == '"') escaped += "\\\"";
+      else escaped.push_back(c);
+    }
+    StringAppendF(&out, "  m%lld [label=\"%s\"%s];\n",
+                  (long long)bm.msg.id, escaped.c_str(),
+                  bm.parent == kInvalidMessageId
+                      ? ", style=filled, fillcolor=salmon"
+                      : "");
+  }
+  for (const BundleMessage& bm : bundle.messages()) {
+    if (bm.parent == kInvalidMessageId) continue;
+    StringAppendF(&out, "  m%lld -> m%lld [label=\"%s\"];\n",
+                  (long long)bm.parent, (long long)bm.msg.id,
+                  std::string(ConnectionTypeToString(bm.conn_type)).c_str());
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string SummarizeBundle(const Bundle& bundle, size_t top_words) {
+  std::string words;
+  for (const auto& [word, count] : bundle.TopKeywords(top_words)) {
+    if (!words.empty()) words += ", ";
+    words += word;
+  }
+  return StringPrintf(
+      "bundle %llu: %zu msgs, %s .. %s, top: %s",
+      (unsigned long long)bundle.id(), bundle.size(),
+      FormatTimestamp(bundle.start_time()).c_str(),
+      FormatTimestamp(bundle.end_time()).c_str(), words.c_str());
+}
+
+}  // namespace microprov

@@ -1,0 +1,26 @@
+#ifndef MICROPROV_QUERY_TREE_EXPORT_H_
+#define MICROPROV_QUERY_TREE_EXPORT_H_
+
+#include <string>
+
+#include "core/bundle.h"
+
+namespace microprov {
+
+/// Renders a bundle's provenance tree as indented ASCII (the textual
+/// equivalent of the paper's Fig. 10 visualizations). Roots first;
+/// children are ordered by date.
+std::string RenderAsciiTree(const Bundle& bundle,
+                            size_t max_text_chars = 60);
+
+/// Graphviz DOT export of the same tree; edge labels carry the connection
+/// type. Paste into `dot -Tpng` to regenerate Fig. 10-style figures.
+std::string RenderDot(const Bundle& bundle, size_t max_text_chars = 40);
+
+/// One-line summary ("bundle 42: 17 msgs, 2009-09-12..2009-09-13,
+/// top: redsox yankee ...") for result listings.
+std::string SummarizeBundle(const Bundle& bundle, size_t top_words = 6);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_QUERY_TREE_EXPORT_H_

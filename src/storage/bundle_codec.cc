@@ -1,0 +1,62 @@
+#include "storage/bundle_codec.h"
+
+#include <bit>
+
+#include "common/coding.h"
+#include "stream/message_codec.h"
+
+namespace microprov {
+
+namespace {
+constexpr uint32_t kBundleCodecVersion = 1;
+}  // namespace
+
+void EncodeBundle(const Bundle& bundle, std::string* dst) {
+  PutVarint32(dst, kBundleCodecVersion);
+  PutVarint64(dst, bundle.id());
+  PutVarint32(dst, bundle.closed() ? 1 : 0);
+  PutVarint32(dst, static_cast<uint32_t>(bundle.size()));
+  for (const BundleMessage& bm : bundle.messages()) {
+    EncodeMessageBinary(bm.msg, dst);
+    PutVarsint64(dst, bm.parent);
+    PutVarint32(dst, static_cast<uint32_t>(bm.conn_type));
+    PutFixed32(dst, std::bit_cast<uint32_t>(bm.conn_score));
+  }
+}
+
+StatusOr<std::unique_ptr<Bundle>> DecodeBundle(std::string_view encoded) {
+  uint32_t version = 0;
+  uint64_t id = 0;
+  uint32_t closed = 0;
+  uint32_t count = 0;
+  if (!GetVarint32(&encoded, &version) || version != kBundleCodecVersion) {
+    return Status::Corruption("bad bundle codec version");
+  }
+  if (!GetVarint64(&encoded, &id) || !GetVarint32(&encoded, &closed) ||
+      !GetVarint32(&encoded, &count)) {
+    return Status::Corruption("truncated bundle header");
+  }
+  auto bundle = std::make_unique<Bundle>(id);
+  for (uint32_t i = 0; i < count; ++i) {
+    Message msg;
+    MICROPROV_RETURN_IF_ERROR(DecodeMessageBinary(&encoded, &msg));
+    int64_t parent = 0;
+    uint32_t conn_type = 0;
+    uint32_t score_bits = 0;
+    if (!GetVarsint64(&encoded, &parent) ||
+        !GetVarint32(&encoded, &conn_type) ||
+        !GetFixed32(&encoded, &score_bits)) {
+      return Status::Corruption("truncated bundle message entry");
+    }
+    if (conn_type > static_cast<uint32_t>(ConnectionType::kText)) {
+      return Status::Corruption("bad connection type");
+    }
+    bundle->AddMessage(std::move(msg), parent,
+                       static_cast<ConnectionType>(conn_type),
+                       std::bit_cast<float>(score_bits));
+  }
+  if (closed != 0) bundle->Close();
+  return bundle;
+}
+
+}  // namespace microprov

@@ -1,0 +1,26 @@
+#ifndef MICROPROV_STORAGE_BUNDLE_CODEC_H_
+#define MICROPROV_STORAGE_BUNDLE_CODEC_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "core/bundle.h"
+
+namespace microprov {
+
+/// Serializes a bundle (metadata + every member message with its
+/// provenance connection) into a compact binary record for the bundle
+/// store's log files.
+void EncodeBundle(const Bundle& bundle, std::string* dst);
+
+/// Rebuilds a bundle from EncodeBundle output. Indicant summaries and time
+/// ranges are reconstructed by replaying AddMessage, so a decoded bundle is
+/// behaviorally identical to the original.
+StatusOr<std::unique_ptr<Bundle>> DecodeBundle(std::string_view encoded);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_STORAGE_BUNDLE_CODEC_H_

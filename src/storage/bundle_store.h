@@ -1,0 +1,116 @@
+#ifndef MICROPROV_STORAGE_BUNDLE_STORE_H_
+#define MICROPROV_STORAGE_BUNDLE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cache.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "core/pool.h"
+#include "storage/log_writer.h"
+
+namespace microprov {
+
+/// The paper's "on-disk storage back-end ... used to keep finished bundles
+/// that no longer receive updates" (Fig. 4). Bundles are appended as
+/// records to rotating CRC-framed log files; an in-memory sparse index
+/// (bundle id -> file, offset) supports point reads, with an LRU cache of
+/// decoded bundles on the read path. Recovery rebuilds the index by
+/// scanning the logs, tolerating a torn tail record.
+class BundleStore final : public BundleArchive {
+ public:
+  struct Options {
+    std::string dir;
+    /// Start a new log file once the current one exceeds this.
+    uint64_t rotate_bytes = 64ull << 20;
+    /// Decoded-bundle LRU capacity (entries).
+    size_t cache_entries = 256;
+    /// fsync after every Put (durability vs. throughput).
+    bool sync_on_put = false;
+    /// Maintain an in-memory term index (hashtags + top keywords ->
+    /// bundle ids) so queries can reach archived bundles. Rebuilt on
+    /// recovery.
+    bool enable_term_index = true;
+    /// Top keywords per bundle fed into the term index.
+    size_t index_keywords_per_bundle = 10;
+  };
+
+  static StatusOr<std::unique_ptr<BundleStore>> Open(const Options& options);
+
+  ~BundleStore() override;
+
+  /// Appends `bundle`; a later Put of the same id supersedes the earlier
+  /// record.
+  Status Put(const Bundle& bundle) override;
+
+  /// Point read. Decodes from disk (through the LRU cache).
+  StatusOr<std::shared_ptr<const Bundle>> Get(BundleId id);
+
+  bool Contains(BundleId id) const { return index_.count(id) > 0; }
+  uint64_t bundle_count() const { return index_.size(); }
+  BundleId max_bundle_id() const { return max_bundle_id_; }
+  BundleId MaxBundleId() const override { return max_bundle_id_; }
+
+  /// All stored bundle ids (unordered).
+  std::vector<BundleId> ListBundleIds() const;
+
+  /// Archived bundles whose hashtags or top keywords contain `term`
+  /// (deduplicated). Empty when the term index is disabled.
+  std::vector<BundleId> FindByTerm(const std::string& term) const;
+
+  /// Visits every stored bundle (decoded); stops on callback error.
+  Status Scan(
+      const std::function<Status(const Bundle& bundle)>& fn);
+
+  Status Flush();
+
+  /// Rewrites every live bundle record into fresh log files and deletes
+  /// the old ones, reclaiming space held by superseded records (re-puts)
+  /// and dead padding. Point-read locations are updated in place; the
+  /// decoded-bundle cache stays valid (ids don't change).
+  Status Compact();
+
+  /// Total bytes across all current log files (for compaction policy).
+  StatusOr<uint64_t> TotalLogBytes() const;
+
+  uint64_t puts() const { return puts_; }
+  uint64_t compactions() const { return compactions_; }
+  uint64_t cache_hits() const { return cache_.hits(); }
+  uint64_t cache_misses() const { return cache_.misses(); }
+
+ private:
+  struct Location {
+    uint32_t file_number = 0;
+    uint64_t offset = 0;
+  };
+
+  explicit BundleStore(const Options& options);
+
+  Status RecoverFromDir();
+  Status OpenNewLogFile();
+  void IndexBundleTerms(const Bundle& bundle);
+  std::string LogFileName(uint32_t number) const;
+  Status ReadRecordAt(uint32_t file_number, uint64_t offset,
+                      std::string* record);
+
+  Options options_;
+  std::unordered_map<BundleId, Location> index_;
+  std::unique_ptr<log::Writer> writer_;
+  uint32_t current_file_number_ = 0;
+  uint64_t current_file_size_ = 0;
+  std::vector<uint32_t> file_numbers_;
+  BundleId max_bundle_id_ = 0;
+  LruCache<BundleId, std::shared_ptr<const Bundle>> cache_;
+  std::unordered_map<std::string, std::vector<BundleId>> term_index_;
+  uint64_t puts_ = 0;
+  uint64_t compactions_ = 0;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_STORAGE_BUNDLE_STORE_H_

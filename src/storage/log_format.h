@@ -1,0 +1,30 @@
+#ifndef MICROPROV_STORAGE_LOG_FORMAT_H_
+#define MICROPROV_STORAGE_LOG_FORMAT_H_
+
+#include <cstdint>
+
+namespace microprov {
+namespace log {
+
+// Record-log file format (LevelDB/RocksDB-style):
+// the file is a sequence of 32 KiB blocks; each block holds fragments:
+//   fragment := masked_crc32c(4) | length(2, LE) | type(1) | payload
+// A record spans fragments typed FULL, or FIRST..MIDDLE*..LAST. Blocks end
+// with zero-fill when fewer than kHeaderSize bytes remain.
+
+enum RecordType : uint8_t {
+  kZeroType = 0,  // padding / preallocated
+  kFullType = 1,
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4,
+};
+
+inline constexpr uint8_t kMaxRecordType = kLastType;
+inline constexpr size_t kBlockSize = 32768;
+inline constexpr size_t kHeaderSize = 4 + 2 + 1;
+
+}  // namespace log
+}  // namespace microprov
+
+#endif  // MICROPROV_STORAGE_LOG_FORMAT_H_

@@ -1,0 +1,50 @@
+#ifndef MICROPROV_STORAGE_LOG_READER_H_
+#define MICROPROV_STORAGE_LOG_READER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "storage/log_format.h"
+
+namespace microprov {
+namespace log {
+
+/// Sequentially reads records written by log::Writer. Corrupt or torn
+/// fragments are skipped (with the byte count reported via
+/// `dropped_bytes()`), so a crash mid-append loses at most the tail
+/// record.
+class Reader {
+ public:
+  explicit Reader(std::unique_ptr<SequentialFile> file);
+
+  /// Reads the next logical record into *record. Returns NotFound at EOF.
+  Status ReadRecord(std::string* record);
+
+  /// Byte offset of the first byte after the last returned record.
+  uint64_t LastRecordEndOffset() const { return end_of_buffer_offset_ - buffer_.size() + buffer_pos_; }
+
+  uint64_t dropped_bytes() const { return dropped_bytes_; }
+
+ private:
+  /// Reads the next physical fragment; returns its type or an eof/bad
+  /// marker.
+  enum ExtendedType : int {
+    kEof = kMaxRecordType + 1,
+    kBadRecord = kMaxRecordType + 2,
+  };
+  int ReadPhysicalRecord(std::string_view* fragment);
+
+  std::unique_ptr<SequentialFile> file_;
+  std::string buffer_;      // current block
+  size_t buffer_pos_ = 0;   // read position within buffer_
+  bool eof_ = false;
+  uint64_t end_of_buffer_offset_ = 0;
+  uint64_t dropped_bytes_ = 0;
+};
+
+}  // namespace log
+}  // namespace microprov
+
+#endif  // MICROPROV_STORAGE_LOG_READER_H_

@@ -1,0 +1,82 @@
+#include "storage/log_writer.h"
+
+#include <cassert>
+
+#include "common/crc32c.h"
+
+namespace microprov {
+namespace log {
+
+Writer::Writer(std::unique_ptr<WritableFile> file, uint64_t initial_offset)
+    : file_(std::move(file)),
+      block_offset_(static_cast<size_t>(initial_offset % kBlockSize)) {}
+
+uint64_t Writer::CurrentOffset() const { return file_->size(); }
+
+Status Writer::AddRecord(std::string_view payload) {
+  const char* ptr = payload.data();
+  size_t left = payload.size();
+
+  bool begin = true;
+  do {
+    const size_t leftover = kBlockSize - block_offset_;
+    if (leftover < kHeaderSize) {
+      // Zero-fill the block trailer and switch to a new block.
+      if (leftover > 0) {
+        static const char kZeroes[kHeaderSize] = {0};
+        MICROPROV_RETURN_IF_ERROR(
+            file_->Append(std::string_view(kZeroes, leftover)));
+      }
+      block_offset_ = 0;
+    }
+
+    const size_t avail = kBlockSize - block_offset_ - kHeaderSize;
+    const size_t fragment_length = left < avail ? left : avail;
+    const bool end = (left == fragment_length);
+    RecordType type;
+    if (begin && end) {
+      type = kFullType;
+    } else if (begin) {
+      type = kFirstType;
+    } else if (end) {
+      type = kLastType;
+    } else {
+      type = kMiddleType;
+    }
+    MICROPROV_RETURN_IF_ERROR(
+        EmitPhysicalRecord(type, ptr, fragment_length));
+    ptr += fragment_length;
+    left -= fragment_length;
+    begin = false;
+  } while (left > 0);
+  return Status::OK();
+}
+
+Status Writer::EmitPhysicalRecord(RecordType type, const char* data,
+                                  size_t length) {
+  assert(length <= 0xFFFF);
+  assert(block_offset_ + kHeaderSize + length <= kBlockSize);
+
+  char header[kHeaderSize];
+  // CRC covers type byte + payload.
+  uint32_t crc = crc32c::Extend(
+      0, std::string_view(reinterpret_cast<const char*>(&type), 1));
+  crc = crc32c::Extend(crc, std::string_view(data, length));
+  crc = crc32c::Mask(crc);
+  header[0] = static_cast<char>(crc & 0xFF);
+  header[1] = static_cast<char>((crc >> 8) & 0xFF);
+  header[2] = static_cast<char>((crc >> 16) & 0xFF);
+  header[3] = static_cast<char>((crc >> 24) & 0xFF);
+  header[4] = static_cast<char>(length & 0xFF);
+  header[5] = static_cast<char>((length >> 8) & 0xFF);
+  header[6] = static_cast<char>(type);
+
+  MICROPROV_RETURN_IF_ERROR(
+      file_->Append(std::string_view(header, kHeaderSize)));
+  MICROPROV_RETURN_IF_ERROR(file_->Append(std::string_view(data, length)));
+  block_offset_ += kHeaderSize + length;
+  return Status::OK();
+}
+
+}  // namespace log
+}  // namespace microprov

@@ -1,0 +1,44 @@
+#ifndef MICROPROV_STORAGE_LOG_WRITER_H_
+#define MICROPROV_STORAGE_LOG_WRITER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "storage/log_format.h"
+
+namespace microprov {
+namespace log {
+
+/// Appends variable-length records to a block-framed, CRC-protected log
+/// file. Each AddRecord is atomic with respect to the reader: a torn tail
+/// (crash mid-write) is detected and cleanly ignored on recovery.
+class Writer {
+ public:
+  /// Takes ownership of `file`; `initial_offset` is the file's current
+  /// size when appending to an existing log.
+  explicit Writer(std::unique_ptr<WritableFile> file,
+                  uint64_t initial_offset = 0);
+
+  Status AddRecord(std::string_view payload);
+  Status Flush() { return file_->Flush(); }
+  Status Sync() { return file_->Sync(); }
+  Status Close() { return file_->Close(); }
+
+  /// Byte offset the *next* record would start at (used by the bundle
+  /// store's sparse index).
+  uint64_t CurrentOffset() const;
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* data,
+                            size_t length);
+
+  std::unique_ptr<WritableFile> file_;
+  size_t block_offset_;  // current offset within the block
+};
+
+}  // namespace log
+}  // namespace microprov
+
+#endif  // MICROPROV_STORAGE_LOG_WRITER_H_

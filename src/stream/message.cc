@@ -1,0 +1,96 @@
+#include "stream/message.h"
+
+#include "common/memory_usage.h"
+#include "text/tweet_parser.h"
+
+namespace microprov {
+
+size_t Message::ApproxMemoryUsage() const {
+  size_t total = sizeof(Message);
+  total += ::microprov::ApproxMemoryUsage(user);
+  total += ::microprov::ApproxMemoryUsage(text);
+  total += ::microprov::ApproxMemoryUsage(hashtags);
+  total += ::microprov::ApproxMemoryUsage(urls);
+  total += ::microprov::ApproxMemoryUsage(keywords);
+  total += ::microprov::ApproxMemoryUsage(retweet_of_user);
+  return total;
+}
+
+void ExtractIndicants(Message* msg) {
+  ParsedTweet parsed = ParseTweet(msg->text);
+  msg->hashtags = std::move(parsed.hashtags);
+  msg->urls = std::move(parsed.urls);
+  msg->keywords = std::move(parsed.keywords);
+  if (parsed.is_retweet) {
+    msg->is_retweet = true;
+    msg->retweet_of_user = std::move(parsed.retweet_of_user);
+  }
+}
+
+MessageBuilder& MessageBuilder::Id(MessageId id) {
+  msg_.id = id;
+  return *this;
+}
+
+MessageBuilder& MessageBuilder::Date(Timestamp date) {
+  msg_.date = date;
+  return *this;
+}
+
+MessageBuilder& MessageBuilder::Date(
+    const std::string& yyyy_mm_dd_hh_mm_ss) {
+  msg_.date = ParseTimestamp(yyyy_mm_dd_hh_mm_ss);
+  return *this;
+}
+
+MessageBuilder& MessageBuilder::User(std::string user) {
+  msg_.user = std::move(user);
+  return *this;
+}
+
+MessageBuilder& MessageBuilder::Text(std::string text) {
+  msg_.text = std::move(text);
+  return *this;
+}
+
+MessageBuilder& MessageBuilder::Hashtag(std::string tag) {
+  msg_.hashtags.push_back(std::move(tag));
+  explicit_indicants_ = true;
+  return *this;
+}
+
+MessageBuilder& MessageBuilder::Url(std::string url) {
+  msg_.urls.push_back(std::move(url));
+  explicit_indicants_ = true;
+  return *this;
+}
+
+MessageBuilder& MessageBuilder::Keyword(std::string keyword) {
+  msg_.keywords.push_back(std::move(keyword));
+  explicit_indicants_ = true;
+  return *this;
+}
+
+MessageBuilder& MessageBuilder::RetweetOf(MessageId id, std::string user) {
+  msg_.is_retweet = true;
+  msg_.retweet_of_id = id;
+  msg_.retweet_of_user = std::move(user);
+  return *this;
+}
+
+Message MessageBuilder::Build() {
+  if (!explicit_indicants_ && !msg_.text.empty()) {
+    MessageId rt_id = msg_.retweet_of_id;  // preserve ground truth
+    bool was_rt = msg_.is_retweet;
+    std::string rt_user = msg_.retweet_of_user;
+    ExtractIndicants(&msg_);
+    if (was_rt) {
+      msg_.is_retweet = true;
+      msg_.retweet_of_id = rt_id;
+      if (!rt_user.empty()) msg_.retweet_of_user = rt_user;
+    }
+  }
+  return std::move(msg_);
+}
+
+}  // namespace microprov

@@ -1,0 +1,75 @@
+#ifndef MICROPROV_STREAM_MESSAGE_H_
+#define MICROPROV_STREAM_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace microprov {
+
+/// Unique id of a message within a stream. Ids are assigned in arrival
+/// order by the generator / loader and are never reused.
+using MessageId = int64_t;
+
+inline constexpr MessageId kInvalidMessageId = -1;
+
+/// One micro-blog message: the paper's multi-field tuple
+/// [date, user, msg, urls, hashtags, rt] (Definition 1), extended with the
+/// derived keyword indicants the summary index uses.
+struct Message {
+  MessageId id = kInvalidMessageId;
+  Timestamp date = 0;
+  std::string user;
+  std::string text;
+
+  // Connection indicants extracted by text::ParseTweet (or synthesized
+  // directly by the generator).
+  std::vector<std::string> hashtags;
+  std::vector<std::string> urls;
+  std::vector<std::string> keywords;
+
+  /// True when the text re-shares a previous message.
+  bool is_retweet = false;
+  /// Author of the re-shared message (empty when !is_retweet).
+  std::string retweet_of_user;
+  /// Id of the re-shared message when known (generator ground truth or
+  /// resolved by the engine); kInvalidMessageId otherwise.
+  MessageId retweet_of_id = kInvalidMessageId;
+
+  /// Approximate heap + inline footprint, for Fig. 11-style accounting.
+  size_t ApproxMemoryUsage() const;
+
+  bool operator==(const Message& other) const = default;
+};
+
+/// Fills the indicant fields of `msg` from `msg->text` via the tweet
+/// parser. Keeps any generator-provided `retweet_of_id`.
+void ExtractIndicants(Message* msg);
+
+/// Builder used by tests and examples to assemble messages tersely.
+class MessageBuilder {
+ public:
+  MessageBuilder& Id(MessageId id);
+  MessageBuilder& Date(Timestamp date);
+  MessageBuilder& Date(const std::string& yyyy_mm_dd_hh_mm_ss);
+  MessageBuilder& User(std::string user);
+  MessageBuilder& Text(std::string text);
+  MessageBuilder& Hashtag(std::string tag);
+  MessageBuilder& Url(std::string url);
+  MessageBuilder& Keyword(std::string keyword);
+  MessageBuilder& RetweetOf(MessageId id, std::string user);
+
+  /// Returns the built message. If Text() was set but no explicit indicants
+  /// were provided, indicants are extracted from the text.
+  Message Build();
+
+ private:
+  Message msg_;
+  bool explicit_indicants_ = false;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_STREAM_MESSAGE_H_

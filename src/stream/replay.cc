@@ -1,0 +1,26 @@
+#include "stream/replay.h"
+
+#include <cassert>
+
+namespace microprov {
+
+Status StreamReplayer::Replay(const std::vector<Message>& messages,
+                              const Sink& sink) {
+  seen_ = 0;
+  for (const Message& msg : messages) {
+    if (clock_ != nullptr) clock_->Advance(msg.date);
+    MICROPROV_RETURN_IF_ERROR(sink(msg));
+    ++seen_;
+    if (checkpoint_ && checkpoint_every_ > 0 &&
+        seen_ % checkpoint_every_ == 0) {
+      checkpoint_(seen_, clock_ != nullptr ? clock_->Now() : msg.date);
+    }
+  }
+  if (checkpoint_ && (checkpoint_every_ == 0 || seen_ == 0 ||
+                      seen_ % checkpoint_every_ != 0)) {
+    checkpoint_(seen_, clock_ != nullptr ? clock_->Now() : 0);
+  }
+  return Status::OK();
+}
+
+}  // namespace microprov

@@ -1,0 +1,101 @@
+#include "stream/stream_io.h"
+
+#include "stream/message_codec.h"
+
+namespace microprov {
+
+StatusOr<std::unique_ptr<MessageStreamWriter>> MessageStreamWriter::Open(
+    const std::string& path) {
+  auto file_or = Env::Default()->NewWritableFile(path);
+  if (!file_or.ok()) return file_or.status();
+  return std::unique_ptr<MessageStreamWriter>(
+      new MessageStreamWriter(std::move(*file_or)));
+}
+
+Status MessageStreamWriter::Write(const Message& msg) {
+  std::string line = EncodeMessageTsv(msg);
+  line.push_back('\n');
+  MICROPROV_RETURN_IF_ERROR(file_->Append(line));
+  ++count_;
+  return Status::OK();
+}
+
+Status MessageStreamWriter::Close() { return file_->Close(); }
+
+StatusOr<std::unique_ptr<MessageStreamReader>> MessageStreamReader::Open(
+    const std::string& path) {
+  auto file_or = Env::Default()->NewSequentialFile(path);
+  if (!file_or.ok()) return file_or.status();
+  return std::unique_ptr<MessageStreamReader>(
+      new MessageStreamReader(std::move(*file_or)));
+}
+
+Status MessageStreamReader::FillBuffer() {
+  // Compact consumed prefix, then append a fresh chunk.
+  buffer_.erase(0, pos_);
+  pos_ = 0;
+  std::string chunk;
+  MICROPROV_RETURN_IF_ERROR(file_->Read(1 << 16, &chunk));
+  if (chunk.empty()) {
+    eof_ = true;
+  } else {
+    buffer_.append(chunk);
+  }
+  return Status::OK();
+}
+
+Status MessageStreamReader::Next(Message* msg) {
+  for (;;) {
+    size_t nl = buffer_.find('\n', pos_);
+    if (nl == std::string::npos) {
+      if (eof_) {
+        if (pos_ < buffer_.size()) {
+          // Final line without trailing newline.
+          std::string_view line(buffer_.data() + pos_,
+                                buffer_.size() - pos_);
+          pos_ = buffer_.size();
+          MICROPROV_RETURN_IF_ERROR(DecodeMessageTsv(line, msg));
+          ++count_;
+          return Status::OK();
+        }
+        return Status::NotFound("end of stream");
+      }
+      MICROPROV_RETURN_IF_ERROR(FillBuffer());
+      continue;
+    }
+    std::string_view line(buffer_.data() + pos_, nl - pos_);
+    pos_ = nl + 1;
+    if (line.empty()) continue;
+    MICROPROV_RETURN_IF_ERROR(DecodeMessageTsv(line, msg));
+    ++count_;
+    return Status::OK();
+  }
+}
+
+StatusOr<std::vector<Message>> LoadMessages(const std::string& path) {
+  auto reader_or = MessageStreamReader::Open(path);
+  if (!reader_or.ok()) return reader_or.status();
+  auto& reader = *reader_or;
+  std::vector<Message> messages;
+  Message msg;
+  for (;;) {
+    Status st = reader->Next(&msg);
+    if (st.IsNotFound()) break;
+    if (!st.ok()) return st;
+    messages.push_back(std::move(msg));
+  }
+  return messages;
+}
+
+Status SaveMessages(const std::string& path,
+                    const std::vector<Message>& messages) {
+  auto writer_or = MessageStreamWriter::Open(path);
+  if (!writer_or.ok()) return writer_or.status();
+  auto& writer = *writer_or;
+  for (const Message& msg : messages) {
+    MICROPROV_RETURN_IF_ERROR(writer->Write(msg));
+  }
+  return writer->Close();
+}
+
+}  // namespace microprov

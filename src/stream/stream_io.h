@@ -1,0 +1,63 @@
+#ifndef MICROPROV_STREAM_STREAM_IO_H_
+#define MICROPROV_STREAM_STREAM_IO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "stream/message.h"
+
+namespace microprov {
+
+/// Writes messages to a TSV dataset file, one per line.
+class MessageStreamWriter {
+ public:
+  static StatusOr<std::unique_ptr<MessageStreamWriter>> Open(
+      const std::string& path);
+
+  Status Write(const Message& msg);
+  Status Close();
+  uint64_t messages_written() const { return count_; }
+
+ private:
+  explicit MessageStreamWriter(std::unique_ptr<WritableFile> file)
+      : file_(std::move(file)) {}
+  std::unique_ptr<WritableFile> file_;
+  uint64_t count_ = 0;
+};
+
+/// Reads messages back from a TSV dataset file.
+class MessageStreamReader {
+ public:
+  static StatusOr<std::unique_ptr<MessageStreamReader>> Open(
+      const std::string& path);
+
+  /// Reads the next message. Returns NotFound at end of stream.
+  Status Next(Message* msg);
+  uint64_t messages_read() const { return count_; }
+
+ private:
+  explicit MessageStreamReader(std::unique_ptr<SequentialFile> file)
+      : file_(std::move(file)) {}
+  Status FillBuffer();
+
+  std::unique_ptr<SequentialFile> file_;
+  std::string buffer_;
+  size_t pos_ = 0;
+  bool eof_ = false;
+  uint64_t count_ = 0;
+};
+
+/// Convenience: loads a whole TSV dataset into memory.
+StatusOr<std::vector<Message>> LoadMessages(const std::string& path);
+
+/// Convenience: writes a whole dataset.
+Status SaveMessages(const std::string& path,
+                    const std::vector<Message>& messages);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_STREAM_STREAM_IO_H_

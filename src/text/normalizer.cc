@@ -1,0 +1,55 @@
+#include "text/normalizer.h"
+
+#include <cctype>
+
+namespace microprov {
+
+bool IsTokenChar(char c) {
+  unsigned char uc = static_cast<unsigned char>(c);
+  if (std::isalnum(uc)) return true;
+  switch (c) {
+    case '#':
+    case '@':
+    case '_':
+    case '\'':
+      return true;
+    default:
+      return uc >= 0x80;  // keep non-ASCII bytes inside tokens
+  }
+}
+
+std::string Normalize(std::string_view text,
+                      const NormalizerOptions& options) {
+  std::string out;
+  out.reserve(text.size());
+  int run_len = 0;
+  char run_char = '\0';
+  for (char c : text) {
+    char ch = c;
+    if (options.lowercase) {
+      ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    }
+    if (options.collapse_elongations &&
+        std::isalpha(static_cast<unsigned char>(ch))) {
+      if (ch == run_char) {
+        ++run_len;
+        if (run_len > 2) continue;  // drop 3rd+ repeat
+      } else {
+        run_char = ch;
+        run_len = 1;
+      }
+    } else {
+      run_char = '\0';
+      run_len = 0;
+    }
+    if (options.strip_punctuation && !IsTokenChar(ch) &&
+        !std::isspace(static_cast<unsigned char>(ch))) {
+      out.push_back(' ');
+      continue;
+    }
+    out.push_back(ch);
+  }
+  return out;
+}
+
+}  // namespace microprov

@@ -1,0 +1,32 @@
+#ifndef MICROPROV_TEXT_NORMALIZER_H_
+#define MICROPROV_TEXT_NORMALIZER_H_
+
+#include <string>
+#include <string_view>
+
+namespace microprov {
+
+/// Text normalization ahead of tokenization. Micro-blog text is noisy:
+/// repeated punctuation ("!!!"), elongated words ("soooo"), mixed case.
+/// Normalization is ASCII-oriented (the 2009 corpus the paper uses is
+/// overwhelmingly ASCII); non-ASCII bytes are preserved verbatim.
+struct NormalizerOptions {
+  bool lowercase = true;
+  /// Collapse runs of 3+ identical letters to 2 ("soooo" -> "soo").
+  bool collapse_elongations = true;
+  /// Replace any non-token character with a space (token characters are
+  /// alphanumerics plus '#', '@', '_', '\'', and URL-internal punctuation
+  /// handled by the tokenizer).
+  bool strip_punctuation = false;
+};
+
+/// Applies the configured normalizations and returns the result.
+std::string Normalize(std::string_view text,
+                      const NormalizerOptions& options = {});
+
+/// True if `c` may appear inside a word token.
+bool IsTokenChar(char c);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_TEXT_NORMALIZER_H_

@@ -1,0 +1,206 @@
+#include "text/stemmer.h"
+
+namespace microprov {
+
+namespace {
+
+// Implementation of M.F. Porter, "An algorithm for suffix stripping",
+// Program 14(3), 1980. Operates on a mutable std::string `w`.
+
+bool IsVowelAt(const std::string& w, size_t i) {
+  switch (w[i]) {
+    case 'a':
+    case 'e':
+    case 'i':
+    case 'o':
+    case 'u':
+      return true;
+    case 'y':
+      // 'y' is a vowel when preceded by a consonant.
+      return i > 0 && !IsVowelAt(w, i - 1);
+    default:
+      return false;
+  }
+}
+
+// Measure m of the stem w[0..len): number of VC sequences.
+int Measure(const std::string& w, size_t len) {
+  int m = 0;
+  bool prev_vowel = false;
+  for (size_t i = 0; i < len; ++i) {
+    bool v = IsVowelAt(w, i);
+    if (prev_vowel && !v) ++m;
+    prev_vowel = v;
+  }
+  return m;
+}
+
+bool ContainsVowel(const std::string& w, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    if (IsVowelAt(w, i)) return true;
+  }
+  return false;
+}
+
+bool EndsWithDoubleConsonant(const std::string& w) {
+  size_t n = w.size();
+  if (n < 2) return false;
+  return w[n - 1] == w[n - 2] && !IsVowelAt(w, n - 1);
+}
+
+// *o: stem ends cvc where the final c is not w, x, or y.
+bool EndsCvc(const std::string& w, size_t len) {
+  if (len < 3) return false;
+  size_t i = len - 1;
+  if (IsVowelAt(w, i) || !IsVowelAt(w, i - 1) || IsVowelAt(w, i - 2)) {
+    return false;
+  }
+  char c = w[i];
+  return c != 'w' && c != 'x' && c != 'y';
+}
+
+bool EndsWith(const std::string& w, std::string_view suffix) {
+  return w.size() >= suffix.size() &&
+         w.compare(w.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Replaces `suffix` with `repl` if the stem before the suffix has
+// measure > threshold. Returns true if the suffix matched (even if the
+// measure condition failed and no replacement happened).
+bool ReplaceIfMeasure(std::string& w, std::string_view suffix,
+                      std::string_view repl, int threshold) {
+  if (!EndsWith(w, suffix)) return false;
+  size_t stem_len = w.size() - suffix.size();
+  if (Measure(w, stem_len) > threshold) {
+    w.resize(stem_len);
+    w.append(repl);
+  }
+  return true;
+}
+
+void Step1a(std::string& w) {
+  if (EndsWith(w, "sses")) {
+    w.resize(w.size() - 2);
+  } else if (EndsWith(w, "ies")) {
+    w.resize(w.size() - 2);
+  } else if (EndsWith(w, "ss")) {
+    // keep
+  } else if (EndsWith(w, "s")) {
+    w.resize(w.size() - 1);
+  }
+}
+
+void Step1b(std::string& w) {
+  bool second_third = false;
+  if (EndsWith(w, "eed")) {
+    if (Measure(w, w.size() - 3) > 0) w.resize(w.size() - 1);
+  } else if (EndsWith(w, "ed")) {
+    if (ContainsVowel(w, w.size() - 2)) {
+      w.resize(w.size() - 2);
+      second_third = true;
+    }
+  } else if (EndsWith(w, "ing")) {
+    if (ContainsVowel(w, w.size() - 3)) {
+      w.resize(w.size() - 3);
+      second_third = true;
+    }
+  }
+  if (second_third) {
+    if (EndsWith(w, "at") || EndsWith(w, "bl") || EndsWith(w, "iz")) {
+      w.push_back('e');
+    } else if (EndsWithDoubleConsonant(w)) {
+      char c = w.back();
+      if (c != 'l' && c != 's' && c != 'z') w.resize(w.size() - 1);
+    } else if (Measure(w, w.size()) == 1 && EndsCvc(w, w.size())) {
+      w.push_back('e');
+    }
+  }
+}
+
+void Step1c(std::string& w) {
+  if (EndsWith(w, "y") && ContainsVowel(w, w.size() - 1)) {
+    w.back() = 'i';
+  }
+}
+
+void Step2(std::string& w) {
+  static constexpr std::pair<std::string_view, std::string_view> kRules[] = {
+      {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+      {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+      {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+      {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+      {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+      {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+      {"iviti", "ive"},   {"biliti", "ble"},
+  };
+  for (const auto& [suffix, repl] : kRules) {
+    if (ReplaceIfMeasure(w, suffix, repl, 0)) return;
+  }
+}
+
+void Step3(std::string& w) {
+  static constexpr std::pair<std::string_view, std::string_view> kRules[] = {
+      {"icate", "ic"}, {"ative", ""},  {"alize", "al"}, {"iciti", "ic"},
+      {"ical", "ic"},  {"ful", ""},    {"ness", ""},
+  };
+  for (const auto& [suffix, repl] : kRules) {
+    if (ReplaceIfMeasure(w, suffix, repl, 0)) return;
+  }
+}
+
+void Step4(std::string& w) {
+  static constexpr std::string_view kSuffixes[] = {
+      "al",   "ance", "ence", "er",  "ic",  "able", "ible", "ant",
+      "ement", "ment", "ent",  "ou",  "ism", "ate",  "iti",  "ous",
+      "ive",  "ize",
+  };
+  for (std::string_view suffix : kSuffixes) {
+    if (EndsWith(w, suffix)) {
+      size_t stem_len = w.size() - suffix.size();
+      if (Measure(w, stem_len) > 1) w.resize(stem_len);
+      return;
+    }
+  }
+  // "(m>1 and (*S or *T)) ION -> "
+  if (EndsWith(w, "ion")) {
+    size_t stem_len = w.size() - 3;
+    if (stem_len > 0 && Measure(w, stem_len) > 1 &&
+        (w[stem_len - 1] == 's' || w[stem_len - 1] == 't')) {
+      w.resize(stem_len);
+    }
+  }
+}
+
+void Step5a(std::string& w) {
+  if (!EndsWith(w, "e")) return;
+  size_t stem_len = w.size() - 1;
+  int m = Measure(w, stem_len);
+  if (m > 1 || (m == 1 && !EndsCvc(w, stem_len))) {
+    w.resize(stem_len);
+  }
+}
+
+void Step5b(std::string& w) {
+  if (Measure(w, w.size()) > 1 && EndsWithDoubleConsonant(w) &&
+      w.back() == 'l') {
+    w.resize(w.size() - 1);
+  }
+}
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (word.size() < 3) return std::string(word);
+  std::string w(word);
+  Step1a(w);
+  Step1b(w);
+  Step1c(w);
+  Step2(w);
+  Step3(w);
+  Step4(w);
+  Step5a(w);
+  Step5b(w);
+  return w;
+}
+
+}  // namespace microprov

@@ -1,0 +1,17 @@
+#ifndef MICROPROV_TEXT_STEMMER_H_
+#define MICROPROV_TEXT_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace microprov {
+
+/// Classic Porter (1980) stemmer for English. Input must already be
+/// lowercase ASCII; words shorter than 3 characters are returned unchanged.
+/// Used so "Yankees" / "yankee" and "winning" / "wins" / "win" land on the
+/// same keyword indicant.
+std::string PorterStem(std::string_view word);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_TEXT_STEMMER_H_

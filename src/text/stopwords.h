@@ -1,0 +1,17 @@
+#ifndef MICROPROV_TEXT_STOPWORDS_H_
+#define MICROPROV_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace microprov {
+
+/// True if `word` (already lowercased) is an English stopword or common
+/// micro-blog filler ("rt", "lol", single letters, pure digits).
+bool IsStopword(std::string_view word);
+
+/// Number of entries in the built-in stopword list (for tests).
+size_t StopwordCount();
+
+}  // namespace microprov
+
+#endif  // MICROPROV_TEXT_STOPWORDS_H_

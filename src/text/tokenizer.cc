@@ -1,0 +1,158 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "text/normalizer.h"
+
+namespace microprov {
+
+namespace {
+
+bool IsUrlChar(char c) {
+  unsigned char uc = static_cast<unsigned char>(c);
+  if (std::isalnum(uc)) return true;
+  switch (c) {
+    case '/':
+    case '.':
+    case '-':
+    case '_':
+    case '~':
+    case '?':
+    case '&':
+    case '=':
+    case '%':
+    case '+':
+    case ':':
+    case '#':
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Recognizes common 2009-era shortener hosts used without a scheme.
+bool LooksLikeBareShortLink(std::string_view tok) {
+  static constexpr std::string_view kHosts[] = {
+      "bit.ly/", "ow.ly/", "is.gd/", "tinyurl.com/", "twitpic.com/",
+      "t.co/",   "j.mp/",  "goo.gl/"};
+  for (std::string_view host : kHosts) {
+    if (StartsWith(tok, host)) return true;
+  }
+  return false;
+}
+
+// Strips trailing characters that cannot end a URL (punctuation that is
+// almost always sentence punctuation, e.g. "http://x.y/z.").
+std::string_view TrimUrlTail(std::string_view url) {
+  while (!url.empty()) {
+    char c = url.back();
+    if (c == '.' || c == ',' || c == '?' || c == '!' || c == ':' ||
+        c == ';' || c == ')') {
+      url.remove_suffix(1);
+    } else {
+      break;
+    }
+  }
+  return url;
+}
+
+bool IsWordChar(char c) {
+  unsigned char uc = static_cast<unsigned char>(c);
+  return std::isalnum(uc) || c == '\'' || c == '_' || uc >= 0x80;
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    unsigned char uc = static_cast<unsigned char>(text[i]);
+    if (std::isspace(uc)) {
+      ++i;
+      continue;
+    }
+
+    // URL with scheme.
+    std::string_view rest = text.substr(i);
+    if (StartsWith(rest, "http://") || StartsWith(rest, "https://")) {
+      size_t j = i;
+      while (j < n && IsUrlChar(text[j])) ++j;
+      std::string_view url = TrimUrlTail(text.substr(i, j - i));
+      if (url.size() > 7) {  // longer than the bare scheme
+        tokens.push_back({TokenType::kUrl, ToLower(url)});
+      }
+      i += (j - i > 0) ? (j - i) : 1;
+      continue;
+    }
+
+    // Hashtag.
+    if (text[i] == '#' && i + 1 < n &&
+        (std::isalnum(static_cast<unsigned char>(text[i + 1])) ||
+         text[i + 1] == '_')) {
+      size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                       text[j] == '_')) {
+        ++j;
+      }
+      tokens.push_back({TokenType::kHashtag,
+                        ToLower(text.substr(i + 1, j - i - 1))});
+      i = j;
+      continue;
+    }
+
+    // Mention.
+    if (text[i] == '@' && i + 1 < n &&
+        (std::isalnum(static_cast<unsigned char>(text[i + 1])) ||
+         text[i + 1] == '_')) {
+      size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                       text[j] == '_')) {
+        ++j;
+      }
+      tokens.push_back({TokenType::kMention,
+                        ToLower(text.substr(i + 1, j - i - 1))});
+      i = j;
+      continue;
+    }
+
+    // Word (or bare short-link).
+    if (IsWordChar(text[i])) {
+      size_t j = i;
+      // Greedily take a run that may include URL punctuation, then decide.
+      size_t k = i;
+      while (k < n && IsUrlChar(text[k])) ++k;
+      std::string lowered = ToLower(TrimUrlTail(text.substr(i, k - i)));
+      if (LooksLikeBareShortLink(lowered)) {
+        tokens.push_back({TokenType::kUrl, std::move(lowered)});
+        i = k;
+        continue;
+      }
+      while (j < n && IsWordChar(text[j])) ++j;
+      std::string_view word = text.substr(i, j - i);
+      // Trim leading/trailing apostrophes.
+      while (!word.empty() && word.front() == '\'') word.remove_prefix(1);
+      while (!word.empty() && word.back() == '\'') word.remove_suffix(1);
+      if (!word.empty()) {
+        tokens.push_back({TokenType::kWord, ToLower(word)});
+      }
+      i = j;
+      continue;
+    }
+
+    ++i;  // punctuation / other
+  }
+  return tokens;
+}
+
+std::vector<std::string> TokenizeWords(std::string_view text) {
+  std::vector<std::string> words;
+  for (auto& tok : Tokenize(text)) {
+    if (tok.type == TokenType::kWord) words.push_back(std::move(tok.value));
+  }
+  return words;
+}
+
+}  // namespace microprov

@@ -1,0 +1,37 @@
+#ifndef MICROPROV_TEXT_TOKENIZER_H_
+#define MICROPROV_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace microprov {
+
+/// Token categories produced by the tweet-aware tokenizer.
+enum class TokenType {
+  kWord,     // plain word
+  kHashtag,  // "#redsox" (value stored without '#')
+  kMention,  // "@user" (value stored without '@')
+  kUrl,      // "http://..." or bare short-link domains like "bit.ly/x"
+};
+
+struct Token {
+  TokenType type;
+  std::string value;  // normalized (lowercased) surface form
+
+  bool operator==(const Token& other) const = default;
+};
+
+/// Splits micro-blog text into typed tokens. URLs are recognized before
+/// punctuation splitting so "http://bit.ly/Uvcpr" survives intact; hashtags
+/// and mentions keep their leading sigil for classification but the sigil is
+/// stripped from `value`. Trailing punctuation is removed from word tokens
+/// ("argh!!" -> "argh").
+std::vector<Token> Tokenize(std::string_view text);
+
+/// Convenience: the kWord token values only, in order.
+std::vector<std::string> TokenizeWords(std::string_view text);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_TEXT_TOKENIZER_H_

@@ -1,0 +1,127 @@
+#include "text/tweet_parser.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "text/stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace microprov {
+
+namespace {
+
+// Finds the first "RT @user" occurrence (token-aligned, case-insensitive).
+// Returns the byte offset of the 'R', or npos.
+size_t FindRtMarker(std::string_view text, std::string* user_out) {
+  for (size_t i = 0; i + 3 < text.size(); ++i) {
+    if ((text[i] != 'R' && text[i] != 'r') ||
+        (text[i + 1] != 'T' && text[i + 1] != 't')) {
+      continue;
+    }
+    // Must be token-aligned: preceded by start or non-word char.
+    if (i > 0 && (std::isalnum(static_cast<unsigned char>(text[i - 1])) ||
+                  text[i - 1] == '@' || text[i - 1] == '#')) {
+      continue;
+    }
+    // Skip whitespace between "RT" and "@".
+    size_t j = i + 2;
+    while (j < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[j]))) {
+      ++j;
+    }
+    if (j >= text.size() || text[j] != '@') continue;
+    size_t k = j + 1;
+    while (k < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[k])) ||
+            text[k] == '_')) {
+      ++k;
+    }
+    if (k == j + 1) continue;  // "@" with no name
+    *user_out = ToLower(text.substr(j + 1, k - j - 1));
+    return i;
+  }
+  return std::string_view::npos;
+}
+
+void PushUnique(std::vector<std::string>* vec,
+                std::unordered_set<std::string>* seen, std::string value) {
+  if (seen->insert(value).second) vec->push_back(std::move(value));
+}
+
+}  // namespace
+
+ParsedTweet ParseTweet(std::string_view text,
+                       const TweetParserOptions& options) {
+  ParsedTweet out;
+
+  std::string rt_user;
+  size_t rt_pos = FindRtMarker(text, &rt_user);
+  if (rt_pos != std::string_view::npos) {
+    out.is_retweet = true;
+    out.retweet_of_user = rt_user;
+    out.comment = std::string(Trim(text.substr(0, rt_pos)));
+    // Quoted text starts after "RT @user" and an optional ':'.
+    size_t q = rt_pos + 2;
+    while (q < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[q]))) {
+      ++q;
+    }
+    // skip "@user"
+    if (q < text.size() && text[q] == '@') {
+      ++q;
+      while (q < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[q])) ||
+              text[q] == '_')) {
+        ++q;
+      }
+    }
+    while (q < text.size() &&
+           (std::isspace(static_cast<unsigned char>(text[q])) ||
+            text[q] == ':')) {
+      ++q;
+    }
+    out.quoted_text = std::string(Trim(text.substr(q)));
+  } else if (StartsWith(text, "via @") || StartsWith(text, "Via @")) {
+    // "via @user" style credit at the start is rare; treat like RT.
+    size_t k = 5;
+    while (k < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[k])) ||
+            text[k] == '_')) {
+      ++k;
+    }
+    if (k > 5) {
+      out.is_retweet = true;
+      out.retweet_of_user = ToLower(text.substr(5, k - 5));
+      out.quoted_text = std::string(Trim(text.substr(k)));
+    }
+  }
+
+  std::unordered_set<std::string> seen_tags, seen_urls, seen_mentions,
+      seen_keywords;
+  for (Token& tok : Tokenize(text)) {
+    switch (tok.type) {
+      case TokenType::kHashtag:
+        PushUnique(&out.hashtags, &seen_tags, std::move(tok.value));
+        break;
+      case TokenType::kUrl:
+        PushUnique(&out.urls, &seen_urls, std::move(tok.value));
+        break;
+      case TokenType::kMention:
+        PushUnique(&out.mentions, &seen_mentions, std::move(tok.value));
+        break;
+      case TokenType::kWord: {
+        if (tok.value.size() > options.max_keyword_length) break;
+        if (options.drop_stopwords && IsStopword(tok.value)) break;
+        std::string kw = options.stem_keywords ? PorterStem(tok.value)
+                                               : std::move(tok.value);
+        PushUnique(&out.keywords, &seen_keywords, std::move(kw));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace microprov

@@ -1,0 +1,50 @@
+#ifndef MICROPROV_TEXT_TWEET_PARSER_H_
+#define MICROPROV_TEXT_TWEET_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace microprov {
+
+/// Structured view of a raw micro-blog message, matching the paper's
+/// multi-field tuple [date, user, msg, urls, hashtags, rt] (Definition 1).
+/// Date and user come from the envelope; this struct carries everything
+/// derivable from the message text itself.
+struct ParsedTweet {
+  /// Lowercased hashtags, without '#', de-duplicated, in first-seen order.
+  std::vector<std::string> hashtags;
+  /// Lowercased URLs (scheme'd or bare short-links), de-duplicated.
+  std::vector<std::string> urls;
+  /// Lowercased @mentions without '@', de-duplicated.
+  std::vector<std::string> mentions;
+  /// Content keywords: words minus stopwords, Porter-stemmed,
+  /// de-duplicated, in first-seen order.
+  std::vector<std::string> keywords;
+
+  /// True when the text contains a re-share marker ("RT @user" or
+  /// leading "via @user").
+  bool is_retweet = false;
+  /// The user whose message is re-shared (first RT in a nested chain),
+  /// lowercase, empty when !is_retweet.
+  std::string retweet_of_user;
+  /// The commentary the re-sharer added before the RT marker, trimmed.
+  std::string comment;
+  /// The re-shared payload after "RT @user:" (may itself contain RTs).
+  std::string quoted_text;
+};
+
+struct TweetParserOptions {
+  bool stem_keywords = true;
+  bool drop_stopwords = true;
+  /// Keywords longer than this are truncated away (spam guard).
+  size_t max_keyword_length = 32;
+};
+
+/// Parses a raw message text into its connection indicants.
+ParsedTweet ParseTweet(std::string_view text,
+                       const TweetParserOptions& options = {});
+
+}  // namespace microprov
+
+#endif  // MICROPROV_TEXT_TWEET_PARSER_H_

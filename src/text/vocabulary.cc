@@ -1,0 +1,30 @@
+#include "text/vocabulary.h"
+
+#include "common/memory_usage.h"
+
+namespace microprov {
+
+TermId Vocabulary::GetOrAdd(std::string_view term) {
+  auto it = ids_.find(std::string(term));
+  if (it != ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  ids_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Find(std::string_view term) const {
+  auto it = ids_.find(std::string(term));
+  return it == ids_.end() ? kInvalidTermId : it->second;
+}
+
+size_t Vocabulary::ApproxMemoryUsage() const {
+  size_t total = ApproxMapOverhead(ids_);
+  for (const auto& [term, id] : ids_) {
+    total += ::microprov::ApproxMemoryUsage(term);
+  }
+  total += ::microprov::ApproxMemoryUsage(terms_);
+  return total;
+}
+
+}  // namespace microprov

@@ -1,0 +1,46 @@
+#ifndef MICROPROV_TEXT_VOCABULARY_H_
+#define MICROPROV_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace microprov {
+
+/// Dense integer id for an interned term.
+using TermId = uint32_t;
+
+inline constexpr TermId kInvalidTermId = static_cast<TermId>(-1);
+
+/// String interning table: term -> dense TermId and back. The text-search
+/// substrate keys posting lists by TermId to avoid hashing strings on the
+/// hot path. Append-only; ids are assigned in first-seen order.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+  Vocabulary(const Vocabulary&) = delete;
+  Vocabulary& operator=(const Vocabulary&) = delete;
+
+  /// Returns the id for `term`, interning it if new.
+  TermId GetOrAdd(std::string_view term);
+
+  /// Returns the id for `term` or kInvalidTermId if unseen.
+  TermId Find(std::string_view term) const;
+
+  /// Requires id < size().
+  const std::string& TermOf(TermId id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+
+  size_t ApproxMemoryUsage() const;
+
+ private:
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_TEXT_VOCABULARY_H_

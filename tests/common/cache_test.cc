@@ -1,0 +1,101 @@
+#include "common/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace microprov {
+namespace {
+
+TEST(LruCacheTest, PutGet) {
+  LruCache<int, std::string> cache(2);
+  cache.Put(1, "one");
+  auto v = cache.Get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "one");
+}
+
+TEST(LruCacheTest, MissReturnsNullopt) {
+  LruCache<int, std::string> cache(2);
+  EXPECT_FALSE(cache.Get(42).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);  // evicts 1
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_TRUE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(LruCacheTest, GetPromotes) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_TRUE(cache.Get(1).has_value());  // 1 is now most recent
+  cache.Put(3, 30);                       // evicts 2
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_FALSE(cache.Get(2).has_value());
+}
+
+TEST(LruCacheTest, PutOverwritesAndPromotes) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // overwrite, promote
+  cache.Put(3, 30);  // evicts 2
+  EXPECT_EQ(cache.Get(1).value(), 11);
+  EXPECT_FALSE(cache.Get(2).has_value());
+}
+
+TEST(LruCacheTest, EraseRemoves) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Erase(1);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  cache.Erase(99);  // no-op
+}
+
+TEST(LruCacheTest, ClearEmpties) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get(1).has_value());
+}
+
+TEST(LruCacheTest, ZeroCapacityNeverStores) {
+  LruCache<int, int> cache(0);
+  cache.Put(1, 10);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, HitMissCounters) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 1);
+  cache.Get(1);
+  cache.Get(1);
+  cache.Get(2);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, ManyInsertionsBounded) {
+  LruCache<int, int> cache(16);
+  for (int i = 0; i < 1000; ++i) cache.Put(i, i);
+  EXPECT_EQ(cache.size(), 16u);
+  // The newest 16 survive.
+  for (int i = 984; i < 1000; ++i) {
+    EXPECT_TRUE(cache.Get(i).has_value()) << i;
+  }
+}
+
+}  // namespace
+}  // namespace microprov

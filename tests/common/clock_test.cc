@@ -1,0 +1,70 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace microprov {
+namespace {
+
+TEST(SimulatedClockTest, StartsAtGivenTime) {
+  SimulatedClock clock(100);
+  EXPECT_EQ(clock.Now(), 100);
+}
+
+TEST(SimulatedClockTest, AdvanceMovesForward) {
+  SimulatedClock clock;
+  clock.Advance(50);
+  EXPECT_EQ(clock.Now(), 50);
+  clock.Advance(70);
+  EXPECT_EQ(clock.Now(), 70);
+}
+
+TEST(SimulatedClockTest, AdvanceNeverMovesBackward) {
+  SimulatedClock clock;
+  clock.Advance(100);
+  clock.Advance(60);  // out-of-order message
+  EXPECT_EQ(clock.Now(), 100);
+}
+
+TEST(SimulatedClockTest, SetOverridesUnconditionally) {
+  SimulatedClock clock(100);
+  clock.Set(10);
+  EXPECT_EQ(clock.Now(), 10);
+}
+
+TEST(ClockTest, FormatTimestampKnownValue) {
+  // 2009-09-26 00:23:58 UTC (the paper's Table I example).
+  EXPECT_EQ(FormatTimestamp(1253924638), "2009-09-26 00:23:58");
+}
+
+TEST(ClockTest, ParseFormatRoundTrip) {
+  const std::string s = "2009-08-15 13:45:01";
+  Timestamp t = ParseTimestamp(s);
+  ASSERT_GT(t, 0);
+  EXPECT_EQ(FormatTimestamp(t), s);
+}
+
+TEST(ClockTest, ParseRejectsGarbage) {
+  EXPECT_EQ(ParseTimestamp("not a date"), -1);
+  EXPECT_EQ(ParseTimestamp(""), -1);
+  EXPECT_EQ(ParseTimestamp("2009-08"), -1);
+}
+
+TEST(ClockTest, EpochFormats) {
+  EXPECT_EQ(FormatTimestamp(0), "1970-01-01 00:00:00");
+}
+
+TEST(ClockTest, MonotonicNanosAdvances) {
+  int64_t a = MonotonicNanos();
+  int64_t b = MonotonicNanos();
+  EXPECT_GE(b, a);
+}
+
+TEST(ClockTest, SystemClockIsRecent) {
+  SystemClock clock;
+  // After 2020-01-01 and before 2100-01-01.
+  EXPECT_GT(clock.Now(), 1577836800);
+  EXPECT_LT(clock.Now(), 4102444800);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,176 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace microprov {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 1);
+  PutFixed32(&buf, 0xDEADBEEFu);
+  PutFixed32(&buf, std::numeric_limits<uint32_t>::max());
+  std::string_view input = buf;
+  uint32_t v = 0;
+  ASSERT_TRUE(GetFixed32(&input, &v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(GetFixed32(&input, &v));
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(GetFixed32(&input, &v));
+  EXPECT_EQ(v, 0xDEADBEEFu);
+  ASSERT_TRUE(GetFixed32(&input, &v));
+  EXPECT_EQ(v, std::numeric_limits<uint32_t>::max());
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, Fixed32IsLittleEndian) {
+  std::string buf;
+  PutFixed32(&buf, 0x04030201u);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(buf[0]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(buf[3]), 0x04);
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  std::string_view input = buf;
+  uint64_t v = 0;
+  ASSERT_TRUE(GetFixed64(&input, &v));
+  EXPECT_EQ(v, 0x0123456789ABCDEFull);
+}
+
+TEST(CodingTest, VarintRoundTripBoundaries) {
+  std::vector<uint64_t> values = {0, 1, 127, 128, 16383, 16384,
+                                  (1ull << 32) - 1, 1ull << 32,
+                                  std::numeric_limits<uint64_t>::max()};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  std::string_view input = buf;
+  for (uint64_t expected : values) {
+    uint64_t v = 0;
+    ASSERT_TRUE(GetVarint64(&input, &v));
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, VarintLengthMatchesEncoding) {
+  for (uint64_t v : std::vector<uint64_t>{
+           0, 127, 128, 300, 1ull << 40,
+           std::numeric_limits<uint64_t>::max()}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(v)) << v;
+  }
+}
+
+TEST(CodingTest, Varint32RejectsOversizedValue) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 33);
+  std::string_view input = buf;
+  uint32_t v = 0;
+  EXPECT_FALSE(GetVarint32(&input, &v));
+  // Input not consumed on failure.
+  EXPECT_EQ(input.size(), buf.size());
+}
+
+TEST(CodingTest, VarintRejectsTruncatedInput) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  std::string_view input(buf.data(), buf.size() - 1);
+  uint64_t v = 0;
+  EXPECT_FALSE(GetVarint64(&input, &v));
+}
+
+TEST(CodingTest, VarintRejectsOverlongEncoding) {
+  // 11 bytes of continuation bits can't be a valid 64-bit varint.
+  std::string buf(11, static_cast<char>(0x80));
+  std::string_view input = buf;
+  uint64_t v = 0;
+  EXPECT_FALSE(GetVarint64(&input, &v));
+}
+
+TEST(CodingTest, ZigZagRoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, int64_t{-2},
+                    std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max()}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+TEST(CodingTest, ZigZagKeepsSmallNegativesSmall) {
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-64), 127u);
+}
+
+TEST(CodingTest, SignedVarintRoundTrip) {
+  std::string buf;
+  PutVarsint64(&buf, -12345);
+  PutVarsint64(&buf, 678910);
+  std::string_view input = buf;
+  int64_t v = 0;
+  ASSERT_TRUE(GetVarsint64(&input, &v));
+  EXPECT_EQ(v, -12345);
+  ASSERT_TRUE(GetVarsint64(&input, &v));
+  EXPECT_EQ(v, 678910);
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  std::string_view input = buf;
+  std::string_view piece;
+  ASSERT_TRUE(GetLengthPrefixed(&input, &piece));
+  EXPECT_EQ(piece, "hello");
+  ASSERT_TRUE(GetLengthPrefixed(&input, &piece));
+  EXPECT_EQ(piece, "");
+  ASSERT_TRUE(GetLengthPrefixed(&input, &piece));
+  EXPECT_EQ(piece.size(), 1000u);
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, LengthPrefixedRejectsTruncation) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello world");
+  std::string_view input(buf.data(), buf.size() - 3);
+  std::string_view piece;
+  EXPECT_FALSE(GetLengthPrefixed(&input, &piece));
+}
+
+// Property sweep: every value in a broad ranged grid round-trips.
+class VarintSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintSweepTest, RoundTrips) {
+  const uint64_t base = GetParam();
+  for (uint64_t delta = 0; delta < 3; ++delta) {
+    const uint64_t v = base + delta;
+    std::string buf;
+    PutVarint64(&buf, v);
+    std::string_view input = buf;
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint64(&input, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerOfTwoBoundaries, VarintSweepTest,
+                         ::testing::Values(0ull, (1ull << 7) - 1,
+                                           (1ull << 14) - 1,
+                                           (1ull << 21) - 1,
+                                           (1ull << 28) - 1,
+                                           (1ull << 35) - 1,
+                                           (1ull << 42) - 1,
+                                           (1ull << 49) - 1,
+                                           (1ull << 56) - 1,
+                                           (1ull << 63) - 1));
+
+}  // namespace
+}  // namespace microprov

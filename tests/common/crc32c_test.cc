@@ -1,0 +1,56 @@
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace microprov {
+namespace crc32c {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vectors for CRC-32C.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Value(zeros), 0x8a9136aau);
+
+  std::string ones(32, '\xff');
+  EXPECT_EQ(Value(ones), 0x62a8ab43u);
+
+  std::string ascending(32, '\0');
+  for (int i = 0; i < 32; ++i) ascending[i] = static_cast<char>(i);
+  EXPECT_EQ(Value(ascending), 0x46dd794eu);
+}
+
+TEST(Crc32cTest, StandardCheckString) {
+  EXPECT_EQ(Value("123456789"), 0xe3069283u);
+}
+
+TEST(Crc32cTest, ExtendIsEquivalentToConcatenation) {
+  std::string a = "hello ";
+  std::string b = "world";
+  EXPECT_EQ(Extend(Value(a), b), Value(a + b));
+}
+
+TEST(Crc32cTest, DifferentInputsDiffer) {
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_NE(Value("foo"), Value("foO"));
+}
+
+TEST(Crc32cTest, EmptyInput) {
+  EXPECT_EQ(Value(""), 0u);
+}
+
+TEST(Crc32cTest, MaskUnmaskRoundTrip) {
+  for (uint32_t crc : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu, Value("xyz")}) {
+    EXPECT_EQ(Unmask(Mask(crc)), crc);
+  }
+}
+
+TEST(Crc32cTest, MaskChangesValue) {
+  uint32_t crc = Value("payload");
+  EXPECT_NE(Mask(crc), crc);
+}
+
+}  // namespace
+}  // namespace crc32c
+}  // namespace microprov

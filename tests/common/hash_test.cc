@@ -1,0 +1,54 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <utility>
+
+namespace microprov {
+namespace {
+
+TEST(HashTest, Fnv1aKnownValues) {
+  // FNV-1a 64 reference values.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(HashTest, Fnv1aIsDeterministic) {
+  EXPECT_EQ(Fnv1a64("redsox"), Fnv1a64("redsox"));
+  EXPECT_NE(Fnv1a64("redsox"), Fnv1a64("yankees"));
+}
+
+TEST(HashTest, Mix64AvalanchesLowBits) {
+  // Sequential inputs should map to well-spread outputs.
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    seen.insert(Mix64(i) >> 48);  // look only at the top 16 bits
+  }
+  // With good avalanche nearly all top-16-bit values differ.
+  EXPECT_GT(seen.size(), 950u);
+}
+
+TEST(HashTest, PairHashDistinguishesOrder) {
+  PairHash h;
+  EXPECT_NE(h({1, 2}), h({2, 1}));
+}
+
+TEST(HashTest, PairHashLowCollisionOnGrid) {
+  PairHash h;
+  std::unordered_set<size_t> seen;
+  for (int64_t a = 0; a < 100; ++a) {
+    for (int64_t b = 0; b < 100; ++b) {
+      seen.insert(h({a, b}));
+    }
+  }
+  EXPECT_GT(seen.size(), 9990u);  // <= 10 collisions out of 10000
+}
+
+TEST(HashTest, HashCombineNotCommutative) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+}  // namespace
+}  // namespace microprov

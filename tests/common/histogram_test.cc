@@ -1,0 +1,105 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace microprov {
+namespace {
+
+TEST(ExactHistogramTest, EmptyDefaults) {
+  ExactHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0);
+}
+
+TEST(ExactHistogramTest, BasicStats) {
+  ExactHistogram h;
+  for (int64_t v : {1, 2, 2, 3, 10}) h.Add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 10);
+  EXPECT_DOUBLE_EQ(h.Mean(), 18.0 / 5.0);
+}
+
+TEST(ExactHistogramTest, Percentiles) {
+  ExactHistogram h;
+  for (int64_t v = 1; v <= 100; ++v) h.Add(v);
+  EXPECT_EQ(h.Percentile(50), 50);
+  EXPECT_EQ(h.Percentile(99), 99);
+  EXPECT_EQ(h.Percentile(100), 100);
+  EXPECT_EQ(h.Percentile(1), 1);
+}
+
+TEST(ExactHistogramTest, MergeAccumulates) {
+  ExactHistogram a, b;
+  a.Add(1);
+  a.Add(2);
+  b.Add(2);
+  b.Add(3);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.buckets().at(2), 2u);
+  EXPECT_EQ(a.max(), 3);
+}
+
+TEST(ExactHistogramTest, BucketizeByEdges) {
+  ExactHistogram h;
+  for (int64_t v : {1, 2, 5, 10, 20, 100}) h.Add(v);
+  // Buckets: [1,5) [5,10) [10,inf)
+  std::vector<uint64_t> counts = h.BucketizeByEdges({1, 5, 10});
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);   // 1, 2
+  EXPECT_EQ(counts[1], 1u);   // 5
+  EXPECT_EQ(counts[2], 3u);   // 10, 20, 100
+}
+
+TEST(ExactHistogramTest, BucketizeIgnoresBelowFirstEdge) {
+  ExactHistogram h;
+  h.Add(-5);
+  h.Add(3);
+  std::vector<uint64_t> counts = h.BucketizeByEdges({0, 10});
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 0u);
+}
+
+TEST(ExactHistogramTest, AsciiChartRendersAllRows) {
+  ExactHistogram h;
+  for (int64_t v = 0; v < 100; ++v) h.Add(v % 10);
+  std::string chart = h.ToAsciiChart(5, 20);
+  // 5 bucket rows, each with a bar.
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 5);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(ExactHistogramTest, AsciiChartEmpty) {
+  ExactHistogram h;
+  EXPECT_EQ(h.ToAsciiChart(), "(empty)\n");
+}
+
+TEST(LatencyHistogramTest, BasicStats) {
+  LatencyHistogram h;
+  for (uint64_t v : {100u, 200u, 300u}) h.Add(v);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 200.0);
+  EXPECT_EQ(h.max_seen(), 300u);
+}
+
+TEST(LatencyHistogramTest, PercentileIsUpperBoundish) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.Add(1000);
+  // p50 bucket upper bound should be >= the actual value but not wildly so.
+  uint64_t p50 = h.Percentile(50);
+  EXPECT_GE(p50, 1000u);
+  EXPECT_LE(p50, 1400u);
+}
+
+TEST(LatencyHistogramTest, SummaryMentionsCount) {
+  LatencyHistogram h;
+  h.Add(5);
+  EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,86 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace microprov {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, DropsEmptyPiecesByDefault) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"a"}));
+}
+
+TEST(SplitTest, KeepEmptyOption) {
+  EXPECT_EQ(Split("a,,c", ',', true),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ',', true), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, EmptyInput) {
+  EXPECT_TRUE(Split("", ',').empty());
+  EXPECT_EQ(Split("", ',', true), (std::vector<std::string>{""}));
+}
+
+TEST(SplitWhitespaceTest, CollapsesRuns) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\n\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(JoinTest, Joins) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(CaseTest, ToLowerAsciiOnly) {
+  EXPECT_EQ(ToLower("MiXeD 123 #TAG"), "mixed 123 #tag");
+}
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\n x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(PrefixSuffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("htt", "http://"));
+  EXPECT_TRUE(EndsWith("file.log", ".log"));
+  EXPECT_FALSE(EndsWith("log", ".log"));
+}
+
+TEST(StringPrintfTest, FormatsAndSizes) {
+  EXPECT_EQ(StringPrintf("%d-%s", 42, "x"), "42-x");
+  // Long output beyond any small stack buffer.
+  std::string big = StringPrintf("%0500d", 7);
+  EXPECT_EQ(big.size(), 500u);
+}
+
+TEST(StringAppendFTest, Appends) {
+  std::string s = "a";
+  StringAppendF(&s, "%d", 1);
+  StringAppendF(&s, "%s", "!");
+  EXPECT_EQ(s, "a1!");
+}
+
+TEST(HumanBytesTest, Scales) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1536), "1.5 KB");
+  EXPECT_EQ(HumanBytes(10ull << 20), "10.0 MB");
+}
+
+TEST(HumanCountTest, Scales) {
+  EXPECT_EQ(HumanCount(999), "999");
+  EXPECT_EQ(HumanCount(700000), "700k");
+  EXPECT_EQ(HumanCount(4250000), "4.25m");
+  EXPECT_EQ(HumanCount(50000), "50k");
+}
+
+}  // namespace
+}  // namespace microprov

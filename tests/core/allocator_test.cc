@@ -1,0 +1,175 @@
+#include "core/allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+using testing_util::MakeMessage;
+using testing_util::MakeRetweet;
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  ScoringWeights weights_;
+};
+
+TEST_F(AllocatorTest, RtByIdWinsOutright) {
+  Bundle bundle(1);
+  bundle.AddMessage(MakeMessage(1, kTestEpoch, "alice", {"t"}),
+                    kInvalidMessageId, ConnectionType::kText, 0);
+  bundle.AddMessage(MakeMessage(2, kTestEpoch + 10, "bob", {"t"}), 1,
+                    ConnectionType::kHashtag, 0.5);
+  Message rt = MakeRetweet(3, kTestEpoch + 20, "carol", 1, "alice", {"t"});
+  Placement p = AllocateMessage(bundle, rt, weights_);
+  EXPECT_EQ(p.parent, 1);
+  EXPECT_EQ(p.type, ConnectionType::kRt);
+}
+
+TEST_F(AllocatorTest, RtByUserPicksLatestMessageOfAuthor) {
+  Bundle bundle(1);
+  bundle.AddMessage(MakeMessage(1, kTestEpoch, "alice"),
+                    kInvalidMessageId, ConnectionType::kText, 0);
+  bundle.AddMessage(MakeMessage(2, kTestEpoch + 100, "alice"), 1,
+                    ConnectionType::kText, 0);
+  bundle.AddMessage(MakeMessage(3, kTestEpoch + 50, "bob"), 1,
+                    ConnectionType::kText, 0);
+  Message rt = MakeRetweet(4, kTestEpoch + 200, "carol",
+                           kInvalidMessageId, "alice");
+  Placement p = AllocateMessage(bundle, rt, weights_);
+  EXPECT_EQ(p.parent, 2);  // alice's latest
+  EXPECT_EQ(p.type, ConnectionType::kRt);
+}
+
+TEST_F(AllocatorTest, RtTargetOutsideBundleFallsBackToSimilarity) {
+  Bundle bundle(1);
+  bundle.AddMessage(MakeMessage(1, kTestEpoch, "dave", {"t"}),
+                    kInvalidMessageId, ConnectionType::kText, 0);
+  Message rt = MakeRetweet(2, kTestEpoch + 10, "carol", 999, "nobody",
+                           {"t"});
+  Placement p = AllocateMessage(bundle, rt, weights_);
+  EXPECT_EQ(p.parent, 1);
+  EXPECT_EQ(p.type, ConnectionType::kHashtag);
+}
+
+TEST_F(AllocatorTest, MaxSimilarityWins) {
+  Bundle bundle(1);
+  bundle.AddMessage(MakeMessage(1, kTestEpoch, "a", {"t1"}),
+                    kInvalidMessageId, ConnectionType::kText, 0);
+  bundle.AddMessage(
+      MakeMessage(2, kTestEpoch, "b", {"t1", "t2"}, {"url"}), 1,
+      ConnectionType::kHashtag, 0.5);
+  Message probe =
+      MakeMessage(3, kTestEpoch + 5, "c", {"t1", "t2"}, {"url"});
+  Placement p = AllocateMessage(bundle, probe, weights_);
+  EXPECT_EQ(p.parent, 2);
+  EXPECT_EQ(p.type, ConnectionType::kUrl);  // URL overlap dominates
+  EXPECT_GT(p.score, 0.0);
+}
+
+TEST_F(AllocatorTest, TimeClosenessBreaksEqualOverlap) {
+  Bundle bundle(1);
+  bundle.AddMessage(MakeMessage(1, kTestEpoch, "a", {"t"}),
+                    kInvalidMessageId, ConnectionType::kText, 0);
+  bundle.AddMessage(MakeMessage(2, kTestEpoch + kSecondsPerHour, "b",
+                                {"t"}),
+                    1, ConnectionType::kHashtag, 0.5);
+  Message probe =
+      MakeMessage(3, kTestEpoch + kSecondsPerHour + 60, "c", {"t"});
+  Placement p = AllocateMessage(bundle, probe, weights_);
+  EXPECT_EQ(p.parent, 2);  // closer in time
+}
+
+TEST_F(AllocatorTest, NoOverlapAttachesToMostRecent) {
+  Bundle bundle(1);
+  bundle.AddMessage(MakeMessage(1, kTestEpoch, "a", {"x"}),
+                    kInvalidMessageId, ConnectionType::kText, 0);
+  bundle.AddMessage(MakeMessage(2, kTestEpoch + 100, "b", {"y"}), 1,
+                    ConnectionType::kText, 0);
+  Message probe = MakeMessage(3, kTestEpoch + 200, "c", {"z"});
+  Placement p = AllocateMessage(bundle, probe, weights_);
+  EXPECT_EQ(p.parent, 2);
+  EXPECT_EQ(p.type, ConnectionType::kText);
+}
+
+TEST_F(AllocatorTest, SingleMessageBundle) {
+  Bundle bundle(1);
+  bundle.AddMessage(MakeMessage(7, kTestEpoch, "a", {"t"}),
+                    kInvalidMessageId, ConnectionType::kText, 0);
+  Message probe = MakeMessage(8, kTestEpoch + 1, "b", {"t"});
+  Placement p = AllocateMessage(bundle, probe, weights_);
+  EXPECT_EQ(p.parent, 7);
+}
+
+TEST_F(AllocatorTest, ScanWindowBoundsWork) {
+  Bundle bundle(1);
+  // Old message with strong URL overlap, then many fillers, then a weak
+  // recent match.
+  bundle.AddMessage(
+      MakeMessage(1, kTestEpoch, "old", {"t"}, {"strong-url"}),
+      kInvalidMessageId, ConnectionType::kText, 0);
+  for (MessageId id = 2; id <= 40; ++id) {
+    bundle.AddMessage(MakeMessage(id, kTestEpoch + id, "mid", {"t"}), 1,
+                      ConnectionType::kHashtag, 0.5);
+  }
+  Message probe =
+      MakeMessage(100, kTestEpoch + 100, "new", {"t"}, {"strong-url"});
+  // Unbounded: the old URL-sharing message wins.
+  Placement exact = AllocateMessage(bundle, probe, weights_, 0);
+  EXPECT_EQ(exact.parent, 1);
+  // Tiny window: the root is still always considered, so the URL match
+  // survives even when the window excludes it positionally.
+  Placement windowed = AllocateMessage(bundle, probe, weights_, 8);
+  EXPECT_EQ(windowed.parent, 1);
+}
+
+TEST_F(AllocatorTest, WindowExcludesMiddleMessages) {
+  Bundle bundle(1);
+  bundle.AddMessage(MakeMessage(1, kTestEpoch, "root", {"t"}),
+                    kInvalidMessageId, ConnectionType::kText, 0);
+  // Middle message with the strong URL; not root, not recent.
+  bundle.AddMessage(
+      MakeMessage(2, kTestEpoch + 2, "mid", {"t"}, {"strong-url"}), 1,
+      ConnectionType::kHashtag, 0.5);
+  for (MessageId id = 3; id <= 30; ++id) {
+    bundle.AddMessage(MakeMessage(id, kTestEpoch + id, "fill", {"t"}), 1,
+                      ConnectionType::kHashtag, 0.5);
+  }
+  Message probe =
+      MakeMessage(100, kTestEpoch + 100, "new", {"t"}, {"strong-url"});
+  // Exact scan finds the middle URL match; a small window approximates
+  // with a recent hashtag match instead.
+  EXPECT_EQ(AllocateMessage(bundle, probe, weights_, 0).parent, 2);
+  Placement windowed = AllocateMessage(bundle, probe, weights_, 4);
+  EXPECT_NE(windowed.parent, 2);
+  EXPECT_NE(windowed.parent, kInvalidMessageId);
+}
+
+TEST_F(AllocatorTest, LatestByUserIsO1AndCorrect) {
+  Bundle bundle(1);
+  bundle.AddMessage(MakeMessage(1, kTestEpoch, "alice"),
+                    kInvalidMessageId, ConnectionType::kText, 0);
+  bundle.AddMessage(MakeMessage(2, kTestEpoch + 100, "alice"), 1,
+                    ConnectionType::kText, 0);
+  bundle.AddMessage(MakeMessage(3, kTestEpoch + 50, "alice"), 1,
+                    ConnectionType::kText, 0);  // earlier date, later add
+  const BundleMessage* latest = bundle.LatestByUser("alice");
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ(latest->msg.id, 2);
+  EXPECT_EQ(bundle.LatestByUser("nobody"), nullptr);
+}
+
+TEST_F(AllocatorTest, KeywordOnlyOverlapIsTextConnection) {
+  Bundle bundle(1);
+  bundle.AddMessage(MakeMessage(1, kTestEpoch, "a", {}, {}, {"game"}),
+                    kInvalidMessageId, ConnectionType::kText, 0);
+  Message probe = MakeMessage(2, kTestEpoch + 5, "b", {}, {}, {"game"});
+  Placement p = AllocateMessage(bundle, probe, weights_);
+  EXPECT_EQ(p.parent, 1);
+  EXPECT_EQ(p.type, ConnectionType::kText);
+}
+
+}  // namespace
+}  // namespace microprov

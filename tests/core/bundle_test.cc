@@ -1,0 +1,139 @@
+#include "core/bundle.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+using testing_util::MakeMessage;
+
+TEST(BundleTest, EmptyBundle) {
+  Bundle bundle(1);
+  EXPECT_EQ(bundle.id(), 1u);
+  EXPECT_EQ(bundle.size(), 0u);
+  EXPECT_TRUE(bundle.empty());
+  EXPECT_FALSE(bundle.closed());
+}
+
+TEST(BundleTest, AddMessageTracksTimeRange) {
+  Bundle bundle(1);
+  bundle.AddMessage(MakeMessage(1, kTestEpoch + 100, "a"),
+                    kInvalidMessageId, ConnectionType::kText, 0);
+  bundle.AddMessage(MakeMessage(2, kTestEpoch + 50, "b"), 1,
+                    ConnectionType::kText, 0);
+  bundle.AddMessage(MakeMessage(3, kTestEpoch + 500, "c"), 1,
+                    ConnectionType::kText, 0);
+  EXPECT_EQ(bundle.start_time(), kTestEpoch + 50);
+  EXPECT_EQ(bundle.end_time(), kTestEpoch + 500);
+  EXPECT_EQ(bundle.last_update(), kTestEpoch + 500);
+  EXPECT_EQ(bundle.size(), 3u);
+}
+
+TEST(BundleTest, SummaryCountsAccumulate) {
+  Bundle bundle(1);
+  bundle.AddMessage(
+      MakeMessage(1, kTestEpoch, "alice", {"redsox", "mlb"},
+                  {"bit.ly/1"}, {"game"}),
+      kInvalidMessageId, ConnectionType::kText, 0);
+  bundle.AddMessage(
+      MakeMessage(2, kTestEpoch, "bob", {"redsox"}, {}, {"game", "win"}),
+      1, ConnectionType::kHashtag, 0);
+  EXPECT_EQ(bundle.hashtag_counts().at("redsox"), 2u);
+  EXPECT_EQ(bundle.hashtag_counts().at("mlb"), 1u);
+  EXPECT_EQ(bundle.url_counts().at("bit.ly/1"), 1u);
+  EXPECT_EQ(bundle.keyword_counts().at("game"), 2u);
+  EXPECT_EQ(bundle.user_counts().at("alice"), 1u);
+  EXPECT_TRUE(bundle.HasUser("bob"));
+  EXPECT_FALSE(bundle.HasUser("carol"));
+}
+
+TEST(BundleTest, KeywordSummaryCapPerMessage) {
+  Bundle bundle(1);
+  std::vector<std::string> many_keywords;
+  for (int i = 0; i < 20; ++i) {
+    many_keywords.push_back("kw" + std::to_string(i));
+  }
+  bundle.AddMessage(MakeMessage(1, kTestEpoch, "u", {}, {}, many_keywords),
+                    kInvalidMessageId, ConnectionType::kText, 0);
+  EXPECT_EQ(bundle.keyword_counts().size(),
+            Bundle::kSummaryKeywordsPerMessage);
+}
+
+TEST(BundleTest, FindLocatesMessages) {
+  Bundle bundle(1);
+  bundle.AddMessage(MakeMessage(10, kTestEpoch, "a"), kInvalidMessageId,
+                    ConnectionType::kText, 0);
+  bundle.AddMessage(MakeMessage(20, kTestEpoch, "b"), 10,
+                    ConnectionType::kRt, 1.0f);
+  const BundleMessage* found = bundle.Find(20);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->msg.user, "b");
+  EXPECT_EQ(found->parent, 10);
+  EXPECT_EQ(bundle.Find(999), nullptr);
+}
+
+TEST(BundleTest, EdgesExcludeRoot) {
+  Bundle bundle(1);
+  bundle.AddMessage(MakeMessage(1, kTestEpoch, "a"), kInvalidMessageId,
+                    ConnectionType::kText, 0);
+  bundle.AddMessage(MakeMessage(2, kTestEpoch, "b"), 1,
+                    ConnectionType::kUrl, 0.7f);
+  bundle.AddMessage(MakeMessage(3, kTestEpoch, "c"), 1,
+                    ConnectionType::kRt, 1.0f);
+  auto edges = bundle.Edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].parent, 1);
+  EXPECT_EQ(edges[0].child, 2);
+  EXPECT_EQ(edges[0].type, ConnectionType::kUrl);
+  EXPECT_EQ(edges[1].child, 3);
+}
+
+TEST(BundleTest, TopKeywordsOrderedByCount) {
+  Bundle bundle(1);
+  bundle.AddMessage(
+      MakeMessage(1, kTestEpoch, "a", {}, {}, {"win", "game"}),
+      kInvalidMessageId, ConnectionType::kText, 0);
+  bundle.AddMessage(MakeMessage(2, kTestEpoch, "b", {}, {}, {"game"}), 1,
+                    ConnectionType::kText, 0);
+  bundle.AddMessage(MakeMessage(3, kTestEpoch, "c", {}, {}, {"game"}), 1,
+                    ConnectionType::kText, 0);
+  auto top = bundle.TopKeywords(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, "game");
+  EXPECT_EQ(top[0].second, 3u);
+  EXPECT_EQ(top[1].first, "win");
+}
+
+TEST(BundleTest, TopKeywordsTieBreaksLexicographically) {
+  Bundle bundle(1);
+  bundle.AddMessage(
+      MakeMessage(1, kTestEpoch, "a", {}, {}, {"zebra", "apple"}),
+      kInvalidMessageId, ConnectionType::kText, 0);
+  auto top = bundle.TopKeywords(10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, "apple");
+}
+
+TEST(BundleTest, CloseMarksClosed) {
+  Bundle bundle(1);
+  bundle.Close();
+  EXPECT_TRUE(bundle.closed());
+}
+
+TEST(BundleTest, MemoryUsageGrowsWithMessages) {
+  Bundle bundle(1);
+  size_t base = bundle.ApproxMemoryUsage();
+  for (int i = 0; i < 100; ++i) {
+    bundle.AddMessage(
+        MakeMessage(i, kTestEpoch, "user_with_a_longish_name",
+                    {"hashtag_value"}, {}, {"keyword_value"}),
+        kInvalidMessageId, ConnectionType::kText, 0);
+  }
+  EXPECT_GT(bundle.ApproxMemoryUsage(), base + 100 * sizeof(BundleMessage));
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,119 @@
+#include "core/burst.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+using testing_util::MakeMessage;
+
+std::unique_ptr<Bundle> BundleWithDates(
+    const std::vector<Timestamp>& offsets) {
+  auto bundle = std::make_unique<Bundle>(1);
+  MessageId id = 1;
+  for (Timestamp offset : offsets) {
+    bundle->AddMessage(
+        MakeMessage(id, kTestEpoch + offset, "u" + std::to_string(id)),
+        id == 1 ? kInvalidMessageId : 1, ConnectionType::kText, 0);
+    ++id;
+  }
+  return bundle;
+}
+
+TEST(ArrivalProfileTest, BucketsByWindow) {
+  auto bundle = BundleWithDates({0, 100, 3700, 3800, 7300});
+  ArrivalProfile profile =
+      ComputeArrivalProfile(*bundle, kSecondsPerHour);
+  ASSERT_EQ(profile.counts.size(), 3u);
+  EXPECT_EQ(profile.counts[0], 2u);
+  EXPECT_EQ(profile.counts[1], 2u);
+  EXPECT_EQ(profile.counts[2], 1u);
+  EXPECT_EQ(profile.peak(), 2u);
+  EXPECT_NEAR(profile.mean(), 5.0 / 3.0, 1e-9);
+}
+
+TEST(ArrivalProfileTest, EmptyBundle) {
+  Bundle empty(1);
+  ArrivalProfile profile = ComputeArrivalProfile(empty, kSecondsPerHour);
+  EXPECT_TRUE(profile.counts.empty());
+  EXPECT_EQ(profile.peak(), 0u);
+  EXPECT_EQ(profile.mean(), 0.0);
+}
+
+TEST(BurstScoreTest, UniformSpreadScoresLow) {
+  std::vector<Timestamp> offsets;
+  for (int i = 0; i < 24; ++i) {
+    offsets.push_back(i * kSecondsPerHour);
+  }
+  auto uniform = BundleWithDates(offsets);
+  EXPECT_LT(BurstScore(*uniform), 0.1);
+}
+
+TEST(BurstScoreTest, SpikeScoresHigh) {
+  std::vector<Timestamp> offsets;
+  // 30 messages in one hour, 4 stragglers over the next day.
+  for (int i = 0; i < 30; ++i) offsets.push_back(i * 100);
+  for (int i = 1; i <= 4; ++i) {
+    offsets.push_back(i * 6 * kSecondsPerHour);
+  }
+  auto spiky = BundleWithDates(offsets);
+  EXPECT_GT(BurstScore(*spiky), 0.5);
+}
+
+TEST(BurstScoreTest, SpikyBeatsUniformAtEqualSize) {
+  std::vector<Timestamp> uniform_offsets, spiky_offsets;
+  for (int i = 0; i < 20; ++i) {
+    uniform_offsets.push_back(i * kSecondsPerHour);
+    spiky_offsets.push_back(i < 16 ? i * 60
+                                   : (i - 14) * 5 * kSecondsPerHour);
+  }
+  EXPECT_GT(BurstScore(*BundleWithDates(spiky_offsets)),
+            BurstScore(*BundleWithDates(uniform_offsets)));
+}
+
+TEST(BurstScoreTest, TinyBundlesScoreNearZero) {
+  EXPECT_EQ(BurstScore(*BundleWithDates({0})), 0.0);
+  EXPECT_LT(BurstScore(*BundleWithDates({0, 10})), 0.25);
+}
+
+TEST(IsBurstingNowTest, DetectsRecentSpike) {
+  std::vector<Timestamp> offsets;
+  // Slow trickle for two days, then a spike in the last 30 minutes.
+  for (int i = 0; i < 8; ++i) offsets.push_back(i * 6 * kSecondsPerHour);
+  const Timestamp now_offset = 2 * kSecondsPerDay;
+  for (int i = 0; i < 10; ++i) {
+    offsets.push_back(now_offset - 1800 + i * 60);
+  }
+  auto bundle = BundleWithDates(offsets);
+  EXPECT_TRUE(IsBurstingNow(*bundle, kTestEpoch + now_offset));
+}
+
+TEST(IsBurstingNowTest, QuietBundleIsNotBursting) {
+  std::vector<Timestamp> offsets;
+  for (int i = 0; i < 10; ++i) offsets.push_back(i * 6 * kSecondsPerHour);
+  auto bundle = BundleWithDates(offsets);
+  // "now" is a day after the last message.
+  EXPECT_FALSE(IsBurstingNow(
+      *bundle, kTestEpoch + 10 * 6 * kSecondsPerHour + kSecondsPerDay));
+}
+
+TEST(IsBurstingNowTest, MinRecentThresholdApplies) {
+  // Two messages in the last window: below the default min_recent=3.
+  auto bundle = BundleWithDates({0, kSecondsPerDay - 100,
+                                 kSecondsPerDay - 50});
+  EXPECT_FALSE(IsBurstingNow(*bundle, kTestEpoch + kSecondsPerDay));
+  // Lowering the bar flips it.
+  EXPECT_TRUE(IsBurstingNow(*bundle, kTestEpoch + kSecondsPerDay,
+                            kSecondsPerHour, 1.0, 2));
+}
+
+TEST(IsBurstingNowTest, EmptyBundleSafe) {
+  Bundle empty(1);
+  EXPECT_FALSE(IsBurstingNow(empty, kTestEpoch));
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,41 @@
+#include "core/edge_log.h"
+
+#include <gtest/gtest.h>
+
+namespace microprov {
+namespace {
+
+TEST(EdgeLogTest, RecordsInOrder) {
+  EdgeLog log;
+  log.Record(Edge{1, 2, ConnectionType::kRt, 1.0f});
+  log.Record(Edge{1, 3, ConnectionType::kHashtag, 0.5f});
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.edges()[0].child, 2);
+  EXPECT_EQ(log.edges()[1].child, 3);
+}
+
+TEST(EdgeLogTest, KeySetContainsPairs) {
+  EdgeLog log;
+  log.Record(Edge{1, 2, ConnectionType::kRt, 1.0f});
+  log.Record(Edge{3, 4, ConnectionType::kUrl, 0.3f});
+  auto set = log.ToKeySet();
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count({1, 2}));
+  EXPECT_TRUE(set.count({3, 4}));
+  EXPECT_FALSE(set.count({2, 1}));
+}
+
+TEST(EdgeLogTest, EmptyLog) {
+  EdgeLog log;
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_TRUE(log.ToKeySet().empty());
+}
+
+TEST(EdgeLogTest, EdgeEqualityIgnoresTypeAndScore) {
+  Edge a{1, 2, ConnectionType::kRt, 1.0f};
+  Edge b{1, 2, ConnectionType::kText, 0.1f};
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace microprov

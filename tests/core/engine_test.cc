@@ -1,0 +1,254 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+using testing_util::MakeMessage;
+using testing_util::MakeRetweet;
+
+class CountingArchive : public BundleArchive {
+ public:
+  Status Put(const Bundle& bundle) override {
+    ++puts;
+    return Status::OK();
+  }
+  int puts = 0;
+};
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest()
+      : clock_(kTestEpoch),
+        engine_(EngineOptions::ForConfig(IndexConfig::kFullIndex), &clock_,
+                nullptr) {}
+
+  Status Feed(const Message& msg, IngestResult* result = nullptr) {
+    clock_.Advance(msg.date);
+    return engine_.Ingest(msg, result);
+  }
+
+  SimulatedClock clock_;
+  ProvenanceEngine engine_;
+};
+
+TEST_F(EngineTest, FirstMessageCreatesBundle) {
+  IngestResult result;
+  ASSERT_TRUE(Feed(MakeMessage(1, kTestEpoch, "u", {"tag"}), &result).ok());
+  EXPECT_TRUE(result.created_bundle);
+  EXPECT_NE(result.bundle, kInvalidBundleId);
+  EXPECT_EQ(result.parent, kInvalidMessageId);
+  EXPECT_EQ(engine_.pool().size(), 1u);
+  EXPECT_EQ(engine_.messages_ingested(), 1u);
+}
+
+TEST_F(EngineTest, RelatedMessagesShareBundle) {
+  IngestResult r1, r2;
+  ASSERT_TRUE(Feed(MakeMessage(1, kTestEpoch, "u", {"redsox"}), &r1).ok());
+  ASSERT_TRUE(
+      Feed(MakeMessage(2, kTestEpoch + 60, "v", {"redsox"}), &r2).ok());
+  EXPECT_FALSE(r2.created_bundle);
+  EXPECT_EQ(r2.bundle, r1.bundle);
+  EXPECT_EQ(r2.parent, 1);
+  EXPECT_EQ(engine_.pool().size(), 1u);
+}
+
+TEST_F(EngineTest, UnrelatedMessagesSplitBundles) {
+  IngestResult r1, r2;
+  ASSERT_TRUE(Feed(MakeMessage(1, kTestEpoch, "u", {"baseball"}), &r1).ok());
+  ASSERT_TRUE(
+      Feed(MakeMessage(2, kTestEpoch + 60, "v", {"tsunami"}), &r2).ok());
+  EXPECT_TRUE(r2.created_bundle);
+  EXPECT_NE(r2.bundle, r1.bundle);
+  EXPECT_EQ(engine_.pool().size(), 2u);
+}
+
+TEST_F(EngineTest, RtChainBuildsTree) {
+  IngestResult r1, r2, r3;
+  ASSERT_TRUE(
+      Feed(MakeMessage(1, kTestEpoch, "alice", {"news"}), &r1).ok());
+  ASSERT_TRUE(Feed(MakeRetweet(2, kTestEpoch + 10, "bob", 1, "alice",
+                               {"news"}),
+                   &r2)
+                  .ok());
+  ASSERT_TRUE(Feed(MakeRetweet(3, kTestEpoch + 20, "carol", 2, "bob",
+                               {"news"}),
+                   &r3)
+                  .ok());
+  EXPECT_EQ(r2.bundle, r1.bundle);
+  EXPECT_EQ(r3.bundle, r1.bundle);
+  EXPECT_EQ(r2.parent, 1);
+  EXPECT_EQ(r2.connection, ConnectionType::kRt);
+  EXPECT_EQ(r3.parent, 2);
+  EXPECT_EQ(r3.connection, ConnectionType::kRt);
+}
+
+TEST_F(EngineTest, EdgesRecordedForNonRoots) {
+  ASSERT_TRUE(Feed(MakeMessage(1, kTestEpoch, "u", {"t"})).ok());
+  ASSERT_TRUE(Feed(MakeMessage(2, kTestEpoch + 1, "v", {"t"})).ok());
+  ASSERT_TRUE(Feed(MakeMessage(3, kTestEpoch + 2, "w", {"t"})).ok());
+  EXPECT_EQ(engine_.edge_log().size(), 2u);
+}
+
+TEST_F(EngineTest, TimersAccumulate) {
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        Feed(MakeMessage(i, kTestEpoch + i, "u", {"t"})).ok());
+  }
+  EXPECT_GT(engine_.timers().bundle_match_nanos, 0);
+  EXPECT_GT(engine_.timers().message_placement_nanos, 0);
+}
+
+TEST_F(EngineTest, MemoryUsageGrowsWithIngest) {
+  size_t before = engine_.ApproxMemoryUsage();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(Feed(MakeMessage(i, kTestEpoch + i, "user",
+                                 {"tag" + std::to_string(i)}))
+                    .ok());
+  }
+  EXPECT_GT(engine_.ApproxMemoryUsage(), before);
+}
+
+TEST_F(EngineTest, SlightlyOutOfOrderDatesAreTolerated) {
+  // Real feeds deliver occasional out-of-order posts; the engine must
+  // not crash and bundle time ranges must still be exact.
+  IngestResult r1, r2, r3;
+  ASSERT_TRUE(Feed(MakeMessage(1, kTestEpoch + 100, "u", {"tag"}), &r1)
+                  .ok());
+  ASSERT_TRUE(Feed(MakeMessage(2, kTestEpoch + 40, "v", {"tag"}), &r2)
+                  .ok());  // 60s earlier than its predecessor
+  ASSERT_TRUE(Feed(MakeMessage(3, kTestEpoch + 200, "w", {"tag"}), &r3)
+                  .ok());
+  EXPECT_EQ(r2.bundle, r1.bundle);
+  EXPECT_EQ(r3.bundle, r1.bundle);
+  const Bundle* bundle = engine_.pool().Get(r1.bundle);
+  ASSERT_NE(bundle, nullptr);
+  EXPECT_EQ(bundle->start_time(), kTestEpoch + 40);
+  EXPECT_EQ(bundle->end_time(), kTestEpoch + 200);
+  // The simulated clock never went backwards.
+  EXPECT_EQ(clock_.Now(), kTestEpoch + 200);
+}
+
+TEST(EngineConfigTest, ForConfigSetsKnobs) {
+  EngineOptions full = EngineOptions::ForConfig(IndexConfig::kFullIndex);
+  EXPECT_EQ(full.pool.max_pool_size, 0u);
+  EXPECT_EQ(full.pool.max_bundle_size, 0u);
+
+  EngineOptions partial =
+      EngineOptions::ForConfig(IndexConfig::kPartialIndex, 5000);
+  EXPECT_EQ(partial.pool.max_pool_size, 5000u);
+  EXPECT_EQ(partial.pool.max_bundle_size, 0u);
+
+  EngineOptions limited =
+      EngineOptions::ForConfig(IndexConfig::kBundleLimit, 5000, 100);
+  EXPECT_EQ(limited.pool.max_pool_size, 5000u);
+  EXPECT_EQ(limited.pool.max_bundle_size, 100u);
+}
+
+TEST(EngineConfigTest, ConfigNamesStable) {
+  EXPECT_EQ(IndexConfigToString(IndexConfig::kFullIndex), "Full Index");
+  EXPECT_EQ(IndexConfigToString(IndexConfig::kPartialIndex),
+            "Partial Index");
+  EXPECT_EQ(IndexConfigToString(IndexConfig::kBundleLimit),
+            "Bundle Limit");
+}
+
+TEST(EngineBundleCapTest, BundleClosesAtCap) {
+  SimulatedClock clock(kTestEpoch);
+  EngineOptions options =
+      EngineOptions::ForConfig(IndexConfig::kBundleLimit, 10000, 3);
+  ProvenanceEngine engine(options, &clock, nullptr);
+  IngestResult result;
+  for (int i = 0; i < 3; ++i) {
+    clock.Advance(kTestEpoch + i);
+    ASSERT_TRUE(engine
+                    .Ingest(MakeMessage(i, kTestEpoch + i, "u", {"tag"}),
+                            &result)
+                    .ok());
+  }
+  const Bundle* bundle = engine.pool().Get(result.bundle);
+  ASSERT_NE(bundle, nullptr);
+  EXPECT_EQ(bundle->size(), 3u);
+  EXPECT_TRUE(bundle->closed());
+  // The 4th same-tag message must open a fresh bundle.
+  clock.Advance(kTestEpoch + 3);
+  ASSERT_TRUE(engine
+                  .Ingest(MakeMessage(3, kTestEpoch + 3, "v", {"tag"}),
+                          &result)
+                  .ok());
+  EXPECT_TRUE(result.created_bundle);
+  EXPECT_EQ(engine.pool().stats().bundles_closed, 1u);
+}
+
+TEST(EngineRefinementTest, PoolStaysBounded) {
+  SimulatedClock clock(kTestEpoch);
+  EngineOptions options =
+      EngineOptions::ForConfig(IndexConfig::kPartialIndex, 50);
+  ProvenanceEngine engine(options, &clock, nullptr);
+  // 500 mutually-unrelated messages, each its own bundle.
+  for (int i = 0; i < 500; ++i) {
+    Timestamp t = kTestEpoch + i * 600;
+    clock.Advance(t);
+    ASSERT_TRUE(engine
+                    .Ingest(MakeMessage(i, t, "u" + std::to_string(i),
+                                        {"tag" + std::to_string(i)}))
+                    .ok());
+  }
+  EXPECT_LE(engine.pool().size(), 51u);
+  EXPECT_GT(engine.pool().stats().refinement_runs, 0u);
+  EXPECT_GT(engine.timers().memory_refinement_nanos, 0);
+}
+
+TEST(EngineRefinementTest, EvictedBundlesReachArchive) {
+  SimulatedClock clock(kTestEpoch);
+  CountingArchive archive;
+  EngineOptions options =
+      EngineOptions::ForConfig(IndexConfig::kPartialIndex, 20);
+  options.pool.tiny_size = 1;  // nothing counts as tiny
+  ProvenanceEngine engine(options, &clock, &archive);
+  for (int i = 0; i < 200; ++i) {
+    Timestamp t = kTestEpoch + i * 600;
+    clock.Advance(t);
+    ASSERT_TRUE(engine
+                    .Ingest(MakeMessage(i, t, "u" + std::to_string(i),
+                                        {"tag" + std::to_string(i)}))
+                    .ok());
+  }
+  EXPECT_GT(archive.puts, 0);
+}
+
+TEST(EngineDrainTest, DrainEmptiesPool) {
+  SimulatedClock clock(kTestEpoch);
+  CountingArchive archive;
+  ProvenanceEngine engine(
+      EngineOptions::ForConfig(IndexConfig::kFullIndex), &clock, &archive);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine
+                    .Ingest(MakeMessage(i, kTestEpoch + i, "u",
+                                        {"tag" + std::to_string(i % 3)}))
+                    .ok());
+  }
+  ASSERT_TRUE(engine.Drain().ok());
+  EXPECT_EQ(engine.pool().size(), 0u);
+  EXPECT_EQ(archive.puts, 3);
+}
+
+TEST(EngineEdgeRecordingTest, CanBeDisabled) {
+  SimulatedClock clock(kTestEpoch);
+  EngineOptions options =
+      EngineOptions::ForConfig(IndexConfig::kFullIndex);
+  options.record_edges = false;
+  ProvenanceEngine engine(options, &clock, nullptr);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        engine.Ingest(MakeMessage(i, kTestEpoch + i, "u", {"t"})).ok());
+  }
+  EXPECT_EQ(engine.edge_log().size(), 0u);
+}
+
+}  // namespace
+}  // namespace microprov

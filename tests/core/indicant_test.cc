@@ -1,0 +1,81 @@
+#include "core/indicant.h"
+
+#include <gtest/gtest.h>
+
+#include "core/connection.h"
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+using testing_util::MakeMessage;
+
+std::vector<std::pair<IndicantType, std::string>> Collect(
+    const Message& msg, size_t max_keywords) {
+  std::vector<std::pair<IndicantType, std::string>> out;
+  ForEachIndicant(msg, max_keywords,
+                  [&](IndicantType type, std::string_view value) {
+                    out.emplace_back(type, std::string(value));
+                  });
+  return out;
+}
+
+TEST(IndicantTest, VisitsAllTypes) {
+  Message msg = MakeMessage(1, kTestEpoch, "alice", {"tag"}, {"url"},
+                            {"kw"});
+  auto all = Collect(msg, 6);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0], std::make_pair(IndicantType::kHashtag,
+                                   std::string("tag")));
+  EXPECT_EQ(all[1], std::make_pair(IndicantType::kUrl,
+                                   std::string("url")));
+  EXPECT_EQ(all[2], std::make_pair(IndicantType::kKeyword,
+                                   std::string("kw")));
+  EXPECT_EQ(all[3], std::make_pair(IndicantType::kUser,
+                                   std::string("alice")));
+}
+
+TEST(IndicantTest, KeywordCapApplies) {
+  Message msg = MakeMessage(1, kTestEpoch, "u", {}, {},
+                            {"k1", "k2", "k3", "k4"});
+  auto two = Collect(msg, 2);
+  int keywords = 0;
+  for (const auto& [type, value] : two) {
+    if (type == IndicantType::kKeyword) ++keywords;
+  }
+  EXPECT_EQ(keywords, 2);
+}
+
+TEST(IndicantTest, ZeroKeywordCap) {
+  Message msg = MakeMessage(1, kTestEpoch, "u", {}, {}, {"k1"});
+  auto none = Collect(msg, 0);
+  for (const auto& [type, value] : none) {
+    EXPECT_NE(type, IndicantType::kKeyword);
+  }
+}
+
+TEST(IndicantTest, EmptyUserSkipped) {
+  Message msg;
+  msg.hashtags = {"t"};
+  auto all = Collect(msg, 6);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].first, IndicantType::kHashtag);
+}
+
+TEST(IndicantTest, TypeNamesStable) {
+  EXPECT_EQ(IndicantTypeToString(IndicantType::kHashtag), "hashtag");
+  EXPECT_EQ(IndicantTypeToString(IndicantType::kUrl), "url");
+  EXPECT_EQ(IndicantTypeToString(IndicantType::kKeyword), "keyword");
+  EXPECT_EQ(IndicantTypeToString(IndicantType::kUser), "user");
+}
+
+TEST(ConnectionTest, TypeNamesStable) {
+  EXPECT_EQ(ConnectionTypeToString(ConnectionType::kRt), "RT");
+  EXPECT_EQ(ConnectionTypeToString(ConnectionType::kUrl), "URL");
+  EXPECT_EQ(ConnectionTypeToString(ConnectionType::kHashtag), "hashtag");
+  EXPECT_EQ(ConnectionTypeToString(ConnectionType::kText), "text");
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,158 @@
+#include "core/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+using testing_util::MakeMessage;
+using testing_util::MakeRetweet;
+
+constexpr size_t kMaxKw = 6;
+
+class MatcherTest : public ::testing::Test {
+ protected:
+  MatcherTest() : pool_(PoolOptions{}) {}
+
+  // Creates a bundle seeded with one message and registers it.
+  BundleId Seed(const Message& msg) {
+    Bundle* bundle = pool_.Create();
+    bundle->AddMessage(msg, kInvalidMessageId, ConnectionType::kText, 0);
+    index_.AddMessage(bundle->id(), msg, kMaxKw);
+    return bundle->id();
+  }
+
+  SummaryIndex index_;
+  BundlePool pool_;
+  MatcherOptions options_;
+};
+
+TEST_F(MatcherTest, NoCandidatesMeansNoMatch) {
+  Seed(MakeMessage(1, kTestEpoch, "u", {"redsox"}));
+  Message probe = MakeMessage(2, kTestEpoch, "v", {"totally-unrelated"});
+  EXPECT_FALSE(
+      FindBestBundle(probe, index_, pool_, kTestEpoch, options_)
+          .has_value());
+}
+
+TEST_F(MatcherTest, MatchingHashtagJoinsBundle) {
+  BundleId id = Seed(MakeMessage(1, kTestEpoch, "u", {"redsox"}));
+  Message probe = MakeMessage(2, kTestEpoch + 60, "v", {"redsox"});
+  auto match = FindBestBundle(probe, index_, pool_, kTestEpoch + 60,
+                              options_);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->bundle, id);
+  EXPECT_GE(match->score, options_.match_threshold);
+}
+
+TEST_F(MatcherTest, StrongerOverlapWins) {
+  Seed(MakeMessage(1, kTestEpoch, "u", {"t1"}));
+  BundleId strong = Seed(MakeMessage(2, kTestEpoch, "v", {"t1", "t2"},
+                                     {"url1"}));
+  Message probe =
+      MakeMessage(3, kTestEpoch, "w", {"t1", "t2"}, {"url1"});
+  auto match =
+      FindBestBundle(probe, index_, pool_, kTestEpoch, options_);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->bundle, strong);
+}
+
+TEST_F(MatcherTest, FreshnessBreaksOverlapTies) {
+  BundleId stale = Seed(
+      MakeMessage(1, kTestEpoch - 3 * kSecondsPerDay, "u", {"tag"}));
+  BundleId fresh = Seed(MakeMessage(2, kTestEpoch, "v", {"tag"}));
+  Message probe = MakeMessage(3, kTestEpoch + 60, "w", {"tag"});
+  auto match = FindBestBundle(probe, index_, pool_, kTestEpoch + 60,
+                              options_);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->bundle, fresh);
+  EXPECT_NE(match->bundle, stale);
+}
+
+TEST_F(MatcherTest, ThresholdRejectsWeakMatches) {
+  Seed(MakeMessage(1, kTestEpoch, "u", {}, {}, {"keyword"}));
+  // Keyword-only overlap scores keyword_weight + freshness; set the
+  // threshold above that.
+  MatcherOptions strict = options_;
+  strict.match_threshold = 10.0;
+  Message probe = MakeMessage(2, kTestEpoch, "v", {}, {}, {"keyword"});
+  EXPECT_FALSE(
+      FindBestBundle(probe, index_, pool_, kTestEpoch, strict)
+          .has_value());
+}
+
+TEST_F(MatcherTest, ClosedBundlesSkipped) {
+  BundleId id = Seed(MakeMessage(1, kTestEpoch, "u", {"tag"}));
+  pool_.Get(id)->Close();
+  Message probe = MakeMessage(2, kTestEpoch, "v", {"tag"});
+  EXPECT_FALSE(
+      FindBestBundle(probe, index_, pool_, kTestEpoch, options_)
+          .has_value());
+}
+
+TEST_F(MatcherTest, SizeCappedBundlesSkipped) {
+  PoolOptions pool_options;
+  pool_options.max_bundle_size = 2;
+  BundlePool capped_pool(pool_options);
+  Bundle* bundle = capped_pool.Create();
+  Message m1 = MakeMessage(1, kTestEpoch, "u", {"tag"});
+  Message m2 = MakeMessage(2, kTestEpoch, "v", {"tag"});
+  bundle->AddMessage(m1, kInvalidMessageId, ConnectionType::kText, 0);
+  bundle->AddMessage(m2, 1, ConnectionType::kHashtag, 0.5);
+  SummaryIndex index;
+  index.AddMessage(bundle->id(), m1, kMaxKw);
+  index.AddMessage(bundle->id(), m2, kMaxKw);
+
+  Message probe = MakeMessage(3, kTestEpoch, "w", {"tag"});
+  EXPECT_FALSE(FindBestBundle(probe, index, capped_pool, kTestEpoch,
+                              options_)
+                   .has_value());
+}
+
+TEST_F(MatcherTest, RetweetFindsAuthorsBundle) {
+  BundleId id = Seed(MakeMessage(1, kTestEpoch, "alice", {"niche"}));
+  // RT with no shared hashtags at all: user signal alone should carry it
+  // past the threshold thanks to the RT bonus.
+  Message rt = MakeRetweet(2, kTestEpoch + 30, "bob", 1, "alice");
+  auto match = FindBestBundle(rt, index_, pool_, kTestEpoch + 30,
+                              options_);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->bundle, id);
+}
+
+TEST_F(MatcherTest, CandidateCapKeepsStrongest) {
+  // 100 weak bundles sharing one keyword; 1 strong bundle sharing two
+  // hashtags + URL. With a tiny cap, the strong one must survive
+  // pre-selection (raw overlap ordering).
+  for (int i = 0; i < 100; ++i) {
+    Seed(MakeMessage(i, kTestEpoch, "u" + std::to_string(i), {}, {},
+                     {"common"}));
+  }
+  BundleId strong = Seed(MakeMessage(200, kTestEpoch, "v",
+                                     {"sig1", "sig2"}, {"urlx"}));
+  MatcherOptions capped = options_;
+  capped.max_candidates = 4;
+  Message probe = MakeMessage(300, kTestEpoch, "w", {"sig1", "sig2"},
+                              {"urlx"}, {"common"});
+  auto match =
+      FindBestBundle(probe, index_, pool_, kTestEpoch, capped);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->bundle, strong);
+}
+
+TEST_F(MatcherTest, DeterministicTieBreakOnEqualScores) {
+  BundleId first = Seed(MakeMessage(1, kTestEpoch, "u", {"tag"}));
+  Seed(MakeMessage(2, kTestEpoch, "v", {"tag"}));
+  Message probe = MakeMessage(3, kTestEpoch, "w", {"tag"});
+  auto match =
+      FindBestBundle(probe, index_, pool_, kTestEpoch, options_);
+  ASSERT_TRUE(match.has_value());
+  // Equal overlap and freshness: the smaller bundle id wins.
+  EXPECT_EQ(match->bundle, first);
+}
+
+}  // namespace
+}  // namespace microprov

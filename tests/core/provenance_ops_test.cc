@@ -1,0 +1,143 @@
+#include "core/provenance_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+using testing_util::MakeMessage;
+
+// Tree:            1 (root)
+//                 / \
+//                2   3
+//               / \
+//              4   5
+//             /
+//            6
+std::unique_ptr<Bundle> SampleCascade() {
+  auto bundle = std::make_unique<Bundle>(1);
+  auto add = [&](MessageId id, MessageId parent, ConnectionType type,
+                 const std::string& user) {
+    bundle->AddMessage(MakeMessage(id, kTestEpoch + id * 10, user, {"evt"}),
+                       parent, type, 0.5f);
+  };
+  add(1, kInvalidMessageId, ConnectionType::kText, "alice");
+  add(2, 1, ConnectionType::kRt, "bob");
+  add(3, 1, ConnectionType::kHashtag, "carol");
+  add(4, 2, ConnectionType::kRt, "dave");
+  add(5, 2, ConnectionType::kUrl, "erin");
+  add(6, 4, ConnectionType::kRt, "frank");
+  return bundle;
+}
+
+TEST(PathToRootTest, WalksUpToRoot) {
+  auto bundle = SampleCascade();
+  EXPECT_EQ(PathToRoot(*bundle, 6),
+            (std::vector<MessageId>{6, 4, 2, 1}));
+  EXPECT_EQ(PathToRoot(*bundle, 1), (std::vector<MessageId>{1}));
+  EXPECT_TRUE(PathToRoot(*bundle, 999).empty());
+}
+
+TEST(AncestorsTest, ExcludesSelf) {
+  auto bundle = SampleCascade();
+  EXPECT_EQ(Ancestors(*bundle, 6), (std::vector<MessageId>{4, 2, 1}));
+  EXPECT_TRUE(Ancestors(*bundle, 1).empty());
+}
+
+TEST(DescendantsTest, BfsOrderNearestFirst) {
+  auto bundle = SampleCascade();
+  auto desc = Descendants(*bundle, 1);
+  ASSERT_EQ(desc.size(), 5u);
+  // Level 1 (2, 3) before level 2 (4, 5) before level 3 (6).
+  EXPECT_EQ(desc[0], 2);
+  EXPECT_EQ(desc[1], 3);
+  EXPECT_EQ(desc[4], 6);
+  EXPECT_EQ(Descendants(*bundle, 3), std::vector<MessageId>{});
+  EXPECT_EQ(Descendants(*bundle, 4), (std::vector<MessageId>{6}));
+}
+
+TEST(SubtreeSizeTest, CountsSelfPlusDescendants) {
+  auto bundle = SampleCascade();
+  EXPECT_EQ(SubtreeSize(*bundle, 1), 6u);
+  EXPECT_EQ(SubtreeSize(*bundle, 2), 4u);
+  EXPECT_EQ(SubtreeSize(*bundle, 3), 1u);
+  EXPECT_EQ(SubtreeSize(*bundle, 999), 0u);
+}
+
+TEST(DepthTest, RootIsZero) {
+  auto bundle = SampleCascade();
+  EXPECT_EQ(Depth(*bundle, 1), 0);
+  EXPECT_EQ(Depth(*bundle, 3), 1);
+  EXPECT_EQ(Depth(*bundle, 6), 3);
+  EXPECT_EQ(Depth(*bundle, 999), -1);
+}
+
+TEST(CascadeStatsTest, CountsMatchSampleTree) {
+  auto bundle = SampleCascade();
+  CascadeStats stats = ComputeCascadeStats(*bundle);
+  EXPECT_EQ(stats.messages, 6u);
+  EXPECT_EQ(stats.roots, 1u);
+  EXPECT_EQ(stats.leaves, 3u);  // 3, 5, 6
+  EXPECT_EQ(stats.max_depth, 3u);
+  EXPECT_EQ(stats.rt_edges, 3u);
+  EXPECT_EQ(stats.url_edges, 1u);
+  EXPECT_EQ(stats.hashtag_edges, 1u);
+  EXPECT_EQ(stats.text_edges, 0u);
+  EXPECT_EQ(stats.distinct_users, 6u);
+  // Depths: 0,1,1,2,2,3 -> avg 1.5.
+  EXPECT_DOUBLE_EQ(stats.avg_depth, 1.5);
+  // Non-leaves 1,2,4 have 2,2,1 children -> 5/3.
+  EXPECT_NEAR(stats.avg_branching, 5.0 / 3.0, 1e-9);
+}
+
+TEST(CascadeStatsTest, EmptyBundle) {
+  Bundle empty(1);
+  CascadeStats stats = ComputeCascadeStats(empty);
+  EXPECT_EQ(stats.messages, 0u);
+  EXPECT_EQ(stats.roots, 0u);
+}
+
+TEST(CascadeStatsTest, SingletonBundle) {
+  Bundle bundle(1);
+  bundle.AddMessage(MakeMessage(1, kTestEpoch, "solo"), kInvalidMessageId,
+                    ConnectionType::kText, 0);
+  CascadeStats stats = ComputeCascadeStats(bundle);
+  EXPECT_EQ(stats.roots, 1u);
+  EXPECT_EQ(stats.leaves, 1u);
+  EXPECT_EQ(stats.max_depth, 0u);
+  EXPECT_EQ(stats.avg_branching, 0.0);
+}
+
+TEST(LongestChainTest, FindsDeepestPathRootFirst) {
+  auto bundle = SampleCascade();
+  EXPECT_EQ(LongestChain(*bundle), (std::vector<MessageId>{1, 2, 4, 6}));
+}
+
+TEST(LongestChainTest, EmptyBundle) {
+  Bundle empty(1);
+  EXPECT_TRUE(LongestChain(empty).empty());
+}
+
+TEST(TopInfluencersTest, RanksByDescendantCount) {
+  auto bundle = SampleCascade();
+  auto top = TopInfluencers(*bundle, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 1);
+  EXPECT_EQ(top[0].second, 5u);
+  EXPECT_EQ(top[1].first, 2);
+  EXPECT_EQ(top[1].second, 3u);
+  EXPECT_EQ(top[2].first, 4);
+  EXPECT_EQ(top[2].second, 1u);
+}
+
+TEST(TopInfluencersTest, KLargerThanBundle) {
+  auto bundle = SampleCascade();
+  // Only messages with at least one descendant appear.
+  EXPECT_EQ(TopInfluencers(*bundle, 100).size(), 3u);
+}
+
+}  // namespace
+}  // namespace microprov

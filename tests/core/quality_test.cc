@@ -1,0 +1,144 @@
+#include "core/quality.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+using testing_util::MakeMessage;
+
+Message Substantive(MessageId id, const std::string& user) {
+  return MakeMessage(id, kTestEpoch + id, user, {"evt"}, {},
+                     {"quake", "wave", "warn", "coast"});
+}
+
+Message Shallow(MessageId id, const std::string& user) {
+  return MakeMessage(id, kTestEpoch + id, user, {}, {}, {"ugh"});
+}
+
+std::unique_ptr<Bundle> CascadeBundle() {
+  auto bundle = std::make_unique<Bundle>(1);
+  bundle->AddMessage(Substantive(1, "reporter"), kInvalidMessageId,
+                     ConnectionType::kText, 0);
+  for (MessageId id = 2; id <= 8; ++id) {
+    bundle->AddMessage(Substantive(id, "user" + std::to_string(id)),
+                       id <= 4 ? 1 : id - 3, ConnectionType::kRt, 1.0f);
+  }
+  return bundle;
+}
+
+std::unique_ptr<Bundle> NoiseBundle() {
+  auto bundle = std::make_unique<Bundle>(2);
+  bundle->AddMessage(Shallow(1, "grump"), kInvalidMessageId,
+                     ConnectionType::kText, 0);
+  return bundle;
+}
+
+TEST(MessageCredibilityTest, RootOfCascadeScoresHigh) {
+  auto bundle = CascadeBundle();
+  double root = MessageCredibility(*bundle, 1);
+  EXPECT_GT(root, 0.5);
+  EXPECT_LE(root, 1.0);
+}
+
+TEST(MessageCredibilityTest, LeafScoresLow) {
+  auto bundle = CascadeBundle();
+  double leaf = MessageCredibility(*bundle, 8);
+  EXPECT_LT(leaf, MessageCredibility(*bundle, 1));
+}
+
+TEST(MessageCredibilityTest, MissingMessageIsZero) {
+  auto bundle = CascadeBundle();
+  EXPECT_EQ(MessageCredibility(*bundle, 999), 0.0);
+}
+
+TEST(MessageCredibilityTest, SelfResharingScoresBelowDiverseCascade) {
+  // Same shape, but every re-share comes from one account.
+  Bundle diverse(1), sock_puppet(2);
+  diverse.AddMessage(Substantive(1, "origin"), kInvalidMessageId,
+                     ConnectionType::kText, 0);
+  sock_puppet.AddMessage(Substantive(1, "origin"), kInvalidMessageId,
+                         ConnectionType::kText, 0);
+  for (MessageId id = 2; id <= 5; ++id) {
+    diverse.AddMessage(Substantive(id, "user" + std::to_string(id)), 1,
+                       ConnectionType::kRt, 1.0f);
+    sock_puppet.AddMessage(Substantive(id, "samebot"), 1,
+                           ConnectionType::kRt, 1.0f);
+  }
+  EXPECT_GT(MessageCredibility(diverse, 1),
+            MessageCredibility(sock_puppet, 1));
+}
+
+TEST(BundleQualityTest, CascadeOutscoresNoise) {
+  auto cascade = CascadeBundle();
+  auto noise = NoiseBundle();
+  EXPECT_GT(BundleQuality(*cascade), BundleQuality(*noise) + 0.2);
+}
+
+TEST(BundleQualityTest, ScoreInUnitInterval) {
+  auto cascade = CascadeBundle();
+  double q = BundleQuality(*cascade);
+  EXPECT_GE(q, 0.0);
+  EXPECT_LE(q, 1.0);
+  EXPECT_EQ(BundleQuality(Bundle(9)), 0.0);
+}
+
+TEST(BundleQualityTest, WeightsShiftEmphasis) {
+  auto cascade = CascadeBundle();
+  QualityWeights feedback_only;
+  feedback_only.audience = 0;
+  feedback_only.substance = 0;
+  feedback_only.development = 0;
+  feedback_only.feedback = 1.0;
+  QualityWeights substance_only;
+  substance_only.audience = 0;
+  substance_only.feedback = 0;
+  substance_only.development = 0;
+  substance_only.substance = 1.0;
+  // Both valid but different aspects -> different scores.
+  EXPECT_NE(BundleQuality(*cascade, feedback_only),
+            BundleQuality(*cascade, substance_only));
+}
+
+TEST(BundleQualityTest, ZeroWeightsAreSafe) {
+  auto cascade = CascadeBundle();
+  QualityWeights none;
+  none.audience = none.feedback = none.substance = none.development = 0;
+  EXPECT_EQ(BundleQuality(*cascade, none), 0.0);
+}
+
+TEST(IsLikelyNoiseTest, ShortIsolatedMessageIsNoise) {
+  auto noise = NoiseBundle();
+  EXPECT_TRUE(IsLikelyNoise(*noise, 1));
+}
+
+TEST(IsLikelyNoiseTest, FeedbackRescues) {
+  auto cascade = CascadeBundle();
+  EXPECT_FALSE(IsLikelyNoise(*cascade, 1));
+}
+
+TEST(IsLikelyNoiseTest, SubstanceRescues) {
+  Bundle bundle(1);
+  bundle.AddMessage(Substantive(1, "writer"), kInvalidMessageId,
+                    ConnectionType::kText, 0);
+  EXPECT_FALSE(IsLikelyNoise(bundle, 1));
+}
+
+TEST(IsLikelyNoiseTest, UrlRescues) {
+  Bundle bundle(1);
+  Message msg = Shallow(1, "linker");
+  msg.urls = {"bit.ly/x"};
+  bundle.AddMessage(msg, kInvalidMessageId, ConnectionType::kText, 0);
+  EXPECT_FALSE(IsLikelyNoise(bundle, 1));
+}
+
+TEST(IsLikelyNoiseTest, MissingMessageIsNoise) {
+  auto noise = NoiseBundle();
+  EXPECT_TRUE(IsLikelyNoise(*noise, 42));
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,204 @@
+#include "core/scoring.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+using testing_util::MakeMessage;
+using testing_util::MakeRetweet;
+
+TEST(Eq2UrlSimilarityTest, FractionOfNewMessagesUrls) {
+  Message a = MakeMessage(2, kTestEpoch, "u", {}, {"u1", "u2"});
+  Message b = MakeMessage(1, kTestEpoch, "v", {}, {"u1", "u3"});
+  EXPECT_DOUBLE_EQ(UrlSimilarity(a, b), 0.5);
+}
+
+TEST(Eq2UrlSimilarityTest, NoUrlsIsZero) {
+  Message a = MakeMessage(2, kTestEpoch, "u");
+  Message b = MakeMessage(1, kTestEpoch, "v", {}, {"u1"});
+  EXPECT_DOUBLE_EQ(UrlSimilarity(a, b), 0.0);
+}
+
+TEST(Eq3HashtagSimilarityTest, FullOverlapIsOne) {
+  Message a = MakeMessage(2, kTestEpoch, "u", {"t1", "t2"});
+  Message b = MakeMessage(1, kTestEpoch, "v", {"t2", "t1", "t3"});
+  EXPECT_DOUBLE_EQ(HashtagSimilarity(a, b), 1.0);
+}
+
+TEST(Eq3HashtagSimilarityTest, AsymmetricDenominator) {
+  // Denominator is the *new* message's tag count (Eq. 3).
+  Message newer = MakeMessage(2, kTestEpoch, "u", {"t1", "t2", "t3", "t4"});
+  Message older = MakeMessage(1, kTestEpoch, "v", {"t1"});
+  EXPECT_DOUBLE_EQ(HashtagSimilarity(newer, older), 0.25);
+  EXPECT_DOUBLE_EQ(HashtagSimilarity(older, newer), 1.0);
+}
+
+TEST(Eq4TimeClosenessTest, SameInstantIsOne) {
+  EXPECT_DOUBLE_EQ(TimeCloseness(kTestEpoch, kTestEpoch, 3600), 1.0);
+}
+
+TEST(Eq4TimeClosenessTest, DecaysWithGap) {
+  double close = TimeCloseness(kTestEpoch, kTestEpoch + 600, 3600);
+  double far = TimeCloseness(kTestEpoch, kTestEpoch + 36000, 3600);
+  EXPECT_GT(close, far);
+  EXPECT_GT(far, 0.0);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(TimeCloseness(kTestEpoch + 600, kTestEpoch, 3600),
+                   close);
+}
+
+TEST(Eq5MessageSimilarityTest, CombinesWeightedFactors) {
+  ScoringWeights weights;
+  weights.alpha_url = 2.0;
+  weights.beta_hashtag = 1.0;
+  weights.keyword_weight = 0.0;
+  weights.gamma_time = 0.5;
+  weights.time_scale_secs = 3600;
+  Message a = MakeMessage(2, kTestEpoch + 3600, "u", {"t"}, {"l"});
+  Message b = MakeMessage(1, kTestEpoch, "v", {"t"}, {"l"});
+  // 2*1 + 1*1 + 0.5 * (1/(1+1)) = 3.25
+  EXPECT_DOUBLE_EQ(MessageSimilarity(a, b, weights), 3.25);
+}
+
+TEST(Eq5MessageSimilarityTest, MoreOverlapScoresHigher) {
+  ScoringWeights weights;
+  Message target = MakeMessage(5, kTestEpoch, "u", {"t1", "t2"},
+                               {"u1"}, {"k1"});
+  Message strong = MakeMessage(1, kTestEpoch, "a", {"t1", "t2"}, {"u1"},
+                               {"k1"});
+  Message weak = MakeMessage(2, kTestEpoch, "b", {"t1"});
+  EXPECT_GT(MessageSimilarity(target, strong, weights),
+            MessageSimilarity(target, weak, weights));
+}
+
+TEST(Eq1BundleMatchScoreTest, UsesHitCountsAndWeights) {
+  ScoringWeights weights;
+  weights.alpha_url = 2.0;
+  weights.beta_hashtag = 1.0;
+  weights.keyword_weight = 0.25;
+  weights.gamma_time = 0.0;   // isolate overlap terms
+  weights.size_penalty = 0.0;
+  Bundle bundle(1);
+  bundle.AddMessage(MakeMessage(1, kTestEpoch, "x"), kInvalidMessageId,
+                    ConnectionType::kText, 0);
+  Message msg = MakeMessage(2, kTestEpoch, "u");
+  CandidateHits hits;
+  hits.url_hits = 2;
+  hits.hashtag_hits = 3;
+  hits.keyword_hits = 4;
+  EXPECT_DOUBLE_EQ(
+      BundleMatchScore(msg, bundle, hits, kTestEpoch, weights),
+      2.0 * 2 + 1.0 * 3 + 0.25 * 4);
+}
+
+TEST(Eq1BundleMatchScoreTest, FreshBundlePreferred) {
+  ScoringWeights weights;
+  Bundle fresh(1), stale(2);
+  fresh.AddMessage(MakeMessage(1, kTestEpoch, "x"), kInvalidMessageId,
+                   ConnectionType::kText, 0);
+  stale.AddMessage(MakeMessage(2, kTestEpoch - 7 * kSecondsPerDay, "y"),
+                   kInvalidMessageId, ConnectionType::kText, 0);
+  Message msg = MakeMessage(3, kTestEpoch, "u", {"t"});
+  CandidateHits hits;
+  hits.hashtag_hits = 1;
+  EXPECT_GT(BundleMatchScore(msg, fresh, hits, kTestEpoch, weights),
+            BundleMatchScore(msg, stale, hits, kTestEpoch, weights));
+}
+
+TEST(Eq1BundleMatchScoreTest, RtBonusApplies) {
+  ScoringWeights weights;
+  Bundle bundle(1);
+  bundle.AddMessage(MakeMessage(1, kTestEpoch, "alice"),
+                    kInvalidMessageId, ConnectionType::kText, 0);
+  Message rt = MakeRetweet(2, kTestEpoch, "bob", 1, "alice");
+  Message plain = MakeMessage(3, kTestEpoch, "bob");
+  CandidateHits rt_hits;
+  rt_hits.user_hits = 1;
+  CandidateHits no_hits;
+  double with_rt =
+      BundleMatchScore(rt, bundle, rt_hits, kTestEpoch, weights);
+  double without =
+      BundleMatchScore(plain, bundle, no_hits, kTestEpoch, weights);
+  EXPECT_NEAR(with_rt - without, weights.rt_bonus, 1e-9);
+}
+
+TEST(Eq1BundleMatchScoreTest, SizePenaltyDampsGiantBundles) {
+  ScoringWeights weights;
+  Bundle small(1), giant(2);
+  small.AddMessage(MakeMessage(1, kTestEpoch, "x"), kInvalidMessageId,
+                   ConnectionType::kText, 0);
+  for (int i = 0; i < 1000; ++i) {
+    giant.AddMessage(MakeMessage(100 + i, kTestEpoch, "y"),
+                     kInvalidMessageId, ConnectionType::kText, 0);
+  }
+  Message msg = MakeMessage(5000, kTestEpoch, "u", {}, {}, {"kw"});
+  CandidateHits hits;
+  hits.keyword_hits = 1;
+  EXPECT_GT(BundleMatchScore(msg, small, hits, kTestEpoch, weights),
+            BundleMatchScore(msg, giant, hits, kTestEpoch, weights));
+}
+
+TEST(Eq6GScoreTest, StalerScoresHigher) {
+  Bundle bundle(1);
+  bundle.AddMessage(MakeMessage(1, kTestEpoch, "u"), kInvalidMessageId,
+                    ConnectionType::kText, 0);
+  double young = GScore(bundle, kTestEpoch + kSecondsPerHour);
+  double old = GScore(bundle, kTestEpoch + 48 * kSecondsPerHour);
+  EXPECT_GT(old, young);
+}
+
+TEST(Eq6GScoreTest, SmallerBundleScoresHigherAtSameAge) {
+  Bundle small(1), big(2);
+  small.AddMessage(MakeMessage(1, kTestEpoch, "u"), kInvalidMessageId,
+                   ConnectionType::kText, 0);
+  for (int i = 0; i < 50; ++i) {
+    big.AddMessage(MakeMessage(10 + i, kTestEpoch, "v"),
+                   kInvalidMessageId, ConnectionType::kText, 0);
+  }
+  Timestamp now = kTestEpoch + kSecondsPerDay;
+  EXPECT_GT(GScore(small, now), GScore(big, now));
+}
+
+TEST(Eq6GScoreTest, MatchesFormula) {
+  Bundle bundle(1);
+  bundle.AddMessage(MakeMessage(1, kTestEpoch, "u"), kInvalidMessageId,
+                    ConnectionType::kText, 0);
+  bundle.AddMessage(MakeMessage(2, kTestEpoch, "v"), 1,
+                    ConnectionType::kText, 0);
+  // age = 2h, size = 2 -> G = 2 + 0.5.
+  EXPECT_DOUBLE_EQ(GScore(bundle, kTestEpoch + 2 * kSecondsPerHour), 2.5);
+}
+
+TEST(DominantConnectionTypeTest, RtWinsOverEverything) {
+  Message rt = MakeRetweet(2, kTestEpoch, "bob", 1, "alice", {"t"});
+  rt.urls = {"u"};
+  Message target = MakeMessage(1, kTestEpoch, "alice", {"t"}, {"u"});
+  EXPECT_EQ(DominantConnectionType(rt, target), ConnectionType::kRt);
+}
+
+TEST(DominantConnectionTypeTest, UrlBeforeHashtagBeforeText) {
+  Message a = MakeMessage(2, kTestEpoch, "u", {"t"}, {"l"}, {"k"});
+  Message url_match = MakeMessage(1, kTestEpoch, "v", {}, {"l"});
+  Message tag_match = MakeMessage(1, kTestEpoch, "v", {"t"});
+  Message text_match = MakeMessage(1, kTestEpoch, "v", {}, {}, {"k"});
+  EXPECT_EQ(DominantConnectionType(a, url_match), ConnectionType::kUrl);
+  EXPECT_EQ(DominantConnectionType(a, tag_match),
+            ConnectionType::kHashtag);
+  EXPECT_EQ(DominantConnectionType(a, text_match), ConnectionType::kText);
+}
+
+TEST(DominantConnectionTypeTest, RtByUserNameMatches) {
+  Message rt = MakeRetweet(2, kTestEpoch, "bob", kInvalidMessageId,
+                           "alice");
+  Message by_alice = MakeMessage(1, kTestEpoch, "alice");
+  Message by_carol = MakeMessage(1, kTestEpoch, "carol");
+  EXPECT_EQ(DominantConnectionType(rt, by_alice), ConnectionType::kRt);
+  EXPECT_EQ(DominantConnectionType(rt, by_carol), ConnectionType::kText);
+}
+
+}  // namespace
+}  // namespace microprov

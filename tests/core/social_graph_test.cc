@@ -1,0 +1,103 @@
+#include "core/social_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+using testing_util::MakeMessage;
+
+std::unique_ptr<Bundle> InteractionBundle() {
+  // alice -> bob (x2 via two messages), alice -> carol, bob -> carol.
+  auto bundle = std::make_unique<Bundle>(1);
+  auto add = [&](MessageId id, MessageId parent, const std::string& user) {
+    bundle->AddMessage(MakeMessage(id, kTestEpoch + id, user, {"evt"}),
+                       parent, ConnectionType::kRt, 1.0f);
+  };
+  bundle->AddMessage(MakeMessage(1, kTestEpoch, "alice", {"evt"}),
+                     kInvalidMessageId, ConnectionType::kText, 0);
+  add(2, 1, "bob");
+  bundle->AddMessage(MakeMessage(3, kTestEpoch + 3, "alice", {"evt"}), 1,
+                     ConnectionType::kHashtag, 0.5f);
+  add(4, 3, "bob");
+  add(5, 1, "carol");
+  add(6, 2, "carol");
+  return bundle;
+}
+
+TEST(SocialGraphTest, CountsDirectedInteractions) {
+  SocialGraph graph;
+  graph.AddBundle(*InteractionBundle());
+  EXPECT_EQ(graph.InteractionCount("alice", "bob"), 2u);
+  EXPECT_EQ(graph.InteractionCount("alice", "carol"), 1u);
+  EXPECT_EQ(graph.InteractionCount("bob", "carol"), 1u);
+  EXPECT_EQ(graph.InteractionCount("bob", "alice"), 0u);
+  EXPECT_EQ(graph.InteractionCount("nobody", "bob"), 0u);
+}
+
+TEST(SocialGraphTest, SelfThreadsIgnored) {
+  SocialGraph graph;
+  graph.AddBundle(*InteractionBundle());
+  // alice's message 3 derives from alice's message 1: not feedback.
+  EXPECT_EQ(graph.InteractionCount("alice", "alice"), 0u);
+}
+
+TEST(SocialGraphTest, Degrees) {
+  SocialGraph graph;
+  graph.AddBundle(*InteractionBundle());
+  EXPECT_EQ(graph.OutDegree("alice"), 3u);  // bob x2 + carol
+  EXPECT_EQ(graph.OutDegree("bob"), 1u);
+  EXPECT_EQ(graph.InDegree("carol"), 2u);
+  EXPECT_EQ(graph.InDegree("alice"), 0u);
+}
+
+TEST(SocialGraphTest, TopSourcesAndAmplifiers) {
+  SocialGraph graph;
+  graph.AddBundle(*InteractionBundle());
+  auto sources = graph.TopSources(2);
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_EQ(sources[0].user, "alice");
+  EXPECT_EQ(sources[0].amplifications, 3u);
+  auto amplifiers = graph.TopAmplifiers(1);
+  ASSERT_EQ(amplifiers.size(), 1u);
+  // bob amplified twice, carol twice: tie breaks lexicographically.
+  EXPECT_EQ(amplifiers[0].user, "bob");
+}
+
+TEST(SocialGraphTest, TopPairs) {
+  SocialGraph graph;
+  graph.AddBundle(*InteractionBundle());
+  auto pairs = graph.TopPairs(1);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].source, "alice");
+  EXPECT_EQ(pairs[0].amplifier, "bob");
+  EXPECT_EQ(pairs[0].count, 2u);
+}
+
+TEST(SocialGraphTest, AccumulatesAcrossBundles) {
+  SocialGraph graph;
+  graph.AddBundle(*InteractionBundle());
+  graph.AddBundle(*InteractionBundle());
+  EXPECT_EQ(graph.InteractionCount("alice", "bob"), 4u);
+  EXPECT_EQ(graph.num_edges(), 3u);  // distinct pairs unchanged
+}
+
+TEST(SocialGraphTest, EmptyGraph) {
+  SocialGraph graph;
+  EXPECT_EQ(graph.num_edges(), 0u);
+  EXPECT_EQ(graph.num_users(), 0u);
+  EXPECT_TRUE(graph.TopSources(5).empty());
+  EXPECT_TRUE(graph.TopPairs(5).empty());
+}
+
+TEST(SocialGraphTest, NumUsersCountsBothSides) {
+  SocialGraph graph;
+  graph.AddBundle(*InteractionBundle());
+  EXPECT_EQ(graph.num_users(), 3u);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,200 @@
+#include "core/summary_index.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+using testing_util::MakeMessage;
+using testing_util::MakeRetweet;
+
+constexpr size_t kMaxKw = 6;
+
+TEST(SummaryIndexTest, EmptyIndexHasNoCandidates) {
+  SummaryIndex index;
+  Message msg = MakeMessage(1, kTestEpoch, "u", {"tag"});
+  EXPECT_TRUE(index.Candidates(msg, kMaxKw).empty());
+  EXPECT_EQ(index.num_keys(), 0u);
+  EXPECT_EQ(index.num_postings(), 0u);
+}
+
+TEST(SummaryIndexTest, HashtagHitFindsBundle) {
+  SummaryIndex index;
+  index.AddMessage(7, MakeMessage(1, kTestEpoch, "u", {"redsox"}), kMaxKw);
+  Message probe = MakeMessage(2, kTestEpoch, "v", {"redsox"});
+  auto candidates = index.Candidates(probe, kMaxKw);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates.at(7).hashtag_hits, 1u);
+  EXPECT_EQ(candidates.at(7).url_hits, 0u);
+}
+
+TEST(SummaryIndexTest, HitsCountDistinctSharedValues) {
+  SummaryIndex index;
+  index.AddMessage(
+      1, MakeMessage(1, kTestEpoch, "u", {"a", "b"}, {"u1", "u2"}), kMaxKw);
+  Message probe =
+      MakeMessage(2, kTestEpoch, "v", {"a", "b", "c"}, {"u1"});
+  auto candidates = index.Candidates(probe, kMaxKw);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates.at(1).hashtag_hits, 2u);
+  EXPECT_EQ(candidates.at(1).url_hits, 1u);
+  EXPECT_EQ(candidates.at(1).total(), 3u);
+}
+
+TEST(SummaryIndexTest, MultipleBundlesReturned) {
+  SummaryIndex index;
+  index.AddMessage(1, MakeMessage(1, kTestEpoch, "u", {"shared"}), kMaxKw);
+  index.AddMessage(2, MakeMessage(2, kTestEpoch, "v", {"shared"}), kMaxKw);
+  index.AddMessage(3, MakeMessage(3, kTestEpoch, "w", {"other"}), kMaxKw);
+  Message probe = MakeMessage(4, kTestEpoch, "x", {"shared"});
+  auto candidates = index.Candidates(probe, kMaxKw);
+  EXPECT_EQ(candidates.size(), 2u);
+  EXPECT_TRUE(candidates.count(1));
+  EXPECT_TRUE(candidates.count(2));
+}
+
+TEST(SummaryIndexTest, KeywordCapHonored) {
+  SummaryIndex index;
+  std::vector<std::string> many;
+  for (int i = 0; i < 20; ++i) many.push_back("kw" + std::to_string(i));
+  index.AddMessage(1, MakeMessage(1, kTestEpoch, "u", {}, {}, many),
+                   kMaxKw);
+  // Keywords beyond the cap are not indexed.
+  Message probe_late =
+      MakeMessage(2, kTestEpoch, "v", {}, {}, {"kw10"});
+  EXPECT_TRUE(index.Candidates(probe_late, kMaxKw).empty());
+  Message probe_early = MakeMessage(3, kTestEpoch, "v", {}, {}, {"kw2"});
+  EXPECT_EQ(index.Candidates(probe_early, kMaxKw).size(), 1u);
+}
+
+TEST(SummaryIndexTest, AuthorAloneIsNotACandidateSignal) {
+  SummaryIndex index;
+  index.AddMessage(1, MakeMessage(1, kTestEpoch, "alice", {"x"}), kMaxKw);
+  // Same author posting an unrelated message should not match bundle 1.
+  Message probe = MakeMessage(2, kTestEpoch, "alice", {"unrelated"});
+  EXPECT_TRUE(index.Candidates(probe, kMaxKw).empty());
+}
+
+TEST(SummaryIndexTest, RetweetTargetUserIsASignal) {
+  SummaryIndex index;
+  index.AddMessage(1, MakeMessage(1, kTestEpoch, "alice", {"x"}), kMaxKw);
+  Message rt = MakeRetweet(2, kTestEpoch, "bob", 1, "alice");
+  auto candidates = index.Candidates(rt, kMaxKw);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates.at(1).user_hits, 1u);
+}
+
+TEST(SummaryIndexTest, PostingCountsPerBundle) {
+  SummaryIndex index;
+  index.AddMessage(1, MakeMessage(1, kTestEpoch, "u", {"t"}), kMaxKw);
+  index.AddMessage(1, MakeMessage(2, kTestEpoch, "v", {"t"}), kMaxKw);
+  // Same key, same bundle: one posting.
+  EXPECT_EQ(index.Lookup(IndicantType::kHashtag, "t").size(), 1u);
+}
+
+TEST(SummaryIndexTest, RemoveBundleErasesAllItsKeys) {
+  SummaryIndex index;
+  Bundle bundle(5);
+  Message m1 = MakeMessage(1, kTestEpoch, "alice", {"tag1"}, {"url1"},
+                           {"kw1"});
+  Message m2 = MakeMessage(2, kTestEpoch, "bob", {"tag2"});
+  bundle.AddMessage(m1, kInvalidMessageId, ConnectionType::kText, 0);
+  bundle.AddMessage(m2, 1, ConnectionType::kText, 0);
+  index.AddMessage(5, m1, kMaxKw);
+  index.AddMessage(5, m2, kMaxKw);
+  EXPECT_GT(index.num_postings(), 0u);
+
+  index.RemoveBundle(bundle);
+  EXPECT_EQ(index.num_postings(), 0u);
+  EXPECT_EQ(index.num_keys(), 0u);
+  Message probe = MakeMessage(3, kTestEpoch, "x", {"tag1", "tag2"});
+  EXPECT_TRUE(index.Candidates(probe, kMaxKw).empty());
+}
+
+TEST(SummaryIndexTest, RemoveOneBundleKeepsOthers) {
+  SummaryIndex index;
+  Bundle doomed(1);
+  Message m1 = MakeMessage(1, kTestEpoch, "u", {"shared"});
+  doomed.AddMessage(m1, kInvalidMessageId, ConnectionType::kText, 0);
+  index.AddMessage(1, m1, kMaxKw);
+  index.AddMessage(2, MakeMessage(2, kTestEpoch, "v", {"shared"}), kMaxKw);
+
+  index.RemoveBundle(doomed);
+  Message probe = MakeMessage(3, kTestEpoch, "w", {"shared"});
+  auto candidates = index.Candidates(probe, kMaxKw);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_TRUE(candidates.count(2));
+}
+
+TEST(SummaryIndexTest, PartialRemovalDecrementsCounts) {
+  SummaryIndex index;
+  // Two messages with the same tag land in bundle 1; a "bundle" holding
+  // only one of them is removed (simulates count-aware decrement).
+  Message m1 = MakeMessage(1, kTestEpoch, "u", {"t"});
+  Message m2 = MakeMessage(2, kTestEpoch, "v", {"t"});
+  index.AddMessage(1, m1, kMaxKw);
+  index.AddMessage(1, m2, kMaxKw);
+  Bundle partial(1);
+  partial.AddMessage(m1, kInvalidMessageId, ConnectionType::kText, 0);
+  index.RemoveBundle(partial);
+  // One occurrence remains, so the bundle is still discoverable.
+  Message probe = MakeMessage(3, kTestEpoch, "w", {"t"});
+  EXPECT_EQ(index.Candidates(probe, kMaxKw).size(), 1u);
+}
+
+TEST(SummaryIndexTest, LookupByType) {
+  SummaryIndex index;
+  index.AddMessage(
+      1, MakeMessage(1, kTestEpoch, "u", {"tag"}, {"url"}, {"kw"}),
+      kMaxKw);
+  EXPECT_EQ(index.Lookup(IndicantType::kHashtag, "tag"),
+            (std::vector<BundleId>{1}));
+  EXPECT_EQ(index.Lookup(IndicantType::kUrl, "url"),
+            (std::vector<BundleId>{1}));
+  EXPECT_EQ(index.Lookup(IndicantType::kKeyword, "kw"),
+            (std::vector<BundleId>{1}));
+  EXPECT_EQ(index.Lookup(IndicantType::kUser, "u"),
+            (std::vector<BundleId>{1}));
+  EXPECT_TRUE(index.Lookup(IndicantType::kHashtag, "absent").empty());
+}
+
+TEST(SummaryIndexTest, FanoutCapSkipsUbiquitousValues) {
+  SummaryIndex index;
+  // "everywhere" is carried by 50 bundles; "rare" by one.
+  for (BundleId b = 1; b <= 50; ++b) {
+    index.AddMessage(
+        b, MakeMessage(static_cast<MessageId>(b), kTestEpoch, "u",
+                       {"everywhere"}),
+        kMaxKw);
+  }
+  index.AddMessage(99, MakeMessage(99, kTestEpoch, "v", {"rare"}), kMaxKw);
+  Message probe = MakeMessage(100, kTestEpoch, "w", {"everywhere", "rare"});
+  // Uncapped: 51 candidates.
+  EXPECT_EQ(index.Candidates(probe, kMaxKw, 0).size(), 51u);
+  // Capped at 10: the ubiquitous tag is skipped, only "rare" votes.
+  auto capped = index.Candidates(probe, kMaxKw, 10);
+  ASSERT_EQ(capped.size(), 1u);
+  EXPECT_TRUE(capped.count(99));
+}
+
+TEST(SummaryIndexTest, MemoryUsageGrowsAndShrinks) {
+  SummaryIndex index;
+  Bundle bundle(1);
+  size_t empty_usage = index.ApproxMemoryUsage();
+  for (int i = 0; i < 100; ++i) {
+    Message msg = MakeMessage(i, kTestEpoch, "user" + std::to_string(i),
+                              {"tag" + std::to_string(i)});
+    bundle.AddMessage(msg, kInvalidMessageId, ConnectionType::kText, 0);
+    index.AddMessage(1, msg, kMaxKw);
+  }
+  size_t full_usage = index.ApproxMemoryUsage();
+  EXPECT_GT(full_usage, empty_usage);
+  index.RemoveBundle(bundle);
+  EXPECT_LT(index.ApproxMemoryUsage(), full_usage);
+}
+
+}  // namespace
+}  // namespace microprov

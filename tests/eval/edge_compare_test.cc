@@ -1,0 +1,121 @@
+#include "eval/edge_compare.h"
+
+#include <gtest/gtest.h>
+
+namespace microprov {
+namespace {
+
+Edge E(MessageId parent, MessageId child) {
+  return Edge{parent, child, ConnectionType::kText, 0.0f};
+}
+
+TEST(CompareEdgesTest, IdenticalSetsPerfectScores) {
+  EdgeLog truth, approx;
+  for (int i = 1; i <= 10; ++i) {
+    truth.Record(E(0, i));
+    approx.Record(E(0, i));
+  }
+  EdgeMetrics m = CompareEdges(truth, approx);
+  EXPECT_EQ(m.matched, 10u);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(m.coverage(), 1.0);
+}
+
+TEST(CompareEdgesTest, DisjointSetsZeroScores) {
+  EdgeLog truth, approx;
+  truth.Record(E(0, 1));
+  approx.Record(E(0, 2));
+  EdgeMetrics m = CompareEdges(truth, approx);
+  EXPECT_EQ(m.matched, 0u);
+  EXPECT_EQ(m.accuracy(), 0.0);
+  EXPECT_EQ(m.coverage(), 0.0);
+}
+
+TEST(CompareEdgesTest, WrongParentDoesNotMatch) {
+  EdgeLog truth, approx;
+  truth.Record(E(5, 10));
+  approx.Record(E(6, 10));
+  EXPECT_EQ(CompareEdges(truth, approx).matched, 0u);
+}
+
+TEST(CompareEdgesTest, PartialOverlap) {
+  EdgeLog truth, approx;
+  truth.Record(E(0, 1));
+  truth.Record(E(0, 2));
+  truth.Record(E(0, 3));
+  truth.Record(E(0, 4));
+  approx.Record(E(0, 1));
+  approx.Record(E(0, 2));
+  approx.Record(E(9, 3));  // wrong parent
+  EdgeMetrics m = CompareEdges(truth, approx);
+  EXPECT_EQ(m.matched, 2u);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.coverage(), 2.0 / 4.0);
+}
+
+TEST(CompareEdgesTest, EmptySetsAreZeroSafe) {
+  EdgeLog truth, approx;
+  EdgeMetrics m = CompareEdges(truth, approx);
+  EXPECT_EQ(m.accuracy(), 0.0);
+  EXPECT_EQ(m.coverage(), 0.0);
+}
+
+TEST(CheckpointCompareTest, MetricsPerBoundary) {
+  EdgeLog truth, approx;
+  // Children 1..9; approx wrong on child 5 and missing child 7.
+  for (MessageId c = 1; c < 10; ++c) {
+    truth.Record(E(0, c));
+    if (c == 5) {
+      approx.Record(E(1, c));
+    } else if (c != 7) {
+      approx.Record(E(0, c));
+    }
+  }
+  auto series = CompareEdgesAtCheckpoints(truth, approx, {5, 10});
+  ASSERT_EQ(series.size(), 2u);
+  // Boundary 5: children 1..4 -> truth 4, approx 4, matched 4.
+  EXPECT_EQ(series[0].truth_edges, 4u);
+  EXPECT_EQ(series[0].approx_edges, 4u);
+  EXPECT_EQ(series[0].matched, 4u);
+  // Boundary 10: truth 9, approx 8 (missing 7), matched 7 (5 wrong).
+  EXPECT_EQ(series[1].truth_edges, 9u);
+  EXPECT_EQ(series[1].approx_edges, 8u);
+  EXPECT_EQ(series[1].matched, 7u);
+  EXPECT_NEAR(series[1].accuracy(), 7.0 / 8.0, 1e-12);
+  EXPECT_NEAR(series[1].coverage(), 7.0 / 9.0, 1e-12);
+}
+
+TEST(CheckpointCompareTest, CumulativeMonotonicity) {
+  EdgeLog truth, approx;
+  for (MessageId c = 1; c <= 100; ++c) {
+    truth.Record(E(c / 2, c));
+    approx.Record(E(c % 3 == 0 ? 999 : c / 2, c));
+  }
+  auto series =
+      CompareEdgesAtCheckpoints(truth, approx, {25, 50, 75, 101});
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].matched, series[i - 1].matched);
+    EXPECT_GE(series[i].truth_edges, series[i - 1].truth_edges);
+    EXPECT_GE(series[i].approx_edges, series[i - 1].approx_edges);
+  }
+  // Final matched == full comparison matched.
+  EXPECT_EQ(series.back().matched, CompareEdges(truth, approx).matched);
+}
+
+TEST(CheckpointCompareTest, EmptyBoundaries) {
+  EdgeLog truth, approx;
+  truth.Record(E(0, 1));
+  EXPECT_TRUE(CompareEdgesAtCheckpoints(truth, approx, {}).empty());
+}
+
+TEST(CheckpointCompareTest, BoundaryBeforeAnyEdge) {
+  EdgeLog truth, approx;
+  truth.Record(E(0, 50));
+  approx.Record(E(0, 50));
+  auto series = CompareEdgesAtCheckpoints(truth, approx, {10, 100});
+  EXPECT_EQ(series[0].matched, 0u);
+  EXPECT_EQ(series[1].matched, 1u);
+}
+
+}  // namespace
+}  // namespace microprov

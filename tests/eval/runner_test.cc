@@ -1,0 +1,124 @@
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "eval/edge_compare.h"
+#include "gen/generator.h"
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::ScopedTempDir;
+
+std::vector<Message> SmallDataset() {
+  GeneratorOptions options;
+  options.seed = 21;
+  options.total_messages = 4000;
+  options.num_users = 300;
+  options.text_options.vocabulary_size = 1200;
+  StreamGenerator generator(options);
+  return generator.Generate();
+}
+
+TEST(RunnerTest, CheckpointsSampledAtInterval) {
+  auto messages = SmallDataset();
+  RunnerOptions ropts;
+  ropts.checkpoint_every = 1000;
+  auto result_or = RunEngine(
+      messages, EngineOptions::ForConfig(IndexConfig::kFullIndex), ropts);
+  ASSERT_TRUE(result_or.ok());
+  ASSERT_EQ(result_or->samples.size(), 4u);
+  EXPECT_EQ(result_or->samples[0].messages_seen, 1000u);
+  EXPECT_EQ(result_or->samples[3].messages_seen, 4000u);
+  EXPECT_EQ(result_or->boundaries,
+            (std::vector<uint64_t>{1000, 2000, 3000, 4000}));
+}
+
+TEST(RunnerTest, FullIndexPoolGrowsMonotonically) {
+  auto messages = SmallDataset();
+  RunnerOptions ropts;
+  ropts.checkpoint_every = 500;
+  auto result_or = RunEngine(
+      messages, EngineOptions::ForConfig(IndexConfig::kFullIndex), ropts);
+  ASSERT_TRUE(result_or.ok());
+  for (size_t i = 1; i < result_or->samples.size(); ++i) {
+    EXPECT_GE(result_or->samples[i].pool_bundles,
+              result_or->samples[i - 1].pool_bundles);
+  }
+  // Everything stays in memory under Full Index.
+  EXPECT_EQ(result_or->samples.back().pool_messages, messages.size());
+}
+
+TEST(RunnerTest, PartialIndexBoundsPool) {
+  auto messages = SmallDataset();
+  RunnerOptions ropts;
+  ropts.checkpoint_every = 1000;
+  auto result_or = RunEngine(
+      messages, EngineOptions::ForConfig(IndexConfig::kPartialIndex, 200),
+      ropts);
+  ASSERT_TRUE(result_or.ok());
+  for (const auto& sample : result_or->samples) {
+    EXPECT_LE(sample.pool_bundles, 201u);
+  }
+  EXPECT_GT(result_or->final_pool_stats.refinement_runs, 0u);
+}
+
+TEST(RunnerTest, EdgesCollected) {
+  auto messages = SmallDataset();
+  RunnerOptions ropts;
+  auto result_or = RunEngine(
+      messages, EngineOptions::ForConfig(IndexConfig::kFullIndex), ropts);
+  ASSERT_TRUE(result_or.ok());
+  EXPECT_GT(result_or->edges.size(), 0u);
+  EXPECT_LT(result_or->edges.size(), messages.size());
+}
+
+TEST(RunnerTest, StoreDirReceivesBundles) {
+  auto messages = SmallDataset();
+  ScopedTempDir dir;
+  RunnerOptions ropts;
+  ropts.store_dir = dir.path() + "/store";
+  auto result_or = RunEngine(
+      messages, EngineOptions::ForConfig(IndexConfig::kPartialIndex, 100),
+      ropts);
+  ASSERT_TRUE(result_or.ok());
+  auto names_or = Env::Default()->ListDir(ropts.store_dir);
+  ASSERT_TRUE(names_or.ok());
+  EXPECT_FALSE(names_or->empty());
+}
+
+TEST(RunnerTest, RunAllConfigsProducesThreeResults) {
+  auto messages = SmallDataset();
+  RunnerOptions ropts;
+  ropts.checkpoint_every = 2000;
+  auto results_or = RunAllConfigs(messages, 200, 50, ropts);
+  ASSERT_TRUE(results_or.ok());
+  ASSERT_EQ(results_or->size(), 3u);
+  EXPECT_EQ((*results_or)[0].options.config, IndexConfig::kFullIndex);
+  EXPECT_EQ((*results_or)[1].options.config, IndexConfig::kPartialIndex);
+  EXPECT_EQ((*results_or)[2].options.config, IndexConfig::kBundleLimit);
+  // The partial variants hold fewer bundles in memory at the end.
+  EXPECT_LE((*results_or)[1].samples.back().pool_bundles,
+            (*results_or)[0].samples.back().pool_bundles);
+}
+
+TEST(RunnerTest, AccuracyOfPartialIsReasonable) {
+  auto messages = SmallDataset();
+  RunnerOptions ropts;
+  ropts.checkpoint_every = 2000;
+  auto results_or = RunAllConfigs(messages, 400, 100, ropts);
+  ASSERT_TRUE(results_or.ok());
+  const RunResult& full = (*results_or)[0];
+  const RunResult& partial = (*results_or)[1];
+  auto series = CompareEdgesAtCheckpoints(full.edges, partial.edges,
+                                          partial.boundaries);
+  ASSERT_FALSE(series.empty());
+  // With a generous pool, most connections should match ground truth.
+  EXPECT_GT(series.back().accuracy(), 0.5);
+  EXPECT_GT(series.back().coverage(), 0.4);
+}
+
+}  // namespace
+}  // namespace microprov

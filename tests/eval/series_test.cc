@@ -1,0 +1,53 @@
+#include "eval/series.h"
+
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::ScopedTempDir;
+
+TEST(SeriesTableTest, AlignedRendering) {
+  SeriesTable table({"messages", "bundles"});
+  table.AddRow({"50000", "12000"});
+  table.AddRow({"100000", "9"});
+  std::string out = table.ToAlignedString();
+  EXPECT_NE(out.find("messages"), std::string::npos);
+  EXPECT_NE(out.find("bundles"), std::string::npos);
+  EXPECT_NE(out.find("100000"), std::string::npos);
+  // Header, separator, 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(SeriesTableTest, NumericRowsFormatted) {
+  SeriesTable table({"x", "y"});
+  table.AddNumericRow({50000, 0.8725}, 3);
+  ASSERT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.rows()[0][0], "50000");
+  EXPECT_EQ(table.rows()[0][1], "0.873");
+}
+
+TEST(SeriesTableTest, CsvRoundTrip) {
+  ScopedTempDir dir;
+  SeriesTable table({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  const std::string path = dir.path() + "/out.csv";
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+  std::string contents;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, "a,b\n1,2\n3,4\n");
+}
+
+TEST(SeriesTableTest, EmptyTableStillRendersHeader) {
+  SeriesTable table({"only"});
+  std::string out = table.ToAlignedString();
+  EXPECT_NE(out.find("only"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,76 @@
+#include "gen/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::ScopedTempDir;
+
+GeneratorOptions TinyOptions() {
+  GeneratorOptions options;
+  options.seed = 11;
+  options.total_messages = 2000;
+  options.num_users = 200;
+  options.text_options.vocabulary_size = 1000;
+  return options;
+}
+
+TEST(DatasetTest, GeneratesWithoutCache) {
+  auto messages_or = GenerateOrLoadDataset(TinyOptions(), "");
+  ASSERT_TRUE(messages_or.ok());
+  EXPECT_EQ(messages_or->size(), 2000u);
+}
+
+TEST(DatasetTest, CachesAndReloads) {
+  ScopedTempDir dir;
+  auto first_or = GenerateOrLoadDataset(TinyOptions(), dir.path());
+  ASSERT_TRUE(first_or.ok());
+  // Cache file exists now.
+  auto names_or = Env::Default()->ListDir(dir.path());
+  ASSERT_TRUE(names_or.ok());
+  ASSERT_EQ(names_or->size(), 1u);
+
+  auto second_or = GenerateOrLoadDataset(TinyOptions(), dir.path());
+  ASSERT_TRUE(second_or.ok());
+  ASSERT_EQ(second_or->size(), first_or->size());
+  for (size_t i = 0; i < first_or->size(); i += 111) {
+    EXPECT_EQ((*second_or)[i].id, (*first_or)[i].id);
+    EXPECT_EQ((*second_or)[i].text, (*first_or)[i].text);
+  }
+}
+
+TEST(DatasetTest, DifferentSeedsUseDifferentCacheFiles) {
+  ScopedTempDir dir;
+  GeneratorOptions a = TinyOptions();
+  GeneratorOptions b = TinyOptions();
+  b.seed = 12;
+  ASSERT_TRUE(GenerateOrLoadDataset(a, dir.path()).ok());
+  ASSERT_TRUE(GenerateOrLoadDataset(b, dir.path()).ok());
+  auto names_or = Env::Default()->ListDir(dir.path());
+  ASSERT_TRUE(names_or.ok());
+  EXPECT_EQ(names_or->size(), 2u);
+}
+
+TEST(DatasetStatsTest, ComputesAggregates) {
+  auto messages_or = GenerateOrLoadDataset(TinyOptions(), "");
+  ASSERT_TRUE(messages_or.ok());
+  DatasetStats stats = ComputeDatasetStats(*messages_or);
+  EXPECT_EQ(stats.total, 2000u);
+  EXPECT_GT(stats.retweets, 0u);
+  EXPECT_GT(stats.with_hashtags, stats.total / 4);
+  EXPECT_GT(stats.avg_text_length, 5.0);
+  EXPECT_LT(stats.min_date, stats.max_date);
+}
+
+TEST(DatasetStatsTest, EmptyDataset) {
+  DatasetStats stats = ComputeDatasetStats({});
+  EXPECT_EQ(stats.total, 0u);
+  EXPECT_EQ(stats.avg_text_length, 0.0);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,142 @@
+#include "gen/event_model.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+
+class EventModelTest : public ::testing::Test {
+ protected:
+  EventModelTest()
+      : text_model_([] {
+          TextModel::Options options;
+          options.vocabulary_size = 800;
+          options.seed = 5;
+          return options;
+        }()),
+        model_(EventModelOptions{}, &text_model_) {}
+
+  TextModel text_model_;
+  EventModel model_;
+};
+
+TEST_F(EventModelTest, EventHasSaneShape) {
+  Random rng(1);
+  EventSpec spec = model_.SampleEvent(&rng, 1, kTestEpoch,
+                                      kTestEpoch + 30 * kSecondsPerDay);
+  EXPECT_GE(spec.size, 2u);
+  EXPECT_LE(spec.size, 4000u);
+  EXPECT_GE(spec.hashtags.size(), 1u);
+  EXPECT_LE(spec.hashtags.size(), 3u);
+  EXPECT_LE(spec.urls.size(), 3u);
+  EXPECT_FALSE(spec.topic_words.empty());
+  EXPECT_GT(spec.duration_secs, 0);
+}
+
+TEST_F(EventModelTest, EventEndsBeforeHorizon) {
+  Random rng(2);
+  const Timestamp horizon = kTestEpoch + kSecondsPerDay;
+  for (int i = 0; i < 100; ++i) {
+    EventSpec spec = model_.SampleEvent(&rng, i, kTestEpoch, horizon);
+    EXPECT_LE(spec.start + spec.duration_secs, horizon);
+  }
+}
+
+TEST_F(EventModelTest, EmissionTimesSortedWithinWindow) {
+  Random rng(3);
+  EventSpec spec = model_.SampleEvent(&rng, 1, kTestEpoch,
+                                      kTestEpoch + 30 * kSecondsPerDay);
+  spec.size = 200;
+  auto times = model_.SampleEmissionTimes(&rng, spec);
+  ASSERT_EQ(times.size(), 200u);
+  EXPECT_EQ(times.front(), spec.start);
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GE(times[i], times[i - 1]);
+    EXPECT_LE(times[i], spec.start + spec.duration_secs);
+  }
+}
+
+TEST_F(EventModelTest, EmissionTimesFrontLoaded) {
+  Random rng(4);
+  EventSpec spec;
+  spec.start = kTestEpoch;
+  spec.duration_secs = 10000;
+  spec.size = 2000;
+  auto times = model_.SampleEmissionTimes(&rng, spec);
+  int first_half = 0;
+  for (Timestamp t : times) {
+    if (t < spec.start + spec.duration_secs / 2) ++first_half;
+  }
+  // Exponential-decay intensity => clearly more than half early.
+  EXPECT_GT(first_half, static_cast<int>(spec.size) * 6 / 10);
+}
+
+TEST_F(EventModelTest, RtTargetsAreEarlierMessages) {
+  Random rng(5);
+  for (size_t i = 1; i < 200; ++i) {
+    size_t target = model_.SampleRtTarget(&rng, i);
+    EXPECT_LT(target, i);
+  }
+}
+
+TEST_F(EventModelTest, RtTargetsFavorRoot) {
+  Random rng(6);
+  int root_hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (model_.SampleRtTarget(&rng, 50) == 0) ++root_hits;
+  }
+  // ~40% direct root re-shares plus uniform mass.
+  EXPECT_GT(root_hits, n / 3);
+}
+
+TEST_F(EventModelTest, SharedHashtagsAppearAcrossEvents) {
+  EventModelOptions options;
+  options.shared_hashtag_fraction = 1.0;  // force sharing
+  EventModel model(options, &text_model_);
+  Random rng(7);
+  std::unordered_set<std::string> signatures;
+  for (int i = 0; i < 100; ++i) {
+    EventSpec spec = model.SampleEvent(&rng, i, kTestEpoch,
+                                       kTestEpoch + kSecondsPerDay);
+    signatures.insert(spec.hashtags[0]);
+  }
+  // 100 events but far fewer distinct signature tags.
+  EXPECT_LT(signatures.size(), 50u);
+}
+
+TEST_F(EventModelTest, UniqueHashtagsWhenSharingDisabled) {
+  EventModelOptions options;
+  options.shared_hashtag_fraction = 0.0;
+  EventModel model(options, &text_model_);
+  Random rng(8);
+  std::unordered_set<std::string> signatures;
+  for (int i = 0; i < 100; ++i) {
+    EventSpec spec = model.SampleEvent(&rng, i, kTestEpoch,
+                                       kTestEpoch + kSecondsPerDay);
+    signatures.insert(spec.hashtags[0]);
+  }
+  EXPECT_GT(signatures.size(), 90u);
+}
+
+TEST_F(EventModelTest, BigEventsRetweetMore) {
+  Random rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EventSpec spec = model_.SampleEvent(&rng, i, kTestEpoch,
+                                        kTestEpoch + 30 * kSecondsPerDay);
+    if (spec.size > 100) {
+      EXPECT_DOUBLE_EQ(spec.rt_probability, 0.5);
+    } else {
+      EXPECT_DOUBLE_EQ(spec.rt_probability, 0.3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,177 @@
+#include "gen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+namespace microprov {
+namespace {
+
+GeneratorOptions SmallOptions(uint64_t total = 5000) {
+  GeneratorOptions options;
+  options.seed = 7;
+  options.total_messages = total;
+  options.num_users = 500;
+  options.text_options.vocabulary_size = 1500;
+  return options;
+}
+
+TEST(GeneratorTest, ProducesRequestedCount) {
+  StreamGenerator generator(SmallOptions());
+  auto messages = generator.Generate();
+  EXPECT_EQ(messages.size(), 5000u);
+}
+
+TEST(GeneratorTest, MessagesAreDateOrderedWithSequentialIds) {
+  StreamGenerator generator(SmallOptions());
+  auto messages = generator.Generate();
+  for (size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_EQ(messages[i].id, static_cast<MessageId>(i));
+    if (i > 0) {
+      EXPECT_GE(messages[i].date, messages[i - 1].date);
+    }
+  }
+}
+
+TEST(GeneratorTest, DatesWithinWindow) {
+  GeneratorOptions options = SmallOptions();
+  StreamGenerator generator(options);
+  auto messages = generator.Generate();
+  const Timestamp horizon =
+      options.start_date + options.duration_days * kSecondsPerDay;
+  for (const Message& msg : messages) {
+    EXPECT_GE(msg.date, options.start_date);
+    EXPECT_LE(msg.date, horizon);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  StreamGenerator a(SmallOptions());
+  StreamGenerator b(SmallOptions());
+  auto ma = a.Generate();
+  auto mb = b.Generate();
+  ASSERT_EQ(ma.size(), mb.size());
+  for (size_t i = 0; i < ma.size(); i += 97) {
+    EXPECT_EQ(ma[i], mb[i]);
+  }
+}
+
+TEST(GeneratorTest, RetweetTargetsPointBackwardsInStream) {
+  StreamGenerator generator(SmallOptions(10000));
+  auto messages = generator.Generate();
+  int retweets = 0;
+  for (const Message& msg : messages) {
+    if (msg.retweet_of_id != kInvalidMessageId) {
+      ++retweets;
+      ASSERT_GE(msg.retweet_of_id, 0);
+      ASSERT_LT(msg.retweet_of_id, msg.id);
+      EXPECT_TRUE(msg.is_retweet);
+      // Ground truth matches the stream: target exists with that id.
+      EXPECT_EQ(messages[msg.retweet_of_id].id, msg.retweet_of_id);
+    }
+  }
+  EXPECT_GT(retweets, 500);  // RT behavior is common
+}
+
+TEST(GeneratorTest, RetweetTextQuotesTargetAuthor) {
+  StreamGenerator generator(SmallOptions(8000));
+  auto messages = generator.Generate();
+  int checked = 0;
+  for (const Message& msg : messages) {
+    if (msg.retweet_of_id == kInvalidMessageId) continue;
+    const Message& target = messages[msg.retweet_of_id];
+    EXPECT_NE(msg.text.find("RT @" + target.user), std::string::npos)
+        << msg.text;
+    if (++checked > 50) break;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(GeneratorTest, GroundTruthAlignsWithMessages) {
+  StreamGenerator generator(SmallOptions());
+  GroundTruth truth;
+  auto messages = generator.Generate(&truth);
+  ASSERT_EQ(truth.event_of.size(), messages.size());
+  EXPECT_GT(truth.num_events, 0);
+  // Noise fraction roughly honored.
+  size_t noise = 0;
+  for (int64_t ev : truth.event_of) {
+    if (ev == -1) ++noise;
+  }
+  double noise_rate =
+      static_cast<double>(noise) / static_cast<double>(messages.size());
+  EXPECT_NEAR(noise_rate, 0.30, 0.05);
+}
+
+TEST(GeneratorTest, EventMessagesShareSignatureHashtags) {
+  StreamGenerator generator(SmallOptions(10000));
+  GroundTruth truth;
+  auto messages = generator.Generate(&truth);
+  // Group by event, count hashtag coherence for a few large events.
+  std::unordered_map<int64_t, std::vector<size_t>> by_event;
+  for (size_t i = 0; i < messages.size(); ++i) {
+    if (truth.event_of[i] >= 0) by_event[truth.event_of[i]].push_back(i);
+  }
+  int checked_events = 0;
+  for (const auto& [event_id, indices] : by_event) {
+    if (indices.size() < 20) continue;
+    size_t with_tags = 0;
+    for (size_t idx : indices) {
+      if (!messages[idx].hashtags.empty()) ++with_tags;
+    }
+    // hashtag_probability ~0.8 plus RTs quoting tagged bodies.
+    EXPECT_GT(with_tags * 2, indices.size());
+    if (++checked_events >= 5) break;
+  }
+  EXPECT_GT(checked_events, 0);
+}
+
+TEST(GeneratorTest, InjectedEventAppears) {
+  GeneratorOptions options = SmallOptions();
+  StreamGenerator generator(options);
+  InjectedEvent event;
+  event.name = "samoa-tsunami";
+  event.start = options.start_date + 10 * kSecondsPerDay;
+  event.size = 40;
+  event.hashtags = {"tsunami", "samoa"};
+  event.topic_words = {"wave", "quake", "pacific", "alert"};
+  generator.Inject(event);
+
+  GroundTruth truth;
+  auto messages = generator.Generate(&truth);
+  size_t injected_count = 0;
+  size_t tagged = 0;
+  for (size_t i = 0; i < messages.size(); ++i) {
+    if (truth.event_of[i] == -2) {
+      ++injected_count;
+      for (const auto& tag : messages[i].hashtags) {
+        if (tag == "tsunami" || tag == "samoa") {
+          ++tagged;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(injected_count, 40u);
+  EXPECT_GT(tagged, 20u);
+}
+
+TEST(GeneratorTest, IndicantsConsistentWithText) {
+  StreamGenerator generator(SmallOptions());
+  auto messages = generator.Generate();
+  // Because indicants are re-extracted through the parser, re-parsing the
+  // text must reproduce them exactly.
+  for (size_t i = 0; i < messages.size(); i += 333) {
+    Message reparsed = messages[i];
+    reparsed.hashtags.clear();
+    reparsed.urls.clear();
+    reparsed.keywords.clear();
+    ExtractIndicants(&reparsed);
+    EXPECT_EQ(reparsed.hashtags, messages[i].hashtags);
+    EXPECT_EQ(reparsed.urls, messages[i].urls);
+    EXPECT_EQ(reparsed.keywords, messages[i].keywords);
+  }
+}
+
+}  // namespace
+}  // namespace microprov

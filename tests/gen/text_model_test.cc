@@ -1,0 +1,102 @@
+#include "gen/text_model.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace microprov {
+namespace {
+
+TextModel::Options SmallOptions() {
+  TextModel::Options options;
+  options.vocabulary_size = 500;
+  options.seed = 99;
+  return options;
+}
+
+TEST(TextModelTest, VocabularyHasRequestedSize) {
+  TextModel model(SmallOptions());
+  EXPECT_EQ(model.vocabulary_size(), 500u);
+}
+
+TEST(TextModelTest, WordsAreDistinctAndNonTrivial) {
+  TextModel model(SmallOptions());
+  std::unordered_set<std::string> seen;
+  for (size_t i = 0; i < model.vocabulary_size(); ++i) {
+    const std::string& w = model.WordAt(i);
+    EXPECT_GE(w.size(), 3u);
+    EXPECT_TRUE(seen.insert(w).second) << "duplicate word " << w;
+  }
+}
+
+TEST(TextModelTest, DeterministicForSameSeed) {
+  TextModel a(SmallOptions());
+  TextModel b(SmallOptions());
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.WordAt(i), b.WordAt(i));
+  }
+}
+
+TEST(TextModelTest, DifferentSeedsDiffer) {
+  TextModel::Options other = SmallOptions();
+  other.seed = 100;
+  TextModel a(SmallOptions());
+  TextModel b(other);
+  int same = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    if (a.WordAt(i) == b.WordAt(i)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(TextModelTest, TopicWordsAreDistinct) {
+  TextModel model(SmallOptions());
+  Random rng(1);
+  auto topic = model.SampleTopicWords(&rng, 20);
+  std::unordered_set<std::string> seen(topic.begin(), topic.end());
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(TextModelTest, ComposeBodyHasRequestedWordCount) {
+  TextModel model(SmallOptions());
+  Random rng(2);
+  std::string body = model.ComposeBody(&rng, {}, 8, 0.0);
+  int spaces = static_cast<int>(
+      std::count(body.begin(), body.end(), ' '));
+  EXPECT_EQ(spaces, 7);
+}
+
+TEST(TextModelTest, TopicShareControlsTopicWords) {
+  TextModel model(SmallOptions());
+  Random rng(3);
+  auto topic = model.SampleTopicWords(&rng, 10);
+  std::unordered_set<std::string> topic_set(topic.begin(), topic.end());
+  int topic_hits = 0, total = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::string body = model.ComposeBody(&rng, topic, 10, 1.0);
+    size_t start = 0;
+    while (start < body.size()) {
+      size_t end = body.find(' ', start);
+      if (end == std::string::npos) end = body.size();
+      ++total;
+      if (topic_set.count(body.substr(start, end - start)) > 0) {
+        ++topic_hits;
+      }
+      start = end + 1;
+    }
+  }
+  EXPECT_EQ(topic_hits, total);  // share 1.0 => every word topical
+}
+
+TEST(TextModelTest, InterjectionsAreShort) {
+  TextModel model(SmallOptions());
+  Random rng(4);
+  for (int i = 0; i < 50; ++i) {
+    std::string s = model.ComposeInterjection(&rng);
+    EXPECT_FALSE(s.empty());
+    EXPECT_LE(s.size(), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace microprov

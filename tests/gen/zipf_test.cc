@@ -1,0 +1,99 @@
+#include "gen/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace microprov {
+namespace {
+
+TEST(ZipfSamplerTest, SamplesStayInRange) {
+  ZipfSampler zipf(100, 1.1);
+  Random rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Sample(&rng), 100u);
+  }
+}
+
+TEST(ZipfSamplerTest, RankZeroIsMostPopular) {
+  ZipfSampler zipf(1000, 1.2);
+  Random rng(2);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[zipf.Sample(&rng)];
+  }
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[500]);
+}
+
+TEST(ZipfSamplerTest, PmfMatchesTheory) {
+  ZipfSampler zipf(10, 1.0);
+  // H_10 = sum 1/k.
+  double h10 = 0;
+  for (int k = 1; k <= 10; ++k) h10 += 1.0 / k;
+  EXPECT_NEAR(zipf.Pmf(0), 1.0 / h10, 1e-9);
+  EXPECT_NEAR(zipf.Pmf(4), (1.0 / 5) / h10, 1e-9);
+  EXPECT_EQ(zipf.Pmf(99), 0.0);
+}
+
+TEST(ZipfSamplerTest, EmpiricalHeadMatchesPmf) {
+  ZipfSampler zipf(50, 1.0);
+  Random rng(3);
+  const int n = 200000;
+  int rank0 = 0;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(&rng) == 0) ++rank0;
+  }
+  EXPECT_NEAR(static_cast<double>(rank0) / n, zipf.Pmf(0), 0.01);
+}
+
+TEST(ZipfSamplerTest, ZeroExponentIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(zipf.Pmf(r), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfSamplerTest, SingleElement) {
+  ZipfSampler zipf(1, 2.0);
+  Random rng(4);
+  EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+TEST(PowerLawTest, RespectsBounds) {
+  Random rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = SamplePowerLaw(&rng, 2, 4000, 2.1);
+    EXPECT_GE(v, 2u);
+    EXPECT_LE(v, 4000u);
+  }
+}
+
+TEST(PowerLawTest, MostSamplesAreSmall) {
+  Random rng(6);
+  const int n = 20000;
+  int small = 0, large = 0;
+  for (int i = 0; i < n; ++i) {
+    uint64_t v = SamplePowerLaw(&rng, 2, 4000, 2.1);
+    if (v <= 10) ++small;
+    if (v >= 1000) ++large;
+  }
+  // Heavy-tailed: the bulk is tiny, a handful are huge, both present.
+  EXPECT_GT(small, n / 2);
+  EXPECT_GT(large, 0);
+  EXPECT_LT(large, n / 50);
+}
+
+TEST(PowerLawTest, HigherAlphaMeansSmallerTail) {
+  Random rng_a(7), rng_b(7);
+  const int n = 20000;
+  uint64_t sum_low_alpha = 0, sum_high_alpha = 0;
+  for (int i = 0; i < n; ++i) {
+    sum_low_alpha += SamplePowerLaw(&rng_a, 2, 100000, 1.8);
+    sum_high_alpha += SamplePowerLaw(&rng_b, 2, 100000, 3.0);
+  }
+  EXPECT_GT(sum_low_alpha, sum_high_alpha);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,64 @@
+#include "index/bm25.h"
+
+#include <gtest/gtest.h>
+
+namespace microprov {
+namespace {
+
+TEST(Bm25Test, IdfZeroForDegenerateInputs) {
+  EXPECT_EQ(Bm25Idf(0, 0), 0.0);
+  EXPECT_EQ(Bm25Idf(100, 0), 0.0);
+}
+
+TEST(Bm25Test, IdfNeverNegative) {
+  // Even when df == N (term in every doc) the +1 floor keeps idf >= 0.
+  EXPECT_GE(Bm25Idf(10, 10), 0.0);
+  EXPECT_GE(Bm25Idf(1, 1), 0.0);
+}
+
+TEST(Bm25Test, RarerTermsScoreHigher) {
+  EXPECT_GT(Bm25Idf(1000, 1), Bm25Idf(1000, 10));
+  EXPECT_GT(Bm25Idf(1000, 10), Bm25Idf(1000, 500));
+}
+
+TEST(Bm25Test, TermScoreZeroForZeroTf) {
+  EXPECT_EQ(Bm25Term(2.0, 0, 10, 10.0, {}), 0.0);
+}
+
+TEST(Bm25Test, TermScoreIncreasesWithTfButSaturates) {
+  Bm25Params params;
+  double s1 = Bm25Term(2.0, 1, 10, 10.0, params);
+  double s2 = Bm25Term(2.0, 2, 10, 10.0, params);
+  double s10 = Bm25Term(2.0, 10, 10, 10.0, params);
+  double s100 = Bm25Term(2.0, 100, 10, 10.0, params);
+  EXPECT_GT(s2, s1);
+  EXPECT_GT(s10, s2);
+  EXPECT_GT(s100, s10);
+  // Saturation: the step from 10 to 100 is smaller than from 1 to 2
+  // relative to tf growth.
+  EXPECT_LT(s100 - s10, (s2 - s1) * 20);
+  // Upper bound: idf * (k1 + 1).
+  EXPECT_LT(s100, 2.0 * (params.k1 + 1.0));
+}
+
+TEST(Bm25Test, LongerDocsPenalized) {
+  Bm25Params params;
+  double short_doc = Bm25Term(2.0, 2, 5, 10.0, params);
+  double long_doc = Bm25Term(2.0, 2, 50, 10.0, params);
+  EXPECT_GT(short_doc, long_doc);
+}
+
+TEST(Bm25Test, BEqualsZeroDisablesLengthNorm) {
+  Bm25Params params;
+  params.b = 0.0;
+  double short_doc = Bm25Term(2.0, 2, 5, 10.0, params);
+  double long_doc = Bm25Term(2.0, 2, 500, 10.0, params);
+  EXPECT_DOUBLE_EQ(short_doc, long_doc);
+}
+
+TEST(Bm25Test, ZeroAvgDocLenHandled) {
+  EXPECT_GT(Bm25Term(2.0, 1, 0, 0.0, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace microprov

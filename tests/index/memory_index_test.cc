@@ -1,0 +1,92 @@
+#include "index/memory_index.h"
+
+#include <gtest/gtest.h>
+
+namespace microprov {
+namespace {
+
+TEST(MemoryIndexTest, EmptyIndex) {
+  MemoryIndex index;
+  EXPECT_EQ(index.num_docs(), 0u);
+  EXPECT_EQ(index.average_doc_length(), 0.0);
+  EXPECT_EQ(index.DocFreq("anything"), 0u);
+  EXPECT_FALSE(index.Postings("anything").Valid());
+}
+
+TEST(MemoryIndexTest, AddDocumentAssignsSequentialIds) {
+  MemoryIndex index;
+  EXPECT_EQ(index.AddDocument({"a"}), 0u);
+  EXPECT_EQ(index.AddDocument({"b"}), 1u);
+  EXPECT_EQ(index.num_docs(), 2u);
+}
+
+TEST(MemoryIndexTest, DocFreqCountsDocumentsNotOccurrences) {
+  MemoryIndex index;
+  index.AddDocument({"x", "x", "x"});
+  index.AddDocument({"x", "y"});
+  index.AddDocument({"y"});
+  EXPECT_EQ(index.DocFreq("x"), 2u);
+  EXPECT_EQ(index.DocFreq("y"), 2u);
+  EXPECT_EQ(index.DocFreq("z"), 0u);
+}
+
+TEST(MemoryIndexTest, TermFrequenciesCoalesced) {
+  MemoryIndex index;
+  index.AddDocument({"w", "w", "v", "w"});
+  auto it = index.Postings("w");
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.posting().doc, 0u);
+  EXPECT_EQ(it.posting().tf, 3u);
+}
+
+TEST(MemoryIndexTest, DocLengthsTracked) {
+  MemoryIndex index;
+  index.AddDocument({"a", "b", "c"});
+  index.AddDocument({"a"});
+  EXPECT_EQ(index.doc_length(0), 3u);
+  EXPECT_EQ(index.doc_length(1), 1u);
+  EXPECT_DOUBLE_EQ(index.average_doc_length(), 2.0);
+}
+
+TEST(MemoryIndexTest, PostingsOrderedByDoc) {
+  MemoryIndex index;
+  for (int d = 0; d < 50; ++d) {
+    index.AddDocument({"common", "doc" + std::to_string(d)});
+  }
+  DocId prev = 0;
+  int count = 0;
+  for (auto it = index.Postings("common"); it.Valid(); it.Next()) {
+    if (count > 0) {
+      EXPECT_GT(it.posting().doc, prev);
+    }
+    prev = it.posting().doc;
+    ++count;
+  }
+  EXPECT_EQ(count, 50);
+}
+
+TEST(MemoryIndexTest, EmptyDocumentAllowed) {
+  MemoryIndex index;
+  DocId d = index.AddDocument({});
+  EXPECT_EQ(index.doc_length(d), 0u);
+  EXPECT_EQ(index.num_docs(), 1u);
+}
+
+TEST(MemoryIndexTest, MemoryUsageGrowsWithContent) {
+  MemoryIndex index;
+  size_t before = index.ApproxMemoryUsage();
+  for (int d = 0; d < 1000; ++d) {
+    index.AddDocument({"term" + std::to_string(d % 100), "shared"});
+  }
+  EXPECT_GT(index.ApproxMemoryUsage(), before + 1000);
+}
+
+TEST(MemoryIndexTest, VocabularySharedAcrossDocs) {
+  MemoryIndex index;
+  index.AddDocument({"same", "words"});
+  index.AddDocument({"same", "words"});
+  EXPECT_EQ(index.vocabulary().size(), 2u);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,93 @@
+#include "index/posting_list.h"
+
+#include <gtest/gtest.h>
+
+namespace microprov {
+namespace {
+
+TEST(PostingListTest, EmptyList) {
+  PostingList list;
+  EXPECT_EQ(list.doc_count(), 0u);
+  EXPECT_FALSE(list.NewIterator().Valid());
+  EXPECT_TRUE(list.Decode().empty());
+}
+
+TEST(PostingListTest, SinglePosting) {
+  PostingList list;
+  list.Add(5, 3);
+  auto decoded = list.Decode();
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0], (Posting{5, 3}));
+}
+
+TEST(PostingListTest, DeltaEncodingRoundTrip) {
+  PostingList list;
+  std::vector<Posting> expected;
+  DocId doc = 0;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    doc += 1 + (i % 37);
+    uint32_t tf = 1 + (i % 5);
+    list.Add(doc, tf);
+    expected.push_back({doc, tf});
+  }
+  EXPECT_EQ(list.Decode(), expected);
+  EXPECT_EQ(list.doc_count(), 1000u);
+}
+
+TEST(PostingListTest, CompressionIsEffective) {
+  PostingList list;
+  for (DocId d = 0; d < 1000; ++d) list.Add(d, 1);
+  // Sequential docs: 1-byte delta + 1-byte tf each.
+  EXPECT_LE(list.encoded_size(), 2100u);
+}
+
+TEST(PostingListTest, IteratorWalksInOrder) {
+  PostingList list;
+  for (DocId d : {2u, 7u, 9u, 100u}) list.Add(d, d);
+  auto it = list.NewIterator();
+  for (DocId expected : {2u, 7u, 9u, 100u}) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.posting().doc, expected);
+    EXPECT_EQ(it.posting().tf, expected);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(PostingListTest, SkipToLandsOnOrAfterTarget) {
+  PostingList list;
+  for (DocId d = 0; d < 100; d += 10) list.Add(d, 1);
+  auto it = list.NewIterator();
+  it.SkipTo(35);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.posting().doc, 40u);
+  it.SkipTo(40);  // already there
+  EXPECT_EQ(it.posting().doc, 40u);
+  it.SkipTo(1000);
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(PostingListTest, RawIteratorOverEncodedBytes) {
+  PostingList list;
+  list.Add(1, 2);
+  list.Add(10, 1);
+  PostingList::Iterator it(list.encoded());
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.posting(), (Posting{1, 2}));
+  it.Next();
+  EXPECT_EQ(it.posting(), (Posting{10, 1}));
+  it.Next();
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(PostingListTest, LargeDocIdsAndTfs) {
+  PostingList list;
+  list.Add(0, 1);
+  list.Add(0xFFFFFFF0u, 0xFFFFFFFFu);
+  auto decoded = list.Decode();
+  EXPECT_EQ(decoded[1].doc, 0xFFFFFFF0u);
+  EXPECT_EQ(decoded[1].tf, 0xFFFFFFFFu);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,123 @@
+#include "index/searcher.h"
+
+#include <gtest/gtest.h>
+
+namespace microprov {
+namespace {
+
+class SearcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // doc 0: about baseball games
+    index_.AddDocument({"baseball", "game", "yankee", "stadium"});
+    // doc 1: about the redsox game
+    index_.AddDocument({"redsox", "game", "win"});
+    // doc 2: both teams
+    index_.AddDocument({"yankee", "redsox", "game", "rivalry"});
+    // doc 3: unrelated
+    index_.AddDocument({"tsunami", "warning", "pacific"});
+    // doc 4: redsox-heavy
+    index_.AddDocument({"redsox", "redsox", "redsox"});
+  }
+
+  MemoryIndex index_;
+};
+
+TEST_F(SearcherTest, SingleTermFindsAllMatches) {
+  Searcher searcher(&index_);
+  auto hits = searcher.TopK({"redsox"}, 10);
+  ASSERT_EQ(hits.size(), 3u);
+  for (const auto& hit : hits) {
+    EXPECT_TRUE(hit.doc == 1 || hit.doc == 2 || hit.doc == 4);
+    EXPECT_GT(hit.score, 0.0);
+  }
+}
+
+TEST_F(SearcherTest, HighTfShortDocRanksFirst) {
+  Searcher searcher(&index_);
+  auto hits = searcher.TopK({"redsox"}, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc, 4u);  // tf=3 in a 3-token doc
+}
+
+TEST_F(SearcherTest, MultiTermUnionAccumulates) {
+  Searcher searcher(&index_);
+  auto hits = searcher.TopK({"yankee", "redsox"}, 10);
+  ASSERT_EQ(hits.size(), 4u);
+  // Doc 2 matches both terms: should outrank docs matching only one of
+  // comparable length.
+  EXPECT_EQ(hits[0].doc, 2u);
+}
+
+TEST_F(SearcherTest, UnknownTermsIgnored) {
+  Searcher searcher(&index_);
+  auto hits = searcher.TopK({"nonexistent", "game"}, 10);
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+TEST_F(SearcherTest, AllUnknownTermsEmptyResult) {
+  Searcher searcher(&index_);
+  EXPECT_TRUE(searcher.TopK({"zzz", "qqq"}, 10).empty());
+  EXPECT_TRUE(searcher.TopK({}, 10).empty());
+}
+
+TEST_F(SearcherTest, KLimitsResults) {
+  Searcher searcher(&index_);
+  EXPECT_EQ(searcher.TopK({"game"}, 2).size(), 2u);
+  EXPECT_EQ(searcher.TopK({"game"}, 0).size(), 0u);
+}
+
+TEST_F(SearcherTest, ScoresDescending) {
+  Searcher searcher(&index_);
+  auto hits = searcher.TopK({"yankee", "redsox", "game"}, 10);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].score, hits[i].score);
+  }
+}
+
+TEST_F(SearcherTest, ConjunctiveRequiresAllTerms) {
+  Searcher searcher(&index_);
+  auto hits = searcher.TopKConjunctive({"yankee", "redsox"}, 10);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc, 2u);
+}
+
+TEST_F(SearcherTest, ConjunctiveUnknownTermShortCircuits) {
+  Searcher searcher(&index_);
+  EXPECT_TRUE(searcher.TopKConjunctive({"game", "zzz"}, 10).empty());
+}
+
+TEST_F(SearcherTest, ConjunctiveSingleTermEqualsUnion) {
+  Searcher searcher(&index_);
+  auto a = searcher.TopK({"game"}, 10);
+  auto b = searcher.TopKConjunctive({"game"}, 10);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].doc, b[i].doc);
+  }
+}
+
+TEST_F(SearcherTest, ConjunctiveThreeWay) {
+  Searcher searcher(&index_);
+  auto hits = searcher.TopKConjunctive({"yankee", "redsox", "game"}, 10);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc, 2u);
+}
+
+TEST(SearcherScaleTest, ManyDocsTopKStable) {
+  MemoryIndex index;
+  for (int d = 0; d < 2000; ++d) {
+    std::vector<std::string> tokens = {"filler" + std::to_string(d % 7)};
+    if (d % 100 == 0) tokens.push_back("needle");
+    index.AddDocument(tokens);
+  }
+  Searcher searcher(&index);
+  auto hits = searcher.TopK({"needle"}, 5);
+  ASSERT_EQ(hits.size(), 5u);
+  // Ties broken by ascending doc id.
+  EXPECT_EQ(hits[0].doc, 0u);
+  EXPECT_EQ(hits[1].doc, 100u);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,124 @@
+#include "index/segment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::ScopedTempDir;
+
+class SegmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index_.AddDocument({"alpha", "beta"});
+    docs_.Add(100, "first doc");
+    index_.AddDocument({"beta", "gamma", "beta"});
+    docs_.Add(200, "second doc");
+    index_.AddDocument({"delta"});
+    docs_.Add(-300, "third doc");
+    path_ = dir_.path() + "/seg";
+  }
+
+  ScopedTempDir dir_;
+  MemoryIndex index_;
+  DocStore docs_;
+  std::string path_;
+};
+
+TEST_F(SegmentTest, WriteOpenRoundTrip) {
+  ASSERT_TRUE(WriteSegment(index_, docs_, path_).ok());
+  auto reader_or = SegmentReader::Open(path_);
+  ASSERT_TRUE(reader_or.ok());
+  auto& reader = *reader_or;
+  EXPECT_EQ(reader->num_docs(), 3u);
+  EXPECT_EQ(reader->num_terms(), 4u);
+  EXPECT_EQ(reader->DocFreq("beta"), 2u);
+  EXPECT_EQ(reader->DocFreq("unknown"), 0u);
+  EXPECT_DOUBLE_EQ(reader->average_doc_length(),
+                   index_.average_doc_length());
+  EXPECT_EQ(reader->doc_length(1), 3u);
+}
+
+TEST_F(SegmentTest, PostingsMatchOriginal) {
+  ASSERT_TRUE(WriteSegment(index_, docs_, path_).ok());
+  auto reader_or = SegmentReader::Open(path_);
+  ASSERT_TRUE(reader_or.ok());
+  auto it = (*reader_or)->Postings("beta");
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.posting(), (Posting{0, 1}));
+  it.Next();
+  EXPECT_EQ(it.posting(), (Posting{1, 2}));
+  it.Next();
+  EXPECT_FALSE(it.Valid());
+  EXPECT_FALSE((*reader_or)->Postings("nope").Valid());
+}
+
+TEST_F(SegmentTest, DocStoreRoundTrip) {
+  ASSERT_TRUE(WriteSegment(index_, docs_, path_).ok());
+  auto reader_or = SegmentReader::Open(path_);
+  ASSERT_TRUE(reader_or.ok());
+  EXPECT_EQ((*reader_or)->ExternalId(0), 100);
+  EXPECT_EQ((*reader_or)->ExternalId(2), -300);
+  EXPECT_EQ((*reader_or)->Snippet(1), "second doc");
+}
+
+TEST_F(SegmentTest, CorruptionDetected) {
+  ASSERT_TRUE(WriteSegment(index_, docs_, path_).ok());
+  std::string contents;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(path_, &contents).ok());
+  contents[contents.size() / 2] ^= 0x40;
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(path_, contents).ok());
+  auto reader_or = SegmentReader::Open(path_);
+  EXPECT_FALSE(reader_or.ok());
+  EXPECT_TRUE(reader_or.status().IsCorruption());
+}
+
+TEST_F(SegmentTest, TruncationDetected) {
+  ASSERT_TRUE(WriteSegment(index_, docs_, path_).ok());
+  std::string contents;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(path_, &contents).ok());
+  contents.resize(contents.size() - 10);
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(path_, contents).ok());
+  EXPECT_FALSE(SegmentReader::Open(path_).ok());
+}
+
+TEST_F(SegmentTest, MissingFileIsIOError) {
+  auto reader_or = SegmentReader::Open(dir_.path() + "/absent");
+  EXPECT_TRUE(reader_or.status().IsIOError());
+}
+
+TEST_F(SegmentTest, MismatchedDocStoreRejected) {
+  DocStore extra = DocStore();
+  extra.Add(1);
+  EXPECT_TRUE(
+      WriteSegment(index_, extra, path_).IsInvalidArgument());
+}
+
+TEST(SegmentScaleTest, LargerIndexRoundTrips) {
+  ScopedTempDir dir;
+  MemoryIndex index;
+  DocStore docs;
+  for (int d = 0; d < 500; ++d) {
+    index.AddDocument({"t" + std::to_string(d % 50),
+                       "u" + std::to_string(d % 7), "common"});
+    docs.Add(d, "");
+  }
+  const std::string path = dir.path() + "/big";
+  ASSERT_TRUE(WriteSegment(index, docs, path).ok());
+  auto reader_or = SegmentReader::Open(path);
+  ASSERT_TRUE(reader_or.ok());
+  EXPECT_EQ((*reader_or)->DocFreq("common"), 500u);
+  EXPECT_EQ((*reader_or)->DocFreq("t7"), 10u);
+  // Spot check a posting list iterates fully.
+  int count = 0;
+  for (auto it = (*reader_or)->Postings("common"); it.Valid(); it.Next()) {
+    ++count;
+  }
+  EXPECT_EQ(count, 500);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,185 @@
+// Integration tests spanning the full stack: generator -> replay ->
+// engine -> query, plus cross-config invariants the figure benches rely
+// on. These run at a reduced scale (tens of thousands of messages) so the
+// suite stays fast while still crossing module boundaries.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/engine.h"
+#include "eval/edge_compare.h"
+#include "eval/runner.h"
+#include "gen/generator.h"
+#include "query/query_processor.h"
+#include "query/tree_export.h"
+#include "stream/replay.h"
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+std::vector<Message> Dataset(uint64_t n, uint64_t seed = 31) {
+  GeneratorOptions options;
+  options.seed = seed;
+  options.total_messages = n;
+  options.num_users = 1000;
+  options.text_options.vocabulary_size = 2000;
+  StreamGenerator generator(options);
+  return generator.Generate();
+}
+
+TEST(EndToEndTest, FullIndexGroupsEventMessages) {
+  GeneratorOptions options;
+  options.seed = 33;
+  options.total_messages = 8000;
+  options.num_users = 500;
+  options.text_options.vocabulary_size = 2000;
+  StreamGenerator generator(options);
+  GroundTruth truth;
+  auto messages = generator.Generate(&truth);
+
+  SimulatedClock clock;
+  ProvenanceEngine engine(
+      EngineOptions::ForConfig(IndexConfig::kFullIndex), &clock, nullptr);
+  // Track bundle assignment per message.
+  std::vector<BundleId> assigned(messages.size());
+  StreamReplayer replayer(&clock);
+  ASSERT_TRUE(replayer
+                  .Replay(messages,
+                          [&](const Message& msg) {
+                            IngestResult result;
+                            Status st = engine.Ingest(msg, &result);
+                            assigned[msg.id] = result.bundle;
+                            return st;
+                          })
+                  .ok());
+
+  // For each sizable ground-truth event, the plurality of its messages
+  // should land in a single bundle (grouping quality).
+  std::unordered_map<int64_t, std::vector<size_t>> by_event;
+  for (size_t i = 0; i < messages.size(); ++i) {
+    if (truth.event_of[i] >= 0) by_event[truth.event_of[i]].push_back(i);
+  }
+  int checked = 0, coherent = 0;
+  for (const auto& [event, indices] : by_event) {
+    if (indices.size() < 30) continue;
+    std::unordered_map<BundleId, size_t> bundle_counts;
+    for (size_t idx : indices) ++bundle_counts[assigned[idx]];
+    size_t best = 0;
+    for (const auto& [bundle, count] : bundle_counts) {
+      best = std::max(best, count);
+    }
+    ++checked;
+    if (best * 2 >= indices.size()) ++coherent;
+  }
+  ASSERT_GT(checked, 0);
+  // Most large events stay substantially together.
+  EXPECT_GE(coherent * 10, checked * 7)
+      << coherent << "/" << checked << " events coherent";
+}
+
+TEST(EndToEndTest, RtEdgesOverwhelminglyCorrect) {
+  auto messages = Dataset(10000);
+  SimulatedClock clock;
+  ProvenanceEngine engine(
+      EngineOptions::ForConfig(IndexConfig::kFullIndex), &clock, nullptr);
+  StreamReplayer replayer(&clock);
+  ASSERT_TRUE(replayer
+                  .Replay(messages,
+                          [&](const Message& msg) {
+                            return engine.Ingest(msg);
+                          })
+                  .ok());
+  // Every RT whose target is still in the same bundle should have its
+  // edge point at the true target.
+  uint64_t rt_edges = 0, rt_correct = 0;
+  std::unordered_map<MessageId, MessageId> truth_rt;
+  for (const Message& msg : messages) {
+    if (msg.retweet_of_id != kInvalidMessageId) {
+      truth_rt[msg.id] = msg.retweet_of_id;
+    }
+  }
+  for (const Edge& edge : engine.edge_log().edges()) {
+    auto it = truth_rt.find(edge.child);
+    if (it == truth_rt.end()) continue;
+    ++rt_edges;
+    if (edge.parent == it->second) ++rt_correct;
+  }
+  ASSERT_GT(rt_edges, 100u);
+  EXPECT_GT(static_cast<double>(rt_correct) / rt_edges, 0.85);
+}
+
+TEST(EndToEndTest, ConfigurationHierarchyHolds) {
+  auto messages = Dataset(12000);
+  RunnerOptions ropts;
+  ropts.checkpoint_every = 3000;
+  auto results_or = RunAllConfigs(messages, 300, 80, ropts);
+  ASSERT_TRUE(results_or.ok());
+  const RunResult& full = (*results_or)[0];
+  const RunResult& partial = (*results_or)[1];
+  const RunResult& limited = (*results_or)[2];
+
+  // Memory: full grows far beyond the bounded variants (Fig. 11 shape).
+  EXPECT_GT(full.samples.back().memory_bytes,
+            2 * partial.samples.back().memory_bytes);
+
+  // Pool size: bounded variants plateau (Fig. 7 shape).
+  EXPECT_GT(full.samples.back().pool_bundles,
+            partial.samples.back().pool_bundles);
+  EXPECT_LE(partial.samples.back().pool_bundles, 301u);
+  EXPECT_LE(limited.samples.back().pool_bundles, 301u);
+
+  // Accuracy: partial >= bundle-limit, both nontrivial (Fig. 8 shape).
+  auto partial_metrics = CompareEdgesAtCheckpoints(
+      full.edges, partial.edges, partial.boundaries);
+  auto limited_metrics = CompareEdgesAtCheckpoints(
+      full.edges, limited.edges, limited.boundaries);
+  double acc_partial = partial_metrics.back().accuracy();
+  double acc_limited = limited_metrics.back().accuracy();
+  EXPECT_GT(acc_partial, 0.4);
+  EXPECT_GT(acc_limited, 0.3);
+  EXPECT_GE(acc_partial, acc_limited - 0.05);
+}
+
+TEST(EndToEndTest, QueryFindsInjectedEvent) {
+  GeneratorOptions options;
+  options.seed = 35;
+  options.total_messages = 6000;
+  options.num_users = 400;
+  options.text_options.vocabulary_size = 1500;
+  StreamGenerator generator(options);
+  InjectedEvent event;
+  event.name = "cics-conference";
+  event.start = options.start_date + 5 * kSecondsPerDay;
+  event.size = 60;
+  event.duration_secs = 12 * kSecondsPerHour;
+  event.hashtags = {"cics", "ibm"};
+  event.topic_words = {"mainframe", "partner", "conference", "keynote"};
+  generator.Inject(event);
+  auto messages = generator.Generate();
+
+  SimulatedClock clock;
+  ProvenanceEngine engine(
+      EngineOptions::ForConfig(IndexConfig::kFullIndex), &clock, nullptr);
+  StreamReplayer replayer(&clock);
+  ASSERT_TRUE(replayer
+                  .Replay(messages,
+                          [&](const Message& msg) {
+                            return engine.Ingest(msg);
+                          })
+                  .ok());
+
+  BundleQueryProcessor processor(&engine);
+  auto results = processor.Search("#cics", 5, clock.Now());
+  ASSERT_FALSE(results.empty());
+  const Bundle* top = engine.pool().Get(results[0].bundle);
+  ASSERT_NE(top, nullptr);
+  EXPECT_GT(top->size(), 20u);
+  // The provenance tree renders and shows RT structure.
+  std::string tree = RenderAsciiTree(*top);
+  EXPECT_NE(tree.find("[RT]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace microprov

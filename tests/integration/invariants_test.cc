@@ -1,0 +1,188 @@
+// Property-based invariant checks: structural guarantees that must hold
+// for ANY stream under ANY engine configuration. Parameterized over
+// (config, pool limit, seed) so the sweep covers the interesting corners
+// of the maintenance machinery.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/engine.h"
+#include "core/provenance_ops.h"
+#include "gen/generator.h"
+#include "stream/replay.h"
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+struct InvariantCase {
+  IndexConfig config;
+  size_t pool_limit;
+  size_t bundle_cap;
+  uint64_t seed;
+};
+
+// Printable parameter name for ctest output.
+std::string CaseName(
+    const ::testing::TestParamInfo<InvariantCase>& info) {
+  std::string name(IndexConfigToString(info.param.config));
+  for (char& c : name) {
+    if (c == ' ') c = '_';
+  }
+  return name + "_M" + std::to_string(info.param.pool_limit) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class EngineInvariantsTest
+    : public ::testing::TestWithParam<InvariantCase> {
+ protected:
+  void RunStream(uint64_t messages) {
+    const InvariantCase& param = GetParam();
+    GeneratorOptions gen_options;
+    gen_options.seed = param.seed;
+    gen_options.total_messages = messages;
+    gen_options.num_users = 500;
+    gen_options.text_options.vocabulary_size = 1500;
+    messages_ = StreamGenerator(gen_options).Generate();
+
+    engine_ = std::make_unique<ProvenanceEngine>(
+        EngineOptions::ForConfig(param.config, param.pool_limit,
+                                 param.bundle_cap),
+        &clock_, nullptr);
+    StreamReplayer replayer(&clock_);
+    ASSERT_TRUE(replayer
+                    .Replay(messages_,
+                            [&](const Message& msg) {
+                              return engine_->Ingest(msg);
+                            })
+                    .ok());
+  }
+
+  SimulatedClock clock_;
+  std::vector<Message> messages_;
+  std::unique_ptr<ProvenanceEngine> engine_;
+};
+
+TEST_P(EngineInvariantsTest, StructuralInvariantsHold) {
+  RunStream(6000);
+  const BundlePool& pool = engine_->pool();
+
+  // (1) No message appears in two live bundles; pool message accounting
+  //     is exact.
+  std::unordered_set<MessageId> seen_ids;
+  uint64_t total_messages = 0;
+  for (const auto& [id, bundle] : pool.bundles()) {
+    EXPECT_FALSE(bundle->empty()) << "empty live bundle " << id;
+    total_messages += bundle->size();
+    for (const BundleMessage& bm : bundle->messages()) {
+      EXPECT_TRUE(seen_ids.insert(bm.msg.id).second)
+          << "message " << bm.msg.id << " in two bundles";
+    }
+  }
+  EXPECT_EQ(total_messages, pool.TotalMessages());
+
+  for (const auto& [id, bundle] : pool.bundles()) {
+    // (2) Exactly one root; every parent link resolves inside the bundle
+    //     and points to an earlier message (ids are arrival-ordered).
+    size_t roots = 0;
+    Timestamp min_date = INT64_MAX, max_date = INT64_MIN;
+    for (const BundleMessage& bm : bundle->messages()) {
+      min_date = std::min(min_date, bm.msg.date);
+      max_date = std::max(max_date, bm.msg.date);
+      if (bm.parent == kInvalidMessageId) {
+        ++roots;
+        continue;
+      }
+      const BundleMessage* parent = bundle->Find(bm.parent);
+      ASSERT_NE(parent, nullptr)
+          << "dangling parent " << bm.parent << " in bundle " << id;
+      EXPECT_LT(parent->msg.id, bm.msg.id);
+    }
+    EXPECT_EQ(roots, 1u) << "bundle " << id;
+
+    // (3) Cached time range matches the contents.
+    EXPECT_EQ(bundle->start_time(), min_date);
+    EXPECT_EQ(bundle->end_time(), max_date);
+
+    // (4) The tree is acyclic and fully connected: every message reaches
+    //     the root, and cascade stats agree with the member count.
+    CascadeStats stats = ComputeCascadeStats(*bundle);
+    EXPECT_EQ(stats.messages, bundle->size());
+    EXPECT_EQ(stats.roots, 1u);
+    for (const BundleMessage& bm : bundle->messages()) {
+      std::vector<MessageId> path = PathToRoot(*bundle, bm.msg.id);
+      ASSERT_FALSE(path.empty());
+      const BundleMessage* root = bundle->Find(path.back());
+      ASSERT_NE(root, nullptr);
+      EXPECT_EQ(root->parent, kInvalidMessageId);
+    }
+
+    // (5) The bundle-size cap is never exceeded.
+    const size_t cap = pool.options().max_bundle_size;
+    if (cap > 0) EXPECT_LE(bundle->size(), cap);
+  }
+
+  // (6) Pool limit respected (within one refinement's slack).
+  if (pool.options().max_pool_size > 0) {
+    EXPECT_LE(pool.size(), pool.options().max_pool_size + 1);
+  }
+
+  // (7) Edge log: one edge per non-root ingested into an existing
+  //     bundle; children unique; parents precede children.
+  std::unordered_set<MessageId> edge_children;
+  for (const Edge& edge : engine_->edge_log().edges()) {
+    EXPECT_TRUE(edge_children.insert(edge.child).second)
+        << "two edges for child " << edge.child;
+    EXPECT_LT(edge.parent, edge.child);
+    EXPECT_GE(edge.parent, 0);
+  }
+
+  // (8) Every stream message was ingested.
+  EXPECT_EQ(engine_->messages_ingested(), messages_.size());
+}
+
+TEST_P(EngineInvariantsTest, DeterministicAcrossRuns) {
+  RunStream(3000);
+  std::vector<Edge> first_edges = engine_->edge_log().edges();
+  size_t first_pool = engine_->pool().size();
+
+  // Fresh clock + engine over the same stream must reproduce exactly.
+  SimulatedClock clock2;
+  ProvenanceEngine engine2(
+      EngineOptions::ForConfig(GetParam().config, GetParam().pool_limit,
+                               GetParam().bundle_cap),
+      &clock2, nullptr);
+  StreamReplayer replayer(&clock2);
+  ASSERT_TRUE(replayer
+                  .Replay(messages_,
+                          [&](const Message& msg) {
+                            return engine2.Ingest(msg);
+                          })
+                  .ok());
+  ASSERT_EQ(engine2.edge_log().size(), first_edges.size());
+  for (size_t i = 0; i < first_edges.size(); ++i) {
+    EXPECT_EQ(engine2.edge_log().edges()[i].parent,
+              first_edges[i].parent);
+    EXPECT_EQ(engine2.edge_log().edges()[i].child,
+              first_edges[i].child);
+  }
+  EXPECT_EQ(engine2.pool().size(), first_pool);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, EngineInvariantsTest,
+    ::testing::Values(
+        InvariantCase{IndexConfig::kFullIndex, 0, 0, 1},
+        InvariantCase{IndexConfig::kFullIndex, 0, 0, 2},
+        InvariantCase{IndexConfig::kPartialIndex, 50, 0, 1},
+        InvariantCase{IndexConfig::kPartialIndex, 200, 0, 2},
+        InvariantCase{IndexConfig::kPartialIndex, 1000, 0, 3},
+        InvariantCase{IndexConfig::kBundleLimit, 200, 20, 1},
+        InvariantCase{IndexConfig::kBundleLimit, 200, 100, 2},
+        InvariantCase{IndexConfig::kBundleLimit, 50, 5, 3}),
+    CaseName);
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,226 @@
+#include "query/query_processor.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+
+Message TextMessage(MessageId id, Timestamp date, const std::string& user,
+                    const std::string& text) {
+  Message msg;
+  msg.id = id;
+  msg.date = date;
+  msg.user = user;
+  msg.text = text;
+  ExtractIndicants(&msg);
+  return msg;
+}
+
+TEST(MessageSearchIndexTest, FindsByKeyword) {
+  MessageSearchIndex index;
+  index.Add(TextMessage(1, kTestEpoch, "a", "yankee game tonight"));
+  index.Add(TextMessage(2, kTestEpoch, "b", "tsunami warning issued"));
+  auto hits = index.Search("yankee", 10);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].message, 1);
+  EXPECT_EQ(hits[0].user, "a");
+  EXPECT_EQ(hits[0].text, "yankee game tonight");
+}
+
+TEST(MessageSearchIndexTest, FindsByHashtag) {
+  MessageSearchIndex index;
+  index.Add(TextMessage(1, kTestEpoch, "a", "so excited #redsox"));
+  index.Add(TextMessage(2, kTestEpoch, "b", "nothing relevant"));
+  auto hits = index.Search("#redsox", 10);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].message, 1);
+}
+
+TEST(MessageSearchIndexTest, StemmedQueryMatchesVariants) {
+  MessageSearchIndex index;
+  index.Add(TextMessage(1, kTestEpoch, "a", "the yankees are winning"));
+  auto hits = index.Search("yankee wins", 10);
+  ASSERT_EQ(hits.size(), 1u);
+}
+
+TEST(MessageSearchIndexTest, RanksMoreMatchesFirst) {
+  MessageSearchIndex index;
+  index.Add(TextMessage(1, kTestEpoch, "a", "yankee stadium"));
+  index.Add(TextMessage(2, kTestEpoch, "b", "yankee redsox rivalry"));
+  auto hits = index.Search("yankee redsox", 10);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].message, 2);
+}
+
+TEST(MessageSearchIndexTest, EmptyQueryEmptyResult) {
+  MessageSearchIndex index;
+  index.Add(TextMessage(1, kTestEpoch, "a", "anything"));
+  EXPECT_TRUE(index.Search("", 10).empty());
+  EXPECT_TRUE(index.Search("the of", 10).empty());
+}
+
+class BundleQueryTest : public ::testing::Test {
+ protected:
+  BundleQueryTest()
+      : clock_(kTestEpoch),
+        engine_(EngineOptions::ForConfig(IndexConfig::kFullIndex),
+                &clock_, nullptr) {}
+
+  void Feed(MessageId id, Timestamp date, const std::string& user,
+            const std::string& text) {
+    Message msg = TextMessage(id, date, user, text);
+    clock_.Advance(date);
+    ASSERT_TRUE(engine_.Ingest(msg).ok());
+  }
+
+  SimulatedClock clock_;
+  ProvenanceEngine engine_;
+};
+
+TEST_F(BundleQueryTest, ReturnsMatchingBundleWithSummary) {
+  Feed(1, kTestEpoch, "alice", "yankee redsox game tonight #redsox");
+  Feed(2, kTestEpoch + 60, "bob", "what a yankee redsox game #redsox");
+  Feed(3, kTestEpoch + 120, "carol", "tsunami warning for samoa #tsunami");
+
+  BundleQueryProcessor processor(&engine_);
+  auto results = processor.Search("yankee redsox", 5, kTestEpoch + 200);
+  ASSERT_GE(results.size(), 1u);
+  EXPECT_EQ(results[0].size, 2u);
+  EXPECT_FALSE(results[0].summary_words.empty());
+  EXPECT_GT(results[0].score, 0.0);
+  // The game bundle outranks any tsunami bundle that leaked in.
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LE(results[i].score, results[0].score);
+  }
+}
+
+TEST_F(BundleQueryTest, HashtagQueryFindsBundle) {
+  Feed(1, kTestEpoch, "alice", "big wave coming #tsunami");
+  Feed(2, kTestEpoch + 30, "bob", "stay safe #tsunami");
+  BundleQueryProcessor processor(&engine_);
+  auto results = processor.Search("#tsunami", 5, kTestEpoch + 100);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].size, 2u);
+}
+
+TEST_F(BundleQueryTest, NoMatchesEmptyResult) {
+  Feed(1, kTestEpoch, "alice", "about baseball #mlb");
+  BundleQueryProcessor processor(&engine_);
+  EXPECT_TRUE(processor.Search("cricket", 5, kTestEpoch + 10).empty());
+  EXPECT_TRUE(processor.Search("", 5, kTestEpoch + 10).empty());
+}
+
+TEST_F(BundleQueryTest, KRespected) {
+  for (int i = 0; i < 10; ++i) {
+    // Distinct bundles all containing "game".
+    Feed(i, kTestEpoch + i * kSecondsPerDay,
+         "user" + std::to_string(i),
+         "game update #evt" + std::to_string(i));
+  }
+  BundleQueryProcessor processor(&engine_);
+  auto results =
+      processor.Search("game", 3, kTestEpoch + 20 * kSecondsPerDay);
+  EXPECT_EQ(results.size(), 3u);
+}
+
+TEST_F(BundleQueryTest, ArchivedBundlesSearchableViaStore) {
+  testing_util::ScopedTempDir dir;
+  BundleStore::Options store_options;
+  store_options.dir = dir.path() + "/store";
+  auto store_or = BundleStore::Open(store_options);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or;
+
+  // Live bundle about baseball; archived bundle about an old flood.
+  Feed(1, kTestEpoch, "alice", "game tonight #baseball");
+  Bundle old_bundle(9999);
+  Message old_msg = TextMessage(50, kTestEpoch - 30 * kSecondsPerDay,
+                                "bob", "river flood warning #flood");
+  old_bundle.AddMessage(old_msg, kInvalidMessageId, ConnectionType::kText,
+                        0);
+  ASSERT_TRUE(store->Put(old_bundle).ok());
+
+  BundleQueryProcessor processor(&engine_, QueryWeights{}, store.get());
+  auto results = processor.Search("#flood", 5, kTestEpoch);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].bundle, 9999u);
+  EXPECT_TRUE(results[0].archived);
+  // Live results are not marked archived.
+  auto live = processor.Search("#baseball", 5, kTestEpoch);
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_FALSE(live[0].archived);
+}
+
+TEST_F(BundleQueryTest, FiltersApplyToLiveResults) {
+  // Two topically distinct bundles (different hashtags) that share the
+  // query keyword "gameday".
+  Feed(1, kTestEpoch, "a", "early gameday chatter #alpha");
+  Feed(2, kTestEpoch + 20 * kSecondsPerDay, "b", "late gameday #beta");
+  Feed(3, kTestEpoch + 20 * kSecondsPerDay + 30, "c",
+       "more late gameday buzz #beta");
+  BundleQueryProcessor processor(&engine_);
+  const Timestamp now = kTestEpoch + 21 * kSecondsPerDay;
+
+  // Unfiltered: both bundles.
+  ASSERT_EQ(processor.Search("gameday", 10, now).size(), 2u);
+
+  // Date filter drops the early bundle.
+  SearchFilters late_only;
+  late_only.since = kTestEpoch + 10 * kSecondsPerDay;
+  auto late = processor.Search("gameday", 10, now, late_only);
+  ASSERT_EQ(late.size(), 1u);
+  EXPECT_EQ(late[0].size, 2u);
+
+  // Until filter drops the late bundle.
+  SearchFilters early_only;
+  early_only.until = kTestEpoch + kSecondsPerDay;
+  auto early = processor.Search("gameday", 10, now, early_only);
+  ASSERT_EQ(early.size(), 1u);
+  EXPECT_EQ(early[0].size, 1u);
+
+  // Size filter drops singletons.
+  SearchFilters no_singletons;
+  no_singletons.min_bundle_size = 2;
+  auto sized = processor.Search("gameday", 10, now, no_singletons);
+  ASSERT_EQ(sized.size(), 1u);
+  EXPECT_EQ(sized[0].size, 2u);
+}
+
+TEST_F(BundleQueryTest, ArchiveCanBeExcludedByFilter) {
+  testing_util::ScopedTempDir dir;
+  BundleStore::Options store_options;
+  store_options.dir = dir.path() + "/store";
+  auto store_or = BundleStore::Open(store_options);
+  ASSERT_TRUE(store_or.ok());
+  Bundle old_bundle(777);
+  Message old_msg =
+      TextMessage(50, kTestEpoch, "bob", "archived topic #vault");
+  old_bundle.AddMessage(old_msg, kInvalidMessageId, ConnectionType::kText,
+                        0);
+  ASSERT_TRUE((*store_or)->Put(old_bundle).ok());
+
+  BundleQueryProcessor processor(&engine_, QueryWeights{},
+                                 store_or->get());
+  EXPECT_EQ(processor.Search("#vault", 5, kTestEpoch).size(), 1u);
+  SearchFilters live_only;
+  live_only.include_archived = false;
+  EXPECT_TRUE(
+      processor.Search("#vault", 5, kTestEpoch, live_only).empty());
+}
+
+TEST_F(BundleQueryTest, FreshBundleRankedAboveStaleOnTie) {
+  Feed(1, kTestEpoch, "a", "game one #early");
+  Feed(2, kTestEpoch + 20 * kSecondsPerDay, "b", "game two #late");
+  BundleQueryProcessor processor(&engine_);
+  auto results =
+      processor.Search("game", 5, kTestEpoch + 20 * kSecondsPerDay + 60);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_GT(results[0].last_post, results[1].last_post);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,108 @@
+#include "query/tree_export.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+using testing_util::MakeMessage;
+
+std::unique_ptr<Bundle> SampleTree() {
+  auto bundle_ptr = std::make_unique<Bundle>(9);
+  Bundle& bundle = *bundle_ptr;
+  Message root = MakeMessage(1, kTestEpoch, "origin", {"evt"});
+  root.text = "breaking: something happened #evt";
+  bundle.AddMessage(root, kInvalidMessageId, ConnectionType::kText, 0);
+  Message rt = MakeMessage(2, kTestEpoch + 60, "sharer", {"evt"});
+  rt.text = "RT @origin: breaking: something happened #evt";
+  bundle.AddMessage(rt, 1, ConnectionType::kRt, 1.0f);
+  Message comment = MakeMessage(3, kTestEpoch + 120, "commenter", {"evt"});
+  comment.text = "more details emerging #evt";
+  bundle.AddMessage(comment, 1, ConnectionType::kHashtag, 0.6f);
+  Message deep = MakeMessage(4, kTestEpoch + 180, "deep", {"evt"});
+  deep.text = "RT @sharer: ...";
+  bundle.AddMessage(deep, 2, ConnectionType::kRt, 1.0f);
+  return bundle_ptr;
+}
+
+TEST(AsciiTreeTest, ContainsAllUsersAndConnections) {
+  auto bundle = SampleTree();
+  std::string tree = RenderAsciiTree(*bundle);
+  EXPECT_NE(tree.find("@origin"), std::string::npos);
+  EXPECT_NE(tree.find("@sharer"), std::string::npos);
+  EXPECT_NE(tree.find("@commenter"), std::string::npos);
+  EXPECT_NE(tree.find("@deep"), std::string::npos);
+  EXPECT_NE(tree.find("[RT]"), std::string::npos);
+  EXPECT_NE(tree.find("[hashtag]"), std::string::npos);
+}
+
+TEST(AsciiTreeTest, IndentationReflectsDepth) {
+  std::string tree = RenderAsciiTree(*SampleTree());
+  // The depth-2 node is indented deeper than its depth-1 parent.
+  size_t sharer_pos = tree.find("@sharer");
+  size_t deep_pos = tree.find("@deep");
+  ASSERT_NE(sharer_pos, std::string::npos);
+  ASSERT_NE(deep_pos, std::string::npos);
+  auto line_start = [&](size_t pos) {
+    size_t nl = tree.rfind('\n', pos);
+    return nl == std::string::npos ? 0 : nl + 1;
+  };
+  size_t sharer_indent = sharer_pos - line_start(sharer_pos);
+  size_t deep_indent = deep_pos - line_start(deep_pos);
+  EXPECT_GT(deep_indent, sharer_indent);
+}
+
+TEST(AsciiTreeTest, LongTextTruncated) {
+  Bundle bundle(1);
+  Message msg = MakeMessage(1, kTestEpoch, "u");
+  msg.text = std::string(500, 'x');
+  bundle.AddMessage(msg, kInvalidMessageId, ConnectionType::kText, 0);
+  std::string tree = RenderAsciiTree(bundle, 40);
+  EXPECT_NE(tree.find("..."), std::string::npos);
+  EXPECT_EQ(tree.find(std::string(100, 'x')), std::string::npos);
+}
+
+TEST(DotExportTest, ValidDotStructure) {
+  std::string dot = RenderDot(*SampleTree());
+  EXPECT_EQ(dot.find("digraph bundle_9 {"), 0u);
+  EXPECT_NE(dot.find("m1 -> m2 [label=\"RT\"]"), std::string::npos);
+  EXPECT_NE(dot.find("m1 -> m3 [label=\"hashtag\"]"), std::string::npos);
+  EXPECT_NE(dot.find("m2 -> m4"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(DotExportTest, RootHighlighted) {
+  std::string dot = RenderDot(*SampleTree());
+  size_t root_decl = dot.find("m1 [");
+  ASSERT_NE(root_decl, std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=salmon", root_decl), std::string::npos);
+}
+
+TEST(DotExportTest, QuotesEscaped) {
+  Bundle bundle(2);
+  Message msg = MakeMessage(1, kTestEpoch, "u");
+  msg.text = "he said \"hello\"";
+  bundle.AddMessage(msg, kInvalidMessageId, ConnectionType::kText, 0);
+  std::string dot = RenderDot(bundle);
+  EXPECT_NE(dot.find("\\\"hello\\\""), std::string::npos);
+}
+
+TEST(SummarizeBundleTest, MentionsIdSizeAndTopWords) {
+  Bundle bundle(42);
+  bundle.AddMessage(
+      MakeMessage(1, kTestEpoch, "u", {}, {}, {"redsox", "yanke"}),
+      kInvalidMessageId, ConnectionType::kText, 0);
+  std::string summary = SummarizeBundle(bundle);
+  EXPECT_NE(summary.find("bundle 42"), std::string::npos);
+  EXPECT_NE(summary.find("1 msgs"), std::string::npos);
+  EXPECT_NE(summary.find("redsox"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,117 @@
+#include "storage/bundle_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+using testing_util::MakeMessage;
+
+std::unique_ptr<Bundle> SampleBundle() {
+  auto bundle = std::make_unique<Bundle>(42);
+  bundle->AddMessage(
+      MakeMessage(1, kTestEpoch, "alice", {"redsox"}, {"bit.ly/1"},
+                  {"game"}),
+      kInvalidMessageId, ConnectionType::kText, 0.0f);
+  bundle->AddMessage(
+      MakeMessage(2, kTestEpoch + 60, "bob", {"redsox"}, {}, {"win"}),
+      1, ConnectionType::kHashtag, 0.5f);
+  bundle->AddMessage(
+      testing_util::MakeRetweet(3, kTestEpoch + 120, "carol", 1, "alice",
+                                {"redsox"}),
+      1, ConnectionType::kRt, 1.0f);
+  return bundle;
+}
+
+TEST(BundleCodecTest, RoundTripPreservesStructure) {
+  auto original = SampleBundle();
+  std::string encoded;
+  EncodeBundle(*original, &encoded);
+  auto decoded_or = DecodeBundle(encoded);
+  ASSERT_TRUE(decoded_or.ok());
+  const Bundle& decoded = **decoded_or;
+
+  EXPECT_EQ(decoded.id(), 42u);
+  EXPECT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded.closed(), false);
+  EXPECT_EQ(decoded.start_time(), original->start_time());
+  EXPECT_EQ(decoded.end_time(), original->end_time());
+
+  for (size_t i = 0; i < 3; ++i) {
+    const BundleMessage& a = original->messages()[i];
+    const BundleMessage& b = decoded.messages()[i];
+    EXPECT_EQ(a.msg, b.msg);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.conn_type, b.conn_type);
+    EXPECT_EQ(a.conn_score, b.conn_score);
+  }
+}
+
+TEST(BundleCodecTest, SummariesReconstructed) {
+  auto original = SampleBundle();
+  std::string encoded;
+  EncodeBundle(*original, &encoded);
+  auto decoded_or = DecodeBundle(encoded);
+  ASSERT_TRUE(decoded_or.ok());
+  EXPECT_EQ((*decoded_or)->hashtag_counts().at("redsox"), 3u);
+  EXPECT_EQ((*decoded_or)->user_counts().count("carol"), 1u);
+  EXPECT_EQ((*decoded_or)->url_counts().at("bit.ly/1"), 1u);
+}
+
+TEST(BundleCodecTest, ClosedFlagPreserved) {
+  auto original = SampleBundle();
+  original->Close();
+  std::string encoded;
+  EncodeBundle(*original, &encoded);
+  auto decoded_or = DecodeBundle(encoded);
+  ASSERT_TRUE(decoded_or.ok());
+  EXPECT_TRUE((*decoded_or)->closed());
+}
+
+TEST(BundleCodecTest, EmptyBundleRoundTrips) {
+  Bundle empty(7);
+  std::string encoded;
+  EncodeBundle(empty, &encoded);
+  auto decoded_or = DecodeBundle(encoded);
+  ASSERT_TRUE(decoded_or.ok());
+  EXPECT_EQ((*decoded_or)->id(), 7u);
+  EXPECT_EQ((*decoded_or)->size(), 0u);
+}
+
+TEST(BundleCodecTest, TruncationDetected) {
+  auto original = SampleBundle();
+  std::string encoded;
+  EncodeBundle(*original, &encoded);
+  for (size_t cut : {size_t{0}, size_t{3}, encoded.size() / 2,
+                     encoded.size() - 1}) {
+    auto decoded_or = DecodeBundle(std::string_view(encoded.data(), cut));
+    EXPECT_FALSE(decoded_or.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(BundleCodecTest, BadVersionRejected) {
+  std::string encoded;
+  EncodeBundle(*SampleBundle(), &encoded);
+  encoded[0] = 99;  // version varint
+  auto decoded_or = DecodeBundle(encoded);
+  EXPECT_TRUE(decoded_or.status().IsCorruption());
+}
+
+TEST(BundleCodecTest, EdgesSurviveRoundTrip) {
+  auto original = SampleBundle();
+  std::string encoded;
+  EncodeBundle(*original, &encoded);
+  auto decoded_or = DecodeBundle(encoded);
+  ASSERT_TRUE(decoded_or.ok());
+  auto edges = (*decoded_or)->Edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].parent, 1);
+  EXPECT_EQ(edges[0].child, 2);
+  EXPECT_EQ(edges[1].type, ConnectionType::kRt);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,306 @@
+#include "storage/bundle_store.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+using testing_util::MakeMessage;
+using testing_util::ScopedTempDir;
+
+std::unique_ptr<Bundle> MakeBundle(BundleId id, size_t messages) {
+  auto bundle = std::make_unique<Bundle>(id);
+  for (size_t i = 0; i < messages; ++i) {
+    MessageId mid = static_cast<MessageId>(id * 1000 + i);
+    bundle->AddMessage(
+        MakeMessage(mid, kTestEpoch + static_cast<Timestamp>(i),
+                    "user" + std::to_string(i % 3),
+                    {"tag" + std::to_string(id)}),
+        i == 0 ? kInvalidMessageId : mid - 1, ConnectionType::kHashtag,
+        0.5f);
+  }
+  return bundle;
+}
+
+class BundleStoreTest : public ::testing::Test {
+ protected:
+  BundleStore::Options StoreOptions() {
+    BundleStore::Options options;
+    options.dir = dir_.path() + "/store";
+    return options;
+  }
+
+  ScopedTempDir dir_;
+};
+
+TEST_F(BundleStoreTest, PutGetRoundTrip) {
+  auto store_or = BundleStore::Open(StoreOptions());
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or;
+  auto bundle = MakeBundle(1, 5);
+  ASSERT_TRUE(store->Put(*bundle).ok());
+  auto loaded_or = store->Get(1);
+  ASSERT_TRUE(loaded_or.ok());
+  EXPECT_EQ((*loaded_or)->id(), 1u);
+  EXPECT_EQ((*loaded_or)->size(), 5u);
+  EXPECT_EQ((*loaded_or)->hashtag_counts().at("tag1"), 5u);
+}
+
+TEST_F(BundleStoreTest, GetMissingIsNotFound) {
+  auto store_or = BundleStore::Open(StoreOptions());
+  ASSERT_TRUE(store_or.ok());
+  EXPECT_TRUE((*store_or)->Get(999).status().IsNotFound());
+  EXPECT_FALSE((*store_or)->Contains(999));
+}
+
+TEST_F(BundleStoreTest, ManyBundlesAndListing) {
+  auto store_or = BundleStore::Open(StoreOptions());
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or;
+  for (BundleId id = 1; id <= 50; ++id) {
+    ASSERT_TRUE(store->Put(*MakeBundle(id, 1 + id % 7)).ok());
+  }
+  EXPECT_EQ(store->bundle_count(), 50u);
+  EXPECT_EQ(store->max_bundle_id(), 50u);
+  EXPECT_EQ(store->ListBundleIds().size(), 50u);
+  auto loaded_or = store->Get(37);
+  ASSERT_TRUE(loaded_or.ok());
+  EXPECT_EQ((*loaded_or)->size(), 1 + 37 % 7);
+}
+
+TEST_F(BundleStoreTest, CacheServesRepeatedReads) {
+  auto store_or = BundleStore::Open(StoreOptions());
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or;
+  ASSERT_TRUE(store->Put(*MakeBundle(1, 3)).ok());
+  ASSERT_TRUE(store->Get(1).ok());
+  uint64_t misses_after_first = store->cache_misses();
+  ASSERT_TRUE(store->Get(1).ok());
+  ASSERT_TRUE(store->Get(1).ok());
+  EXPECT_EQ(store->cache_misses(), misses_after_first);
+  EXPECT_GE(store->cache_hits(), 2u);
+}
+
+TEST_F(BundleStoreTest, RecoveryAfterReopen) {
+  BundleStore::Options options = StoreOptions();
+  {
+    auto store_or = BundleStore::Open(options);
+    ASSERT_TRUE(store_or.ok());
+    for (BundleId id = 1; id <= 10; ++id) {
+      ASSERT_TRUE((*store_or)->Put(*MakeBundle(id, 4)).ok());
+    }
+  }
+  auto reopened_or = BundleStore::Open(options);
+  ASSERT_TRUE(reopened_or.ok());
+  auto& store = *reopened_or;
+  EXPECT_EQ(store->bundle_count(), 10u);
+  EXPECT_EQ(store->max_bundle_id(), 10u);
+  auto loaded_or = store->Get(7);
+  ASSERT_TRUE(loaded_or.ok());
+  EXPECT_EQ((*loaded_or)->size(), 4u);
+}
+
+TEST_F(BundleStoreTest, LatestPutWins) {
+  BundleStore::Options options = StoreOptions();
+  auto store_or = BundleStore::Open(options);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or;
+  ASSERT_TRUE(store->Put(*MakeBundle(5, 2)).ok());
+  ASSERT_TRUE(store->Put(*MakeBundle(5, 9)).ok());
+  auto loaded_or = store->Get(5);
+  ASSERT_TRUE(loaded_or.ok());
+  EXPECT_EQ((*loaded_or)->size(), 9u);
+  EXPECT_EQ(store->bundle_count(), 1u);
+}
+
+TEST_F(BundleStoreTest, LatestPutWinsAcrossReopen) {
+  BundleStore::Options options = StoreOptions();
+  {
+    auto store_or = BundleStore::Open(options);
+    ASSERT_TRUE(store_or.ok());
+    ASSERT_TRUE((*store_or)->Put(*MakeBundle(5, 2)).ok());
+    ASSERT_TRUE((*store_or)->Put(*MakeBundle(5, 9)).ok());
+  }
+  auto reopened_or = BundleStore::Open(options);
+  ASSERT_TRUE(reopened_or.ok());
+  auto loaded_or = (*reopened_or)->Get(5);
+  ASSERT_TRUE(loaded_or.ok());
+  EXPECT_EQ((*loaded_or)->size(), 9u);
+}
+
+TEST_F(BundleStoreTest, RotationCreatesNewFiles) {
+  BundleStore::Options options = StoreOptions();
+  options.rotate_bytes = 4096;  // tiny, force rotation
+  auto store_or = BundleStore::Open(options);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or;
+  for (BundleId id = 1; id <= 40; ++id) {
+    ASSERT_TRUE(store->Put(*MakeBundle(id, 10)).ok());
+  }
+  auto names_or = Env::Default()->ListDir(options.dir);
+  ASSERT_TRUE(names_or.ok());
+  EXPECT_GT(names_or->size(), 2u);
+  // Every bundle still readable.
+  for (BundleId id = 1; id <= 40; ++id) {
+    ASSERT_TRUE(store->Get(id).ok()) << id;
+  }
+}
+
+TEST_F(BundleStoreTest, ScanVisitsEverything) {
+  auto store_or = BundleStore::Open(StoreOptions());
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or;
+  for (BundleId id = 1; id <= 12; ++id) {
+    ASSERT_TRUE(store->Put(*MakeBundle(id, 2)).ok());
+  }
+  size_t visited = 0;
+  uint64_t message_total = 0;
+  ASSERT_TRUE(store
+                  ->Scan([&](const Bundle& bundle) {
+                    ++visited;
+                    message_total += bundle.size();
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(visited, 12u);
+  EXPECT_EQ(message_total, 24u);
+}
+
+TEST_F(BundleStoreTest, FindByTermLocatesArchivedBundles) {
+  auto store_or = BundleStore::Open(StoreOptions());
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or;
+  ASSERT_TRUE(store->Put(*MakeBundle(1, 3)).ok());  // tag1
+  ASSERT_TRUE(store->Put(*MakeBundle(2, 3)).ok());  // tag2
+  EXPECT_EQ(store->FindByTerm("tag1"), (std::vector<BundleId>{1}));
+  EXPECT_EQ(store->FindByTerm("tag2"), (std::vector<BundleId>{2}));
+  EXPECT_TRUE(store->FindByTerm("absent").empty());
+}
+
+TEST_F(BundleStoreTest, FindByTermSurvivesRecovery) {
+  BundleStore::Options options = StoreOptions();
+  {
+    auto store_or = BundleStore::Open(options);
+    ASSERT_TRUE(store_or.ok());
+    ASSERT_TRUE((*store_or)->Put(*MakeBundle(7, 4)).ok());
+  }
+  auto reopened_or = BundleStore::Open(options);
+  ASSERT_TRUE(reopened_or.ok());
+  EXPECT_EQ((*reopened_or)->FindByTerm("tag7"),
+            (std::vector<BundleId>{7}));
+}
+
+TEST_F(BundleStoreTest, FindByTermDedupsRePuts) {
+  auto store_or = BundleStore::Open(StoreOptions());
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or;
+  ASSERT_TRUE(store->Put(*MakeBundle(3, 2)).ok());
+  ASSERT_TRUE(store->Put(*MakeBundle(4, 2)).ok());  // interleave
+  ASSERT_TRUE(store->Put(*MakeBundle(3, 5)).ok());  // re-put
+  EXPECT_EQ(store->FindByTerm("tag3"), (std::vector<BundleId>{3}));
+}
+
+TEST_F(BundleStoreTest, TermIndexCanBeDisabled) {
+  BundleStore::Options options = StoreOptions();
+  options.enable_term_index = false;
+  auto store_or = BundleStore::Open(options);
+  ASSERT_TRUE(store_or.ok());
+  ASSERT_TRUE((*store_or)->Put(*MakeBundle(1, 3)).ok());
+  EXPECT_TRUE((*store_or)->FindByTerm("tag1").empty());
+}
+
+TEST_F(BundleStoreTest, CompactionReclaimsSupersededSpace) {
+  BundleStore::Options options = StoreOptions();
+  options.rotate_bytes = 8192;
+  auto store_or = BundleStore::Open(options);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or;
+  // Re-put the same bundles many times: most records become dead.
+  for (int round = 0; round < 10; ++round) {
+    for (BundleId id = 1; id <= 8; ++id) {
+      ASSERT_TRUE(store->Put(*MakeBundle(id, 6)).ok());
+    }
+  }
+  ASSERT_TRUE(store->Flush().ok());
+  auto before_or = store->TotalLogBytes();
+  ASSERT_TRUE(before_or.ok());
+
+  ASSERT_TRUE(store->Compact().ok());
+  auto after_or = store->TotalLogBytes();
+  ASSERT_TRUE(after_or.ok());
+  EXPECT_LT(*after_or, *before_or / 4);
+  EXPECT_EQ(store->compactions(), 1u);
+
+  // All bundles still readable with their latest contents.
+  EXPECT_EQ(store->bundle_count(), 8u);
+  for (BundleId id = 1; id <= 8; ++id) {
+    auto loaded_or = store->Get(id);
+    ASSERT_TRUE(loaded_or.ok()) << id;
+    EXPECT_EQ((*loaded_or)->size(), 6u);
+  }
+}
+
+TEST_F(BundleStoreTest, CompactedStoreRecovers) {
+  BundleStore::Options options = StoreOptions();
+  {
+    auto store_or = BundleStore::Open(options);
+    ASSERT_TRUE(store_or.ok());
+    for (BundleId id = 1; id <= 5; ++id) {
+      ASSERT_TRUE((*store_or)->Put(*MakeBundle(id, 3)).ok());
+    }
+    ASSERT_TRUE((*store_or)->Compact().ok());
+    // Writes after compaction land in the new log.
+    ASSERT_TRUE((*store_or)->Put(*MakeBundle(6, 3)).ok());
+  }
+  auto reopened_or = BundleStore::Open(options);
+  ASSERT_TRUE(reopened_or.ok());
+  EXPECT_EQ((*reopened_or)->bundle_count(), 6u);
+  for (BundleId id = 1; id <= 6; ++id) {
+    EXPECT_TRUE((*reopened_or)->Get(id).ok()) << id;
+  }
+}
+
+TEST_F(BundleStoreTest, CompactEmptyStoreIsANoopish) {
+  auto store_or = BundleStore::Open(StoreOptions());
+  ASSERT_TRUE(store_or.ok());
+  ASSERT_TRUE((*store_or)->Compact().ok());
+  EXPECT_EQ((*store_or)->bundle_count(), 0u);
+}
+
+TEST_F(BundleStoreTest, EmptyDirRequiredOption) {
+  BundleStore::Options options;  // no dir
+  EXPECT_TRUE(BundleStore::Open(options).status().IsInvalidArgument());
+}
+
+TEST_F(BundleStoreTest, TornTailOnRecoveryIsIgnored) {
+  BundleStore::Options options = StoreOptions();
+  {
+    auto store_or = BundleStore::Open(options);
+    ASSERT_TRUE(store_or.ok());
+    ASSERT_TRUE((*store_or)->Put(*MakeBundle(1, 3)).ok());
+    ASSERT_TRUE((*store_or)->Put(*MakeBundle(2, 3)).ok());
+  }
+  // Truncate the newest log file mid-record.
+  auto names_or = Env::Default()->ListDir(options.dir);
+  ASSERT_TRUE(names_or.ok());
+  std::string newest;
+  for (const auto& name : *names_or) {
+    if (newest.empty() || name > newest) newest = name;
+  }
+  const std::string path = options.dir + "/" + newest;
+  std::string contents;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(path, &contents).ok());
+  contents.resize(contents.size() - 5);
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(path, contents).ok());
+
+  auto reopened_or = BundleStore::Open(options);
+  ASSERT_TRUE(reopened_or.ok());
+  EXPECT_EQ((*reopened_or)->bundle_count(), 1u);
+  EXPECT_TRUE((*reopened_or)->Get(1).ok());
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,124 @@
+#include "stream/message_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+
+Message SampleMessage() {
+  Message msg;
+  msg.id = 12345;
+  msg.date = kTestEpoch + 42;
+  msg.user = "bren924";
+  msg.text =
+      "WHEW!! RT @MLB: X-rays on Lester negative. #redsox "
+      "http://bit.ly/x";
+  ExtractIndicants(&msg);
+  msg.retweet_of_id = 999;
+  return msg;
+}
+
+TEST(TsvCodecTest, RoundTrip) {
+  Message original = SampleMessage();
+  std::string line = EncodeMessageTsv(original);
+  Message decoded;
+  ASSERT_TRUE(DecodeMessageTsv(line, &decoded).ok());
+  EXPECT_EQ(decoded.id, original.id);
+  EXPECT_EQ(decoded.date, original.date);
+  EXPECT_EQ(decoded.user, original.user);
+  EXPECT_EQ(decoded.text, original.text);
+  EXPECT_EQ(decoded.retweet_of_id, 999);
+  EXPECT_TRUE(decoded.is_retweet);
+  // Indicants re-derived from text match.
+  EXPECT_EQ(decoded.hashtags, original.hashtags);
+  EXPECT_EQ(decoded.urls, original.urls);
+}
+
+TEST(TsvCodecTest, EscapesTabsAndNewlines) {
+  Message msg = testing_util::MakeMessage(1, kTestEpoch, "u");
+  msg.text = "line1\nline2\twith\ttabs\\and\rreturns";
+  std::string line = EncodeMessageTsv(msg);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  // Exactly 4 field-separating tabs survive.
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\t'), 4);
+  Message decoded;
+  ASSERT_TRUE(DecodeMessageTsv(line, &decoded).ok());
+  EXPECT_EQ(decoded.text, msg.text);
+}
+
+TEST(TsvCodecTest, RejectsWrongFieldCount) {
+  Message msg;
+  EXPECT_TRUE(DecodeMessageTsv("only\tthree\tfields", &msg).IsCorruption());
+  EXPECT_TRUE(DecodeMessageTsv("", &msg).IsCorruption());
+}
+
+TEST(TsvCodecTest, RejectsBadNumbers) {
+  Message msg;
+  EXPECT_TRUE(
+      DecodeMessageTsv("abc\t123\tuser\t-1\ttext", &msg).IsCorruption());
+}
+
+TEST(TsvCodecTest, NonRetweetKeepsInvalidTarget) {
+  Message msg = testing_util::MakeMessage(5, kTestEpoch, "u");
+  msg.text = "plain words only";
+  Message decoded;
+  ASSERT_TRUE(DecodeMessageTsv(EncodeMessageTsv(msg), &decoded).ok());
+  EXPECT_FALSE(decoded.is_retweet);
+  EXPECT_EQ(decoded.retweet_of_id, kInvalidMessageId);
+}
+
+TEST(BinaryCodecTest, RoundTripAllFields) {
+  Message original = SampleMessage();
+  std::string buf;
+  EncodeMessageBinary(original, &buf);
+  std::string_view input = buf;
+  Message decoded;
+  ASSERT_TRUE(DecodeMessageBinary(&input, &decoded).ok());
+  EXPECT_TRUE(input.empty());
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(BinaryCodecTest, MultipleMessagesConcatenate) {
+  Message a = testing_util::MakeMessage(1, kTestEpoch, "alice", {"t1"});
+  Message b = testing_util::MakeMessage(2, kTestEpoch + 1, "bob", {"t2"});
+  std::string buf;
+  EncodeMessageBinary(a, &buf);
+  EncodeMessageBinary(b, &buf);
+  std::string_view input = buf;
+  Message da, db;
+  ASSERT_TRUE(DecodeMessageBinary(&input, &da).ok());
+  ASSERT_TRUE(DecodeMessageBinary(&input, &db).ok());
+  EXPECT_EQ(da, a);
+  EXPECT_EQ(db, b);
+}
+
+TEST(BinaryCodecTest, DetectsTruncation) {
+  Message original = SampleMessage();
+  std::string buf;
+  EncodeMessageBinary(original, &buf);
+  for (size_t cut : {size_t{1}, buf.size() / 2, buf.size() - 1}) {
+    std::string_view input(buf.data(), cut);
+    Message decoded;
+    EXPECT_TRUE(DecodeMessageBinary(&input, &decoded).IsCorruption())
+        << "cut=" << cut;
+  }
+}
+
+TEST(BinaryCodecTest, EmptyVectorsRoundTrip) {
+  Message msg;
+  msg.id = 0;
+  msg.date = 0;
+  std::string buf;
+  EncodeMessageBinary(msg, &buf);
+  std::string_view input = buf;
+  Message decoded;
+  ASSERT_TRUE(DecodeMessageBinary(&input, &decoded).ok());
+  EXPECT_EQ(decoded, msg);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,99 @@
+#include "stream/message.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+
+TEST(MessageTest, DefaultsAreInvalid) {
+  Message msg;
+  EXPECT_EQ(msg.id, kInvalidMessageId);
+  EXPECT_FALSE(msg.is_retweet);
+  EXPECT_EQ(msg.retweet_of_id, kInvalidMessageId);
+}
+
+TEST(MessageTest, ExtractIndicantsFillsFields) {
+  Message msg;
+  msg.text = "great #game tonight http://bit.ly/x RT @alice: amazing win";
+  ExtractIndicants(&msg);
+  EXPECT_EQ(msg.hashtags, (std::vector<std::string>{"game"}));
+  EXPECT_EQ(msg.urls, (std::vector<std::string>{"http://bit.ly/x"}));
+  EXPECT_TRUE(msg.is_retweet);
+  EXPECT_EQ(msg.retweet_of_user, "alice");
+}
+
+TEST(MessageTest, MemoryUsageScalesWithContent) {
+  Message small;
+  small.text = "x";
+  Message big;
+  big.text = std::string(1000, 'y');
+  big.hashtags.assign(20, "some_hashtag_value");
+  EXPECT_GT(big.ApproxMemoryUsage(), small.ApproxMemoryUsage() + 1000);
+}
+
+TEST(MessageBuilderTest, BuildsWithExplicitIndicants) {
+  Message msg = MessageBuilder()
+                    .Id(7)
+                    .Date(kTestEpoch)
+                    .User("bob")
+                    .Text("ignored for indicants")
+                    .Hashtag("redsox")
+                    .Url("bit.ly/1")
+                    .Keyword("game")
+                    .Build();
+  EXPECT_EQ(msg.id, 7);
+  EXPECT_EQ(msg.user, "bob");
+  EXPECT_EQ(msg.hashtags, (std::vector<std::string>{"redsox"}));
+  EXPECT_EQ(msg.urls, (std::vector<std::string>{"bit.ly/1"}));
+  EXPECT_EQ(msg.keywords, (std::vector<std::string>{"game"}));
+}
+
+TEST(MessageBuilderTest, ExtractsFromTextWhenNoExplicitIndicants) {
+  Message msg = MessageBuilder()
+                    .Id(1)
+                    .Date(kTestEpoch)
+                    .User("u")
+                    .Text("playing #baseball now")
+                    .Build();
+  EXPECT_EQ(msg.hashtags, (std::vector<std::string>{"baseball"}));
+  // Hashtag tokens are hashtag indicants, not keywords; "now" is a
+  // stopword.
+  EXPECT_EQ(msg.keywords, (std::vector<std::string>{"plai"}));
+}
+
+TEST(MessageBuilderTest, DateStringParsed) {
+  Message msg = MessageBuilder()
+                    .Date("2009-09-26 00:23:58")
+                    .User("u")
+                    .Text("x y")
+                    .Build();
+  EXPECT_EQ(msg.date, 1253924638);
+}
+
+TEST(MessageBuilderTest, RetweetGroundTruthPreserved) {
+  Message msg = MessageBuilder()
+                    .Id(10)
+                    .Date(kTestEpoch)
+                    .User("carol")
+                    .Text("RT @dave: the original")
+                    .RetweetOf(3, "dave")
+                    .Build();
+  EXPECT_TRUE(msg.is_retweet);
+  EXPECT_EQ(msg.retweet_of_id, 3);
+  EXPECT_EQ(msg.retweet_of_user, "dave");
+}
+
+TEST(MessageTest, EqualityIsFieldwise) {
+  Message a = testing_util::MakeMessage(1, kTestEpoch, "u", {"t"});
+  Message b = a;
+  EXPECT_EQ(a, b);
+  b.hashtags.push_back("extra");
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,115 @@
+#include "stream/stream_io.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/message_codec.h"
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+using testing_util::ScopedTempDir;
+
+std::vector<Message> SampleStream(size_t n) {
+  std::vector<Message> messages;
+  for (size_t i = 0; i < n; ++i) {
+    Message msg;
+    msg.id = static_cast<MessageId>(i);
+    msg.date = kTestEpoch + static_cast<Timestamp>(i * 10);
+    msg.user = "user" + std::to_string(i % 5);
+    msg.text = "message number " + std::to_string(i) + " #tag" +
+               std::to_string(i % 3);
+    ExtractIndicants(&msg);
+    messages.push_back(std::move(msg));
+  }
+  return messages;
+}
+
+TEST(StreamIoTest, SaveLoadRoundTrip) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/stream.tsv";
+  std::vector<Message> original = SampleStream(100);
+  ASSERT_TRUE(SaveMessages(path, original).ok());
+  auto loaded_or = LoadMessages(path);
+  ASSERT_TRUE(loaded_or.ok());
+  ASSERT_EQ(loaded_or->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*loaded_or)[i].id, original[i].id);
+    EXPECT_EQ((*loaded_or)[i].text, original[i].text);
+    EXPECT_EQ((*loaded_or)[i].hashtags, original[i].hashtags);
+  }
+}
+
+TEST(StreamIoTest, ReaderCountsAndEof) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/s.tsv";
+  ASSERT_TRUE(SaveMessages(path, SampleStream(7)).ok());
+  auto reader_or = MessageStreamReader::Open(path);
+  ASSERT_TRUE(reader_or.ok());
+  Message msg;
+  int count = 0;
+  while ((*reader_or)->Next(&msg).ok()) ++count;
+  EXPECT_EQ(count, 7);
+  EXPECT_EQ((*reader_or)->messages_read(), 7u);
+  // Subsequent reads keep returning NotFound.
+  EXPECT_TRUE((*reader_or)->Next(&msg).IsNotFound());
+}
+
+TEST(StreamIoTest, EmptyFileYieldsNoMessages) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/empty.tsv";
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(path, "").ok());
+  auto loaded_or = LoadMessages(path);
+  ASSERT_TRUE(loaded_or.ok());
+  EXPECT_TRUE(loaded_or->empty());
+}
+
+TEST(StreamIoTest, MissingFinalNewlineStillReads) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/nonl.tsv";
+  std::vector<Message> messages = SampleStream(2);
+  std::string data = EncodeMessageTsv(messages[0]) + "\n" +
+                     EncodeMessageTsv(messages[1]);  // no trailing \n
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(path, data).ok());
+  auto loaded_or = LoadMessages(path);
+  ASSERT_TRUE(loaded_or.ok());
+  EXPECT_EQ(loaded_or->size(), 2u);
+}
+
+TEST(StreamIoTest, BlankLinesSkipped) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/blanks.tsv";
+  std::vector<Message> messages = SampleStream(2);
+  std::string data = EncodeMessageTsv(messages[0]) + "\n\n\n" +
+                     EncodeMessageTsv(messages[1]) + "\n";
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(path, data).ok());
+  auto loaded_or = LoadMessages(path);
+  ASSERT_TRUE(loaded_or.ok());
+  EXPECT_EQ(loaded_or->size(), 2u);
+}
+
+TEST(StreamIoTest, CorruptLineSurfacesError) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/bad.tsv";
+  ASSERT_TRUE(
+      Env::Default()->WriteStringToFile(path, "not a message line\n").ok());
+  auto loaded_or = LoadMessages(path);
+  EXPECT_FALSE(loaded_or.ok());
+  EXPECT_TRUE(loaded_or.status().IsCorruption());
+}
+
+TEST(StreamIoTest, LargeStreamCrossesBufferBoundaries) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/large.tsv";
+  // Enough data to exceed the 64 KiB read buffer several times.
+  std::vector<Message> original = SampleStream(3000);
+  ASSERT_TRUE(SaveMessages(path, original).ok());
+  auto loaded_or = LoadMessages(path);
+  ASSERT_TRUE(loaded_or.ok());
+  ASSERT_EQ(loaded_or->size(), 3000u);
+  EXPECT_EQ(loaded_or->back().id, 2999);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,57 @@
+#include "testing/test_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ftw.h>
+
+#include "common/string_util.h"
+
+namespace microprov {
+namespace testing_util {
+
+namespace {
+int RemoveEntry(const char* path, const struct stat*, int,
+                struct FTW*) {
+  return ::remove(path);
+}
+}  // namespace
+
+ScopedTempDir::ScopedTempDir() {
+  std::string tmpl = "/tmp/microprov_test_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  path_ = made != nullptr ? made : "/tmp/microprov_test_fallback";
+}
+
+ScopedTempDir::~ScopedTempDir() {
+  if (!path_.empty() && StartsWith(path_, "/tmp/")) {
+    ::nftw(path_.c_str(), RemoveEntry, 16, FTW_DEPTH | FTW_PHYS);
+  }
+}
+
+Message MakeMessage(MessageId id, Timestamp date, const std::string& user,
+                    std::vector<std::string> hashtags,
+                    std::vector<std::string> urls,
+                    std::vector<std::string> keywords) {
+  Message msg;
+  msg.id = id;
+  msg.date = date;
+  msg.user = user;
+  msg.hashtags = std::move(hashtags);
+  msg.urls = std::move(urls);
+  msg.keywords = std::move(keywords);
+  msg.text = StringPrintf("synthetic message %lld", (long long)id);
+  return msg;
+}
+
+Message MakeRetweet(MessageId id, Timestamp date, const std::string& user,
+                    MessageId target_id, const std::string& target_user,
+                    std::vector<std::string> hashtags) {
+  Message msg = MakeMessage(id, date, user, std::move(hashtags));
+  msg.is_retweet = true;
+  msg.retweet_of_id = target_id;
+  msg.retweet_of_user = target_user;
+  return msg;
+}
+
+}  // namespace testing_util
+}  // namespace microprov

@@ -1,0 +1,46 @@
+#ifndef MICROPROV_TESTS_TESTING_TEST_UTIL_H_
+#define MICROPROV_TESTS_TESTING_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "stream/message.h"
+
+namespace microprov {
+namespace testing_util {
+
+/// Creates (and on destruction recursively removes) a unique directory
+/// under the system temp dir.
+class ScopedTempDir {
+ public:
+  ScopedTempDir();
+  ~ScopedTempDir();
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Base timestamp used by test fixtures: 2009-09-01 00:00:00 UTC.
+inline constexpr Timestamp kTestEpoch = 1251763200;
+
+/// Terse message factory for unit tests: explicit indicants, no parsing.
+Message MakeMessage(MessageId id, Timestamp date, const std::string& user,
+                    std::vector<std::string> hashtags = {},
+                    std::vector<std::string> urls = {},
+                    std::vector<std::string> keywords = {});
+
+/// Marks a message as re-sharing `(target_id, target_user)`.
+Message MakeRetweet(MessageId id, Timestamp date, const std::string& user,
+                    MessageId target_id, const std::string& target_user,
+                    std::vector<std::string> hashtags = {});
+
+}  // namespace testing_util
+}  // namespace microprov
+
+#endif  // MICROPROV_TESTS_TESTING_TEST_UTIL_H_

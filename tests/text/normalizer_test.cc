@@ -1,0 +1,65 @@
+#include "text/normalizer.h"
+
+#include <gtest/gtest.h>
+
+namespace microprov {
+namespace {
+
+TEST(NormalizerTest, LowercasesByDefault) {
+  EXPECT_EQ(Normalize("HeLLo World"), "hello world");
+}
+
+TEST(NormalizerTest, CollapsesElongations) {
+  EXPECT_EQ(Normalize("soooo goooood"), "soo good");
+  EXPECT_EQ(Normalize("yesss"), "yess");
+}
+
+TEST(NormalizerTest, KeepsDoubleLetters) {
+  EXPECT_EQ(Normalize("good feed assess"), "good feed assess");
+}
+
+TEST(NormalizerTest, DigitRunsUntouched) {
+  EXPECT_EQ(Normalize("1111 aaaa"), "1111 aa");
+}
+
+TEST(NormalizerTest, NoLowercaseOption) {
+  NormalizerOptions options;
+  options.lowercase = false;
+  EXPECT_EQ(Normalize("ABC", options), "ABC");
+}
+
+TEST(NormalizerTest, NoCollapseOption) {
+  NormalizerOptions options;
+  options.collapse_elongations = false;
+  EXPECT_EQ(Normalize("soooo", options), "soooo");
+}
+
+TEST(NormalizerTest, StripPunctuationOption) {
+  NormalizerOptions options;
+  options.strip_punctuation = true;
+  EXPECT_EQ(Normalize("hi, there! #tag", options), "hi  there  #tag");
+}
+
+TEST(NormalizerTest, EmptyInput) {
+  EXPECT_EQ(Normalize(""), "");
+}
+
+TEST(NormalizerTest, TokenCharClassification) {
+  EXPECT_TRUE(IsTokenChar('a'));
+  EXPECT_TRUE(IsTokenChar('9'));
+  EXPECT_TRUE(IsTokenChar('#'));
+  EXPECT_TRUE(IsTokenChar('@'));
+  EXPECT_TRUE(IsTokenChar('_'));
+  EXPECT_TRUE(IsTokenChar('\''));
+  EXPECT_FALSE(IsTokenChar(' '));
+  EXPECT_FALSE(IsTokenChar('!'));
+  EXPECT_FALSE(IsTokenChar(','));
+}
+
+TEST(NormalizerTest, NonAsciiPreserved) {
+  std::string input = "caf\xc3\xa9";
+  EXPECT_EQ(Normalize(input), input);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,55 @@
+#include "text/stopwords.h"
+
+#include <gtest/gtest.h>
+
+namespace microprov {
+namespace {
+
+TEST(StopwordsTest, CommonFunctionWords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_TRUE(IsStopword("is"));
+  EXPECT_TRUE(IsStopword("of"));
+}
+
+TEST(StopwordsTest, MicroblogFiller) {
+  EXPECT_TRUE(IsStopword("rt"));
+  EXPECT_TRUE(IsStopword("lol"));
+  EXPECT_TRUE(IsStopword("via"));
+}
+
+TEST(StopwordsTest, ContentWordsPass) {
+  EXPECT_FALSE(IsStopword("yankee"));
+  EXPECT_FALSE(IsStopword("redsox"));
+  EXPECT_FALSE(IsStopword("tsunami"));
+  EXPECT_FALSE(IsStopword("baseball"));
+}
+
+TEST(StopwordsTest, SingleCharactersAreStopwords) {
+  EXPECT_TRUE(IsStopword("a"));
+  EXPECT_TRUE(IsStopword("x"));
+  EXPECT_TRUE(IsStopword("7"));
+}
+
+TEST(StopwordsTest, PureDigitsAreStopwords) {
+  EXPECT_TRUE(IsStopword("2009"));
+  EXPECT_TRUE(IsStopword("12345"));
+  EXPECT_FALSE(IsStopword("7t6ns"));  // alphanumeric mix passes
+}
+
+TEST(StopwordsTest, EmptyIsStopword) {
+  EXPECT_TRUE(IsStopword(""));
+}
+
+TEST(StopwordsTest, ContractionsCovered) {
+  EXPECT_TRUE(IsStopword("can't"));
+  EXPECT_TRUE(IsStopword("it's"));
+  EXPECT_TRUE(IsStopword("don't"));
+}
+
+TEST(StopwordsTest, ListIsSubstantial) {
+  EXPECT_GT(StopwordCount(), 150u);
+}
+
+}  // namespace
+}  // namespace microprov

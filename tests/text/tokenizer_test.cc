@@ -1,0 +1,104 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace microprov {
+namespace {
+
+std::vector<std::string> ValuesOfType(const std::vector<Token>& tokens,
+                                      TokenType type) {
+  std::vector<std::string> out;
+  for (const Token& tok : tokens) {
+    if (tok.type == type) out.push_back(tok.value);
+  }
+  return out;
+}
+
+TEST(TokenizerTest, PlainWordsLowercased) {
+  auto tokens = Tokenize("Lester Getting an Ovation");
+  EXPECT_EQ(ValuesOfType(tokens, TokenType::kWord),
+            (std::vector<std::string>{"lester", "getting", "an",
+                                      "ovation"}));
+}
+
+TEST(TokenizerTest, HashtagsExtractedWithoutSigil) {
+  auto tokens = Tokenize("great game #Redsox #yankee_stadium");
+  EXPECT_EQ(ValuesOfType(tokens, TokenType::kHashtag),
+            (std::vector<std::string>{"redsox", "yankee_stadium"}));
+}
+
+TEST(TokenizerTest, MentionsExtracted) {
+  auto tokens = Tokenize("RT @AmalieBenjamin: Lester down");
+  EXPECT_EQ(ValuesOfType(tokens, TokenType::kMention),
+            (std::vector<std::string>{"amaliebenjamin"}));
+}
+
+TEST(TokenizerTest, SchemeUrlsSurviveIntact) {
+  auto tokens = Tokenize("photos here http://bit.ly/Uvcpr now");
+  EXPECT_EQ(ValuesOfType(tokens, TokenType::kUrl),
+            (std::vector<std::string>{"http://bit.ly/uvcpr"}));
+}
+
+TEST(TokenizerTest, BareShortLinksRecognized) {
+  auto tokens = Tokenize("see bit.ly/34i and ow.ly/kq3");
+  EXPECT_EQ(ValuesOfType(tokens, TokenType::kUrl),
+            (std::vector<std::string>{"bit.ly/34i", "ow.ly/kq3"}));
+}
+
+TEST(TokenizerTest, UrlTrailingPunctuationTrimmed) {
+  auto tokens = Tokenize("look: http://example.com/x.");
+  EXPECT_EQ(ValuesOfType(tokens, TokenType::kUrl),
+            (std::vector<std::string>{"http://example.com/x"}));
+}
+
+TEST(TokenizerTest, TrailingWordPunctuationStripped) {
+  auto tokens = Tokenize("argh!! unbelievable!!! ugh.");
+  EXPECT_EQ(ValuesOfType(tokens, TokenType::kWord),
+            (std::vector<std::string>{"argh", "unbelievable", "ugh"}));
+}
+
+TEST(TokenizerTest, ApostrophesKeptInsideWords) {
+  auto tokens = Tokenize("can't believe it's 'quoted'");
+  EXPECT_EQ(ValuesOfType(tokens, TokenType::kWord),
+            (std::vector<std::string>{"can't", "believe", "it's",
+                                      "quoted"}));
+}
+
+TEST(TokenizerTest, HashSigilWithoutNameIsNotHashtag) {
+  auto tokens = Tokenize("# lonely sigil @ too");
+  EXPECT_TRUE(ValuesOfType(tokens, TokenType::kHashtag).empty());
+  EXPECT_TRUE(ValuesOfType(tokens, TokenType::kMention).empty());
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceInputs) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   \t\n ").empty());
+  EXPECT_TRUE(Tokenize("!!! ... ???").empty());
+}
+
+TEST(TokenizerTest, NumbersAreWords) {
+  auto tokens = Tokenize("win 7 to 3");
+  EXPECT_EQ(ValuesOfType(tokens, TokenType::kWord),
+            (std::vector<std::string>{"win", "7", "to", "3"}));
+}
+
+TEST(TokenizerTest, MixedRealisticTweet) {
+  auto tokens = Tokenize(
+      "#Redsox - glee ! - I put up awesome NY Yankee Stadium photos - "
+      "Yankees - MLB - http://bit.ly/Uvcpr");
+  EXPECT_EQ(ValuesOfType(tokens, TokenType::kHashtag),
+            (std::vector<std::string>{"redsox"}));
+  EXPECT_EQ(ValuesOfType(tokens, TokenType::kUrl),
+            (std::vector<std::string>{"http://bit.ly/uvcpr"}));
+  auto words = ValuesOfType(tokens, TokenType::kWord);
+  EXPECT_NE(std::find(words.begin(), words.end(), "yankees"),
+            words.end());
+}
+
+TEST(TokenizerTest, TokenizeWordsConvenience) {
+  EXPECT_EQ(TokenizeWords("Hello #tag @user World"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+}  // namespace
+}  // namespace microprov

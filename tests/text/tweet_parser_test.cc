@@ -1,0 +1,135 @@
+#include "text/tweet_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace microprov {
+namespace {
+
+TEST(TweetParserTest, SimpleMessageIndicants) {
+  ParsedTweet p = ParseTweet(
+      "#Redsox - glee ! - I put up awesome NY Yankee Stadium photos - "
+      "Yankees - MLB - http://bit.ly/Uvcpr");
+  EXPECT_EQ(p.hashtags, (std::vector<std::string>{"redsox"}));
+  EXPECT_EQ(p.urls, (std::vector<std::string>{"http://bit.ly/uvcpr"}));
+  EXPECT_FALSE(p.is_retweet);
+  // "yankee" appears twice (Yankee, Yankees) but is deduped post-stemming.
+  int yankee_count = 0;
+  for (const auto& kw : p.keywords) {
+    if (kw == "yanke") ++yankee_count;
+  }
+  EXPECT_EQ(yankee_count, 1);
+}
+
+TEST(TweetParserTest, RtWithComment) {
+  // The paper's Table I example.
+  ParsedTweet p = ParseTweet(
+      "Classy. Way it should be RT @AmalieBenjamin: Lester getting an "
+      "ovation from the #Yankee Stadium crowd as he gets to his feet. "
+      "#redsox");
+  EXPECT_TRUE(p.is_retweet);
+  EXPECT_EQ(p.retweet_of_user, "amaliebenjamin");
+  EXPECT_EQ(p.comment, "Classy. Way it should be");
+  EXPECT_EQ(p.quoted_text.substr(0, 14), "Lester getting");
+  EXPECT_EQ(p.hashtags, (std::vector<std::string>{"yankee", "redsox"}));
+}
+
+TEST(TweetParserTest, NestedRtTakesFirstMarker) {
+  ParsedTweet p = ParseTweet(
+      "WHEW!! RT @MLB: RT @IanMBrowne X-rays on Lester negative. #redsox");
+  EXPECT_TRUE(p.is_retweet);
+  EXPECT_EQ(p.retweet_of_user, "mlb");
+  EXPECT_EQ(p.comment, "WHEW!!");
+}
+
+TEST(TweetParserTest, LeadingRtHasEmptyComment) {
+  ParsedTweet p = ParseTweet("RT @user1: original text here");
+  EXPECT_TRUE(p.is_retweet);
+  EXPECT_EQ(p.retweet_of_user, "user1");
+  EXPECT_EQ(p.comment, "");
+  EXPECT_EQ(p.quoted_text, "original text here");
+}
+
+TEST(TweetParserTest, LowercaseRtMarker) {
+  ParsedTweet p = ParseTweet("so true rt @someone: yes indeed");
+  EXPECT_TRUE(p.is_retweet);
+  EXPECT_EQ(p.retweet_of_user, "someone");
+}
+
+TEST(TweetParserTest, RtWithoutColon) {
+  ParsedTweet p = ParseTweet("RT @bren924 great game tonight");
+  EXPECT_TRUE(p.is_retweet);
+  EXPECT_EQ(p.retweet_of_user, "bren924");
+  EXPECT_EQ(p.quoted_text, "great game tonight");
+}
+
+TEST(TweetParserTest, WordContainingRtIsNotMarker) {
+  ParsedTweet p = ParseTweet("start @user art things");
+  EXPECT_FALSE(p.is_retweet);
+}
+
+TEST(TweetParserTest, RtWithoutMentionIsNotRetweet) {
+  ParsedTweet p = ParseTweet("RT this if you agree");
+  EXPECT_FALSE(p.is_retweet);
+}
+
+TEST(TweetParserTest, ViaCredit) {
+  ParsedTweet p = ParseTweet("via @newswire big announcement today");
+  EXPECT_TRUE(p.is_retweet);
+  EXPECT_EQ(p.retweet_of_user, "newswire");
+}
+
+TEST(TweetParserTest, KeywordsAreStemmedAndFiltered) {
+  ParsedTweet p = ParseTweet("the players are winning games");
+  // "the"/"are" dropped; "players"->"player", "winning"->"win",
+  // "games"->"game".
+  EXPECT_EQ(p.keywords,
+            (std::vector<std::string>{"player", "win", "game"}));
+}
+
+TEST(TweetParserTest, KeywordStemmingCanBeDisabled) {
+  TweetParserOptions options;
+  options.stem_keywords = false;
+  ParsedTweet p = ParseTweet("winning games", options);
+  EXPECT_EQ(p.keywords, (std::vector<std::string>{"winning", "games"}));
+}
+
+TEST(TweetParserTest, StopwordFilterCanBeDisabled) {
+  TweetParserOptions options;
+  options.drop_stopwords = false;
+  options.stem_keywords = false;
+  ParsedTweet p = ParseTweet("the game", options);
+  EXPECT_EQ(p.keywords, (std::vector<std::string>{"the", "game"}));
+}
+
+TEST(TweetParserTest, OverlongTokensDropped) {
+  std::string spam(50, 'x');
+  ParsedTweet p = ParseTweet("hello " + spam);
+  EXPECT_EQ(p.keywords, (std::vector<std::string>{"hello"}));
+}
+
+TEST(TweetParserTest, MentionsCollected) {
+  ParsedTweet p = ParseTweet("hey @alice and @bob check this");
+  EXPECT_EQ(p.mentions, (std::vector<std::string>{"alice", "bob"}));
+}
+
+TEST(TweetParserTest, DuplicateIndicantsDeduped) {
+  ParsedTweet p = ParseTweet("#tag one #tag two #TAG");
+  EXPECT_EQ(p.hashtags, (std::vector<std::string>{"tag"}));
+}
+
+TEST(TweetParserTest, EmptyText) {
+  ParsedTweet p = ParseTweet("");
+  EXPECT_TRUE(p.hashtags.empty());
+  EXPECT_TRUE(p.keywords.empty());
+  EXPECT_FALSE(p.is_retweet);
+}
+
+TEST(TweetParserTest, ShortEmotionalNoise) {
+  // Fig. 1's noise examples still parse cleanly.
+  ParsedTweet p = ParseTweet("#redsox sigh!");
+  EXPECT_EQ(p.hashtags, (std::vector<std::string>{"redsox"}));
+  EXPECT_EQ(p.keywords, (std::vector<std::string>{"sigh"}));
+}
+
+}  // namespace
+}  // namespace microprov

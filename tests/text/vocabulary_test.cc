@@ -1,0 +1,70 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace microprov {
+namespace {
+
+TEST(VocabularyTest, AssignsDenseIdsInOrder) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.GetOrAdd("alpha"), 0u);
+  EXPECT_EQ(vocab.GetOrAdd("beta"), 1u);
+  EXPECT_EQ(vocab.GetOrAdd("gamma"), 2u);
+  EXPECT_EQ(vocab.size(), 3u);
+}
+
+TEST(VocabularyTest, GetOrAddIsIdempotent) {
+  Vocabulary vocab;
+  TermId a = vocab.GetOrAdd("term");
+  TermId b = vocab.GetOrAdd("term");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(vocab.size(), 1u);
+}
+
+TEST(VocabularyTest, FindWithoutInsert) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("present");
+  EXPECT_EQ(vocab.Find("present"), 0u);
+  EXPECT_EQ(vocab.Find("absent"), kInvalidTermId);
+  EXPECT_EQ(vocab.size(), 1u);
+}
+
+TEST(VocabularyTest, TermOfInvertsIds) {
+  Vocabulary vocab;
+  for (const char* w : {"x", "y", "z"}) vocab.GetOrAdd(w);
+  EXPECT_EQ(vocab.TermOf(0), "x");
+  EXPECT_EQ(vocab.TermOf(2), "z");
+}
+
+TEST(VocabularyTest, EmptyStringIsValidTerm) {
+  Vocabulary vocab;
+  TermId id = vocab.GetOrAdd("");
+  EXPECT_EQ(vocab.TermOf(id), "");
+  EXPECT_EQ(vocab.Find(""), id);
+}
+
+TEST(VocabularyTest, MemoryUsageGrows) {
+  Vocabulary vocab;
+  size_t empty = vocab.ApproxMemoryUsage();
+  for (int i = 0; i < 1000; ++i) {
+    vocab.GetOrAdd("some_longer_term_" + std::to_string(i));
+  }
+  EXPECT_GT(vocab.ApproxMemoryUsage(), empty + 1000 * 16);
+}
+
+TEST(VocabularyTest, ManyTermsStayConsistent) {
+  Vocabulary vocab;
+  for (int i = 0; i < 5000; ++i) {
+    vocab.GetOrAdd("t" + std::to_string(i));
+  }
+  EXPECT_EQ(vocab.size(), 5000u);
+  for (int i = 0; i < 5000; i += 123) {
+    std::string term = "t" + std::to_string(i);
+    TermId id = vocab.Find(term);
+    ASSERT_NE(id, kInvalidTermId);
+    EXPECT_EQ(vocab.TermOf(id), term);
+  }
+}
+
+}  // namespace
+}  // namespace microprov
