@@ -61,7 +61,8 @@ int Run(int argc, char** argv) {
       EngineOptions::ForConfig(IndexConfig::kFullIndex), &clock, nullptr);
   StreamReplayer replayer(&clock);
   Status st = replayer.Replay(
-      messages, [&](const Message& msg) { return engine.Ingest(msg); });
+      messages,
+      [&](const Message& msg) { return engine.Ingest(msg).status(); });
   if (!st.ok()) {
     std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
     return 1;
@@ -71,7 +72,8 @@ int Run(int argc, char** argv) {
   int failures = 0;
   for (const char* query : {"#cics ibm conference", "#tsunami samoa"}) {
     std::printf("\n=== query: %s ===\n", query);
-    auto results = processor.Search(query, 1, clock.Now());
+    auto results =
+        processor.Search({.text = query, .k = 1, .now = clock.Now()});
     if (results.empty()) {
       std::printf("no bundle found!\n");
       ++failures;

@@ -50,10 +50,9 @@ int Run(int argc, char** argv) {
   StreamReplayer replayer(&clock);
   Status st = replayer.Replay(messages, [&](const Message& msg) {
     flat.Add(msg);
-    IngestResult result;
-    Status ingest_st = engine.Ingest(msg, &result);
-    assigned[msg.id] = result.bundle;
-    return ingest_st;
+    StatusOr<IngestResult> result = engine.Ingest(msg);
+    if (result.ok()) assigned[msg.id] = result->bundle;
+    return result.status();
   });
   if (!st.ok()) {
     std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
@@ -110,7 +109,8 @@ int Run(int argc, char** argv) {
             : static_cast<double>(flat_rel) / flat_hits.size();
 
     t0 = MonotonicNanos();
-    auto bundle_hits = bundles.Search(qc.query, kPage, clock.Now());
+    auto bundle_hits =
+        bundles.Search({.text = qc.query, .k = kPage, .now = clock.Now()});
     bundle_ns += MonotonicNanos() - t0;
     // Messages surfaced by the bundle page = union of members of the
     // returned bundles.

@@ -1,0 +1,117 @@
+// Sharded ingestion scaling: end-to-end throughput of the service
+// layer's hash-partitioned pipeline (src/service) against shard count.
+//
+// Each shard owns a full single-writer ProvenanceEngine behind a bounded
+// queue; routing partitions the stream by strongest indicant. Beyond
+// thread parallelism, sharding shrinks each engine's summary index — a
+// message's candidate fetch scans ~1/N of the postings a single engine
+// would — so throughput scales even when cores are scarce.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/clock.h"
+#include "common/string_util.h"
+#include "harness.h"
+#include "service/sharded_engine.h"
+
+namespace microprov {
+namespace bench {
+namespace {
+
+struct RunResult {
+  double secs = 0;
+  double msgs_per_sec = 0;
+  uint64_t blocked_pushes = 0;
+  size_t pool_bundles = 0;
+  double match_secs = 0;
+  double placement_secs = 0;
+  double refinement_secs = 0;
+};
+
+RunResult RunOnce(const std::vector<Message>& messages, size_t num_shards,
+                  const BenchOptions& options) {
+  ShardedEngineOptions sharded_options;
+  sharded_options.num_shards = num_shards;
+  // ShardSlice divides the total budget: every configuration holds the
+  // same total number of live bundles (constant memory) and scores the
+  // same fraction of its pool per message, which is what makes the
+  // comparison fair — and is where the scaling comes from: each shard's
+  // summary index covers ~1/N of the bundle pool, so the match stage
+  // (the ingest hot spot) fetches and scores ~1/N the candidates.
+  sharded_options.engine =
+      EngineOptions::ForConfig(IndexConfig::kPartialIndex,
+                               options.EffectivePoolLimit())
+          .ShardSlice(num_shards);
+  ShardedEngine sharded(sharded_options);
+
+  int64_t t0 = MonotonicNanos();
+  for (const Message& msg : messages) {
+    Status st = sharded.Submit(msg);
+    if (!st.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n", st.ToString().c_str());
+      return {};
+    }
+  }
+  Status st = sharded.Drain();
+  if (!st.ok()) {
+    std::fprintf(stderr, "drain failed: %s\n", st.ToString().c_str());
+    return {};
+  }
+  int64_t elapsed = MonotonicNanos() - t0;
+
+  RunResult result;
+  result.secs = elapsed / 1e9;
+  result.msgs_per_sec =
+      messages.size() / (result.secs > 0 ? result.secs : 1);
+  for (size_t i = 0; i < sharded.num_shards(); ++i) {
+    result.blocked_pushes += sharded.shard_stats(i).blocked_pushes;
+    const StageTimers& timers = sharded.shard(i).timers();
+    result.match_secs += timers.bundle_match_secs();
+    result.placement_secs += timers.message_placement_secs();
+    result.refinement_secs += timers.memory_refinement_secs();
+  }
+  result.pool_bundles = sharded.TotalPoolSize();
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  BenchOptions options = ParseArgs(argc, argv, /*default_messages=*/120000);
+  std::vector<Message> messages = GetDataset(options);
+  PrintBanner("bench_sharded_ingest",
+              "service layer: sharded ingest throughput vs shard count",
+              options, messages);
+
+  SeriesTable table({"shards", "secs", "msgs_per_sec", "speedup"});
+  double base_rate = 0;
+  for (size_t shards : {1, 2, 4, 8}) {
+    RunResult r = RunOnce(messages, shards, options);
+    if (r.msgs_per_sec == 0) return 1;
+    if (shards == 1) base_rate = r.msgs_per_sec;
+    table.AddRow({StringPrintf("%zu", shards),
+                  StringPrintf("%.2f", r.secs),
+                  StringPrintf("%.0f", r.msgs_per_sec),
+                  StringPrintf("%.2fx", r.msgs_per_sec / base_rate)});
+    std::printf("  %zu shard(s): %.2fs, %.0f msgs/sec, %zu live "
+                "bundles, %llu blocked pushes\n",
+                shards, r.secs, r.msgs_per_sec, r.pool_bundles,
+                (unsigned long long)r.blocked_pushes);
+    std::printf("      stages: match %.2fs, placement %.2fs, "
+                "refinement %.2fs (engine total %.2fs)\n",
+                r.match_secs, r.placement_secs, r.refinement_secs,
+                r.match_secs + r.placement_secs + r.refinement_secs);
+  }
+  EmitTable(table, "sharded_ingest", options);
+  std::printf("shape check: throughput rises with shard count — "
+              "partitioned summary indexes shrink per-message candidate "
+              "fetch even on a single core\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace microprov
+
+int main(int argc, char** argv) {
+  return microprov::bench::Run(argc, argv);
+}

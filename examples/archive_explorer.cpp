@@ -66,7 +66,8 @@ int main(int argc, char** argv) {
         &clock, store.get());
     StreamReplayer replayer(&clock);
     Status st = replayer.Replay(
-        messages, [&](const Message& msg) { return engine.Ingest(msg); });
+        messages,
+        [&](const Message& msg) { return engine.Ingest(msg).status(); });
     if (!st.ok()) return Fail("ingest", st);
     st = engine.Drain();
     if (!st.ok()) return Fail("drain", st);
@@ -93,7 +94,8 @@ int main(int argc, char** argv) {
       EngineOptions::ForConfig(IndexConfig::kPartialIndex, 800), &clock,
       store.get());
   BundleQueryProcessor query(&engine, QueryWeights{}, store.get());
-  auto results = query.Search("#sumatra quake", 3, clock.Now());
+  auto results =
+      query.Search({.text = "#sumatra quake", .k = 3, .now = clock.Now()});
   std::printf("query '#sumatra quake' -> %zu result(s), all from disk\n",
               results.size());
   for (const auto& hit : results) {

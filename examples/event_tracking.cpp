@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
   StreamReplayer replayer(&clock);
   replayer.set_checkpoint_every(total / 8);
   replayer.set_checkpoint([&](uint64_t seen, Timestamp now) {
-    auto hits = query.Search("#tsunami", 1, now);
+    auto hits = query.Search({.text = "#tsunami", .k = 1, .now = now});
     if (hits.empty()) {
       std::printf("[%s] %8llu msgs: event not seen yet\n",
                   FormatTimestamp(now).c_str(), (unsigned long long)seen);
@@ -70,13 +70,15 @@ int main(int argc, char** argv) {
     }
   });
   Status st = replayer.Replay(
-      messages, [&](const Message& msg) { return engine.Ingest(msg); });
+      messages,
+      [&](const Message& msg) { return engine.Ingest(msg).status(); });
   if (!st.ok()) {
     std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
     return 1;
   }
 
-  auto hits = query.Search("#tsunami samoa", 1, clock.Now());
+  auto hits =
+      query.Search({.text = "#tsunami samoa", .k = 1, .now = clock.Now()});
   if (hits.empty()) {
     std::fprintf(stderr, "event bundle not found\n");
     return 1;

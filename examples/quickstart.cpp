@@ -62,15 +62,15 @@ int main() {
                       .Text(raw.text)
                       .Build();
     clock.Advance(msg.date);
-    IngestResult result;
-    Status st = engine.Ingest(msg, &result);
-    if (!st.ok()) {
-      std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
+    StatusOr<IngestResult> result = engine.Ingest(msg);
+    if (!result.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   result.status().ToString().c_str());
       return 1;
     }
     std::printf("@%-15s -> bundle %llu%s\n", raw.user,
-                (unsigned long long)result.bundle,
-                result.created_bundle ? " (new)" : "");
+                (unsigned long long)result->bundle,
+                result->created_bundle ? " (new)" : "");
   }
 
   std::printf("\npool: %zu bundles, %llu messages, index keys: %zu\n\n",
@@ -86,7 +86,8 @@ int main() {
   QueryWeights weights;
   weights.quality_weight = 0.3;
   BundleQueryProcessor query(&engine, weights);
-  auto results = query.Search("yankee redsox", 3, clock.Now());
+  auto results =
+      query.Search({.text = "yankee redsox", .k = 3, .now = clock.Now()});
   std::printf("query 'yankee redsox' -> %zu bundle(s)\n", results.size());
   for (const auto& hit : results) {
     const Bundle* bundle = engine.pool().Get(hit.bundle);

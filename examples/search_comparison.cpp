@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   StreamReplayer replayer(&clock);
   Status st = replayer.Replay(messages, [&](const Message& msg) {
     flat.Add(msg);
-    return engine.Ingest(msg);
+    return engine.Ingest(msg).status();
   });
   if (!st.ok()) {
     std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
@@ -71,7 +71,8 @@ int main(int argc, char** argv) {
   std::printf("%-10s %-40s %-5s %s\n", "bundle", "summary words", "size",
               "last post");
   BundleQueryProcessor bundles(&engine);
-  for (const auto& hit : bundles.Search(query_text, 5, clock.Now())) {
+  for (const auto& hit :
+       bundles.Search({.text = query_text, .k = 5, .now = clock.Now()})) {
     std::string words;
     for (size_t i = 0; i < hit.summary_words.size() && i < 6; ++i) {
       if (!words.empty()) words += ", ";

@@ -77,7 +77,8 @@ int main(int argc, char** argv) {
     }
   });
   Status st = replayer.Replay(
-      messages, [&](const Message& msg) { return engine.Ingest(msg); });
+      messages,
+      [&](const Message& msg) { return engine.Ingest(msg).status(); });
   if (!st.ok()) {
     std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
     return 1;

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full test suite, then a
+# ThreadSanitizer build that re-runs the concurrency-sensitive tests
+# (bounded queue, sharded engine, service façade) to prove the sharded
+# ingestion pipeline is data-race free.
+#
+#   $ scripts/tier1.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "=== tier 1: build + ctest ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo
+echo "=== tier 1: TSan build + concurrency tests ==="
+cmake -B build-tsan -S . -DMICROPROV_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target microprov_tests
+./build-tsan/tests/microprov_tests \
+  --gtest_filter='BoundedSpscQueue*:RouteShard*:ShardedEngine*:Service*'
+
+echo
+echo "tier 1: all green"

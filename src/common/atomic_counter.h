@@ -1,0 +1,49 @@
+#ifndef MICROPROV_COMMON_ATOMIC_COUNTER_H_
+#define MICROPROV_COMMON_ATOMIC_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace microprov {
+
+/// Monotonic counter a worker thread bumps and any thread may read
+/// (service ingest statistics). Relaxed ordering: readers want a recent
+/// value, not a synchronization point — cross-thread visibility of the
+/// data the count describes is established elsewhere (the shard flush
+/// barrier).
+class AtomicCounter {
+ public:
+  AtomicCounter() = default;
+  AtomicCounter(const AtomicCounter&) = delete;
+  AtomicCounter& operator=(const AtomicCounter&) = delete;
+
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A timestamp high-water mark writable from one thread and readable from
+/// others (the service clock follows the newest message date seen).
+class AtomicWatermark {
+ public:
+  AtomicWatermark() = default;
+
+  /// Raises the mark to `t` if later than the current value.
+  void Advance(int64_t t) {
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (t > cur &&
+           !value_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
+    }
+  }
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_COMMON_ATOMIC_COUNTER_H_

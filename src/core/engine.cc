@@ -1,5 +1,7 @@
 #include "core/engine.h"
 
+#include <algorithm>
+
 #include "core/allocator.h"
 
 namespace microprov {
@@ -38,6 +40,26 @@ EngineOptions EngineOptions::ForConfig(IndexConfig config,
   return options;
 }
 
+EngineOptions EngineOptions::ShardSlice(size_t num_shards) const {
+  EngineOptions sliced = *this;
+  if (num_shards <= 1) return sliced;
+  // Floors keep a tiny slice functional: a shard still holds a working
+  // set of bundles and still scores more than a handful of candidates.
+  if (pool.max_pool_size > 0) {
+    sliced.pool.max_pool_size =
+        std::max<size_t>(64, pool.max_pool_size / num_shards);
+  }
+  if (matcher.max_candidates > 0) {
+    sliced.matcher.max_candidates =
+        std::max<size_t>(16, matcher.max_candidates / num_shards);
+  }
+  if (matcher.max_posting_fanout > 0) {
+    sliced.matcher.max_posting_fanout =
+        std::max<size_t>(64, matcher.max_posting_fanout / num_shards);
+  }
+  return sliced;
+}
+
 ProvenanceEngine::ProvenanceEngine(const EngineOptions& options,
                                    const Clock* clock,
                                    BundleArchive* archive)
@@ -50,7 +72,7 @@ ProvenanceEngine::ProvenanceEngine(const EngineOptions& options,
   }
 }
 
-Status ProvenanceEngine::Ingest(const Message& msg, IngestResult* result) {
+StatusOr<IngestResult> ProvenanceEngine::Ingest(const Message& msg) {
   const Timestamp now = clock_->Now();
   IngestResult local;
   Bundle* bundle = nullptr;
@@ -112,7 +134,13 @@ Status ProvenanceEngine::Ingest(const Message& msg, IngestResult* result) {
   }
 
   ++ingested_;
-  if (result != nullptr) *result = local;
+  return local;
+}
+
+Status ProvenanceEngine::Ingest(const Message& msg, IngestResult* result) {
+  StatusOr<IngestResult> result_or = Ingest(msg);
+  if (!result_or.ok()) return result_or.status();
+  if (result != nullptr) *result = *result_or;
   return Status::OK();
 }
 

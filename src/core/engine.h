@@ -6,6 +6,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/statusor.h"
 #include "core/edge_log.h"
 #include "core/matcher.h"
 #include "core/pool.h"
@@ -41,6 +42,16 @@ struct EngineOptions {
   static EngineOptions ForConfig(IndexConfig config,
                                  size_t pool_limit = 10000,
                                  size_t bundle_cap = 300);
+
+  /// Per-shard options for an N-way partitioned deployment
+  /// (microprov::Service): these options describe the *total* budget,
+  /// and the slice divides everything that is defined relative to the
+  /// pool — the pool limit itself plus the matcher's candidate and
+  /// posting-fanout caps — so N shards together hold the same number of
+  /// live bundles and score the same fraction of their pool per message
+  /// as one engine would. Leaving the matcher caps absolute would make
+  /// every shard do baseline-sized match work over a pool 1/N the size.
+  EngineOptions ShardSlice(size_t num_shards) const;
 };
 
 /// Result of ingesting one message.
@@ -50,6 +61,11 @@ struct IngestResult {
   MessageId parent = kInvalidMessageId;
   ConnectionType connection = ConnectionType::kText;
   double match_score = 0.0;
+  /// Shard the message was routed to (microprov::Service). Always 0 for
+  /// a direct single-engine ingest. When the service ingests
+  /// asynchronously, `bundle` stays kInvalidBundleId — placement is
+  /// resolved on the shard's worker thread after this result returns.
+  uint32_t shard = 0;
 };
 
 /// The provenance-based indexing engine (Fig. 4): an in-memory summary
@@ -71,8 +87,12 @@ class ProvenanceEngine {
   ProvenanceEngine& operator=(const ProvenanceEngine&) = delete;
 
   /// Alg. 1 end-to-end: match -> allocate (Alg. 2) -> index update ->
-  /// maybe refine (Alg. 3).
-  Status Ingest(const Message& msg, IngestResult* result = nullptr);
+  /// maybe refine (Alg. 3). Returns where the message landed.
+  StatusOr<IngestResult> Ingest(const Message& msg);
+
+  /// Out-parameter form kept for source compatibility only.
+  [[deprecated("use StatusOr<IngestResult> Ingest(const Message&)")]]
+  Status Ingest(const Message& msg, IngestResult* result);
 
   /// Flushes every live bundle to the archive (end-of-stream).
   Status Drain();
@@ -82,6 +102,7 @@ class ProvenanceEngine {
   const EdgeLog& edge_log() const { return edge_log_; }
   const StageTimers& timers() const { return timers_; }
   const EngineOptions& options() const { return options_; }
+  BundleArchive* archive() const { return archive_; }
   uint64_t messages_ingested() const { return ingested_; }
 
   /// In-memory footprint: pool + summary index (Fig. 11(a)).

@@ -41,7 +41,8 @@ StatusOr<RunResult> RunEngine(const std::vector<Message>& messages,
   });
 
   Status st = replayer.Replay(
-      messages, [&](const Message& msg) { return engine.Ingest(msg); });
+      messages,
+      [&](const Message& msg) { return engine.Ingest(msg).status(); });
   if (!st.ok()) return st;
 
   result.edges = engine.edge_log();

@@ -39,9 +39,11 @@ size_t MessageSearchIndex::ApproxMemoryUsage() const {
 }
 
 std::vector<BundleSearchResult> BundleQueryProcessor::Search(
-    const std::string& query, size_t k, Timestamp now,
-    const SearchFilters& filters) const {
-  ParsedQuery parsed = ParseQuery(query);
+    const BundleQuery& query) const {
+  const size_t k = query.k;
+  const Timestamp now = query.now;
+  const SearchFilters& filters = query.filters;
+  ParsedQuery parsed = ParseQuery(query.text);
   if (parsed.empty()) return {};
 
   auto passes = [&](const Bundle& bundle) {
@@ -86,10 +88,12 @@ std::vector<BundleSearchResult> BundleQueryProcessor::Search(
     }
   }
 
+  const size_t total_bundles =
+      query.total_bundles > 0 ? query.total_bundles : pool.size();
   auto make_result = [&](const Bundle& bundle, bool archived) {
     BundleSearchResult result;
     result.bundle = bundle.id();
-    result.score = BundleRelevance(parsed, bundle, index, pool.size(),
+    result.score = BundleRelevance(parsed, bundle, index, total_bundles,
                                    now, weights_);
     result.size = bundle.size();
     result.last_post = bundle.end_time();
@@ -136,6 +140,38 @@ std::vector<BundleSearchResult> BundleQueryProcessor::Search(
                     });
   results.resize(take);
   return results;
+}
+
+std::vector<BundleSearchResult> BundleQueryProcessor::SearchShards(
+    const std::vector<const BundleQueryProcessor*>& shards,
+    const BundleQuery& query) {
+  BundleQuery shard_query = query;
+  if (shard_query.total_bundles == 0) {
+    for (const BundleQueryProcessor* shard : shards) {
+      if (shard != nullptr) {
+        shard_query.total_bundles += shard->engine_->pool().size();
+      }
+    }
+  }
+
+  std::vector<BundleSearchResult> merged;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (shards[i] == nullptr) continue;
+    for (BundleSearchResult& hit : shards[i]->Search(shard_query)) {
+      hit.shard = static_cast<uint32_t>(i);
+      merged.push_back(std::move(hit));
+    }
+  }
+  size_t take = std::min(query.k, merged.size());
+  std::partial_sort(merged.begin(), merged.begin() + take, merged.end(),
+                    [](const BundleSearchResult& a,
+                       const BundleSearchResult& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      if (a.shard != b.shard) return a.shard < b.shard;
+                      return a.bundle < b.bundle;
+                    });
+  merged.resize(take);
+  return merged;
 }
 
 }  // namespace microprov

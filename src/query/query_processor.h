@@ -24,6 +24,9 @@ struct BundleSearchResult {
   /// True when the bundle was served from the on-disk archive rather
   /// than the live pool.
   bool archived = false;
+  /// Which shard answered, for results produced by cross-shard fan-out
+  /// (SearchShards / microprov::Service). Always 0 for a single engine.
+  uint32_t shard = 0;
 };
 
 /// One row of the paper's Fig. 1 flat search: a single message.
@@ -68,6 +71,25 @@ struct SearchFilters {
   bool include_archived = true;
 };
 
+/// A bundle retrieval request (the paper's Fig. 2 search box). One
+/// struct replaces the former (query, k, now) / (query, k, now, filters)
+/// overload pair; build with designated initializers:
+///
+///   processor.Search({.text = "#redsox", .k = 5, .now = clock.Now()});
+struct BundleQuery {
+  /// Free-text query; parsed like message text (stemming, '#tag', URLs).
+  std::string text;
+  /// Result-page size.
+  size_t k = 10;
+  /// Query time for Eq. 7 freshness; callers pass the stream clock.
+  Timestamp now = 0;
+  SearchFilters filters;
+  /// Bundle population used for IDF normalization in the text score
+  /// (0 = the engine's own live pool size). Cross-shard fan-out sets the
+  /// global bundle count here so per-shard scores stay comparable.
+  size_t total_bundles = 0;
+};
+
 /// Bundle retrieval (Section V-C): queries return ranked provenance
 /// bundles from the engine's live pool, scored by Eq. 7. With an
 /// attached BundleStore, bundles that refinement moved to disk are
@@ -79,18 +101,20 @@ class BundleQueryProcessor {
                                 BundleStore* archive = nullptr)
       : engine_(engine), weights_(weights), archive_(archive) {}
 
-  /// Top-k bundles for `query` as of time `now`. Candidates are fetched
-  /// through the summary index (term -> bundle postings), so cost scales
-  /// with matching bundles, not pool size.
-  std::vector<BundleSearchResult> Search(const std::string& query,
-                                         size_t k, Timestamp now) const {
-    return Search(query, k, now, SearchFilters{});
-  }
+  /// Top-k bundles for the request. Candidates are fetched through the
+  /// summary index (term -> bundle postings), so cost scales with
+  /// matching bundles, not pool size.
+  std::vector<BundleSearchResult> Search(const BundleQuery& query) const;
 
-  /// As above with result filters applied before ranking.
-  std::vector<BundleSearchResult> Search(
-      const std::string& query, size_t k, Timestamp now,
-      const SearchFilters& filters) const;
+  /// Cross-shard fan-out: runs `query` against every processor (one per
+  /// shard of a ShardedEngine), tags each hit with its shard index, and
+  /// merges the per-shard top-k into a single top-k by Eq. 7 score.
+  /// Scores use the combined live-bundle count across shards, so the
+  /// merge is order-equivalent to a single engine holding the union —
+  /// modulo bundles the shard routing split (see DESIGN.md).
+  static std::vector<BundleSearchResult> SearchShards(
+      const std::vector<const BundleQueryProcessor*>& shards,
+      const BundleQuery& query);
 
   /// Cap on archived bundles decoded per query (point reads from disk).
   static constexpr size_t kMaxArchivedCandidates = 64;

@@ -1,0 +1,118 @@
+#include "service/service.h"
+
+#include "common/env.h"
+#include "common/string_util.h"
+
+namespace microprov {
+
+Service::Service(const ServiceOptions& options) : options_(options) {}
+
+StatusOr<std::unique_ptr<Service>> Service::Open(
+    const ServiceOptions& options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (options.queue_capacity == 0) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  std::unique_ptr<Service> service(new Service(options));
+
+  std::vector<BundleArchive*> archives;
+  if (!options.archive_dir.empty()) {
+    MICROPROV_RETURN_IF_ERROR(
+        Env::Default()->CreateDirIfMissing(options.archive_dir));
+    for (size_t i = 0; i < options.num_shards; ++i) {
+      BundleStore::Options store_options;
+      store_options.dir =
+          StringPrintf("%s/shard-%zu", options.archive_dir.c_str(), i);
+      auto store_or = BundleStore::Open(store_options);
+      if (!store_or.ok()) return store_or.status();
+      archives.push_back(store_or->get());
+      service->stores_.push_back(std::move(*store_or));
+    }
+  }
+
+  ShardedEngineOptions sharded_options;
+  sharded_options.num_shards = options.num_shards;
+  sharded_options.queue_capacity = options.queue_capacity;
+  sharded_options.max_batch = options.max_batch;
+  // ServiceOptions::engine describes the whole deployment; each shard
+  // gets a 1/N slice of the pool budget and the pool-relative matcher
+  // caps so total memory and per-message selectivity stay what the
+  // caller configured regardless of shard count.
+  sharded_options.engine = options.engine.ShardSlice(options.num_shards);
+  service->sharded_ = std::make_unique<ShardedEngine>(sharded_options,
+                                                      std::move(archives));
+  return service;
+}
+
+Service::~Service() = default;
+
+StatusOr<IngestResult> Service::Ingest(const Message& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (drained_) {
+    return Status::FailedPrecondition("Service already drained");
+  }
+  uint32_t shard = 0;
+  MICROPROV_RETURN_IF_ERROR(sharded_->Submit(msg, &shard));
+  clock_.Advance(msg.date);
+  IngestResult result;
+  result.shard = shard;
+  return result;
+}
+
+StatusOr<std::vector<BundleSearchResult>> Service::Search(
+    const BundleQuery& query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Quiesce: every accepted message must be visible to the query.
+  if (!drained_) {
+    MICROPROV_RETURN_IF_ERROR(sharded_->Flush());
+  }
+
+  std::vector<BundleQueryProcessor> processors;
+  processors.reserve(sharded_->num_shards());
+  for (size_t i = 0; i < sharded_->num_shards(); ++i) {
+    BundleStore* store = i < stores_.size() ? stores_[i].get() : nullptr;
+    processors.emplace_back(&sharded_->shard(i), options_.weights, store);
+  }
+  std::vector<const BundleQueryProcessor*> shard_ptrs;
+  shard_ptrs.reserve(processors.size());
+  for (const auto& p : processors) shard_ptrs.push_back(&p);
+
+  BundleQuery effective = query;
+  if (effective.now == 0) effective.now = clock_.value();
+  return BundleQueryProcessor::SearchShards(shard_ptrs, effective);
+}
+
+Status Service::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (drained_) return Status::OK();
+  return sharded_->Flush();
+}
+
+Status Service::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (drained_) return Status::OK();
+  MICROPROV_RETURN_IF_ERROR(sharded_->Drain());
+  for (auto& store : stores_) {
+    MICROPROV_RETURN_IF_ERROR(store->Flush());
+  }
+  drained_ = true;
+  return Status::OK();
+}
+
+ServiceStats Service::Stats() const {
+  ServiceStats stats;
+  stats.messages_ingested = sharded_->messages_ingested();
+  stats.live_bundles = sharded_->TotalPoolSize();
+  stats.memory_bytes = sharded_->ApproxMemoryUsage();
+  for (const auto& store : stores_) {
+    stats.archived_bundles += store->bundle_count();
+  }
+  for (size_t i = 0; i < sharded_->num_shards(); ++i) {
+    stats.shards.push_back(sharded_->shard_stats(i));
+  }
+  return stats;
+}
+
+}  // namespace microprov

@@ -1,0 +1,117 @@
+#ifndef MICROPROV_SERVICE_SERVICE_H_
+#define MICROPROV_SERVICE_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "query/query_processor.h"
+#include "service/sharded_engine.h"
+#include "storage/bundle_store.h"
+
+namespace microprov {
+
+/// Configuration for microprov::Service.
+struct ServiceOptions {
+  /// Ingestion partitions (see ShardedEngineOptions).
+  size_t num_shards = 4;
+  size_t queue_capacity = 1024;
+  size_t max_batch = 64;
+  /// Engine configuration for the deployment as a whole: the pool limit
+  /// is the *total* live-bundle budget. Open() hands each shard a 1/N
+  /// slice (EngineOptions::ShardSlice), so memory and per-message match
+  /// work stay what you configured regardless of num_shards.
+  EngineOptions engine;
+  /// Eq. 7 ranking weights used by Search.
+  QueryWeights weights;
+  /// When non-empty, each shard gets an on-disk BundleStore under
+  /// `<archive_dir>/shard-<i>`; bundles leaving memory (refinement,
+  /// Drain) land there and stay searchable.
+  std::string archive_dir;
+};
+
+/// Aggregate service statistics.
+struct ServiceStats {
+  uint64_t messages_ingested = 0;
+  size_t live_bundles = 0;
+  uint64_t archived_bundles = 0;
+  size_t memory_bytes = 0;
+  std::vector<ShardStatsSnapshot> shards;
+};
+
+/// The one public entry point to microprov: owns the clock, the
+/// sharded ingestion pipeline, the per-shard archives, and the query
+/// path, so callers no longer wire ProvenanceEngine +
+/// BundleQueryProcessor + BundleStore by hand.
+///
+///   auto service_or = Service::Open({.num_shards = 4});
+///   service->Ingest(msg);                                // non-blocking*
+///   service->Search({.text = "#redsox", .k = 10});       // quiesces first
+///   service->Drain();                                    // end-of-stream
+///
+/// (*) Ingest enqueues onto the message's shard and returns; it blocks
+/// only when that shard's queue is full (backpressure). The returned
+/// IngestResult therefore reports the routing decision (`shard`), not
+/// the bundle placement, which the shard worker resolves asynchronously
+/// — callers needing per-message placement use ProvenanceEngine
+/// directly.
+///
+/// Thread contract: Service calls are serialized internally; any thread
+/// may call them, one at a time. Search flushes the ingest queues
+/// before reading shard state, so results always reflect every message
+/// already ingested.
+class Service {
+ public:
+  static StatusOr<std::unique_ptr<Service>> Open(
+      const ServiceOptions& options);
+
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Routes the message to its shard and enqueues it, blocking on a full
+  /// queue. Fails with FailedPrecondition after Drain().
+  StatusOr<IngestResult> Ingest(const Message& msg);
+
+  /// Cross-shard top-k bundle retrieval. A zero `query.now` defaults to
+  /// the service clock (latest ingested message date).
+  StatusOr<std::vector<BundleSearchResult>> Search(const BundleQuery& query);
+
+  /// Barrier: returns once every accepted message is ingested.
+  Status Flush();
+
+  /// End-of-stream: flushes, stops shard workers, and (with an archive
+  /// configured) moves every live bundle to disk. Search keeps working
+  /// afterwards; Ingest does not. Idempotent.
+  Status Drain();
+
+  /// The service clock: date of the newest message accepted by Ingest.
+  Timestamp Now() const { return clock_.value(); }
+
+  size_t num_shards() const { return sharded_->num_shards(); }
+
+  /// Read-only view of the pipeline (tests, benches). Only safe to
+  /// inspect shard engines after Flush()/Drain().
+  const ShardedEngine& sharded() const { return *sharded_; }
+
+  ServiceStats Stats() const;
+
+ private:
+  explicit Service(const ServiceOptions& options);
+
+  ServiceOptions options_;
+  /// Serializes Ingest/Search/Flush/Drain.
+  std::mutex mu_;
+  AtomicWatermark clock_;
+  std::vector<std::unique_ptr<BundleStore>> stores_;
+  std::unique_ptr<ShardedEngine> sharded_;
+  bool drained_ = false;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_SERVICE_SERVICE_H_

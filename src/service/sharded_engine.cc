@@ -1,0 +1,153 @@
+#include "service/sharded_engine.h"
+
+#include "common/hash.h"
+
+namespace microprov {
+
+uint32_t RouteShard(const Message& msg, size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  std::string_view key;
+  if (msg.is_retweet && !msg.retweet_of_user.empty()) {
+    key = msg.retweet_of_user;
+  } else if (!msg.urls.empty()) {
+    key = msg.urls.front();
+  } else if (!msg.hashtags.empty()) {
+    key = msg.hashtags.front();
+  } else {
+    key = msg.user;
+  }
+  return static_cast<uint32_t>(Fnv1a64(key) % num_shards);
+}
+
+ShardedEngine::ShardedEngine(const ShardedEngineOptions& options,
+                             std::vector<BundleArchive*> archives)
+    : options_(options) {
+  const size_t n = options_.num_shards == 0 ? 1 : options_.num_shards;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    BundleArchive* archive =
+        i < archives.size() ? archives[i] : nullptr;
+    shards_.push_back(std::make_unique<Shard>(
+        options_.engine, archive, options_.queue_capacity));
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(s); });
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  // Stop workers without archiving; callers wanting a clean shutdown
+  // call Drain() first.
+  for (auto& shard : shards_) shard->queue.Close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+Status ShardedEngine::Submit(const Message& msg, uint32_t* shard_out) {
+  if (drained_) {
+    return Status::FailedPrecondition("ShardedEngine already drained");
+  }
+  const uint32_t idx = RouteShard(msg, shards_.size());
+  Shard& shard = *shards_[idx];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (!shard.error.ok()) return shard.error;
+    ++shard.in_flight;
+  }
+  if (!shard.queue.Push(msg)) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    --shard.in_flight;
+    return Status::FailedPrecondition("shard queue closed");
+  }
+  shard.enqueued.Add();
+  if (shard_out != nullptr) *shard_out = idx;
+  return Status::OK();
+}
+
+Status ShardedEngine::Flush() {
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    shard->all_ingested.wait(lock, [&] { return shard->in_flight == 0; });
+    if (!shard->error.ok()) return shard->error;
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::Drain() {
+  if (drained_) return Status::OK();
+  MICROPROV_RETURN_IF_ERROR(Flush());
+  for (auto& shard : shards_) shard->queue.Close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  drained_ = true;
+  // Workers are gone; engine access from this thread is now exclusive.
+  for (auto& shard : shards_) {
+    if (shard->engine.archive() != nullptr) {
+      MICROPROV_RETURN_IF_ERROR(shard->engine.Drain());
+    }
+  }
+  return Status::OK();
+}
+
+void ShardedEngine::WorkerLoop(Shard* shard) {
+  std::vector<Message> batch;
+  batch.reserve(options_.max_batch);
+  while (true) {
+    batch.clear();
+    const size_t n =
+        shard->queue.PopBatch(&batch, options_.max_batch);
+    if (n == 0) break;  // closed and empty
+    for (const Message& msg : batch) {
+      // Per-shard stream time: the newest date this shard has seen.
+      shard->clock.Advance(msg.date);
+      StatusOr<IngestResult> result = shard->engine.Ingest(msg);
+      if (result.ok()) {
+        shard->ingested.Add();
+      } else {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        if (shard->error.ok()) shard->error = result.status();
+      }
+    }
+    shard->batches.Add();
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->in_flight -= n;
+      if (shard->in_flight == 0) shard->all_ingested.notify_all();
+    }
+  }
+}
+
+ShardStatsSnapshot ShardedEngine::shard_stats(size_t i) const {
+  const Shard& shard = *shards_[i];
+  ShardStatsSnapshot snap;
+  snap.enqueued = shard.enqueued.value();
+  snap.ingested = shard.ingested.value();
+  snap.batches = shard.batches.value();
+  snap.blocked_pushes = shard.queue.blocked_pushes();
+  snap.queue_depth = shard.queue.size();
+  return snap;
+}
+
+uint64_t ShardedEngine::messages_ingested() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->ingested.value();
+  return total;
+}
+
+size_t ShardedEngine::TotalPoolSize() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->engine.pool().size();
+  return total;
+}
+
+size_t ShardedEngine::ApproxMemoryUsage() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->engine.ApproxMemoryUsage();
+  }
+  return total;
+}
+
+}  // namespace microprov

@@ -1,0 +1,140 @@
+#ifndef MICROPROV_SERVICE_SHARDED_ENGINE_H_
+#define MICROPROV_SERVICE_SHARDED_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/atomic_counter.h"
+#include "common/bounded_queue.h"
+#include "common/status.h"
+#include "core/engine.h"
+
+namespace microprov {
+
+/// Configuration for the sharded ingestion pipeline.
+struct ShardedEngineOptions {
+  /// Number of partitions; each owns a full ProvenanceEngine, a clock,
+  /// a bounded input queue, and one worker thread.
+  size_t num_shards = 4;
+  /// Per-shard queue bound; a full queue blocks the submitter
+  /// (backpressure) rather than dropping messages.
+  size_t queue_capacity = 1024;
+  /// Messages a worker dequeues per lock acquisition.
+  size_t max_batch = 64;
+  /// Engine configuration applied to every shard. Note pool limits are
+  /// per shard: N shards at limit M hold up to N*M live bundles total.
+  EngineOptions engine;
+};
+
+/// Point-in-time view of one shard's counters (readable while workers
+/// run; counts are monotonic and may trail the queue by a batch).
+struct ShardStatsSnapshot {
+  uint64_t enqueued = 0;
+  uint64_t ingested = 0;
+  uint64_t batches = 0;
+  /// Submit calls that blocked on a full queue (backpressure events).
+  uint64_t blocked_pushes = 0;
+  size_t queue_depth = 0;
+};
+
+/// Shard routing: hashes the message's strongest bundle indicant so
+/// messages likely to join the same bundle land on the same shard —
+/// the re-shared author for retweets, else the first URL, else the
+/// first hashtag, else the message author. Deterministic in the message
+/// alone (no global state), so a stream replays to the same placement.
+uint32_t RouteShard(const Message& msg, size_t num_shards);
+
+/// Hash-partitioned parallel ingestion over N single-writer
+/// ProvenanceEngine instances. The paper's engine is single-writer by
+/// design (the stream is totally ordered); this preserves that invariant
+/// per shard: each engine is mutated only by its own worker thread,
+/// fed through a bounded SPSC queue.
+///
+/// Threading contract:
+///   * Submit / Flush / Drain must be called from one thread at a time
+///     (the Service façade serializes them).
+///   * Reading shard engines (shard(), query fan-out) is only safe after
+///     Flush() or Drain() returned with no Submit since — the flush
+///     barrier establishes the necessary happens-before edge.
+class ShardedEngine {
+ public:
+  /// `archives` supplies one BundleArchive per shard (may be empty =
+  /// no disk back-end, or hold nullptr entries). Archives must outlive
+  /// the engine and are used exclusively by their shard's worker.
+  explicit ShardedEngine(const ShardedEngineOptions& options,
+                         std::vector<BundleArchive*> archives = {});
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Routes `msg` and enqueues it on its shard, blocking while that
+  /// shard's queue is full. Sets `*shard_out` (if non-null) to the shard
+  /// chosen. Fails after Drain() or once any shard worker reported an
+  /// ingest error.
+  Status Submit(const Message& msg, uint32_t* shard_out = nullptr);
+
+  /// Barrier: blocks until every submitted message has been fully
+  /// ingested. After it returns, shard engine state is safe to read
+  /// from the calling thread.
+  Status Flush();
+
+  /// End-of-stream: Flush, stop the workers, and (when a shard has an
+  /// archive) drain its live bundles to it. Idempotent.
+  Status Drain();
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// The shard's engine; see the threading contract above.
+  const ProvenanceEngine& shard(size_t i) const {
+    return shards_[i]->engine;
+  }
+
+  ShardStatsSnapshot shard_stats(size_t i) const;
+
+  /// Total messages ingested across shards (approximate while running).
+  uint64_t messages_ingested() const;
+
+  /// Live bundles across all shard pools (post-Flush).
+  size_t TotalPoolSize() const;
+
+  size_t ApproxMemoryUsage() const;
+
+ private:
+  struct Shard {
+    Shard(const EngineOptions& engine_options, BundleArchive* archive,
+          size_t queue_capacity)
+        : engine(engine_options, &clock, archive),
+          queue(queue_capacity) {}
+
+    /// Advanced only by the worker thread (per-shard stream time).
+    SimulatedClock clock;
+    ProvenanceEngine engine;
+    BoundedSpscQueue<Message> queue;
+    std::thread worker;
+
+    /// Flush barrier: messages submitted but not yet ingested.
+    std::mutex mu;
+    std::condition_variable all_ingested;
+    uint64_t in_flight = 0;
+    Status error;  // first worker-side ingest error, guarded by mu
+
+    AtomicCounter enqueued;
+    AtomicCounter ingested;
+    AtomicCounter batches;
+  };
+
+  void WorkerLoop(Shard* shard);
+
+  ShardedEngineOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool drained_ = false;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_SERVICE_SHARDED_ENGINE_H_

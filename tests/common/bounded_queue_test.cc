@@ -1,0 +1,113 @@
+#include "common/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace microprov {
+namespace {
+
+TEST(BoundedSpscQueueTest, PushThenPopBatchPreservesOrder) {
+  BoundedSpscQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.Push(i));
+  EXPECT_EQ(queue.size(), 5u);
+  std::vector<int> out;
+  EXPECT_EQ(queue.PopBatch(&out, 100), 5u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.total_pushed(), 5u);
+}
+
+TEST(BoundedSpscQueueTest, PopBatchRespectsMaxItems) {
+  BoundedSpscQueue<int> queue(8);
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(queue.Push(i));
+  std::vector<int> out;
+  EXPECT_EQ(queue.PopBatch(&out, 4), 4u);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.PopBatch(&out, 4), 2u);
+  EXPECT_EQ(out.size(), 6u);
+}
+
+TEST(BoundedSpscQueueTest, ZeroCapacityClampsToOne) {
+  BoundedSpscQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.Push(7));
+}
+
+TEST(BoundedSpscQueueTest, PopBatchBlocksUntilPush) {
+  BoundedSpscQueue<int> queue(4);
+  std::vector<int> out;
+  std::thread consumer([&] { EXPECT_EQ(queue.PopBatch(&out, 10), 1u); });
+  // The consumer is (very likely) parked in PopBatch by now; a push must
+  // wake it regardless.
+  EXPECT_TRUE(queue.Push(42));
+  consumer.join();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 42);
+}
+
+TEST(BoundedSpscQueueTest, FullQueueBlocksProducerAndCountsIt) {
+  BoundedSpscQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(0));  // fills the queue
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(1));  // must block until the consumer drains
+  });
+  // Wait until the producer has registered its blocked push, then drain.
+  while (queue.blocked_pushes() == 0) std::this_thread::yield();
+  std::vector<int> out;
+  EXPECT_GE(queue.PopBatch(&out, 10), 1u);
+  producer.join();
+  EXPECT_GE(queue.blocked_pushes(), 1u);
+  out.clear();
+  EXPECT_EQ(queue.PopBatch(&out, 10), 1u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(queue.total_pushed(), 2u);
+}
+
+TEST(BoundedSpscQueueTest, CloseDrainsThenSignalsExit) {
+  BoundedSpscQueue<int> queue(8);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.Push(3));  // rejected after close
+  std::vector<int> out;
+  EXPECT_EQ(queue.PopBatch(&out, 10), 2u);  // remaining items drain
+  EXPECT_EQ(queue.PopBatch(&out, 10), 0u);  // then 0 = closed-and-empty
+  EXPECT_EQ(queue.total_pushed(), 2u);
+}
+
+TEST(BoundedSpscQueueTest, CloseUnblocksWaitingProducer) {
+  BoundedSpscQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(0));
+  std::thread producer([&] {
+    EXPECT_FALSE(queue.Push(1));  // blocked, then woken by Close -> false
+  });
+  while (queue.blocked_pushes() == 0) std::this_thread::yield();
+  queue.Close();
+  producer.join();
+}
+
+TEST(BoundedSpscQueueTest, StressManyItemsThroughTinyQueue) {
+  BoundedSpscQueue<int> queue(2);
+  constexpr int kItems = 5000;
+  std::vector<int> got;
+  std::thread consumer([&] {
+    std::vector<int> batch;
+    while (true) {
+      batch.clear();
+      if (queue.PopBatch(&batch, 64) == 0) break;
+      got.insert(got.end(), batch.begin(), batch.end());
+    }
+  });
+  for (int i = 0; i < kItems; ++i) ASSERT_TRUE(queue.Push(i));
+  queue.Close();
+  consumer.join();
+  ASSERT_EQ(got.size(), static_cast<size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(got[i], i);  // FIFO held
+  EXPECT_EQ(queue.total_pushed(), static_cast<uint64_t>(kItems));
+}
+
+}  // namespace
+}  // namespace microprov

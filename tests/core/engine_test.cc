@@ -27,9 +27,9 @@ class EngineTest : public ::testing::Test {
         engine_(EngineOptions::ForConfig(IndexConfig::kFullIndex), &clock_,
                 nullptr) {}
 
-  Status Feed(const Message& msg, IngestResult* result = nullptr) {
+  StatusOr<IngestResult> Feed(const Message& msg) {
     clock_.Advance(msg.date);
-    return engine_.Ingest(msg, result);
+    return engine_.Ingest(msg);
   }
 
   SimulatedClock clock_;
@@ -37,54 +37,56 @@ class EngineTest : public ::testing::Test {
 };
 
 TEST_F(EngineTest, FirstMessageCreatesBundle) {
-  IngestResult result;
-  ASSERT_TRUE(Feed(MakeMessage(1, kTestEpoch, "u", {"tag"}), &result).ok());
-  EXPECT_TRUE(result.created_bundle);
-  EXPECT_NE(result.bundle, kInvalidBundleId);
-  EXPECT_EQ(result.parent, kInvalidMessageId);
+  StatusOr<IngestResult> result = Feed(MakeMessage(1, kTestEpoch, "u", {"tag"}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->created_bundle);
+  EXPECT_NE(result->bundle, kInvalidBundleId);
+  EXPECT_EQ(result->parent, kInvalidMessageId);
   EXPECT_EQ(engine_.pool().size(), 1u);
   EXPECT_EQ(engine_.messages_ingested(), 1u);
 }
 
 TEST_F(EngineTest, RelatedMessagesShareBundle) {
-  IngestResult r1, r2;
-  ASSERT_TRUE(Feed(MakeMessage(1, kTestEpoch, "u", {"redsox"}), &r1).ok());
-  ASSERT_TRUE(
-      Feed(MakeMessage(2, kTestEpoch + 60, "v", {"redsox"}), &r2).ok());
-  EXPECT_FALSE(r2.created_bundle);
-  EXPECT_EQ(r2.bundle, r1.bundle);
-  EXPECT_EQ(r2.parent, 1);
+  StatusOr<IngestResult> r1 =
+      Feed(MakeMessage(1, kTestEpoch, "u", {"redsox"}));
+  ASSERT_TRUE(r1.ok());
+  StatusOr<IngestResult> r2 =
+      Feed(MakeMessage(2, kTestEpoch + 60, "v", {"redsox"}));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->created_bundle);
+  EXPECT_EQ(r2->bundle, r1->bundle);
+  EXPECT_EQ(r2->parent, 1);
   EXPECT_EQ(engine_.pool().size(), 1u);
 }
 
 TEST_F(EngineTest, UnrelatedMessagesSplitBundles) {
-  IngestResult r1, r2;
-  ASSERT_TRUE(Feed(MakeMessage(1, kTestEpoch, "u", {"baseball"}), &r1).ok());
-  ASSERT_TRUE(
-      Feed(MakeMessage(2, kTestEpoch + 60, "v", {"tsunami"}), &r2).ok());
-  EXPECT_TRUE(r2.created_bundle);
-  EXPECT_NE(r2.bundle, r1.bundle);
+  StatusOr<IngestResult> r1 =
+      Feed(MakeMessage(1, kTestEpoch, "u", {"baseball"}));
+  ASSERT_TRUE(r1.ok());
+  StatusOr<IngestResult> r2 =
+      Feed(MakeMessage(2, kTestEpoch + 60, "v", {"tsunami"}));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->created_bundle);
+  EXPECT_NE(r2->bundle, r1->bundle);
   EXPECT_EQ(engine_.pool().size(), 2u);
 }
 
 TEST_F(EngineTest, RtChainBuildsTree) {
-  IngestResult r1, r2, r3;
-  ASSERT_TRUE(
-      Feed(MakeMessage(1, kTestEpoch, "alice", {"news"}), &r1).ok());
-  ASSERT_TRUE(Feed(MakeRetweet(2, kTestEpoch + 10, "bob", 1, "alice",
-                               {"news"}),
-                   &r2)
-                  .ok());
-  ASSERT_TRUE(Feed(MakeRetweet(3, kTestEpoch + 20, "carol", 2, "bob",
-                               {"news"}),
-                   &r3)
-                  .ok());
-  EXPECT_EQ(r2.bundle, r1.bundle);
-  EXPECT_EQ(r3.bundle, r1.bundle);
-  EXPECT_EQ(r2.parent, 1);
-  EXPECT_EQ(r2.connection, ConnectionType::kRt);
-  EXPECT_EQ(r3.parent, 2);
-  EXPECT_EQ(r3.connection, ConnectionType::kRt);
+  StatusOr<IngestResult> r1 =
+      Feed(MakeMessage(1, kTestEpoch, "alice", {"news"}));
+  ASSERT_TRUE(r1.ok());
+  StatusOr<IngestResult> r2 =
+      Feed(MakeRetweet(2, kTestEpoch + 10, "bob", 1, "alice", {"news"}));
+  ASSERT_TRUE(r2.ok());
+  StatusOr<IngestResult> r3 =
+      Feed(MakeRetweet(3, kTestEpoch + 20, "carol", 2, "bob", {"news"}));
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r2->bundle, r1->bundle);
+  EXPECT_EQ(r3->bundle, r1->bundle);
+  EXPECT_EQ(r2->parent, 1);
+  EXPECT_EQ(r2->connection, ConnectionType::kRt);
+  EXPECT_EQ(r3->parent, 2);
+  EXPECT_EQ(r3->connection, ConnectionType::kRt);
 }
 
 TEST_F(EngineTest, EdgesRecordedForNonRoots) {
@@ -116,16 +118,19 @@ TEST_F(EngineTest, MemoryUsageGrowsWithIngest) {
 TEST_F(EngineTest, SlightlyOutOfOrderDatesAreTolerated) {
   // Real feeds deliver occasional out-of-order posts; the engine must
   // not crash and bundle time ranges must still be exact.
-  IngestResult r1, r2, r3;
-  ASSERT_TRUE(Feed(MakeMessage(1, kTestEpoch + 100, "u", {"tag"}), &r1)
-                  .ok());
-  ASSERT_TRUE(Feed(MakeMessage(2, kTestEpoch + 40, "v", {"tag"}), &r2)
-                  .ok());  // 60s earlier than its predecessor
-  ASSERT_TRUE(Feed(MakeMessage(3, kTestEpoch + 200, "w", {"tag"}), &r3)
-                  .ok());
-  EXPECT_EQ(r2.bundle, r1.bundle);
-  EXPECT_EQ(r3.bundle, r1.bundle);
-  const Bundle* bundle = engine_.pool().Get(r1.bundle);
+  StatusOr<IngestResult> r1 =
+      Feed(MakeMessage(1, kTestEpoch + 100, "u", {"tag"}));
+  ASSERT_TRUE(r1.ok());
+  // 60s earlier than its predecessor.
+  StatusOr<IngestResult> r2 =
+      Feed(MakeMessage(2, kTestEpoch + 40, "v", {"tag"}));
+  ASSERT_TRUE(r2.ok());
+  StatusOr<IngestResult> r3 =
+      Feed(MakeMessage(3, kTestEpoch + 200, "w", {"tag"}));
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r2->bundle, r1->bundle);
+  EXPECT_EQ(r3->bundle, r1->bundle);
+  const Bundle* bundle = engine_.pool().Get(r1->bundle);
   ASSERT_NE(bundle, nullptr);
   EXPECT_EQ(bundle->start_time(), kTestEpoch + 40);
   EXPECT_EQ(bundle->end_time(), kTestEpoch + 200);
@@ -162,25 +167,24 @@ TEST(EngineBundleCapTest, BundleClosesAtCap) {
   EngineOptions options =
       EngineOptions::ForConfig(IndexConfig::kBundleLimit, 10000, 3);
   ProvenanceEngine engine(options, &clock, nullptr);
-  IngestResult result;
+  BundleId last_bundle = kInvalidBundleId;
   for (int i = 0; i < 3; ++i) {
     clock.Advance(kTestEpoch + i);
-    ASSERT_TRUE(engine
-                    .Ingest(MakeMessage(i, kTestEpoch + i, "u", {"tag"}),
-                            &result)
-                    .ok());
+    StatusOr<IngestResult> r =
+        engine.Ingest(MakeMessage(i, kTestEpoch + i, "u", {"tag"}));
+    ASSERT_TRUE(r.ok());
+    last_bundle = r->bundle;
   }
-  const Bundle* bundle = engine.pool().Get(result.bundle);
+  const Bundle* bundle = engine.pool().Get(last_bundle);
   ASSERT_NE(bundle, nullptr);
   EXPECT_EQ(bundle->size(), 3u);
   EXPECT_TRUE(bundle->closed());
   // The 4th same-tag message must open a fresh bundle.
   clock.Advance(kTestEpoch + 3);
-  ASSERT_TRUE(engine
-                  .Ingest(MakeMessage(3, kTestEpoch + 3, "v", {"tag"}),
-                          &result)
-                  .ok());
-  EXPECT_TRUE(result.created_bundle);
+  StatusOr<IngestResult> fourth =
+      engine.Ingest(MakeMessage(3, kTestEpoch + 3, "v", {"tag"}));
+  ASSERT_TRUE(fourth.ok());
+  EXPECT_TRUE(fourth->created_bundle);
   EXPECT_EQ(engine.pool().stats().bundles_closed, 1u);
 }
 
@@ -237,6 +241,24 @@ TEST(EngineDrainTest, DrainEmptiesPool) {
   EXPECT_EQ(archive.puts, 3);
 }
 
+TEST(EngineCompatTest, DeprecatedOutParamIngestStillWorks) {
+  SimulatedClock clock(kTestEpoch);
+  ProvenanceEngine engine(
+      EngineOptions::ForConfig(IndexConfig::kFullIndex), &clock, nullptr);
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  IngestResult result;
+  ASSERT_TRUE(
+      engine.Ingest(MakeMessage(1, kTestEpoch, "u", {"tag"}), &result).ok());
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  EXPECT_TRUE(result.created_bundle);
+  EXPECT_NE(result.bundle, kInvalidBundleId);
+}
+
 TEST(EngineEdgeRecordingTest, CanBeDisabled) {
   SimulatedClock clock(kTestEpoch);
   EngineOptions options =
@@ -248,6 +270,28 @@ TEST(EngineEdgeRecordingTest, CanBeDisabled) {
         engine.Ingest(MakeMessage(i, kTestEpoch + i, "u", {"t"})).ok());
   }
   EXPECT_EQ(engine.edge_log().size(), 0u);
+}
+
+TEST(EngineOptionsTest, ShardSliceDividesPoolRelativeBudgets) {
+  EngineOptions base =
+      EngineOptions::ForConfig(IndexConfig::kPartialIndex, 8000);
+  EngineOptions slice = base.ShardSlice(4);
+  EXPECT_EQ(slice.pool.max_pool_size, 2000u);
+  EXPECT_EQ(slice.matcher.max_candidates, 16u);
+  EXPECT_EQ(slice.matcher.max_posting_fanout, 128u);
+
+  // One shard is the identity.
+  EXPECT_EQ(base.ShardSlice(1).pool.max_pool_size, 8000u);
+  EXPECT_EQ(base.ShardSlice(1).matcher.max_candidates, 64u);
+
+  // Unbounded (0) knobs stay unbounded: the Full Index never refines.
+  EngineOptions full = EngineOptions::ForConfig(IndexConfig::kFullIndex);
+  EXPECT_EQ(full.ShardSlice(4).pool.max_pool_size, 0u);
+
+  // Floors keep an extreme slice functional.
+  EXPECT_EQ(base.ShardSlice(1000).pool.max_pool_size, 64u);
+  EXPECT_EQ(base.ShardSlice(1000).matcher.max_candidates, 16u);
+  EXPECT_EQ(base.ShardSlice(1000).matcher.max_posting_fanout, 64u);
 }
 
 }  // namespace

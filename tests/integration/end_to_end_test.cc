@@ -48,10 +48,10 @@ TEST(EndToEndTest, FullIndexGroupsEventMessages) {
   ASSERT_TRUE(replayer
                   .Replay(messages,
                           [&](const Message& msg) {
-                            IngestResult result;
-                            Status st = engine.Ingest(msg, &result);
-                            assigned[msg.id] = result.bundle;
-                            return st;
+                            StatusOr<IngestResult> result =
+                                engine.Ingest(msg);
+                            if (result.ok()) assigned[msg.id] = result->bundle;
+                            return result.status();
                           })
                   .ok());
 
@@ -88,7 +88,7 @@ TEST(EndToEndTest, RtEdgesOverwhelminglyCorrect) {
   ASSERT_TRUE(replayer
                   .Replay(messages,
                           [&](const Message& msg) {
-                            return engine.Ingest(msg);
+                            return engine.Ingest(msg).status();
                           })
                   .ok());
   // Every RT whose target is still in the same bundle should have its
@@ -166,12 +166,13 @@ TEST(EndToEndTest, QueryFindsInjectedEvent) {
   ASSERT_TRUE(replayer
                   .Replay(messages,
                           [&](const Message& msg) {
-                            return engine.Ingest(msg);
+                            return engine.Ingest(msg).status();
                           })
                   .ok());
 
   BundleQueryProcessor processor(&engine);
-  auto results = processor.Search("#cics", 5, clock.Now());
+  auto results =
+      processor.Search({.text = "#cics", .k = 5, .now = clock.Now()});
   ASSERT_FALSE(results.empty());
   const Bundle* top = engine.pool().Get(results[0].bundle);
   ASSERT_NE(top, nullptr);

@@ -55,7 +55,7 @@ class EngineInvariantsTest
     ASSERT_TRUE(replayer
                     .Replay(messages_,
                             [&](const Message& msg) {
-                              return engine_->Ingest(msg);
+                              return engine_->Ingest(msg).status();
                             })
                     .ok());
   }
@@ -121,7 +121,9 @@ TEST_P(EngineInvariantsTest, StructuralInvariantsHold) {
 
     // (5) The bundle-size cap is never exceeded.
     const size_t cap = pool.options().max_bundle_size;
-    if (cap > 0) EXPECT_LE(bundle->size(), cap);
+    if (cap > 0) {
+      EXPECT_LE(bundle->size(), cap);
+    }
   }
 
   // (6) Pool limit respected (within one refinement's slack).
@@ -158,7 +160,7 @@ TEST_P(EngineInvariantsTest, DeterministicAcrossRuns) {
   ASSERT_TRUE(replayer
                   .Replay(messages_,
                           [&](const Message& msg) {
-                            return engine2.Ingest(msg);
+                            return engine2.Ingest(msg).status();
                           })
                   .ok());
   ASSERT_EQ(engine2.edge_log().size(), first_edges.size());

@@ -44,7 +44,7 @@ TEST(PersistenceTest, DrainedEngineStateSurvivesReopen) {
     ASSERT_TRUE(replayer
                     .Replay(messages,
                             [&](const Message& msg) {
-                              return engine.Ingest(msg);
+                              return engine.Ingest(msg).status();
                             })
                     .ok());
     live_messages = engine.pool().TotalMessages();
@@ -96,7 +96,7 @@ TEST(PersistenceTest, RestartedEngineResumesBundleIds) {
     ASSERT_TRUE(replayer
                     .Replay(messages,
                             [&](const Message& msg) {
-                              return engine.Ingest(msg);
+                              return engine.Ingest(msg).status();
                             })
                     .ok());
     ASSERT_TRUE(engine.Drain().ok());
@@ -119,9 +119,9 @@ TEST(PersistenceTest, RestartedEngineResumesBundleIds) {
   fresh.text = "a brand new topic #fresh";
   ExtractIndicants(&fresh);
   clock.Advance(fresh.date);
-  IngestResult result;
-  ASSERT_TRUE(engine.Ingest(fresh, &result).ok());
-  EXPECT_GT(result.bundle, max_before);
+  StatusOr<IngestResult> result = engine.Ingest(fresh);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->bundle, max_before);
 }
 
 TEST(PersistenceTest, ArchivedBundleRoundTripsExactly) {
@@ -141,7 +141,9 @@ TEST(PersistenceTest, ArchivedBundleRoundTripsExactly) {
   ASSERT_TRUE(replayer
                   .Replay(messages,
                           [&](const Message& msg) {
-                            return engine.Ingest(msg, &last);
+                            StatusOr<IngestResult> r = engine.Ingest(msg);
+                            if (r.ok()) last = *r;
+                            return r.status();
                           })
                   .ok());
   // Pick a live bundle, archive it, read it back, compare.

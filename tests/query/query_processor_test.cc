@@ -87,7 +87,7 @@ TEST_F(BundleQueryTest, ReturnsMatchingBundleWithSummary) {
   Feed(3, kTestEpoch + 120, "carol", "tsunami warning for samoa #tsunami");
 
   BundleQueryProcessor processor(&engine_);
-  auto results = processor.Search("yankee redsox", 5, kTestEpoch + 200);
+  auto results = processor.Search({.text = "yankee redsox", .k = 5, .now = kTestEpoch + 200});
   ASSERT_GE(results.size(), 1u);
   EXPECT_EQ(results[0].size, 2u);
   EXPECT_FALSE(results[0].summary_words.empty());
@@ -102,7 +102,7 @@ TEST_F(BundleQueryTest, HashtagQueryFindsBundle) {
   Feed(1, kTestEpoch, "alice", "big wave coming #tsunami");
   Feed(2, kTestEpoch + 30, "bob", "stay safe #tsunami");
   BundleQueryProcessor processor(&engine_);
-  auto results = processor.Search("#tsunami", 5, kTestEpoch + 100);
+  auto results = processor.Search({.text = "#tsunami", .k = 5, .now = kTestEpoch + 100});
   ASSERT_EQ(results.size(), 1u);
   EXPECT_EQ(results[0].size, 2u);
 }
@@ -110,8 +110,8 @@ TEST_F(BundleQueryTest, HashtagQueryFindsBundle) {
 TEST_F(BundleQueryTest, NoMatchesEmptyResult) {
   Feed(1, kTestEpoch, "alice", "about baseball #mlb");
   BundleQueryProcessor processor(&engine_);
-  EXPECT_TRUE(processor.Search("cricket", 5, kTestEpoch + 10).empty());
-  EXPECT_TRUE(processor.Search("", 5, kTestEpoch + 10).empty());
+  EXPECT_TRUE(processor.Search({.text = "cricket", .k = 5, .now = kTestEpoch + 10}).empty());
+  EXPECT_TRUE(processor.Search({.text = "", .k = 5, .now = kTestEpoch + 10}).empty());
 }
 
 TEST_F(BundleQueryTest, KRespected) {
@@ -123,7 +123,8 @@ TEST_F(BundleQueryTest, KRespected) {
   }
   BundleQueryProcessor processor(&engine_);
   auto results =
-      processor.Search("game", 3, kTestEpoch + 20 * kSecondsPerDay);
+      processor.Search(
+          {.text = "game", .k = 3, .now = kTestEpoch + 20 * kSecondsPerDay});
   EXPECT_EQ(results.size(), 3u);
 }
 
@@ -145,12 +146,12 @@ TEST_F(BundleQueryTest, ArchivedBundlesSearchableViaStore) {
   ASSERT_TRUE(store->Put(old_bundle).ok());
 
   BundleQueryProcessor processor(&engine_, QueryWeights{}, store.get());
-  auto results = processor.Search("#flood", 5, kTestEpoch);
+  auto results = processor.Search({.text = "#flood", .k = 5, .now = kTestEpoch});
   ASSERT_EQ(results.size(), 1u);
   EXPECT_EQ(results[0].bundle, 9999u);
   EXPECT_TRUE(results[0].archived);
   // Live results are not marked archived.
-  auto live = processor.Search("#baseball", 5, kTestEpoch);
+  auto live = processor.Search({.text = "#baseball", .k = 5, .now = kTestEpoch});
   ASSERT_EQ(live.size(), 1u);
   EXPECT_FALSE(live[0].archived);
 }
@@ -166,26 +167,29 @@ TEST_F(BundleQueryTest, FiltersApplyToLiveResults) {
   const Timestamp now = kTestEpoch + 21 * kSecondsPerDay;
 
   // Unfiltered: both bundles.
-  ASSERT_EQ(processor.Search("gameday", 10, now).size(), 2u);
+  ASSERT_EQ(processor.Search({.text = "gameday", .k = 10, .now = now}).size(), 2u);
 
   // Date filter drops the early bundle.
   SearchFilters late_only;
   late_only.since = kTestEpoch + 10 * kSecondsPerDay;
-  auto late = processor.Search("gameday", 10, now, late_only);
+  auto late = processor.Search(
+      {.text = "gameday", .k = 10, .now = now, .filters = late_only});
   ASSERT_EQ(late.size(), 1u);
   EXPECT_EQ(late[0].size, 2u);
 
   // Until filter drops the late bundle.
   SearchFilters early_only;
   early_only.until = kTestEpoch + kSecondsPerDay;
-  auto early = processor.Search("gameday", 10, now, early_only);
+  auto early = processor.Search(
+      {.text = "gameday", .k = 10, .now = now, .filters = early_only});
   ASSERT_EQ(early.size(), 1u);
   EXPECT_EQ(early[0].size, 1u);
 
   // Size filter drops singletons.
   SearchFilters no_singletons;
   no_singletons.min_bundle_size = 2;
-  auto sized = processor.Search("gameday", 10, now, no_singletons);
+  auto sized = processor.Search(
+      {.text = "gameday", .k = 10, .now = now, .filters = no_singletons});
   ASSERT_EQ(sized.size(), 1u);
   EXPECT_EQ(sized[0].size, 2u);
 }
@@ -205,11 +209,12 @@ TEST_F(BundleQueryTest, ArchiveCanBeExcludedByFilter) {
 
   BundleQueryProcessor processor(&engine_, QueryWeights{},
                                  store_or->get());
-  EXPECT_EQ(processor.Search("#vault", 5, kTestEpoch).size(), 1u);
+  EXPECT_EQ(processor.Search({.text = "#vault", .k = 5, .now = kTestEpoch}).size(), 1u);
   SearchFilters live_only;
   live_only.include_archived = false;
   EXPECT_TRUE(
-      processor.Search("#vault", 5, kTestEpoch, live_only).empty());
+      processor.Search(
+          {.text = "#vault", .k = 5, .now = kTestEpoch, .filters = live_only}).empty());
 }
 
 TEST_F(BundleQueryTest, FreshBundleRankedAboveStaleOnTie) {
@@ -217,7 +222,8 @@ TEST_F(BundleQueryTest, FreshBundleRankedAboveStaleOnTie) {
   Feed(2, kTestEpoch + 20 * kSecondsPerDay, "b", "game two #late");
   BundleQueryProcessor processor(&engine_);
   auto results =
-      processor.Search("game", 5, kTestEpoch + 20 * kSecondsPerDay + 60);
+      processor.Search(
+      {.text = "game", .k = 5, .now = kTestEpoch + 20 * kSecondsPerDay + 60});
   ASSERT_EQ(results.size(), 2u);
   EXPECT_GT(results[0].last_post, results[1].last_post);
 }

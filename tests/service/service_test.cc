@@ -1,0 +1,173 @@
+#include "service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+using testing_util::MakeMessage;
+using testing_util::MakeRetweet;
+using testing_util::ScopedTempDir;
+
+std::vector<Message> SmallStream() {
+  // Three topics, clearly separated; one is an RT chain. The chain's
+  // root carries no hashtag, so it routes by author — the same key its
+  // retweets route by (target user), keeping the cascade on one shard.
+  std::vector<Message> messages;
+  messages.push_back(
+      MakeMessage(1, kTestEpoch, "alice", {}, {}, {"redsox"}));
+  messages.push_back(
+      MakeRetweet(2, kTestEpoch + 30, "bob", 1, "alice"));
+  messages.push_back(
+      MakeRetweet(3, kTestEpoch + 60, "carol", 1, "alice"));
+  messages.push_back(
+      MakeMessage(4, kTestEpoch + 90, "dave", {"tsunami"}));
+  messages.push_back(
+      MakeMessage(5, kTestEpoch + 120, "erin", {"tsunami"}));
+  messages.push_back(
+      MakeMessage(6, kTestEpoch + 150, "frank", {"cics"}));
+  return messages;
+}
+
+TEST(ServiceTest, OpenRejectsBadOptions) {
+  EXPECT_FALSE(Service::Open({.num_shards = 0}).ok());
+  EXPECT_FALSE(
+      Service::Open({.num_shards = 2, .queue_capacity = 0}).ok());
+}
+
+TEST(ServiceTest, IngestSearchDrainLifecycle) {
+  auto service_or = Service::Open({.num_shards = 2});
+  ASSERT_TRUE(service_or.ok());
+  Service& service = **service_or;
+
+  for (const Message& msg : SmallStream()) {
+    StatusOr<IngestResult> result = service.Ingest(msg);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LT(result->shard, 2u);
+  }
+  // The service clock follows the newest accepted message.
+  EXPECT_EQ(service.Now(), kTestEpoch + 150);
+
+  // Search quiesces the pipeline on its own — no explicit Flush needed.
+  auto results_or = service.Search({.text = "redsox", .k = 5});
+  ASSERT_TRUE(results_or.ok());
+  ASSERT_FALSE(results_or->empty());
+  EXPECT_EQ((*results_or)[0].size, 3u);
+
+  ASSERT_TRUE(service.Drain().ok());
+  ASSERT_TRUE(service.Drain().ok());  // idempotent
+
+  // Search still works after drain; ingest is refused.
+  auto post_drain_or = service.Search({.text = "#tsunami", .k = 5});
+  ASSERT_TRUE(post_drain_or.ok());
+  ASSERT_FALSE(post_drain_or->empty());
+  EXPECT_EQ((*post_drain_or)[0].size, 2u);
+  EXPECT_FALSE(
+      service.Ingest(MakeMessage(7, kTestEpoch + 200, "gus", {"late"}))
+          .ok());
+}
+
+TEST(ServiceTest, SearchDefaultsNowToServiceClock) {
+  auto service_or = Service::Open({.num_shards = 2});
+  ASSERT_TRUE(service_or.ok());
+  Service& service = **service_or;
+  for (const Message& msg : SmallStream()) {
+    ASSERT_TRUE(service.Ingest(msg).ok());
+  }
+  // Identical queries, one with explicit now, one defaulted: identical
+  // freshness term, identical scores.
+  auto defaulted_or = service.Search({.text = "redsox", .k = 5});
+  auto explicit_or =
+      service.Search({.text = "redsox", .k = 5, .now = service.Now()});
+  ASSERT_TRUE(defaulted_or.ok());
+  ASSERT_TRUE(explicit_or.ok());
+  ASSERT_EQ(defaulted_or->size(), explicit_or->size());
+  for (size_t i = 0; i < defaulted_or->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*defaulted_or)[i].score, (*explicit_or)[i].score);
+  }
+}
+
+TEST(ServiceTest, StatsAggregateAcrossShards) {
+  auto service_or = Service::Open({.num_shards = 4});
+  ASSERT_TRUE(service_or.ok());
+  Service& service = **service_or;
+  auto messages = SmallStream();
+  for (const Message& msg : messages) {
+    ASSERT_TRUE(service.Ingest(msg).ok());
+  }
+  ASSERT_TRUE(service.Flush().ok());
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.messages_ingested, messages.size());
+  EXPECT_EQ(stats.live_bundles, 3u);  // redsox, tsunami, cics
+  EXPECT_EQ(stats.archived_bundles, 0u);
+  EXPECT_GT(stats.memory_bytes, 0u);
+  ASSERT_EQ(stats.shards.size(), 4u);
+  uint64_t per_shard_total = 0;
+  for (const ShardStatsSnapshot& shard : stats.shards) {
+    per_shard_total += shard.ingested;
+  }
+  EXPECT_EQ(per_shard_total, messages.size());
+}
+
+TEST(ServiceTest, ArchiveDirPersistsBundlesAndServesThem) {
+  ScopedTempDir dir;
+  ServiceOptions options;
+  options.num_shards = 2;
+  options.archive_dir = dir.path() + "/service";
+  auto service_or = Service::Open(options);
+  ASSERT_TRUE(service_or.ok());
+  Service& service = **service_or;
+  for (const Message& msg : SmallStream()) {
+    ASSERT_TRUE(service.Ingest(msg).ok());
+  }
+  ASSERT_TRUE(service.Drain().ok());
+
+  // Drain moved every live bundle into the per-shard stores...
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.live_bundles, 0u);
+  EXPECT_EQ(stats.archived_bundles, 3u);
+
+  // ...and queries keep answering, now from disk.
+  auto results_or = service.Search({.text = "redsox", .k = 5});
+  ASSERT_TRUE(results_or.ok());
+  ASSERT_FALSE(results_or->empty());
+  EXPECT_TRUE((*results_or)[0].archived);
+  EXPECT_EQ((*results_or)[0].size, 3u);
+}
+
+TEST(ServiceTest, RetweetChainStaysIntactThroughSharding) {
+  auto service_or = Service::Open({.num_shards = 4});
+  ASSERT_TRUE(service_or.ok());
+  Service& service = **service_or;
+  for (const Message& msg : SmallStream()) {
+    ASSERT_TRUE(service.Ingest(msg).ok());
+  }
+  ASSERT_TRUE(service.Flush().ok());
+  // The redsox RTs (msgs 2, 3 -> msg 1) routed by target user, so the
+  // bundle holds the full cascade on one shard.
+  auto results_or = service.Search({.text = "redsox", .k = 1});
+  ASSERT_TRUE(results_or.ok());
+  ASSERT_FALSE(results_or->empty());
+  const BundleSearchResult& hit = (*results_or)[0];
+  const Bundle* bundle =
+      service.sharded().shard(hit.shard).pool().Get(hit.bundle);
+  ASSERT_NE(bundle, nullptr);
+  EXPECT_EQ(bundle->size(), 3u);
+  bool found_rt = false;
+  for (const Edge& edge : bundle->Edges()) {
+    if (edge.type == ConnectionType::kRt && edge.child == 3 &&
+        edge.parent == 1) {
+      found_rt = true;
+    }
+  }
+  EXPECT_TRUE(found_rt);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,242 @@
+#include "service/sharded_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "query/query_processor.h"
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+using testing_util::MakeMessage;
+using testing_util::MakeRetweet;
+
+class CountingArchive : public BundleArchive {
+ public:
+  Status Put(const Bundle& bundle) override {
+    ++puts;
+    return Status::OK();
+  }
+  int puts = 0;
+};
+
+// An interleaved stream of `events` topics, each a run of `per_event`
+// messages sharing one distinct hashtag — so routing keeps every topic
+// on one shard and bundle assignment has a known ground truth.
+std::vector<Message> TopicStream(size_t events, size_t per_event) {
+  std::vector<Message> messages;
+  MessageId id = 0;
+  for (size_t round = 0; round < per_event; ++round) {
+    for (size_t event = 0; event < events; ++event) {
+      messages.push_back(MakeMessage(
+          id, kTestEpoch + static_cast<Timestamp>(id) * 30,
+          "user" + std::to_string(id), {"ev" + std::to_string(event)}));
+      ++id;
+    }
+  }
+  return messages;
+}
+
+TEST(RouteShardTest, DeterministicAndInRange) {
+  Message msg = MakeMessage(1, kTestEpoch, "alice", {"topic"});
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    uint32_t first = RouteShard(msg, shards);
+    EXPECT_LT(first, shards);
+    EXPECT_EQ(RouteShard(msg, shards), first);
+  }
+}
+
+TEST(RouteShardTest, SingleShardAlwaysZero) {
+  for (int i = 0; i < 20; ++i) {
+    Message msg = MakeMessage(i, kTestEpoch, "u" + std::to_string(i),
+                              {"t" + std::to_string(i)});
+    EXPECT_EQ(RouteShard(msg, 1), 0u);
+  }
+}
+
+TEST(RouteShardTest, RetweetFollowsTargetUser) {
+  // A retweet must land where its target's messages land, so the RT
+  // edge can be resolved within one shard's bundle.
+  Message original = MakeMessage(1, kTestEpoch, "alice");
+  Message retweet =
+      MakeRetweet(2, kTestEpoch + 10, "bob", 1, "alice");
+  EXPECT_EQ(RouteShard(retweet, 8), RouteShard(original, 8));
+}
+
+TEST(RouteShardTest, UrlOutranksHashtagOutranksAuthor) {
+  Message url_only = MakeMessage(1, kTestEpoch, "u1", {}, {"bit.ly/x"});
+  Message url_and_tag =
+      MakeMessage(2, kTestEpoch, "u2", {"tag"}, {"bit.ly/x"});
+  EXPECT_EQ(RouteShard(url_and_tag, 8), RouteShard(url_only, 8));
+
+  Message tag_only = MakeMessage(3, kTestEpoch, "u3", {"tag"});
+  EXPECT_EQ(RouteShard(tag_only, 8),
+            RouteShard(MakeMessage(4, kTestEpoch, "u4", {"tag"}), 8));
+}
+
+TEST(ShardedEngineTest, IngestsEverythingAcrossShards) {
+  ShardedEngineOptions options;
+  options.num_shards = 4;
+  options.engine = EngineOptions::ForConfig(IndexConfig::kFullIndex);
+  ShardedEngine sharded(options);
+  auto messages = TopicStream(/*events=*/12, /*per_event=*/10);
+  for (const Message& msg : messages) {
+    ASSERT_TRUE(sharded.Submit(msg).ok());
+  }
+  ASSERT_TRUE(sharded.Flush().ok());
+  EXPECT_EQ(sharded.messages_ingested(), messages.size());
+  // Each topic forms one bundle on exactly one shard.
+  EXPECT_EQ(sharded.TotalPoolSize(), 12u);
+  uint64_t enqueued = 0;
+  for (size_t i = 0; i < sharded.num_shards(); ++i) {
+    ShardStatsSnapshot stats = sharded.shard_stats(i);
+    enqueued += stats.enqueued;
+    EXPECT_EQ(stats.enqueued, stats.ingested);
+    EXPECT_EQ(stats.queue_depth, 0u);
+  }
+  EXPECT_EQ(enqueued, messages.size());
+}
+
+TEST(ShardedEngineTest, SubmitReportsRoutingDecision) {
+  ShardedEngineOptions options;
+  options.num_shards = 4;
+  ShardedEngine sharded(options);
+  Message msg = MakeMessage(1, kTestEpoch, "alice", {"topic"});
+  uint32_t shard = 99;
+  ASSERT_TRUE(sharded.Submit(msg, &shard).ok());
+  EXPECT_EQ(shard, RouteShard(msg, 4));
+  ASSERT_TRUE(sharded.Flush().ok());
+  EXPECT_EQ(sharded.shard(shard).messages_ingested(), 1u);
+}
+
+TEST(ShardedEngineTest, DrainThenSearchMatchesSingleEngine) {
+  auto messages = TopicStream(/*events=*/8, /*per_event=*/12);
+
+  // Reference: one engine over the whole stream.
+  SimulatedClock clock(kTestEpoch);
+  ProvenanceEngine single(
+      EngineOptions::ForConfig(IndexConfig::kFullIndex), &clock, nullptr);
+  for (const Message& msg : messages) {
+    clock.Advance(msg.date);
+    ASSERT_TRUE(single.Ingest(msg).ok());
+  }
+
+  // Same stream through 3 shards.
+  ShardedEngineOptions options;
+  options.num_shards = 3;
+  options.engine = EngineOptions::ForConfig(IndexConfig::kFullIndex);
+  ShardedEngine sharded(options);
+  for (const Message& msg : messages) {
+    ASSERT_TRUE(sharded.Submit(msg).ok());
+  }
+  ASSERT_TRUE(sharded.Drain().ok());
+
+  EXPECT_EQ(sharded.messages_ingested(), single.messages_ingested());
+  EXPECT_EQ(sharded.TotalPoolSize(), single.pool().size());
+
+  // Query both ways; every topic query must surface the same bundle
+  // (same size, same Eq. 7 score) from the fan-out as from the single
+  // engine.
+  BundleQueryProcessor single_processor(&single);
+  std::vector<BundleQueryProcessor> shard_processors;
+  shard_processors.reserve(sharded.num_shards());
+  for (size_t i = 0; i < sharded.num_shards(); ++i) {
+    shard_processors.emplace_back(&sharded.shard(i));
+  }
+  std::vector<const BundleQueryProcessor*> shard_ptrs;
+  for (const auto& processor : shard_processors) {
+    shard_ptrs.push_back(&processor);
+  }
+
+  Timestamp now = messages.back().date;
+  for (size_t event = 0; event < 8; ++event) {
+    BundleQuery query{.text = "#ev" + std::to_string(event),
+                      .k = 3,
+                      .now = now};
+    auto expected = single_processor.Search(query);
+    auto actual = BundleQueryProcessor::SearchShards(shard_ptrs, query);
+    ASSERT_EQ(actual.size(), expected.size()) << query.text;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].size, expected[i].size) << query.text;
+      EXPECT_DOUBLE_EQ(actual[i].score, expected[i].score) << query.text;
+      EXPECT_LT(actual[i].shard, sharded.num_shards());
+    }
+  }
+}
+
+TEST(ShardedEngineTest, TinyQueueAppliesBackpressureWithoutLoss) {
+  ShardedEngineOptions options;
+  options.num_shards = 1;
+  options.queue_capacity = 1;  // every burst must block the submitter
+  options.max_batch = 1;
+  options.engine = EngineOptions::ForConfig(IndexConfig::kFullIndex);
+  ShardedEngine sharded(options);
+  constexpr size_t kMessages = 2000;
+  for (size_t i = 0; i < kMessages; ++i) {
+    ASSERT_TRUE(sharded
+                    .Submit(MakeMessage(
+                        static_cast<MessageId>(i),
+                        kTestEpoch + static_cast<Timestamp>(i),
+                        "user" + std::to_string(i % 50), {"storm"}))
+                    .ok());
+  }
+  ASSERT_TRUE(sharded.Flush().ok());
+  ShardStatsSnapshot stats = sharded.shard_stats(0);
+  EXPECT_EQ(stats.ingested, kMessages);  // backpressure never drops
+  EXPECT_GT(stats.blocked_pushes, 0u);
+  EXPECT_EQ(sharded.messages_ingested(), kMessages);
+}
+
+TEST(ShardedEngineTest, FlushIsABarrierNotAShutdown) {
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  ShardedEngine sharded(options);
+  ASSERT_TRUE(
+      sharded.Submit(MakeMessage(1, kTestEpoch, "a", {"one"})).ok());
+  ASSERT_TRUE(sharded.Flush().ok());
+  EXPECT_EQ(sharded.messages_ingested(), 1u);
+  // Ingestion continues after a flush.
+  ASSERT_TRUE(
+      sharded.Submit(MakeMessage(2, kTestEpoch + 5, "b", {"two"})).ok());
+  ASSERT_TRUE(sharded.Flush().ok());
+  EXPECT_EQ(sharded.messages_ingested(), 2u);
+}
+
+TEST(ShardedEngineTest, DrainIsTerminalAndIdempotent) {
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  ShardedEngine sharded(options);
+  ASSERT_TRUE(
+      sharded.Submit(MakeMessage(1, kTestEpoch, "a", {"one"})).ok());
+  ASSERT_TRUE(sharded.Drain().ok());
+  ASSERT_TRUE(sharded.Drain().ok());  // second drain is a no-op
+  // Without archives the live pools survive the drain for querying.
+  EXPECT_EQ(sharded.TotalPoolSize(), 1u);
+  EXPECT_FALSE(
+      sharded.Submit(MakeMessage(2, kTestEpoch + 1, "b", {"two"})).ok());
+}
+
+TEST(ShardedEngineTest, DrainPushesLiveBundlesToShardArchives) {
+  std::vector<CountingArchive> archives(3);
+  std::vector<BundleArchive*> archive_ptrs;
+  for (auto& archive : archives) archive_ptrs.push_back(&archive);
+  ShardedEngineOptions options;
+  options.num_shards = 3;
+  ShardedEngine sharded(options, archive_ptrs);
+  auto messages = TopicStream(/*events=*/9, /*per_event=*/4);
+  for (const Message& msg : messages) {
+    ASSERT_TRUE(sharded.Submit(msg).ok());
+  }
+  ASSERT_TRUE(sharded.Drain().ok());
+  EXPECT_EQ(sharded.TotalPoolSize(), 0u);  // archived engines empty out
+  int total_puts = 0;
+  for (const auto& archive : archives) total_puts += archive.puts;
+  EXPECT_EQ(total_puts, 9);
+}
+
+}  // namespace
+}  // namespace microprov
