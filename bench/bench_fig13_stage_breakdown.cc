@@ -28,6 +28,8 @@ int Run(int argc, char** argv) {
   EngineOptions engine_options = EngineOptions::ForConfig(
       IndexConfig::kBundleLimit, options.EffectivePoolLimit(),
       options.bundle_cap);
+  obs::MetricsRegistry registry;
+  engine_options.metrics = &registry;
   auto result_or = RunEngine(messages, engine_options, runner_options);
   if (!result_or.ok()) {
     std::fprintf(stderr, "run failed: %s\n",
@@ -65,6 +67,12 @@ int Run(int argc, char** argv) {
                   result.final_pool_stats.bundles_deleted_tiny,
               (unsigned long long)
                   result.final_pool_stats.bundles_dumped_closed);
+
+  // The cumulative table above hides tail behaviour; the histogram-backed
+  // stage timers expose it as per-message latency percentiles.
+  std::printf("\n");
+  PrintMetricsDelta("full stream (per-message stage latencies, ns)",
+                    registry);
   return 0;
 }
 

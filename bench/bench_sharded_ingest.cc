@@ -30,7 +30,8 @@ struct RunResult {
 };
 
 RunResult RunOnce(const std::vector<Message>& messages, size_t num_shards,
-                  const BenchOptions& options) {
+                  const BenchOptions& options,
+                  obs::MetricsRegistry* registry) {
   ShardedEngineOptions sharded_options;
   sharded_options.num_shards = num_shards;
   // ShardSlice divides the total budget: every configuration holds the
@@ -43,6 +44,7 @@ RunResult RunOnce(const std::vector<Message>& messages, size_t num_shards,
       EngineOptions::ForConfig(IndexConfig::kPartialIndex,
                                options.EffectivePoolLimit())
           .ShardSlice(num_shards);
+  sharded_options.engine.metrics = registry;
   ShardedEngine sharded(sharded_options);
 
   int64_t t0 = MonotonicNanos();
@@ -85,7 +87,10 @@ int Run(int argc, char** argv) {
   SeriesTable table({"shards", "secs", "msgs_per_sec", "speedup"});
   double base_rate = 0;
   for (size_t shards : {1, 2, 4, 8}) {
-    RunResult r = RunOnce(messages, shards, options);
+    // A fresh registry per configuration keeps the latency percentiles
+    // honest: shared histograms would blend the runs together.
+    obs::MetricsRegistry registry;
+    RunResult r = RunOnce(messages, shards, options, &registry);
     if (r.msgs_per_sec == 0) return 1;
     if (shards == 1) base_rate = r.msgs_per_sec;
     table.AddRow({StringPrintf("%zu", shards),
@@ -100,6 +105,10 @@ int Run(int argc, char** argv) {
                 "refinement %.2fs (engine total %.2fs)\n",
                 r.match_secs, r.placement_secs, r.refinement_secs,
                 r.match_secs + r.placement_secs + r.refinement_secs);
+    PrintMetricsDelta(
+        StringPrintf("%zu shard(s) (per-message stage latencies, ns)",
+                     shards),
+        registry);
   }
   EmitTable(table, "sharded_ingest", options);
   std::printf("shape check: throughput rises with shard count — "

@@ -118,6 +118,54 @@ void PrintBanner(const std::string& title, const std::string& figure,
   std::printf("================================================================\n");
 }
 
+std::vector<obs::MetricSnapshot> PrintMetricsDelta(
+    const std::string& phase, const obs::MetricsRegistry& registry,
+    const std::vector<obs::MetricSnapshot>* baseline) {
+  std::vector<obs::MetricSnapshot> now = registry.Snapshot();
+  auto find_base =
+      [&](const obs::MetricSnapshot& m) -> const obs::MetricSnapshot* {
+    if (baseline == nullptr) return nullptr;
+    for (const obs::MetricSnapshot& b : *baseline) {
+      if (b.name == m.name && b.labels == m.labels) return &b;
+    }
+    return nullptr;
+  };
+
+  std::printf("-- metrics delta: %s --\n", phase.c_str());
+  for (const obs::MetricSnapshot& m : now) {
+    const obs::MetricSnapshot* base = find_base(m);
+    std::string series = m.name;
+    if (!m.labels.empty()) series += "{" + m.labels + "}";
+    switch (m.kind) {
+      case obs::MetricKind::kCounter: {
+        const double delta = m.value - (base != nullptr ? base->value : 0);
+        if (delta == 0) break;
+        std::printf("  %-58s +%.0f\n", series.c_str(), delta);
+        break;
+      }
+      case obs::MetricKind::kGauge:
+        std::printf("  %-58s %.0f\n", series.c_str(), m.value);
+        break;
+      case obs::MetricKind::kHistogram: {
+        const uint64_t base_count =
+            base != nullptr ? base->hist.count : 0;
+        if (m.hist.count == base_count) break;
+        std::printf(
+            "  %-58s n=+%llu p50=%llu p95=%llu p99=%llu max=%llu\n",
+            series.c_str(),
+            (unsigned long long)(m.hist.count - base_count),
+            (unsigned long long)m.hist.p50,
+            (unsigned long long)m.hist.p95,
+            (unsigned long long)m.hist.p99,
+            (unsigned long long)m.hist.max);
+        break;
+      }
+    }
+  }
+  std::printf("\n");
+  return now;
+}
+
 void EmitTable(const SeriesTable& table, const std::string& slug,
                const BenchOptions& options) {
   std::printf("%s\n", table.ToAlignedString().c_str());

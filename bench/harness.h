@@ -6,6 +6,7 @@
 
 #include "eval/series.h"
 #include "gen/generator.h"
+#include "obs/metrics.h"
 #include "stream/message.h"
 
 namespace microprov {
@@ -57,6 +58,16 @@ void PrintBanner(const std::string& title, const std::string& figure,
 /// Prints a table and optionally writes its CSV (named `<slug>.csv`).
 void EmitTable(const SeriesTable& table, const std::string& slug,
                const BenchOptions& options);
+
+/// Prints what changed in `registry` since `baseline` (a Snapshot taken
+/// when the phase began; nullptr = since registry creation), one row per
+/// metric: counters as deltas, gauges as current levels, histograms as
+/// observation-count delta plus current p50/p95/p99. Rows whose counter
+/// or histogram did not move are suppressed. Returns a fresh snapshot to
+/// use as the next phase's baseline.
+std::vector<obs::MetricSnapshot> PrintMetricsDelta(
+    const std::string& phase, const obs::MetricsRegistry& registry,
+    const std::vector<obs::MetricSnapshot>* baseline = nullptr);
 
 }  // namespace bench
 }  // namespace microprov

@@ -1,18 +1,19 @@
-// Stream monitor: long replay under memory pressure with live
-// maintenance statistics, demonstrating Alg. 3's refinement and the
-// on-disk bundle archive (the paper's Fig. 4 architecture end to end).
+// Stream monitor: long replay under memory pressure with live runtime
+// telemetry, demonstrating the full microprov::Service deployment —
+// sharded ingestion, Alg. 3 refinement, the on-disk bundle archive, the
+// metrics registry (Service::MetricsText), the periodic StatsReporter,
+// and the opt-in ingest trace ring.
 //
 //   $ ./stream_monitor [messages] [pool_limit]
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 #include "common/string_util.h"
-#include "core/burst.h"
-#include "core/engine.h"
 #include "gen/generator.h"
-#include "storage/bundle_store.h"
-#include "stream/replay.h"
+#include "service/service.h"
 
 using namespace microprov;
 
@@ -30,92 +31,99 @@ int main(int argc, char** argv) {
   std::vector<Message> messages =
       StreamGenerator(gen_options).Generate();
 
-  // On-disk archive for bundles leaving memory.
-  BundleStore::Options store_options;
-  store_options.dir = "stream_monitor_store";
-  auto store_or = BundleStore::Open(store_options);
-  if (!store_or.ok()) {
-    std::fprintf(stderr, "store open failed: %s\n",
-                 store_or.status().ToString().c_str());
+  // The background reporter ships a Prometheus scrape on a fixed cadence;
+  // here we just count deliveries (a real deployment would serve them
+  // over HTTP or append to a file).
+  std::atomic<uint64_t> scrapes{0};
+
+  ServiceOptions options;
+  options.num_shards = 2;
+  options.engine = EngineOptions::ForConfig(
+      IndexConfig::kBundleLimit, pool_limit, /*bundle_cap=*/300);
+  options.archive_dir = "stream_monitor_store";
+  options.trace_capacity = 256;  // keep the last 256 ingest decisions
+  options.stats_interval_ms = 250;
+  options.stats_callback = [&](const std::string& prometheus_text) {
+    scrapes.fetch_add(1);
+    (void)prometheus_text;
+  };
+  auto service_or = Service::Open(options);
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "service open failed: %s\n",
+                 service_or.status().ToString().c_str());
     return 1;
   }
-  auto& store = *store_or;
-
-  SimulatedClock clock;
-  EngineOptions options = EngineOptions::ForConfig(
-      IndexConfig::kBundleLimit, pool_limit, /*bundle_cap=*/300);
-  ProvenanceEngine engine(options, &clock, store.get());
+  auto& service = *service_or;
 
   std::printf("%-19s %s\n", "sim time",
-              "    msgs |   pool | in-mem msgs |    memory | archived | "
-              "refines");
-  StreamReplayer replayer(&clock);
-  replayer.set_checkpoint_every(total / 10);
-  replayer.set_checkpoint([&](uint64_t seen, Timestamp now) {
-    const PoolStats& stats = engine.pool().stats();
-    std::printf("%s %8s | %6zu | %8llu | %9s | %6llu | %llu\n",
-                FormatTimestamp(now).c_str(), HumanCount(seen).c_str(),
-                engine.pool().size(),
-                (unsigned long long)engine.pool().TotalMessages(),
-                HumanBytes(engine.ApproxMemoryUsage()).c_str(),
-                (unsigned long long)store->bundle_count(),
-                (unsigned long long)stats.refinement_runs);
-    // Breaking-event radar: bundles spiking in the last hour.
-    int shown = 0;
-    for (const auto& [id, bundle] : engine.pool().bundles()) {
-      if (bundle->size() < 5 || !IsBurstingNow(*bundle, now)) continue;
-      std::string words;
-      for (const auto& [word, count] : bundle->TopKeywords(4)) {
-        if (!words.empty()) words += " ";
-        words += word;
-      }
-      std::printf("    !! bursting: bundle %llu (%zu msgs, burst=%.2f) "
-                  "%s\n",
-                  (unsigned long long)id, bundle->size(),
-                  BurstScore(*bundle), words.c_str());
-      if (++shown >= 3) break;
+              "    msgs |   pool | queue | stalls |    memory | archived");
+  const uint64_t checkpoint = total < 10 ? 1 : total / 10;
+  uint64_t seen = 0;
+  for (const Message& msg : messages) {
+    auto result_or = service->Ingest(msg);
+    if (!result_or.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   result_or.status().ToString().c_str());
+      return 1;
     }
-  });
-  Status st = replayer.Replay(
-      messages,
-      [&](const Message& msg) { return engine.Ingest(msg).status(); });
-  if (!st.ok()) {
-    std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
-    return 1;
+    if (++seen % checkpoint == 0) {
+      // Flush first so the checkpoint reflects every message, then read
+      // the TSan-safe aggregate stats (gauges + atomic counters).
+      if (Status st = service->Flush(); !st.ok()) {
+        std::fprintf(stderr, "flush failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      ServiceStats stats = service->Stats();
+      std::printf("%s %8s | %6zu | %5zu | %6llu | %9s | %llu\n",
+                  FormatTimestamp(service->Now()).c_str(),
+                  HumanCount(seen).c_str(), stats.live_bundles,
+                  stats.queue_depth,
+                  (unsigned long long)stats.backpressure_stalls,
+                  HumanBytes(stats.memory_bytes).c_str(),
+                  (unsigned long long)stats.archived_bundles);
+    }
   }
 
   // Shut down: drain live bundles to disk so the archive is complete.
-  st = engine.Drain();
-  if (!st.ok()) {
+  if (Status st = service->Drain(); !st.ok()) {
     std::fprintf(stderr, "drain failed: %s\n", st.ToString().c_str());
     return 1;
   }
 
-  const PoolStats& stats = engine.pool().stats();
-  const StageTimers& timers = engine.timers();
+  ServiceStats stats = service->Stats();
   std::printf("\n=== final report ===\n");
-  std::printf("bundles created:       %llu\n",
-              (unsigned long long)stats.bundles_created);
-  std::printf("  deleted (aging+tiny):%llu\n",
-              (unsigned long long)stats.bundles_deleted_tiny);
-  std::printf("  dumped (closed):     %llu\n",
-              (unsigned long long)stats.bundles_dumped_closed);
-  std::printf("  evicted (G-ranked):  %llu\n",
-              (unsigned long long)stats.bundles_evicted_ranked);
-  std::printf("  closed by size cap:  %llu\n",
-              (unsigned long long)stats.bundles_closed);
-  std::printf("refinement runs:       %llu\n",
-              (unsigned long long)stats.refinement_runs);
-  std::printf("archived on disk:      %llu bundles\n",
-              (unsigned long long)store->bundle_count());
-  std::printf("stage times: match=%.2fs place=%.2fs refine=%.2fs\n",
-              timers.bundle_match_secs(),
-              timers.message_placement_secs(),
-              timers.memory_refinement_secs());
-  std::printf("throughput: %.0f msgs/sec\n",
-              static_cast<double>(total) /
-                  (timers.total_secs() > 0 ? timers.total_secs() : 1));
+  std::printf("messages ingested:  %llu\n",
+              (unsigned long long)stats.messages_ingested);
+  std::printf("archived on disk:   %llu bundles\n",
+              (unsigned long long)stats.archived_bundles);
+  std::printf("backpressure:       %llu blocked submits\n",
+              (unsigned long long)stats.backpressure_stalls);
+  std::printf("stats reporter:     %llu scrapes delivered\n",
+              (unsigned long long)scrapes.load());
+
+  // One real scrape, filtered to the ingest-path families so the output
+  // stays readable; MetricsText() returns the full exposition.
+  std::printf("\n--- Service::MetricsText() (ingest families) ---\n");
+  std::istringstream scrape(service->MetricsText());
+  for (std::string line; std::getline(scrape, line);) {
+    if (line.find("microprov_engine_") != std::string::npos ||
+        line.find("microprov_pool_") != std::string::npos ||
+        line.find("microprov_shard_") != std::string::npos) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
+
+  // The trace ring answers "why did the last messages land where they
+  // did?" — candidates considered, their Eq. 1 scores, the decision.
+  std::vector<obs::IngestTraceEvent> events = service->trace()->Snapshot();
+  std::printf("\n--- last %zu ingest decisions (of %llu traced) ---\n",
+              events.size() < 3 ? events.size() : 3,
+              (unsigned long long)service->trace()->total_recorded());
+  for (size_t i = events.size() >= 3 ? events.size() - 3 : 0;
+       i < events.size(); ++i) {
+    std::printf("%s\n", obs::TraceSink::EventToJson(events[i]).c_str());
+  }
   std::printf("(archive kept in ./%s; rerun to exercise recovery)\n",
-              store_options.dir.c_str());
+              options.archive_dir.c_str());
   return 0;
 }

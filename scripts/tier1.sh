@@ -20,7 +20,7 @@ echo "=== tier 1: TSan build + concurrency tests ==="
 cmake -B build-tsan -S . -DMICROPROV_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target microprov_tests
 ./build-tsan/tests/microprov_tests \
-  --gtest_filter='BoundedSpscQueue*:RouteShard*:ShardedEngine*:Service*'
+  --gtest_filter='BoundedSpscQueue*:RouteShard*:ShardedEngine*:Service*:Metrics*:TraceSink*:StatsReporter*'
 
 echo
 echo "tier 1: all green"

@@ -28,10 +28,14 @@ class BoundedSpscQueue {
   BoundedSpscQueue& operator=(const BoundedSpscQueue&) = delete;
 
   /// Enqueues `item`, blocking while the queue holds `capacity` items.
-  /// Returns false (and drops the item) if the queue was closed.
-  bool Push(T item) {
+  /// Returns false (and drops the item) if the queue was closed. When
+  /// `blocked_out` is non-null it is set to whether this call had to
+  /// wait for space (the caller's backpressure signal).
+  bool Push(T item, bool* blocked_out = nullptr) {
     std::unique_lock<std::mutex> lock(mu_);
-    if (items_.size() >= capacity_ && !closed_) {
+    const bool blocked = items_.size() >= capacity_ && !closed_;
+    if (blocked_out != nullptr) *blocked_out = blocked;
+    if (blocked) {
       ++blocked_pushes_;
       not_full_.wait(lock,
                      [&] { return items_.size() < capacity_ || closed_; });

@@ -35,6 +35,10 @@ double ExactHistogram::Mean() const {
 
 int64_t ExactHistogram::Percentile(double p) const {
   if (count_ == 0) return 0;
+  if (std::isnan(p)) p = 0;
+  p = std::clamp(p, 0.0, 100.0);
+  if (p == 0) return min();
+  if (p == 100) return max();
   const double target = p / 100.0 * static_cast<double>(count_);
   uint64_t seen = 0;
   for (const auto& [v, c] : buckets_) {
@@ -113,11 +117,20 @@ double LatencyHistogram::Mean() const {
 
 uint64_t LatencyHistogram::Percentile(double p) const {
   if (count_ == 0) return 0;
-  const double target = p / 100.0 * static_cast<double>(count_);
+  if (std::isnan(p)) p = 0;
+  p = std::clamp(p, 0.0, 100.0);
+  if (p == 100) return max_seen_;
+  // p == 0 degenerates to "the first sample's bucket" via target = 1.
+  const double target =
+      std::max(1.0, p / 100.0 * static_cast<double>(count_));
   uint64_t seen = 0;
   for (size_t i = 0; i < counts_.size(); ++i) {
     seen += counts_[i];
-    if (static_cast<double>(seen) >= target) return boundaries_[i];
+    if (static_cast<double>(seen) >= target) {
+      // A bucket's upper bound can overshoot the largest sample in it;
+      // never report a latency above one actually observed.
+      return std::min(boundaries_[i], max_seen_);
+    }
   }
   return max_seen_;
 }

@@ -20,8 +20,9 @@ class ExactHistogram {
   int64_t min() const;
   int64_t max() const;
   double Mean() const;
-  /// p in [0, 100]; returns the smallest value v such that at least p% of
-  /// samples are <= v. Returns 0 on an empty histogram.
+  /// Returns the smallest value v such that at least p% of samples are
+  /// <= v. p is clamped to [0, 100] (NaN acts as 0): p=0 yields min(),
+  /// p=100 yields max(). Returns 0 on an empty histogram.
   int64_t Percentile(double p) const;
 
   const std::map<int64_t, uint64_t>& buckets() const { return buckets_; }
@@ -50,6 +51,9 @@ class LatencyHistogram {
   void Add(uint64_t nanos);
   uint64_t count() const { return count_; }
   double Mean() const;
+  /// Bucket upper bound covering the p-th percentile, never above
+  /// max_seen(). p is clamped to [0, 100] (NaN acts as 0); p=100 yields
+  /// max_seen(). Returns 0 on an empty histogram.
   uint64_t Percentile(double p) const;
   uint64_t max_seen() const { return max_seen_; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/string_util.h"
 #include "core/allocator.h"
 
 namespace microprov {
@@ -70,82 +71,136 @@ ProvenanceEngine::ProvenanceEngine(const EngineOptions& options,
   if (archive_ != nullptr) {
     pool_.ReserveIdsThrough(archive_->MaxBundleId());
   }
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* registry = options_.metrics;
+    const std::string shard_label =
+        StringPrintf("shard=\"%u\"", options_.shard_index);
+    pool_.BindMetrics(registry, shard_label);
+    index_.BindMetrics(registry, shard_label);
+    match_hist_ = registry->GetHistogram(
+        "microprov_ingest_stage_nanos", "stage=\"bundle_match\"",
+        "Per-message ingest stage latency (Fig. 13 stages)");
+    placement_hist_ = registry->GetHistogram(
+        "microprov_ingest_stage_nanos", "stage=\"message_placement\"");
+    refinement_hist_ = registry->GetHistogram(
+        "microprov_ingest_stage_nanos", "stage=\"memory_refinement\"");
+    ingested_counter_ =
+        registry->GetCounter("microprov_engine_messages_total", "",
+                             "Messages ingested across all shards");
+    memory_gauge_ = registry->GetGauge(
+        "microprov_engine_memory_bytes", shard_label,
+        "Approximate pool + index footprint (refreshed at "
+        "refinement/flush, not per message)");
+  }
 }
 
 StatusOr<IngestResult> ProvenanceEngine::Ingest(const Message& msg) {
   const Timestamp now = clock_->Now();
   IngestResult local;
   Bundle* bundle = nullptr;
+  const bool tracing = options_.trace != nullptr;
 
-  {
-    // Stage 1: bundle match (Alg. 1 steps 1-2).
-    ScopedStageTimer timer(&timers_.bundle_match_nanos);
-    std::optional<MatchResult> match =
-        FindBestBundle(msg, index_, pool_, now, options_.matcher);
-    if (match) {
-      bundle = pool_.Get(match->bundle);
-      local.bundle = match->bundle;
-      local.match_score = match->score;
-    }
+  // Stage boundaries are chained monotonic reads: four clock calls per
+  // message cover all three stages, feeding both the cumulative
+  // StageTimers (Fig. 13 harness) and the latency histograms.
+  const int64_t t0 = MonotonicNanos();
+
+  // Stage 1: bundle match (Alg. 1 steps 1-2).
+  std::optional<MatchResult> match =
+      FindBestBundle(msg, index_, pool_, now, options_.matcher,
+                     tracing ? &trace_scored_ : nullptr);
+  if (match) {
+    bundle = pool_.Get(match->bundle);
+    local.bundle = match->bundle;
+    local.match_score = match->score;
   }
 
-  {
-    // Stage 2: message placement (Alg. 2), or bundle creation.
-    ScopedStageTimer timer(&timers_.message_placement_nanos);
-    if (bundle == nullptr) {
-      bundle = pool_.Create();
-      local.bundle = bundle->id();
-      local.created_bundle = true;
-      bundle->AddMessage(msg, kInvalidMessageId, ConnectionType::kText,
-                         0.0f);
-    } else {
-      Placement placement =
-          AllocateMessage(*bundle, msg, options_.matcher.weights,
-                          options_.allocate_scan_window);
-      local.parent = placement.parent;
-      local.connection = placement.type;
-      bundle->AddMessage(msg, placement.parent, placement.type,
-                         static_cast<float>(placement.score));
-      if (options_.record_edges) {
-        edge_log_.Record(Edge{placement.parent, msg.id, placement.type,
-                              static_cast<float>(placement.score)});
-      }
-    }
-    pool_.NoteMessageAdded();
+  const int64_t t1 = MonotonicNanos();
 
-    // Alg. 1 step 3: update the summary index with the new message.
-    index_.AddMessage(bundle->id(), msg,
-                      Bundle::kSummaryKeywordsPerMessage);
-
-    // Bundle-size constraint (Section V-B): cap reached -> closed.
-    const size_t cap = pool_.options().max_bundle_size;
-    if (cap > 0 && bundle->size() >= cap && !bundle->closed()) {
-      bundle->Close();
-      pool_.RecordClosed();
+  // Stage 2: message placement (Alg. 2), or bundle creation.
+  if (bundle == nullptr) {
+    bundle = pool_.Create();
+    local.bundle = bundle->id();
+    local.created_bundle = true;
+    bundle->AddMessage(msg, kInvalidMessageId, ConnectionType::kText,
+                       0.0f);
+  } else {
+    Placement placement =
+        AllocateMessage(*bundle, msg, options_.matcher.weights,
+                        options_.allocate_scan_window);
+    local.parent = placement.parent;
+    local.connection = placement.type;
+    bundle->AddMessage(msg, placement.parent, placement.type,
+                       static_cast<float>(placement.score));
+    if (options_.record_edges) {
+      edge_log_.Record(Edge{placement.parent, msg.id, placement.type,
+                            static_cast<float>(placement.score)});
     }
   }
+  pool_.NoteMessageAdded();
 
-  {
-    // Stage 3: memory refinement (Alg. 3) when the pool outgrows M.
-    ScopedStageTimer timer(&timers_.memory_refinement_nanos);
-    if (pool_.NeedsRefinement()) {
-      MICROPROV_RETURN_IF_ERROR(pool_.Refine(now, &index_, archive_));
-    }
+  // Alg. 1 step 3: update the summary index with the new message.
+  index_.AddMessage(bundle->id(), msg,
+                    Bundle::kSummaryKeywordsPerMessage);
+
+  // Bundle-size constraint (Section V-B): cap reached -> closed.
+  const size_t cap = pool_.options().max_bundle_size;
+  if (cap > 0 && bundle->size() >= cap && !bundle->closed()) {
+    bundle->Close();
+    pool_.RecordClosed();
   }
 
+  const int64_t t2 = MonotonicNanos();
+
+  // Stage 3: memory refinement (Alg. 3) when the pool outgrows M.
+  const bool refined = pool_.NeedsRefinement();
+  if (refined) {
+    MICROPROV_RETURN_IF_ERROR(pool_.Refine(now, &index_, archive_));
+  }
+
+  const int64_t t3 = MonotonicNanos();
+  timers_.bundle_match_nanos += t1 - t0;
+  timers_.message_placement_nanos += t2 - t1;
+  timers_.memory_refinement_nanos += t3 - t2;
+  if (match_hist_ != nullptr) {
+    match_hist_->Observe(t1 - t0);
+    placement_hist_->Observe(t2 - t1);
+    refinement_hist_->Observe(t3 - t2);
+  }
   ++ingested_;
+  if (ingested_counter_ != nullptr) ingested_counter_->Increment();
+  if (refined) RefreshMemoryMetrics();
+
+  if (tracing) {
+    obs::IngestTraceEvent event;
+    event.message = msg.id;
+    event.date = msg.date;
+    event.shard = options_.shard_index;
+    event.candidates.reserve(trace_scored_.size());
+    for (const MatchResult& scored : trace_scored_) {
+      event.candidates.push_back(
+          obs::TraceCandidate{scored.bundle, scored.score});
+    }
+    event.chosen = local.bundle;
+    event.created = local.created_bundle;
+    event.score = local.match_score;
+    event.parent = local.parent;
+    event.connection = static_cast<int>(local.connection);
+    options_.trace->Record(std::move(event));
+  }
   return local;
 }
 
-Status ProvenanceEngine::Ingest(const Message& msg, IngestResult* result) {
-  StatusOr<IngestResult> result_or = Ingest(msg);
-  if (!result_or.ok()) return result_or.status();
-  if (result != nullptr) *result = *result_or;
+Status ProvenanceEngine::Drain() {
+  MICROPROV_RETURN_IF_ERROR(pool_.Drain(&index_, archive_));
+  RefreshMemoryMetrics();
   return Status::OK();
 }
 
-Status ProvenanceEngine::Drain() {
-  return pool_.Drain(&index_, archive_);
+void ProvenanceEngine::RefreshMemoryMetrics() {
+  if (memory_gauge_ != nullptr) {
+    memory_gauge_->Set(static_cast<int64_t>(ApproxMemoryUsage()));
+  }
 }
 
 size_t ProvenanceEngine::ApproxMemoryUsage() const {

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/status.h"
@@ -12,6 +13,8 @@
 #include "core/pool.h"
 #include "core/stats.h"
 #include "core/summary_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace microprov {
 
@@ -36,6 +39,17 @@ struct EngineOptions {
   /// Alg. 2 scan window: most-recent members considered for the Eq. 5
   /// similarity argmax (0 = unbounded, exact but O(|B|) per insert).
   size_t allocate_scan_window = 256;
+
+  /// Observability sinks, both optional and never owned; they must
+  /// outlive the engine. With `metrics` set the engine registers its
+  /// own, the pool's, and the index's instruments there; with `trace`
+  /// set every ingested message appends one IngestTraceEvent carrying
+  /// the Eq. 1 candidate scores and the final placement decision.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceSink* trace = nullptr;
+  /// Shard this engine serves; becomes the `shard="N"` label on
+  /// per-instance gauges and the `shard` field of trace events.
+  uint32_t shard_index = 0;
 
   /// Canonical knobs per configuration; `pool_limit`/`bundle_cap`
   /// override the defaults (10k / 300, mirroring the paper's setup).
@@ -90,10 +104,6 @@ class ProvenanceEngine {
   /// maybe refine (Alg. 3). Returns where the message landed.
   StatusOr<IngestResult> Ingest(const Message& msg);
 
-  /// Out-parameter form kept for source compatibility only.
-  [[deprecated("use StatusOr<IngestResult> Ingest(const Message&)")]]
-  Status Ingest(const Message& msg, IngestResult* result);
-
   /// Flushes every live bundle to the archive (end-of-stream).
   Status Drain();
 
@@ -108,6 +118,12 @@ class ProvenanceEngine {
   /// In-memory footprint: pool + summary index (Fig. 11(a)).
   size_t ApproxMemoryUsage() const;
 
+  /// Re-publishes the `microprov_engine_memory_bytes` gauge from
+  /// ApproxMemoryUsage(). O(pool size), so it is not run per message;
+  /// the engine calls it after each refinement pass and at Drain, and
+  /// owners may call it at their own flush points.
+  void RefreshMemoryMetrics();
+
  private:
   EngineOptions options_;
   const Clock* clock_;
@@ -117,6 +133,15 @@ class ProvenanceEngine {
   EdgeLog edge_log_;
   StageTimers timers_;
   uint64_t ingested_ = 0;
+
+  // Observability handles (null unless options_.metrics was set).
+  obs::HistogramMetric* match_hist_ = nullptr;
+  obs::HistogramMetric* placement_hist_ = nullptr;
+  obs::HistogramMetric* refinement_hist_ = nullptr;
+  obs::Counter* ingested_counter_ = nullptr;
+  obs::Gauge* memory_gauge_ = nullptr;
+  // Scratch buffer reused across Ingest calls when tracing is on.
+  std::vector<MatchResult> trace_scored_;
 };
 
 }  // namespace microprov

@@ -5,11 +5,11 @@
 
 namespace microprov {
 
-std::optional<MatchResult> FindBestBundle(const Message& msg,
-                                          const SummaryIndex& index,
-                                          const BundlePool& pool,
-                                          Timestamp now,
-                                          const MatcherOptions& options) {
+std::optional<MatchResult> FindBestBundle(
+    const Message& msg, const SummaryIndex& index, const BundlePool& pool,
+    Timestamp now, const MatcherOptions& options,
+    std::vector<MatchResult>* scored_out) {
+  if (scored_out != nullptr) scored_out->clear();
   std::unordered_map<BundleId, CandidateHits> candidates =
       index.Candidates(msg, Bundle::kSummaryKeywordsPerMessage,
                        options.max_posting_fanout);
@@ -39,6 +39,9 @@ std::optional<MatchResult> FindBestBundle(const Message& msg,
     if (cap > 0 && bundle->size() >= cap) continue;
     double score =
         BundleMatchScore(msg, *bundle, hits, now, options.weights);
+    if (scored_out != nullptr) {
+      scored_out->push_back(MatchResult{bundle_id, score});
+    }
     if (!best || score > best->score ||
         (score == best->score && bundle_id < best->bundle)) {
       best = MatchResult{bundle_id, score};

@@ -2,6 +2,7 @@
 #define MICROPROV_CORE_MATCHER_H_
 
 #include <optional>
+#include <vector>
 
 #include "common/clock.h"
 #include "core/pool.h"
@@ -34,12 +35,14 @@ struct MatchResult {
 
 /// Steps 1-2 of Alg. 1: fetch candidates via the summary index, score each
 /// with Eq. 1, and return the argmax if it clears the threshold. Closed and
-/// size-capped bundles are skipped (they accept no messages).
-std::optional<MatchResult> FindBestBundle(const Message& msg,
-                                          const SummaryIndex& index,
-                                          const BundlePool& pool,
-                                          Timestamp now,
-                                          const MatcherOptions& options);
+/// size-capped bundles are skipped (they accept no messages). When
+/// `scored_out` is non-null it receives every candidate actually scored
+/// with its Eq. 1 score (the ingest trace record), including ones below
+/// the match threshold.
+std::optional<MatchResult> FindBestBundle(
+    const Message& msg, const SummaryIndex& index, const BundlePool& pool,
+    Timestamp now, const MatcherOptions& options,
+    std::vector<MatchResult>* scored_out = nullptr);
 
 }  // namespace microprov
 

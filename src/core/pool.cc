@@ -13,7 +13,38 @@ Bundle* BundlePool::Create() {
   auto [it, inserted] =
       bundles_.emplace(id, std::make_unique<Bundle>(id));
   ++stats_.bundles_created;
+  if (created_counter_ != nullptr) created_counter_->Increment();
+  SetSizeGauge();
   return it->second.get();
+}
+
+void BundlePool::BindMetrics(obs::MetricsRegistry* registry,
+                             const std::string& shard_label) {
+  created_counter_ =
+      registry->GetCounter("microprov_pool_created_total", "",
+                           "Bundles created across all shards");
+  closed_counter_ =
+      registry->GetCounter("microprov_pool_closed_total", "",
+                           "Bundles closed by the size cap");
+  evicted_tiny_counter_ = registry->GetCounter(
+      "microprov_pool_evictions_total", "reason=\"aging_tiny\"",
+      "Bundles leaving memory, by Alg. 3 eviction reason");
+  evicted_closed_counter_ = registry->GetCounter(
+      "microprov_pool_evictions_total", "reason=\"aging_closed\"");
+  evicted_rank_counter_ = registry->GetCounter(
+      "microprov_pool_evictions_total", "reason=\"rank\"");
+  refinements_counter_ =
+      registry->GetCounter("microprov_pool_refinements_total", "",
+                           "Alg. 3 refinement passes");
+  size_gauge_ = registry->GetGauge("microprov_pool_bundles", shard_label,
+                                   "Live bundles in this shard's pool");
+  messages_gauge_ =
+      registry->GetGauge("microprov_pool_messages", shard_label,
+                         "Messages held in this shard's live bundles");
+  SetSizeGauge();
+  if (messages_gauge_ != nullptr) {
+    messages_gauge_->Set(static_cast<int64_t>(total_messages_));
+  }
 }
 
 Bundle* BundlePool::Get(BundleId id) {
@@ -34,12 +65,17 @@ Status BundlePool::Discard(Bundle* bundle, SummaryIndex* index,
   }
   total_messages_ -= bundle->size();
   bundles_.erase(bundle->id());
+  SetSizeGauge();
+  if (messages_gauge_ != nullptr) {
+    messages_gauge_->Set(static_cast<int64_t>(total_messages_));
+  }
   return Status::OK();
 }
 
 Status BundlePool::Refine(Timestamp now, SummaryIndex* index,
                           BundleArchive* archive) {
   ++stats_.refinement_runs;
+  if (refinements_counter_ != nullptr) refinements_counter_->Increment();
 
   // Stage 1 (Alg. 3 lines 1-13): aging tiny bundles die, aging closed
   // bundles are dumped to disk, everything else is scored by G.
@@ -61,11 +97,17 @@ Status BundlePool::Refine(Timestamp now, SummaryIndex* index,
     MICROPROV_RETURN_IF_ERROR(
         Discard(bundle, index, archive, /*archive_it=*/false));
     ++stats_.bundles_deleted_tiny;
+    if (evicted_tiny_counter_ != nullptr) {
+      evicted_tiny_counter_->Increment();
+    }
   }
   for (Bundle* bundle : dump_closed) {
     MICROPROV_RETURN_IF_ERROR(
         Discard(bundle, index, archive, /*archive_it=*/true));
     ++stats_.bundles_dumped_closed;
+    if (evicted_closed_counter_ != nullptr) {
+      evicted_closed_counter_->Increment();
+    }
   }
 
   // Stage 2 (lines 14-20): evict by descending G until the pool reaches
@@ -88,6 +130,9 @@ Status BundlePool::Refine(Timestamp now, SummaryIndex* index,
         options_.archive_evicted && bundle->size() >= options_.tiny_size;
     MICROPROV_RETURN_IF_ERROR(Discard(bundle, index, archive, archive_it));
     ++stats_.bundles_evicted_ranked;
+    if (evicted_rank_counter_ != nullptr) {
+      evicted_rank_counter_->Increment();
+    }
   }
   return Status::OK();
 }

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "core/bundle.h"
 #include "core/summary_index.h"
+#include "obs/metrics.h"
 
 namespace microprov {
 
@@ -102,11 +103,26 @@ class BundlePool {
 
   const PoolOptions& options() const { return options_; }
   const PoolStats& stats() const { return stats_; }
-  void RecordClosed() { ++stats_.bundles_closed; }
+  void RecordClosed() {
+    ++stats_.bundles_closed;
+    if (closed_counter_ != nullptr) closed_counter_->Increment();
+  }
 
   /// Total messages held in memory (Fig. 11(b)).
   uint64_t TotalMessages() const { return total_messages_; }
-  void NoteMessageAdded() { ++total_messages_; }
+  void NoteMessageAdded() {
+    ++total_messages_;
+    if (messages_gauge_ != nullptr) {
+      messages_gauge_->Set(static_cast<int64_t>(total_messages_));
+    }
+  }
+
+  /// Registers this pool's metrics: shared eviction/lifecycle counters
+  /// (labeled by eviction reason) plus per-instance size gauges labeled
+  /// `shard_label` (e.g. `shard="2"`). The registry must outlive the
+  /// pool. Idempotent metric names: shards share the counters.
+  void BindMetrics(obs::MetricsRegistry* registry,
+                   const std::string& shard_label);
 
   size_t ApproxMemoryUsage() const;
 
@@ -114,11 +130,27 @@ class BundlePool {
   Status Discard(Bundle* bundle, SummaryIndex* index,
                  BundleArchive* archive, bool archive_it);
 
+  void SetSizeGauge() {
+    if (size_gauge_ != nullptr) {
+      size_gauge_->Set(static_cast<int64_t>(bundles_.size()));
+    }
+  }
+
   PoolOptions options_;
   std::unordered_map<BundleId, std::unique_ptr<Bundle>> bundles_;
   BundleId next_id_ = 1;
   PoolStats stats_;
   uint64_t total_messages_ = 0;
+
+  // Observability handles (null until BindMetrics; never owned).
+  obs::Counter* created_counter_ = nullptr;
+  obs::Counter* closed_counter_ = nullptr;
+  obs::Counter* evicted_tiny_counter_ = nullptr;
+  obs::Counter* evicted_closed_counter_ = nullptr;
+  obs::Counter* evicted_rank_counter_ = nullptr;
+  obs::Counter* refinements_counter_ = nullptr;
+  obs::Gauge* size_gauge_ = nullptr;
+  obs::Gauge* messages_gauge_ = nullptr;
 };
 
 }  // namespace microprov

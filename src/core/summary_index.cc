@@ -19,6 +19,24 @@ void SummaryIndex::AddMessage(BundleId id, const Message& msg,
         ++pit->second;
         if (inserted) ++num_postings_;
       });
+  RefreshGauges();
+}
+
+void SummaryIndex::BindMetrics(obs::MetricsRegistry* registry,
+                               const std::string& shard_label) {
+  keys_gauge_ =
+      registry->GetGauge("microprov_index_keys", shard_label,
+                         "Distinct indicant values in the summary index");
+  postings_gauge_ =
+      registry->GetGauge("microprov_index_postings", shard_label,
+                         "(indicant, bundle) postings in the summary index");
+  candidates_hist_ = registry->GetHistogram(
+      "microprov_index_candidates", "",
+      "Candidate bundles returned per ingest fetch (Alg. 1 step 1)");
+  fanout_hist_ = registry->GetHistogram(
+      "microprov_index_postings_scanned", "",
+      "Posting-list entries visited per ingest candidate fetch");
+  RefreshGauges();
 }
 
 void SummaryIndex::Remove(IndicantType type, const std::string& value,
@@ -50,11 +68,13 @@ void SummaryIndex::RemoveBundle(const Bundle& bundle) {
   for (const auto& [value, count] : bundle.user_counts()) {
     Remove(IndicantType::kUser, value, bundle.id(), count);
   }
+  RefreshGauges();
 }
 
 std::unordered_map<BundleId, CandidateHits> SummaryIndex::Candidates(
     const Message& msg, size_t max_keywords, size_t max_fanout) const {
   std::unordered_map<BundleId, CandidateHits> out;
+  uint64_t postings_scanned = 0;
   ForEachIndicant(
       msg, max_keywords, [&](IndicantType type, std::string_view value) {
         // The author's own name matching a bundle's users is not evidence
@@ -66,6 +86,7 @@ std::unordered_map<BundleId, CandidateHits> SummaryIndex::Candidates(
         auto it = map.find(value);
         if (it == map.end()) return;
         if (max_fanout > 0 && it->second.size() > max_fanout) return;
+        postings_scanned += it->second.size();
         for (const auto& [bundle_id, count] : it->second) {
           CandidateHits& hits = out[bundle_id];
           switch (type) {
@@ -89,11 +110,14 @@ std::unordered_map<BundleId, CandidateHits> SummaryIndex::Candidates(
     auto it = users.find(msg.retweet_of_user);
     if (it != users.end() &&
         (max_fanout == 0 || it->second.size() <= max_fanout)) {
+      postings_scanned += it->second.size();
       for (const auto& [bundle_id, count] : it->second) {
         ++out[bundle_id].user_hits;
       }
     }
   }
+  if (candidates_hist_ != nullptr) candidates_hist_->Observe(out.size());
+  if (fanout_hist_ != nullptr) fanout_hist_->Observe(postings_scanned);
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include "common/hash.h"
 #include "core/bundle.h"
 #include "core/indicant.h"
+#include "obs/metrics.h"
 #include "stream/message.h"
 
 namespace microprov {
@@ -66,6 +67,13 @@ class SummaryIndex {
 
   size_t ApproxMemoryUsage() const;
 
+  /// Registers this index's metrics: shared candidate-fetch histograms
+  /// (candidate count and posting fanout per fetch) plus per-instance
+  /// key/posting gauges labeled `shard_label`. Registry must outlive
+  /// the index.
+  void BindMetrics(obs::MetricsRegistry* registry,
+                   const std::string& shard_label);
+
  private:
   // value -> (bundle -> count of member messages with that value).
   // Transparent hashing allows string_view probes on the ingest path.
@@ -84,8 +92,23 @@ class SummaryIndex {
   void Remove(IndicantType type, const std::string& value, BundleId id,
               uint32_t count);
 
+  void RefreshGauges() {
+    if (keys_gauge_ != nullptr) {
+      keys_gauge_->Set(static_cast<int64_t>(num_keys()));
+    }
+    if (postings_gauge_ != nullptr) {
+      postings_gauge_->Set(static_cast<int64_t>(num_postings_));
+    }
+  }
+
   PostingMap maps_[kNumIndicantTypes];
   size_t num_postings_ = 0;
+
+  // Observability handles (null until BindMetrics; never owned).
+  obs::Gauge* keys_gauge_ = nullptr;
+  obs::Gauge* postings_gauge_ = nullptr;
+  obs::HistogramMetric* candidates_hist_ = nullptr;
+  obs::HistogramMetric* fanout_hist_ = nullptr;
 };
 
 }  // namespace microprov

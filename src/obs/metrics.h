@@ -1,0 +1,194 @@
+#ifndef MICROPROV_OBS_METRICS_H_
+#define MICROPROV_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+
+namespace microprov {
+namespace obs {
+
+/// Monotonically increasing count (events, bytes). Relaxed atomics: any
+/// thread may bump it, any thread may read a recent value; exact
+/// synchronization comes from the pipeline's own barriers.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A point-in-time level (pool size, queue depth). Written by the
+/// component that owns the underlying state, readable from any thread.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time summary of a HistogramMetric.
+struct HistogramStats {
+  uint64_t count = 0;
+  double sum = 0;
+  double mean = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+  uint64_t max = 0;
+};
+
+/// Latency/size distribution with p50/p95/p99, safe for concurrent
+/// Observe and Snapshot. One short critical section per observation —
+/// lock-light relative to the microsecond-scale operations it measures.
+class HistogramMetric {
+ public:
+  HistogramMetric() = default;
+  HistogramMetric(const HistogramMetric&) = delete;
+  HistogramMetric& operator=(const HistogramMetric&) = delete;
+
+  void Observe(uint64_t value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Add(value);
+  }
+
+  HistogramStats Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    HistogramStats stats;
+    stats.count = hist_.count();
+    stats.mean = hist_.Mean();
+    stats.sum = stats.mean * static_cast<double>(stats.count);
+    stats.p50 = hist_.Percentile(50);
+    stats.p95 = hist_.Percentile(95);
+    stats.p99 = hist_.Percentile(99);
+    stats.max = hist_.max_seen();
+    return stats;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  LatencyHistogram hist_;
+};
+
+/// RAII nanosecond timer: observes elapsed monotonic time into `sink` at
+/// scope exit. A null sink disables it (no clock reads).
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(HistogramMetric* sink)
+      : sink_(sink), start_(sink != nullptr ? MonotonicNanos() : 0) {}
+  ~ScopedLatencyTimer() {
+    if (sink_ != nullptr) {
+      sink_->Observe(static_cast<uint64_t>(MonotonicNanos() - start_));
+    }
+  }
+
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  HistogramMetric* sink_;
+  int64_t start_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One metric's identity and value at snapshot time.
+struct MetricSnapshot {
+  /// Family name, e.g. "microprov_pool_evictions_total".
+  std::string name;
+  /// Prometheus-style label body without braces, e.g. `shard="0"`;
+  /// empty for unlabeled metrics.
+  std::string labels;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  /// Counter / gauge value.
+  double value = 0;
+  /// Histogram summary (kind == kHistogram only).
+  HistogramStats hist;
+};
+
+/// Named metric registry. Registration (the Get* calls) takes a mutex
+/// and is meant for construction time: instrumented components hold the
+/// returned pointers, whose updates are atomic (counters, gauges) or
+/// per-metric locked (histograms). Pointers stay valid for the
+/// registry's lifetime.
+///
+/// Metric naming scheme (see DESIGN.md §9):
+///   microprov_<layer>_<quantity>[_total|_nanos|_bytes] { labels }
+/// with low-cardinality labels only: shard="N", stage="...", reason="...".
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the metric registered under (name, labels), creating it on
+  /// first use. Returns nullptr if the name is already registered with a
+  /// different kind (a programming error surfaced gently — callers
+  /// null-check their handles).
+  Counter* GetCounter(std::string_view name, std::string_view labels = {},
+                      std::string_view help = {});
+  Gauge* GetGauge(std::string_view name, std::string_view labels = {},
+                  std::string_view help = {});
+  HistogramMetric* GetHistogram(std::string_view name,
+                                std::string_view labels = {},
+                                std::string_view help = {});
+
+  /// Point-in-time view of every registered metric, ordered by
+  /// (name, labels).
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Prometheus text exposition format (text/plain; version=0.0.4).
+  /// Histograms are exported as summaries with p50/p95/p99 quantiles.
+  std::string PrometheusText() const;
+
+  /// The same snapshot as a JSON document: {"metrics": [...]}.
+  std::string Json() const;
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  Entry* FindOrCreate(std::string_view name, std::string_view labels,
+                      std::string_view help, MetricKind kind);
+
+  mutable std::mutex mu_;
+  /// (family name, label body) -> metric. Ordered so exporters emit each
+  /// family's series contiguously (one TYPE line per family).
+  std::map<std::pair<std::string, std::string>, Entry> entries_;
+};
+
+}  // namespace obs
+}  // namespace microprov
+
+#endif  // MICROPROV_OBS_METRICS_H_

@@ -1,0 +1,43 @@
+#include "obs/stats_reporter.h"
+
+namespace microprov {
+namespace obs {
+
+StatsReporter::StatsReporter(std::chrono::milliseconds interval,
+                             std::function<void()> tick)
+    : interval_(interval.count() > 0 ? interval
+                                     : std::chrono::milliseconds(1)),
+      tick_(std::move(tick)),
+      thread_([this] { Loop(); }) {}
+
+StatsReporter::~StatsReporter() { Stop(); }
+
+void StatsReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+uint64_t StatsReporter::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
+}
+
+void StatsReporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (cv_.wait_for(lock, interval_, [&] { return stop_; })) return;
+    ++ticks_;
+    // Run the callback outside the lock so Stop() never waits on a slow
+    // sink and the callback may call ticks().
+    lock.unlock();
+    tick_();
+    lock.lock();
+  }
+}
+
+}  // namespace obs
+}  // namespace microprov

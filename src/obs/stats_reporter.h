@@ -1,0 +1,51 @@
+#ifndef MICROPROV_OBS_STATS_REPORTER_H_
+#define MICROPROV_OBS_STATS_REPORTER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace microprov {
+namespace obs {
+
+/// Periodic telemetry pump: a background thread that invokes `tick`
+/// every `interval` until stopped. The callback typically snapshots a
+/// MetricsRegistry and ships the result somewhere (stdout, a file, an
+/// HTTP responder). Stop() (and the destructor) synchronize with the
+/// thread, so after either returns the callback is guaranteed not to be
+/// running and will not run again.
+class StatsReporter {
+ public:
+  StatsReporter(std::chrono::milliseconds interval,
+                std::function<void()> tick);
+  ~StatsReporter();
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  /// Idempotent; joins the reporter thread.
+  void Stop();
+
+  uint64_t ticks() const;
+
+ private:
+  void Loop();
+
+  const std::chrono::milliseconds interval_;
+  const std::function<void()> tick_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  uint64_t ticks_ = 0;
+
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace microprov
+
+#endif  // MICROPROV_OBS_STATS_REPORTER_H_

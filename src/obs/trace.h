@@ -1,0 +1,84 @@
+#ifndef MICROPROV_OBS_TRACE_H_
+#define MICROPROV_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace microprov {
+namespace obs {
+
+/// One candidate bundle the matcher scored for a message (Eq. 1).
+struct TraceCandidate {
+  uint64_t bundle = 0;
+  double score = 0;
+};
+
+/// The full match/placement decision for one ingested message: every
+/// candidate fetched through the summary index with its Eq. 1 score,
+/// and where the message finally landed. This is the record that
+/// answers "why did message X join bundle Y (or start a new one)?".
+struct IngestTraceEvent {
+  int64_t message = 0;
+  int64_t date = 0;
+  uint32_t shard = 0;
+  std::vector<TraceCandidate> candidates;
+  /// Chosen bundle (0 = none existed and the engine created `chosen`
+  /// fresh — see `created`).
+  uint64_t chosen = 0;
+  bool created = false;
+  /// Winning Eq. 1 score (0 when a bundle was created).
+  double score = 0;
+  /// Alg. 2 parent message inside the bundle (-1 for roots) and the
+  /// connection type as its numeric enum value.
+  int64_t parent = -1;
+  int connection = 0;
+};
+
+/// Opt-in ingest trace: a fixed-capacity ring buffer of the most recent
+/// IngestTraceEvents, shared by every shard worker (Record is
+/// thread-safe). Dumpable as JSONL for offline debugging of match
+/// quality; FromJsonl round-trips the dump.
+class TraceSink {
+ public:
+  explicit TraceSink(size_t capacity);
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  void Record(IngestTraceEvent event);
+
+  /// The buffered events, oldest first.
+  std::vector<IngestTraceEvent> Snapshot() const;
+
+  /// One JSON object per line, oldest first.
+  std::string ToJsonl() const;
+
+  /// Parses a ToJsonl dump (blank lines skipped). Fails with
+  /// InvalidArgument on malformed lines.
+  static StatusOr<std::vector<IngestTraceEvent>> FromJsonl(
+      std::string_view text);
+
+  static std::string EventToJson(const IngestTraceEvent& event);
+
+  size_t capacity() const { return capacity_; }
+  /// Events ever recorded / overwritten by ring wrap-around.
+  uint64_t total_recorded() const;
+  uint64_t dropped() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<IngestTraceEvent> ring_;
+  size_t next_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace obs
+}  // namespace microprov
+
+#endif  // MICROPROV_OBS_TRACE_H_

@@ -38,8 +38,25 @@ size_t MessageSearchIndex::ApproxMemoryUsage() const {
   return total;
 }
 
+void BundleQueryProcessor::BindMetrics(obs::MetricsRegistry* registry) {
+  queries_counter_ =
+      registry->GetCounter("microprov_query_requests_total", "",
+                           "Bundle search requests served");
+  latency_hist_ =
+      registry->GetHistogram("microprov_query_latency_nanos", "",
+                             "End-to-end bundle search latency");
+  candidates_hist_ = registry->GetHistogram(
+      "microprov_query_candidates", "",
+      "Candidate bundles scored per query (live + archived)");
+  fanout_hist_ = registry->GetHistogram(
+      "microprov_query_fanout", "",
+      "Shards consulted per cross-shard search");
+}
+
 std::vector<BundleSearchResult> BundleQueryProcessor::Search(
     const BundleQuery& query) const {
+  obs::ScopedLatencyTimer latency_timer(latency_hist_);
+  if (queries_counter_ != nullptr) queries_counter_->Increment();
   const size_t k = query.k;
   const Timestamp now = query.now;
   const SearchFilters& filters = query.filters;
@@ -131,6 +148,9 @@ std::vector<BundleSearchResult> BundleQueryProcessor::Search(
       results.push_back(make_result(**bundle_or, /*archived=*/true));
     }
   }
+  if (candidates_hist_ != nullptr) {
+    candidates_hist_->Observe(results.size());
+  }
   size_t take = std::min(k, results.size());
   std::partial_sort(results.begin(), results.begin() + take, results.end(),
                     [](const BundleSearchResult& a,
@@ -155,11 +175,19 @@ std::vector<BundleSearchResult> BundleQueryProcessor::SearchShards(
   }
 
   std::vector<BundleSearchResult> merged;
+  size_t consulted = 0;
   for (size_t i = 0; i < shards.size(); ++i) {
     if (shards[i] == nullptr) continue;
+    ++consulted;
     for (BundleSearchResult& hit : shards[i]->Search(shard_query)) {
       hit.shard = static_cast<uint32_t>(i);
       merged.push_back(std::move(hit));
+    }
+  }
+  for (const BundleQueryProcessor* shard : shards) {
+    if (shard != nullptr && shard->fanout_hist_ != nullptr) {
+      shard->fanout_hist_->Observe(consulted);
+      break;  // the histogram is shared; one observation per search
     }
   }
   size_t take = std::min(query.k, merged.size());

@@ -8,6 +8,7 @@
 #include "index/doc_store.h"
 #include "index/memory_index.h"
 #include "index/searcher.h"
+#include "obs/metrics.h"
 #include "query/bundle_ranker.h"
 #include "storage/bundle_store.h"
 
@@ -96,10 +97,16 @@ struct BundleQuery {
 /// searched too (via the store's term index) and marked `archived`.
 class BundleQueryProcessor {
  public:
+  /// `metrics`, when set, receives query latency / candidate-count
+  /// distributions and a served-query counter (shared across shard
+  /// processors bound to the same registry; must outlive the processor).
   explicit BundleQueryProcessor(const ProvenanceEngine* engine,
                                 QueryWeights weights = {},
-                                BundleStore* archive = nullptr)
-      : engine_(engine), weights_(weights), archive_(archive) {}
+                                BundleStore* archive = nullptr,
+                                obs::MetricsRegistry* metrics = nullptr)
+      : engine_(engine), weights_(weights), archive_(archive) {
+    if (metrics != nullptr) BindMetrics(metrics);
+  }
 
   /// Top-k bundles for the request. Candidates are fetched through the
   /// summary index (term -> bundle postings), so cost scales with
@@ -120,9 +127,17 @@ class BundleQueryProcessor {
   static constexpr size_t kMaxArchivedCandidates = 64;
 
  private:
+  void BindMetrics(obs::MetricsRegistry* registry);
+
   const ProvenanceEngine* engine_;
   QueryWeights weights_;
   BundleStore* archive_;
+
+  // Observability handles (null without a registry; never owned).
+  obs::Counter* queries_counter_ = nullptr;
+  obs::HistogramMetric* latency_hist_ = nullptr;
+  obs::HistogramMetric* candidates_hist_ = nullptr;
+  obs::HistogramMetric* fanout_hist_ = nullptr;
 };
 
 }  // namespace microprov

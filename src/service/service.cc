@@ -5,7 +5,13 @@
 
 namespace microprov {
 
-Service::Service(const ServiceOptions& options) : options_(options) {}
+Service::Service(const ServiceOptions& options)
+    : options_(options),
+      registry_(std::make_unique<obs::MetricsRegistry>()) {
+  if (options_.trace_capacity > 0) {
+    trace_ = std::make_unique<obs::TraceSink>(options_.trace_capacity);
+  }
+}
 
 StatusOr<std::unique_ptr<Service>> Service::Open(
     const ServiceOptions& options) {
@@ -14,6 +20,10 @@ StatusOr<std::unique_ptr<Service>> Service::Open(
   }
   if (options.queue_capacity == 0) {
     return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (options.stats_interval_ms > 0 && !options.stats_callback) {
+    return Status::InvalidArgument(
+        "stats_interval_ms requires a stats_callback");
   }
   std::unique_ptr<Service> service(new Service(options));
 
@@ -27,6 +37,9 @@ StatusOr<std::unique_ptr<Service>> Service::Open(
           StringPrintf("%s/shard-%zu", options.archive_dir.c_str(), i);
       auto store_or = BundleStore::Open(store_options);
       if (!store_or.ok()) return store_or.status();
+      (*store_or)
+          ->BindMetrics(service->registry_.get(),
+                        StringPrintf("shard=\"%zu\"", i));
       archives.push_back(store_or->get());
       service->stores_.push_back(std::move(*store_or));
     }
@@ -41,8 +54,34 @@ StatusOr<std::unique_ptr<Service>> Service::Open(
   // caps so total memory and per-message selectivity stay what the
   // caller configured regardless of shard count.
   sharded_options.engine = options.engine.ShardSlice(options.num_shards);
+  sharded_options.engine.metrics = service->registry_.get();
+  sharded_options.engine.trace = service->trace_.get();
   service->sharded_ = std::make_unique<ShardedEngine>(sharded_options,
                                                       std::move(archives));
+
+  // Cache the per-shard gauges Stats() aggregates. Everything below was
+  // registered while the pipeline was constructed, so the Get* calls
+  // only look up existing entries.
+  obs::MetricsRegistry* registry = service->registry_.get();
+  for (size_t i = 0; i < options.num_shards; ++i) {
+    const std::string shard_label = StringPrintf("shard=\"%zu\"", i);
+    service->pool_gauges_.push_back(
+        registry->GetGauge("microprov_pool_bundles", shard_label));
+    service->memory_gauges_.push_back(
+        registry->GetGauge("microprov_engine_memory_bytes", shard_label));
+    if (!options.archive_dir.empty()) {
+      service->store_gauges_.push_back(
+          registry->GetGauge("microprov_store_bundles", shard_label));
+    }
+  }
+
+  if (options.stats_interval_ms > 0) {
+    service->reporter_ = std::make_unique<obs::StatsReporter>(
+        std::chrono::milliseconds(options.stats_interval_ms),
+        [svc = service.get()] {
+          svc->options_.stats_callback(svc->MetricsText());
+        });
+  }
   return service;
 }
 
@@ -73,7 +112,8 @@ StatusOr<std::vector<BundleSearchResult>> Service::Search(
   processors.reserve(sharded_->num_shards());
   for (size_t i = 0; i < sharded_->num_shards(); ++i) {
     BundleStore* store = i < stores_.size() ? stores_[i].get() : nullptr;
-    processors.emplace_back(&sharded_->shard(i), options_.weights, store);
+    processors.emplace_back(&sharded_->shard(i), options_.weights, store,
+                            registry_.get());
   }
   std::vector<const BundleQueryProcessor*> shard_ptrs;
   shard_ptrs.reserve(processors.size());
@@ -98,19 +138,34 @@ Status Service::Drain() {
     MICROPROV_RETURN_IF_ERROR(store->Flush());
   }
   drained_ = true;
+  // The stream is over; one final tick ships the end state, then the
+  // reporter goes quiet.
+  if (reporter_ != nullptr) {
+    options_.stats_callback(MetricsText());
+    reporter_->Stop();
+  }
   return Status::OK();
 }
 
 ServiceStats Service::Stats() const {
+  // Every source here is an atomic counter, a gauge, or mutex-guarded
+  // queue state — never a direct engine read — so this is safe while
+  // shard workers are mid-ingest (and from the StatsReporter thread).
   ServiceStats stats;
   stats.messages_ingested = sharded_->messages_ingested();
-  stats.live_bundles = sharded_->TotalPoolSize();
-  stats.memory_bytes = sharded_->ApproxMemoryUsage();
-  for (const auto& store : stores_) {
-    stats.archived_bundles += store->bundle_count();
+  for (obs::Gauge* gauge : pool_gauges_) {
+    stats.live_bundles += static_cast<size_t>(gauge->value());
+  }
+  for (obs::Gauge* gauge : memory_gauges_) {
+    stats.memory_bytes += static_cast<size_t>(gauge->value());
+  }
+  for (obs::Gauge* gauge : store_gauges_) {
+    stats.archived_bundles += static_cast<uint64_t>(gauge->value());
   }
   for (size_t i = 0; i < sharded_->num_shards(); ++i) {
     stats.shards.push_back(sharded_->shard_stats(i));
+    stats.queue_depth += stats.shards.back().queue_depth;
+    stats.backpressure_stalls += stats.shards.back().blocked_pushes;
   }
   return stats;
 }

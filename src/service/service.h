@@ -1,6 +1,7 @@
 #ifndef MICROPROV_SERVICE_SERVICE_H_
 #define MICROPROV_SERVICE_SERVICE_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -8,6 +9,9 @@
 
 #include "common/status.h"
 #include "common/statusor.h"
+#include "obs/metrics.h"
+#include "obs/stats_reporter.h"
+#include "obs/trace.h"
 #include "query/query_processor.h"
 #include "service/sharded_engine.h"
 #include "storage/bundle_store.h"
@@ -31,14 +35,34 @@ struct ServiceOptions {
   /// `<archive_dir>/shard-<i>`; bundles leaving memory (refinement,
   /// Drain) land there and stay searchable.
   std::string archive_dir;
+
+  /// Opt-in ingest tracing: keep the last `trace_capacity` per-message
+  /// match/placement decisions (Eq. 1 candidate scores) in a ring
+  /// buffer, dumpable via TraceJsonl(). 0 disables tracing entirely —
+  /// the ingest path then takes no per-message trace cost.
+  size_t trace_capacity = 0;
+
+  /// When > 0, a background StatsReporter thread invokes
+  /// `stats_callback` every `stats_interval_ms` milliseconds with the
+  /// current Prometheus text exposition. Requires a callback.
+  uint64_t stats_interval_ms = 0;
+  std::function<void(const std::string& prometheus_text)> stats_callback;
 };
 
-/// Aggregate service statistics.
+/// Aggregate service statistics. Safe to read at any time, including
+/// while shard workers run: every field is backed by atomics or
+/// mutex-guarded queue state, never by direct engine reads.
+/// `memory_bytes` is refreshed at refinement/Flush/Drain checkpoints
+/// (computing it is O(pool)), so it may trail the live value.
 struct ServiceStats {
   uint64_t messages_ingested = 0;
   size_t live_bundles = 0;
   uint64_t archived_bundles = 0;
   size_t memory_bytes = 0;
+  /// Messages currently waiting in shard queues (sum over shards).
+  size_t queue_depth = 0;
+  /// Ingest calls that blocked on a full shard queue (backpressure).
+  uint64_t backpressure_stalls = 0;
   std::vector<ShardStatsSnapshot> shards;
 };
 
@@ -100,6 +124,26 @@ class Service {
 
   ServiceStats Stats() const;
 
+  /// Every metric the deployment registered, in Prometheus text
+  /// exposition format (one scrape). Thread-safe at any time.
+  std::string MetricsText() const { return registry_->PrometheusText(); }
+
+  /// The same snapshot as a JSON document.
+  std::string MetricsJson() const { return registry_->Json(); }
+
+  /// The registry itself (read access for embedders exporting through
+  /// their own telemetry pipeline).
+  obs::MetricsRegistry* metrics() const { return registry_.get(); }
+
+  /// The ingest trace ring, or nullptr when `trace_capacity` was 0.
+  const obs::TraceSink* trace() const { return trace_.get(); }
+
+  /// JSONL dump of the buffered ingest trace (empty string when tracing
+  /// is disabled). Thread-safe at any time.
+  std::string TraceJsonl() const {
+    return trace_ != nullptr ? trace_->ToJsonl() : std::string();
+  }
+
  private:
   explicit Service(const ServiceOptions& options);
 
@@ -107,9 +151,20 @@ class Service {
   /// Serializes Ingest/Search/Flush/Drain.
   std::mutex mu_;
   AtomicWatermark clock_;
+  /// Owns every metric; declared before (destroyed after) all the
+  /// components holding instrument pointers into it.
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<obs::TraceSink> trace_;
   std::vector<std::unique_ptr<BundleStore>> stores_;
   std::unique_ptr<ShardedEngine> sharded_;
+  /// Gauge handles for TSan-safe Stats() aggregation (per shard).
+  std::vector<obs::Gauge*> pool_gauges_;
+  std::vector<obs::Gauge*> memory_gauges_;
+  std::vector<obs::Gauge*> store_gauges_;
   bool drained_ = false;
+  /// Declared last: stopped/destroyed first, so a late tick never sees
+  /// a half-torn-down service.
+  std::unique_ptr<obs::StatsReporter> reporter_;
 };
 
 }  // namespace microprov

@@ -1,6 +1,7 @@
 #include "service/sharded_engine.h"
 
 #include "common/hash.h"
+#include "common/string_util.h"
 
 namespace microprov {
 
@@ -23,12 +24,37 @@ ShardedEngine::ShardedEngine(const ShardedEngineOptions& options,
                              std::vector<BundleArchive*> archives)
     : options_(options) {
   const size_t n = options_.num_shards == 0 ? 1 : options_.num_shards;
+  obs::MetricsRegistry* registry = options_.engine.metrics;
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     BundleArchive* archive =
         i < archives.size() ? archives[i] : nullptr;
+    EngineOptions engine_options = options_.engine;
+    engine_options.shard_index = static_cast<uint32_t>(i);
     shards_.push_back(std::make_unique<Shard>(
-        options_.engine, archive, options_.queue_capacity));
+        engine_options, archive, options_.queue_capacity));
+    if (registry != nullptr) {
+      const std::string shard_label =
+          StringPrintf("shard=\"%zu\"", i);
+      shards_.back()->ingested_counter = registry->GetCounter(
+          "microprov_shard_ingested_total", shard_label,
+          "Messages ingested by each shard worker");
+      shards_.back()->depth_gauge = registry->GetGauge(
+          "microprov_shard_queue_depth", shard_label,
+          "Messages waiting in each shard's input queue "
+          "(refreshed once per worker batch)");
+    }
+  }
+  if (registry != nullptr) {
+    backpressure_counter_ = registry->GetCounter(
+        "microprov_shard_backpressure_stalls_total", "",
+        "Submit calls that blocked on a full shard queue");
+    batches_counter_ =
+        registry->GetCounter("microprov_shard_batches_total", "",
+                             "Worker dequeue batches across all shards");
+    batch_size_hist_ =
+        registry->GetHistogram("microprov_shard_batch_size", "",
+                               "Messages per worker dequeue batch");
   }
   for (auto& shard : shards_) {
     shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(s); });
@@ -55,10 +81,14 @@ Status ShardedEngine::Submit(const Message& msg, uint32_t* shard_out) {
     if (!shard.error.ok()) return shard.error;
     ++shard.in_flight;
   }
-  if (!shard.queue.Push(msg)) {
+  bool blocked = false;
+  if (!shard.queue.Push(msg, &blocked)) {
     std::lock_guard<std::mutex> lock(shard.mu);
     --shard.in_flight;
     return Status::FailedPrecondition("shard queue closed");
+  }
+  if (blocked && backpressure_counter_ != nullptr) {
+    backpressure_counter_->Increment();
   }
   shard.enqueued.Add();
   if (shard_out != nullptr) *shard_out = idx;
@@ -70,6 +100,14 @@ Status ShardedEngine::Flush() {
     std::unique_lock<std::mutex> lock(shard->mu);
     shard->all_ingested.wait(lock, [&] { return shard->in_flight == 0; });
     if (!shard->error.ok()) return shard->error;
+  }
+  // The barrier makes shard engines readable from this thread; use the
+  // checkpoint to republish the O(pool)-cost memory gauges.
+  for (auto& shard : shards_) {
+    shard->engine.RefreshMemoryMetrics();
+    if (shard->depth_gauge != nullptr) {
+      shard->depth_gauge->Set(static_cast<int64_t>(shard->queue.size()));
+    }
   }
   return Status::OK();
 }
@@ -105,12 +143,20 @@ void ShardedEngine::WorkerLoop(Shard* shard) {
       StatusOr<IngestResult> result = shard->engine.Ingest(msg);
       if (result.ok()) {
         shard->ingested.Add();
+        if (shard->ingested_counter != nullptr) {
+          shard->ingested_counter->Increment();
+        }
       } else {
         std::lock_guard<std::mutex> lock(shard->mu);
         if (shard->error.ok()) shard->error = result.status();
       }
     }
     shard->batches.Add();
+    if (batches_counter_ != nullptr) batches_counter_->Increment();
+    if (batch_size_hist_ != nullptr) batch_size_hist_->Observe(n);
+    if (shard->depth_gauge != nullptr) {
+      shard->depth_gauge->Set(static_cast<int64_t>(shard->queue.size()));
+    }
     {
       std::lock_guard<std::mutex> lock(shard->mu);
       shard->in_flight -= n;

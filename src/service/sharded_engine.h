@@ -27,6 +27,11 @@ struct ShardedEngineOptions {
   size_t max_batch = 64;
   /// Engine configuration applied to every shard. Note pool limits are
   /// per shard: N shards at limit M hold up to N*M live bundles total.
+  /// When `engine.metrics` is set, the sharded engine also registers its
+  /// own queue-depth / backpressure / throughput instruments there and
+  /// stamps each shard's engine with its shard index (per-shard gauge
+  /// labels); `engine.trace` is shared by every shard (TraceSink is
+  /// thread-safe and events carry their shard id).
   EngineOptions engine;
 };
 
@@ -126,6 +131,10 @@ class ShardedEngine {
     AtomicCounter enqueued;
     AtomicCounter ingested;
     AtomicCounter batches;
+
+    // Observability handles (null without a registry; never owned).
+    obs::Counter* ingested_counter = nullptr;
+    obs::Gauge* depth_gauge = nullptr;
   };
 
   void WorkerLoop(Shard* shard);
@@ -133,6 +142,11 @@ class ShardedEngine {
   ShardedEngineOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   bool drained_ = false;
+
+  // Shared across shards (null without a registry; never owned).
+  obs::Counter* backpressure_counter_ = nullptr;
+  obs::Counter* batches_counter_ = nullptr;
+  obs::HistogramMetric* batch_size_hist_ = nullptr;
 };
 
 }  // namespace microprov

@@ -169,6 +169,7 @@ Status BundleStore::OpenNewLogFile() {
 }
 
 Status BundleStore::Put(const Bundle& bundle) {
+  obs::ScopedLatencyTimer timer(put_hist_);
   if (current_file_size_ >= options_.rotate_bytes) {
     MICROPROV_RETURN_IF_ERROR(writer_->Close());
     MICROPROV_RETURN_IF_ERROR(OpenNewLogFile());
@@ -186,7 +187,32 @@ Status BundleStore::Put(const Bundle& bundle) {
   cache_.Erase(bundle.id());
   IndexBundleTerms(bundle);
   ++puts_;
+  if (puts_counter_ != nullptr) puts_counter_->Increment();
+  if (bytes_counter_ != nullptr) {
+    // Framed on-disk size of this record (includes block padding).
+    bytes_counter_->Increment(current_file_size_ - offset);
+  }
+  if (bundles_gauge_ != nullptr) {
+    bundles_gauge_->Set(static_cast<int64_t>(index_.size()));
+  }
   return Status::OK();
+}
+
+void BundleStore::BindMetrics(obs::MetricsRegistry* registry,
+                              const std::string& shard_label) {
+  puts_counter_ =
+      registry->GetCounter("microprov_store_puts_total", "",
+                           "Bundle records appended to the on-disk store");
+  bytes_counter_ = registry->GetCounter(
+      "microprov_store_bytes_written_total", "",
+      "Framed log bytes written by bundle dumps");
+  put_hist_ =
+      registry->GetHistogram("microprov_store_put_nanos", "",
+                             "Latency of one bundle dump (encode+append)");
+  bundles_gauge_ =
+      registry->GetGauge("microprov_store_bundles", shard_label,
+                         "Bundles resident in this store");
+  bundles_gauge_->Set(static_cast<int64_t>(index_.size()));
 }
 
 void BundleStore::IndexBundleTerms(const Bundle& bundle) {

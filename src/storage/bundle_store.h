@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "common/statusor.h"
 #include "core/pool.h"
+#include "obs/metrics.h"
 #include "storage/log_writer.h"
 
 namespace microprov {
@@ -83,6 +84,12 @@ class BundleStore final : public BundleArchive {
   uint64_t cache_hits() const { return cache_.hits(); }
   uint64_t cache_misses() const { return cache_.misses(); }
 
+  /// Registers this store's metrics: shared dump counters/latency plus a
+  /// per-instance archived-bundle gauge labeled `shard_label`. The
+  /// registry must outlive the store.
+  void BindMetrics(obs::MetricsRegistry* registry,
+                   const std::string& shard_label);
+
  private:
   struct Location {
     uint32_t file_number = 0;
@@ -109,6 +116,12 @@ class BundleStore final : public BundleArchive {
   std::unordered_map<std::string, std::vector<BundleId>> term_index_;
   uint64_t puts_ = 0;
   uint64_t compactions_ = 0;
+
+  // Observability handles (null until BindMetrics; never owned).
+  obs::Counter* puts_counter_ = nullptr;
+  obs::Counter* bytes_counter_ = nullptr;
+  obs::HistogramMetric* put_hist_ = nullptr;
+  obs::Gauge* bundles_gauge_ = nullptr;
 };
 
 }  // namespace microprov

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace microprov {
 namespace {
 
@@ -30,6 +32,29 @@ TEST(ExactHistogramTest, Percentiles) {
   EXPECT_EQ(h.Percentile(99), 99);
   EXPECT_EQ(h.Percentile(100), 100);
   EXPECT_EQ(h.Percentile(1), 1);
+}
+
+TEST(ExactHistogramTest, PercentileBoundaryValues) {
+  ExactHistogram h;
+  for (int64_t v : {5, 10, 20, 40}) h.Add(v);
+  EXPECT_EQ(h.Percentile(0), 5);     // p=0 -> min
+  EXPECT_EQ(h.Percentile(100), 40);  // p=100 -> max
+}
+
+TEST(ExactHistogramTest, PercentileClampsOutOfRange) {
+  ExactHistogram h;
+  for (int64_t v : {5, 10, 20, 40}) h.Add(v);
+  EXPECT_EQ(h.Percentile(-30), 5);   // below range -> min
+  EXPECT_EQ(h.Percentile(250), 40);  // above range -> max
+  EXPECT_EQ(h.Percentile(std::nan("")), 5);
+}
+
+TEST(ExactHistogramTest, PercentileEmptyIsZeroForAnyP) {
+  ExactHistogram h;
+  EXPECT_EQ(h.Percentile(0), 0);
+  EXPECT_EQ(h.Percentile(100), 0);
+  EXPECT_EQ(h.Percentile(-1), 0);
+  EXPECT_EQ(h.Percentile(std::nan("")), 0);
 }
 
 TEST(ExactHistogramTest, MergeAccumulates) {
@@ -93,6 +118,33 @@ TEST(LatencyHistogramTest, PercentileIsUpperBoundish) {
   uint64_t p50 = h.Percentile(50);
   EXPECT_GE(p50, 1000u);
   EXPECT_LE(p50, 1400u);
+}
+
+TEST(LatencyHistogramTest, PercentileEmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Percentile(0), 0u);
+  EXPECT_EQ(h.Percentile(100), 0u);
+}
+
+TEST(LatencyHistogramTest, PercentileHundredIsExactMax) {
+  LatencyHistogram h;
+  h.Add(17);
+  h.Add(90000);
+  // p=100 reports the true max, not a bucket upper bound.
+  EXPECT_EQ(h.Percentile(100), 90000u);
+}
+
+TEST(LatencyHistogramTest, PercentileClampsAndNeverExceedsMax) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Add(1000);
+  EXPECT_EQ(h.Percentile(-10), h.Percentile(0));
+  EXPECT_EQ(h.Percentile(900), 1000u);  // clamped to 100 -> max
+  EXPECT_EQ(h.Percentile(std::nan("")), h.Percentile(0));
+  // Bucket upper bounds are capped at the observed max.
+  for (double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_LE(h.Percentile(p), 1000u) << "p=" << p;
+  }
 }
 
 TEST(LatencyHistogramTest, SummaryMentionsCount) {

@@ -241,22 +241,130 @@ TEST(EngineDrainTest, DrainEmptiesPool) {
   EXPECT_EQ(archive.puts, 3);
 }
 
-TEST(EngineCompatTest, DeprecatedOutParamIngestStillWorks) {
+TEST(EngineCompatTest, ValueReturningIngestReportsPlacement) {
   SimulatedClock clock(kTestEpoch);
   ProvenanceEngine engine(
       EngineOptions::ForConfig(IndexConfig::kFullIndex), &clock, nullptr);
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  IngestResult result;
-  ASSERT_TRUE(
-      engine.Ingest(MakeMessage(1, kTestEpoch, "u", {"tag"}), &result).ok());
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-  EXPECT_TRUE(result.created_bundle);
-  EXPECT_NE(result.bundle, kInvalidBundleId);
+  StatusOr<IngestResult> result =
+      engine.Ingest(MakeMessage(1, kTestEpoch, "u", {"tag"}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->created_bundle);
+  EXPECT_NE(result->bundle, kInvalidBundleId);
+}
+
+TEST(EngineMetricsTest, StageHistogramsCountEveryMessage) {
+  SimulatedClock clock(kTestEpoch);
+  obs::MetricsRegistry registry;
+  EngineOptions options = EngineOptions::ForConfig(IndexConfig::kFullIndex);
+  options.metrics = &registry;
+  ProvenanceEngine engine(options, &clock, nullptr);
+  constexpr int kMessages = 20;
+  for (int i = 0; i < kMessages; ++i) {
+    clock.Advance(kTestEpoch + i);
+    ASSERT_TRUE(engine
+                    .Ingest(MakeMessage(i, kTestEpoch + i, "u",
+                                        {"tag" + std::to_string(i % 3)}))
+                    .ok());
+  }
+  obs::Counter* ingested =
+      registry.GetCounter("microprov_engine_messages_total");
+  ASSERT_NE(ingested, nullptr);
+  EXPECT_EQ(ingested->value(), static_cast<uint64_t>(kMessages));
+  for (const char* stage :
+       {"stage=\"bundle_match\"", "stage=\"message_placement\"",
+        "stage=\"memory_refinement\""}) {
+    obs::HistogramMetric* hist =
+        registry.GetHistogram("microprov_ingest_stage_nanos", stage);
+    ASSERT_NE(hist, nullptr) << stage;
+    EXPECT_EQ(hist->Snapshot().count, static_cast<uint64_t>(kMessages))
+        << stage;
+  }
+  // Legacy StageTimers accessors still work alongside the histograms.
+  EXPECT_GT(engine.timers().bundle_match_nanos, 0);
+}
+
+TEST(EngineMetricsTest, PoolAndIndexGaugesTrackState) {
+  SimulatedClock clock(kTestEpoch);
+  obs::MetricsRegistry registry;
+  EngineOptions options = EngineOptions::ForConfig(IndexConfig::kFullIndex);
+  options.metrics = &registry;
+  options.shard_index = 3;
+  ProvenanceEngine engine(options, &clock, nullptr);
+  for (int i = 0; i < 6; ++i) {
+    clock.Advance(kTestEpoch + i);
+    ASSERT_TRUE(engine
+                    .Ingest(MakeMessage(i, kTestEpoch + i, "u",
+                                        {"tag" + std::to_string(i % 2)}))
+                    .ok());
+  }
+  obs::Gauge* bundles =
+      registry.GetGauge("microprov_pool_bundles", "shard=\"3\"");
+  ASSERT_NE(bundles, nullptr);
+  EXPECT_EQ(bundles->value(), 2);  // two tags -> two bundles
+  obs::Gauge* messages =
+      registry.GetGauge("microprov_pool_messages", "shard=\"3\"");
+  ASSERT_NE(messages, nullptr);
+  EXPECT_EQ(messages->value(), 6);
+  obs::Gauge* keys = registry.GetGauge("microprov_index_keys", "shard=\"3\"");
+  ASSERT_NE(keys, nullptr);
+  EXPECT_GT(keys->value(), 0);
+}
+
+TEST(EngineTraceTest, EveryMessageGetsAnEventWithCandidateScores) {
+  SimulatedClock clock(kTestEpoch);
+  obs::TraceSink trace(64);
+  EngineOptions options = EngineOptions::ForConfig(IndexConfig::kFullIndex);
+  options.trace = &trace;
+  options.shard_index = 1;
+  ProvenanceEngine engine(options, &clock, nullptr);
+
+  // Msg 1 creates a bundle; msg 2 shares its hashtag so the matcher
+  // must score that bundle (Eq. 1) before joining it.
+  clock.Advance(kTestEpoch);
+  StatusOr<IngestResult> r1 =
+      engine.Ingest(MakeMessage(1, kTestEpoch, "u", {"redsox"}));
+  ASSERT_TRUE(r1.ok());
+  clock.Advance(kTestEpoch + 30);
+  StatusOr<IngestResult> r2 =
+      engine.Ingest(MakeMessage(2, kTestEpoch + 30, "v", {"redsox"}));
+  ASSERT_TRUE(r2.ok());
+  ASSERT_FALSE(r2->created_bundle);
+
+  std::vector<obs::IngestTraceEvent> events = trace.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+
+  const obs::IngestTraceEvent& first = events[0];
+  EXPECT_EQ(first.message, 1);
+  EXPECT_EQ(first.shard, 1u);
+  EXPECT_TRUE(first.created);
+  EXPECT_TRUE(first.candidates.empty());  // nothing existed to score
+  EXPECT_EQ(first.chosen, r1->bundle);
+
+  const obs::IngestTraceEvent& second = events[1];
+  EXPECT_EQ(second.message, 2);
+  EXPECT_FALSE(second.created);
+  EXPECT_EQ(second.chosen, r2->bundle);
+  EXPECT_EQ(second.parent, 1);
+  ASSERT_FALSE(second.candidates.empty());
+  bool found_chosen = false;
+  for (const obs::TraceCandidate& candidate : second.candidates) {
+    if (candidate.bundle == r2->bundle) {
+      found_chosen = true;
+      EXPECT_GT(candidate.score, 0.0);
+      EXPECT_DOUBLE_EQ(candidate.score, second.score);
+    }
+  }
+  EXPECT_TRUE(found_chosen);
+}
+
+TEST(EngineTraceTest, DisabledTraceRecordsNothing) {
+  SimulatedClock clock(kTestEpoch);
+  ProvenanceEngine engine(
+      EngineOptions::ForConfig(IndexConfig::kFullIndex), &clock, nullptr);
+  ASSERT_TRUE(engine.Ingest(MakeMessage(1, kTestEpoch, "u", {"t"})).ok());
+  // No trace sink configured: nothing to assert beyond "does not crash",
+  // which the nullptr-guarded ingest path just demonstrated.
+  EXPECT_EQ(engine.messages_ingested(), 1u);
 }
 
 TEST(EngineEdgeRecordingTest, CanBeDisabled) {

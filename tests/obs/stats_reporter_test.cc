@@ -1,0 +1,55 @@
+#include "obs/stats_reporter.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace microprov {
+namespace obs {
+namespace {
+
+TEST(StatsReporterTest, TicksFireUntilStopped) {
+  std::atomic<uint64_t> fired{0};
+  StatsReporter reporter(std::chrono::milliseconds(5),
+                         [&fired] { fired.fetch_add(1); });
+  while (fired.load() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  reporter.Stop();
+  EXPECT_GE(reporter.ticks(), 3u);
+  EXPECT_EQ(reporter.ticks(), fired.load());
+}
+
+TEST(StatsReporterTest, StopIsIdempotentAndCallbackDoesNotRunAfter) {
+  std::atomic<uint64_t> fired{0};
+  StatsReporter reporter(std::chrono::milliseconds(1),
+                         [&fired] { fired.fetch_add(1); });
+  while (fired.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  reporter.Stop();
+  const uint64_t after_stop = fired.load();
+  reporter.Stop();  // idempotent
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(fired.load(), after_stop);
+}
+
+TEST(StatsReporterTest, DestructorStopsWithoutExplicitStop) {
+  std::atomic<uint64_t> fired{0};
+  {
+    StatsReporter reporter(std::chrono::milliseconds(1),
+                           [&fired] { fired.fetch_add(1); });
+    while (fired.load() < 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const uint64_t after_dtor = fired.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(fired.load(), after_dtor);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace microprov

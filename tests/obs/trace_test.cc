@@ -1,0 +1,114 @@
+#include "obs/trace.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace microprov {
+namespace obs {
+namespace {
+
+IngestTraceEvent MakeEvent(int64_t message) {
+  IngestTraceEvent event;
+  event.message = message;
+  event.date = 1251763200 + message;
+  event.shard = static_cast<uint32_t>(message % 4);
+  event.chosen = static_cast<uint64_t>(message * 10);
+  event.created = (message % 2) == 0;
+  event.score = 0.25 * static_cast<double>(message);
+  event.parent = message - 1;
+  event.connection = static_cast<int>(message % 3);
+  event.candidates.push_back({static_cast<uint64_t>(message * 10), 0.75});
+  event.candidates.push_back({static_cast<uint64_t>(message * 10 + 1), 0.125});
+  return event;
+}
+
+TEST(TraceSinkTest, RecordsAndSnapshotsInOrder) {
+  TraceSink sink(8);
+  EXPECT_EQ(sink.capacity(), 8u);
+  for (int64_t i = 0; i < 3; ++i) sink.Record(MakeEvent(i));
+  std::vector<IngestTraceEvent> events = sink.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].message, 0);
+  EXPECT_EQ(events[1].message, 1);
+  EXPECT_EQ(events[2].message, 2);
+  EXPECT_EQ(sink.total_recorded(), 3u);
+  EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST(TraceSinkTest, RingWrapsKeepingNewestOldestFirst) {
+  TraceSink sink(4);
+  for (int64_t i = 0; i < 10; ++i) sink.Record(MakeEvent(i));
+  std::vector<IngestTraceEvent> events = sink.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].message, 6);
+  EXPECT_EQ(events[1].message, 7);
+  EXPECT_EQ(events[2].message, 8);
+  EXPECT_EQ(events[3].message, 9);
+  EXPECT_EQ(sink.total_recorded(), 10u);
+  EXPECT_EQ(sink.dropped(), 6u);
+}
+
+TEST(TraceSinkTest, EventToJsonIncludesCandidateScores) {
+  IngestTraceEvent event = MakeEvent(5);
+  std::string json = TraceSink::EventToJson(event);
+  EXPECT_NE(json.find("\"msg\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"candidates\":["), std::string::npos);
+  EXPECT_NE(json.find("\"bundle\":50"), std::string::npos);
+  EXPECT_NE(json.find("0.75"), std::string::npos);
+  EXPECT_NE(json.find("0.125"), std::string::npos);
+}
+
+TEST(TraceSinkTest, JsonlRoundTrips) {
+  TraceSink sink(16);
+  for (int64_t i = 0; i < 5; ++i) sink.Record(MakeEvent(i));
+  std::string jsonl = sink.ToJsonl();
+
+  StatusOr<std::vector<IngestTraceEvent>> parsed =
+      TraceSink::FromJsonl(jsonl);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 5u);
+  for (int64_t i = 0; i < 5; ++i) {
+    const IngestTraceEvent& got = (*parsed)[i];
+    IngestTraceEvent want = MakeEvent(i);
+    EXPECT_EQ(got.message, want.message);
+    EXPECT_EQ(got.date, want.date);
+    EXPECT_EQ(got.shard, want.shard);
+    EXPECT_EQ(got.chosen, want.chosen);
+    EXPECT_EQ(got.created, want.created);
+    EXPECT_EQ(got.score, want.score);  // exact: %.17g round-trips doubles
+    EXPECT_EQ(got.parent, want.parent);
+    EXPECT_EQ(got.connection, want.connection);
+    ASSERT_EQ(got.candidates.size(), want.candidates.size());
+    for (size_t c = 0; c < want.candidates.size(); ++c) {
+      EXPECT_EQ(got.candidates[c].bundle, want.candidates[c].bundle);
+      EXPECT_EQ(got.candidates[c].score, want.candidates[c].score);
+    }
+  }
+}
+
+TEST(TraceSinkTest, FromJsonlSkipsBlankLinesAndRejectsGarbage) {
+  IngestTraceEvent event = MakeEvent(1);
+  std::string jsonl = TraceSink::EventToJson(event) + "\n\n" +
+                      TraceSink::EventToJson(MakeEvent(2)) + "\n";
+  StatusOr<std::vector<IngestTraceEvent>> parsed =
+      TraceSink::FromJsonl(jsonl);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+
+  EXPECT_FALSE(TraceSink::FromJsonl("not json\n").ok());
+}
+
+TEST(TraceSinkTest, EmptySinkProducesEmptyDump) {
+  TraceSink sink(4);
+  EXPECT_TRUE(sink.Snapshot().empty());
+  EXPECT_TRUE(sink.ToJsonl().empty());
+  StatusOr<std::vector<IngestTraceEvent>> parsed = TraceSink::FromJsonl("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace microprov

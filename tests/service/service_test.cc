@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "testing/test_util.h"
@@ -39,6 +45,9 @@ TEST(ServiceTest, OpenRejectsBadOptions) {
   EXPECT_FALSE(Service::Open({.num_shards = 0}).ok());
   EXPECT_FALSE(
       Service::Open({.num_shards = 2, .queue_capacity = 0}).ok());
+  // A reporting interval without a callback is a configuration error.
+  EXPECT_FALSE(
+      Service::Open({.num_shards = 2, .stats_interval_ms = 10}).ok());
 }
 
 TEST(ServiceTest, IngestSearchDrainLifecycle) {
@@ -167,6 +176,256 @@ TEST(ServiceTest, RetweetChainStaysIntactThroughSharding) {
     }
   }
   EXPECT_TRUE(found_rt);
+}
+
+// Minimal Prometheus text-exposition parser: validates line shape and
+// returns (a) the family -> kind map from # TYPE lines and (b) every
+// counter sample as full-series-name -> value.
+struct ParsedScrape {
+  std::map<std::string, std::string> families;  // family -> kind
+  std::map<std::string, uint64_t> counters;     // "name{labels}" -> value
+};
+
+void ParsePrometheus(const std::string& text, ParsedScrape* out) {
+  ParsedScrape& parsed = *out;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      std::istringstream meta(line);
+      std::string hash, keyword, family, rest;
+      meta >> hash >> keyword >> family >> rest;
+      ASSERT_TRUE(keyword == "HELP" || keyword == "TYPE") << line;
+      if (keyword == "TYPE") {
+        ASSERT_TRUE(rest == "counter" || rest == "gauge" ||
+                    rest == "summary")
+            << line;
+        parsed.families[family] = rest;
+      }
+      continue;
+    }
+    // Sample line: name{labels} value  |  name value
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string series = line.substr(0, space);
+    std::string value = line.substr(space + 1);
+    ASSERT_FALSE(series.empty()) << line;
+    ASSERT_FALSE(value.empty()) << line;
+    std::string family = series.substr(0, series.find('{'));
+    auto it = parsed.families.find(family);
+    if (it == parsed.families.end()) {
+      // Summary auxiliary series: strip _sum/_count to find the family.
+      for (const char* suffix : {"_sum", "_count"}) {
+        std::string stem = family;
+        size_t pos = stem.rfind(suffix);
+        if (pos != std::string::npos && pos == stem.size() - strlen(suffix)) {
+          stem.resize(pos);
+          it = parsed.families.find(stem);
+          if (it != parsed.families.end()) break;
+        }
+      }
+    }
+    ASSERT_NE(it, parsed.families.end())
+        << "sample without # TYPE: " << line;
+    if (it->second == "counter" && series.substr(0, family.size()) == family) {
+      parsed.counters[series] = std::stoull(value);
+    }
+  }
+}
+
+TEST(ServiceMetricsTest, ScrapeCoversEveryLayerAndCountersAreMonotonic) {
+  ScopedTempDir dir;
+  ServiceOptions options;
+  options.num_shards = 2;
+  options.archive_dir = dir.path() + "/metrics";
+  auto service_or = Service::Open(options);
+  ASSERT_TRUE(service_or.ok());
+  Service& service = **service_or;
+
+  for (const Message& msg : SmallStream()) {
+    ASSERT_TRUE(service.Ingest(msg).ok());
+  }
+  ASSERT_TRUE(service.Flush().ok());
+  // Touch the query path so its metrics carry data too.
+  ASSERT_TRUE(service.Search({.text = "redsox", .k = 5}).ok());
+
+  ParsedScrape first;
+  ParsePrometheus(service.MetricsText(), &first);
+
+  // The deployment must expose at least 12 distinct metric families,
+  // spanning engine, pool, summary index, shard queues, query, storage.
+  EXPECT_GE(first.families.size(), 12u);
+  for (const char* family :
+       {"microprov_engine_messages_total", "microprov_ingest_stage_nanos",
+        "microprov_engine_memory_bytes", "microprov_pool_bundles",
+        "microprov_pool_created_total", "microprov_index_keys",
+        "microprov_index_candidates", "microprov_shard_ingested_total",
+        "microprov_shard_queue_depth", "microprov_query_requests_total",
+        "microprov_query_latency_nanos", "microprov_store_puts_total"}) {
+    EXPECT_TRUE(first.families.count(family)) << "missing " << family;
+  }
+
+  // Counters actually counted this batch.
+  EXPECT_EQ(first.counters.at("microprov_engine_messages_total"), 6u);
+  // One Search fans out to every shard's processor, each counting.
+  EXPECT_GE(first.counters.at("microprov_query_requests_total"), 1u);
+
+  // Second ingest batch: every counter is monotonically non-decreasing,
+  // and the message counter strictly grew.
+  for (int64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(service
+                    .Ingest(MakeMessage(100 + i, kTestEpoch + 300 + i,
+                                        "hank", {"redsox"}))
+                    .ok());
+  }
+  ASSERT_TRUE(service.Flush().ok());
+  ParsedScrape second;
+  ParsePrometheus(service.MetricsText(), &second);
+  for (const auto& [series, value] : first.counters) {
+    auto it = second.counters.find(series);
+    ASSERT_NE(it, second.counters.end()) << series << " disappeared";
+    EXPECT_GE(it->second, value) << series << " went backwards";
+  }
+  EXPECT_EQ(second.counters.at("microprov_engine_messages_total"), 10u);
+
+  // JSON export covers the same instruments.
+  std::string json = service.MetricsJson();
+  EXPECT_NE(json.find("microprov_engine_messages_total"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"count\":"), std::string::npos);
+}
+
+TEST(ServiceStatsQueueTest, DepthAndBackpressureAggregateAndSettle) {
+  auto service_or = Service::Open({.num_shards = 3});
+  ASSERT_TRUE(service_or.ok());
+  Service& service = **service_or;
+  auto messages = SmallStream();
+  for (const Message& msg : messages) {
+    ASSERT_TRUE(service.Ingest(msg).ok());
+  }
+  ServiceStats mid = service.Stats();
+  // Totals are exactly the sum of the per-shard snapshots.
+  size_t depth_sum = 0;
+  uint64_t stalls_sum = 0;
+  uint64_t enqueued_sum = 0;
+  for (const ShardStatsSnapshot& shard : mid.shards) {
+    depth_sum += shard.queue_depth;
+    stalls_sum += shard.blocked_pushes;
+    enqueued_sum += shard.enqueued;
+  }
+  EXPECT_EQ(mid.queue_depth, depth_sum);
+  EXPECT_EQ(mid.backpressure_stalls, stalls_sum);
+  EXPECT_EQ(enqueued_sum, messages.size());
+
+  ASSERT_TRUE(service.Drain().ok());
+  ServiceStats after = service.Stats();
+  // Drained pipeline: queues empty, every accepted message ingested.
+  EXPECT_EQ(after.queue_depth, 0u);
+  EXPECT_EQ(after.messages_ingested, messages.size());
+  for (const ShardStatsSnapshot& shard : after.shards) {
+    EXPECT_EQ(shard.queue_depth, 0u);
+    EXPECT_EQ(shard.enqueued, shard.ingested);
+  }
+  // Stall count never decreases across the drain barrier.
+  EXPECT_GE(after.backpressure_stalls, mid.backpressure_stalls);
+}
+
+TEST(ServiceTraceTest, TraceRoundTripsThroughJsonl) {
+  ServiceOptions options;
+  options.num_shards = 2;
+  options.trace_capacity = 64;
+  auto service_or = Service::Open(options);
+  ASSERT_TRUE(service_or.ok());
+  Service& service = **service_or;
+  auto messages = SmallStream();
+  for (const Message& msg : messages) {
+    ASSERT_TRUE(service.Ingest(msg).ok());
+  }
+  ASSERT_TRUE(service.Flush().ok());
+
+  ASSERT_NE(service.trace(), nullptr);
+  StatusOr<std::vector<obs::IngestTraceEvent>> parsed =
+      obs::TraceSink::FromJsonl(service.TraceJsonl());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), messages.size());
+
+  // Every ingested message traced exactly once (shard workers interleave,
+  // so order across shards is not fixed).
+  std::set<int64_t> seen;
+  for (const obs::IngestTraceEvent& event : *parsed) {
+    EXPECT_LT(event.shard, 2u);
+    seen.insert(event.message);
+  }
+  EXPECT_EQ(seen.size(), messages.size());
+
+  // Message 5 joined message 4's tsunami bundle: its event must carry
+  // the scored Eq. 1 candidates and the winning score.
+  for (const obs::IngestTraceEvent& event : *parsed) {
+    if (event.message != 5) continue;
+    EXPECT_FALSE(event.created);
+    ASSERT_FALSE(event.candidates.empty());
+    bool found = false;
+    for (const obs::TraceCandidate& candidate : event.candidates) {
+      if (candidate.bundle == event.chosen) {
+        found = true;
+        EXPECT_GT(candidate.score, 0.0);
+        EXPECT_DOUBLE_EQ(candidate.score, event.score);
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+// TSan target (scripts/tier1.sh): scrapes, Stats(), the StatsReporter
+// tick, and the trace ring all racing a live sharded ingest.
+TEST(ServiceConcurrencyTest, ScrapesAndStatsDuringIngestWithReporter) {
+  std::atomic<uint64_t> scrapes{0};
+  std::atomic<size_t> last_size{0};
+  ServiceOptions options;
+  options.num_shards = 3;
+  options.queue_capacity = 16;  // small queue: exercise backpressure
+  options.trace_capacity = 128;
+  options.stats_interval_ms = 1;
+  options.stats_callback = [&](const std::string& text) {
+    scrapes.fetch_add(1);
+    last_size.store(text.size());
+  };
+  auto service_or = Service::Open(options);
+  ASSERT_TRUE(service_or.ok());
+  Service& service = **service_or;
+
+  constexpr int kMessages = 600;
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load()) {
+      ServiceStats stats = service.Stats();
+      EXPECT_LE(stats.queue_depth, 3u * 16u);
+      std::string text = service.MetricsText();
+      EXPECT_FALSE(text.empty());
+      service.TraceJsonl();
+    }
+  });
+  for (int i = 0; i < kMessages; ++i) {
+    ASSERT_TRUE(service
+                    .Ingest(MakeMessage(
+                        i, kTestEpoch + i, "u" + std::to_string(i % 7),
+                        {"tag" + std::to_string(i % 5)}))
+                    .ok());
+  }
+  ASSERT_TRUE(service.Drain().ok());
+  done.store(true);
+  reader.join();
+
+  EXPECT_EQ(service.Stats().messages_ingested,
+            static_cast<uint64_t>(kMessages));
+  // Drain delivers one final scrape before stopping the reporter.
+  EXPECT_GE(scrapes.load(), 1u);
+  EXPECT_GT(last_size.load(), 0u);
+  // The ring kept the most recent decisions.
+  EXPECT_EQ(service.trace()->Snapshot().size(), 128u);
+  EXPECT_EQ(service.trace()->total_recorded(),
+            static_cast<uint64_t>(kMessages));
 }
 
 }  // namespace
