@@ -48,16 +48,24 @@ BENCHMARK(BM_EngineIngest)
 
 void BM_SummaryIndexCandidates(benchmark::State& state) {
   const auto& messages = SharedDataset();
-  SummaryIndex index;
+  IndicantDictionary dict;
+  SummaryIndex index(&dict);
   // Pre-populate: every message in its own pseudo-bundle mod N.
   const size_t num_bundles = static_cast<size_t>(state.range(0));
   for (const Message& msg : messages) {
     index.AddMessage(1 + (msg.id % num_bundles), msg, 6);
   }
+  // Probe with messages interned against the index's dictionary, as the
+  // engine's staged hot path does; the accumulator is the reusable
+  // per-shard scratch.
+  std::vector<Message> probes = messages;
+  for (Message& msg : probes) dict.InternMessage(&msg);
+  CandidateAccumulator acc;
   size_t i = 0;
   for (auto _ : state) {
-    const Message& msg = messages[i++ % messages.size()];
-    benchmark::DoNotOptimize(index.Candidates(msg, 6, 2048));
+    const Message& msg = probes[i++ % probes.size()];
+    index.Candidates(msg, 6, 2048, &acc);
+    benchmark::DoNotOptimize(acc.size());
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -92,8 +100,9 @@ void BM_PoolRefine(benchmark::State& state) {
     PoolOptions options;
     options.max_pool_size = pool_size / 2;
     options.target_fraction = 0.5;
-    BundlePool pool(options);
-    SummaryIndex index;
+    IndicantDictionary dict;
+    BundlePool pool(options, &dict);
+    SummaryIndex index(&dict);
     Timestamp latest = 0;
     for (size_t b = 0; b < pool_size; ++b) {
       Bundle* bundle = pool.Create();

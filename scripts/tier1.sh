@@ -17,6 +17,10 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo
 echo "=== tier 1: TSan build + concurrency tests ==="
+# Service* includes ServiceConcurrencyTest, which drives the per-shard
+# indicant dictionaries from concurrent shard workers while the caller
+# thread interleaves cross-shard query fan-out — the interned hot path's
+# data-race surface.
 cmake -B build-tsan -S . -DMICROPROV_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target microprov_tests
 ./build-tsan/tests/microprov_tests \

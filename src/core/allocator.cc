@@ -6,7 +6,26 @@ namespace microprov {
 
 namespace {
 
+bool SharesAnyTermId(const std::vector<TermId>& a,
+                     const std::vector<TermId>& b) {
+  for (TermId x : a) {
+    for (TermId y : b) {
+      if (x == y) return true;
+    }
+  }
+  return false;
+}
+
 bool SharesAnyIndicant(const Message& a, const Message& b) {
+  // Bundle members are stamped by the bundle's dictionary at insertion;
+  // when the incoming message shares that id space (the engine's hot
+  // path), overlap is pure integer comparison.
+  if (a.term_ids.source != nullptr &&
+      a.term_ids.source == b.term_ids.source) {
+    return SharesAnyTermId(a.term_ids.hashtags, b.term_ids.hashtags) ||
+           SharesAnyTermId(a.term_ids.urls, b.term_ids.urls) ||
+           SharesAnyTermId(a.term_ids.keywords, b.term_ids.keywords);
+  }
   for (const auto& x : a.hashtags) {
     for (const auto& y : b.hashtags) {
       if (x == y) return true;
@@ -42,7 +61,9 @@ Placement AllocateMessage(const Bundle& bundle, const Message& msg,
     }
     if (!msg.retweet_of_user.empty()) {
       const BundleMessage* latest =
-          bundle.LatestByUser(msg.retweet_of_user);
+          msg.term_ids.StampedBy(&bundle.dictionary())
+              ? bundle.LatestByUserId(msg.term_ids.retweet_of_user)
+              : bundle.LatestByUser(msg.retweet_of_user);
       if (latest != nullptr) {
         return Placement{latest->msg.id, ConnectionType::kRt, 1.0};
       }

@@ -6,19 +6,25 @@
 
 namespace microprov {
 
-void Bundle::BumpCount(std::unordered_map<std::string, uint32_t>* counts,
-                       const std::string& value) {
-  auto [it, inserted] = counts->try_emplace(value, 0);
+Bundle::Bundle(BundleId id, IndicantDictionary* dict)
+    : id_(id),
+      owned_dict_(dict == nullptr ? std::make_unique<IndicantDictionary>()
+                                  : nullptr),
+      dict_(dict == nullptr ? owned_dict_.get() : dict) {}
+
+void Bundle::BumpCount(IndicantType type, TermId term) {
+  auto [it, inserted] =
+      counts_[static_cast<size_t>(type)].try_emplace(term, 0);
   ++it->second;
   if (inserted) {
-    mem_usage_ += ::microprov::ApproxMemoryUsage(value) +
-                  sizeof(std::pair<std::string, uint32_t>) +
-                  2 * sizeof(void*) + kMallocOverhead;
+    mem_usage_ += sizeof(std::pair<TermId, uint32_t>) + 2 * sizeof(void*) +
+                  kMallocOverhead;
   }
 }
 
 void Bundle::AddMessage(Message msg, MessageId parent, ConnectionType type,
                         float score) {
+  dict_->InternMessage(&msg);
   const Timestamp date = msg.date;
   if (messages_.empty()) {
     start_time_ = date;
@@ -32,37 +38,65 @@ void Bundle::AddMessage(Message msg, MessageId parent, ConnectionType type,
   mem_usage_ += msg.ApproxMemoryUsage() + sizeof(BundleMessage) -
                 sizeof(Message);
 
-  for (const std::string& tag : msg.hashtags) {
-    BumpCount(&hashtag_counts_, tag);
+  for (TermId tag : msg.term_ids.hashtags) {
+    BumpCount(IndicantType::kHashtag, tag);
   }
-  for (const std::string& url : msg.urls) {
-    BumpCount(&url_counts_, url);
+  for (TermId url : msg.term_ids.urls) {
+    BumpCount(IndicantType::kUrl, url);
   }
   size_t kw = 0;
-  for (const std::string& keyword : msg.keywords) {
+  for (TermId keyword : msg.term_ids.keywords) {
     if (kw++ >= kSummaryKeywordsPerMessage) break;
-    BumpCount(&keyword_counts_, keyword);
+    BumpCount(IndicantType::kKeyword, keyword);
   }
-  BumpCount(&user_counts_, msg.user);
+  const TermId user = msg.term_ids.user;
+  if (user != kInvalidTermId) {
+    BumpCount(IndicantType::kUser, user);
+  }
 
   by_id_[msg.id] = messages_.size();
   mem_usage_ += sizeof(std::pair<MessageId, size_t>) + 2 * sizeof(void*) +
                 kMallocOverhead;
-  auto [uit, user_inserted] =
-      latest_by_user_.try_emplace(msg.user, messages_.size());
-  if (!user_inserted &&
-      messages_[uit->second].msg.date <= date) {
-    uit->second = messages_.size();
+  if (user != kInvalidTermId) {
+    auto [uit, user_inserted] =
+        latest_by_user_.try_emplace(user, messages_.size());
+    if (!user_inserted && messages_[uit->second].msg.date <= date) {
+      uit->second = messages_.size();
+    }
+    if (user_inserted) {
+      mem_usage_ += sizeof(std::pair<TermId, size_t>) + 2 * sizeof(void*) +
+                    kMallocOverhead;
+    }
   }
-  if (user_inserted) {
-    mem_usage_ += sizeof(std::pair<std::string, size_t>) +
-                  2 * sizeof(void*) + kMallocOverhead;
-  }
-  messages_.push_back(
-      BundleMessage{std::move(msg), parent, type, score});
+  messages_.push_back(BundleMessage{std::move(msg), parent, type, score});
 }
 
-const BundleMessage* Bundle::LatestByUser(const std::string& user) const {
+uint32_t Bundle::CountOf(IndicantType type, std::string_view value) const {
+  const TermId term = dict_->Find(type, value);
+  if (term == kInvalidTermId) return 0;
+  const TermCounts& counts = counts_[static_cast<size_t>(type)];
+  auto it = counts.find(term);
+  return it == counts.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, uint32_t>> Bundle::ResolvedCounts(
+    IndicantType type) const {
+  const TermCounts& counts = counts_[static_cast<size_t>(type)];
+  std::vector<std::pair<std::string, uint32_t>> out;
+  out.reserve(counts.size());
+  for (const auto& [term, count] : counts) {
+    out.emplace_back(dict_->Resolve(type, term), count);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const BundleMessage* Bundle::LatestByUser(std::string_view user) const {
+  return LatestByUserId(dict_->Find(IndicantType::kUser, user));
+}
+
+const BundleMessage* Bundle::LatestByUserId(TermId user) const {
+  if (user == kInvalidTermId) return nullptr;
   auto it = latest_by_user_.find(user);
   if (it == latest_by_user_.end()) return nullptr;
   return &messages_[it->second];
@@ -87,8 +121,8 @@ std::vector<Edge> Bundle::Edges() const {
 
 std::vector<std::pair<std::string, uint32_t>> Bundle::TopKeywords(
     size_t k) const {
-  std::vector<std::pair<std::string, uint32_t>> all(
-      keyword_counts_.begin(), keyword_counts_.end());
+  std::vector<std::pair<std::string, uint32_t>> all =
+      ResolvedCounts(IndicantType::kKeyword);
   size_t take = std::min(k, all.size());
   std::partial_sort(all.begin(), all.begin() + take, all.end(),
                     [](const auto& a, const auto& b) {

@@ -2,11 +2,15 @@
 #define MICROPROV_CORE_BUNDLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/connection.h"
+#include "core/indicant_dictionary.h"
 #include "stream/message.h"
 
 namespace microprov {
@@ -26,15 +30,25 @@ struct BundleMessage {
 /// URL / keyword / user counts, Fig. 3) used for matching, ranking, and
 /// summary-index removal, plus incremental memory accounting for the
 /// Fig. 11 experiments.
+///
+/// Summaries are keyed by interned TermId in the id space of the bundle's
+/// dictionary — shared with the owning engine's summary index, so index
+/// removal on eviction is pure integer work. Bundles constructed without
+/// a dictionary (decoded archives, standalone tests) own a private one.
 class Bundle {
  public:
-  explicit Bundle(BundleId id) : id_(id) {}
+  /// `dict` is the id space for this bundle's summaries (typically the
+  /// per-shard dictionary, which must outlive the bundle); nullptr means
+  /// the bundle owns a private dictionary.
+  explicit Bundle(BundleId id, IndicantDictionary* dict = nullptr);
   Bundle(const Bundle&) = delete;
   Bundle& operator=(const Bundle&) = delete;
 
   BundleId id() const { return id_; }
   size_t size() const { return messages_.size(); }
   bool empty() const { return messages_.empty(); }
+
+  const IndicantDictionary& dictionary() const { return *dict_; }
 
   /// Closed bundles accept no further messages (bundle-size constraint,
   /// Section V-B) and are flushed to disk at the next refinement scan.
@@ -49,6 +63,8 @@ class Bundle {
   Timestamp last_update() const { return last_update_; }
 
   /// Appends `msg` connected to `parent` (kInvalidMessageId for roots).
+  /// Stamps the stored copy with this bundle's dictionary if it was not
+  /// already interned there.
   void AddMessage(Message msg, MessageId parent, ConnectionType type,
                   float score);
 
@@ -60,56 +76,61 @@ class Bundle {
   /// All intra-bundle edges (excluding roots).
   std::vector<Edge> Edges() const;
 
-  // Indicant summaries: value -> number of member messages carrying it.
-  const std::unordered_map<std::string, uint32_t>& hashtag_counts() const {
-    return hashtag_counts_;
-  }
-  const std::unordered_map<std::string, uint32_t>& url_counts() const {
-    return url_counts_;
-  }
-  const std::unordered_map<std::string, uint32_t>& keyword_counts() const {
-    return keyword_counts_;
-  }
-  const std::unordered_map<std::string, uint32_t>& user_counts() const {
-    return user_counts_;
+  // Indicant summaries: interned term -> number of member messages
+  // carrying it, in the bundle's dictionary id space.
+  using TermCounts = std::unordered_map<TermId, uint32_t>;
+  const TermCounts& id_counts(IndicantType type) const {
+    return counts_[static_cast<size_t>(type)];
   }
 
-  bool HasUser(const std::string& user) const {
-    return user_counts_.count(user) > 0;
+  /// Occurrences of the surface form `value` in this bundle's summary
+  /// for `type` (0 when absent). String boundary: queries and tests.
+  uint32_t CountOf(IndicantType type, std::string_view value) const;
+
+  bool HasUser(std::string_view user) const {
+    return CountOf(IndicantType::kUser, user) > 0;
   }
+
+  /// The summary for `type` with terms resolved back to surface forms,
+  /// sorted by term for determinism (store dumps, tests).
+  std::vector<std::pair<std::string, uint32_t>> ResolvedCounts(
+      IndicantType type) const;
 
   /// The most recently posted member message by `user`, or nullptr.
-  /// O(1): maintained incrementally for Alg. 2's RT resolution.
-  const BundleMessage* LatestByUser(const std::string& user) const;
+  /// O(1) after the term lookup: maintained incrementally for Alg. 2's
+  /// RT resolution.
+  const BundleMessage* LatestByUser(std::string_view user) const;
+  /// Id-space twin (term in this bundle's dictionary).
+  const BundleMessage* LatestByUserId(TermId user) const;
 
   /// Most frequent keywords, ties broken lexicographically — the "summary
   /// words" column of the paper's Fig. 2 result list.
   std::vector<std::pair<std::string, uint32_t>> TopKeywords(
       size_t k) const;
 
-  /// Approximate heap footprint, maintained incrementally.
+  /// Approximate heap footprint, maintained incrementally. Interned
+  /// strings live in the dictionary and are accounted there.
   size_t ApproxMemoryUsage() const { return mem_usage_; }
 
   /// Number of keyword indicants each message contributes to summaries.
   static constexpr size_t kSummaryKeywordsPerMessage = 6;
 
  private:
-  void BumpCount(std::unordered_map<std::string, uint32_t>* counts,
-                 const std::string& value);
+  void BumpCount(IndicantType type, TermId term);
 
   BundleId id_;
+  // Set iff this bundle was constructed without a shared dictionary.
+  std::unique_ptr<IndicantDictionary> owned_dict_;
+  IndicantDictionary* dict_;
   bool closed_ = false;
   Timestamp start_time_ = 0;
   Timestamp end_time_ = 0;
   Timestamp last_update_ = 0;
   std::vector<BundleMessage> messages_;
   std::unordered_map<MessageId, size_t> by_id_;
-  /// user -> index of their latest-dated message in messages_.
-  std::unordered_map<std::string, size_t> latest_by_user_;
-  std::unordered_map<std::string, uint32_t> hashtag_counts_;
-  std::unordered_map<std::string, uint32_t> url_counts_;
-  std::unordered_map<std::string, uint32_t> keyword_counts_;
-  std::unordered_map<std::string, uint32_t> user_counts_;
+  /// user term -> index of their latest-dated message in messages_.
+  std::unordered_map<TermId, size_t> latest_by_user_;
+  TermCounts counts_[kNumIndicantTypes];
   size_t mem_usage_ = sizeof(Bundle);
 };
 

@@ -1,0 +1,23 @@
+#include "core/candidate_accumulator.h"
+
+namespace microprov {
+
+void CandidateAccumulator::Rehash(size_t new_slot_count) {
+  std::vector<SlotEntry> old_slots = std::move(slots_);
+  std::vector<uint32_t> old_touched = std::move(touched_);
+  slots_.assign(new_slot_count, SlotEntry{});
+  touched_.clear();
+  touched_.reserve(new_slot_count / 2);
+  mask_ = new_slot_count - 1;
+  // Re-place this epoch's live entries; everything older is garbage by
+  // construction and need not move.
+  for (uint32_t old_idx : old_touched) {
+    const SlotEntry& entry = old_slots[old_idx];
+    size_t idx = static_cast<size_t>(Mix64(entry.bundle)) & mask_;
+    while (slots_[idx].epoch == epoch_) idx = (idx + 1) & mask_;
+    slots_[idx] = entry;
+    touched_.push_back(static_cast<uint32_t>(idx));
+  }
+}
+
+}  // namespace microprov

@@ -1,0 +1,107 @@
+#ifndef MICROPROV_CORE_CANDIDATE_ACCUMULATOR_H_
+#define MICROPROV_CORE_CANDIDATE_ACCUMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/connection.h"
+
+namespace microprov {
+
+/// Per-candidate tally of how many distinct indicant values a new message
+/// shares with a bundle, split by type — the inputs to the Eq. 1 match
+/// score (|url(t) ∩ url(B)|, |tag(t) ∩ tag(B)|, ...).
+struct CandidateHits {
+  uint32_t hashtag_hits = 0;
+  uint32_t url_hits = 0;
+  uint32_t keyword_hits = 0;
+  uint32_t user_hits = 0;
+
+  uint32_t total() const {
+    return hashtag_hits + url_hits + keyword_hits + user_hits;
+  }
+};
+
+/// Reusable scratch map for candidate fetch (Alg. 1 step 1): BundleId ->
+/// CandidateHits as an open-addressed flat table whose slots are
+/// epoch-stamped, so Reset() is O(1) (bump the epoch) and a steady-state
+/// fetch performs zero heap allocations — the per-message
+/// unordered_map<BundleId, CandidateHits> this replaces allocated a node
+/// per candidate plus the bucket array, every message.
+///
+/// One instance lives per engine (single-writer, like everything on the
+/// ingest path); capacity only grows, bounded by the matcher's fanout cap
+/// times the handful of indicants per message.
+class CandidateAccumulator {
+ public:
+  /// Construction allocates nothing; the slot table materializes on the
+  /// first insertion (FindBestBundle constructs a throwaway instance
+  /// when the caller passes no scratch).
+  CandidateAccumulator() = default;
+  CandidateAccumulator(const CandidateAccumulator&) = delete;
+  CandidateAccumulator& operator=(const CandidateAccumulator&) = delete;
+
+  /// Forgets all entries. O(1): live slots are recognized by their epoch
+  /// stamp, so none need clearing.
+  void Reset() {
+    ++epoch_;
+    touched_.clear();
+  }
+
+  /// The tally for `id`, inserting a zeroed one if absent this epoch.
+  CandidateHits& Slot(BundleId id) {
+    // Keep load factor under 1/2, growing before the probe so the
+    // returned reference is never invalidated by a rehash.
+    if ((touched_.size() + 1) * 2 > slots_.size()) Grow();
+    size_t idx = static_cast<size_t>(Mix64(id)) & mask_;
+    for (;;) {
+      SlotEntry& slot = slots_[idx];
+      if (slot.epoch != epoch_) {
+        slot.bundle = id;
+        slot.epoch = epoch_;
+        slot.hits = CandidateHits{};
+        touched_.push_back(static_cast<uint32_t>(idx));
+        return slot.hits;
+      }
+      if (slot.bundle == id) return slot.hits;
+      idx = (idx + 1) & mask_;
+    }
+  }
+
+  size_t size() const { return touched_.size(); }
+  bool empty() const { return touched_.empty(); }
+  size_t capacity() const { return slots_.size(); }
+
+  /// Visits (BundleId, const CandidateHits&) in insertion order (first
+  /// touch this epoch), which is deterministic given the posting layout.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (uint32_t idx : touched_) {
+      fn(slots_[idx].bundle, slots_[idx].hits);
+    }
+  }
+
+ private:
+  struct SlotEntry {
+    BundleId bundle = kInvalidBundleId;
+    uint64_t epoch = 0;  // epoch_ starts at 1: all slots begin empty
+    CandidateHits hits;
+  };
+
+  static constexpr size_t kInitialSlots = 1024;  // power of two
+
+  void Rehash(size_t new_slot_count);
+  void Grow() {
+    Rehash(slots_.empty() ? kInitialSlots : slots_.size() * 2);
+  }
+
+  std::vector<SlotEntry> slots_;
+  std::vector<uint32_t> touched_;  // slot indexes live this epoch
+  uint64_t epoch_ = 1;
+  size_t mask_ = 0;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_CORE_CANDIDATE_ACCUMULATOR_H_

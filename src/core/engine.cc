@@ -67,7 +67,8 @@ ProvenanceEngine::ProvenanceEngine(const EngineOptions& options,
     : options_(options),
       clock_(clock),
       archive_(archive),
-      pool_(options.pool) {
+      index_(&dict_),
+      pool_(options.pool, &dict_) {
   if (archive_ != nullptr) {
     pool_.ReserveIdsThrough(archive_->MaxBundleId());
   }
@@ -75,6 +76,7 @@ ProvenanceEngine::ProvenanceEngine(const EngineOptions& options,
     obs::MetricsRegistry* registry = options_.metrics;
     const std::string shard_label =
         StringPrintf("shard=\"%u\"", options_.shard_index);
+    dict_.BindMetrics(registry, shard_label);
     pool_.BindMetrics(registry, shard_label);
     index_.BindMetrics(registry, shard_label);
     match_hist_ = registry->GetHistogram(
@@ -100,6 +102,13 @@ StatusOr<IngestResult> ProvenanceEngine::Ingest(const Message& msg) {
   Bundle* bundle = nullptr;
   const bool tracing = options_.trace != nullptr;
 
+  // Stage the message and intern its indicants once; every downstream
+  // step (candidate fetch, Eq. 1, Alg. 2, index update, bundle
+  // summaries) then works in the shard's TermId space without touching
+  // strings. staged_ is a member so its buffers persist across calls.
+  staged_ = msg;
+  dict_.InternMessage(&staged_);
+
   // Stage boundaries are chained monotonic reads: four clock calls per
   // message cover all three stages, feeding both the cumulative
   // StageTimers (Fig. 13 harness) and the latency histograms.
@@ -107,8 +116,8 @@ StatusOr<IngestResult> ProvenanceEngine::Ingest(const Message& msg) {
 
   // Stage 1: bundle match (Alg. 1 steps 1-2).
   std::optional<MatchResult> match =
-      FindBestBundle(msg, index_, pool_, now, options_.matcher,
-                     tracing ? &trace_scored_ : nullptr);
+      FindBestBundle(staged_, index_, pool_, now, options_.matcher,
+                     tracing ? &trace_scored_ : nullptr, &scratch_);
   if (match) {
     bundle = pool_.Get(match->bundle);
     local.bundle = match->bundle;
@@ -117,20 +126,29 @@ StatusOr<IngestResult> ProvenanceEngine::Ingest(const Message& msg) {
 
   const int64_t t1 = MonotonicNanos();
 
-  // Stage 2: message placement (Alg. 2), or bundle creation.
+  // Alg. 1 step 3 input: the index consumes the staged message before
+  // placement moves it into the bundle. Same index state as updating
+  // after insertion — AddMessage only needs the bundle id.
   if (bundle == nullptr) {
+    // Stage 2: bundle creation.
     bundle = pool_.Create();
     local.bundle = bundle->id();
     local.created_bundle = true;
-    bundle->AddMessage(msg, kInvalidMessageId, ConnectionType::kText,
-                       0.0f);
+    index_.AddMessage(bundle->id(), staged_,
+                      Bundle::kSummaryKeywordsPerMessage);
+    bundle->AddMessage(std::move(staged_), kInvalidMessageId,
+                       ConnectionType::kText, 0.0f);
   } else {
+    // Stage 2: message placement (Alg. 2).
     Placement placement =
-        AllocateMessage(*bundle, msg, options_.matcher.weights,
+        AllocateMessage(*bundle, staged_, options_.matcher.weights,
                         options_.allocate_scan_window);
     local.parent = placement.parent;
     local.connection = placement.type;
-    bundle->AddMessage(msg, placement.parent, placement.type,
+    index_.AddMessage(bundle->id(), staged_,
+                      Bundle::kSummaryKeywordsPerMessage);
+    bundle->AddMessage(std::move(staged_), placement.parent,
+                       placement.type,
                        static_cast<float>(placement.score));
     if (options_.record_edges) {
       edge_log_.Record(Edge{placement.parent, msg.id, placement.type,
@@ -138,10 +156,6 @@ StatusOr<IngestResult> ProvenanceEngine::Ingest(const Message& msg) {
     }
   }
   pool_.NoteMessageAdded();
-
-  // Alg. 1 step 3: update the summary index with the new message.
-  index_.AddMessage(bundle->id(), msg,
-                    Bundle::kSummaryKeywordsPerMessage);
 
   // Bundle-size constraint (Section V-B): cap reached -> closed.
   const size_t cap = pool_.options().max_bundle_size;
@@ -204,7 +218,8 @@ void ProvenanceEngine::RefreshMemoryMetrics() {
 }
 
 size_t ProvenanceEngine::ApproxMemoryUsage() const {
-  return pool_.ApproxMemoryUsage() + index_.ApproxMemoryUsage();
+  return pool_.ApproxMemoryUsage() + index_.ApproxMemoryUsage() +
+         dict_.ApproxMemoryUsage();
 }
 
 }  // namespace microprov

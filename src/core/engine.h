@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "common/statusor.h"
 #include "core/edge_log.h"
+#include "core/indicant_dictionary.h"
 #include "core/matcher.h"
 #include "core/pool.h"
 #include "core/stats.h"
@@ -109,13 +110,15 @@ class ProvenanceEngine {
 
   const BundlePool& pool() const { return pool_; }
   const SummaryIndex& summary_index() const { return index_; }
+  const IndicantDictionary& dictionary() const { return dict_; }
   const EdgeLog& edge_log() const { return edge_log_; }
   const StageTimers& timers() const { return timers_; }
   const EngineOptions& options() const { return options_; }
   BundleArchive* archive() const { return archive_; }
   uint64_t messages_ingested() const { return ingested_; }
 
-  /// In-memory footprint: pool + summary index (Fig. 11(a)).
+  /// In-memory footprint: pool + summary index + dictionary
+  /// (Fig. 11(a)).
   size_t ApproxMemoryUsage() const;
 
   /// Re-publishes the `microprov_engine_memory_bytes` gauge from
@@ -128,6 +131,10 @@ class ProvenanceEngine {
   EngineOptions options_;
   const Clock* clock_;
   BundleArchive* archive_;
+  // The shard's interning dictionary: one id space shared by the index,
+  // the pool's bundles, and every message staged through Ingest.
+  // Declared before index_/pool_, which hold pointers into it.
+  IndicantDictionary dict_;
   SummaryIndex index_;
   BundlePool pool_;
   EdgeLog edge_log_;
@@ -140,7 +147,11 @@ class ProvenanceEngine {
   obs::HistogramMetric* refinement_hist_ = nullptr;
   obs::Counter* ingested_counter_ = nullptr;
   obs::Gauge* memory_gauge_ = nullptr;
-  // Scratch buffer reused across Ingest calls when tracing is on.
+  // Scratch reused across Ingest calls: the staged (interned) copy of
+  // the incoming message, the matcher's candidate buffers, and the
+  // trace score list.
+  Message staged_;
+  MatcherScratch scratch_;
   std::vector<MatchResult> trace_scored_;
 };
 

@@ -2,7 +2,6 @@
 #define MICROPROV_CORE_INDICANT_H_
 
 #include <cstdint>
-#include <functional>
 #include <string_view>
 
 #include "stream/message.h"
@@ -22,16 +21,6 @@ enum class IndicantType : uint8_t {
 
 inline constexpr int kNumIndicantTypes = 4;
 
-std::string_view IndicantTypeToString(IndicantType type);
-
-/// Invokes `fn(type, value)` for every indicant of `msg`, visiting at most
-/// `max_keywords` keyword indicants (keyword lists can be long; the index
-/// keys on the first few, which arrive in text order and carry the most
-/// signal).
-void ForEachIndicant(
-    const Message& msg, size_t max_keywords,
-    const std::function<void(IndicantType, std::string_view)>& fn);
-
 inline std::string_view IndicantTypeToString(IndicantType type) {
   switch (type) {
     case IndicantType::kHashtag:
@@ -44,6 +33,52 @@ inline std::string_view IndicantTypeToString(IndicantType type) {
       return "user";
   }
   return "?";
+}
+
+/// Invokes `fn(type, value)` for every indicant of `msg`, visiting at most
+/// `max_keywords` keyword indicants (keyword lists can be long; the index
+/// keys on the first few, which arrive in text order and carry the most
+/// signal). A template so the per-indicant call inlines on the ingest hot
+/// path instead of going through a std::function thunk.
+template <typename Fn>
+void ForEachIndicant(const Message& msg, size_t max_keywords, Fn&& fn) {
+  for (const std::string& tag : msg.hashtags) {
+    fn(IndicantType::kHashtag, std::string_view(tag));
+  }
+  for (const std::string& url : msg.urls) {
+    fn(IndicantType::kUrl, std::string_view(url));
+  }
+  size_t kw = 0;
+  for (const std::string& keyword : msg.keywords) {
+    if (kw++ >= max_keywords) break;
+    fn(IndicantType::kKeyword, std::string_view(keyword));
+  }
+  if (!msg.user.empty()) {
+    fn(IndicantType::kUser, std::string_view(msg.user));
+  }
+}
+
+/// Id-space twin of ForEachIndicant: visits `fn(type, term_id)` over the
+/// message's stamped term ids. Callers must have verified
+/// msg.term_ids.StampedBy(dict) for the dictionary whose id space they
+/// expect. Visit order matches ForEachIndicant (interning preserves the
+/// surface order, including the keyword cap).
+template <typename Fn>
+void ForEachIndicantId(const Message& msg, size_t max_keywords, Fn&& fn) {
+  for (TermId id : msg.term_ids.hashtags) {
+    fn(IndicantType::kHashtag, id);
+  }
+  for (TermId id : msg.term_ids.urls) {
+    fn(IndicantType::kUrl, id);
+  }
+  size_t kw = 0;
+  for (TermId id : msg.term_ids.keywords) {
+    if (kw++ >= max_keywords) break;
+    fn(IndicantType::kKeyword, id);
+  }
+  if (msg.term_ids.user != kInvalidTermId) {
+    fn(IndicantType::kUser, msg.term_ids.user);
+  }
 }
 
 }  // namespace microprov

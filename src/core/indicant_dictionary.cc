@@ -1,0 +1,69 @@
+#include "core/indicant_dictionary.h"
+
+namespace microprov {
+
+void IndicantDictionary::InternMessage(Message* msg) {
+  if (msg->term_ids.StampedBy(this)) return;
+  MessageTermIds& ids = msg->term_ids;
+  ids.Clear();
+  ids.hashtags.reserve(msg->hashtags.size());
+  for (const std::string& tag : msg->hashtags) {
+    ids.hashtags.push_back(Intern(IndicantType::kHashtag, tag));
+  }
+  ids.urls.reserve(msg->urls.size());
+  for (const std::string& url : msg->urls) {
+    ids.urls.push_back(Intern(IndicantType::kUrl, url));
+  }
+  ids.keywords.reserve(msg->keywords.size());
+  for (const std::string& keyword : msg->keywords) {
+    ids.keywords.push_back(Intern(IndicantType::kKeyword, keyword));
+  }
+  if (!msg->user.empty()) {
+    ids.user = Intern(IndicantType::kUser, msg->user);
+  }
+  if (msg->is_retweet && !msg->retweet_of_user.empty()) {
+    // Interning (not Find) on purpose: an RT may arrive before any
+    // original post by the target author, and candidate fetch needs a
+    // stable id to probe with either way.
+    ids.retweet_of_user = Intern(IndicantType::kUser, msg->retweet_of_user);
+  }
+  ids.source = this;
+  PublishMetrics();
+}
+
+void IndicantDictionary::PublishMetrics() {
+  if (terms_gauge_ == nullptr) return;
+  if (hits_ > 0) {
+    hits_counter_->Increment(hits_);
+    hits_ = 0;
+  }
+  if (misses_ > 0) {
+    misses_counter_->Increment(misses_);
+    misses_ = 0;
+    terms_gauge_->Set(static_cast<int64_t>(TotalTerms()));
+  }
+}
+
+size_t IndicantDictionary::ApproxMemoryUsage() const {
+  size_t total = sizeof(IndicantDictionary);
+  for (const Vocabulary& vocab : vocabs_) {
+    total += vocab.ApproxMemoryUsage();
+  }
+  return total;
+}
+
+void IndicantDictionary::BindMetrics(obs::MetricsRegistry* registry,
+                                     const std::string& shard_label) {
+  terms_gauge_ = registry->GetGauge(
+      "microprov_dictionary_terms", shard_label,
+      "Interned indicant terms in this shard's dictionary");
+  hits_counter_ = registry->GetCounter(
+      "microprov_dictionary_lookups_total", "result=\"hit\"",
+      "Indicant interning lookups, by whether the term was known");
+  misses_counter_ = registry->GetCounter(
+      "microprov_dictionary_lookups_total", "result=\"miss\"");
+  terms_gauge_->Set(static_cast<int64_t>(TotalTerms()));
+  PublishMetrics();
+}
+
+}  // namespace microprov

@@ -1,6 +1,7 @@
 #include "core/matcher.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 namespace microprov {
@@ -8,26 +9,40 @@ namespace microprov {
 std::optional<MatchResult> FindBestBundle(
     const Message& msg, const SummaryIndex& index, const BundlePool& pool,
     Timestamp now, const MatcherOptions& options,
-    std::vector<MatchResult>* scored_out) {
+    std::vector<MatchResult>* scored_out, MatcherScratch* scratch) {
   if (scored_out != nullptr) scored_out->clear();
-  std::unordered_map<BundleId, CandidateHits> candidates =
-      index.Candidates(msg, Bundle::kSummaryKeywordsPerMessage,
-                       options.max_posting_fanout);
-  if (candidates.empty()) return std::nullopt;
+  MatcherScratch local;
+  if (scratch == nullptr) scratch = &local;
 
-  // Optionally bound scoring work to the strongest raw overlaps.
-  std::vector<std::pair<BundleId, CandidateHits>> ordered(
-      candidates.begin(), candidates.end());
+  index.Candidates(msg, Bundle::kSummaryKeywordsPerMessage,
+                   options.max_posting_fanout, &scratch->candidates);
+  if (scratch->candidates.empty()) return std::nullopt;
+
+  std::vector<std::pair<BundleId, CandidateHits>>& ordered =
+      scratch->ordered;
+  ordered.clear();
+  scratch->candidates.ForEach(
+      [&](BundleId id, const CandidateHits& hits) {
+        ordered.emplace_back(id, hits);
+      });
+
+  // Optionally bound scoring work to the strongest raw overlaps. The
+  // comparator is a strict total order (ids are unique), so the first
+  // max_candidates elements after the partition are exactly the set a
+  // full sort would select — order within the set is irrelevant because
+  // the scoring loop below tie-breaks on (score, id), not position.
   if (options.max_candidates > 0 &&
       ordered.size() > options.max_candidates) {
-    std::partial_sort(
-        ordered.begin(), ordered.begin() + options.max_candidates,
-        ordered.end(), [](const auto& a, const auto& b) {
-          if (a.second.total() != b.second.total()) {
-            return a.second.total() > b.second.total();
-          }
-          return a.first < b.first;
-        });
+    auto stronger = [](const std::pair<BundleId, CandidateHits>& a,
+                       const std::pair<BundleId, CandidateHits>& b) {
+      if (a.second.total() != b.second.total()) {
+        return a.second.total() > b.second.total();
+      }
+      return a.first < b.first;
+    };
+    std::nth_element(ordered.begin(),
+                     ordered.begin() + options.max_candidates - 1,
+                     ordered.end(), stronger);
     ordered.resize(options.max_candidates);
   }
 

@@ -33,16 +33,29 @@ struct MatchResult {
   double score = 0.0;
 };
 
+/// Reusable buffers for FindBestBundle. One instance per engine: after
+/// the first few messages grow them to the working size, a match runs
+/// with zero heap allocations.
+struct MatcherScratch {
+  CandidateAccumulator candidates;
+  std::vector<std::pair<BundleId, CandidateHits>> ordered;
+};
+
 /// Steps 1-2 of Alg. 1: fetch candidates via the summary index, score each
 /// with Eq. 1, and return the argmax if it clears the threshold. Closed and
 /// size-capped bundles are skipped (they accept no messages). When
 /// `scored_out` is non-null it receives every candidate actually scored
 /// with its Eq. 1 score (the ingest trace record), including ones below
-/// the match threshold.
+/// the match threshold. `scratch` buffers are reused across calls when
+/// provided (the engine's steady-state path); a local scratch is used
+/// otherwise. Over-cap candidate sets are truncated to the
+/// `max_candidates` strongest raw overlaps via nth_element — an O(n)
+/// partition; the argmax scan below needs no order within the kept set.
 std::optional<MatchResult> FindBestBundle(
     const Message& msg, const SummaryIndex& index, const BundlePool& pool,
     Timestamp now, const MatcherOptions& options,
-    std::vector<MatchResult>* scored_out = nullptr);
+    std::vector<MatchResult>* scored_out = nullptr,
+    MatcherScratch* scratch = nullptr);
 
 }  // namespace microprov
 

@@ -11,7 +11,7 @@ namespace microprov {
 Bundle* BundlePool::Create() {
   BundleId id = next_id_++;
   auto [it, inserted] =
-      bundles_.emplace(id, std::make_unique<Bundle>(id));
+      bundles_.emplace(id, std::make_unique<Bundle>(id, dict_));
   ++stats_.bundles_created;
   if (created_counter_ != nullptr) created_counter_->Increment();
   SetSizeGauge();

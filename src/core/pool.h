@@ -63,7 +63,12 @@ struct PoolStats {
 /// Refine so eviction keeps them consistent.
 class BundlePool {
  public:
-  explicit BundlePool(const PoolOptions& options) : options_(options) {}
+  /// `dict` is the id space handed to every bundle this pool creates
+  /// (the per-shard dictionary, shared with the summary index); nullptr
+  /// makes each bundle own a private dictionary (standalone tests).
+  explicit BundlePool(const PoolOptions& options,
+                      IndicantDictionary* dict = nullptr)
+      : options_(options), dict_(dict) {}
   BundlePool(const BundlePool&) = delete;
   BundlePool& operator=(const BundlePool&) = delete;
 
@@ -137,6 +142,7 @@ class BundlePool {
   }
 
   PoolOptions options_;
+  IndicantDictionary* dict_;  // may be null; never owned
   std::unordered_map<BundleId, std::unique_ptr<Bundle>> bundles_;
   BundleId next_id_ = 1;
   PoolStats stats_;

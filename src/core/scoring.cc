@@ -22,6 +22,31 @@ size_t SharedCount(const std::vector<std::string>& needles,
   return shared;
 }
 
+/// Id-space twin; valid only when both sides carry ids from the same
+/// dictionary. Indicant lists are a handful of entries, so the nested
+/// loop beats any set machinery — and an integer compare beats a string
+/// compare by an order of magnitude.
+size_t SharedCount(const std::vector<TermId>& needles,
+                   const std::vector<TermId>& haystack) {
+  size_t shared = 0;
+  for (TermId n : needles) {
+    for (TermId h : haystack) {
+      if (n == h) {
+        ++shared;
+        break;
+      }
+    }
+  }
+  return shared;
+}
+
+/// True when both messages carry term ids from the same dictionary, so
+/// indicant overlap can be computed on integers.
+bool SameIdSpace(const Message& a, const Message& b) {
+  return a.term_ids.source != nullptr &&
+         a.term_ids.source == b.term_ids.source;
+}
+
 }  // namespace
 
 double BundleMatchScore(const Message& msg, const Bundle& bundle,
@@ -46,21 +71,33 @@ double BundleMatchScore(const Message& msg, const Bundle& bundle,
 
 double UrlSimilarity(const Message& new_msg, const Message& old_msg) {
   if (new_msg.urls.empty()) return 0.0;
-  return static_cast<double>(SharedCount(new_msg.urls, old_msg.urls)) /
+  const size_t shared =
+      SameIdSpace(new_msg, old_msg)
+          ? SharedCount(new_msg.term_ids.urls, old_msg.term_ids.urls)
+          : SharedCount(new_msg.urls, old_msg.urls);
+  return static_cast<double>(shared) /
          static_cast<double>(new_msg.urls.size());
 }
 
 double HashtagSimilarity(const Message& new_msg, const Message& old_msg) {
   if (new_msg.hashtags.empty()) return 0.0;
-  return static_cast<double>(
-             SharedCount(new_msg.hashtags, old_msg.hashtags)) /
+  const size_t shared =
+      SameIdSpace(new_msg, old_msg)
+          ? SharedCount(new_msg.term_ids.hashtags,
+                        old_msg.term_ids.hashtags)
+          : SharedCount(new_msg.hashtags, old_msg.hashtags);
+  return static_cast<double>(shared) /
          static_cast<double>(new_msg.hashtags.size());
 }
 
 double KeywordSimilarity(const Message& new_msg, const Message& old_msg) {
   if (new_msg.keywords.empty()) return 0.0;
-  return static_cast<double>(
-             SharedCount(new_msg.keywords, old_msg.keywords)) /
+  const size_t shared =
+      SameIdSpace(new_msg, old_msg)
+          ? SharedCount(new_msg.term_ids.keywords,
+                        old_msg.term_ids.keywords)
+          : SharedCount(new_msg.keywords, old_msg.keywords);
+  return static_cast<double>(shared) /
          static_cast<double>(new_msg.keywords.size());
 }
 
@@ -89,6 +126,22 @@ double GScore(const Bundle& bundle, Timestamp now) {
 
 ConnectionType DominantConnectionType(const Message& new_msg,
                                       const Message& old_msg) {
+  if (SameIdSpace(new_msg, old_msg)) {
+    if (new_msg.is_retweet &&
+        (new_msg.retweet_of_id == old_msg.id ||
+         (new_msg.term_ids.retweet_of_user != kInvalidTermId &&
+          new_msg.term_ids.retweet_of_user == old_msg.term_ids.user))) {
+      return ConnectionType::kRt;
+    }
+    if (SharedCount(new_msg.term_ids.urls, old_msg.term_ids.urls) > 0) {
+      return ConnectionType::kUrl;
+    }
+    if (SharedCount(new_msg.term_ids.hashtags,
+                    old_msg.term_ids.hashtags) > 0) {
+      return ConnectionType::kHashtag;
+    }
+    return ConnectionType::kText;
+  }
   if (new_msg.is_retweet &&
       (new_msg.retweet_of_id == old_msg.id ||
        (!new_msg.retweet_of_user.empty() &&

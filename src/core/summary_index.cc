@@ -1,25 +1,222 @@
 #include "core/summary_index.h"
 
+#include <algorithm>
+
 #include "common/memory_usage.h"
 
 namespace microprov {
 
+std::vector<SummaryIndex::Posting>::iterator SummaryIndex::LowerBound(
+    std::vector<Posting>& entries, BundleId id) {
+  return std::lower_bound(entries.begin(), entries.end(), id,
+                          [](const Posting& p, BundleId target) {
+                            return p.bundle < target;
+                          });
+}
+
+SummaryIndex::SummaryIndex()
+    : owned_dict_(std::make_unique<IndicantDictionary>()),
+      dict_(owned_dict_.get()) {}
+
+SummaryIndex::SummaryIndex(IndicantDictionary* dict) : dict_(dict) {}
+
+void SummaryIndex::Add(IndicantType type, TermId term, BundleId id) {
+  auto& lists = lists_[static_cast<size_t>(type)];
+  if (term >= lists.size()) lists.resize(term + 1);
+  PostingList& list = lists[term];
+  auto it = LowerBound(list.entries, id);
+  if (it != list.entries.end() && it->bundle == id) {
+    if (it->count == 0) {
+      // Reviving a tombstone: the bundle left and came back.
+      ++list.live;
+      ++num_postings_;
+      if (list.live == 1) ++num_keys_;
+    }
+    ++it->count;
+    return;
+  }
+  list.entries.insert(it, Posting{id, 1});
+  ++list.live;
+  ++num_postings_;
+  if (list.live == 1) ++num_keys_;
+}
+
+void SummaryIndex::Remove(IndicantType type, TermId term, BundleId id,
+                          uint32_t count) {
+  auto& lists = lists_[static_cast<size_t>(type)];
+  if (term == kInvalidTermId || term >= lists.size()) return;
+  PostingList& list = lists[term];
+  auto it = LowerBound(list.entries, id);
+  if (it == list.entries.end() || it->bundle != id || it->count == 0) {
+    return;
+  }
+  if (it->count > count) {
+    it->count -= count;
+    return;
+  }
+  it->count = 0;  // tombstone
+  --list.live;
+  --num_postings_;
+  if (list.live == 0) {
+    --num_keys_;
+    // Fully dead term: release the buffer. Long streams evict bundles
+    // continually; holding capacity for terms that may never recur
+    // would leak the index's working set upward. (`= {}` would keep
+    // capacity — it assigns an empty initializer list.)
+    std::vector<Posting>().swap(list.entries);
+    return;
+  }
+  // Compact when tombstones dominate; erase preserves the sort order.
+  const size_t dead = list.entries.size() - list.live;
+  if (dead >= 8 && dead > list.live) {
+    std::erase_if(list.entries,
+                  [](const Posting& p) { return p.count == 0; });
+  }
+}
+
 void SummaryIndex::AddMessage(BundleId id, const Message& msg,
                               size_t max_keywords) {
-  ForEachIndicant(
-      msg, max_keywords, [&](IndicantType type, std::string_view value) {
-        PostingMap& map = MapFor(type);
-        auto it = map.find(value);
-        if (it == map.end()) {
-          it = map.emplace(std::string(value),
-                           std::unordered_map<BundleId, uint32_t>())
-                   .first;
-        }
-        auto [pit, inserted] = it->second.try_emplace(id, 0);
-        ++pit->second;
-        if (inserted) ++num_postings_;
-      });
+  if (msg.term_ids.StampedBy(dict_)) {
+    ForEachIndicantId(msg, max_keywords,
+                      [&](IndicantType type, TermId term) {
+                        Add(type, term, id);
+                      });
+  } else {
+    ForEachIndicant(msg, max_keywords,
+                    [&](IndicantType type, std::string_view value) {
+                      Add(type, dict_->Intern(type, value), id);
+                    });
+  }
   RefreshGauges();
+}
+
+void SummaryIndex::RemoveBundle(const Bundle& bundle) {
+  const BundleId id = bundle.id();
+  if (&bundle.dictionary() == dict_) {
+    for (int t = 0; t < kNumIndicantTypes; ++t) {
+      const IndicantType type = static_cast<IndicantType>(t);
+      for (const auto& [term, count] : bundle.id_counts(type)) {
+        Remove(type, term, id, count);
+      }
+    }
+  } else {
+    // The bundle was summarized under another dictionary (standalone
+    // tests, restored archives): translate through the surface forms.
+    for (int t = 0; t < kNumIndicantTypes; ++t) {
+      const IndicantType type = static_cast<IndicantType>(t);
+      for (const auto& [term, count] : bundle.id_counts(type)) {
+        const std::string& value = bundle.dictionary().Resolve(type, term);
+        Remove(type, dict_->Find(type, value), id, count);
+      }
+    }
+  }
+  RefreshGauges();
+}
+
+void SummaryIndex::Accumulate(IndicantType type, TermId term,
+                              size_t max_fanout, CandidateAccumulator* out,
+                              uint64_t* scanned) const {
+  const PostingList* list = ListFor(type, term);
+  if (list == nullptr || list->live == 0) return;
+  if (max_fanout > 0 && list->entries.size() > max_fanout) return;
+  *scanned += list->entries.size();
+  for (const Posting& posting : list->entries) {
+    if (posting.count == 0) continue;
+    CandidateHits& hits = out->Slot(posting.bundle);
+    switch (type) {
+      case IndicantType::kHashtag:
+        ++hits.hashtag_hits;
+        break;
+      case IndicantType::kUrl:
+        ++hits.url_hits;
+        break;
+      case IndicantType::kKeyword:
+        ++hits.keyword_hits;
+        break;
+      case IndicantType::kUser:
+        ++hits.user_hits;
+        break;
+    }
+  }
+}
+
+void SummaryIndex::Candidates(const Message& msg, size_t max_keywords,
+                              size_t max_fanout,
+                              CandidateAccumulator* out) const {
+  out->Reset();
+  uint64_t scanned = 0;
+  // The author's own name matching a bundle's users is not evidence by
+  // itself; only the *re-shared* user is a join signal. Plain user
+  // indicants are indexed (so RTs can find them) but do not vote during
+  // candidate fetch.
+  if (msg.term_ids.StampedBy(dict_)) {
+    ForEachIndicantId(msg, max_keywords,
+                      [&](IndicantType type, TermId term) {
+                        if (type == IndicantType::kUser) return;
+                        Accumulate(type, term, max_fanout, out, &scanned);
+                      });
+    if (msg.is_retweet &&
+        msg.term_ids.retweet_of_user != kInvalidTermId) {
+      Accumulate(IndicantType::kUser, msg.term_ids.retweet_of_user,
+                 max_fanout, out, &scanned);
+    }
+  } else {
+    ForEachIndicant(msg, max_keywords,
+                    [&](IndicantType type, std::string_view value) {
+                      if (type == IndicantType::kUser) return;
+                      Accumulate(type, dict_->Find(type, value),
+                                 max_fanout, out, &scanned);
+                    });
+    if (msg.is_retweet && !msg.retweet_of_user.empty()) {
+      Accumulate(IndicantType::kUser,
+                 dict_->Find(IndicantType::kUser, msg.retweet_of_user),
+                 max_fanout, out, &scanned);
+    }
+  }
+  if (candidates_hist_ != nullptr) candidates_hist_->Observe(out->size());
+  if (fanout_hist_ != nullptr) fanout_hist_->Observe(scanned);
+}
+
+std::unordered_map<BundleId, CandidateHits> SummaryIndex::Candidates(
+    const Message& msg, size_t max_keywords, size_t max_fanout) const {
+  CandidateAccumulator accumulator;
+  Candidates(msg, max_keywords, max_fanout, &accumulator);
+  std::unordered_map<BundleId, CandidateHits> out;
+  out.reserve(accumulator.size());
+  accumulator.ForEach([&](BundleId id, const CandidateHits& hits) {
+    out.emplace(id, hits);
+  });
+  return out;
+}
+
+std::vector<BundleId> SummaryIndex::Lookup(IndicantType type,
+                                           const std::string& value) const {
+  std::vector<BundleId> out;
+  const PostingList* list = ListFor(type, dict_->Find(type, value));
+  if (list == nullptr) return out;
+  out.reserve(list->live);
+  for (const Posting& posting : list->entries) {
+    if (posting.count > 0) out.push_back(posting.bundle);
+  }
+  return out;
+}
+
+size_t SummaryIndex::DocumentFrequency(IndicantType type,
+                                       std::string_view value) const {
+  const PostingList* list = ListFor(type, dict_->Find(type, value));
+  return list == nullptr ? 0 : list->live;
+}
+
+size_t SummaryIndex::ApproxMemoryUsage() const {
+  size_t total = sizeof(SummaryIndex);
+  for (const auto& lists : lists_) {
+    total += ApproxVectorUsage(lists);
+    for (const PostingList& list : lists) {
+      total += ApproxVectorUsage(list.entries);
+    }
+  }
+  if (owned_dict_ != nullptr) total += owned_dict_->ApproxMemoryUsage();
+  return total;
 }
 
 void SummaryIndex::BindMetrics(obs::MetricsRegistry* registry,
@@ -37,119 +234,6 @@ void SummaryIndex::BindMetrics(obs::MetricsRegistry* registry,
       "microprov_index_postings_scanned", "",
       "Posting-list entries visited per ingest candidate fetch");
   RefreshGauges();
-}
-
-void SummaryIndex::Remove(IndicantType type, const std::string& value,
-                          BundleId id, uint32_t count) {
-  PostingMap& map = MapFor(type);
-  auto it = map.find(value);
-  if (it == map.end()) return;
-  auto pit = it->second.find(id);
-  if (pit == it->second.end()) return;
-  if (pit->second <= count) {
-    it->second.erase(pit);
-    --num_postings_;
-    if (it->second.empty()) map.erase(it);
-  } else {
-    pit->second -= count;
-  }
-}
-
-void SummaryIndex::RemoveBundle(const Bundle& bundle) {
-  for (const auto& [value, count] : bundle.hashtag_counts()) {
-    Remove(IndicantType::kHashtag, value, bundle.id(), count);
-  }
-  for (const auto& [value, count] : bundle.url_counts()) {
-    Remove(IndicantType::kUrl, value, bundle.id(), count);
-  }
-  for (const auto& [value, count] : bundle.keyword_counts()) {
-    Remove(IndicantType::kKeyword, value, bundle.id(), count);
-  }
-  for (const auto& [value, count] : bundle.user_counts()) {
-    Remove(IndicantType::kUser, value, bundle.id(), count);
-  }
-  RefreshGauges();
-}
-
-std::unordered_map<BundleId, CandidateHits> SummaryIndex::Candidates(
-    const Message& msg, size_t max_keywords, size_t max_fanout) const {
-  std::unordered_map<BundleId, CandidateHits> out;
-  uint64_t postings_scanned = 0;
-  ForEachIndicant(
-      msg, max_keywords, [&](IndicantType type, std::string_view value) {
-        // The author's own name matching a bundle's users is not evidence
-        // by itself; only the *re-shared* user is a join signal. Plain
-        // user indicants are indexed (so RTs can find them) but do not
-        // vote during candidate fetch.
-        if (type == IndicantType::kUser) return;
-        const PostingMap& map = MapFor(type);
-        auto it = map.find(value);
-        if (it == map.end()) return;
-        if (max_fanout > 0 && it->second.size() > max_fanout) return;
-        postings_scanned += it->second.size();
-        for (const auto& [bundle_id, count] : it->second) {
-          CandidateHits& hits = out[bundle_id];
-          switch (type) {
-            case IndicantType::kHashtag:
-              ++hits.hashtag_hits;
-              break;
-            case IndicantType::kUrl:
-              ++hits.url_hits;
-              break;
-            case IndicantType::kKeyword:
-              ++hits.keyword_hits;
-              break;
-            case IndicantType::kUser:
-              break;
-          }
-        }
-      });
-  // RT target user: bundles containing messages by the re-shared author.
-  if (msg.is_retweet && !msg.retweet_of_user.empty()) {
-    const PostingMap& users = MapFor(IndicantType::kUser);
-    auto it = users.find(msg.retweet_of_user);
-    if (it != users.end() &&
-        (max_fanout == 0 || it->second.size() <= max_fanout)) {
-      postings_scanned += it->second.size();
-      for (const auto& [bundle_id, count] : it->second) {
-        ++out[bundle_id].user_hits;
-      }
-    }
-  }
-  if (candidates_hist_ != nullptr) candidates_hist_->Observe(out.size());
-  if (fanout_hist_ != nullptr) fanout_hist_->Observe(postings_scanned);
-  return out;
-}
-
-std::vector<BundleId> SummaryIndex::Lookup(IndicantType type,
-                                           const std::string& value) const {
-  std::vector<BundleId> out;
-  const PostingMap& map = MapFor(type);
-  auto it = map.find(value);
-  if (it == map.end()) return out;
-  out.reserve(it->second.size());
-  for (const auto& [bundle_id, count] : it->second) {
-    out.push_back(bundle_id);
-  }
-  return out;
-}
-
-size_t SummaryIndex::num_keys() const {
-  size_t total = 0;
-  for (const PostingMap& map : maps_) total += map.size();
-  return total;
-}
-
-size_t SummaryIndex::ApproxMemoryUsage() const {
-  size_t total = sizeof(SummaryIndex);
-  for (const PostingMap& map : maps_) {
-    total += ApproxMapOverhead(map);
-    for (const auto& [value, postings] : map) {
-      total += ::microprov::ApproxMemoryUsage(value);
-      total += ApproxMapOverhead(postings);
-    }
-  }
-  return total;
 }
 
 }  // namespace microprov

@@ -2,68 +2,103 @@
 #define MICROPROV_CORE_SUMMARY_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
-#include "common/hash.h"
 #include "core/bundle.h"
+#include "core/candidate_accumulator.h"
 #include "core/indicant.h"
+#include "core/indicant_dictionary.h"
 #include "obs/metrics.h"
 #include "stream/message.h"
 
 namespace microprov {
-
-/// Per-candidate tally of how many distinct indicant values a new message
-/// shares with a bundle, split by type — the inputs to the Eq. 1 match
-/// score (|url(t) ∩ url(B)|, |tag(t) ∩ tag(B)|, ...).
-struct CandidateHits {
-  uint32_t hashtag_hits = 0;
-  uint32_t url_hits = 0;
-  uint32_t keyword_hits = 0;
-  uint32_t user_hits = 0;
-
-  uint32_t total() const {
-    return hashtag_hits + url_hits + keyword_hits + user_hits;
-  }
-};
 
 /// The paper's summary index (Fig. 5): for every indicant value, the list
 /// of bundles whose members carry it, with per-bundle occurrence counts.
 /// Candidate fetch for a new message is a union over its indicants' bundle
 /// lists (Alg. 1, step 1); bundle insertion updates the affected entries
 /// (Alg. 1, step 3); pool refinement removes evicted bundles' entries.
+///
+/// Storage is flat and integer-keyed: terms are interned TermId32s (one
+/// id space per IndicantType, owned by an IndicantDictionary), and each
+/// term's postings are a contiguous vector sorted by BundleId. Candidate
+/// fetch over a stamped message touches no strings and no hash tables
+/// except the caller's CandidateAccumulator. RemoveBundle tombstones
+/// entries in place (count = 0) and compacts a list when tombstones
+/// outnumber live postings, so eviction-heavy streams don't accrete dead
+/// entries.
 class SummaryIndex {
  public:
-  SummaryIndex() = default;
+  /// Standalone index owning a private dictionary (tests, benches).
+  SummaryIndex();
+  /// Index over `dict`'s id space (per-shard: the engine shares one
+  /// dictionary between its index, pool, and bundles). `dict` must
+  /// outlive the index.
+  explicit SummaryIndex(IndicantDictionary* dict);
   SummaryIndex(const SummaryIndex&) = delete;
   SummaryIndex& operator=(const SummaryIndex&) = delete;
 
-  /// Registers `msg` (already inserted into bundle `id`).
+  /// Registers `msg` (already inserted into bundle `id`). Messages
+  /// stamped by this index's dictionary take the id fast path; others
+  /// are interned on the fly.
   void AddMessage(BundleId id, const Message& msg, size_t max_keywords);
 
   /// Removes all of `bundle`'s entries (uses the bundle's own indicant
-  /// summaries as the reverse mapping).
+  /// summaries as the reverse mapping). Bundles summarized under a
+  /// different dictionary are resolved string-wise.
   void RemoveBundle(const Bundle& bundle);
 
-  /// Step 1 of Alg. 1: bundles sharing at least one indicant with `msg`,
-  /// with per-type distinct-value hit counts. Indicant values whose
-  /// posting list exceeds `max_fanout` bundles are skipped (0 = no cap):
-  /// a value carried by thousands of bundles is a de-facto stopword with
-  /// no discriminating power, and expanding it would make candidate fetch
-  /// O(pool size) per message.
+  /// Step 1 of Alg. 1: accumulates bundles sharing at least one indicant
+  /// with `msg` into `out` (Reset is called here), with per-type
+  /// distinct-value hit counts. Indicant values whose posting vector
+  /// exceeds `max_fanout` entries are skipped (0 = no cap): a value
+  /// carried by thousands of bundles is a de-facto stopword with no
+  /// discriminating power, and expanding it would make candidate fetch
+  /// O(pool size) per message. Zero allocations steady-state for stamped
+  /// messages (once `out` has grown to its working size).
+  void Candidates(const Message& msg, size_t max_keywords,
+                  size_t max_fanout, CandidateAccumulator* out) const;
+
+  /// Map-returning convenience wrapper (tests and offline tools; the
+  /// ingest path uses the accumulator overload).
   std::unordered_map<BundleId, CandidateHits> Candidates(
       const Message& msg, size_t max_keywords,
       size_t max_fanout = 0) const;
 
-  /// Bundles carrying a specific indicant value (query support).
+  /// Bundles carrying a specific indicant value, ascending id (query
+  /// support).
   std::vector<BundleId> Lookup(IndicantType type,
                                const std::string& value) const;
 
-  /// Number of distinct indicant keys across all types.
-  size_t num_keys() const;
-  /// Total number of (key, bundle) postings.
+  /// Number of live bundles carrying `value` — the bundle-level document
+  /// frequency used for query-time IDF. O(1) after the term lookup.
+  size_t DocumentFrequency(IndicantType type, std::string_view value) const;
+
+  /// Number of distinct indicant keys with at least one live posting.
+  size_t num_keys() const { return num_keys_; }
+  /// Total number of live (key, bundle) postings.
   size_t num_postings() const { return num_postings_; }
+
+  /// Visits every live posting as fn(type, term, bundle, count); test
+  /// and debugging support (brute-force invariant recounts).
+  template <typename Fn>
+  void ForEachPosting(Fn&& fn) const {
+    for (int t = 0; t < kNumIndicantTypes; ++t) {
+      const IndicantType type = static_cast<IndicantType>(t);
+      for (TermId term = 0; term < lists_[t].size(); ++term) {
+        for (const Posting& posting : lists_[t][term].entries) {
+          if (posting.count == 0) continue;  // tombstone
+          fn(type, term, posting.bundle, posting.count);
+        }
+      }
+    }
+  }
+
+  const IndicantDictionary& dictionary() const { return *dict_; }
 
   size_t ApproxMemoryUsage() const;
 
@@ -75,33 +110,52 @@ class SummaryIndex {
                    const std::string& shard_label);
 
  private:
-  // value -> (bundle -> count of member messages with that value).
-  // Transparent hashing allows string_view probes on the ingest path.
-  using PostingMap =
-      std::unordered_map<std::string,
-                         std::unordered_map<BundleId, uint32_t>,
-                         TransparentStringHash, std::equal_to<>>;
+  /// One (bundle, occurrence-count) pair; count == 0 marks a tombstone
+  /// left by RemoveBundle awaiting compaction.
+  struct Posting {
+    BundleId bundle = kInvalidBundleId;
+    uint32_t count = 0;
+  };
 
-  PostingMap& MapFor(IndicantType type) {
-    return maps_[static_cast<size_t>(type)];
-  }
-  const PostingMap& MapFor(IndicantType type) const {
-    return maps_[static_cast<size_t>(type)];
-  }
+  /// Postings for one term, sorted by bundle id (tombstones keep their
+  /// position so binary search stays valid).
+  struct PostingList {
+    std::vector<Posting> entries;
+    uint32_t live = 0;  // entries with count > 0
+  };
 
-  void Remove(IndicantType type, const std::string& value, BundleId id,
-              uint32_t count);
+  /// Position of `id` in `entries` (sorted by bundle id), or the
+  /// insertion point. Tombstones participate: they keep their bundle id.
+  static std::vector<Posting>::iterator LowerBound(
+      std::vector<Posting>& entries, BundleId id);
+
+  void Add(IndicantType type, TermId term, BundleId id);
+  void Remove(IndicantType type, TermId term, BundleId id, uint32_t count);
+  void Accumulate(IndicantType type, TermId term, size_t max_fanout,
+                  CandidateAccumulator* out, uint64_t* scanned) const;
+
+  const PostingList* ListFor(IndicantType type, TermId term) const {
+    const auto& lists = lists_[static_cast<size_t>(type)];
+    if (term == kInvalidTermId || term >= lists.size()) return nullptr;
+    return &lists[term];
+  }
 
   void RefreshGauges() {
     if (keys_gauge_ != nullptr) {
-      keys_gauge_->Set(static_cast<int64_t>(num_keys()));
+      keys_gauge_->Set(static_cast<int64_t>(num_keys_));
     }
     if (postings_gauge_ != nullptr) {
       postings_gauge_->Set(static_cast<int64_t>(num_postings_));
     }
   }
 
-  PostingMap maps_[kNumIndicantTypes];
+  // Set iff this index was default-constructed (standalone use).
+  std::unique_ptr<IndicantDictionary> owned_dict_;
+  IndicantDictionary* dict_;
+  // Indexed by TermId: the dictionary's dense id spaces double as the
+  // index's key spaces, so "hash the term" is an array subscript.
+  std::vector<PostingList> lists_[kNumIndicantTypes];
+  size_t num_keys_ = 0;
   size_t num_postings_ = 0;
 
   // Observability handles (null until BindMetrics; never owned).

@@ -37,14 +37,12 @@ ParsedQuery ParseQuery(const std::string& query) {
 double BundleTextScore(const ParsedQuery& query, const Bundle& bundle,
                        const SummaryIndex& index, size_t total_bundles) {
   if (query.keywords.empty()) return 0.0;
-  const auto& counts = bundle.keyword_counts();
   double score = 0.0;
   for (const std::string& term : query.keywords) {
-    auto it = counts.find(term);
-    if (it == counts.end()) continue;
-    const uint32_t tf = it->second;
+    const uint32_t tf = bundle.CountOf(IndicantType::kKeyword, term);
+    if (tf == 0) continue;
     const size_t df =
-        index.Lookup(IndicantType::kKeyword, term).size();
+        index.DocumentFrequency(IndicantType::kKeyword, term);
     const double idf =
         Bm25Idf(static_cast<uint32_t>(std::max<size_t>(total_bundles, 1)),
                 static_cast<uint32_t>(std::max<size_t>(df, 1)));
@@ -64,17 +62,17 @@ double BundleIndicantScore(const ParsedQuery& query, const Bundle& bundle) {
   if (total == 0) return 0.0;
   size_t hits = 0;
   for (const std::string& tag : query.hashtags) {
-    if (bundle.hashtag_counts().count(tag) > 0) ++hits;
+    if (bundle.CountOf(IndicantType::kHashtag, tag) > 0) ++hits;
   }
   for (const std::string& url : query.urls) {
-    if (bundle.url_counts().count(url) > 0) ++hits;
+    if (bundle.CountOf(IndicantType::kUrl, url) > 0) ++hits;
   }
   // Plain words often name hashtags ("yankee redsox" -> #redsox); match
   // both the raw surface form and the stem.
   for (size_t i = 0; i < query.keywords.size(); ++i) {
-    if (bundle.hashtag_counts().count(query.keywords[i]) > 0 ||
+    if (bundle.CountOf(IndicantType::kHashtag, query.keywords[i]) > 0 ||
         (i < query.raw_words.size() &&
-         bundle.hashtag_counts().count(query.raw_words[i]) > 0)) {
+         bundle.CountOf(IndicantType::kHashtag, query.raw_words[i]) > 0)) {
       ++hits;
     }
   }

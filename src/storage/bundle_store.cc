@@ -223,7 +223,8 @@ void BundleStore::IndexBundleTerms(const Bundle& bundle) {
       postings.push_back(bundle.id());
     }
   };
-  for (const auto& [tag, count] : bundle.hashtag_counts()) {
+  for (const auto& [tag, count] :
+       bundle.ResolvedCounts(IndicantType::kHashtag)) {
     add(tag);
   }
   for (const auto& [word, count] :

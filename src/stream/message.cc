@@ -13,6 +13,9 @@ size_t Message::ApproxMemoryUsage() const {
   total += ::microprov::ApproxMemoryUsage(urls);
   total += ::microprov::ApproxMemoryUsage(keywords);
   total += ::microprov::ApproxMemoryUsage(retweet_of_user);
+  total += ApproxVectorUsage(term_ids.hashtags);
+  total += ApproxVectorUsage(term_ids.urls);
+  total += ApproxVectorUsage(term_ids.keywords);
   return total;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "text/term_id.h"
 
 namespace microprov {
 
@@ -14,6 +15,35 @@ namespace microprov {
 using MessageId = int64_t;
 
 inline constexpr MessageId kInvalidMessageId = -1;
+
+/// Interned ids for a message's indicants, stamped by an
+/// IndicantDictionary so the ingest hot path (candidate fetch, Eq. 1
+/// scoring, Alg. 2 placement, index update) never hashes or compares
+/// strings. `source` tags which dictionary assigned the ids; consumers
+/// must check StampedBy(their dictionary) before trusting them, since a
+/// message may cross shard (= dictionary) boundaries.
+struct MessageTermIds {
+  std::vector<TermId> hashtags;
+  std::vector<TermId> urls;
+  std::vector<TermId> keywords;
+  TermId user = kInvalidTermId;
+  TermId retweet_of_user = kInvalidTermId;
+  /// Identity of the stamping dictionary (opaque; never dereferenced).
+  const void* source = nullptr;
+
+  bool StampedBy(const void* dict) const {
+    return source != nullptr && source == dict;
+  }
+
+  void Clear() {
+    hashtags.clear();
+    urls.clear();
+    keywords.clear();
+    user = kInvalidTermId;
+    retweet_of_user = kInvalidTermId;
+    source = nullptr;
+  }
+};
 
 /// One micro-blog message: the paper's multi-field tuple
 /// [date, user, msg, urls, hashtags, rt] (Definition 1), extended with the
@@ -38,10 +68,24 @@ struct Message {
   /// resolved by the engine); kInvalidMessageId otherwise.
   MessageId retweet_of_id = kInvalidMessageId;
 
+  /// Interned indicant ids (process-local cache, not part of message
+  /// identity; see MessageTermIds). Not serialized.
+  MessageTermIds term_ids;
+
   /// Approximate heap + inline footprint, for Fig. 11-style accounting.
   size_t ApproxMemoryUsage() const;
 
-  bool operator==(const Message& other) const = default;
+  /// Compares the logical message content; term_ids is a process-local
+  /// interning cache and deliberately excluded (a decoded copy compares
+  /// equal to the original even though only one was stamped).
+  bool operator==(const Message& other) const {
+    return id == other.id && date == other.date && user == other.user &&
+           text == other.text && hashtags == other.hashtags &&
+           urls == other.urls && keywords == other.keywords &&
+           is_retweet == other.is_retweet &&
+           retweet_of_user == other.retweet_of_user &&
+           retweet_of_id == other.retweet_of_id;
+  }
 };
 
 /// Fills the indicant fields of `msg` from `msg->text` via the tweet

@@ -1,0 +1,16 @@
+#ifndef MICROPROV_TEXT_TERM_ID_H_
+#define MICROPROV_TEXT_TERM_ID_H_
+
+#include <cstdint>
+
+namespace microprov {
+
+/// Dense integer id for an interned term. Ids are assigned per vocabulary
+/// in first-seen order and are stable for the vocabulary's lifetime.
+using TermId = uint32_t;
+
+inline constexpr TermId kInvalidTermId = static_cast<TermId>(-1);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_TEXT_TERM_ID_H_

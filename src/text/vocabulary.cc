@@ -4,26 +4,25 @@
 
 namespace microprov {
 
-TermId Vocabulary::GetOrAdd(std::string_view term) {
-  auto it = ids_.find(std::string(term));
-  if (it != ids_.end()) return it->second;
+TermId Vocabulary::GetOrAdd(std::string_view term, bool* added) {
+  auto it = ids_.find(term);
+  if (it != ids_.end()) {
+    *added = false;
+    return it->second;
+  }
   TermId id = static_cast<TermId>(terms_.size());
   terms_.emplace_back(term);
   ids_.emplace(terms_.back(), id);
+  *added = true;
   return id;
-}
-
-TermId Vocabulary::Find(std::string_view term) const {
-  auto it = ids_.find(std::string(term));
-  return it == ids_.end() ? kInvalidTermId : it->second;
 }
 
 size_t Vocabulary::ApproxMemoryUsage() const {
   size_t total = ApproxMapOverhead(ids_);
-  for (const auto& [term, id] : ids_) {
-    total += ::microprov::ApproxMemoryUsage(term);
+  for (const std::string& term : terms_) {
+    // Deque block share + the string's own heap allocation.
+    total += sizeof(std::string) + ::microprov::ApproxMemoryUsage(term);
   }
-  total += ::microprov::ApproxMemoryUsage(terms_);
   return total;
 }
 

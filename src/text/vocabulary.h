@@ -1,22 +1,25 @@
 #ifndef MICROPROV_TEXT_VOCABULARY_H_
 #define MICROPROV_TEXT_VOCABULARY_H_
 
-#include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
+
+#include "common/hash.h"
+#include "text/term_id.h"
 
 namespace microprov {
 
-/// Dense integer id for an interned term.
-using TermId = uint32_t;
-
-inline constexpr TermId kInvalidTermId = static_cast<TermId>(-1);
-
 /// String interning table: term -> dense TermId and back. The text-search
-/// substrate keys posting lists by TermId to avoid hashing strings on the
-/// hot path. Append-only; ids are assigned in first-seen order.
+/// substrate and the provenance summary index key posting lists by TermId
+/// to avoid hashing strings on the hot path. Append-only; ids are assigned
+/// in first-seen order.
+///
+/// Lookups are heterogeneous (string_view probes, no temporary
+/// std::string) and the term storage is a deque so interned strings never
+/// move: the map's string_view keys point into it, and references returned
+/// by TermOf stay valid across later insertions.
 class Vocabulary {
  public:
   Vocabulary() = default;
@@ -24,10 +27,19 @@ class Vocabulary {
   Vocabulary& operator=(const Vocabulary&) = delete;
 
   /// Returns the id for `term`, interning it if new.
-  TermId GetOrAdd(std::string_view term);
+  TermId GetOrAdd(std::string_view term) {
+    bool added;
+    return GetOrAdd(term, &added);
+  }
+
+  /// As above; `*added` reports whether the term was newly interned.
+  TermId GetOrAdd(std::string_view term, bool* added);
 
   /// Returns the id for `term` or kInvalidTermId if unseen.
-  TermId Find(std::string_view term) const;
+  TermId Find(std::string_view term) const {
+    auto it = ids_.find(term);
+    return it == ids_.end() ? kInvalidTermId : it->second;
+  }
 
   /// Requires id < size().
   const std::string& TermOf(TermId id) const { return terms_[id]; }
@@ -37,8 +49,11 @@ class Vocabulary {
   size_t ApproxMemoryUsage() const;
 
  private:
-  std::unordered_map<std::string, TermId> ids_;
-  std::vector<std::string> terms_;
+  // Keys view into terms_ (stable: deque never relocates elements).
+  std::unordered_map<std::string_view, TermId, TransparentStringHash,
+                     std::equal_to<>>
+      ids_;
+  std::deque<std::string> terms_;
 };
 
 }  // namespace microprov

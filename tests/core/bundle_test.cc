@@ -41,11 +41,11 @@ TEST(BundleTest, SummaryCountsAccumulate) {
   bundle.AddMessage(
       MakeMessage(2, kTestEpoch, "bob", {"redsox"}, {}, {"game", "win"}),
       1, ConnectionType::kHashtag, 0);
-  EXPECT_EQ(bundle.hashtag_counts().at("redsox"), 2u);
-  EXPECT_EQ(bundle.hashtag_counts().at("mlb"), 1u);
-  EXPECT_EQ(bundle.url_counts().at("bit.ly/1"), 1u);
-  EXPECT_EQ(bundle.keyword_counts().at("game"), 2u);
-  EXPECT_EQ(bundle.user_counts().at("alice"), 1u);
+  EXPECT_EQ(bundle.CountOf(IndicantType::kHashtag, "redsox"), 2u);
+  EXPECT_EQ(bundle.CountOf(IndicantType::kHashtag, "mlb"), 1u);
+  EXPECT_EQ(bundle.CountOf(IndicantType::kUrl, "bit.ly/1"), 1u);
+  EXPECT_EQ(bundle.CountOf(IndicantType::kKeyword, "game"), 2u);
+  EXPECT_EQ(bundle.CountOf(IndicantType::kUser, "alice"), 1u);
   EXPECT_TRUE(bundle.HasUser("bob"));
   EXPECT_FALSE(bundle.HasUser("carol"));
 }
@@ -58,7 +58,7 @@ TEST(BundleTest, KeywordSummaryCapPerMessage) {
   }
   bundle.AddMessage(MakeMessage(1, kTestEpoch, "u", {}, {}, many_keywords),
                     kInvalidMessageId, ConnectionType::kText, 0);
-  EXPECT_EQ(bundle.keyword_counts().size(),
+  EXPECT_EQ(bundle.id_counts(IndicantType::kKeyword).size(),
             Bundle::kSummaryKeywordsPerMessage);
 }
 

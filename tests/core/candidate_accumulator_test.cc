@@ -1,0 +1,101 @@
+#include "core/candidate_accumulator.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "testing/alloc_counter.h"
+
+namespace microprov {
+namespace {
+
+TEST(CandidateAccumulatorTest, StartsEmpty) {
+  CandidateAccumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_EQ(acc.size(), 0u);
+}
+
+TEST(CandidateAccumulatorTest, SlotAccumulatesPerBundle) {
+  CandidateAccumulator acc;
+  acc.Slot(7).hashtag_hits += 2;
+  acc.Slot(9).url_hits += 1;
+  acc.Slot(7).keyword_hits += 3;
+  EXPECT_EQ(acc.size(), 2u);
+  EXPECT_EQ(acc.Slot(7).hashtag_hits, 2u);
+  EXPECT_EQ(acc.Slot(7).keyword_hits, 3u);
+  EXPECT_EQ(acc.Slot(7).total(), 5u);
+  EXPECT_EQ(acc.Slot(9).url_hits, 1u);
+}
+
+TEST(CandidateAccumulatorTest, ResetForgetsWithoutClearing) {
+  CandidateAccumulator acc;
+  acc.Slot(7).hashtag_hits = 5;
+  acc.Reset();
+  EXPECT_TRUE(acc.empty());
+  // The same id maps to a recycled slot whose tallies must read zeroed,
+  // not the stale values from the previous epoch.
+  EXPECT_EQ(acc.Slot(7).total(), 0u);
+  EXPECT_EQ(acc.size(), 1u);
+}
+
+TEST(CandidateAccumulatorTest, ForEachVisitsInsertionOrder) {
+  CandidateAccumulator acc;
+  const std::vector<BundleId> ids = {42, 7, 99, 3};
+  for (BundleId id : ids) acc.Slot(id).user_hits = 1;
+  std::vector<BundleId> visited;
+  acc.ForEach([&](BundleId id, const CandidateHits& hits) {
+    EXPECT_EQ(hits.user_hits, 1u);
+    visited.push_back(id);
+  });
+  EXPECT_EQ(visited, ids);
+}
+
+TEST(CandidateAccumulatorTest, GrowthPreservesEntries) {
+  CandidateAccumulator acc;
+  const size_t initial_capacity = acc.capacity();
+  std::unordered_map<BundleId, uint32_t> expected;
+  // Push well past the initial table so it rehashes several times.
+  for (BundleId id = 1; id <= 5000; ++id) {
+    acc.Slot(id).keyword_hits = static_cast<uint32_t>(id % 17);
+    expected[id] = static_cast<uint32_t>(id % 17);
+  }
+  EXPECT_GT(acc.capacity(), initial_capacity);
+  EXPECT_EQ(acc.size(), 5000u);
+  size_t visited = 0;
+  acc.ForEach([&](BundleId id, const CandidateHits& hits) {
+    ASSERT_TRUE(expected.count(id));
+    EXPECT_EQ(hits.keyword_hits, expected[id]);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 5000u);
+}
+
+TEST(CandidateAccumulatorTest, EpochSurvivesManyResets) {
+  CandidateAccumulator acc;
+  for (int round = 0; round < 1000; ++round) {
+    acc.Reset();
+    acc.Slot(1).hashtag_hits = 1;
+    acc.Slot(2).hashtag_hits = 2;
+    ASSERT_EQ(acc.size(), 2u);
+    ASSERT_EQ(acc.Slot(2).hashtag_hits, 2u);
+  }
+}
+
+TEST(CandidateAccumulatorTest, SteadyStateIsAllocationFree) {
+  CandidateAccumulator acc;
+  // Warm up to working-set size.
+  for (BundleId id = 1; id <= 300; ++id) acc.Slot(id).url_hits = 1;
+  acc.Reset();
+  const uint64_t before = testing_util::AllocationCount();
+  for (int round = 0; round < 50; ++round) {
+    acc.Reset();
+    for (BundleId id = 1; id <= 300; ++id) {
+      acc.Slot(id * 3).keyword_hits += 1;
+    }
+  }
+  EXPECT_EQ(testing_util::AllocationCount(), before);
+}
+
+}  // namespace
+}  // namespace microprov

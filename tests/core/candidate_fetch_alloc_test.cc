@@ -1,0 +1,88 @@
+// Acceptance check for the interned hot path: once the accumulator and
+// matcher scratch have grown to their working size, candidate fetch and
+// bundle match for a stamped message perform zero heap allocations.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/matcher.h"
+#include "core/pool.h"
+#include "core/summary_index.h"
+#include "testing/alloc_counter.h"
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+using testing_util::MakeMessage;
+
+class CandidateFetchAllocTest : public ::testing::Test {
+ protected:
+  CandidateFetchAllocTest()
+      : index_(&dict_), pool_(PoolOptions{}, &dict_) {
+    // 200 bundles spread over 20 hashtags and 40 keywords, so probes
+    // fan out to dozens of candidates.
+    for (int i = 0; i < 200; ++i) {
+      Message msg = MakeMessage(
+          i, kTestEpoch + i, "user" + std::to_string(i % 50),
+          {"tag" + std::to_string(i % 20)}, {},
+          {"kw" + std::to_string(i % 40), "kw" + std::to_string(i % 7)});
+      Bundle* bundle = pool_.Create();
+      bundle->AddMessage(msg, kInvalidMessageId, ConnectionType::kText, 0);
+      index_.AddMessage(bundle->id(), msg, 6);
+    }
+    // Stamped probes, prepared before counting starts.
+    for (int i = 0; i < 10; ++i) {
+      Message probe = MakeMessage(
+          1000 + i, kTestEpoch + 1000, "prober",
+          {"tag" + std::to_string(i % 20)}, {},
+          {"kw" + std::to_string(i % 40), "kw" + std::to_string(i % 7)});
+      dict_.InternMessage(&probe);
+      probes_.push_back(std::move(probe));
+    }
+  }
+
+  IndicantDictionary dict_;
+  SummaryIndex index_;
+  BundlePool pool_;
+  std::vector<Message> probes_;
+};
+
+TEST_F(CandidateFetchAllocTest, CandidatesAllocatesNothingSteadyState) {
+  CandidateAccumulator acc;
+  for (const Message& probe : probes_) {
+    index_.Candidates(probe, 6, 0, &acc);  // warm-up
+    ASSERT_FALSE(acc.empty());
+  }
+  const uint64_t before = testing_util::AllocationCount();
+  for (int round = 0; round < 20; ++round) {
+    for (const Message& probe : probes_) {
+      index_.Candidates(probe, 6, 0, &acc);
+    }
+  }
+  EXPECT_EQ(testing_util::AllocationCount(), before);
+}
+
+TEST_F(CandidateFetchAllocTest, FindBestBundleAllocatesNothingSteadyState) {
+  MatcherOptions options;
+  MatcherScratch scratch;
+  for (const Message& probe : probes_) {
+    FindBestBundle(probe, index_, pool_, kTestEpoch + 1000, options,
+                   nullptr, &scratch);  // warm-up
+  }
+  const uint64_t before = testing_util::AllocationCount();
+  for (int round = 0; round < 20; ++round) {
+    for (const Message& probe : probes_) {
+      auto match = FindBestBundle(probe, index_, pool_, kTestEpoch + 1000,
+                                  options, nullptr, &scratch);
+      ASSERT_TRUE(match.has_value());
+    }
+  }
+  EXPECT_EQ(testing_util::AllocationCount(), before);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,190 @@
+#include "core/indicant_dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/pool.h"
+#include "core/summary_index.h"
+#include "testing/test_util.h"
+#include "text/tweet_parser.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+using testing_util::MakeMessage;
+using testing_util::MakeRetweet;
+
+TEST(IndicantDictionaryTest, InternResolveRoundTrip) {
+  IndicantDictionary dict;
+  TermId id = dict.Intern(IndicantType::kHashtag, "redsox");
+  EXPECT_EQ(dict.Resolve(IndicantType::kHashtag, id), "redsox");
+  EXPECT_EQ(dict.Intern(IndicantType::kHashtag, "redsox"), id);
+  EXPECT_EQ(dict.Find(IndicantType::kHashtag, "redsox"), id);
+}
+
+TEST(IndicantDictionaryTest, TypesHaveIndependentIdSpaces) {
+  IndicantDictionary dict;
+  TermId tag = dict.Intern(IndicantType::kHashtag, "boston");
+  TermId kw = dict.Intern(IndicantType::kKeyword, "boston");
+  TermId user = dict.Intern(IndicantType::kUser, "boston");
+  // Each space assigns ids densely from zero, so the same surface form
+  // gets id 0 in all three.
+  EXPECT_EQ(tag, 0u);
+  EXPECT_EQ(kw, 0u);
+  EXPECT_EQ(user, 0u);
+  EXPECT_EQ(dict.NumTerms(IndicantType::kHashtag), 1u);
+  EXPECT_EQ(dict.TotalTerms(), 3u);
+  EXPECT_EQ(dict.Find(IndicantType::kUrl, "boston"), kInvalidTermId);
+}
+
+TEST(IndicantDictionaryTest, FindOfUnknownIsInvalid) {
+  IndicantDictionary dict;
+  EXPECT_EQ(dict.Find(IndicantType::kKeyword, "never-seen"),
+            kInvalidTermId);
+}
+
+TEST(IndicantDictionaryTest, InternMessageStampsAllIndicants) {
+  IndicantDictionary dict;
+  Message msg = MakeMessage(1, kTestEpoch, "alice", {"tag1", "tag2"},
+                            {"bit.ly/1"}, {"game", "win"});
+  dict.InternMessage(&msg);
+  EXPECT_TRUE(msg.term_ids.StampedBy(&dict));
+  ASSERT_EQ(msg.term_ids.hashtags.size(), 2u);
+  ASSERT_EQ(msg.term_ids.urls.size(), 1u);
+  ASSERT_EQ(msg.term_ids.keywords.size(), 2u);
+  EXPECT_EQ(dict.Resolve(IndicantType::kHashtag, msg.term_ids.hashtags[0]),
+            "tag1");
+  EXPECT_EQ(dict.Resolve(IndicantType::kHashtag, msg.term_ids.hashtags[1]),
+            "tag2");
+  EXPECT_EQ(dict.Resolve(IndicantType::kUrl, msg.term_ids.urls[0]),
+            "bit.ly/1");
+  EXPECT_EQ(dict.Resolve(IndicantType::kKeyword, msg.term_ids.keywords[1]),
+            "win");
+  EXPECT_EQ(dict.Resolve(IndicantType::kUser, msg.term_ids.user), "alice");
+  EXPECT_EQ(msg.term_ids.retweet_of_user, kInvalidTermId);
+}
+
+TEST(IndicantDictionaryTest, InternMessageIsIdempotent) {
+  IndicantDictionary dict;
+  Message msg = MakeMessage(1, kTestEpoch, "alice", {"tag"});
+  dict.InternMessage(&msg);
+  const size_t terms = dict.TotalTerms();
+  TermId tag = msg.term_ids.hashtags[0];
+  dict.InternMessage(&msg);  // no-op: already stamped by this dictionary
+  EXPECT_EQ(dict.TotalTerms(), terms);
+  EXPECT_EQ(msg.term_ids.hashtags[0], tag);
+}
+
+TEST(IndicantDictionaryTest, RestampingSwitchesDictionaries) {
+  IndicantDictionary a;
+  IndicantDictionary b;
+  b.Intern(IndicantType::kHashtag, "padding");  // offset b's id space
+  Message msg = MakeMessage(1, kTestEpoch, "alice", {"tag"});
+  a.InternMessage(&msg);
+  TermId in_a = msg.term_ids.hashtags[0];
+  b.InternMessage(&msg);
+  EXPECT_TRUE(msg.term_ids.StampedBy(&b));
+  EXPECT_FALSE(msg.term_ids.StampedBy(&a));
+  EXPECT_NE(msg.term_ids.hashtags[0], in_a);
+  EXPECT_EQ(b.Resolve(IndicantType::kHashtag, msg.term_ids.hashtags[0]),
+            "tag");
+}
+
+TEST(IndicantDictionaryTest, RetweetTargetInternedEvenWhenUnseen) {
+  // An RT may arrive before (or without) the original author's own
+  // message; the target user still gets a stable id so candidate fetch
+  // and Eq. 1 can probe it.
+  IndicantDictionary dict;
+  Message rt = MakeRetweet(2, kTestEpoch, "bob", 1, "alice");
+  dict.InternMessage(&rt);
+  ASSERT_NE(rt.term_ids.retweet_of_user, kInvalidTermId);
+  EXPECT_EQ(dict.Resolve(IndicantType::kUser, rt.term_ids.retweet_of_user),
+            "alice");
+}
+
+// Interning round-trip as a property over real parser output: every
+// indicant ParseTweet extracts must intern and resolve back to itself,
+// and re-interning must return the same id.
+TEST(IndicantDictionaryTest, ParseTweetOutputRoundTrips) {
+  const std::vector<std::string> corpus = {
+      "Go #redsox beat the yankees tonight http://bit.ly/1x",
+      "RT @alice: Go #redsox #mlb",
+      "Tsunami warning for #samoa http://cnn.com/quake via @cnn",
+      "nothing special here just words",
+      "#CICS mainframe training at http://ibm.com/cics #legacy",
+      "RT @bob: RT @alice: nested reshare #deep",
+  };
+  IndicantDictionary dict;
+  for (const std::string& text : corpus) {
+    ParsedTweet parsed = ParseTweet(text);
+    for (const std::string& tag : parsed.hashtags) {
+      TermId id = dict.Intern(IndicantType::kHashtag, tag);
+      EXPECT_EQ(dict.Resolve(IndicantType::kHashtag, id), tag);
+      EXPECT_EQ(dict.Intern(IndicantType::kHashtag, tag), id);
+    }
+    for (const std::string& url : parsed.urls) {
+      TermId id = dict.Intern(IndicantType::kUrl, url);
+      EXPECT_EQ(dict.Resolve(IndicantType::kUrl, id), url);
+      EXPECT_EQ(dict.Intern(IndicantType::kUrl, url), id);
+    }
+    for (const std::string& word : parsed.keywords) {
+      TermId id = dict.Intern(IndicantType::kKeyword, word);
+      EXPECT_EQ(dict.Resolve(IndicantType::kKeyword, id), word);
+      EXPECT_EQ(dict.Intern(IndicantType::kKeyword, word), id);
+    }
+    if (parsed.is_retweet) {
+      TermId id = dict.Intern(IndicantType::kUser, parsed.retweet_of_user);
+      EXPECT_EQ(dict.Resolve(IndicantType::kUser, id),
+                parsed.retweet_of_user);
+    }
+  }
+  // Dense ids: every id below NumTerms resolves.
+  for (int t = 0; t < kNumIndicantTypes; ++t) {
+    const IndicantType type = static_cast<IndicantType>(t);
+    for (TermId id = 0; id < dict.NumTerms(type); ++id) {
+      EXPECT_EQ(dict.Find(type, dict.Resolve(type, id)), id);
+    }
+  }
+}
+
+// Ids survive a term's postings dying out: RemoveBundle may free a
+// term's posting list entirely, but the dictionary id is permanent, so
+// re-inserting the same surface form reuses the id instead of growing
+// the id space.
+TEST(IndicantDictionaryTest, IdsStableAcrossRemoveAndReinsert) {
+  IndicantDictionary dict;
+  SummaryIndex index(&dict);
+  BundlePool pool(PoolOptions{}, &dict);
+
+  Message msg = MakeMessage(1, kTestEpoch, "alice", {"ephemeral"});
+  Bundle* bundle = pool.Create();
+  bundle->AddMessage(msg, kInvalidMessageId, ConnectionType::kText, 0);
+  index.AddMessage(bundle->id(), msg, 6);
+
+  const TermId tag = dict.Find(IndicantType::kHashtag, "ephemeral");
+  ASSERT_NE(tag, kInvalidTermId);
+  const size_t tags_before = dict.NumTerms(IndicantType::kHashtag);
+
+  index.RemoveBundle(*bundle);
+  EXPECT_EQ(index.num_keys(), 0u);
+  EXPECT_TRUE(index.Lookup(IndicantType::kHashtag, "ephemeral").empty());
+  // Eviction never shrinks the dictionary.
+  EXPECT_EQ(dict.NumTerms(IndicantType::kHashtag), tags_before);
+  EXPECT_EQ(dict.Find(IndicantType::kHashtag, "ephemeral"), tag);
+
+  Message again = MakeMessage(2, kTestEpoch + 60, "bob", {"ephemeral"});
+  Bundle* second = pool.Create();
+  second->AddMessage(again, kInvalidMessageId, ConnectionType::kText, 0);
+  index.AddMessage(second->id(), again, 6);
+
+  EXPECT_EQ(dict.NumTerms(IndicantType::kHashtag), tags_before);
+  EXPECT_EQ(dict.Find(IndicantType::kHashtag, "ephemeral"), tag);
+  EXPECT_EQ(index.Lookup(IndicantType::kHashtag, "ephemeral"),
+            std::vector<BundleId>{second->id()});
+}
+
+}  // namespace
+}  // namespace microprov

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "testing/test_util.h"
 
 namespace microprov {
@@ -141,6 +147,60 @@ TEST_F(MatcherTest, CandidateCapKeepsStrongest) {
       FindBestBundle(probe, index_, pool_, kTestEpoch, capped);
   ASSERT_TRUE(match.has_value());
   EXPECT_EQ(match->bundle, strong);
+}
+
+TEST_F(MatcherTest, CandidateCapSelectsSameSetAsFullSort) {
+  // The cap is applied with nth_element, which orders nothing beyond the
+  // partition point; the selected *set* must still be exactly what a
+  // full sort by (total overlap desc, id asc) would keep. Overlap totals
+  // deliberately collide (groups of equal strength) to stress the
+  // tie-break boundary.
+  std::vector<BundleId> ids;
+  for (int i = 0; i < 60; ++i) {
+    std::vector<std::string> tags = {"common"};
+    // Strength tiers: i % 3 extra distinct hashtags shared with probe.
+    for (int t = 0; t < i % 3; ++t) {
+      tags.push_back("extra" + std::to_string(t));
+    }
+    ids.push_back(Seed(MakeMessage(i, kTestEpoch, "u" + std::to_string(i),
+                                   tags)));
+  }
+  Message probe = MakeMessage(100, kTestEpoch, "probe",
+                              {"common", "extra0", "extra1"});
+
+  // Reference: full sort of raw overlaps, keep the strongest K.
+  auto hits = index_.Candidates(probe, kMaxKw);
+  std::vector<std::pair<BundleId, uint32_t>> ranked;
+  for (const auto& [id, h] : hits) ranked.emplace_back(id, h.total());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  constexpr size_t kCap = 10;
+  ASSERT_GT(ranked.size(), kCap);
+  std::set<BundleId> expected;
+  for (size_t i = 0; i < kCap; ++i) expected.insert(ranked[i].first);
+
+  // The matcher scores exactly that set (scored_out lists every
+  // candidate that survived pre-selection; no bundle here is closed or
+  // size-capped).
+  MatcherOptions capped = options_;
+  capped.max_candidates = kCap;
+  std::vector<MatchResult> scored;
+  auto match = FindBestBundle(probe, index_, pool_, kTestEpoch, capped,
+                              &scored);
+  ASSERT_TRUE(match.has_value());
+  std::set<BundleId> selected;
+  for (const MatchResult& result : scored) selected.insert(result.bundle);
+  EXPECT_EQ(selected, expected);
+
+  // And the winner matches the uncapped run: the strongest candidates
+  // all survive pre-selection, so the argmax is unchanged.
+  auto uncapped = FindBestBundle(probe, index_, pool_, kTestEpoch,
+                                 options_);
+  ASSERT_TRUE(uncapped.has_value());
+  EXPECT_EQ(match->bundle, uncapped->bundle);
+  EXPECT_DOUBLE_EQ(match->score, uncapped->score);
 }
 
 TEST_F(MatcherTest, DeterministicTieBreakOnEqualScores) {

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "gen/generator.h"
 #include "testing/test_util.h"
 
 namespace microprov {
@@ -194,6 +200,129 @@ TEST(SummaryIndexTest, MemoryUsageGrowsAndShrinks) {
   EXPECT_GT(full_usage, empty_usage);
   index.RemoveBundle(bundle);
   EXPECT_LT(index.ApproxMemoryUsage(), full_usage);
+}
+
+// Recounts num_keys/num_postings the slow way, walking every live
+// posting, and checks the index's O(1) counters against it.
+void ExpectCountersMatchBruteForce(const SummaryIndex& index) {
+  std::set<std::pair<int, TermId>> keys;
+  size_t postings = 0;
+  index.ForEachPosting(
+      [&](IndicantType type, TermId term, BundleId, uint32_t count) {
+        EXPECT_GT(count, 0u);
+        keys.insert({static_cast<int>(type), term});
+        ++postings;
+      });
+  EXPECT_EQ(index.num_keys(), keys.size());
+  EXPECT_EQ(index.num_postings(), postings);
+}
+
+TEST(SummaryIndexTest, CountersMatchBruteForceUnderChurn) {
+  IndicantDictionary dict;
+  SummaryIndex index(&dict);
+  BundlePool pool(PoolOptions{}, &dict);
+
+  // Interleave insertions and removals: shared terms (multi-bundle
+  // posting lists, repeated values within a bundle), unique terms, and a
+  // hot term carried by every bundle (the fanout-cap case — the cap
+  // gates candidate fetch only, never the counters).
+  std::vector<Bundle*> bundles;
+  for (int i = 0; i < 40; ++i) {
+    Bundle* bundle = pool.Create();
+    bundles.push_back(bundle);
+    for (int m = 0; m < 3; ++m) {
+      Message msg = MakeMessage(
+          i * 10 + m, kTestEpoch + i, "user" + std::to_string(i % 7),
+          {"hot", "tag" + std::to_string(i % 5)},
+          {"url" + std::to_string(i)},
+          {"kw" + std::to_string(m), "unique" + std::to_string(i)});
+      bundle->AddMessage(msg, kInvalidMessageId, ConnectionType::kText, 0);
+      index.AddMessage(bundle->id(), msg, kMaxKw);
+    }
+    if (i % 4 == 3) {
+      // Remove an earlier bundle mid-stream.
+      Bundle* victim = bundles[i / 2];
+      if (victim != nullptr) {
+        index.RemoveBundle(*victim);
+        bundles[i / 2] = nullptr;
+      }
+    }
+    ExpectCountersMatchBruteForce(index);
+  }
+  // The hot term's vector length exceeds a small fanout cap, so it is
+  // skipped during fetch while still being counted.
+  Message probe = MakeMessage(999, kTestEpoch, "x", {"hot"});
+  EXPECT_TRUE(index.Candidates(probe, kMaxKw, 8).empty());
+  EXPECT_FALSE(index.Candidates(probe, kMaxKw, 0).empty());
+
+  // Tear everything down; counters must land exactly at zero.
+  for (Bundle* bundle : bundles) {
+    if (bundle != nullptr) index.RemoveBundle(*bundle);
+    ExpectCountersMatchBruteForce(index);
+  }
+  EXPECT_EQ(index.num_keys(), 0u);
+  EXPECT_EQ(index.num_postings(), 0u);
+}
+
+TEST(SummaryIndexTest, CountersMatchBruteForceAfterEngineEvictions) {
+  // Drive a real engine hard enough that Alg. 3 evicts continually, then
+  // recount. Every surviving posting must also point at a live bundle.
+  GeneratorOptions gen;
+  gen.seed = 2024;
+  gen.total_messages = 3000;
+  gen.num_users = 200;
+  SimulatedClock clock;
+  EngineOptions options =
+      EngineOptions::ForConfig(IndexConfig::kBundleLimit, 100, 20);
+  ProvenanceEngine engine(options, &clock, nullptr);
+  for (const Message& msg : StreamGenerator(gen).Generate()) {
+    clock.Advance(msg.date);
+    ASSERT_TRUE(engine.Ingest(msg).ok());
+  }
+  EXPECT_GT(engine.pool().stats().bundles_evicted_ranked +
+                engine.pool().stats().bundles_deleted_tiny,
+            0u);
+  ExpectCountersMatchBruteForce(engine.summary_index());
+  engine.summary_index().ForEachPosting(
+      [&](IndicantType, TermId, BundleId bundle, uint32_t) {
+        EXPECT_NE(engine.pool().Get(bundle), nullptr);
+      });
+}
+
+TEST(SummaryIndexTest, TombstoneCompactionKeepsListsCorrect) {
+  IndicantDictionary dict;
+  SummaryIndex index(&dict);
+  BundlePool pool(PoolOptions{}, &dict);
+  // One shared term across 30 bundles; remove 20 of them (tombstones
+  // outnumber live postings, forcing compaction), then verify lookups.
+  std::vector<Bundle*> bundles;
+  for (int i = 0; i < 30; ++i) {
+    Message msg = MakeMessage(i, kTestEpoch, "u" + std::to_string(i),
+                              {"shared"});
+    Bundle* bundle = pool.Create();
+    bundle->AddMessage(msg, kInvalidMessageId, ConnectionType::kText, 0);
+    index.AddMessage(bundle->id(), msg, kMaxKw);
+    bundles.push_back(bundle);
+  }
+  std::vector<BundleId> expected;
+  for (int i = 0; i < 30; ++i) {
+    if (i < 20) {
+      index.RemoveBundle(*bundles[i]);
+    } else {
+      expected.push_back(bundles[i]->id());
+    }
+  }
+  EXPECT_EQ(index.Lookup(IndicantType::kHashtag, "shared"), expected);
+  EXPECT_EQ(index.DocumentFrequency(IndicantType::kHashtag, "shared"),
+            expected.size());
+  ExpectCountersMatchBruteForce(index);
+  // Tombstoned bundles can come back (id reuse after re-insertion).
+  Message revived = MakeMessage(100, kTestEpoch, "v", {"shared"});
+  index.AddMessage(bundles[0]->id(), revived, kMaxKw);
+  auto lookup = index.Lookup(IndicantType::kHashtag, "shared");
+  EXPECT_EQ(lookup.size(), expected.size() + 1);
+  EXPECT_EQ(lookup.front(), bundles[0]->id());
+  ExpectCountersMatchBruteForce(index);
 }
 
 }  // namespace

@@ -156,7 +156,8 @@ TEST(PersistenceTest, ArchivedBundleRoundTripsExactly) {
   EXPECT_EQ(loaded.size(), live->size());
   EXPECT_EQ(loaded.start_time(), live->start_time());
   EXPECT_EQ(loaded.end_time(), live->end_time());
-  EXPECT_EQ(loaded.hashtag_counts(), live->hashtag_counts());
+  EXPECT_EQ(loaded.ResolvedCounts(IndicantType::kHashtag),
+            live->ResolvedCounts(IndicantType::kHashtag));
   for (size_t i = 0; i < live->size(); ++i) {
     EXPECT_EQ(loaded.messages()[i].msg, live->messages()[i].msg);
     EXPECT_EQ(loaded.messages()[i].parent, live->messages()[i].parent);

@@ -1,0 +1,98 @@
+// Concurrency coverage for the interned hot path: shard workers intern
+// into their per-shard dictionaries on their own threads while the
+// caller keeps enqueueing, and cross-shard query fan-out reads engine
+// state (dictionaries, flat postings, bundles) from the caller's thread
+// after the flush barrier. Runs under TSan via scripts/tier1.sh (the
+// Service* filter).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gen/generator.h"
+#include "service/service.h"
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+
+std::vector<Message> GeneratedStream(uint64_t seed, size_t count) {
+  GeneratorOptions options;
+  options.seed = seed;
+  options.total_messages = count;
+  options.num_users = 150;
+  return StreamGenerator(options).Generate();
+}
+
+TEST(ServiceConcurrencyTest, SearchInterleavedWithShardedIngest) {
+  auto service_or = Service::Open({.num_shards = 4});
+  ASSERT_TRUE(service_or.ok());
+  Service& service = **service_or;
+
+  const auto messages = GeneratedStream(555, 4000);
+  size_t searches = 0;
+  for (size_t i = 0; i < messages.size(); ++i) {
+    ASSERT_TRUE(service.Ingest(messages[i]).ok());
+    if ((i + 1) % 500 == 0) {
+      // Search quiesces the workers (flush barrier), then fans out
+      // across every shard's engine from this thread — reading the
+      // dictionaries the workers were just writing.
+      auto results_or = service.Search({.text = messages[i].text, .k = 5});
+      ASSERT_TRUE(results_or.ok());
+      ++searches;
+    }
+  }
+  EXPECT_EQ(searches, 8u);
+
+  ASSERT_TRUE(service.Flush().ok());
+  // Every shard interned its own slice; the dictionaries are disjoint
+  // instances and each one is non-trivial for a 4k-message stream.
+  size_t total_terms = 0;
+  for (size_t s = 0; s < service.num_shards(); ++s) {
+    const ProvenanceEngine& engine = service.sharded().shard(s);
+    EXPECT_EQ(&engine.summary_index().dictionary(), &engine.dictionary());
+    total_terms += engine.dictionary().TotalTerms();
+  }
+  EXPECT_GT(total_terms, 0u);
+  ASSERT_TRUE(service.Drain().ok());
+}
+
+TEST(ServiceConcurrencyTest, ReopenedStreamsKeepDictionariesIsolated) {
+  // Two services over interleaved halves of one stream: shard workers of
+  // both instances run concurrently, each interning into its own
+  // per-shard dictionaries. Ingest results must not depend on the other
+  // instance existing (no shared mutable state between dictionaries).
+  auto a_or = Service::Open({.num_shards = 2});
+  auto b_or = Service::Open({.num_shards = 2});
+  ASSERT_TRUE(a_or.ok());
+  ASSERT_TRUE(b_or.ok());
+  Service& a = **a_or;
+  Service& b = **b_or;
+
+  const auto messages = GeneratedStream(777, 2000);
+  for (const Message& msg : messages) {
+    ASSERT_TRUE(a.Ingest(msg).ok());
+    ASSERT_TRUE(b.Ingest(msg).ok());
+  }
+  ASSERT_TRUE(a.Flush().ok());
+  ASSERT_TRUE(b.Flush().ok());
+
+  // Same stream, same routing, same per-shard dictionaries: the two
+  // instances converge to identical shard states.
+  for (size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(a.sharded().shard(s).dictionary().TotalTerms(),
+              b.sharded().shard(s).dictionary().TotalTerms());
+    EXPECT_EQ(a.sharded().shard(s).summary_index().num_postings(),
+              b.sharded().shard(s).summary_index().num_postings());
+    EXPECT_EQ(a.sharded().shard(s).pool().size(),
+              b.sharded().shard(s).pool().size());
+  }
+  ASSERT_TRUE(a.Drain().ok());
+  ASSERT_TRUE(b.Drain().ok());
+}
+
+}  // namespace
+}  // namespace microprov

@@ -56,9 +56,9 @@ TEST(BundleCodecTest, SummariesReconstructed) {
   EncodeBundle(*original, &encoded);
   auto decoded_or = DecodeBundle(encoded);
   ASSERT_TRUE(decoded_or.ok());
-  EXPECT_EQ((*decoded_or)->hashtag_counts().at("redsox"), 3u);
-  EXPECT_EQ((*decoded_or)->user_counts().count("carol"), 1u);
-  EXPECT_EQ((*decoded_or)->url_counts().at("bit.ly/1"), 1u);
+  EXPECT_EQ((*decoded_or)->CountOf(IndicantType::kHashtag, "redsox"), 3u);
+  EXPECT_TRUE((*decoded_or)->HasUser("carol"));
+  EXPECT_EQ((*decoded_or)->CountOf(IndicantType::kUrl, "bit.ly/1"), 1u);
 }
 
 TEST(BundleCodecTest, ClosedFlagPreserved) {

@@ -46,7 +46,7 @@ TEST_F(BundleStoreTest, PutGetRoundTrip) {
   ASSERT_TRUE(loaded_or.ok());
   EXPECT_EQ((*loaded_or)->id(), 1u);
   EXPECT_EQ((*loaded_or)->size(), 5u);
-  EXPECT_EQ((*loaded_or)->hashtag_counts().at("tag1"), 5u);
+  EXPECT_EQ((*loaded_or)->CountOf(IndicantType::kHashtag, "tag1"), 5u);
 }
 
 TEST_F(BundleStoreTest, GetMissingIsNotFound) {

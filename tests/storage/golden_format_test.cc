@@ -1,0 +1,118 @@
+// Golden-file pins for the on-disk bundle format. The interned-id hot
+// path must never leak into the serialized representation: the codec
+// writes surface strings only, and count maps are rebuilt on decode.
+// These constants were captured from the pre-interning string-keyed
+// implementation; a diff here means the disk format changed.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/clock.h"
+#include "core/engine.h"
+#include "gen/generator.h"
+#include "storage/bundle_codec.h"
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+
+std::string ToHex(const std::string& bytes) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  return out;
+}
+
+TEST(GoldenFormatTest, HandcraftedBundleBytesUnchanged) {
+  Bundle bundle(42);
+  Message m1;
+  m1.id = 1;
+  m1.date = kTestEpoch;
+  m1.user = "alice";
+  m1.text = "Go #redsox beat the yankees http://bit.ly/1";
+  m1.hashtags = {"redsox"};
+  m1.urls = {"bit.ly/1"};
+  m1.keywords = {"beat", "yanke"};
+  bundle.AddMessage(m1, kInvalidMessageId, ConnectionType::kText, 0.0f);
+  Message m2;
+  m2.id = 2;
+  m2.date = kTestEpoch + 60;
+  m2.user = "bob";
+  m2.text = "RT @alice: Go #redsox";
+  m2.hashtags = {"redsox"};
+  m2.is_retweet = true;
+  m2.retweet_of_user = "alice";
+  m2.retweet_of_id = 1;
+  bundle.AddMessage(m2, 1, ConnectionType::kRt, 1.0f);
+  bundle.Close();
+
+  std::string encoded;
+  EncodeBundle(bundle, &encoded);
+  EXPECT_EQ(encoded.size(), 155u);
+  EXPECT_EQ(
+      ToHex(encoded),
+      "012a0102028090e3a90905616c6963652b476f2023726564736f782062656174"
+      "207468652079616e6b65657320687474703a2f2f6269742e6c792f3101067265"
+      "64736f7801086269742e6c792f310204626561740579616e6b65000001010300"
+      "00000004f890e3a90903626f621552542040616c6963653a20476f2023726564"
+      "736f780106726564736f7800000105616c6963650202000000803f");
+
+  // And the bytes still decode to an equivalent bundle.
+  auto decoded_or = DecodeBundle(encoded);
+  ASSERT_TRUE(decoded_or.ok());
+  EXPECT_EQ((*decoded_or)->size(), 2u);
+  EXPECT_EQ((*decoded_or)->CountOf(IndicantType::kHashtag, "redsox"), 2u);
+}
+
+TEST(GoldenFormatTest, EngineArchiveStreamUnchanged) {
+  // 500 generated messages through the Bundle Limit engine; every bundle
+  // leaving memory is encoded and folded into one order-sensitive hash.
+  class CaptureArchive : public BundleArchive {
+   public:
+    Status Put(const Bundle& bundle) override {
+      std::string encoded;
+      EncodeBundle(bundle, &encoded);
+      uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+      for (unsigned char c : encoded) {
+        h ^= c;
+        h *= 1099511628211ull;
+      }
+      hash = hash * 31 + h;
+      ++count;
+      bytes += encoded.size();
+      return Status::OK();
+    }
+    uint64_t hash = 0;
+    uint64_t count = 0;
+    uint64_t bytes = 0;
+  };
+
+  GeneratorOptions gen;
+  gen.seed = 1234;
+  gen.total_messages = 500;
+  gen.num_users = 80;
+  SimulatedClock clock;
+  EngineOptions options =
+      EngineOptions::ForConfig(IndexConfig::kBundleLimit, 64, 30);
+  CaptureArchive archive;
+  ProvenanceEngine engine(options, &clock, &archive);
+  for (const Message& msg : StreamGenerator(gen).Generate()) {
+    clock.Advance(msg.date);
+    ASSERT_TRUE(engine.Ingest(msg).ok());
+  }
+  ASSERT_TRUE(engine.Drain().ok());
+
+  EXPECT_EQ(archive.count, 60u);
+  EXPECT_EQ(archive.bytes, 53585u);
+  EXPECT_EQ(archive.hash, 1801942908232004107ull);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -1,0 +1,18 @@
+#ifndef MICROPROV_TESTS_TESTING_ALLOC_COUNTER_H_
+#define MICROPROV_TESTS_TESTING_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+namespace microprov {
+namespace testing_util {
+
+/// Number of global operator new calls since the test binary started.
+/// alloc_counter.cc replaces the global allocation functions with
+/// counting forwards to malloc/free, so a test can assert that a code
+/// path performs no heap allocations by diffing this counter around it.
+uint64_t AllocationCount();
+
+}  // namespace testing_util
+}  // namespace microprov
+
+#endif  // MICROPROV_TESTS_TESTING_ALLOC_COUNTER_H_
