@@ -11,6 +11,7 @@
 #   bench_micro_index           text-search substrate microbenches
 #   bench_sharded_ingest        service-layer throughput vs shard count
 #   bench_fig13_stage_breakdown per-stage share of ingest cost
+#   bench_wal_overhead          durability (WAL/checkpoint) ingest cost
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,7 +24,7 @@ trap 'rm -rf "$TMP"' EXIT
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" --target \
   bench_micro_core bench_micro_index bench_sharded_ingest \
-  bench_fig13_stage_breakdown >/dev/null
+  bench_fig13_stage_breakdown bench_wal_overhead >/dev/null
 
 echo "== bench_micro_core =="
 "$BUILD/bench/bench_micro_core" \
@@ -35,6 +36,8 @@ echo "== bench_sharded_ingest =="
 "$BUILD/bench/bench_sharded_ingest" --seed 42 | tee "$TMP/sharded.txt"
 echo "== bench_fig13_stage_breakdown =="
 "$BUILD/bench/bench_fig13_stage_breakdown" --seed 42 | tee "$TMP/fig13.txt"
+echo "== bench_wal_overhead =="
+"$BUILD/bench/bench_wal_overhead" --seed 42 | tee "$TMP/wal.txt"
 
 python3 - "$LABEL" "$TMP" "$OUT" <<'PY'
 import json, re, subprocess, sys, datetime
@@ -101,6 +104,23 @@ def parse_sharded(path):
         })
     return configs
 
+def parse_wal(path):
+    """One row per durability mode from bench_wal_overhead output."""
+    rows = []
+    pat = re.compile(
+        r"  mode=([\w+]+): ([\d.]+)s, (\d+) msgs/sec, "
+        r"overhead=(-?[\d.]+)%, wal_bytes=(\d+), checkpoints=(\d+)")
+    for m in pat.finditer(open(path).read()):
+        rows.append({
+            "mode": m.group(1),
+            "secs": float(m.group(2)),
+            "msgs_per_sec": int(m.group(3)),
+            "overhead_pct": float(m.group(4)),
+            "wal_bytes": int(m.group(5)),
+            "checkpoints": int(m.group(6)),
+        })
+    return rows
+
 def parse_fig13(path):
     text = open(path).read()
     result = {}
@@ -130,6 +150,7 @@ snapshot = {
     "micro_index": google_bench(f"{tmp}/micro_index.json"),
     "sharded_ingest": parse_sharded(f"{tmp}/sharded.txt"),
     "fig13_stage_breakdown": parse_fig13(f"{tmp}/fig13.txt"),
+    "wal_overhead": parse_wal(f"{tmp}/wal.txt"),
 }
 
 try:

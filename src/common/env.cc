@@ -144,6 +144,15 @@ Status Env::CreateDirIfMissing(const std::string& path) {
   return ErrnoStatus("mkdir " + path);
 }
 
+Status Env::SyncDir(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open(dir) " + path);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoStatus("fsync(dir) " + path);
+  return Status::OK();
+}
+
 Status Env::RemoveFile(const std::string& path) {
   if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink " + path);
   return Status::OK();

@@ -94,6 +94,9 @@ class Env {
   bool FileExists(const std::string& path);
   StatusOr<uint64_t> GetFileSize(const std::string& path);
   Status CreateDirIfMissing(const std::string& path);
+  /// fsyncs a directory so entries created/renamed inside it survive
+  /// power loss (file data durability is the file's own Sync()).
+  Status SyncDir(const std::string& path);
   Status RemoveFile(const std::string& path);
   Status RenameFile(const std::string& from, const std::string& to);
   StatusOr<std::vector<std::string>> ListDir(const std::string& path);

@@ -211,6 +211,70 @@ Status ProvenanceEngine::Drain() {
   return Status::OK();
 }
 
+EngineState ProvenanceEngine::ExportState() const {
+  EngineState state;
+  state.messages_ingested = ingested_;
+  state.next_bundle_id = pool_.next_id();
+  state.pool_stats = pool_.stats();
+  for (int t = 0; t < kNumIndicantTypes; ++t) {
+    const IndicantType type = static_cast<IndicantType>(t);
+    const size_t n = dict_.NumTerms(type);
+    state.terms[t].reserve(n);
+    for (TermId id = 0; id < n; ++id) {
+      state.terms[t].push_back(dict_.Resolve(type, id));
+    }
+  }
+  state.bundles.reserve(pool_.size());
+  for (const auto& [id, bundle] : pool_.bundles()) {
+    state.bundles.push_back(CloneBundle(*bundle, nullptr));
+  }
+  std::sort(state.bundles.begin(), state.bundles.end(),
+            [](const std::unique_ptr<Bundle>& a,
+               const std::unique_ptr<Bundle>& b) {
+              return a->id() < b->id();
+            });
+  return state;
+}
+
+Status ProvenanceEngine::ImportState(const EngineState& state) {
+  if (ingested_ != 0 || pool_.size() != 0 || dict_.TotalTerms() != 0) {
+    return Status::FailedPrecondition(
+        "ImportState requires a fresh engine");
+  }
+  // Rebuild the TermId spaces first: interning the checkpointed surface
+  // forms in order reproduces the exact ids every bundle summary and
+  // index posting was built against.
+  for (int t = 0; t < kNumIndicantTypes; ++t) {
+    const IndicantType type = static_cast<IndicantType>(t);
+    for (size_t i = 0; i < state.terms[t].size(); ++i) {
+      const TermId id = dict_.Intern(type, state.terms[t][i]);
+      if (id != static_cast<TermId>(i)) {
+        return Status::Corruption("dictionary ids not dense on import");
+      }
+    }
+  }
+  for (const std::unique_ptr<Bundle>& src : state.bundles) {
+    if (src == nullptr) return Status::InvalidArgument("null bundle");
+    Bundle* bundle = pool_.Adopt(CloneBundle(*src, &dict_));
+    if (bundle == nullptr) {
+      return Status::Corruption("duplicate bundle id on import");
+    }
+    // The summary index is derived state: re-register each member the
+    // same way Ingest did.
+    for (const BundleMessage& bm : bundle->messages()) {
+      index_.AddMessage(bundle->id(), bm.msg,
+                        Bundle::kSummaryKeywordsPerMessage);
+    }
+  }
+  pool_.RestoreStats(state.pool_stats);
+  if (state.next_bundle_id > 0) {
+    pool_.ReserveIdsThrough(state.next_bundle_id - 1);
+  }
+  ingested_ = state.messages_ingested;
+  RefreshMemoryMetrics();
+  return Status::OK();
+}
+
 void ProvenanceEngine::RefreshMemoryMetrics() {
   if (memory_gauge_ != nullptr) {
     memory_gauge_->Set(static_cast<int64_t>(ApproxMemoryUsage()));

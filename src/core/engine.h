@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "common/statusor.h"
 #include "core/edge_log.h"
+#include "core/engine_state.h"
 #include "core/indicant_dictionary.h"
 #include "core/matcher.h"
 #include "core/pool.h"
@@ -107,6 +108,20 @@ class ProvenanceEngine {
 
   /// Flushes every live bundle to the archive (end-of-stream).
   Status Drain();
+
+  /// Detached copy of the durable state for checkpointing. The result
+  /// is independent of this engine (bundle clones own private
+  /// dictionaries) and deterministic: bundles ascending by id, terms in
+  /// TermId order.
+  EngineState ExportState() const;
+
+  /// Restores a state captured by ExportState. The engine must be
+  /// fresh — nothing ingested, empty pool, empty dictionary — because
+  /// import rebuilds the TermId spaces and the summary index from
+  /// scratch; importing over live state would corrupt both. After a
+  /// successful import, ingesting the same post-checkpoint message
+  /// sequence reproduces the source engine (the recovery contract).
+  Status ImportState(const EngineState& state);
 
   const BundlePool& pool() const { return pool_; }
   const SummaryIndex& summary_index() const { return index_; }

@@ -1,0 +1,53 @@
+#ifndef MICROPROV_CORE_ENGINE_STATE_H_
+#define MICROPROV_CORE_ENGINE_STATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bundle.h"
+#include "core/indicant.h"
+#include "core/indicant_dictionary.h"
+#include "core/pool.h"
+
+namespace microprov {
+
+/// A detached, self-contained copy of one ProvenanceEngine's durable
+/// state — everything a checkpoint must capture so that replaying the
+/// post-checkpoint message stream reproduces the live engine exactly.
+///
+/// What is captured: the interning dictionary (surface forms in TermId
+/// order, so re-interning in order reproduces identical ids), every
+/// live bundle (clones carrying private dictionaries so the state
+/// outlives the source engine), the pool's id allocator position and
+/// lifecycle counters, and the ingested-message count. What is NOT
+/// captured: the summary index — it is derived state, rebuilt from the
+/// bundles on import — and evaluation-only artifacts (edge log, stage
+/// timers, metrics), which restart empty.
+struct EngineState {
+  EngineState() = default;
+  EngineState(EngineState&&) = default;
+  EngineState& operator=(EngineState&&) = default;
+  EngineState(const EngineState&) = delete;
+  EngineState& operator=(const EngineState&) = delete;
+
+  uint64_t messages_ingested = 0;
+  /// Next id the pool's Create() would hand out.
+  BundleId next_bundle_id = 1;
+  PoolStats pool_stats;
+  /// Surface forms per IndicantType, position == TermId.
+  std::vector<std::string> terms[kNumIndicantTypes];
+  /// Live bundles sorted by ascending id, each with a private dictionary.
+  std::vector<std::unique_ptr<Bundle>> bundles;
+};
+
+/// Deep-copies `src` into a new bundle interning against `dict` (nullptr
+/// for a private dictionary). Implemented as an AddMessage replay, which
+/// reconstructs summaries, time ranges, latest-by-user, and memory
+/// accounting; the closed flag is carried over.
+std::unique_ptr<Bundle> CloneBundle(const Bundle& src,
+                                    IndicantDictionary* dict);
+
+}  // namespace microprov
+
+#endif  // MICROPROV_CORE_ENGINE_STATE_H_

@@ -18,6 +18,18 @@ Bundle* BundlePool::Create() {
   return it->second.get();
 }
 
+Bundle* BundlePool::Adopt(std::unique_ptr<Bundle> bundle) {
+  const BundleId id = bundle->id();
+  total_messages_ += bundle->size();
+  ReserveIdsThrough(id);
+  auto [it, inserted] = bundles_.emplace(id, std::move(bundle));
+  SetSizeGauge();
+  if (messages_gauge_ != nullptr) {
+    messages_gauge_->Set(static_cast<int64_t>(total_messages_));
+  }
+  return inserted ? it->second.get() : nullptr;
+}
+
 void BundlePool::BindMetrics(obs::MetricsRegistry* registry,
                              const std::string& shard_label) {
   created_counter_ =

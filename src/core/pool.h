@@ -81,6 +81,20 @@ class BundlePool {
     if (floor >= next_id_) next_id_ = floor + 1;
   }
 
+  /// Next id Create() would hand out (checkpointed so a recovered pool
+  /// resumes the same id sequence).
+  BundleId next_id() const { return next_id_; }
+
+  /// Takes ownership of an externally built bundle (checkpoint restore).
+  /// Keeps the id allocator above the adopted id and folds the bundle's
+  /// messages into TotalMessages(), but does NOT count it as created —
+  /// lifecycle counters are restored separately via RestoreStats().
+  /// Requires the id to be unoccupied.
+  Bundle* Adopt(std::unique_ptr<Bundle> bundle);
+
+  /// Overwrites the lifecycle counters (checkpoint restore).
+  void RestoreStats(const PoolStats& stats) { stats_ = stats; }
+
   /// Live bundle by id, or nullptr.
   Bundle* Get(BundleId id);
   const Bundle* Get(BundleId id) const;

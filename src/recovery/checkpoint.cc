@@ -1,0 +1,262 @@
+#include "recovery/checkpoint.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/clock.h"
+#include "common/env.h"
+#include "common/string_util.h"
+
+namespace microprov {
+namespace recovery {
+
+namespace {
+
+constexpr char kCurrentName[] = "CURRENT";
+
+bool ParseCheckpointName(const std::string& name, uint64_t* seq) {
+  unsigned long long s = 0;
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "checkpoint-%10llu.snap%n", &s,
+                  &consumed) != 1 ||
+      static_cast<size_t>(consumed) != name.size()) {
+    return false;
+  }
+  *seq = s;
+  return true;
+}
+
+/// Write + fsync + atomic rename + directory fsync: the file is either
+/// absent or complete after any crash, including power loss.
+Status DurableWriteFile(const std::string& dir, const std::string& path,
+                        std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  {
+    auto file_or = Env::Default()->NewWritableFile(tmp);
+    if (!file_or.ok()) return file_or.status();
+    auto& file = *file_or;
+    MICROPROV_RETURN_IF_ERROR(file->Append(data));
+    MICROPROV_RETURN_IF_ERROR(file->Sync());
+    MICROPROV_RETURN_IF_ERROR(file->Close());
+  }
+  MICROPROV_RETURN_IF_ERROR(Env::Default()->RenameFile(tmp, path));
+  return Env::Default()->SyncDir(dir);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
+    const DurabilityOptions& options, uint32_t num_shards,
+    obs::MetricsRegistry* registry) {
+  if (!options.enabled()) {
+    return Status::InvalidArgument("durability dir must be set");
+  }
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  MICROPROV_RETURN_IF_ERROR(
+      Env::Default()->CreateDirIfMissing(options.dir));
+  MICROPROV_RETURN_IF_ERROR(
+      Env::Default()->CreateDirIfMissing(options.dir + "/wal"));
+  auto manager = std::unique_ptr<DurabilityManager>(
+      new DurabilityManager(options, num_shards));
+  if (registry != nullptr) {
+    manager->appends_counter_ =
+        registry->GetCounter("microprov_wal_appends_total", "",
+                             "Messages appended to the WAL");
+    manager->append_bytes_counter_ =
+        registry->GetCounter("microprov_wal_bytes_total", "",
+                             "Payload bytes appended to the WAL");
+    manager->append_hist_ =
+        registry->GetHistogram("microprov_wal_append_nanos", "",
+                               "Per-message WAL append latency");
+    manager->checkpoints_counter_ =
+        registry->GetCounter("microprov_checkpoints_total", "",
+                             "Checkpoints installed");
+    manager->checkpoint_hist_ =
+        registry->GetHistogram("microprov_checkpoint_nanos", "",
+                               "Checkpoint capture+install duration");
+    manager->checkpoint_bytes_counter_ =
+        registry->GetCounter("microprov_checkpoint_bytes_total", "",
+                             "Serialized snapshot bytes written");
+    manager->replayed_counter_ = registry->GetCounter(
+        "microprov_recovery_replayed_messages_total", "",
+        "Messages replayed from the WAL tail at recovery");
+    manager->torn_bytes_counter_ = registry->GetCounter(
+        "microprov_wal_torn_tail_bytes_total", "",
+        "WAL bytes discarded as torn tails at recovery");
+    manager->dropped_bytes_counter_ = registry->GetCounter(
+        "microprov_wal_dropped_bytes_total", "",
+        "WAL bytes discarded as interior corruption at recovery");
+  }
+  MICROPROV_RETURN_IF_ERROR(manager->LoadLatestCheckpoint());
+  return manager;
+}
+
+std::string DurabilityManager::CheckpointPath(uint64_t seq) const {
+  return options_.dir + "/" +
+         StringPrintf("checkpoint-%010" PRIu64 ".snap", seq);
+}
+
+std::string DurabilityManager::ShardWalDir(uint32_t shard) const {
+  return options_.dir + "/wal/" + StringPrintf("shard-%u", shard);
+}
+
+Status DurabilityManager::LoadLatestCheckpoint() {
+  // CURRENT names the installed sequence, but the snapshot CRC is the
+  // actual gate: scan descending and load the newest valid image, so a
+  // bit-rotted file degrades to the previous checkpoint instead of
+  // failing recovery outright.
+  auto names_or = Env::Default()->ListDir(options_.dir);
+  if (!names_or.ok()) return names_or.status();
+  std::vector<uint64_t> seqs;
+  for (const std::string& name : *names_or) {
+    uint64_t seq = 0;
+    if (ParseCheckpointName(name, &seq)) seqs.push_back(seq);
+  }
+  std::sort(seqs.rbegin(), seqs.rend());
+  for (uint64_t seq : seqs) {
+    std::string encoded;
+    Status read =
+        Env::Default()->ReadFileToString(CheckpointPath(seq), &encoded);
+    if (!read.ok()) continue;
+    auto snapshot_or = DecodeServiceSnapshot(encoded);
+    if (!snapshot_or.ok()) continue;
+    if (snapshot_or->num_shards != num_shards_) {
+      return Status::InvalidArgument(StringPrintf(
+          "checkpoint has %u shards, service configured with %u",
+          snapshot_or->num_shards, num_shards_));
+    }
+    snapshot_ = std::move(*snapshot_or);
+    has_snapshot_ = true;
+    seq_ = seq;
+    return Status::OK();
+  }
+  return Status::OK();  // fresh directory
+}
+
+ServiceSnapshot DurabilityManager::TakeSnapshot() {
+  has_snapshot_ = false;
+  return std::move(snapshot_);
+}
+
+Status DurabilityManager::ReplayShard(
+    uint32_t shard, const std::function<Status(Message&&)>& fn) {
+  WalReplayStats stats;
+  MICROPROV_RETURN_IF_ERROR(
+      ReplayWal(ShardWalDir(shard), seq_, fn, &stats));
+  replay_stats_.messages += stats.messages;
+  replay_stats_.torn_tail_bytes += stats.torn_tail_bytes;
+  replay_stats_.dropped_bytes += stats.dropped_bytes;
+  if (replayed_counter_ != nullptr) {
+    replayed_counter_->Increment(static_cast<uint64_t>(stats.messages));
+  }
+  if (torn_bytes_counter_ != nullptr && stats.torn_tail_bytes > 0) {
+    torn_bytes_counter_->Increment(
+        static_cast<uint64_t>(stats.torn_tail_bytes));
+  }
+  if (dropped_bytes_counter_ != nullptr && stats.dropped_bytes > 0) {
+    dropped_bytes_counter_->Increment(
+        static_cast<uint64_t>(stats.dropped_bytes));
+  }
+  return Status::OK();
+}
+
+Status DurabilityManager::StartWal() {
+  if (!options_.wal_enabled || !writers_.empty()) return Status::OK();
+  WalOptions wal;
+  wal.rotate_bytes = options_.wal_rotate_bytes;
+  wal.flush_every_append = options_.wal_flush_every_append;
+  wal.sync_every_append = options_.wal_sync_every_append;
+  writers_.reserve(num_shards_);
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    wal.dir = ShardWalDir(i);
+    auto writer_or = WalWriter::Open(wal, seq_ + 1);
+    if (!writer_or.ok()) return writer_or.status();
+    writers_.push_back(std::move(*writer_or));
+  }
+  return Status::OK();
+}
+
+Status DurabilityManager::Append(uint32_t shard, const Message& msg) {
+  if (writers_.empty()) return Status::OK();
+  const int64_t t0 = MonotonicNanos();
+  const uint64_t before = writers_[shard]->appended_bytes();
+  MICROPROV_RETURN_IF_ERROR(writers_[shard]->Append(msg));
+  if (appends_counter_ != nullptr) appends_counter_->Increment();
+  if (append_bytes_counter_ != nullptr) {
+    append_bytes_counter_->Increment(
+        static_cast<uint64_t>(writers_[shard]->appended_bytes() - before));
+  }
+  if (append_hist_ != nullptr) {
+    append_hist_->Observe(MonotonicNanos() - t0);
+  }
+  return Status::OK();
+}
+
+Status DurabilityManager::SyncWal() {
+  for (auto& writer : writers_) {
+    MICROPROV_RETURN_IF_ERROR(writer->Sync());
+  }
+  return Status::OK();
+}
+
+Status DurabilityManager::InstallCheckpoint(
+    const ServiceSnapshot& snapshot) {
+  const int64_t t0 = MonotonicNanos();
+  const uint64_t new_seq = seq_ + 1;
+  std::string encoded;
+  EncodeServiceSnapshot(snapshot, &encoded);
+  MICROPROV_RETURN_IF_ERROR(DurableWriteFile(
+      options_.dir, CheckpointPath(new_seq), encoded));
+  // Future appends belong to the next epoch; records already written
+  // under epoch new_seq are covered by the snapshot just persisted.
+  for (auto& writer : writers_) {
+    MICROPROV_RETURN_IF_ERROR(writer->RotateToEpoch(new_seq + 1));
+  }
+  MICROPROV_RETURN_IF_ERROR(
+      DurableWriteFile(options_.dir, options_.dir + "/" + kCurrentName,
+                       StringPrintf("%" PRIu64 "\n", new_seq)));
+  seq_ = new_seq;
+  if (checkpoints_counter_ != nullptr) checkpoints_counter_->Increment();
+  if (checkpoint_bytes_counter_ != nullptr) {
+    checkpoint_bytes_counter_->Increment(
+        static_cast<uint64_t>(encoded.size()));
+  }
+  // GC is advisory: a crash here leaves superseded files that the next
+  // install sweeps again.
+  Status gc = GarbageCollect();
+  if (checkpoint_hist_ != nullptr) {
+    checkpoint_hist_->Observe(MonotonicNanos() - t0);
+  }
+  return gc;
+}
+
+Status DurabilityManager::GarbageCollect() {
+  auto names_or = Env::Default()->ListDir(options_.dir);
+  if (!names_or.ok()) return names_or.status();
+  for (const std::string& name : *names_or) {
+    uint64_t seq = 0;
+    if (ParseCheckpointName(name, &seq) && seq < seq_) {
+      MICROPROV_RETURN_IF_ERROR(
+          Env::Default()->RemoveFile(options_.dir + "/" + name));
+    }
+  }
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    MICROPROV_RETURN_IF_ERROR(
+        RemoveWalSegmentsThrough(ShardWalDir(i), seq_));
+  }
+  return Status::OK();
+}
+
+Status DurabilityManager::Close() {
+  for (auto& writer : writers_) {
+    MICROPROV_RETURN_IF_ERROR(writer->Close());
+  }
+  writers_.clear();
+  return Status::OK();
+}
+
+}  // namespace recovery
+}  // namespace microprov

@@ -1,0 +1,126 @@
+#ifndef MICROPROV_RECOVERY_CHECKPOINT_H_
+#define MICROPROV_RECOVERY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "obs/metrics.h"
+#include "recovery/snapshot.h"
+#include "recovery/wal.h"
+
+namespace microprov {
+namespace recovery {
+
+/// Knobs for the Service's durability layer.
+struct DurabilityOptions {
+  /// Root directory: `CURRENT`, `checkpoint-<seq>.snap`, and
+  /// `wal/shard-<i>/` live here. Empty disables durability entirely.
+  std::string dir;
+  /// Log every accepted message before applying it. Off gives
+  /// checkpoint-only durability (loss window = since last checkpoint).
+  bool wal_enabled = true;
+  uint64_t wal_rotate_bytes = 8ull << 20;
+  bool wal_flush_every_append = true;
+  bool wal_sync_every_append = false;
+  /// Service::Ingest triggers a checkpoint once this many messages have
+  /// been accepted since the last one (0 = only explicit Checkpoint()
+  /// calls and Drain).
+  uint64_t checkpoint_every_messages = 0;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+/// Disk mechanics of crash recovery, shared by every shard: the
+/// checkpoint manifest (`CURRENT` naming the installed sequence, one
+/// atomically-renamed `checkpoint-<seq>.snap` per install), the
+/// per-shard WAL writers, and the truncation/GC protocol that keeps
+/// them consistent.
+///
+/// Epochs tie the two together: WAL segments written after checkpoint S
+/// carry epoch S+1, and installing checkpoint S+1 rotates writers to
+/// epoch S+2 before deleting epochs <= S+1. Every crash window is
+/// covered: until `CURRENT` flips to S+1, recovery loads S and replays
+/// epochs S+1 and S+2 — the same messages the lost in-memory state
+/// held, reapplied by deterministic per-shard ingest.
+///
+/// Not thread-safe; the Service serializes all calls under its mutex.
+class DurabilityManager {
+ public:
+  /// Opens (creating dirs as needed) and loads the newest checkpoint
+  /// that passes its CRC, if any. Does not open WAL writers — the
+  /// owner replays first, then calls StartWal().
+  static StatusOr<std::unique_ptr<DurabilityManager>> Open(
+      const DurabilityOptions& options, uint32_t num_shards,
+      obs::MetricsRegistry* registry);
+
+  /// Sequence of the loaded/last-installed checkpoint (0 = none).
+  uint64_t checkpoint_seq() const { return seq_; }
+
+  bool has_snapshot() const { return has_snapshot_; }
+  /// Moves the loaded snapshot out (valid once, when has_snapshot()).
+  ServiceSnapshot TakeSnapshot();
+
+  /// Replays shard `i`'s WAL tail (epochs after the loaded checkpoint)
+  /// through `fn` in append order. Torn tails read as clean EOF.
+  Status ReplayShard(uint32_t shard,
+                     const std::function<Status(Message&&)>& fn);
+  const WalReplayStats& replay_stats() const { return replay_stats_; }
+
+  /// Opens the per-shard WAL writers at the post-checkpoint epoch.
+  /// Call after replay; no-op when the WAL is disabled.
+  Status StartWal();
+  bool wal_started() const { return !writers_.empty(); }
+
+  /// Appends one accepted message to shard `i`'s WAL.
+  Status Append(uint32_t shard, const Message& msg);
+  Status SyncWal();
+
+  /// Installs `snapshot` as checkpoint seq+1: durably writes the
+  /// snapshot file, rotates WAL writers to the next epoch, flips
+  /// CURRENT, then garbage-collects superseded checkpoints and WAL
+  /// epochs. The caller must have quiesced ingest (flush barrier) and
+  /// synced the bundle stores first.
+  Status InstallCheckpoint(const ServiceSnapshot& snapshot);
+
+  Status Close();
+
+  const DurabilityOptions& options() const { return options_; }
+  std::string ShardWalDir(uint32_t shard) const;
+
+ private:
+  DurabilityManager(const DurabilityOptions& options, uint32_t num_shards)
+      : options_(options), num_shards_(num_shards) {}
+
+  std::string CheckpointPath(uint64_t seq) const;
+  Status LoadLatestCheckpoint();
+  Status GarbageCollect();
+
+  DurabilityOptions options_;
+  uint32_t num_shards_;
+  uint64_t seq_ = 0;
+  bool has_snapshot_ = false;
+  ServiceSnapshot snapshot_;
+  std::vector<std::unique_ptr<WalWriter>> writers_;
+  WalReplayStats replay_stats_;
+
+  // Observability handles (null without a registry; never owned).
+  obs::Counter* appends_counter_ = nullptr;
+  obs::Counter* append_bytes_counter_ = nullptr;
+  obs::HistogramMetric* append_hist_ = nullptr;
+  obs::Counter* checkpoints_counter_ = nullptr;
+  obs::HistogramMetric* checkpoint_hist_ = nullptr;
+  obs::Counter* checkpoint_bytes_counter_ = nullptr;
+  obs::Counter* replayed_counter_ = nullptr;
+  obs::Counter* torn_bytes_counter_ = nullptr;
+  obs::Counter* dropped_bytes_counter_ = nullptr;
+};
+
+}  // namespace recovery
+}  // namespace microprov
+
+#endif  // MICROPROV_RECOVERY_CHECKPOINT_H_

@@ -1,0 +1,155 @@
+#include "recovery/snapshot.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "storage/bundle_codec.h"
+
+namespace microprov {
+namespace recovery {
+
+namespace {
+// "MPSN" little-endian: microprov snapshot.
+constexpr uint32_t kSnapshotMagic = 0x4e53504d;
+constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint32_t kEngineStateVersion = 1;
+}  // namespace
+
+void EncodeEngineState(const EngineState& state, std::string* dst) {
+  PutVarint32(dst, kEngineStateVersion);
+  PutVarint64(dst, state.messages_ingested);
+  PutVarint64(dst, state.next_bundle_id);
+  PutVarint64(dst, state.pool_stats.bundles_created);
+  PutVarint64(dst, state.pool_stats.bundles_deleted_tiny);
+  PutVarint64(dst, state.pool_stats.bundles_dumped_closed);
+  PutVarint64(dst, state.pool_stats.bundles_evicted_ranked);
+  PutVarint64(dst, state.pool_stats.refinement_runs);
+  PutVarint64(dst, state.pool_stats.bundles_closed);
+  for (int t = 0; t < kNumIndicantTypes; ++t) {
+    PutVarint32(dst, static_cast<uint32_t>(state.terms[t].size()));
+    for (const std::string& term : state.terms[t]) {
+      PutLengthPrefixed(dst, term);
+    }
+  }
+  PutVarint32(dst, static_cast<uint32_t>(state.bundles.size()));
+  std::string encoded;
+  for (const std::unique_ptr<Bundle>& bundle : state.bundles) {
+    encoded.clear();
+    EncodeBundle(*bundle, &encoded);
+    PutLengthPrefixed(dst, encoded);
+  }
+}
+
+Status DecodeEngineState(std::string_view* input, EngineState* state) {
+  uint32_t version = 0;
+  if (!GetVarint32(input, &version)) {
+    return Status::Corruption("engine state: truncated version");
+  }
+  if (version != kEngineStateVersion) {
+    return Status::Corruption("engine state: unknown version");
+  }
+  uint64_t next_id = 0;
+  if (!GetVarint64(input, &state->messages_ingested) ||
+      !GetVarint64(input, &next_id) ||
+      !GetVarint64(input, &state->pool_stats.bundles_created) ||
+      !GetVarint64(input, &state->pool_stats.bundles_deleted_tiny) ||
+      !GetVarint64(input, &state->pool_stats.bundles_dumped_closed) ||
+      !GetVarint64(input, &state->pool_stats.bundles_evicted_ranked) ||
+      !GetVarint64(input, &state->pool_stats.refinement_runs) ||
+      !GetVarint64(input, &state->pool_stats.bundles_closed)) {
+    return Status::Corruption("engine state: truncated header");
+  }
+  state->next_bundle_id = next_id;
+  for (int t = 0; t < kNumIndicantTypes; ++t) {
+    uint32_t count = 0;
+    if (!GetVarint32(input, &count)) {
+      return Status::Corruption("engine state: truncated term count");
+    }
+    state->terms[t].clear();
+    state->terms[t].reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string_view term;
+      if (!GetLengthPrefixed(input, &term)) {
+        return Status::Corruption("engine state: truncated term");
+      }
+      state->terms[t].emplace_back(term);
+    }
+  }
+  uint32_t num_bundles = 0;
+  if (!GetVarint32(input, &num_bundles)) {
+    return Status::Corruption("engine state: truncated bundle count");
+  }
+  state->bundles.clear();
+  state->bundles.reserve(num_bundles);
+  for (uint32_t i = 0; i < num_bundles; ++i) {
+    std::string_view encoded;
+    if (!GetLengthPrefixed(input, &encoded)) {
+      return Status::Corruption("engine state: truncated bundle");
+    }
+    auto bundle_or = DecodeBundle(encoded);
+    if (!bundle_or.ok()) return bundle_or.status();
+    state->bundles.push_back(std::move(*bundle_or));
+  }
+  return Status::OK();
+}
+
+void EncodeServiceSnapshot(const ServiceSnapshot& snapshot,
+                           std::string* dst) {
+  const size_t start = dst->size();
+  PutFixed32(dst, kSnapshotMagic);
+  PutVarint32(dst, kSnapshotVersion);
+  PutVarint32(dst, snapshot.num_shards);
+  PutVarsint64(dst, snapshot.watermark);
+  PutVarint64(dst, snapshot.accepted);
+  for (const ShardSnapshot& shard : snapshot.shards) {
+    PutVarsint64(dst, shard.clock);
+    EncodeEngineState(shard.state, dst);
+  }
+  const uint32_t crc = crc32c::Value(
+      std::string_view(dst->data() + start, dst->size() - start));
+  PutFixed32(dst, crc32c::Mask(crc));
+}
+
+StatusOr<ServiceSnapshot> DecodeServiceSnapshot(std::string_view encoded) {
+  if (encoded.size() < sizeof(uint32_t) * 2) {
+    return Status::Corruption("snapshot: too short");
+  }
+  std::string_view body = encoded.substr(0, encoded.size() - 4);
+  std::string_view trailer = encoded.substr(encoded.size() - 4);
+  uint32_t masked_crc = 0;
+  if (!GetFixed32(&trailer, &masked_crc)) {
+    return Status::Corruption("snapshot: bad trailer");
+  }
+  if (crc32c::Unmask(masked_crc) != crc32c::Value(body)) {
+    return Status::Corruption("snapshot: crc mismatch");
+  }
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  ServiceSnapshot snapshot;
+  if (!GetFixed32(&body, &magic) || magic != kSnapshotMagic) {
+    return Status::Corruption("snapshot: bad magic");
+  }
+  if (!GetVarint32(&body, &version) || version != kSnapshotVersion) {
+    return Status::Corruption("snapshot: unknown version");
+  }
+  if (!GetVarint32(&body, &snapshot.num_shards) ||
+      !GetVarsint64(&body, &snapshot.watermark) ||
+      !GetVarint64(&body, &snapshot.accepted)) {
+    return Status::Corruption("snapshot: truncated header");
+  }
+  snapshot.shards.reserve(snapshot.num_shards);
+  for (uint32_t i = 0; i < snapshot.num_shards; ++i) {
+    ShardSnapshot shard;
+    if (!GetVarsint64(&body, &shard.clock)) {
+      return Status::Corruption("snapshot: truncated shard clock");
+    }
+    MICROPROV_RETURN_IF_ERROR(DecodeEngineState(&body, &shard.state));
+    snapshot.shards.push_back(std::move(shard));
+  }
+  if (!body.empty()) {
+    return Status::Corruption("snapshot: trailing bytes");
+  }
+  return snapshot;
+}
+
+}  // namespace recovery
+}  // namespace microprov

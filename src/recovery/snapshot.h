@@ -1,0 +1,63 @@
+#ifndef MICROPROV_RECOVERY_SNAPSHOT_H_
+#define MICROPROV_RECOVERY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "core/engine_state.h"
+
+namespace microprov {
+namespace recovery {
+
+/// One shard's checkpointed state: the engine's durable state plus the
+/// shard clock watermark, so replayed messages age bundles exactly as
+/// the original ingest did.
+struct ShardSnapshot {
+  Timestamp clock = 0;
+  EngineState state;
+
+  ShardSnapshot() = default;
+  ShardSnapshot(ShardSnapshot&&) = default;
+  ShardSnapshot& operator=(ShardSnapshot&&) = default;
+};
+
+/// Full-service checkpoint image: every shard plus service-level
+/// watermarks. `accepted` counts messages accepted by Service::Ingest
+/// up to the checkpoint barrier (== sum of shard ingested counts, kept
+/// explicitly so recovery can report progress without touching shards).
+struct ServiceSnapshot {
+  uint32_t num_shards = 0;
+  Timestamp watermark = 0;
+  uint64_t accepted = 0;
+  std::vector<ShardSnapshot> shards;
+
+  ServiceSnapshot() = default;
+  ServiceSnapshot(ServiceSnapshot&&) = default;
+  ServiceSnapshot& operator=(ServiceSnapshot&&) = default;
+};
+
+/// Appends the binary encoding of `state` to *dst. Bundles are framed
+/// with the existing EncodeBundle record format, so the snapshot
+/// inherits the pinned bundle wire format unchanged.
+void EncodeEngineState(const EngineState& state, std::string* dst);
+
+/// Decodes one EngineState from the front of *input.
+Status DecodeEngineState(std::string_view* input, EngineState* state);
+
+/// Serializes a full checkpoint image: magic + version header, the
+/// shard states, and a masked crc32c trailer covering everything before
+/// it. A snapshot that fails the CRC (torn or bit-rotted) is rejected
+/// as a whole — checkpoints are atomic via write-temp-then-rename, so a
+/// valid older snapshot is always the fallback.
+void EncodeServiceSnapshot(const ServiceSnapshot& snapshot,
+                           std::string* dst);
+StatusOr<ServiceSnapshot> DecodeServiceSnapshot(std::string_view encoded);
+
+}  // namespace recovery
+}  // namespace microprov
+
+#endif  // MICROPROV_RECOVERY_SNAPSHOT_H_

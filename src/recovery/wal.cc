@@ -1,0 +1,178 @@
+#include "recovery/wal.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/coding.h"
+#include "common/env.h"
+#include "common/string_util.h"
+#include "storage/log_reader.h"
+#include "stream/message_codec.h"
+
+namespace microprov {
+namespace recovery {
+
+namespace {
+constexpr uint32_t kWalRecordVersion = 1;
+
+std::string SegmentPath(const std::string& dir, uint64_t epoch,
+                        uint32_t part) {
+  return dir + "/" +
+         StringPrintf("wal-%010" PRIu64 "-%06u.log", epoch, part);
+}
+}  // namespace
+
+bool ParseWalSegmentName(const std::string& name, uint64_t* epoch,
+                         uint32_t* part) {
+  // wal-<10 digits>-<6 digits>.log
+  unsigned long long e = 0;
+  unsigned int p = 0;
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "wal-%10llu-%6u.log%n", &e, &p,
+                  &consumed) != 2 ||
+      static_cast<size_t>(consumed) != name.size()) {
+    return false;
+  }
+  *epoch = e;
+  *part = p;
+  return true;
+}
+
+StatusOr<std::vector<WalSegment>> ListWalSegments(const std::string& dir) {
+  std::vector<WalSegment> segments;
+  if (!Env::Default()->FileExists(dir)) return segments;
+  auto names_or = Env::Default()->ListDir(dir);
+  if (!names_or.ok()) return names_or.status();
+  for (const std::string& name : *names_or) {
+    WalSegment segment;
+    if (!ParseWalSegmentName(name, &segment.epoch, &segment.part)) {
+      continue;
+    }
+    segment.path = dir + "/" + name;
+    segments.push_back(std::move(segment));
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const WalSegment& a, const WalSegment& b) {
+              return a.epoch != b.epoch ? a.epoch < b.epoch
+                                        : a.part < b.part;
+            });
+  return segments;
+}
+
+StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(
+    const WalOptions& options, uint64_t epoch) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("wal dir must be set");
+  }
+  MICROPROV_RETURN_IF_ERROR(
+      Env::Default()->CreateDirIfMissing(options.dir));
+  auto writer =
+      std::unique_ptr<WalWriter>(new WalWriter(options, epoch));
+  // Never reuse a file a previous process may have torn: place the new
+  // part after everything already on disk for this epoch.
+  auto segments_or = ListWalSegments(options.dir);
+  if (!segments_or.ok()) return segments_or.status();
+  for (const WalSegment& segment : *segments_or) {
+    if (segment.epoch == epoch && segment.part >= writer->next_part_) {
+      writer->next_part_ = segment.part + 1;
+    }
+  }
+  MICROPROV_RETURN_IF_ERROR(writer->OpenSegment());
+  return writer;
+}
+
+Status WalWriter::OpenSegment() {
+  const std::string path =
+      SegmentPath(options_.dir, epoch_, next_part_);
+  auto file_or = Env::Default()->NewWritableFile(path);
+  if (!file_or.ok()) return file_or.status();
+  writer_ = std::make_unique<log::Writer>(std::move(*file_or));
+  current_segment_bytes_ = 0;
+  ++next_part_;
+  // Make the directory entry durable before the first record lands in
+  // it (satellite of the rotation-durability fix in BundleStore).
+  return Env::Default()->SyncDir(options_.dir);
+}
+
+Status WalWriter::Append(const Message& msg) {
+  if (current_segment_bytes_ >= options_.rotate_bytes) {
+    MICROPROV_RETURN_IF_ERROR(writer_->Close());
+    MICROPROV_RETURN_IF_ERROR(OpenSegment());
+  }
+  scratch_.clear();
+  PutVarint32(&scratch_, kWalRecordVersion);
+  EncodeMessageBinary(msg, &scratch_);
+  MICROPROV_RETURN_IF_ERROR(writer_->AddRecord(scratch_));
+  if (options_.sync_every_append) {
+    MICROPROV_RETURN_IF_ERROR(writer_->Sync());
+  } else if (options_.flush_every_append) {
+    MICROPROV_RETURN_IF_ERROR(writer_->Flush());
+  }
+  current_segment_bytes_ = writer_->CurrentOffset();
+  appended_bytes_ += scratch_.size();
+  return Status::OK();
+}
+
+Status WalWriter::RotateToEpoch(uint64_t epoch) {
+  MICROPROV_RETURN_IF_ERROR(writer_->Close());
+  epoch_ = epoch;
+  next_part_ = 0;
+  return OpenSegment();
+}
+
+Status WalWriter::Sync() { return writer_->Sync(); }
+
+Status WalWriter::Close() { return writer_->Close(); }
+
+Status ReplayWal(const std::string& dir, uint64_t after_epoch,
+                 const std::function<Status(Message&&)>& fn,
+                 WalReplayStats* stats) {
+  auto segments_or = ListWalSegments(dir);
+  if (!segments_or.ok()) return segments_or.status();
+  for (const WalSegment& segment : *segments_or) {
+    if (segment.epoch <= after_epoch) continue;
+    auto file_or = Env::Default()->NewSequentialFile(segment.path);
+    if (!file_or.ok()) return file_or.status();
+    log::Reader reader(std::move(*file_or));
+    std::string record;
+    while (reader.ReadRecord(&record).ok()) {
+      std::string_view input(record);
+      uint32_t version = 0;
+      if (!GetVarint32(&input, &version) ||
+          version != kWalRecordVersion) {
+        return Status::Corruption("wal record: bad version in " +
+                                  segment.path);
+      }
+      Message msg;
+      MICROPROV_RETURN_IF_ERROR(DecodeMessageBinary(&input, &msg));
+      if (stats != nullptr) ++stats->messages;
+      MICROPROV_RETURN_IF_ERROR(fn(std::move(msg)));
+    }
+    if (stats != nullptr) {
+      stats->torn_tail_bytes += reader.torn_tail_bytes();
+      stats->dropped_bytes +=
+          reader.dropped_bytes() - reader.torn_tail_bytes();
+    }
+  }
+  return Status::OK();
+}
+
+Status RemoveWalSegmentsThrough(const std::string& dir,
+                                uint64_t through_epoch) {
+  auto segments_or = ListWalSegments(dir);
+  if (!segments_or.ok()) return segments_or.status();
+  bool removed = false;
+  for (const WalSegment& segment : *segments_or) {
+    if (segment.epoch > through_epoch) continue;
+    MICROPROV_RETURN_IF_ERROR(Env::Default()->RemoveFile(segment.path));
+    removed = true;
+  }
+  if (removed) {
+    MICROPROV_RETURN_IF_ERROR(Env::Default()->SyncDir(dir));
+  }
+  return Status::OK();
+}
+
+}  // namespace recovery
+}  // namespace microprov

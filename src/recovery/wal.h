@@ -1,0 +1,120 @@
+#ifndef MICROPROV_RECOVERY_WAL_H_
+#define MICROPROV_RECOVERY_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "storage/log_writer.h"
+#include "stream/message.h"
+
+namespace microprov {
+namespace recovery {
+
+/// Knobs for one shard's write-ahead log.
+struct WalOptions {
+  /// Directory holding this shard's segments (created if missing).
+  std::string dir;
+  /// Start a new segment part once the current one exceeds this.
+  uint64_t rotate_bytes = 8ull << 20;
+  /// Push each append into the page cache (fwrite + fflush). Survives
+  /// SIGKILL — the kernel still owns the bytes — but not power loss.
+  bool flush_every_append = true;
+  /// Full fsync per append: power-loss durable, ~100x slower. Off by
+  /// default; checkpoints fsync regardless, bounding loss to the WAL
+  /// tail since the last checkpoint.
+  bool sync_every_append = false;
+};
+
+/// One WAL segment file. Segments are named
+/// `wal-<epoch:010>-<part:06>.log`: `epoch` is the checkpoint sequence
+/// the records follow (records in epoch E come after checkpoint E-1 and
+/// are folded into checkpoint E), `part` counts size rotations within
+/// the epoch. Replay order is (epoch, part) ascending.
+struct WalSegment {
+  uint64_t epoch = 0;
+  uint32_t part = 0;
+  std::string path;
+};
+
+/// Appends accepted messages for one shard, framed with the same
+/// block/CRC format as the bundle store logs (storage/log_format.h).
+/// Single-writer; the Service serializes appends under its mutex.
+/// A writer never appends to a pre-existing file: Open and every
+/// rotation start a fresh part, so a torn tail from a previous process
+/// is always the last frame of a dead file.
+class WalWriter {
+ public:
+  /// Opens a writer for `epoch`, starting a new part after any existing
+  /// segments of that epoch. Creates the directory (fsyncing it, so the
+  /// new entries survive power loss).
+  static StatusOr<std::unique_ptr<WalWriter>> Open(
+      const WalOptions& options, uint64_t epoch);
+
+  /// Appends one message record; rotates parts by size.
+  Status Append(const Message& msg);
+
+  /// Switches future appends to `epoch` (post-checkpoint truncation
+  /// boundary): closes the current segment and opens part 0 of the new
+  /// epoch.
+  Status RotateToEpoch(uint64_t epoch);
+
+  Status Sync();
+  Status Close();
+
+  uint64_t epoch() const { return epoch_; }
+  /// Bytes of payload appended through this writer (all epochs).
+  uint64_t appended_bytes() const { return appended_bytes_; }
+
+ private:
+  WalWriter(const WalOptions& options, uint64_t epoch)
+      : options_(options), epoch_(epoch) {}
+  Status OpenSegment();
+
+  WalOptions options_;
+  uint64_t epoch_;
+  uint32_t next_part_ = 0;
+  std::unique_ptr<log::Writer> writer_;
+  uint64_t current_segment_bytes_ = 0;
+  uint64_t appended_bytes_ = 0;
+  std::string scratch_;
+};
+
+/// Parses `name` as a WAL segment filename; false if it is not one.
+bool ParseWalSegmentName(const std::string& name, uint64_t* epoch,
+                         uint32_t* part);
+
+/// All segments under `dir`, sorted by (epoch, part). Missing directory
+/// reads as empty.
+StatusOr<std::vector<WalSegment>> ListWalSegments(const std::string& dir);
+
+/// Tallies from one replay pass.
+struct WalReplayStats {
+  uint64_t messages = 0;
+  /// Bytes lost to a torn final frame (expected after a crash).
+  uint64_t torn_tail_bytes = 0;
+  /// Bytes lost to interior corruption (never expected).
+  uint64_t dropped_bytes = 0;
+};
+
+/// Replays every record in segments with epoch > `after_epoch`, in
+/// (epoch, part) order, invoking `fn` per decoded message. A torn final
+/// frame reads as clean EOF; interior corruption is skipped and
+/// reported via stats.
+Status ReplayWal(const std::string& dir, uint64_t after_epoch,
+                 const std::function<Status(Message&&)>& fn,
+                 WalReplayStats* stats);
+
+/// Deletes segments with epoch <= `through_epoch` (post-checkpoint
+/// truncation).
+Status RemoveWalSegmentsThrough(const std::string& dir,
+                                uint64_t through_epoch);
+
+}  // namespace recovery
+}  // namespace microprov
+
+#endif  // MICROPROV_RECOVERY_WAL_H_

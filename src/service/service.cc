@@ -56,8 +56,30 @@ StatusOr<std::unique_ptr<Service>> Service::Open(
   sharded_options.engine = options.engine.ShardSlice(options.num_shards);
   sharded_options.engine.metrics = service->registry_.get();
   sharded_options.engine.trace = service->trace_.get();
+  // Workers start only after recovery has finished mutating shard state.
+  sharded_options.defer_workers = true;
   service->sharded_ = std::make_unique<ShardedEngine>(sharded_options,
                                                       std::move(archives));
+
+  if (options.durability.enabled()) {
+    auto manager_or = recovery::DurabilityManager::Open(
+        options.durability, static_cast<uint32_t>(options.num_shards),
+        service->registry_.get());
+    if (!manager_or.ok()) return manager_or.status();
+    service->durability_ = std::move(*manager_or);
+    MICROPROV_RETURN_IF_ERROR(service->Recover());
+    MICROPROV_RETURN_IF_ERROR(service->durability_->StartWal());
+    obs::MetricsRegistry* reg = service->registry_.get();
+    service->wal_appends_counter_ =
+        reg->GetCounter("microprov_wal_appends_total", "");
+    service->wal_bytes_counter_ =
+        reg->GetCounter("microprov_wal_bytes_total", "");
+    service->checkpoints_counter_ =
+        reg->GetCounter("microprov_checkpoints_total", "");
+    service->replayed_counter_ =
+        reg->GetCounter("microprov_recovery_replayed_messages_total", "");
+  }
+  service->sharded_->Start();
 
   // Cache the per-shard gauges Stats() aggregates. Everything below was
   // registered while the pipeline was constructed, so the Get* calls
@@ -87,14 +109,69 @@ StatusOr<std::unique_ptr<Service>> Service::Open(
 
 Service::~Service() = default;
 
+Status Service::Recover() {
+  // Single-threaded: workers have not started, so the shard engines and
+  // clocks are exclusively ours.
+  if (durability_->has_snapshot()) {
+    recovery::ServiceSnapshot snapshot = durability_->TakeSnapshot();
+    for (size_t i = 0; i < sharded_->num_shards(); ++i) {
+      recovery::ShardSnapshot& shard = snapshot.shards[i];
+      MICROPROV_RETURN_IF_ERROR(
+          sharded_->mutable_shard(i)->ImportState(shard.state));
+      sharded_->mutable_clock(i)->Set(shard.clock);
+      sharded_->SeedIngested(i, shard.state.messages_ingested);
+    }
+    clock_.Advance(snapshot.watermark);
+    accepted_ = snapshot.accepted;
+  }
+  // Replay the WAL tail in the exact order the shard workers would have
+  // ingested it: per shard, oldest epoch first. Ingest is deterministic
+  // per shard, so the recovered engines match the pre-crash ones over
+  // the durable prefix.
+  for (size_t i = 0; i < sharded_->num_shards(); ++i) {
+    ProvenanceEngine* engine = sharded_->mutable_shard(i);
+    SimulatedClock* clock = sharded_->mutable_clock(i);
+    uint64_t replayed = 0;
+    MICROPROV_RETURN_IF_ERROR(durability_->ReplayShard(
+        static_cast<uint32_t>(i), [&](Message&& msg) -> Status {
+          clock->Advance(msg.date);
+          clock_.Advance(msg.date);
+          auto result = engine->Ingest(msg);
+          if (!result.ok()) return result.status();
+          ++replayed;
+          return Status::OK();
+        }));
+    sharded_->SeedIngested(i, replayed);
+    accepted_ += replayed;
+  }
+  return Status::OK();
+}
+
 StatusOr<IngestResult> Service::Ingest(const Message& msg) {
   std::lock_guard<std::mutex> lock(mu_);
   if (drained_) {
     return Status::FailedPrecondition("Service already drained");
   }
+  // Log before enqueueing: a message is accepted only once it is in the
+  // WAL, so the durable set is always a prefix of the accepted stream.
+  // The append target must match the worker that will ingest it, and
+  // RouteShard is deterministic in the message alone.
+  if (durability_ != nullptr && durability_->wal_started()) {
+    const uint32_t target =
+        RouteShard(msg, sharded_->num_shards());
+    MICROPROV_RETURN_IF_ERROR(durability_->Append(target, msg));
+  }
   uint32_t shard = 0;
   MICROPROV_RETURN_IF_ERROR(sharded_->Submit(msg, &shard));
   clock_.Advance(msg.date);
+  ++accepted_;
+  ++accepted_since_checkpoint_;
+  if (durability_ != nullptr &&
+      options_.durability.checkpoint_every_messages > 0 &&
+      accepted_since_checkpoint_ >=
+          options_.durability.checkpoint_every_messages) {
+    MICROPROV_RETURN_IF_ERROR(CheckpointLocked());
+  }
   IngestResult result;
   result.shard = shard;
   return result;
@@ -130,6 +207,40 @@ Status Service::Flush() {
   return sharded_->Flush();
 }
 
+Status Service::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckpointLocked();
+}
+
+Status Service::CheckpointLocked() {
+  if (durability_ == nullptr) {
+    return Status::FailedPrecondition("durability not configured");
+  }
+  // Quiesce so the shard engines are stable and readable, then make the
+  // bundle stores durable: the snapshot references archived bundles by
+  // assuming they survive the crash too.
+  if (!drained_) {
+    MICROPROV_RETURN_IF_ERROR(sharded_->Flush());
+  }
+  for (auto& store : stores_) {
+    MICROPROV_RETURN_IF_ERROR(store->Flush());
+  }
+  recovery::ServiceSnapshot snapshot;
+  snapshot.num_shards = static_cast<uint32_t>(sharded_->num_shards());
+  snapshot.watermark = clock_.value();
+  snapshot.accepted = accepted_;
+  snapshot.shards.reserve(sharded_->num_shards());
+  for (size_t i = 0; i < sharded_->num_shards(); ++i) {
+    recovery::ShardSnapshot shard;
+    shard.clock = sharded_->shard_clock(i);
+    shard.state = sharded_->shard(i).ExportState();
+    snapshot.shards.push_back(std::move(shard));
+  }
+  MICROPROV_RETURN_IF_ERROR(durability_->InstallCheckpoint(snapshot));
+  accepted_since_checkpoint_ = 0;
+  return Status::OK();
+}
+
 Status Service::Drain() {
   std::lock_guard<std::mutex> lock(mu_);
   if (drained_) return Status::OK();
@@ -138,6 +249,13 @@ Status Service::Drain() {
     MICROPROV_RETURN_IF_ERROR(store->Flush());
   }
   drained_ = true;
+  // Seal durable state: the final checkpoint captures the drained
+  // engines (archived bundles included), and superseded WAL epochs are
+  // truncated, so the next Open recovers without replaying anything.
+  if (durability_ != nullptr) {
+    MICROPROV_RETURN_IF_ERROR(CheckpointLocked());
+    MICROPROV_RETURN_IF_ERROR(durability_->Close());
+  }
   // The stream is over; one final tick ships the end state, then the
   // reporter goes quiet.
   if (reporter_ != nullptr) {
@@ -166,6 +284,18 @@ ServiceStats Service::Stats() const {
     stats.shards.push_back(sharded_->shard_stats(i));
     stats.queue_depth += stats.shards.back().queue_depth;
     stats.backpressure_stalls += stats.shards.back().blocked_pushes;
+  }
+  if (wal_appends_counter_ != nullptr) {
+    stats.wal_appended_messages = wal_appends_counter_->value();
+  }
+  if (wal_bytes_counter_ != nullptr) {
+    stats.wal_appended_bytes = wal_bytes_counter_->value();
+  }
+  if (checkpoints_counter_ != nullptr) {
+    stats.checkpoints_installed = checkpoints_counter_->value();
+  }
+  if (replayed_counter_ != nullptr) {
+    stats.replayed_messages = replayed_counter_->value();
   }
   return stats;
 }

@@ -13,6 +13,7 @@
 #include "obs/stats_reporter.h"
 #include "obs/trace.h"
 #include "query/query_processor.h"
+#include "recovery/checkpoint.h"
 #include "service/sharded_engine.h"
 #include "storage/bundle_store.h"
 
@@ -47,6 +48,17 @@ struct ServiceOptions {
   /// current Prometheus text exposition. Requires a callback.
   uint64_t stats_interval_ms = 0;
   std::function<void(const std::string& prometheus_text)> stats_callback;
+
+  /// Crash recovery: set `durability.dir` to make the service
+  /// recoverable. Open() then loads the newest valid checkpoint from
+  /// that directory, replays the per-shard WAL tail through the
+  /// (deterministic) shard engines, and resumes logging; Ingest appends
+  /// each accepted message to its shard's WAL before enqueueing it, and
+  /// a checkpoint runs every `durability.checkpoint_every_messages`
+  /// accepted messages (plus on Drain). Keep this directory distinct
+  /// from `archive_dir`; both participate in recovery (the checkpoint
+  /// references bundles the stores already hold).
+  recovery::DurabilityOptions durability;
 };
 
 /// Aggregate service statistics. Safe to read at any time, including
@@ -63,6 +75,12 @@ struct ServiceStats {
   size_t queue_depth = 0;
   /// Ingest calls that blocked on a full shard queue (backpressure).
   uint64_t backpressure_stalls = 0;
+  // Durability progress (all 0 when durability is disabled).
+  uint64_t wal_appended_messages = 0;
+  uint64_t wal_appended_bytes = 0;
+  uint64_t checkpoints_installed = 0;
+  /// Messages recovered from the WAL tail when this service opened.
+  uint64_t replayed_messages = 0;
   std::vector<ShardStatsSnapshot> shards;
 };
 
@@ -108,6 +126,12 @@ class Service {
   /// Barrier: returns once every accepted message is ingested.
   Status Flush();
 
+  /// Durably checkpoints the full service state: quiesces ingest (flush
+  /// barrier), syncs the bundle stores, serializes every shard's engine
+  /// state, installs the snapshot atomically, and truncates the WAL
+  /// epochs it supersedes. Requires durability to be configured.
+  Status Checkpoint();
+
   /// End-of-stream: flushes, stops shard workers, and (with an archive
   /// configured) moves every live bundle to disk. Search keeps working
   /// afterwards; Ingest does not. Idempotent.
@@ -138,6 +162,13 @@ class Service {
   /// The ingest trace ring, or nullptr when `trace_capacity` was 0.
   const obs::TraceSink* trace() const { return trace_.get(); }
 
+  /// The durability layer, or nullptr when `durability.dir` was empty.
+  /// Safe to inspect after Open returns and between service calls
+  /// (recovery/replay statistics, checkpoint sequence).
+  const recovery::DurabilityManager* durability() const {
+    return durability_.get();
+  }
+
   /// JSONL dump of the buffered ingest trace (empty string when tracing
   /// is disabled). Thread-safe at any time.
   std::string TraceJsonl() const {
@@ -146,6 +177,12 @@ class Service {
 
  private:
   explicit Service(const ServiceOptions& options);
+
+  /// Checkpoint import + WAL replay into the (not yet started) shard
+  /// engines; called from Open with exclusive ownership.
+  Status Recover();
+  /// Checkpoint body; caller holds mu_.
+  Status CheckpointLocked();
 
   ServiceOptions options_;
   /// Serializes Ingest/Search/Flush/Drain.
@@ -156,11 +193,22 @@ class Service {
   std::unique_ptr<obs::MetricsRegistry> registry_;
   std::unique_ptr<obs::TraceSink> trace_;
   std::vector<std::unique_ptr<BundleStore>> stores_;
+  std::unique_ptr<recovery::DurabilityManager> durability_;
   std::unique_ptr<ShardedEngine> sharded_;
+  /// Messages accepted by Ingest over the service's whole lifetime,
+  /// including recovered ones (guarded by mu_; checkpointed).
+  uint64_t accepted_ = 0;
+  uint64_t accepted_since_checkpoint_ = 0;
   /// Gauge handles for TSan-safe Stats() aggregation (per shard).
   std::vector<obs::Gauge*> pool_gauges_;
   std::vector<obs::Gauge*> memory_gauges_;
   std::vector<obs::Gauge*> store_gauges_;
+  /// Durability counters cached for the same reason (null when
+  /// durability is disabled).
+  obs::Counter* wal_appends_counter_ = nullptr;
+  obs::Counter* wal_bytes_counter_ = nullptr;
+  obs::Counter* checkpoints_counter_ = nullptr;
+  obs::Counter* replayed_counter_ = nullptr;
   bool drained_ = false;
   /// Declared last: stopped/destroyed first, so a late tick never sees
   /// a half-torn-down service.

@@ -56,8 +56,24 @@ ShardedEngine::ShardedEngine(const ShardedEngineOptions& options,
         registry->GetHistogram("microprov_shard_batch_size", "",
                                "Messages per worker dequeue batch");
   }
+  if (!options_.defer_workers) Start();
+}
+
+void ShardedEngine::Start() {
+  if (started_) return;
+  started_ = true;
   for (auto& shard : shards_) {
     shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(s); });
+  }
+}
+
+void ShardedEngine::SeedIngested(size_t i, uint64_t n) {
+  if (n == 0) return;
+  Shard& shard = *shards_[i];
+  shard.enqueued.Add(n);
+  shard.ingested.Add(n);
+  if (shard.ingested_counter != nullptr) {
+    shard.ingested_counter->Increment(n);
   }
 }
 
@@ -73,6 +89,9 @@ ShardedEngine::~ShardedEngine() {
 Status ShardedEngine::Submit(const Message& msg, uint32_t* shard_out) {
   if (drained_) {
     return Status::FailedPrecondition("ShardedEngine already drained");
+  }
+  if (!started_) {
+    return Status::FailedPrecondition("ShardedEngine not started");
   }
   const uint32_t idx = RouteShard(msg, shards_.size());
   Shard& shard = *shards_[idx];

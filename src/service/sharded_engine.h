@@ -33,6 +33,10 @@ struct ShardedEngineOptions {
   /// labels); `engine.trace` is shared by every shard (TraceSink is
   /// thread-safe and events carry their shard id).
   EngineOptions engine;
+  /// Construct without starting the worker threads; the owner calls
+  /// Start() once it is done mutating shard state single-threaded
+  /// (checkpoint import + WAL replay at recovery).
+  bool defer_workers = false;
 };
 
 /// Point-in-time view of one shard's counters (readable while workers
@@ -77,6 +81,10 @@ class ShardedEngine {
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
 
+  /// Starts the worker threads after a defer_workers construction.
+  /// Idempotent; must not race Submit.
+  void Start();
+
   /// Routes `msg` and enqueues it on its shard, blocking while that
   /// shard's queue is full. Sets `*shard_out` (if non-null) to the shard
   /// chosen. Fails after Drain() or once any shard worker reported an
@@ -98,6 +106,25 @@ class ShardedEngine {
   const ProvenanceEngine& shard(size_t i) const {
     return shards_[i]->engine;
   }
+
+  /// The shard's stream-time watermark (same safety rules as shard()).
+  Timestamp shard_clock(size_t i) const {
+    return shards_[i]->clock.Now();
+  }
+
+  // Recovery hooks, valid ONLY between a defer_workers construction and
+  // Start(): the single recovering thread owns every shard exclusively.
+
+  /// Mutable shard engine for checkpoint import / WAL replay.
+  ProvenanceEngine* mutable_shard(size_t i) {
+    return &shards_[i]->engine;
+  }
+  /// Mutable shard clock, restored to the checkpointed watermark so
+  /// replayed and future messages age bundles identically.
+  SimulatedClock* mutable_clock(size_t i) { return &shards_[i]->clock; }
+  /// Folds recovered messages into the shard's ingested tally so
+  /// Stats() continuity survives a restart.
+  void SeedIngested(size_t i, uint64_t n);
 
   ShardStatsSnapshot shard_stats(size_t i) const;
 
@@ -141,6 +168,7 @@ class ShardedEngine {
 
   ShardedEngineOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  bool started_ = false;
   bool drained_ = false;
 
   // Shared across shards (null without a registry; never owned).

@@ -165,7 +165,9 @@ Status BundleStore::OpenNewLogFile() {
   writer_ = std::make_unique<log::Writer>(std::move(*file_or));
   current_file_size_ = 0;
   file_numbers_.push_back(current_file_number_);
-  return Status::OK();
+  // The new directory entry must itself be durable, or a power loss
+  // after rotation can leave records in a file that recovery never sees.
+  return Env::Default()->SyncDir(options_.dir);
 }
 
 Status BundleStore::Put(const Bundle& bundle) {

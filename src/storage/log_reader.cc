@@ -13,7 +13,9 @@ int Reader::ReadPhysicalRecord(std::string_view* fragment) {
     if (buffer_.size() - buffer_pos_ < kHeaderSize) {
       if (eof_) {
         // Trailing partial header at EOF: a torn write; drop it.
-        dropped_bytes_ += buffer_.size() - buffer_pos_;
+        const uint64_t torn = buffer_.size() - buffer_pos_;
+        dropped_bytes_ += torn;
+        torn_tail_bytes_ += torn;
         buffer_pos_ = buffer_.size();
         return kEof;
       }
@@ -28,6 +30,9 @@ int Reader::ReadPhysicalRecord(std::string_view* fragment) {
         eof_ = true;
         continue;
       }
+      // A short read is the file's last block: remember it so a frame
+      // failing its CRC there can be classified as a torn tail.
+      if (chunk.size() < kBlockSize) eof_ = true;
       end_of_buffer_offset_ += chunk.size();
       buffer_ = std::move(chunk);
       continue;
@@ -51,7 +56,9 @@ int Reader::ReadPhysicalRecord(std::string_view* fragment) {
     }
     if (buffer_.size() - buffer_pos_ < kHeaderSize + length) {
       if (eof_) {
-        dropped_bytes_ += buffer_.size() - buffer_pos_;
+        const uint64_t torn = buffer_.size() - buffer_pos_;
+        dropped_bytes_ += torn;
+        torn_tail_bytes_ += torn;
         buffer_pos_ = buffer_.size();
         return kEof;
       }
@@ -70,6 +77,12 @@ int Reader::ReadPhysicalRecord(std::string_view* fragment) {
     buffer_pos_ += kHeaderSize + length;
     if (crc32c::Unmask(masked_crc) != crc) {
       dropped_bytes_ += kHeaderSize + length;
+      if (eof_ && buffer_pos_ == buffer_.size()) {
+        // CRC mismatch on the very last frame of the file: the frame was
+        // being appended when the process died. Clean EOF, not corruption.
+        torn_tail_bytes_ += kHeaderSize + length;
+        return kEof;
+      }
       return kBadRecord;
     }
     if (type > kMaxRecordType) {
@@ -121,7 +134,10 @@ Status Reader::ReadRecord(std::string* record) {
         break;
       case kEof:
         if (in_fragmented_record) {
+          // An unfinished FIRST/MIDDLE chain at EOF is the tail of an
+          // interrupted multi-block append.
           dropped_bytes_ += record->size();
+          torn_tail_bytes_ += record->size();
           record->clear();
         }
         return Status::NotFound("end of log");

@@ -14,7 +14,11 @@ namespace log {
 /// Sequentially reads records written by log::Writer. Corrupt or torn
 /// fragments are skipped (with the byte count reported via
 /// `dropped_bytes()`), so a crash mid-append loses at most the tail
-/// record.
+/// record. A torn final frame — a partial header, a partial payload, or
+/// a CRC mismatch on the very last frame in the file — is the expected
+/// residue of a crash mid-append and reads as clean EOF; its bytes are
+/// additionally classified under `torn_tail_bytes()` so recovery code
+/// can distinguish an interrupted append from mid-log corruption.
 class Reader {
  public:
   explicit Reader(std::unique_ptr<SequentialFile> file);
@@ -26,6 +30,10 @@ class Reader {
   uint64_t LastRecordEndOffset() const { return end_of_buffer_offset_ - buffer_.size() + buffer_pos_; }
 
   uint64_t dropped_bytes() const { return dropped_bytes_; }
+
+  /// Subset of dropped_bytes() attributable to a torn tail (crash
+  /// mid-append) rather than interior corruption.
+  uint64_t torn_tail_bytes() const { return torn_tail_bytes_; }
 
  private:
   /// Reads the next physical fragment; returns its type or an eof/bad
@@ -42,6 +50,7 @@ class Reader {
   bool eof_ = false;
   uint64_t end_of_buffer_offset_ = 0;
   uint64_t dropped_bytes_ = 0;
+  uint64_t torn_tail_bytes_ = 0;
 };
 
 }  // namespace log

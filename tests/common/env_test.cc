@@ -95,6 +95,15 @@ TEST_F(EnvTest, CreateDirIsIdempotent) {
   EXPECT_TRUE(env_->FileExists(sub));
 }
 
+TEST_F(EnvTest, SyncDirFsyncsDirectoriesOnly) {
+  ASSERT_TRUE(env_->SyncDir(dir_.path()).ok());
+  // Missing path and regular files both fail (O_DIRECTORY).
+  EXPECT_FALSE(env_->SyncDir(dir_.path() + "/absent").ok());
+  const std::string file = dir_.path() + "/regular";
+  ASSERT_TRUE(env_->WriteStringToFile(file, "x").ok());
+  EXPECT_FALSE(env_->SyncDir(file).ok());
+}
+
 TEST_F(EnvTest, RenameMoves) {
   const std::string a = dir_.path() + "/a";
   const std::string b = dir_.path() + "/b";

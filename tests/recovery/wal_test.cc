@@ -1,0 +1,233 @@
+#include "recovery/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using recovery::ListWalSegments;
+using recovery::ParseWalSegmentName;
+using recovery::RemoveWalSegmentsThrough;
+using recovery::ReplayWal;
+using recovery::WalOptions;
+using recovery::WalReplayStats;
+using recovery::WalSegment;
+using recovery::WalWriter;
+using testing_util::kTestEpoch;
+using testing_util::MakeMessage;
+using testing_util::ScopedTempDir;
+
+std::vector<Message> Replay(const std::string& dir, uint64_t after_epoch,
+                            WalReplayStats* stats) {
+  std::vector<Message> out;
+  Status status = ReplayWal(
+      dir, after_epoch,
+      [&](Message&& msg) {
+        out.push_back(std::move(msg));
+        return Status::OK();
+      },
+      stats);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return out;
+}
+
+TEST(WalSegmentNameTest, ParseAcceptsOnlyWellFormedNames) {
+  uint64_t epoch = 0;
+  uint32_t part = 0;
+  EXPECT_TRUE(ParseWalSegmentName("wal-0000000003-000007.log", &epoch, &part));
+  EXPECT_EQ(epoch, 3u);
+  EXPECT_EQ(part, 7u);
+  // Parsing is lenient about zero padding (numbers, not strings, are
+  // authoritative)...
+  EXPECT_TRUE(ParseWalSegmentName("wal-3-7.log", &epoch, &part));
+  EXPECT_EQ(epoch, 3u);
+  EXPECT_EQ(part, 7u);
+  // ...but anything that is not exactly `wal-<epoch>-<part>.log` is not
+  // a segment (tmp files, checkpoints, truncated names).
+  for (const char* bad :
+       {"wal-0000000003-000007.log.tmp", "wal-.log",
+        "checkpoint-0000000003.snap", "wal-0000000003-000007", ""}) {
+    EXPECT_FALSE(ParseWalSegmentName(bad, &epoch, &part)) << bad;
+  }
+}
+
+TEST(WalWriterTest, AppendReplayRoundTrip) {
+  ScopedTempDir dir;
+  WalOptions options;
+  options.dir = dir.path() + "/wal";
+  auto writer_or = WalWriter::Open(options, 1);
+  ASSERT_TRUE(writer_or.ok());
+  WalWriter& writer = **writer_or;
+
+  std::vector<Message> written;
+  for (int i = 0; i < 50; ++i) {
+    written.push_back(MakeMessage(i, kTestEpoch + i,
+                                  "user" + std::to_string(i % 5),
+                                  {"tag" + std::to_string(i % 3)}));
+    ASSERT_TRUE(writer.Append(written.back()).ok());
+  }
+  EXPECT_GT(writer.appended_bytes(), 0u);
+  ASSERT_TRUE(writer.Close().ok());
+
+  WalReplayStats stats;
+  std::vector<Message> replayed = Replay(options.dir, 0, &stats);
+  ASSERT_EQ(replayed.size(), written.size());
+  EXPECT_EQ(stats.messages, written.size());
+  EXPECT_EQ(stats.torn_tail_bytes, 0u);
+  EXPECT_EQ(stats.dropped_bytes, 0u);
+  for (size_t i = 0; i < written.size(); ++i) {
+    EXPECT_EQ(replayed[i].id, written[i].id);
+    EXPECT_EQ(replayed[i].date, written[i].date);
+    EXPECT_EQ(replayed[i].user, written[i].user);
+    EXPECT_EQ(replayed[i].hashtags, written[i].hashtags);
+  }
+}
+
+TEST(WalWriterTest, RotatesPartsBySizeAndReplaysInOrder) {
+  ScopedTempDir dir;
+  WalOptions options;
+  options.dir = dir.path() + "/wal";
+  options.rotate_bytes = 512;  // tiny: force several parts
+  auto writer_or = WalWriter::Open(options, 1);
+  ASSERT_TRUE(writer_or.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        (*writer_or)
+            ->Append(MakeMessage(i, kTestEpoch + i, "u", {"filler"}))
+            .ok());
+  }
+  ASSERT_TRUE((*writer_or)->Close().ok());
+
+  auto segments_or = ListWalSegments(options.dir);
+  ASSERT_TRUE(segments_or.ok());
+  ASSERT_GT(segments_or->size(), 1u) << "rotation never triggered";
+  for (size_t i = 1; i < segments_or->size(); ++i) {
+    EXPECT_LT((*segments_or)[i - 1].part, (*segments_or)[i].part);
+  }
+
+  WalReplayStats stats;
+  std::vector<Message> replayed = Replay(options.dir, 0, &stats);
+  ASSERT_EQ(replayed.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(replayed[i].id, i) << "cross-part order broke";
+  }
+}
+
+TEST(WalWriterTest, ReopenStartsFreshPartInsteadOfAppending) {
+  // A torn tail must always be the last frame of a dead file; appending
+  // to an existing segment would bury it mid-file where it reads as
+  // interior corruption.
+  ScopedTempDir dir;
+  WalOptions options;
+  options.dir = dir.path() + "/wal";
+  {
+    auto writer_or = WalWriter::Open(options, 1);
+    ASSERT_TRUE(writer_or.ok());
+    ASSERT_TRUE((*writer_or)->Append(MakeMessage(1, kTestEpoch, "a")).ok());
+    ASSERT_TRUE((*writer_or)->Close().ok());
+  }
+  {
+    auto writer_or = WalWriter::Open(options, 1);
+    ASSERT_TRUE(writer_or.ok());
+    ASSERT_TRUE(
+        (*writer_or)->Append(MakeMessage(2, kTestEpoch + 1, "b")).ok());
+    ASSERT_TRUE((*writer_or)->Close().ok());
+  }
+  auto segments_or = ListWalSegments(options.dir);
+  ASSERT_TRUE(segments_or.ok());
+  EXPECT_EQ(segments_or->size(), 2u);
+  WalReplayStats stats;
+  std::vector<Message> replayed = Replay(options.dir, 0, &stats);
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0].id, 1);
+  EXPECT_EQ(replayed[1].id, 2);
+}
+
+TEST(WalWriterTest, EpochRotationFiltersAndTruncates) {
+  ScopedTempDir dir;
+  WalOptions options;
+  options.dir = dir.path() + "/wal";
+  auto writer_or = WalWriter::Open(options, 1);
+  ASSERT_TRUE(writer_or.ok());
+  WalWriter& writer = **writer_or;
+  ASSERT_TRUE(writer.Append(MakeMessage(1, kTestEpoch, "a")).ok());
+  ASSERT_TRUE(writer.Append(MakeMessage(2, kTestEpoch + 1, "b")).ok());
+  ASSERT_TRUE(writer.RotateToEpoch(2).ok());
+  EXPECT_EQ(writer.epoch(), 2u);
+  ASSERT_TRUE(writer.Append(MakeMessage(3, kTestEpoch + 2, "c")).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  // Replay after checkpoint 1 sees only epoch-2 records.
+  WalReplayStats stats;
+  std::vector<Message> tail = Replay(options.dir, 1, &stats);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].id, 3);
+  // Replay from scratch still sees everything.
+  std::vector<Message> all = Replay(options.dir, 0, &stats);
+  EXPECT_EQ(all.size(), 3u);
+
+  // Checkpoint 1 installed: epoch <= 1 segments are garbage.
+  ASSERT_TRUE(RemoveWalSegmentsThrough(options.dir, 1).ok());
+  auto segments_or = ListWalSegments(options.dir);
+  ASSERT_TRUE(segments_or.ok());
+  ASSERT_EQ(segments_or->size(), 1u);
+  EXPECT_EQ((*segments_or)[0].epoch, 2u);
+  std::vector<Message> remaining = Replay(options.dir, 0, &stats);
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0].id, 3);
+}
+
+TEST(WalReplayTest, TornTailReadsAsCleanEof) {
+  ScopedTempDir dir;
+  WalOptions options;
+  options.dir = dir.path() + "/wal";
+  auto writer_or = WalWriter::Open(options, 1);
+  ASSERT_TRUE(writer_or.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        (*writer_or)
+            ->Append(MakeMessage(i, kTestEpoch + i, "user", {"tag"}))
+            .ok());
+  }
+  ASSERT_TRUE((*writer_or)->Close().ok());
+
+  auto segments_or = ListWalSegments(options.dir);
+  ASSERT_TRUE(segments_or.ok());
+  ASSERT_EQ(segments_or->size(), 1u);
+  const std::string path = (*segments_or)[0].path;
+  std::string contents;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(path, &contents).ok());
+
+  // Chop the file mid-final-frame at several depths: the tail record is
+  // lost, every earlier record survives, and nothing reads as an error.
+  for (size_t cut : {size_t{1}, size_t{3}, size_t{10}, size_t{25}}) {
+    ASSERT_LT(cut, contents.size());
+    ASSERT_TRUE(Env::Default()
+                    ->WriteStringToFile(
+                        path, contents.substr(0, contents.size() - cut))
+                    .ok());
+    WalReplayStats stats;
+    std::vector<Message> replayed = Replay(options.dir, 0, &stats);
+    EXPECT_EQ(replayed.size(), 19u) << "cut=" << cut;
+    EXPECT_GT(stats.torn_tail_bytes, 0u) << "cut=" << cut;
+    EXPECT_EQ(stats.dropped_bytes, 0u) << "cut=" << cut;
+  }
+}
+
+TEST(WalReplayTest, MissingDirectoryIsEmptyNotError) {
+  ScopedTempDir dir;
+  WalReplayStats stats;
+  std::vector<Message> replayed =
+      Replay(dir.path() + "/never-created", 0, &stats);
+  EXPECT_TRUE(replayed.empty());
+  EXPECT_EQ(stats.messages, 0u);
+}
+
+}  // namespace
+}  // namespace microprov

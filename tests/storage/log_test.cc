@@ -37,11 +37,13 @@ class LogTest : public ::testing::Test {
       records.push_back(record);
     }
     dropped_ = reader->dropped_bytes();
+    torn_ = reader->torn_tail_bytes();
     return records;
   }
 
   ScopedTempDir dir_;
   uint64_t dropped_ = 0;
+  uint64_t torn_ = 0;
 };
 
 TEST_F(LogTest, WriteReadFewRecords) {
@@ -110,6 +112,30 @@ TEST_F(LogTest, TornTailIsDroppedCleanly) {
   auto records = ReadAll();
   EXPECT_EQ(records, (std::vector<std::string>{"committed"}));
   EXPECT_GT(dropped_, 0u);
+  // The loss is classified as a torn tail — the expected crash artifact
+  // — not interior corruption.
+  EXPECT_EQ(torn_, dropped_);
+}
+
+TEST_F(LogTest, TornFinalFrameCrcMismatchReadsAsCleanEof) {
+  // A crash can also leave the final frame complete in length but with
+  // bytes missing from the page cache (CRC fails). That must read as
+  // clean EOF too: only a *non-final* CRC failure is corruption.
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord("committed").ok());
+  ASSERT_TRUE(writer->AddRecord("final-frame-payload").ok());
+  ASSERT_TRUE(writer->Close().ok());
+  std::string contents;
+  ASSERT_TRUE(
+      Env::Default()->ReadFileToString(LogPath(), &contents).ok());
+  size_t pos = contents.find("payload");
+  ASSERT_NE(pos, std::string::npos);
+  contents[pos] ^= 0x01;
+  ASSERT_TRUE(
+      Env::Default()->WriteStringToFile(LogPath(), contents).ok());
+  auto records = ReadAll();
+  EXPECT_EQ(records, (std::vector<std::string>{"committed"}));
+  EXPECT_GT(torn_, 0u);
 }
 
 TEST_F(LogTest, CorruptRecordSkippedOthersSurvive) {
@@ -130,6 +156,8 @@ TEST_F(LogTest, CorruptRecordSkippedOthersSurvive) {
   auto records = ReadAll();
   EXPECT_EQ(records, (std::vector<std::string>{"first", "third"}));
   EXPECT_GT(dropped_, 0u);
+  // Interior corruption is NOT a torn tail.
+  EXPECT_EQ(torn_, 0u);
 }
 
 TEST_F(LogTest, EmptyLogIsEmpty) {
