@@ -1,12 +1,15 @@
-// Durability cost: end-to-end Service ingest throughput with the WAL
-// off, on (fflush-per-append, the default), and on with periodic
-// checkpoints. The WAL rides the ingest hot path — Append happens
-// under the service mutex before the message is handed to its shard —
-// so this is the number to watch when weighing crash recovery against
-// raw throughput (DESIGN.md §11).
+// Durability cost: end-to-end Service ingest throughput and per-call
+// ingest latency with the WAL off, on (group commit: Ingest enqueues an
+// encoded record and a flusher thread batches the writes), and on with
+// periodic incremental checkpoints. Group commit moved the file I/O off
+// the ingest hot path, so the numbers to watch are (a) WAL-on
+// throughput staying within a few percent of WAL-off and (b) the p99
+// ingest latency staying flat when checkpoints run (DESIGN.md §11).
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/string_util.h"
@@ -20,6 +23,8 @@ namespace {
 struct RunResult {
   double secs = 0;
   double msgs_per_sec = 0;
+  double p50_ingest_us = 0;
+  double p99_ingest_us = 0;
   uint64_t wal_bytes = 0;
   uint64_t checkpoints = 0;
 };
@@ -28,7 +33,7 @@ RunResult RunOnce(const std::vector<Message>& messages,
                   const BenchOptions& options, const std::string& dir,
                   uint64_t checkpoint_every) {
   ServiceOptions service_options;
-  service_options.num_shards = 4;
+  service_options.num_shards = 8;
   // Same total-budget slicing as bench_sharded_ingest: Open() hands
   // each shard 1/N of the pool, so the WAL toggle is the only variable.
   service_options.engine = EngineOptions::ForConfig(
@@ -45,9 +50,13 @@ RunResult RunOnce(const std::vector<Message>& messages,
   }
   Service& service = **service_or;
 
+  std::vector<int64_t> latencies;
+  latencies.reserve(messages.size());
   int64_t t0 = MonotonicNanos();
   for (const Message& msg : messages) {
+    const int64_t call0 = MonotonicNanos();
     auto result_or = service.Ingest(msg);
+    latencies.push_back(MonotonicNanos() - call0);
     if (!result_or.ok()) {
       std::fprintf(stderr, "ingest failed: %s\n",
                    result_or.status().ToString().c_str());
@@ -61,11 +70,14 @@ RunResult RunOnce(const std::vector<Message>& messages,
   }
   int64_t elapsed = MonotonicNanos() - t0;
 
+  std::sort(latencies.begin(), latencies.end());
   ServiceStats stats = service.Stats();
   RunResult result;
   result.secs = elapsed / 1e9;
   result.msgs_per_sec =
       messages.size() / (result.secs > 0 ? result.secs : 1);
+  result.p50_ingest_us = latencies[latencies.size() / 2] / 1e3;
+  result.p99_ingest_us = latencies[latencies.size() * 99 / 100] / 1e3;
   result.wal_bytes = stats.wal_appended_bytes;
   result.checkpoints = stats.checkpoints_installed;
   return result;
@@ -75,7 +87,7 @@ int Run(int argc, char** argv) {
   BenchOptions options = ParseArgs(argc, argv, /*default_messages=*/120000);
   std::vector<Message> messages = GetDataset(options);
   PrintBanner("bench_wal_overhead",
-              "durability: WAL + checkpoint cost on the ingest path",
+              "durability: WAL group commit + checkpoint cost, 8 shards",
               options, messages);
 
   const std::string state_dir = options.data_dir + "/wal_overhead_state";
@@ -89,37 +101,60 @@ int Run(int argc, char** argv) {
       {"wal", true, 0},
       {"wal+ckpt", true, options.messages / 4},
   };
+  constexpr int kModeCount = 3;
+  // Interleave repetitions across modes and keep each mode's best rep:
+  // the durability deltas under test are a few percent, well below the
+  // run-to-run swing a shared/throttled host injects, and interleaving
+  // plus best-of keeps a throttling burst from being misread as WAL
+  // overhead. Five reps because best-of is an extreme-value estimator:
+  // it needs enough draws per mode for every mode to see an
+  // uncontended window.
+  constexpr int kReps = 5;
 
-  SeriesTable table(
-      {"mode", "secs", "msgs_per_sec", "overhead", "wal_mb"});
-  double base_rate = 0;
-  for (const Mode& mode : kModes) {
-    std::error_code ec;
-    std::filesystem::remove_all(state_dir, ec);
-    RunResult r = RunOnce(messages, options,
-                          mode.durable ? state_dir : std::string(),
-                          mode.checkpoint_every);
-    if (r.msgs_per_sec == 0) return 1;
-    if (base_rate == 0) base_rate = r.msgs_per_sec;
+  RunResult best[kModeCount];
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int m = 0; m < kModeCount; ++m) {
+      std::error_code ec;
+      std::filesystem::remove_all(state_dir, ec);
+      RunResult r =
+          RunOnce(messages, options,
+                  kModes[m].durable ? state_dir : std::string(),
+                  kModes[m].checkpoint_every);
+      if (r.msgs_per_sec == 0) return 1;
+      if (r.msgs_per_sec > best[m].msgs_per_sec) best[m] = r;
+    }
+  }
+  std::printf("  (best of %d interleaved repetitions per mode)\n", kReps);
+
+  SeriesTable table({"mode", "secs", "msgs_per_sec", "overhead",
+                     "p99_ingest_us", "wal_mb"});
+  const double base_rate = best[0].msgs_per_sec;
+  for (int m = 0; m < kModeCount; ++m) {
+    const RunResult& r = best[m];
     const double overhead_pct =
         100.0 * (base_rate - r.msgs_per_sec) / base_rate;
-    table.AddRow({mode.name, StringPrintf("%.2f", r.secs),
+    table.AddRow({kModes[m].name, StringPrintf("%.2f", r.secs),
                   StringPrintf("%.0f", r.msgs_per_sec),
                   StringPrintf("%.1f%%", overhead_pct),
+                  StringPrintf("%.1f", r.p99_ingest_us),
                   StringPrintf("%.1f", r.wal_bytes / 1e6)});
     std::printf("  mode=%s: %.2fs, %.0f msgs/sec, overhead=%.1f%%, "
+                "p50_ingest_us=%.1f, p99_ingest_us=%.1f, "
                 "wal_bytes=%llu, checkpoints=%llu\n",
-                mode.name, r.secs, r.msgs_per_sec, overhead_pct,
+                kModes[m].name, r.secs, r.msgs_per_sec, overhead_pct,
+                r.p50_ingest_us, r.p99_ingest_us,
                 (unsigned long long)r.wal_bytes,
                 (unsigned long long)r.checkpoints);
   }
   std::error_code ec;
   std::filesystem::remove_all(state_dir, ec);
   EmitTable(table, "wal_overhead", options);
-  std::printf("shape check: WAL cost is per-message framing + CRC + "
-              "fflush under the service lock (no fsync on the hot "
-              "path); checkpoint cost is a full-state serialize and "
-              "amortizes with the interval\n");
+  std::printf("shape check: Ingest only encodes the record and enqueues "
+              "it (the group-commit flusher batches the file writes off "
+              "the hot path), so WAL-on throughput should sit within a "
+              "few percent of WAL-off; checkpoints after the first are "
+              "incremental deltas, so the wal+ckpt p99 should stay "
+              "within ~1.5x of the no-checkpoint p99\n");
   return 0;
 }
 

@@ -109,15 +109,18 @@ def parse_wal(path):
     rows = []
     pat = re.compile(
         r"  mode=([\w+]+): ([\d.]+)s, (\d+) msgs/sec, "
-        r"overhead=(-?[\d.]+)%, wal_bytes=(\d+), checkpoints=(\d+)")
+        r"overhead=(-?[\d.]+)%, p50_ingest_us=([\d.]+), "
+        r"p99_ingest_us=([\d.]+), wal_bytes=(\d+), checkpoints=(\d+)")
     for m in pat.finditer(open(path).read()):
         rows.append({
             "mode": m.group(1),
             "secs": float(m.group(2)),
             "msgs_per_sec": int(m.group(3)),
             "overhead_pct": float(m.group(4)),
-            "wal_bytes": int(m.group(5)),
-            "checkpoints": int(m.group(6)),
+            "p50_ingest_us": float(m.group(5)),
+            "p99_ingest_us": float(m.group(6)),
+            "wal_bytes": int(m.group(7)),
+            "checkpoints": int(m.group(8)),
         })
     return rows
 

@@ -20,11 +20,18 @@ echo "=== tier 1: TSan build + concurrency tests ==="
 # Service* includes ServiceConcurrencyTest, which drives the per-shard
 # indicant dictionaries from concurrent shard workers while the caller
 # thread interleaves cross-shard query fan-out — the interned hot path's
-# data-race surface.
+# data-race surface. Service* also covers ServiceRecoveryTest, and the
+# explicit recovery suites (Wal*, snapshot codecs, golden pins) exercise
+# the group-commit flusher thread against Ingest/Flush/Checkpoint.
+# CrashRecoveryTest forks children that then start threads (the flusher
+# the SIGKILL hooks fire in), which TSan only tolerates with
+# die_after_fork=0 — hence the separate invocation.
 cmake -B build-tsan -S . -DMICROPROV_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target microprov_tests
 ./build-tsan/tests/microprov_tests \
-  --gtest_filter='BoundedSpscQueue*:RouteShard*:ShardedEngine*:Service*:Metrics*:TraceSink*:StatsReporter*'
+  --gtest_filter='BoundedSpscQueue*:RouteShard*:ShardedEngine*:Service*:Metrics*:TraceSink*:StatsReporter*:Wal*:EngineStateTest*:ServiceSnapshotTest*:GoldenRecoveryFormatTest*'
+TSAN_OPTIONS=die_after_fork=0 ./build-tsan/tests/microprov_tests \
+  --gtest_filter='CrashRecoveryTest*'
 
 echo
 echo "tier 1: all green"

@@ -4,12 +4,16 @@
 
 namespace microprov {
 
+void EncodeFixed32(char* dst, uint32_t value) {
+  dst[0] = static_cast<char>(value & 0xFF);
+  dst[1] = static_cast<char>((value >> 8) & 0xFF);
+  dst[2] = static_cast<char>((value >> 16) & 0xFF);
+  dst[3] = static_cast<char>((value >> 24) & 0xFF);
+}
+
 void PutFixed32(std::string* dst, uint32_t value) {
   char buf[4];
-  buf[0] = static_cast<char>(value & 0xFF);
-  buf[1] = static_cast<char>((value >> 8) & 0xFF);
-  buf[2] = static_cast<char>((value >> 16) & 0xFF);
-  buf[3] = static_cast<char>((value >> 24) & 0xFF);
+  EncodeFixed32(buf, value);
   dst->append(buf, 4);
 }
 

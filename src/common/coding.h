@@ -14,6 +14,9 @@ namespace microprov {
 
 void PutFixed32(std::string* dst, uint32_t value);
 void PutFixed64(std::string* dst, uint64_t value);
+/// Writes `value` little-endian into `dst[0..3]` (no bounds check) —
+/// for patching a reserved length slot after its payload is encoded.
+void EncodeFixed32(char* dst, uint32_t value);
 bool GetFixed32(std::string_view* input, uint32_t* value);
 bool GetFixed64(std::string_view* input, uint64_t* value);
 

@@ -1,6 +1,12 @@
 #include "common/crc32c.h"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <nmmintrin.h>
+#define MICROPROV_CRC32C_X86 1
+#endif
 
 namespace microprov {
 namespace crc32c {
@@ -8,7 +14,12 @@ namespace crc32c {
 namespace {
 
 // Table-driven CRC-32C (polynomial 0x1EDC6F41, reflected 0x82F63B78),
-// generated at static-init time into a constexpr-friendly array.
+// generated at static-init time into a constexpr-friendly array. This
+// is the portable fallback; on x86 with SSE4.2 the dedicated crc32
+// instruction computes the same polynomial an order of magnitude
+// faster, which matters because every WAL frame, checkpoint image, and
+// delta segment is CRC-framed — on small machines the checksum is a
+// visible slice of the durability tax.
 constexpr uint32_t kPoly = 0x82F63B78u;
 
 constexpr std::array<uint32_t, 256> MakeTable() {
@@ -25,10 +36,38 @@ constexpr std::array<uint32_t, 256> MakeTable() {
 
 constexpr std::array<uint32_t, 256> kTable = MakeTable();
 
+#ifdef MICROPROV_CRC32C_X86
+// `crc` is the raw (pre-inverted) running remainder.
+__attribute__((target("sse4.2"))) uint32_t ExtendHardware(
+    uint32_t crc, std::string_view data) {
+  const char* p = data.data();
+  size_t n = data.size();
+  uint64_t crc64 = crc;
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, sizeof(chunk));
+    crc64 = _mm_crc32_u64(crc64, chunk);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (n > 0) {
+    crc = _mm_crc32_u8(crc, static_cast<unsigned char>(*p));
+    ++p;
+    --n;
+  }
+  return crc;
+}
+#endif
+
 }  // namespace
 
 uint32_t Extend(uint32_t init_crc, std::string_view data) {
   uint32_t crc = init_crc ^ 0xFFFFFFFFu;
+#ifdef MICROPROV_CRC32C_X86
+  static const bool have_hw = __builtin_cpu_supports("sse4.2");
+  if (have_hw) return ExtendHardware(crc, data) ^ 0xFFFFFFFFu;
+#endif
   for (unsigned char c : data) {
     crc = kTable[(crc ^ c) & 0xFF] ^ (crc >> 8);
   }

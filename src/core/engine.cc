@@ -72,6 +72,13 @@ ProvenanceEngine::ProvenanceEngine(const EngineOptions& options,
   if (archive_ != nullptr) {
     pool_.ReserveIdsThrough(archive_->MaxBundleId());
   }
+  // Incremental checkpoints: every bundle leaving the pool must show up
+  // in the next delta's removal list, and must stop being "dirty" (its
+  // live image no longer exists to clone).
+  pool_.SetRemovalListener([this](BundleId id) {
+    dirty_bundles_.erase(id);
+    removed_bundles_.push_back(id);
+  });
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry* registry = options_.metrics;
     const std::string shard_label =
@@ -97,6 +104,9 @@ ProvenanceEngine::ProvenanceEngine(const EngineOptions& options,
 }
 
 StatusOr<IngestResult> ProvenanceEngine::Ingest(const Message& msg) {
+  if (options_.ingest_fault_for_test) {
+    MICROPROV_RETURN_IF_ERROR(options_.ingest_fault_for_test(msg));
+  }
   const Timestamp now = clock_->Now();
   IngestResult local;
   Bundle* bundle = nullptr;
@@ -156,6 +166,7 @@ StatusOr<IngestResult> ProvenanceEngine::Ingest(const Message& msg) {
     }
   }
   pool_.NoteMessageAdded();
+  dirty_bundles_.insert(local.bundle);
 
   // Bundle-size constraint (Section V-B): cap reached -> closed.
   const size_t cap = pool_.options().max_bundle_size;
@@ -236,6 +247,49 @@ EngineState ProvenanceEngine::ExportState() const {
   return state;
 }
 
+EngineDelta ProvenanceEngine::ExportDelta() {
+  EngineDelta delta;
+  delta.messages_ingested = ingested_;
+  delta.next_bundle_id = pool_.next_id();
+  delta.pool_stats = pool_.stats();
+  for (int t = 0; t < kNumIndicantTypes; ++t) {
+    const IndicantType type = static_cast<IndicantType>(t);
+    const size_t n = dict_.NumTerms(type);
+    delta.base_terms[t] = static_cast<uint32_t>(delta_term_cursor_[t]);
+    delta.new_terms[t].reserve(n - delta_term_cursor_[t]);
+    for (TermId id = delta_term_cursor_[t]; id < n; ++id) {
+      delta.new_terms[t].push_back(dict_.Resolve(type, id));
+    }
+    delta_term_cursor_[t] = n;
+  }
+  delta.removed = std::move(removed_bundles_);
+  removed_bundles_.clear();
+  std::sort(delta.removed.begin(), delta.removed.end());
+  delta.bundles.reserve(dirty_bundles_.size());
+  for (BundleId id : dirty_bundles_) {
+    const Bundle* bundle = pool_.Get(id);
+    if (bundle != nullptr) {
+      delta.bundles.push_back(CloneBundle(*bundle, nullptr));
+    }
+  }
+  dirty_bundles_.clear();
+  std::sort(delta.bundles.begin(), delta.bundles.end(),
+            [](const std::unique_ptr<Bundle>& a,
+               const std::unique_ptr<Bundle>& b) {
+              return a->id() < b->id();
+            });
+  return delta;
+}
+
+void ProvenanceEngine::ResetDeltaCursor() {
+  for (int t = 0; t < kNumIndicantTypes; ++t) {
+    delta_term_cursor_[t] =
+        dict_.NumTerms(static_cast<IndicantType>(t));
+  }
+  dirty_bundles_.clear();
+  removed_bundles_.clear();
+}
+
 Status ProvenanceEngine::ImportState(const EngineState& state) {
   if (ingested_ != 0 || pool_.size() != 0 || dict_.TotalTerms() != 0) {
     return Status::FailedPrecondition(
@@ -271,6 +325,10 @@ Status ProvenanceEngine::ImportState(const EngineState& state) {
     pool_.ReserveIdsThrough(state.next_bundle_id - 1);
   }
   ingested_ = state.messages_ingested;
+  // The imported state IS the resolved checkpoint: delta tracking
+  // restarts from here, so the next ExportDelta extends the chain the
+  // snapshot came from.
+  ResetDeltaCursor();
   RefreshMemoryMetrics();
   return Status::OK();
 }

@@ -1,8 +1,10 @@
 #ifndef MICROPROV_CORE_ENGINE_H_
 #define MICROPROV_CORE_ENGINE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/clock.h"
@@ -52,6 +54,12 @@ struct EngineOptions {
   /// Shard this engine serves; becomes the `shard="N"` label on
   /// per-instance gauges and the `shard` field of trace events.
   uint32_t shard_index = 0;
+
+  /// Test-only fault injection: when set, Ingest consults it before
+  /// touching any state and fails with the returned non-OK status.
+  /// Lets durability tests force a shard-level Submit failure and
+  /// verify the acceptance invariant (accepted = applied AND logged).
+  std::function<Status(const Message&)> ingest_fault_for_test;
 
   /// Canonical knobs per configuration; `pool_limit`/`bundle_cap`
   /// override the defaults (10k / 300, mirroring the paper's setup).
@@ -115,6 +123,21 @@ class ProvenanceEngine {
   /// TermId order.
   EngineState ExportState() const;
 
+  /// Everything that changed since the delta cursor was last reset:
+  /// dictionary terms interned past the per-type cursors, bundles
+  /// touched by Ingest (tracked per message), bundles removed by
+  /// refinement/drain, and the absolute scalar counters. Advances the
+  /// cursors and clears the dirty sets, so consecutive calls yield a
+  /// chain of disjoint deltas (the incremental-checkpoint chain).
+  /// Same thread-safety contract as ExportState: the engine must be
+  /// quiesced (no concurrent Ingest).
+  EngineDelta ExportDelta();
+
+  /// Re-arms delta tracking at the engine's current state (after a full
+  /// ExportState was captured as a base checkpoint): the next
+  /// ExportDelta reports only changes made after this call.
+  void ResetDeltaCursor();
+
   /// Restores a state captured by ExportState. The engine must be
   /// fresh — nothing ingested, empty pool, empty dictionary — because
   /// import rebuilds the TermId spaces and the summary index from
@@ -155,6 +178,14 @@ class ProvenanceEngine {
   EdgeLog edge_log_;
   StageTimers timers_;
   uint64_t ingested_ = 0;
+
+  // Incremental-checkpoint tracking (ExportDelta/ResetDeltaCursor):
+  // per-type count of terms already exported, bundles touched since the
+  // cursor, and bundles removed from the pool since the cursor (fed by
+  // the pool's removal listener).
+  size_t delta_term_cursor_[kNumIndicantTypes] = {};
+  std::unordered_set<BundleId> dirty_bundles_;
+  std::vector<BundleId> removed_bundles_;
 
   // Observability handles (null unless options_.metrics was set).
   obs::HistogramMetric* match_hist_ = nullptr;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/bundle.h"
 #include "core/indicant.h"
 #include "core/indicant_dictionary.h"
@@ -40,6 +41,45 @@ struct EngineState {
   /// Live bundles sorted by ascending id, each with a private dictionary.
   std::vector<std::unique_ptr<Bundle>> bundles;
 };
+
+/// The changes to an EngineState since a delta cursor was last reset:
+/// everything ProvenanceEngine::ExportDelta captured between two
+/// checkpoint installs. Scalars are absolute (cheap and idempotent);
+/// dictionary terms are append-only so only the new tail travels;
+/// bundles are upserts (full clones of every bundle touched since the
+/// cursor) plus a removal list. Applying a delta chain base..N in order
+/// reproduces the EngineState a full export at N would have produced.
+struct EngineDelta {
+  EngineDelta() = default;
+  EngineDelta(EngineDelta&&) = default;
+  EngineDelta& operator=(EngineDelta&&) = default;
+  EngineDelta(const EngineDelta&) = delete;
+  EngineDelta& operator=(const EngineDelta&) = delete;
+
+  uint64_t messages_ingested = 0;
+  BundleId next_bundle_id = 1;
+  PoolStats pool_stats;
+  /// Term count per IndicantType at the cursor this delta starts from;
+  /// apply-time guard against mis-chained deltas.
+  uint32_t base_terms[kNumIndicantTypes] = {};
+  /// Terms interned since the cursor, per IndicantType, in TermId order
+  /// (TermIds are dense and append-only, so appending these to the base
+  /// state's term lists reproduces the full id space).
+  std::vector<std::string> new_terms[kNumIndicantTypes];
+  /// Bundles that left the pool since the cursor (refinement eviction,
+  /// archive dump, drain), ascending by id.
+  std::vector<BundleId> removed;
+  /// Bundles created or touched since the cursor, ascending by id, each
+  /// with a private dictionary (upsert over the base state).
+  std::vector<std::unique_ptr<Bundle>> bundles;
+};
+
+/// Folds `delta` into `state` in place: appends the new dictionary
+/// terms, drops removed bundles, upserts the touched bundles (keeping
+/// the ascending-id order ExportState guarantees), and overwrites the
+/// scalar counters. Fails if the delta's term tail does not line up
+/// with the base state's term counts.
+Status ApplyEngineDelta(EngineState* state, EngineDelta&& delta);
 
 /// Deep-copies `src` into a new bundle interning against `dict` (nullptr
 /// for a private dictionary). Implemented as an AddMessage replay, which

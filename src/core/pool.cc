@@ -76,6 +76,7 @@ Status BundlePool::Discard(Bundle* bundle, SummaryIndex* index,
     MICROPROV_RETURN_IF_ERROR(archive->Put(*bundle));
   }
   total_messages_ -= bundle->size();
+  if (removal_listener_) removal_listener_(bundle->id());
   bundles_.erase(bundle->id());
   SetSizeGauge();
   if (messages_gauge_ != nullptr) {

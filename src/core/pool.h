@@ -2,6 +2,7 @@
 #define MICROPROV_CORE_POOL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -136,6 +137,14 @@ class BundlePool {
     }
   }
 
+  /// Invoked with the bundle id each time a bundle leaves the pool
+  /// (tiny deletion, archive dump, ranked eviction, drain), before the
+  /// bundle is destroyed. The ProvenanceEngine uses this to maintain
+  /// its incremental-checkpoint dirty set. At most one listener.
+  void SetRemovalListener(std::function<void(BundleId)> listener) {
+    removal_listener_ = std::move(listener);
+  }
+
   /// Registers this pool's metrics: shared eviction/lifecycle counters
   /// (labeled by eviction reason) plus per-instance size gauges labeled
   /// `shard_label` (e.g. `shard="2"`). The registry must outlive the
@@ -157,6 +166,7 @@ class BundlePool {
 
   PoolOptions options_;
   IndicantDictionary* dict_;  // may be null; never owned
+  std::function<void(BundleId)> removal_listener_;
   std::unordered_map<BundleId, std::unique_ptr<Bundle>> bundles_;
   BundleId next_id_ = 1;
   PoolStats stats_;

@@ -57,6 +57,56 @@ void EncodeServiceSnapshot(const ServiceSnapshot& snapshot,
                            std::string* dst);
 StatusOr<ServiceSnapshot> DecodeServiceSnapshot(std::string_view encoded);
 
+/// One shard's slice of an incremental checkpoint: the clock watermark
+/// at the delta barrier plus the engine's changes since the previous
+/// checkpoint in the chain.
+struct ShardDelta {
+  Timestamp clock = 0;
+  EngineDelta delta;
+
+  ShardDelta() = default;
+  ShardDelta(ShardDelta&&) = default;
+  ShardDelta& operator=(ShardDelta&&) = default;
+};
+
+/// An incremental checkpoint: everything that changed since checkpoint
+/// `parent_seq`. Resolving base + deltas in sequence order via
+/// ApplyServiceDelta reproduces the ServiceSnapshot a full checkpoint
+/// would have written at the last delta's barrier.
+struct ServiceDelta {
+  /// Sequence of the checkpoint this delta extends (chain guard: a
+  /// delta only applies on top of the image it was exported against).
+  uint64_t parent_seq = 0;
+  uint32_t num_shards = 0;
+  Timestamp watermark = 0;
+  uint64_t accepted = 0;
+  std::vector<ShardDelta> shards;
+
+  ServiceDelta() = default;
+  ServiceDelta(ServiceDelta&&) = default;
+  ServiceDelta& operator=(ServiceDelta&&) = default;
+};
+
+/// Appends the binary encoding of `delta` to *dst (exposed so the
+/// format tests can pin it; the service-level framing below is what the
+/// checkpoint files use).
+void EncodeEngineDelta(const EngineDelta& delta, std::string* dst);
+Status DecodeEngineDelta(std::string_view* input, EngineDelta* delta);
+
+/// Serializes an incremental checkpoint: "MPDL" magic + version header,
+/// the parent link, per-shard clock + EngineDelta, and a masked crc32c
+/// trailer. Same atomicity contract as EncodeServiceSnapshot — a delta
+/// failing its CRC is rejected whole, and recovery falls back to the
+/// valid chain prefix plus WAL replay (WAL segments are only collected
+/// at full-checkpoint installs, so the tail is always still on disk).
+void EncodeServiceDelta(const ServiceDelta& delta, std::string* dst);
+StatusOr<ServiceDelta> DecodeServiceDelta(std::string_view encoded);
+
+/// Folds `delta` into `snapshot` in place. Fails on shard-count
+/// mismatch or when any shard's term cursor does not line up with the
+/// base image (a mis-chained or skipped delta).
+Status ApplyServiceDelta(ServiceSnapshot* snapshot, ServiceDelta&& delta);
+
 }  // namespace recovery
 }  // namespace microprov
 

@@ -21,13 +21,20 @@ struct WalOptions {
   std::string dir;
   /// Start a new segment part once the current one exceeds this.
   uint64_t rotate_bytes = 8ull << 20;
-  /// Push each append into the page cache (fwrite + fflush). Survives
-  /// SIGKILL — the kernel still owns the bytes — but not power loss.
+  /// Push each flush batch into the page cache (fwrite + fflush).
+  /// Survives SIGKILL — the kernel still owns the bytes — but not power
+  /// loss.
   bool flush_every_append = true;
-  /// Full fsync per append: power-loss durable, ~100x slower. Off by
-  /// default; checkpoints fsync regardless, bounding loss to the WAL
+  /// Full fsync per flush batch: power-loss durable, ~100x slower. Off
+  /// by default; checkpoints fsync regardless, bounding loss to the WAL
   /// tail since the last checkpoint.
   bool sync_every_append = false;
+  /// Group-commit window (consumed by the DurabilityManager's flusher
+  /// thread, not by WalWriter itself): buffered records are written out
+  /// at least every `group_commit_interval_us` microseconds, or as soon
+  /// as `group_commit_bytes` of encoded records are pending.
+  uint64_t group_commit_interval_us = 1000;
+  uint64_t group_commit_bytes = 256ull << 10;
 };
 
 /// One WAL segment file. Segments are named
@@ -41,12 +48,26 @@ struct WalSegment {
   std::string path;
 };
 
+/// Appends the v2 WAL record encoding of (`seq`, `msg`) to *dst:
+/// varint version, varint sequence number, then the binary message.
+/// `seq` is the service-global acceptance sequence; recovery uses it to
+/// trim replay to the contiguous durable watermark and to dedupe
+/// records across crash incarnations.
+void EncodeWalRecord(uint64_t seq, const Message& msg, std::string* dst);
+
+/// Decodes one WAL record payload. v2 records carry their sequence;
+/// legacy v1 records (pre-group-commit) decode with *seq = 0, meaning
+/// "no sequence recorded — unconditionally durable in file order".
+Status DecodeWalRecord(std::string_view payload, uint64_t* seq,
+                       Message* msg);
+
 /// Appends accepted messages for one shard, framed with the same
 /// block/CRC format as the bundle store logs (storage/log_format.h).
-/// Single-writer; the Service serializes appends under its mutex.
-/// A writer never appends to a pre-existing file: Open and every
-/// rotation start a fresh part, so a torn tail from a previous process
-/// is always the last frame of a dead file.
+/// Single-writer; the DurabilityManager's flusher thread (or the test
+/// harness) serializes all appends. A writer never appends to a
+/// pre-existing file: Open and every rotation start a fresh part, so a
+/// torn tail from a previous process is always the last frame of a
+/// dead file.
 class WalWriter {
  public:
   /// Opens a writer for `epoch`, starting a new part after any existing
@@ -55,31 +76,42 @@ class WalWriter {
   static StatusOr<std::unique_ptr<WalWriter>> Open(
       const WalOptions& options, uint64_t epoch);
 
-  /// Appends one message record; rotates parts by size.
-  Status Append(const Message& msg);
+  /// Appends one message record carrying its acceptance sequence, then
+  /// applies the per-append flush/sync policy. Rotates parts by size.
+  Status Append(uint64_t seq, const Message& msg);
+
+  /// Appends one already-encoded record payload (EncodeWalRecord) with
+  /// NO flush — the group-commit flusher batches many of these and then
+  /// calls Flush()/Sync() once per window. Rotates parts by size.
+  Status AppendEncoded(std::string_view payload);
 
   /// Switches future appends to `epoch` (post-checkpoint truncation
-  /// boundary): closes the current segment and opens part 0 of the new
-  /// epoch.
+  /// boundary): closes the current segment and opens a fresh part of
+  /// the new epoch, scanning past any segment a predecessor process
+  /// already left under that epoch (never clobber: the predecessor's
+  /// rotation may not have been garbage-collected yet).
   Status RotateToEpoch(uint64_t epoch);
 
+  Status Flush();
   Status Sync();
   Status Close();
 
   uint64_t epoch() const { return epoch_; }
-  /// Bytes of payload appended through this writer (all epochs).
+  /// Bytes this writer added to its segments (all epochs), accounted
+  /// from file-offset deltas so frame headers and block padding are
+  /// included — this matches on-disk segment sizes exactly.
   uint64_t appended_bytes() const { return appended_bytes_; }
 
  private:
   WalWriter(const WalOptions& options, uint64_t epoch)
       : options_(options), epoch_(epoch) {}
   Status OpenSegment();
+  Status AppendFramed(std::string_view payload);
 
   WalOptions options_;
   uint64_t epoch_;
   uint32_t next_part_ = 0;
   std::unique_ptr<log::Writer> writer_;
-  uint64_t current_segment_bytes_ = 0;
   uint64_t appended_bytes_ = 0;
   std::string scratch_;
 };
@@ -92,19 +124,47 @@ bool ParseWalSegmentName(const std::string& name, uint64_t* epoch,
 /// reads as empty.
 StatusOr<std::vector<WalSegment>> ListWalSegments(const std::string& dir);
 
+/// Smallest part number not used by any existing segment of `epoch`
+/// under `dir` (0 for a fresh epoch). Shared by Open and RotateToEpoch
+/// so neither ever reuses a file a previous process may have torn.
+StatusOr<uint32_t> NextFreeWalPart(const std::string& dir,
+                                   uint64_t epoch);
+
 /// Tallies from one replay pass.
 struct WalReplayStats {
   uint64_t messages = 0;
   /// Bytes lost to a torn final frame (expected after a crash).
   uint64_t torn_tail_bytes = 0;
-  /// Bytes lost to interior corruption (never expected).
+  /// Bytes lost to interior corruption (never expected; replay fails
+  /// with Corruption when this would be nonzero).
   uint64_t dropped_bytes = 0;
 };
 
-/// Replays every record in segments with epoch > `after_epoch`, in
-/// (epoch, part) order, invoking `fn` per decoded message. A torn final
-/// frame reads as clean EOF; interior corruption is skipped and
-/// reported via stats.
+/// One replayed record plus where it came from, for watermark recovery:
+/// `seq` is the acceptance sequence (0 for legacy v1 records), and
+/// (epoch, part) locate the segment so cross-incarnation duplicates can
+/// be resolved last-writer-wins.
+struct WalTailRecord {
+  uint64_t seq = 0;
+  uint64_t epoch = 0;
+  uint32_t part = 0;
+  Message msg;
+};
+
+/// Reads every record in segments with epoch > `after_epoch`, in
+/// (epoch, part, file) order. A torn final frame of the LAST replayed
+/// segment reads as clean EOF (the legal residue of a crash
+/// mid-append); a torn tail in any earlier segment, or interior
+/// corruption anywhere, fails with Status::Corruption — silently
+/// resuming past a mid-log hole would replay a stream with records
+/// missing from the middle.
+StatusOr<std::vector<WalTailRecord>> ReadWalTail(const std::string& dir,
+                                                 uint64_t after_epoch,
+                                                 WalReplayStats* stats);
+
+/// Replays every record in segments with epoch > `after_epoch` through
+/// `fn`, in (epoch, part) order, with the same corruption semantics as
+/// ReadWalTail.
 Status ReplayWal(const std::string& dir, uint64_t after_epoch,
                  const std::function<Status(Message&&)>& fn,
                  WalReplayStats* stats);

@@ -1,5 +1,9 @@
 #include "service/service.h"
 
+#include <algorithm>
+#include <tuple>
+#include <unordered_map>
+
 #include "common/env.h"
 #include "common/string_util.h"
 
@@ -68,7 +72,18 @@ StatusOr<std::unique_ptr<Service>> Service::Open(
     if (!manager_or.ok()) return manager_or.status();
     service->durability_ = std::move(*manager_or);
     MICROPROV_RETURN_IF_ERROR(service->Recover());
-    MICROPROV_RETURN_IF_ERROR(service->durability_->StartWal());
+    if (service->recovered_tail_dirty_) {
+      // The tail held torn bytes, orphaned sequences, or duplicates:
+      // everything recoverable was recovered, but replaying those
+      // segments again would be ambiguous (and a torn segment would no
+      // longer be final). Installing a base checkpoint now retires the
+      // damaged epochs before the WAL reopens.
+      MICROPROV_RETURN_IF_ERROR(
+          service->CheckpointLocked(/*force_base=*/true));
+      service->recovered_tail_dirty_ = false;
+    }
+    MICROPROV_RETURN_IF_ERROR(
+        service->durability_->StartWal(service->accepted_));
     obs::MetricsRegistry* reg = service->registry_.get();
     service->wal_appends_counter_ =
         reg->GetCounter("microprov_wal_appends_total", "");
@@ -124,26 +139,101 @@ Status Service::Recover() {
     clock_.Advance(snapshot.watermark);
     accepted_ = snapshot.accepted;
   }
-  // Replay the WAL tail in the exact order the shard workers would have
-  // ingested it: per shard, oldest epoch first. Ingest is deterministic
-  // per shard, so the recovered engines match the pre-crash ones over
-  // the durable prefix.
-  for (size_t i = 0; i < sharded_->num_shards(); ++i) {
+  // Read every shard's WAL tail. Interior corruption (or a torn tail
+  // anywhere but the final segment) fails recovery outright rather
+  // than silently replaying a stream with a hole in the middle.
+  const uint64_t checkpoint_accepted = accepted_;
+  const size_t num_shards = sharded_->num_shards();
+  std::vector<std::vector<recovery::WalTailRecord>> tails(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto tail_or = durability_->ReadShardTail(static_cast<uint32_t>(i));
+    if (!tail_or.ok()) return tail_or.status();
+    tails[i] = std::move(*tail_or);
+  }
+  // Durable-watermark resolution. Legacy v1 records carry no sequence
+  // (seq == 0): they predate group commit, were written synchronously
+  // before acceptance, and are unconditionally durable in file order.
+  // v2 records carry the service acceptance sequence; only the largest
+  // contiguous prefix past the watermark base (checkpoint acceptance +
+  // legacy count) is known complete. Records past a gap (orphans of a
+  // mid-batch crash) and duplicate sequences (resolved last-writer-
+  // wins by WAL position) mark the tail dirty: they are skipped, and
+  // Open retires their epochs with a forced base checkpoint. Records
+  // at or below the checkpoint's acceptance count are stale epochs
+  // retained by the delta-chain GC policy and skip silently.
+  uint64_t legacy_total = 0;
+  for (const auto& tail : tails) {
+    for (const auto& record : tail) {
+      if (record.seq == 0) ++legacy_total;
+    }
+  }
+  const uint64_t watermark_base = checkpoint_accepted + legacy_total;
+  struct Keeper {
+    size_t shard = 0;
+    size_t index = 0;
+    uint64_t epoch = 0;
+    uint32_t part = 0;
+  };
+  std::unordered_map<uint64_t, Keeper> by_seq;
+  bool duplicates = false;
+  for (size_t i = 0; i < num_shards; ++i) {
+    for (size_t j = 0; j < tails[i].size(); ++j) {
+      const recovery::WalTailRecord& record = tails[i][j];
+      if (record.seq == 0 || record.seq <= checkpoint_accepted) continue;
+      Keeper keeper{i, j, record.epoch, record.part};
+      auto [it, inserted] = by_seq.emplace(record.seq, keeper);
+      if (!inserted) {
+        duplicates = true;
+        const Keeper& held = it->second;
+        if (std::tie(keeper.epoch, keeper.part, keeper.shard) >
+            std::tie(held.epoch, held.part, held.shard)) {
+          it->second = keeper;
+        }
+      }
+    }
+  }
+  uint64_t watermark = watermark_base;
+  while (by_seq.count(watermark + 1) != 0) ++watermark;
+  const bool orphans = by_seq.size() > watermark - watermark_base;
+  recovered_tail_dirty_ =
+      duplicates || orphans ||
+      durability_->replay_stats().torn_tail_bytes > 0;
+  // Apply per shard in the exact order the shard workers originally
+  // ingested: legacy records in file order first, then the kept v2
+  // records ascending by acceptance sequence (the service serializes
+  // acceptance, so per-shard ingest order follows it). Ingest is
+  // deterministic per shard, so the recovered engines match the
+  // pre-crash ones over the durable prefix.
+  uint64_t total_applied = 0;
+  for (size_t i = 0; i < num_shards; ++i) {
     ProvenanceEngine* engine = sharded_->mutable_shard(i);
     SimulatedClock* clock = sharded_->mutable_clock(i);
-    uint64_t replayed = 0;
-    MICROPROV_RETURN_IF_ERROR(durability_->ReplayShard(
-        static_cast<uint32_t>(i), [&](Message&& msg) -> Status {
-          clock->Advance(msg.date);
-          clock_.Advance(msg.date);
-          auto result = engine->Ingest(msg);
-          if (!result.ok()) return result.status();
-          ++replayed;
-          return Status::OK();
-        }));
-    sharded_->SeedIngested(i, replayed);
-    accepted_ += replayed;
+    std::vector<size_t> order;
+    for (size_t j = 0; j < tails[i].size(); ++j) {
+      if (tails[i][j].seq == 0) order.push_back(j);
+    }
+    std::vector<std::pair<uint64_t, size_t>> kept;
+    for (const auto& [seq, keeper] : by_seq) {
+      if (keeper.shard == i && seq <= watermark) {
+        kept.emplace_back(seq, keeper.index);
+      }
+    }
+    std::sort(kept.begin(), kept.end());
+    for (const auto& [seq, index] : kept) order.push_back(index);
+    uint64_t applied = 0;
+    for (size_t index : order) {
+      Message& msg = tails[i][index].msg;
+      clock->Advance(msg.date);
+      clock_.Advance(msg.date);
+      auto result = engine->Ingest(msg);
+      if (!result.ok()) return result.status();
+      ++applied;
+    }
+    sharded_->SeedIngested(i, applied);
+    total_applied += applied;
   }
+  durability_->NoteReplayed(total_applied);
+  accepted_ = watermark;
   return Status::OK();
 }
 
@@ -152,20 +242,20 @@ StatusOr<IngestResult> Service::Ingest(const Message& msg) {
   if (drained_) {
     return Status::FailedPrecondition("Service already drained");
   }
-  // Log before enqueueing: a message is accepted only once it is in the
-  // WAL, so the durable set is always a prefix of the accepted stream.
-  // The append target must match the worker that will ingest it, and
-  // RouteShard is deterministic in the message alone.
-  if (durability_ != nullptr && durability_->wal_started()) {
-    const uint32_t target =
-        RouteShard(msg, sharded_->num_shards());
-    MICROPROV_RETURN_IF_ERROR(durability_->Append(target, msg));
-  }
+  // Submit FIRST, log after: a message reaches the WAL only once the
+  // pipeline owns it, so replay can never resurrect a message Submit
+  // rejected (the old log-then-submit order re-ingested such messages
+  // on recovery). The cost is asymmetric and safe: a crash between
+  // Submit and the append only loses a message that was never durable.
   uint32_t shard = 0;
   MICROPROV_RETURN_IF_ERROR(sharded_->Submit(msg, &shard));
   clock_.Advance(msg.date);
   ++accepted_;
   ++accepted_since_checkpoint_;
+  if (durability_ != nullptr && durability_->wal_started()) {
+    MICROPROV_RETURN_IF_ERROR(
+        durability_->EnqueueAppend(shard, accepted_, msg));
+  }
   if (durability_ != nullptr &&
       options_.durability.checkpoint_every_messages > 0 &&
       accepted_since_checkpoint_ >=
@@ -204,7 +294,13 @@ StatusOr<std::vector<BundleSearchResult>> Service::Search(
 Status Service::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
   if (drained_) return Status::OK();
-  return sharded_->Flush();
+  MICROPROV_RETURN_IF_ERROR(sharded_->Flush());
+  // Durability barrier: every accepted message is also on disk (per
+  // the WAL flush policy) once Flush returns.
+  if (durability_ != nullptr) {
+    return durability_->WaitDurable(accepted_);
+  }
+  return Status::OK();
 }
 
 Status Service::Checkpoint() {
@@ -212,7 +308,7 @@ Status Service::Checkpoint() {
   return CheckpointLocked();
 }
 
-Status Service::CheckpointLocked() {
+Status Service::CheckpointLocked(bool force_base) {
   if (durability_ == nullptr) {
     return Status::FailedPrecondition("durability not configured");
   }
@@ -225,18 +321,51 @@ Status Service::CheckpointLocked() {
   for (auto& store : stores_) {
     MICROPROV_RETURN_IF_ERROR(store->Flush());
   }
-  recovery::ServiceSnapshot snapshot;
-  snapshot.num_shards = static_cast<uint32_t>(sharded_->num_shards());
-  snapshot.watermark = clock_.value();
-  snapshot.accepted = accepted_;
-  snapshot.shards.reserve(sharded_->num_shards());
-  for (size_t i = 0; i < sharded_->num_shards(); ++i) {
-    recovery::ShardSnapshot shard;
-    shard.clock = sharded_->shard_clock(i);
-    shard.state = sharded_->shard(i).ExportState();
-    snapshot.shards.push_back(std::move(shard));
+  // The checkpoint barrier covers the WAL too: every message the image
+  // includes must be on disk before the install rotates epochs, or a
+  // crash right after the install could lose acknowledged records.
+  MICROPROV_RETURN_IF_ERROR(durability_->WaitDurable(accepted_));
+  const size_t num_shards = sharded_->num_shards();
+  if (!force_base && !checkpoint_force_base_ &&
+      durability_->ShouldInstallDelta()) {
+    recovery::ServiceDelta delta;
+    delta.parent_seq = durability_->checkpoint_seq();
+    delta.num_shards = static_cast<uint32_t>(num_shards);
+    delta.watermark = clock_.value();
+    delta.accepted = accepted_;
+    delta.shards.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      recovery::ShardDelta shard;
+      shard.clock = sharded_->shard_clock(i);
+      shard.delta = sharded_->mutable_shard_quiesced(i)->ExportDelta();
+      delta.shards.push_back(std::move(shard));
+    }
+    Status install = durability_->InstallDelta(delta);
+    if (!install.ok()) {
+      // ExportDelta already consumed the dirty sets; a retried delta
+      // would have a hole. The next attempt must be a full base.
+      checkpoint_force_base_ = true;
+      return install;
+    }
+  } else {
+    recovery::ServiceSnapshot snapshot;
+    snapshot.num_shards = static_cast<uint32_t>(num_shards);
+    snapshot.watermark = clock_.value();
+    snapshot.accepted = accepted_;
+    snapshot.shards.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      recovery::ShardSnapshot shard;
+      shard.clock = sharded_->shard_clock(i);
+      shard.state = sharded_->shard(i).ExportState();
+      snapshot.shards.push_back(std::move(shard));
+    }
+    MICROPROV_RETURN_IF_ERROR(durability_->InstallCheckpoint(snapshot));
+    // The base captured everything; restart delta tracking from it.
+    for (size_t i = 0; i < num_shards; ++i) {
+      sharded_->mutable_shard_quiesced(i)->ResetDeltaCursor();
+    }
+    checkpoint_force_base_ = false;
   }
-  MICROPROV_RETURN_IF_ERROR(durability_->InstallCheckpoint(snapshot));
   accepted_since_checkpoint_ = 0;
   return Status::OK();
 }
@@ -250,10 +379,11 @@ Status Service::Drain() {
   }
   drained_ = true;
   // Seal durable state: the final checkpoint captures the drained
-  // engines (archived bundles included), and superseded WAL epochs are
-  // truncated, so the next Open recovers without replaying anything.
+  // engines (archived bundles included) as a full base image, so the
+  // next Open recovers without replaying anything and every superseded
+  // WAL epoch and delta file is truncated.
   if (durability_ != nullptr) {
-    MICROPROV_RETURN_IF_ERROR(CheckpointLocked());
+    MICROPROV_RETURN_IF_ERROR(CheckpointLocked(/*force_base=*/true));
     MICROPROV_RETURN_IF_ERROR(durability_->Close());
   }
   // The stream is over; one final tick ships the end state, then the

@@ -50,13 +50,18 @@ struct ServiceOptions {
   std::function<void(const std::string& prometheus_text)> stats_callback;
 
   /// Crash recovery: set `durability.dir` to make the service
-  /// recoverable. Open() then loads the newest valid checkpoint from
-  /// that directory, replays the per-shard WAL tail through the
-  /// (deterministic) shard engines, and resumes logging; Ingest appends
-  /// each accepted message to its shard's WAL before enqueueing it, and
-  /// a checkpoint runs every `durability.checkpoint_every_messages`
-  /// accepted messages (plus on Drain). Keep this directory distinct
-  /// from `archive_dir`; both participate in recovery (the checkpoint
+  /// recoverable. Open() then resolves the newest valid checkpoint
+  /// chain (base snapshot + incremental deltas) from that directory,
+  /// replays the per-shard WAL tail through the (deterministic) shard
+  /// engines, and resumes logging. Ingest hands each message to the
+  /// group-commit flusher only AFTER its shard accepted it — so the
+  /// WAL can never resurrect a message the pipeline rejected — and a
+  /// checkpoint runs every `durability.checkpoint_every_messages`
+  /// accepted messages (plus on Drain, always a full base). Durability
+  /// is asynchronous: Flush() doubles as the durability barrier,
+  /// returning once every accepted message is both ingested and on
+  /// disk per the WAL flush policy. Keep this directory distinct from
+  /// `archive_dir`; both participate in recovery (the checkpoint
   /// references bundles the stores already hold).
   recovery::DurabilityOptions durability;
 };
@@ -179,10 +184,18 @@ class Service {
   explicit Service(const ServiceOptions& options);
 
   /// Checkpoint import + WAL replay into the (not yet started) shard
-  /// engines; called from Open with exclusive ownership.
+  /// engines; called from Open with exclusive ownership. Replays the
+  /// durable prefix (largest contiguous acceptance sequence), dedupes
+  /// records across crash incarnations, and flags the tail dirty when
+  /// it held torn bytes, orphans (records past the contiguous
+  /// watermark), or duplicates — Open then installs a fresh base
+  /// checkpoint before re-opening the WAL, which epoch-bumps past the
+  /// damaged segments so they are never replayed again.
   Status Recover();
-  /// Checkpoint body; caller holds mu_.
-  Status CheckpointLocked();
+  /// Checkpoint body; caller holds mu_ (or has exclusive ownership
+  /// during Open). `force_base` writes a full snapshot even when the
+  /// incremental-checkpoint policy would pick a delta.
+  Status CheckpointLocked(bool force_base = false);
 
   ServiceOptions options_;
   /// Serializes Ingest/Search/Flush/Drain.
@@ -199,6 +212,14 @@ class Service {
   /// including recovered ones (guarded by mu_; checkpointed).
   uint64_t accepted_ = 0;
   uint64_t accepted_since_checkpoint_ = 0;
+  /// Recover() found a dirty WAL tail (torn bytes, orphaned or
+  /// duplicate sequences); Open must install a base checkpoint before
+  /// StartWal so the damaged epochs are retired.
+  bool recovered_tail_dirty_ = false;
+  /// A delta install failed after ExportDelta consumed the dirty sets;
+  /// the next checkpoint must be a full base or the chain would have a
+  /// hole.
+  bool checkpoint_force_base_ = false;
   /// Gauge handles for TSan-safe Stats() aggregation (per shard).
   std::vector<obs::Gauge*> pool_gauges_;
   std::vector<obs::Gauge*> memory_gauges_;

@@ -126,6 +126,16 @@ class ShardedEngine {
   /// Stats() continuity survives a restart.
   void SeedIngested(size_t i, uint64_t n);
 
+  /// Mutable shard engine under the flush-barrier contract: callable
+  /// after Start(), but only from the serialized Submit/Flush/Drain
+  /// thread and only after Flush()/Drain() returned with no Submit
+  /// since (the same window in which shard() is readable). Used by the
+  /// incremental-checkpoint path, whose ExportDelta advances the
+  /// engine's delta cursors.
+  ProvenanceEngine* mutable_shard_quiesced(size_t i) {
+    return &shards_[i]->engine;
+  }
+
   ShardStatsSnapshot shard_stats(size_t i) const;
 
   /// Total messages ingested across shards (approximate while running).

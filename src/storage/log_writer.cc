@@ -71,9 +71,10 @@ Status Writer::EmitPhysicalRecord(RecordType type, const char* data,
   header[5] = static_cast<char>((length >> 8) & 0xFF);
   header[6] = static_cast<char>(type);
 
-  MICROPROV_RETURN_IF_ERROR(
-      file_->Append(std::string_view(header, kHeaderSize)));
-  MICROPROV_RETURN_IF_ERROR(file_->Append(std::string_view(data, length)));
+  emit_buf_.clear();
+  emit_buf_.append(header, kHeaderSize);
+  emit_buf_.append(data, length);
+  MICROPROV_RETURN_IF_ERROR(file_->Append(emit_buf_));
   block_offset_ += kHeaderSize + length;
   return Status::OK();
 }

@@ -1,15 +1,20 @@
 // Crash-injection harness for the durability subsystem: fork a child
-// that ingests a stream through a durable Service, SIGKILL it at a
-// random point mid-stream, then recover in the parent and check the
+// that ingests a stream through a durable Service, SIGKILL it — at a
+// random point mid-stream, or deterministically inside the group-commit
+// flusher's write window — then recover in the parent and check the
 // rebuilt state equals an uninterrupted reference run over the durable
 // prefix.
 //
 // Why this is sound to assert exactly (not approximately):
-//   * Service::Ingest serializes WAL-append -> Submit under its mutex,
-//     and the WAL flushes each record into the page cache, so after
-//     SIGKILL the durable records form a strict prefix of the accepted
-//     stream (at most the final in-flight frame is torn, and the reader
-//     treats a torn tail as clean EOF).
+//   * Service::Ingest serializes Submit -> sequence assignment -> WAL
+//     enqueue under its mutex, so WAL record sequences follow acceptance
+//     order exactly. The group-commit flusher may die with any subset of
+//     enqueued records on disk (and shards flush one at a time, so one
+//     shard can be ahead of another), but recovery applies only the
+//     largest *contiguous* sequence prefix above the checkpoint; torn
+//     tails and orphaned records past a gap are discarded and their
+//     epochs retired by a forced base checkpoint. The recovered state is
+//     therefore always an exact prefix of the accepted stream.
 //   * Replay is deterministic per shard (fanout cap disabled), so
 //     recovery over that prefix reproduces the reference engines
 //     bit-for-bit on every durable surface.
@@ -61,8 +66,8 @@ ServiceOptions CrashOptions(const std::string& dir) {
 /// Child body after fork: ingest the whole stream, then exit 0. No
 /// gtest assertions (the child shares the parent's output streams);
 /// errors surface as nonzero exit codes. Never returns.
-[[noreturn]] void RunChildIngest(const std::string& dir) {
-  auto service_or = Service::Open(CrashOptions(dir));
+[[noreturn]] void RunChildIngest(ServiceOptions options) {
+  auto service_or = Service::Open(options);
   if (!service_or.ok()) _exit(41);
   for (const Message& msg : CrashStream()) {
     if (!(*service_or)->Ingest(msg).ok()) _exit(42);
@@ -71,6 +76,92 @@ ServiceOptions CrashOptions(const std::string& dir) {
   // Deliberately no Drain: even an un-killed child leaves WAL-tail
   // state behind, exercising the same recovery path.
   _exit(0);
+}
+
+/// Recovers from `dir` and asserts the rebuilt service equals an
+/// uninterrupted reference run over exactly its durable prefix, on
+/// every durable surface plus ranked query results; then checks the
+/// recovered service still accepts and logs.
+void VerifyRecoveredMatchesPrefix(const std::string& dir,
+                                  const std::vector<Message>& messages,
+                                  bool child_finished) {
+  auto recovered_or = Service::Open(CrashOptions(dir));
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  Service& recovered = **recovered_or;
+  const uint64_t durable = recovered.Stats().messages_ingested;
+  ASSERT_LE(durable, messages.size());
+  if (child_finished) {
+    EXPECT_EQ(durable, messages.size());
+  }
+  SCOPED_TRACE("durable prefix " + std::to_string(durable) + "/" +
+               std::to_string(messages.size()));
+
+  // Uninterrupted reference over exactly the durable prefix.
+  ServiceOptions ref_options = CrashOptions("");
+  ref_options.durability = {};
+  auto reference_or = Service::Open(ref_options);
+  ASSERT_TRUE(reference_or.ok());
+  Service& reference = **reference_or;
+  for (uint64_t i = 0; i < durable; ++i) {
+    ASSERT_TRUE(reference.Ingest(messages[i]).ok());
+  }
+  ASSERT_TRUE(reference.Flush().ok());
+
+  // Aggregate and per-shard state match.
+  ServiceStats a = recovered.Stats();
+  ServiceStats b = reference.Stats();
+  EXPECT_EQ(a.live_bundles, b.live_bundles);
+  EXPECT_EQ(recovered.Now(), reference.Now());
+  for (size_t i = 0; i < recovered.num_shards(); ++i) {
+    const ProvenanceEngine& ea = recovered.sharded().shard(i);
+    const ProvenanceEngine& eb = reference.sharded().shard(i);
+    EXPECT_EQ(ea.messages_ingested(), eb.messages_ingested())
+        << "shard " << i;
+    EXPECT_EQ(ea.pool().size(), eb.pool().size()) << "shard " << i;
+    EXPECT_EQ(ea.pool().next_id(), eb.pool().next_id()) << "shard " << i;
+    EXPECT_EQ(ea.pool().stats().bundles_created,
+              eb.pool().stats().bundles_created)
+        << "shard " << i;
+    EXPECT_EQ(ea.pool().stats().bundles_closed,
+              eb.pool().stats().bundles_closed)
+        << "shard " << i;
+    EXPECT_EQ(ea.dictionary().TotalTerms(), eb.dictionary().TotalTerms())
+        << "shard " << i;
+    EXPECT_EQ(ea.summary_index().num_keys(), eb.summary_index().num_keys())
+        << "shard " << i;
+  }
+
+  // Ranked results agree for probes drawn from the durable prefix
+  // (scores include bundle tree structure, so this covers edges too).
+  int probed = 0;
+  for (uint64_t i = 0; i < durable && probed < 4; ++i) {
+    if (messages[i].hashtags.empty()) continue;
+    const std::string text = "#" + messages[i].hashtags.front();
+    auto ra = recovered.Search({.text = text, .k = 8});
+    auto rb = reference.Search({.text = text, .k = 8});
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    ASSERT_EQ(ra->size(), rb->size()) << text;
+    for (size_t j = 0; j < ra->size(); ++j) {
+      EXPECT_EQ((*ra)[j].bundle, (*rb)[j].bundle) << text;
+      EXPECT_EQ((*ra)[j].size, (*rb)[j].size) << text;
+      EXPECT_DOUBLE_EQ((*ra)[j].score, (*rb)[j].score) << text;
+    }
+    ++probed;
+    i += durable / 5;  // spread probes across the prefix
+  }
+  // A very early kill can leave a prefix too short to carry hashtags;
+  // anything substantial must yield probes.
+  if (durable >= 100) {
+    EXPECT_GT(probed, 0) << "no hashtag probes in durable prefix";
+  }
+
+  // The recovered service is live: it keeps accepting and logging.
+  if (durable < messages.size()) {
+    ASSERT_TRUE(recovered.Ingest(messages[durable]).ok());
+    ASSERT_TRUE(recovered.Flush().ok());
+    EXPECT_EQ(recovered.Stats().messages_ingested, durable + 1);
+  }
 }
 
 TEST(CrashRecoveryTest, RecoveredStateEqualsReferenceAtRandomKillPoints) {
@@ -87,7 +178,7 @@ TEST(CrashRecoveryTest, RecoveredStateEqualsReferenceAtRandomKillPoints) {
     pid_t child = fork();
     ASSERT_GE(child, 0) << "fork failed";
     if (child == 0) {
-      RunChildIngest(dir.path());  // never returns
+      RunChildIngest(CrashOptions(dir.path()));  // never returns
     }
     ::usleep(static_cast<useconds_t>(delay_us));
     ::kill(child, SIGKILL);
@@ -98,88 +189,64 @@ TEST(CrashRecoveryTest, RecoveredStateEqualsReferenceAtRandomKillPoints) {
     ASSERT_TRUE(killed || finished)
         << "child exit status " << wstatus << " (round " << round << ")";
 
-    // Recover whatever survived.
-    auto recovered_or = Service::Open(CrashOptions(dir.path()));
-    ASSERT_TRUE(recovered_or.ok())
-        << "round " << round << ": " << recovered_or.status().ToString();
-    Service& recovered = **recovered_or;
-    const uint64_t durable = recovered.Stats().messages_ingested;
-    ASSERT_LE(durable, messages.size()) << "round " << round;
-    if (finished) {
-      EXPECT_EQ(durable, messages.size()) << "round " << round;
-    }
     SCOPED_TRACE("round " + std::to_string(round) + ": killed after " +
-                 std::to_string(delay_us) + "us, durable prefix " +
-                 std::to_string(durable) + "/" +
-                 std::to_string(messages.size()));
+                 std::to_string(delay_us) + "us");
+    VerifyRecoveredMatchesPrefix(dir.path(), messages, finished);
+  }
+}
 
-    // Uninterrupted reference over exactly the durable prefix.
-    ServiceOptions ref_options = CrashOptions("");
-    ref_options.durability = {};
-    auto reference_or = Service::Open(ref_options);
-    ASSERT_TRUE(reference_or.ok());
-    Service& reference = **reference_or;
-    for (uint64_t i = 0; i < durable; ++i) {
-      ASSERT_TRUE(reference.Ingest(messages[i]).ok());
-    }
-    ASSERT_TRUE(reference.Flush().ok());
+TEST(CrashRecoveryTest, RecoveryIsExactWhenKilledInsideFlusherWindows) {
+  // The random-delay test lands kills at arbitrary instruction
+  // boundaries; this one lands them deterministically inside the
+  // group-commit write window, where the durability invariants are
+  // hardest: after records left the buffer but before any hit a file
+  // (kDequeued), between two shards' writes — one shard durable, the
+  // other not, guaranteeing a sequence gap (kMidBatch), and after every
+  // write but before the watermark publishes (kPrePublish).
+  auto messages = CrashStream();
+  struct KillPoint {
+    recovery::WalFlushPhase phase;
+    int trigger;  // SIGKILL on the Nth occurrence of `phase`
+  };
+  const KillPoint kill_points[] = {
+      {recovery::WalFlushPhase::kDequeued, 1},
+      {recovery::WalFlushPhase::kDequeued, 24},
+      {recovery::WalFlushPhase::kMidBatch, 3},
+      {recovery::WalFlushPhase::kMidBatch, 17},
+      {recovery::WalFlushPhase::kPrePublish, 2},
+      {recovery::WalFlushPhase::kPrePublish, 30},
+  };
 
-    // Aggregate and per-shard state match.
-    ServiceStats a = recovered.Stats();
-    ServiceStats b = reference.Stats();
-    EXPECT_EQ(a.live_bundles, b.live_bundles);
-    EXPECT_EQ(recovered.Now(), reference.Now());
-    for (size_t i = 0; i < recovered.num_shards(); ++i) {
-      const ProvenanceEngine& ea = recovered.sharded().shard(i);
-      const ProvenanceEngine& eb = reference.sharded().shard(i);
-      EXPECT_EQ(ea.messages_ingested(), eb.messages_ingested())
-          << "shard " << i;
-      EXPECT_EQ(ea.pool().size(), eb.pool().size()) << "shard " << i;
-      EXPECT_EQ(ea.pool().next_id(), eb.pool().next_id()) << "shard " << i;
-      EXPECT_EQ(ea.pool().stats().bundles_created,
-                eb.pool().stats().bundles_created)
-          << "shard " << i;
-      EXPECT_EQ(ea.pool().stats().bundles_closed,
-                eb.pool().stats().bundles_closed)
-          << "shard " << i;
-      EXPECT_EQ(ea.dictionary().TotalTerms(), eb.dictionary().TotalTerms())
-          << "shard " << i;
-      EXPECT_EQ(ea.summary_index().num_keys(),
-                eb.summary_index().num_keys())
-          << "shard " << i;
+  for (const KillPoint& kp : kill_points) {
+    ScopedTempDir dir;
+    pid_t child = fork();
+    ASSERT_GE(child, 0) << "fork failed";
+    if (child == 0) {
+      ServiceOptions options = CrashOptions(dir.path());
+      // The hook runs on the child's flusher thread, squarely inside
+      // the window under test.
+      auto hits = std::make_shared<int>(0);
+      options.durability.wal_flush_phase_hook_for_test =
+          [phase = kp.phase, trigger = kp.trigger,
+           hits](recovery::WalFlushPhase p) {
+            if (p == phase && ++*hits == trigger) {
+              ::kill(::getpid(), SIGKILL);
+            }
+          };
+      RunChildIngest(std::move(options));  // never returns
     }
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+    const bool killed = WIFSIGNALED(wstatus) && WTERMSIG(wstatus) == SIGKILL;
+    // kMidBatch needs a batch touching both shards, so a short stream
+    // could in principle finish without tripping the trigger.
+    const bool finished = WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
+    ASSERT_TRUE(killed || finished) << "child exit status " << wstatus;
 
-    // Ranked results agree for probes drawn from the durable prefix
-    // (scores include bundle tree structure, so this covers edges too).
-    int probed = 0;
-    for (uint64_t i = 0; i < durable && probed < 4; ++i) {
-      if (messages[i].hashtags.empty()) continue;
-      const std::string text = "#" + messages[i].hashtags.front();
-      auto ra = recovered.Search({.text = text, .k = 8});
-      auto rb = reference.Search({.text = text, .k = 8});
-      ASSERT_TRUE(ra.ok());
-      ASSERT_TRUE(rb.ok());
-      ASSERT_EQ(ra->size(), rb->size()) << text;
-      for (size_t j = 0; j < ra->size(); ++j) {
-        EXPECT_EQ((*ra)[j].bundle, (*rb)[j].bundle) << text;
-        EXPECT_EQ((*ra)[j].size, (*rb)[j].size) << text;
-        EXPECT_DOUBLE_EQ((*ra)[j].score, (*rb)[j].score) << text;
-      }
-      ++probed;
-      i += durable / 5;  // spread probes across the prefix
-    }
-    // A very early kill can leave a prefix too short to carry hashtags;
-    // anything substantial must yield probes.
-    if (durable >= 100) {
-      EXPECT_GT(probed, 0) << "no hashtag probes in durable prefix";
-    }
-
-    // The recovered service is live: it keeps accepting and logging.
-    if (durable < messages.size()) {
-      ASSERT_TRUE(recovered.Ingest(messages[durable]).ok());
-      ASSERT_TRUE(recovered.Flush().ok());
-      EXPECT_EQ(recovered.Stats().messages_ingested, durable + 1);
-    }
+    SCOPED_TRACE("phase " + std::to_string(static_cast<int>(kp.phase)) +
+                 " trigger " + std::to_string(kp.trigger) +
+                 (killed ? " (killed)" : " (finished)"));
+    VerifyRecoveredMatchesPrefix(dir.path(), messages, finished);
   }
 }
 

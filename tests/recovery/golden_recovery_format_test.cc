@@ -145,7 +145,7 @@ TEST(GoldenRecoveryFormatTest, WalSegmentBytesUnchanged) {
   msg.user = "alice";
   msg.text = "Go #redsox";
   msg.hashtags = {"redsox"};
-  ASSERT_TRUE((*writer_or)->Append(msg).ok());
+  ASSERT_TRUE((*writer_or)->Append(9, msg).ok());
   ASSERT_TRUE((*writer_or)->Close().ok());
 
   auto segments_or = recovery::ListWalSegments(options.dir);
@@ -159,12 +159,106 @@ TEST(GoldenRecoveryFormatTest, WalSegmentBytesUnchanged) {
                   ->ReadFileToString((*segments_or)[0].path, &contents)
                   .ok());
   // log_format frame: masked crc32c(4) | length(2 LE) | type(1=FULL),
-  // then payload = record version varint + EncodeMessageBinary.
-  EXPECT_EQ(contents.size(), 44u);
+  // then payload = record version varint (2) + acceptance sequence
+  // varint (9) + EncodeMessageBinary.
+  EXPECT_EQ(contents.size(), 45u);
   EXPECT_EQ(
       ToHex(contents),
-      "25d162be250001010e8090e3a90905616c6963650a476f2023726564736f7801"
-      "06726564736f780000000001");
+      "d0257dd426000102090e8090e3a90905616c6963650a476f2023726564736f78"
+      "0106726564736f780000000001");
+}
+
+TEST(GoldenRecoveryFormatTest, LegacyWalRecordPayloadStillDecodes) {
+  // The exact payload bytes a pre-group-commit binary framed (record
+  // version 1, no sequence): an upgraded binary must keep decoding
+  // them, reporting seq 0 ("unconditionally durable in file order").
+  const std::string hex =
+      "010e8090e3a90905616c6963650a476f2023726564736f780106726564736f78"
+      "0000000001";
+  std::string payload;
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    payload.push_back(static_cast<char>(
+        std::stoi(hex.substr(i, 2), nullptr, 16)));
+  }
+  uint64_t seq = 99;
+  Message msg;
+  ASSERT_TRUE(recovery::DecodeWalRecord(payload, &seq, &msg).ok());
+  EXPECT_EQ(seq, 0u);
+  EXPECT_EQ(msg.id, 7);
+  EXPECT_EQ(msg.user, "alice");
+  EXPECT_EQ(msg.text, "Go #redsox");
+  ASSERT_EQ(msg.hashtags.size(), 1u);
+  EXPECT_EQ(msg.hashtags[0], "redsox");
+}
+
+TEST(GoldenRecoveryFormatTest, ServiceDeltaBytesUnchanged) {
+  recovery::ServiceDelta delta;
+  delta.parent_seq = 3;
+  delta.num_shards = 1;
+  delta.watermark = kTestEpoch + 120;
+  delta.accepted = 4;
+  recovery::ShardDelta shard;
+  shard.clock = kTestEpoch + 120;
+  shard.delta.messages_ingested = 4;
+  shard.delta.next_bundle_id = 44;
+  shard.delta.pool_stats.bundles_created = 2;
+  shard.delta.pool_stats.bundles_closed = 1;
+  shard.delta.base_terms[static_cast<size_t>(IndicantType::kUser)] = 1;
+  shard.delta.base_terms[static_cast<size_t>(IndicantType::kUrl)] = 1;
+  shard.delta.base_terms[static_cast<size_t>(IndicantType::kHashtag)] = 1;
+  shard.delta.base_terms[static_cast<size_t>(IndicantType::kKeyword)] = 2;
+  shard.delta.new_terms[static_cast<size_t>(IndicantType::kUser)] = {
+      "carol"};
+  shard.delta.removed = {7};
+  shard.delta.bundles.push_back(HandcraftedBundle());
+  delta.shards.push_back(std::move(shard));
+
+  std::string encoded;
+  recovery::EncodeServiceDelta(delta, &encoded);
+  // "4d50444c" = the MPDL magic (little-endian); the final 4 bytes are
+  // the masked crc32c trailer over everything before it.
+  EXPECT_EQ(encoded.size(), 205u);
+  EXPECT_EQ(
+      ToHex(encoded),
+      "4d50444c010301f091e3a90904f091e3a90901042c020000000001010001000200"
+      "0101056361726f6c0107019b01012a0102028090e3a90905616c6963652b476f20"
+      "23726564736f782062656174207468652079616e6b65657320687474703a2f2f62"
+      "69742e6c792f310106726564736f7801086269742e6c792f310204626561740579"
+      "616e6b6500000101030000000004f890e3a90903626f621552542040616c696365"
+      "3a20476f2023726564736f780106726564736f7800000105616c69636502020000"
+      "00803f60475237");
+
+  auto decoded_or = recovery::DecodeServiceDelta(encoded);
+  ASSERT_TRUE(decoded_or.ok()) << decoded_or.status().ToString();
+  EXPECT_EQ(decoded_or->parent_seq, 3u);
+  EXPECT_EQ(decoded_or->accepted, 4u);
+  ASSERT_EQ(decoded_or->shards.size(), 1u);
+  EXPECT_EQ(decoded_or->shards[0].delta.removed.size(), 1u);
+
+  // The delta applies over the pinned base image: bundle 42 is upserted
+  // in place, bundle 7 (absent here) drops from the removal set, and
+  // the new dictionary tail lands after the base terms.
+  recovery::ServiceSnapshot base;
+  base.num_shards = 1;
+  base.watermark = kTestEpoch + 60;
+  base.accepted = 2;
+  recovery::ShardSnapshot base_shard;
+  base_shard.clock = kTestEpoch + 60;
+  base_shard.state = HandcraftedState();
+  base.shards.push_back(std::move(base_shard));
+  ASSERT_TRUE(
+      recovery::ApplyServiceDelta(&base, std::move(*decoded_or)).ok());
+  EXPECT_EQ(base.accepted, 4u);
+  ASSERT_EQ(base.shards.size(), 1u);
+  const EngineState& state = base.shards[0].state;
+  EXPECT_EQ(state.messages_ingested, 4u);
+  EXPECT_EQ(state.next_bundle_id, 44u);
+  ASSERT_EQ(
+      state.terms[static_cast<size_t>(IndicantType::kUser)].size(), 2u);
+  EXPECT_EQ(state.terms[static_cast<size_t>(IndicantType::kUser)][1],
+            "carol");
+  ASSERT_EQ(state.bundles.size(), 1u);
+  EXPECT_EQ(state.bundles[0]->id(), 42u);
 }
 
 }  // namespace

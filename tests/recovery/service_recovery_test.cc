@@ -167,6 +167,10 @@ TEST(ServiceRecoveryTest, AutoCheckpointTruncatesWalAndRecovers) {
   auto messages = GeneratedStream(23, 500);
   ServiceOptions options = RecoverableOptions(dir.path());
   options.durability.checkpoint_every_messages = 150;
+  // Full-base mode: every install garbage-collects, which is the WAL
+  // truncation behaviour this test pins. Incremental chains retain
+  // superseded epochs by design (see the delta-chain tests below).
+  options.durability.incremental_checkpoints = false;
   {
     auto service_or = Service::Open(options);
     ASSERT_TRUE(service_or.ok());
@@ -268,42 +272,171 @@ TEST(ServiceRecoveryTest, ShardCountMismatchIsRejected) {
   EXPECT_FALSE(Service::Open(options).ok());
 }
 
-TEST(ServiceRecoveryTest, BitRottedCheckpointFallsBackToOlderImage) {
+TEST(ServiceRecoveryTest, IncrementalDeltaChainRecoversExactly) {
+  // Automatic checkpoints after the first become deltas; recovery
+  // resolves base + chain and replays only the post-chain tail, and the
+  // recovered state is indistinguishable from never having crashed.
   ScopedTempDir dir;
-  auto messages = GeneratedStream(27, 300);
+  auto messages = GeneratedStream(27, 500);
+  ServiceOptions options = RecoverableOptions(dir.path());
+  options.durability.checkpoint_every_messages = 150;
+  {
+    auto service_or = Service::Open(options);
+    ASSERT_TRUE(service_or.ok());
+    for (const Message& msg : messages) {
+      ASSERT_TRUE((*service_or)->Ingest(msg).ok());
+    }
+    EXPECT_EQ((*service_or)->Stats().checkpoints_installed, 3u);
+  }
+  // Install 1 was the base, 2 and 3 were deltas. Delta installs retain
+  // the WAL epochs they supersede (losing a delta file to bit-rot must
+  // never lose data), so epochs 2 and 3 survive alongside the live
+  // epoch 4; only epoch 1, superseded by the *base*, was collected.
+  ASSERT_TRUE(
+      Env::Default()->FileExists(dir.path() + "/checkpoint-0000000001.snap"));
+  ASSERT_TRUE(Env::Default()->FileExists(dir.path() +
+                                         "/checkpoint-0000000003.delta"));
+  for (uint32_t shard = 0; shard < 3; ++shard) {
+    auto segments_or = recovery::ListWalSegments(
+        dir.path() + "/wal/shard-" + std::to_string(shard));
+    ASSERT_TRUE(segments_or.ok());
+    for (const recovery::WalSegment& segment : *segments_or) {
+      EXPECT_GE(segment.epoch, 2u) << segment.path;
+    }
+  }
+
+  auto recovered_or = Service::Open(options);
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  ASSERT_NE((*recovered_or)->durability(), nullptr);
+  EXPECT_EQ((*recovered_or)->durability()->checkpoint_seq(), 3u);
+  EXPECT_EQ((*recovered_or)->durability()->base_checkpoint_seq(), 1u);
+  EXPECT_EQ((*recovered_or)->Stats().replayed_messages, 50u);
+  auto reference = ReferenceService(messages);
+  ExpectServicesEqual(**recovered_or, *reference, messages);
+}
+
+TEST(ServiceRecoveryTest, FullCheckpointEveryBoundsDeltaChain) {
+  ScopedTempDir dir;
+  auto messages = GeneratedStream(28, 300);
+  ServiceOptions options = RecoverableOptions(dir.path());
+  options.durability.checkpoint_every_messages = 100;
+  options.durability.full_checkpoint_every = 2;
+  {
+    auto service_or = Service::Open(options);
+    ASSERT_TRUE(service_or.ok());
+    for (const Message& msg : messages) {
+      ASSERT_TRUE((*service_or)->Ingest(msg).ok());
+    }
+    // base(1) -> delta(2) -> chain full -> base(3).
+    ASSERT_NE((*service_or)->durability(), nullptr);
+    EXPECT_EQ((*service_or)->durability()->checkpoint_seq(), 3u);
+    EXPECT_EQ((*service_or)->durability()->base_checkpoint_seq(), 3u);
+  }
+  ASSERT_TRUE(
+      Env::Default()->FileExists(dir.path() + "/checkpoint-0000000003.snap"));
+  // The base at 3 garbage-collected the old base and the whole chain.
+  EXPECT_FALSE(
+      Env::Default()->FileExists(dir.path() + "/checkpoint-0000000001.snap"));
+  EXPECT_FALSE(Env::Default()->FileExists(dir.path() +
+                                          "/checkpoint-0000000002.delta"));
+
+  auto recovered_or = Service::Open(options);
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  auto reference = ReferenceService(messages);
+  ExpectServicesEqual(**recovered_or, *reference, messages);
+}
+
+TEST(ServiceRecoveryTest, BitRottedDeltaFallsBackToBasePlusWal) {
+  // Corrupting a delta file mid-chain must cost nothing: the chain
+  // truncates at its predecessor and the retained WAL epochs cover the
+  // difference, so recovery is still byte-for-byte complete.
+  ScopedTempDir dir;
+  auto messages = GeneratedStream(29, 300);
   ServiceOptions options = RecoverableOptions(dir.path());
   {
     auto service_or = Service::Open(options);
     ASSERT_TRUE(service_or.ok());
     for (size_t i = 0; i < messages.size(); ++i) {
       ASSERT_TRUE((*service_or)->Ingest(messages[i]).ok());
-      if (i == 99) {
-        ASSERT_TRUE((*service_or)->Checkpoint().ok());
-      }
-      if (i == 199) {
+      if (i == 99 || i == 199) {
         ASSERT_TRUE((*service_or)->Checkpoint().ok());
       }
     }
     ASSERT_TRUE((*service_or)->Flush().ok());
   }
-  // Checkpoint 1 was garbage-collected when 2 installed; resurrect the
-  // scenario by corrupting 2 only works if 1 still exists, so instead
-  // corrupt the newest image and verify recovery still succeeds purely
-  // from the WAL (checkpoint rejected, full replay).
-  const std::string newest = dir.path() + "/checkpoint-0000000002.snap";
+  const std::string delta = dir.path() + "/checkpoint-0000000002.delta";
   std::string contents;
-  ASSERT_TRUE(Env::Default()->ReadFileToString(newest, &contents).ok());
+  ASSERT_TRUE(Env::Default()->ReadFileToString(delta, &contents).ok());
   contents[contents.size() / 2] ^= 0x20;
-  ASSERT_TRUE(Env::Default()->WriteStringToFile(newest, contents).ok());
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(delta, contents).ok());
 
   auto recovered_or = Service::Open(options);
   ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
-  // The torn checkpoint forced WAL-only recovery... which no longer has
-  // epochs <= 2. This is exactly why GC must only run after a *valid*
-  // install: the recovered prefix is what epoch-3 replay can rebuild.
-  // The durable contract still holds for the epochs that remain.
-  EXPECT_EQ((*recovered_or)->durability()->checkpoint_seq(), 0u);
-  EXPECT_EQ((*recovered_or)->Stats().replayed_messages, 100u);
+  // The chain resolved to the base alone; epochs 2 and 3 replayed the
+  // 200 messages the rejected delta would have carried.
+  EXPECT_EQ((*recovered_or)->durability()->checkpoint_seq(), 1u);
+  EXPECT_EQ((*recovered_or)->Stats().replayed_messages, 200u);
+  auto reference = ReferenceService(messages);
+  ExpectServicesEqual(**recovered_or, *reference, messages);
+}
+
+TEST(ServiceRecoveryTest, RejectedSubmitNeverReachesWal) {
+  // Regression for the dual-write window: Ingest used to append to the
+  // WAL *before* Submit, so a message the pipeline rejected was already
+  // durable and came back from the dead on recovery. The fixed order
+  // logs only what a shard accepted.
+  ScopedTempDir dir;
+  auto messages = GeneratedStream(30, 40);
+  ServiceOptions options = RecoverableOptions(dir.path());
+  options.durability.checkpoint_every_messages = 0;
+  options.engine.ingest_fault_for_test = [](const Message& msg) {
+    if (msg.user == "poison") {
+      return Status::Internal("injected ingest fault");
+    }
+    return Status::OK();
+  };
+  {
+    auto service_or = Service::Open(options);
+    ASSERT_TRUE(service_or.ok());
+    for (const Message& msg : messages) {
+      ASSERT_TRUE((*service_or)->Ingest(msg).ok());
+    }
+    ASSERT_TRUE((*service_or)->Flush().ok());
+    // The poisoned message is *accepted* (Submit enqueues it and Ingest
+    // acks), so it legitimately reaches the WAL; the fault fires on the
+    // shard worker afterwards and latches the pipeline error.
+    Message poison = messages.front();
+    poison.id = 1000001;
+    poison.user = "poison";
+    poison.urls.clear();
+    poison.hashtags.clear();
+    ASSERT_TRUE((*service_or)->Ingest(poison).ok());
+    EXPECT_FALSE((*service_or)->Flush().ok());  // error latched
+    // Now Submit itself rejects. Pre-fix, this message was already in
+    // the WAL by the time Submit failed. Routing follows the re-shared
+    // author ("poison"), so it lands on the shard holding the error.
+    Message rejected = messages.front();
+    rejected.id = 1000002;
+    rejected.user = "someone";
+    rejected.urls.clear();
+    rejected.hashtags = {"neverdurable"};
+    rejected.is_retweet = true;
+    rejected.retweet_of_user = "poison";
+    rejected.retweet_of_id = 1000001;
+    EXPECT_FALSE((*service_or)->Ingest(rejected).ok());
+  }
+
+  // Recover without the fault: the poisoned message replays cleanly
+  // (it was acked), the rejected one must not exist anywhere.
+  options.engine.ingest_fault_for_test = nullptr;
+  auto recovered_or = Service::Open(options);
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().ToString();
+  EXPECT_EQ((*recovered_or)->Stats().replayed_messages,
+            messages.size() + 1);
+  auto results_or =
+      (*recovered_or)->Search({.text = "#neverdurable", .k = 5});
+  ASSERT_TRUE(results_or.ok());
+  EXPECT_TRUE(results_or->empty());
 }
 
 }  // namespace
