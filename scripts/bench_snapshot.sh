@@ -23,8 +23,9 @@ trap 'rm -rf "$TMP"' EXIT
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" --target \
-  bench_micro_core bench_micro_index bench_sharded_ingest \
-  bench_fig13_stage_breakdown bench_wal_overhead >/dev/null
+  bench_micro_core bench_micro_index bench_posting_arena \
+  bench_sharded_ingest bench_fig13_stage_breakdown \
+  bench_wal_overhead >/dev/null
 
 echo "== bench_micro_core =="
 "$BUILD/bench/bench_micro_core" \
@@ -32,6 +33,9 @@ echo "== bench_micro_core =="
 echo "== bench_micro_index =="
 "$BUILD/bench/bench_micro_index" \
   --benchmark_out="$TMP/micro_index.json" --benchmark_out_format=json
+echo "== bench_posting_arena =="
+"$BUILD/bench/bench_posting_arena" \
+  --benchmark_out="$TMP/posting_arena.json" --benchmark_out_format=json
 echo "== bench_sharded_ingest =="
 "$BUILD/bench/bench_sharded_ingest" --seed 42 | tee "$TMP/sharded.txt"
 echo "== bench_fig13_stage_breakdown =="
@@ -52,6 +56,12 @@ def google_bench(path):
         row = {"real_time_ns": b.get("real_time")}
         if "items_per_second" in b:
             row["items_per_second"] = round(b["items_per_second"])
+        # User counters (bytes_per_posting, arena_bytes, ...) appear as
+        # plain numeric fields on the benchmark entry.
+        for key in ("bytes_per_posting", "arena_bytes",
+                    "ranked_evictions"):
+            if key in b:
+                row[key] = round(b[key], 2)
         rows[b["name"]] = row
     return rows
 
@@ -151,6 +161,7 @@ snapshot = {
         text=True).stdout.strip(),
     "micro_core": google_bench(f"{tmp}/micro_core.json"),
     "micro_index": google_bench(f"{tmp}/micro_index.json"),
+    "posting_arena": google_bench(f"{tmp}/posting_arena.json"),
     "sharded_ingest": parse_sharded(f"{tmp}/sharded.txt"),
     "fig13_stage_breakdown": parse_fig13(f"{tmp}/fig13.txt"),
     "wal_overhead": parse_wal(f"{tmp}/wal.txt"),

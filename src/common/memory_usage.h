@@ -50,6 +50,35 @@ size_t ApproxMapOverhead(const std::unordered_map<K, V, H, E, A>& m) {
   return m.size() * per_node + m.bucket_count() * sizeof(void*);
 }
 
+/// Per-component memory accounting, one struct across every layer: a
+/// ProvenanceEngine reports its own breakdown, ShardedEngine sums its
+/// shards, and Service::Stats() carries the deployment-wide view. Each
+/// field is an ApproxMemoryUsage-style estimate; `arena_bytes` is the
+/// block memory held by the shard posting arenas (the quantity
+/// MemoryBudget::index_arena_bytes bounds) and is disjoint from
+/// `summary_index_bytes`, which covers only the index's own tables.
+struct MemoryBreakdown {
+  size_t pool_bytes = 0;
+  size_t summary_index_bytes = 0;
+  size_t text_index_bytes = 0;
+  size_t arena_bytes = 0;
+  size_t dictionary_bytes = 0;
+
+  size_t total() const {
+    return pool_bytes + summary_index_bytes + text_index_bytes +
+           arena_bytes + dictionary_bytes;
+  }
+
+  MemoryBreakdown& operator+=(const MemoryBreakdown& other) {
+    pool_bytes += other.pool_bytes;
+    summary_index_bytes += other.summary_index_bytes;
+    text_index_bytes += other.text_index_bytes;
+    arena_bytes += other.arena_bytes;
+    dictionary_bytes += other.dictionary_bytes;
+    return *this;
+  }
+};
+
 }  // namespace microprov
 
 #endif  // MICROPROV_COMMON_MEMORY_USAGE_H_

@@ -1,0 +1,181 @@
+#include "common/slab_arena.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace microprov {
+namespace {
+
+constexpr size_t kMinBlockBytes = 8u << 10;
+constexpr size_t kMaxBlockBytes = 256u << 20;
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+uint32_t Log2(size_t pow2) {
+  uint32_t bits = 0;
+  while ((size_t{1} << bits) < pow2) ++bits;
+  return bits;
+}
+
+uint32_t RoundUp8(uint32_t v) { return (v + 7u) & ~7u; }
+
+}  // namespace
+
+SlabArena::SlabArena() : SlabArena(Options()) {}
+
+SlabArena::SlabArena(const Options& options) {
+  block_bytes_ = RoundUpPow2(
+      std::clamp(options.block_bytes, kMinBlockBytes, kMaxBlockBytes));
+  offset_bits_ = Log2(block_bytes_);
+  offset_mask_ = static_cast<uint32_t>(block_bytes_ - 1);
+  max_blocks_ = offset_bits_ >= 32 ? 1u : (1u << (32 - offset_bits_)) - 1;
+  budget_bytes_ = options.budget_bytes;
+  eviction_headroom_ = options.eviction_headroom_bytes > 0
+                           ? options.eviction_headroom_bytes
+                           : block_bytes_ / 4;
+  uint32_t prev = 0;
+  for (int c = 0; c < kNumClasses; ++c) {
+    uint32_t payload = RoundUp8(std::max(options.class_payload_bytes[c], 8u));
+    // Classes must ascend (the ladder walks upward) and fit the 16-bit
+    // fill counter plus the header inside one block.
+    payload = std::max(payload, prev);
+    payload = std::min(payload, 0xFFF8u);
+    payload = std::min(payload,
+                       static_cast<uint32_t>(block_bytes_ - kHeaderBytes));
+    class_payload_[c] = payload;
+    prev = payload;
+  }
+  free_lists_.fill(kNullRef);
+}
+
+SlabArena::Ref SlabArena::Allocate(int size_class) {
+  assert(size_class >= 0 && size_class < kNumClasses);
+  Ref& free_head = free_lists_[size_class];
+  if (free_head != kNullRef) {
+    const Ref ref = free_head;
+    ChunkHeader* h = Header(ref);
+    free_head = h->next;
+    h->next = kNullRef;
+    h->used = 0;
+    stats_.free_bytes -= ChunkBytes(size_class);
+    stats_.used_bytes += ChunkBytes(size_class);
+    ++stats_.chunks_recycled;
+    return ref;
+  }
+  // At budget, growth is the last resort: serve the request from any
+  // class with recyclable chunks — smaller ones first (the chain just
+  // climbs the ladder in shorter steps), then larger (some payload slack
+  // beats another block). A chunk keeps its own class, so capacity
+  // bookkeeping is untouched. This is what makes the budget a ceiling
+  // rather than a suggestion: eviction frees whatever classes the dying
+  // chains happened to use, and over-budget demand takes any of them.
+  if (over_budget()) {
+    for (int c = size_class - 1; c >= 0; --c) {
+      if (free_lists_[c] != kNullRef) return Allocate(c);
+    }
+    for (int c = size_class + 1; c < kNumClasses; ++c) {
+      if (free_lists_[c] != kNullRef) return Allocate(c);
+    }
+  }
+  const size_t need = ChunkBytes(size_class);
+  if (blocks_.empty() || bump_ + need > block_bytes_) {
+    SalvageTail();
+    NewBlock();
+  }
+  const uint32_t block = static_cast<uint32_t>(blocks_.size() - 1);
+  const uint32_t offset = static_cast<uint32_t>(bump_);
+  bump_ += need;
+  const Ref ref = MakeRef(block, offset);
+  ChunkHeader* h = Header(ref);
+  h->next = kNullRef;
+  h->used = 0;
+  h->cls = static_cast<uint8_t>(size_class);
+  h->reserved = 0;
+  stats_.used_bytes += need;
+  ++stats_.chunks_carved;
+  return ref;
+}
+
+void SlabArena::Free(Ref ref) {
+  ChunkHeader* h = Header(ref);
+  const int cls = h->cls;
+  h->next = free_lists_[cls];
+  h->used = 0;
+  free_lists_[cls] = ref;
+  stats_.used_bytes -= ChunkBytes(cls);
+  stats_.free_bytes += ChunkBytes(cls);
+  ++stats_.chunks_freed;
+}
+
+void SlabArena::FreeChain(Ref head) {
+  while (head != kNullRef) {
+    const Ref following = next(head);
+    Free(head);
+    head = following;
+  }
+}
+
+void SlabArena::SalvageTail() {
+  if (blocks_.empty()) return;
+  const uint32_t block = static_cast<uint32_t>(blocks_.size() - 1);
+  // Carve the remainder into the largest chunks that fit; whatever is
+  // left is smaller than the smallest chunk and written off as waste.
+  for (int c = kNumClasses - 1; c >= 0; --c) {
+    const size_t chunk = ChunkBytes(c);
+    while (bump_ + chunk <= block_bytes_) {
+      const Ref ref = MakeRef(block, static_cast<uint32_t>(bump_));
+      bump_ += chunk;
+      ChunkHeader* h = Header(ref);
+      h->cls = static_cast<uint8_t>(c);
+      h->reserved = 0;
+      h->used = 0;
+      h->next = free_lists_[c];
+      free_lists_[c] = ref;
+      stats_.free_bytes += chunk;
+    }
+  }
+  stats_.wasted_bytes += block_bytes_ - bump_;
+  bump_ = block_bytes_;
+}
+
+void SlabArena::NewBlock() {
+  if (blocks_.size() >= max_blocks_) {
+    // 2^32 addressable bytes exhausted — a per-shard arena this size
+    // means the budget wiring is broken; fail loudly rather than hand
+    // out aliased refs.
+    std::fprintf(stderr,
+                 "SlabArena: exceeded %u blocks of %zu bytes (ref space "
+                 "exhausted)\n",
+                 max_blocks_, block_bytes_);
+    std::abort();
+  }
+  blocks_.push_back(std::make_unique<uint8_t[]>(block_bytes_));
+  bump_ = 0;
+  stats_.allocated_bytes += block_bytes_;
+  ++stats_.blocks_allocated;
+}
+
+void SlabArena::AppendBytes(ByteChain* chain, const void* data, size_t n) {
+  assert(n <= class_payload_[0]);
+  Ref tail = chain->tail;
+  if (tail == kNullRef || used(tail) + n > capacity(tail)) {
+    const int cls = tail == kNullRef ? 0 : NextClass(class_of(tail));
+    const Ref fresh = Allocate(cls);
+    if (tail == kNullRef) {
+      chain->head = fresh;
+    } else {
+      set_next(tail, fresh);
+    }
+    chain->tail = fresh;
+    tail = fresh;
+  }
+  std::memcpy(Payload(tail) + used(tail), data, n);
+  set_used(tail, used(tail) + static_cast<uint32_t>(n));
+}
+
+}  // namespace microprov

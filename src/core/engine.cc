@@ -19,6 +19,28 @@ std::string_view IndexConfigToString(IndexConfig config) {
   return "?";
 }
 
+Status MemoryBudget::Validate() const {
+  if (arena_block_bytes < (8u << 10) || arena_block_bytes > (256u << 20) ||
+      (arena_block_bytes & (arena_block_bytes - 1)) != 0) {
+    return Status::InvalidArgument(
+        "memory.arena_block_bytes must be a power of two in "
+        "[8 KiB, 256 MiB]");
+  }
+  if (index_arena_bytes > 0 && index_arena_bytes < 2 * arena_block_bytes) {
+    // One block can't both hold the working set and leave room for the
+    // transient over-budget grant eviction needs; a "budget" below two
+    // blocks would thrash refinement on every append.
+    return Status::InvalidArgument(
+        "memory.index_arena_bytes must be 0 (unbounded) or at least "
+        "twice memory.arena_block_bytes");
+  }
+  if (pool_bytes > 0 && pool_bytes < (64u << 10)) {
+    return Status::InvalidArgument(
+        "memory.pool_bytes must be 0 (unbounded) or at least 64 KiB");
+  }
+  return Status::OK();
+}
+
 EngineOptions EngineOptions::ForConfig(IndexConfig config,
                                        size_t pool_limit,
                                        size_t bundle_cap) {
@@ -58,8 +80,42 @@ EngineOptions EngineOptions::ShardSlice(size_t num_shards) const {
     sliced.matcher.max_posting_fanout =
         std::max<size_t>(64, matcher.max_posting_fanout / num_shards);
   }
+  // The memory budget divides with everything else: N shards together
+  // hold the configured total. Floors keep each slice valid under
+  // MemoryBudget::Validate (a functional pool, >= 2 arena blocks).
+  if (memory.pool_bytes > 0) {
+    sliced.memory.pool_bytes =
+        std::max<size_t>(64u << 10, memory.pool_bytes / num_shards);
+  }
+  if (memory.index_arena_bytes > 0) {
+    sliced.memory.index_arena_bytes =
+        std::max<size_t>(2 * memory.arena_block_bytes,
+                         memory.index_arena_bytes / num_shards);
+  }
   return sliced;
 }
+
+namespace {
+
+// The consolidated MemoryBudget is the authoritative byte knob: its
+// pool ceiling overrides whatever the caller left on PoolOptions, and
+// its arena fields become the arena's construction options.
+PoolOptions PoolOptionsFor(const EngineOptions& options) {
+  PoolOptions pool = options.pool;
+  if (options.memory.pool_bytes > 0) {
+    pool.max_pool_bytes = options.memory.pool_bytes;
+  }
+  return pool;
+}
+
+SlabArena::Options ArenaOptionsFor(const MemoryBudget& memory) {
+  SlabArena::Options arena;
+  arena.block_bytes = memory.arena_block_bytes;
+  arena.budget_bytes = memory.index_arena_bytes;
+  return arena;
+}
+
+}  // namespace
 
 ProvenanceEngine::ProvenanceEngine(const EngineOptions& options,
                                    const Clock* clock,
@@ -67,8 +123,9 @@ ProvenanceEngine::ProvenanceEngine(const EngineOptions& options,
     : options_(options),
       clock_(clock),
       archive_(archive),
-      index_(&dict_),
-      pool_(options.pool, &dict_) {
+      arena_(ArenaOptionsFor(options.memory)),
+      index_(&dict_, &arena_),
+      pool_(PoolOptionsFor(options), &dict_) {
   if (archive_ != nullptr) {
     pool_.ReserveIdsThrough(archive_->MaxBundleId());
   }
@@ -100,6 +157,30 @@ ProvenanceEngine::ProvenanceEngine(const EngineOptions& options,
         "microprov_engine_memory_bytes", shard_label,
         "Approximate pool + index footprint (refreshed at "
         "refinement/flush, not per message)");
+    mem_pool_gauge_ = registry->GetGauge(
+        "microprov_engine_memory_component_bytes",
+        shard_label + ",component=\"pool\"",
+        "Approximate per-component engine footprint (MemoryBreakdown)");
+    mem_index_gauge_ = registry->GetGauge(
+        "microprov_engine_memory_component_bytes",
+        shard_label + ",component=\"summary_index\"");
+    mem_arena_gauge_ = registry->GetGauge(
+        "microprov_engine_memory_component_bytes",
+        shard_label + ",component=\"arena\"");
+    mem_dict_gauge_ = registry->GetGauge(
+        "microprov_engine_memory_component_bytes",
+        shard_label + ",component=\"dictionary\"");
+    arena_allocated_gauge_ = registry->GetGauge(
+        "microprov_arena_bytes", shard_label + ",kind=\"allocated\"",
+        "Shard posting-arena bytes: block memory held / reserved by "
+        "live chunks / parked on free lists");
+    arena_used_gauge_ = registry->GetGauge(
+        "microprov_arena_bytes", shard_label + ",kind=\"used\"");
+    arena_free_gauge_ = registry->GetGauge(
+        "microprov_arena_bytes", shard_label + ",kind=\"free\"");
+    arena_pressure_counter_ = registry->GetCounter(
+        "microprov_arena_pressure_refinements_total", "",
+        "Refinement passes forced by index-arena memory pressure");
   }
 }
 
@@ -139,6 +220,9 @@ StatusOr<IngestResult> ProvenanceEngine::Ingest(const Message& msg) {
   // Alg. 1 step 3 input: the index consumes the staged message before
   // placement moves it into the bundle. Same index state as updating
   // after insertion — AddMessage only needs the bundle id.
+  // The receiving bundle's footprint before AddMessage; the growth is
+  // fed to the pool so its byte ceiling tracks without O(pool) rescans.
+  size_t bundle_bytes_before = 0;
   if (bundle == nullptr) {
     // Stage 2: bundle creation.
     bundle = pool_.Create();
@@ -146,6 +230,7 @@ StatusOr<IngestResult> ProvenanceEngine::Ingest(const Message& msg) {
     local.created_bundle = true;
     index_.AddMessage(bundle->id(), staged_,
                       Bundle::kSummaryKeywordsPerMessage);
+    bundle_bytes_before = bundle->ApproxMemoryUsage();
     bundle->AddMessage(std::move(staged_), kInvalidMessageId,
                        ConnectionType::kText, 0.0f);
   } else {
@@ -157,6 +242,7 @@ StatusOr<IngestResult> ProvenanceEngine::Ingest(const Message& msg) {
     local.connection = placement.type;
     index_.AddMessage(bundle->id(), staged_,
                       Bundle::kSummaryKeywordsPerMessage);
+    bundle_bytes_before = bundle->ApproxMemoryUsage();
     bundle->AddMessage(std::move(staged_), placement.parent,
                        placement.type,
                        static_cast<float>(placement.score));
@@ -165,7 +251,7 @@ StatusOr<IngestResult> ProvenanceEngine::Ingest(const Message& msg) {
                             static_cast<float>(placement.score)});
     }
   }
-  pool_.NoteMessageAdded();
+  pool_.NoteMessageAdded(bundle->ApproxMemoryUsage() - bundle_bytes_before);
   dirty_bundles_.insert(local.bundle);
 
   // Bundle-size constraint (Section V-B): cap reached -> closed.
@@ -177,10 +263,23 @@ StatusOr<IngestResult> ProvenanceEngine::Ingest(const Message& msg) {
 
   const int64_t t2 = MonotonicNanos();
 
-  // Stage 3: memory refinement (Alg. 3) when the pool outgrows M.
-  const bool refined = pool_.NeedsRefinement();
+  // Stage 3: memory refinement (Alg. 3) when the pool outgrows M — in
+  // count or bytes — or when the posting arena is over its byte budget.
+  // Arena pressure forces ranked evictions even if the pool is under
+  // its own targets: evicted bundles free their posting chains back to
+  // the arena's free lists, which is the only way arena memory shrinks.
+  const bool arena_pressure = arena_.NeedsEviction();
+  const bool refined = pool_.NeedsRefinement() || arena_pressure;
   if (refined) {
-    MICROPROV_RETURN_IF_ERROR(pool_.Refine(now, &index_, archive_));
+    size_t min_rank_evictions = 0;
+    if (arena_pressure) {
+      min_rank_evictions = std::max<size_t>(1, pool_.size() / 64);
+      if (arena_pressure_counter_ != nullptr) {
+        arena_pressure_counter_->Increment();
+      }
+    }
+    MICROPROV_RETURN_IF_ERROR(
+        pool_.Refine(now, &index_, archive_, min_rank_evictions));
   }
 
   const int64_t t3 = MonotonicNanos();
@@ -334,14 +433,30 @@ Status ProvenanceEngine::ImportState(const EngineState& state) {
 }
 
 void ProvenanceEngine::RefreshMemoryMetrics() {
-  if (memory_gauge_ != nullptr) {
-    memory_gauge_->Set(static_cast<int64_t>(ApproxMemoryUsage()));
-  }
+  if (memory_gauge_ == nullptr) return;
+  const MemoryBreakdown usage = MemoryUsage();
+  memory_gauge_->Set(static_cast<int64_t>(usage.total()));
+  mem_pool_gauge_->Set(static_cast<int64_t>(usage.pool_bytes));
+  mem_index_gauge_->Set(static_cast<int64_t>(usage.summary_index_bytes));
+  mem_arena_gauge_->Set(static_cast<int64_t>(usage.arena_bytes));
+  mem_dict_gauge_->Set(static_cast<int64_t>(usage.dictionary_bytes));
+  const SlabArena::Stats& arena = arena_.stats();
+  arena_allocated_gauge_->Set(static_cast<int64_t>(arena.allocated_bytes));
+  arena_used_gauge_->Set(static_cast<int64_t>(arena.used_bytes));
+  arena_free_gauge_->Set(static_cast<int64_t>(arena.free_bytes));
+}
+
+MemoryBreakdown ProvenanceEngine::MemoryUsage() const {
+  MemoryBreakdown usage;
+  usage.pool_bytes = pool_.ApproxMemoryUsage();
+  usage.summary_index_bytes = index_.ApproxMemoryUsage();
+  usage.arena_bytes = arena_.stats().allocated_bytes;
+  usage.dictionary_bytes = dict_.ApproxMemoryUsage();
+  return usage;
 }
 
 size_t ProvenanceEngine::ApproxMemoryUsage() const {
-  return pool_.ApproxMemoryUsage() + index_.ApproxMemoryUsage() +
-         dict_.ApproxMemoryUsage();
+  return MemoryUsage().total();
 }
 
 }  // namespace microprov

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/memory_usage.h"
+#include "common/slab_arena.h"
 #include "common/status.h"
 #include "common/statusor.h"
 #include "core/edge_log.h"
@@ -34,10 +36,38 @@ enum class IndexConfig {
 
 std::string_view IndexConfigToString(IndexConfig config);
 
+/// The engine's memory knobs, consolidated and validated in one place
+/// (previously scattered: the pool bound lived in PoolOptions, index
+/// memory had no bound at all). All three are *total* budgets when used
+/// through microprov::Service — ShardSlice hands each shard its 1/N.
+/// Zeros keep the paper's original behavior: count-bounded pool,
+/// unbounded index arena.
+struct MemoryBudget {
+  /// Byte ceiling for live bundle storage (0 = count-bounded only).
+  /// Becomes PoolOptions::max_pool_bytes on the engine's pool.
+  size_t pool_bytes = 0;
+  /// Byte ceiling for the shard posting arena backing the summary
+  /// index (0 = unbounded). When the arena is at budget and cannot
+  /// recycle, ingest triggers pool refinement — eviction frees posting
+  /// chains — so the bound degrades gracefully instead of OOMing.
+  size_t index_arena_bytes = 0;
+  /// Arena block size (the heap-allocation unit). Must be a power of
+  /// two in [8 KiB, 256 MiB].
+  size_t arena_block_bytes = SlabArena::kDefaultBlockBytes;
+
+  /// Rejects inconsistent budgets (Service::Open surfaces the error as
+  /// InvalidArgument instead of silently misbehaving).
+  Status Validate() const;
+};
+
 struct EngineOptions {
   IndexConfig config = IndexConfig::kPartialIndex;
   MatcherOptions matcher;
   PoolOptions pool;
+  /// Memory budgets (pool bytes, index-arena bytes, slab block size).
+  /// `memory.pool_bytes` is copied onto the pool at engine construction;
+  /// set budgets here, not on `pool`, when using this struct.
+  MemoryBudget memory;
   /// Record every connection into the edge log (evaluation harness).
   bool record_edges = true;
   /// Alg. 2 scan window: most-recent members considered for the Eq. 5
@@ -154,9 +184,15 @@ class ProvenanceEngine {
   const EngineOptions& options() const { return options_; }
   BundleArchive* archive() const { return archive_; }
   uint64_t messages_ingested() const { return ingested_; }
+  const SlabArena& arena() const { return arena_; }
 
-  /// In-memory footprint: pool + summary index + dictionary
-  /// (Fig. 11(a)).
+  /// Per-component in-memory footprint (Fig. 11(a), itemized): pool
+  /// bundles, summary-index tables, posting-arena blocks, dictionary.
+  /// `text_index_bytes` is 0 here — the flat message-search index lives
+  /// outside the engine.
+  MemoryBreakdown MemoryUsage() const;
+
+  /// MemoryUsage().total(), kept for callers that want one number.
   size_t ApproxMemoryUsage() const;
 
   /// Re-publishes the `microprov_engine_memory_bytes` gauge from
@@ -173,6 +209,11 @@ class ProvenanceEngine {
   // the pool's bundles, and every message staged through Ingest.
   // Declared before index_/pool_, which hold pointers into it.
   IndicantDictionary dict_;
+  // The shard posting arena: every summary-index posting chain lives in
+  // its blocks, bounded by options_.memory.index_arena_bytes. Declared
+  // before index_, which holds a pointer into it (and frees its chains
+  // first on destruction).
+  SlabArena arena_;
   SummaryIndex index_;
   BundlePool pool_;
   EdgeLog edge_log_;
@@ -193,6 +234,17 @@ class ProvenanceEngine {
   obs::HistogramMetric* refinement_hist_ = nullptr;
   obs::Counter* ingested_counter_ = nullptr;
   obs::Gauge* memory_gauge_ = nullptr;
+  // Per-component memory gauges (refreshed with memory_gauge_); the
+  // service sums these across shards for its TSan-safe Stats() view.
+  obs::Gauge* mem_pool_gauge_ = nullptr;
+  obs::Gauge* mem_index_gauge_ = nullptr;
+  obs::Gauge* mem_arena_gauge_ = nullptr;
+  obs::Gauge* mem_dict_gauge_ = nullptr;
+  // Arena internals (allocated/used/free bytes in this shard's arena).
+  obs::Gauge* arena_allocated_gauge_ = nullptr;
+  obs::Gauge* arena_used_gauge_ = nullptr;
+  obs::Gauge* arena_free_gauge_ = nullptr;
+  obs::Counter* arena_pressure_counter_ = nullptr;
   // Scratch reused across Ingest calls: the staged (interned) copy of
   // the incoming message, the matcher's candidate buffers, and the
   // trace score list.

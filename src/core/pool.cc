@@ -1,6 +1,7 @@
 #include "core/pool.h"
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "common/memory_usage.h"
@@ -13,6 +14,7 @@ Bundle* BundlePool::Create() {
   auto [it, inserted] =
       bundles_.emplace(id, std::make_unique<Bundle>(id, dict_));
   ++stats_.bundles_created;
+  approx_bytes_ += it->second->ApproxMemoryUsage();
   if (created_counter_ != nullptr) created_counter_->Increment();
   SetSizeGauge();
   return it->second.get();
@@ -21,6 +23,7 @@ Bundle* BundlePool::Create() {
 Bundle* BundlePool::Adopt(std::unique_ptr<Bundle> bundle) {
   const BundleId id = bundle->id();
   total_messages_ += bundle->size();
+  approx_bytes_ += bundle->ApproxMemoryUsage();
   ReserveIdsThrough(id);
   auto [it, inserted] = bundles_.emplace(id, std::move(bundle));
   SetSizeGauge();
@@ -76,6 +79,8 @@ Status BundlePool::Discard(Bundle* bundle, SummaryIndex* index,
     MICROPROV_RETURN_IF_ERROR(archive->Put(*bundle));
   }
   total_messages_ -= bundle->size();
+  const size_t bundle_bytes = bundle->ApproxMemoryUsage();
+  approx_bytes_ -= std::min(approx_bytes_, bundle_bytes);
   if (removal_listener_) removal_listener_(bundle->id());
   bundles_.erase(bundle->id());
   SetSizeGauge();
@@ -86,7 +91,8 @@ Status BundlePool::Discard(Bundle* bundle, SummaryIndex* index,
 }
 
 Status BundlePool::Refine(Timestamp now, SummaryIndex* index,
-                          BundleArchive* archive) {
+                          BundleArchive* archive,
+                          size_t min_rank_evictions) {
   ++stats_.refinement_runs;
   if (refinements_counter_ != nullptr) refinements_counter_->Increment();
 
@@ -124,24 +130,39 @@ Status BundlePool::Refine(Timestamp now, SummaryIndex* index,
   }
 
   // Stage 2 (lines 14-20): evict by descending G until the pool reaches
-  // its target size.
-  const size_t target = static_cast<size_t>(
-      static_cast<double>(options_.max_pool_size) *
-      options_.target_fraction);
-  if (bundles_.size() <= target) return Status::OK();
+  // its target size — in count, in bytes (when a byte ceiling is set),
+  // and honoring a forced minimum from external memory pressure.
+  const size_t count_target =
+      options_.max_pool_size > 0
+          ? static_cast<size_t>(
+                static_cast<double>(options_.max_pool_size) *
+                options_.target_fraction)
+          : std::numeric_limits<size_t>::max();
+  const size_t byte_target =
+      options_.max_pool_bytes > 0
+          ? static_cast<size_t>(
+                static_cast<double>(options_.max_pool_bytes) *
+                options_.target_fraction)
+          : std::numeric_limits<size_t>::max();
+  const auto above_target = [&] {
+    return bundles_.size() > count_target || approx_bytes_ > byte_target;
+  };
+  if (!above_target() && min_rank_evictions == 0) return Status::OK();
 
   std::sort(waiting.begin(), waiting.end(),
             [](const auto& a, const auto& b) {
               if (a.first != b.first) return a.first > b.first;
               return a.second < b.second;  // deterministic ties
             });
+  size_t evicted = 0;
   for (const auto& [g, id] : waiting) {
-    if (bundles_.size() <= target) break;
+    if (!above_target() && evicted >= min_rank_evictions) break;
     Bundle* bundle = Get(id);
     if (bundle == nullptr) continue;
     const bool archive_it =
         options_.archive_evicted && bundle->size() >= options_.tiny_size;
     MICROPROV_RETURN_IF_ERROR(Discard(bundle, index, archive, archive_it));
+    ++evicted;
     ++stats_.bundles_evicted_ranked;
     if (evicted_rank_counter_ != nullptr) {
       evicted_rank_counter_->Increment();

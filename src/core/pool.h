@@ -32,6 +32,12 @@ struct PoolOptions {
   /// in-memory bundle count exceeds this. 0 disables refinement entirely
   /// (the Full Index baseline).
   size_t max_pool_size = 10000;
+  /// Byte ceiling on the pool's bundle footprint (0 = unbounded).
+  /// Refinement also triggers when the incrementally tracked bundle
+  /// bytes exceed this, so memory is bounded even when bundles grow
+  /// large at a small count. Set from EngineOptions::memory.pool_bytes;
+  /// Alg. 3's count-based M stays the primary knob.
+  size_t max_pool_bytes = 0;
   /// After a refinement pass the pool is reduced to this fraction of
   /// max_pool_size, so scans don't re-trigger on every insertion.
   double target_fraction = 0.8;
@@ -106,16 +112,25 @@ class BundlePool {
     return bundles_;
   }
 
-  /// True when an insertion should be followed by a refinement pass.
+  /// True when an insertion should be followed by a refinement pass:
+  /// the bundle count exceeds M, or the tracked bundle bytes exceed the
+  /// byte ceiling.
   bool NeedsRefinement() const {
-    return options_.max_pool_size > 0 &&
-           bundles_.size() > options_.max_pool_size;
+    return (options_.max_pool_size > 0 &&
+            bundles_.size() > options_.max_pool_size) ||
+           (options_.max_pool_bytes > 0 &&
+            approx_bytes_ > options_.max_pool_bytes);
   }
 
   /// Alg. 3. Deletes aging tiny bundles, dumps aging closed bundles to
   /// `archive`, then evicts by descending G-score until the pool is at
-  /// target size. Removes evicted bundles from `index`.
-  Status Refine(Timestamp now, SummaryIndex* index, BundleArchive* archive);
+  /// target size (count and, when configured, bytes).
+  /// `min_rank_evictions` forces at least that many ranked evictions
+  /// even when the pool is under its own targets — the engine uses this
+  /// when the *index arena* is over budget, so allocation pressure
+  /// anywhere degrades to eviction instead of unbounded growth.
+  Status Refine(Timestamp now, SummaryIndex* index, BundleArchive* archive,
+                size_t min_rank_evictions = 0);
 
   /// Removes every bundle from memory (dumping to `archive` if present);
   /// used at shutdown so the store holds the complete provenance record.
@@ -130,12 +145,21 @@ class BundlePool {
 
   /// Total messages held in memory (Fig. 11(b)).
   uint64_t TotalMessages() const { return total_messages_; }
-  void NoteMessageAdded() {
+  /// `byte_delta` is how much the receiving bundle's ApproxMemoryUsage
+  /// grew — the engine reads it before/after Bundle::AddMessage (O(1),
+  /// bundles track their footprint incrementally) so the pool's byte
+  /// ceiling stays current without O(pool) rescans.
+  void NoteMessageAdded(size_t byte_delta = 0) {
     ++total_messages_;
+    approx_bytes_ += byte_delta;
     if (messages_gauge_ != nullptr) {
       messages_gauge_->Set(static_cast<int64_t>(total_messages_));
     }
   }
+
+  /// Incrementally tracked bundle bytes (the quantity max_pool_bytes
+  /// bounds). O(1); drifts only by the estimator's own approximation.
+  size_t approx_bytes() const { return approx_bytes_; }
 
   /// Invoked with the bundle id each time a bundle leaves the pool
   /// (tiny deletion, archive dump, ranked eviction, drain), before the
@@ -171,6 +195,7 @@ class BundlePool {
   BundleId next_id_ = 1;
   PoolStats stats_;
   uint64_t total_messages_ = 0;
+  size_t approx_bytes_ = 0;
 
   // Observability handles (null until BindMetrics; never owned).
   obs::Counter* created_counter_ = nullptr;

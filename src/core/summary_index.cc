@@ -6,36 +6,50 @@
 
 namespace microprov {
 
-std::vector<SummaryIndex::Posting>::iterator SummaryIndex::LowerBound(
-    std::vector<Posting>& entries, BundleId id) {
-  return std::lower_bound(entries.begin(), entries.end(), id,
-                          [](const Posting& p, BundleId target) {
-                            return p.bundle < target;
-                          });
-}
-
 SummaryIndex::SummaryIndex()
     : owned_dict_(std::make_unique<IndicantDictionary>()),
-      dict_(owned_dict_.get()) {}
+      owned_arena_(std::make_unique<SlabArena>()),
+      dict_(owned_dict_.get()),
+      arena_(owned_arena_.get()) {}
 
-SummaryIndex::SummaryIndex(IndicantDictionary* dict) : dict_(dict) {}
+SummaryIndex::SummaryIndex(IndicantDictionary* dict)
+    : owned_arena_(std::make_unique<SlabArena>()),
+      dict_(dict),
+      arena_(owned_arena_.get()) {}
+
+SummaryIndex::SummaryIndex(IndicantDictionary* dict, SlabArena* arena)
+    : dict_(dict), arena_(arena) {}
+
+SummaryIndex::~SummaryIndex() {
+  if (owned_arena_ != nullptr) return;  // dies with the arena wholesale
+  for (auto& lists : lists_) {
+    for (TermPostings& list : lists) arena_->FreeAll(&list.chain);
+  }
+}
 
 void SummaryIndex::Add(IndicantType type, TermId term, BundleId id) {
   auto& lists = lists_[static_cast<size_t>(type)];
   if (term >= lists.size()) lists.resize(term + 1);
-  PostingList& list = lists[term];
-  auto it = LowerBound(list.entries, id);
-  if (it != list.entries.end() && it->bundle == id) {
-    if (it->count == 0) {
+  TermPostings& list = lists[term];
+  // Bundles re-gain an indicant (another member message carries it) and
+  // evicted bundles never come back under the same id except through
+  // tombstone revival, so a linear chain scan for `id` covers both the
+  // increment and the revive case. Chains are fanout-capped at fetch
+  // time, which also bounds this scan for the terms that matter.
+  Posting* existing = arena_->FindIf(
+      list.chain, [id](const Posting& p) { return p.bundle == id; });
+  if (existing != nullptr) {
+    if (existing->count == 0) {
       // Reviving a tombstone: the bundle left and came back.
       ++list.live;
       ++num_postings_;
       if (list.live == 1) ++num_keys_;
     }
-    ++it->count;
+    ++existing->count;
     return;
   }
-  list.entries.insert(it, Posting{id, 1});
+  arena_->Append(&list.chain, Posting{id, 1});
+  ++list.size;
   ++list.live;
   ++num_postings_;
   if (list.live == 1) ++num_keys_;
@@ -45,32 +59,33 @@ void SummaryIndex::Remove(IndicantType type, TermId term, BundleId id,
                           uint32_t count) {
   auto& lists = lists_[static_cast<size_t>(type)];
   if (term == kInvalidTermId || term >= lists.size()) return;
-  PostingList& list = lists[term];
-  auto it = LowerBound(list.entries, id);
-  if (it == list.entries.end() || it->bundle != id || it->count == 0) {
+  TermPostings& list = lists[term];
+  Posting* existing = arena_->FindIf(
+      list.chain, [id](const Posting& p) { return p.bundle == id; });
+  if (existing == nullptr || existing->count == 0) return;
+  if (existing->count > count) {
+    existing->count -= count;
     return;
   }
-  if (it->count > count) {
-    it->count -= count;
-    return;
-  }
-  it->count = 0;  // tombstone
+  existing->count = 0;  // tombstone
   --list.live;
   --num_postings_;
   if (list.live == 0) {
     --num_keys_;
-    // Fully dead term: release the buffer. Long streams evict bundles
-    // continually; holding capacity for terms that may never recur
-    // would leak the index's working set upward. (`= {}` would keep
-    // capacity — it assigns an empty initializer list.)
-    std::vector<Posting>().swap(list.entries);
+    // Fully dead term: return the whole chain to the arena. Long streams
+    // evict bundles continually; holding chunks for terms that may never
+    // recur would leak the index's working set upward.
+    arena_->FreeAll(&list.chain);
+    list.size = 0;
     return;
   }
-  // Compact when tombstones dominate; erase preserves the sort order.
-  const size_t dead = list.entries.size() - list.live;
+  // Compact when tombstones dominate; surplus chunks go back to the
+  // arena's free lists.
+  const uint32_t dead = list.size - list.live;
   if (dead >= 8 && dead > list.live) {
-    std::erase_if(list.entries,
-                  [](const Posting& p) { return p.count == 0; });
+    arena_->Compact(&list.chain,
+                    [](const Posting& p) { return p.count > 0; });
+    list.size = list.live;
   }
 }
 
@@ -116,12 +131,12 @@ void SummaryIndex::RemoveBundle(const Bundle& bundle) {
 void SummaryIndex::Accumulate(IndicantType type, TermId term,
                               size_t max_fanout, CandidateAccumulator* out,
                               uint64_t* scanned) const {
-  const PostingList* list = ListFor(type, term);
+  const TermPostings* list = ListFor(type, term);
   if (list == nullptr || list->live == 0) return;
-  if (max_fanout > 0 && list->entries.size() > max_fanout) return;
-  *scanned += list->entries.size();
-  for (const Posting& posting : list->entries) {
-    if (posting.count == 0) continue;
+  if (max_fanout > 0 && list->size > max_fanout) return;
+  *scanned += list->size;
+  arena_->ForEach(list->chain, [&](const Posting& posting) {
+    if (posting.count == 0) return;
     CandidateHits& hits = out->Slot(posting.bundle);
     switch (type) {
       case IndicantType::kHashtag:
@@ -137,7 +152,7 @@ void SummaryIndex::Accumulate(IndicantType type, TermId term,
         ++hits.user_hits;
         break;
     }
-  }
+  });
 }
 
 void SummaryIndex::Candidates(const Message& msg, size_t max_keywords,
@@ -192,18 +207,21 @@ std::unordered_map<BundleId, CandidateHits> SummaryIndex::Candidates(
 std::vector<BundleId> SummaryIndex::Lookup(IndicantType type,
                                            const std::string& value) const {
   std::vector<BundleId> out;
-  const PostingList* list = ListFor(type, dict_->Find(type, value));
+  const TermPostings* list = ListFor(type, dict_->Find(type, value));
   if (list == nullptr) return out;
   out.reserve(list->live);
-  for (const Posting& posting : list->entries) {
+  arena_->ForEach(list->chain, [&](const Posting& posting) {
     if (posting.count > 0) out.push_back(posting.bundle);
-  }
+  });
+  // Chains are insertion-ordered; a revived tombstone keeps its old slot,
+  // so enforce the ascending-id contract here.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 size_t SummaryIndex::DocumentFrequency(IndicantType type,
                                        std::string_view value) const {
-  const PostingList* list = ListFor(type, dict_->Find(type, value));
+  const TermPostings* list = ListFor(type, dict_->Find(type, value));
   return list == nullptr ? 0 : list->live;
 }
 
@@ -211,10 +229,11 @@ size_t SummaryIndex::ApproxMemoryUsage() const {
   size_t total = sizeof(SummaryIndex);
   for (const auto& lists : lists_) {
     total += ApproxVectorUsage(lists);
-    for (const PostingList& list : lists) {
-      total += ApproxVectorUsage(list.entries);
-    }
   }
+  // With a private arena the postings are this index's own footprint;
+  // count bytes reserved by live chunks so eviction-driven reclamation
+  // shows up here (a shared arena is accounted by its owner instead).
+  if (owned_arena_ != nullptr) total += owned_arena_->stats().used_bytes;
   if (owned_dict_ != nullptr) total += owned_dict_->ApproxMemoryUsage();
   return total;
 }

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/slab_arena.h"
 #include "core/bundle.h"
 #include "core/candidate_accumulator.h"
 #include "core/indicant.h"
@@ -25,20 +26,31 @@ namespace microprov {
 ///
 /// Storage is flat and integer-keyed: terms are interned TermId32s (one
 /// id space per IndicantType, owned by an IndicantDictionary), and each
-/// term's postings are a contiguous vector sorted by BundleId. Candidate
-/// fetch over a stamped message touches no strings and no hash tables
-/// except the caller's CandidateAccumulator. RemoveBundle tombstones
-/// entries in place (count = 0) and compacts a list when tombstones
-/// outnumber live postings, so eviction-heavy streams don't accrete dead
-/// entries.
+/// term's postings live in a SlabArena chain — size-classed chunks carved
+/// from large fixed blocks, growing geometrically as the term gets hot
+/// (Earlybird's allocation policy). Appends are O(1) chunk fills, there
+/// is no per-term heap object, and the arena's block count is the single
+/// number a memory budget governs. Candidate fetch over a stamped message
+/// touches no strings and no hash tables except the caller's
+/// CandidateAccumulator. RemoveBundle tombstones entries in place
+/// (count = 0) and compacts a chain when tombstones outnumber live
+/// postings — compaction and fully-dead terms return their chunks to the
+/// arena's free lists, so eviction-heavy streams recycle instead of
+/// growing.
 class SummaryIndex {
  public:
-  /// Standalone index owning a private dictionary (tests, benches).
+  /// Standalone index owning a private dictionary and arena (tests,
+  /// benches).
   SummaryIndex();
-  /// Index over `dict`'s id space (per-shard: the engine shares one
-  /// dictionary between its index, pool, and bundles). `dict` must
+  /// Index over `dict`'s id space with a private arena. `dict` must
   /// outlive the index.
   explicit SummaryIndex(IndicantDictionary* dict);
+  /// Index over `dict`'s id space storing postings in `arena` (per-shard:
+  /// the engine shares one dictionary and one budgeted arena). Both must
+  /// outlive the index; the arena must be used single-writer alongside
+  /// this index.
+  SummaryIndex(IndicantDictionary* dict, SlabArena* arena);
+  ~SummaryIndex();
   SummaryIndex(const SummaryIndex&) = delete;
   SummaryIndex& operator=(const SummaryIndex&) = delete;
 
@@ -54,7 +66,7 @@ class SummaryIndex {
 
   /// Step 1 of Alg. 1: accumulates bundles sharing at least one indicant
   /// with `msg` into `out` (Reset is called here), with per-type
-  /// distinct-value hit counts. Indicant values whose posting vector
+  /// distinct-value hit counts. Indicant values whose posting chain
   /// exceeds `max_fanout` entries are skipped (0 = no cap): a value
   /// carried by thousands of bundles is a de-facto stopword with no
   /// discriminating power, and expanding it would make candidate fetch
@@ -90,16 +102,20 @@ class SummaryIndex {
     for (int t = 0; t < kNumIndicantTypes; ++t) {
       const IndicantType type = static_cast<IndicantType>(t);
       for (TermId term = 0; term < lists_[t].size(); ++term) {
-        for (const Posting& posting : lists_[t][term].entries) {
-          if (posting.count == 0) continue;  // tombstone
+        arena_->ForEach(lists_[t][term].chain, [&](const Posting& posting) {
+          if (posting.count == 0) return;  // tombstone
           fn(type, term, posting.bundle, posting.count);
-        }
+        });
       }
     }
   }
 
   const IndicantDictionary& dictionary() const { return *dict_; }
+  const SlabArena& arena() const { return *arena_; }
 
+  /// Bytes of the index structure itself (term tables; plus the private
+  /// dictionary and arena when owned). When the arena is shared, its
+  /// blocks are reported by the owner, not here.
   size_t ApproxMemoryUsage() const;
 
   /// Registers this index's metrics: shared candidate-fetch histograms
@@ -117,24 +133,21 @@ class SummaryIndex {
     uint32_t count = 0;
   };
 
-  /// Postings for one term, sorted by bundle id (tombstones keep their
-  /// position so binary search stays valid).
-  struct PostingList {
-    std::vector<Posting> entries;
+  /// Postings for one term: an arena chain in insertion order (bundle
+  /// ids are allocated monotonically, so chains are ascending except
+  /// where a tombstone was revived in place).
+  struct TermPostings {
+    SlabArena::Chain<Posting> chain;
+    uint32_t size = 0;  // total entries, tombstones included
     uint32_t live = 0;  // entries with count > 0
   };
-
-  /// Position of `id` in `entries` (sorted by bundle id), or the
-  /// insertion point. Tombstones participate: they keep their bundle id.
-  static std::vector<Posting>::iterator LowerBound(
-      std::vector<Posting>& entries, BundleId id);
 
   void Add(IndicantType type, TermId term, BundleId id);
   void Remove(IndicantType type, TermId term, BundleId id, uint32_t count);
   void Accumulate(IndicantType type, TermId term, size_t max_fanout,
                   CandidateAccumulator* out, uint64_t* scanned) const;
 
-  const PostingList* ListFor(IndicantType type, TermId term) const {
+  const TermPostings* ListFor(IndicantType type, TermId term) const {
     const auto& lists = lists_[static_cast<size_t>(type)];
     if (term == kInvalidTermId || term >= lists.size()) return nullptr;
     return &lists[term];
@@ -149,12 +162,15 @@ class SummaryIndex {
     }
   }
 
-  // Set iff this index was default-constructed (standalone use).
+  // Set iff this index was constructed without a shared dictionary /
+  // arena (standalone use).
   std::unique_ptr<IndicantDictionary> owned_dict_;
+  std::unique_ptr<SlabArena> owned_arena_;
   IndicantDictionary* dict_;
+  SlabArena* arena_;
   // Indexed by TermId: the dictionary's dense id spaces double as the
   // index's key spaces, so "hash the term" is an array subscript.
-  std::vector<PostingList> lists_[kNumIndicantTypes];
+  std::vector<TermPostings> lists_[kNumIndicantTypes];
   size_t num_keys_ = 0;
   size_t num_postings_ = 0;
 

@@ -7,6 +7,11 @@
 
 namespace microprov {
 
+MemoryIndex::~MemoryIndex() {
+  if (arena_ == nullptr) return;
+  for (PostingList& list : lists_) list.FreeStorage();
+}
+
 DocId MemoryIndex::AddDocument(const std::vector<std::string>& tokens) {
   const DocId doc = num_docs_++;
   // Coalesce term frequencies first so each posting list sees one Add.
@@ -14,7 +19,15 @@ DocId MemoryIndex::AddDocument(const std::vector<std::string>& tokens) {
   for (const std::string& tok : tokens) {
     ++tfs[vocab_.GetOrAdd(tok)];
   }
-  if (vocab_.size() > lists_.size()) lists_.resize(vocab_.size());
+  if (vocab_.size() > lists_.size()) {
+    const size_t old_size = lists_.size();
+    lists_.resize(vocab_.size());
+    if (arena_ != nullptr) {
+      for (size_t i = old_size; i < lists_.size(); ++i) {
+        lists_[i].BindArena(arena_);
+      }
+    }
+  }
   // Deterministic order (TermId ascending) keeps encodes reproducible.
   std::vector<std::pair<TermId, uint32_t>> sorted(tfs.begin(), tfs.end());
   std::sort(sorted.begin(), sorted.end());
@@ -48,8 +61,14 @@ size_t MemoryIndex::ApproxMemoryUsage() const {
   size_t total = sizeof(MemoryIndex);
   total += vocab_.ApproxMemoryUsage();
   total += ApproxVectorUsage(lists_);
-  for (const PostingList& list : lists_) {
-    total += list.ApproxMemoryUsage() - sizeof(PostingList);
+  if (arena_ != nullptr) {
+    // Arena-backed lists: the blocks are the resident footprint (the
+    // arena is dedicated to this index's postings).
+    total += arena_->stats().allocated_bytes;
+  } else {
+    for (const PostingList& list : lists_) {
+      total += list.ApproxMemoryUsage() - sizeof(PostingList);
+    }
   }
   total += ApproxVectorUsage(doc_lengths_);
   return total;

@@ -17,6 +17,12 @@ namespace microprov {
 class MemoryIndex {
  public:
   MemoryIndex() = default;
+  /// Index whose posting lists live in `arena` (shared, size-classed
+  /// chunks — see PostingList::BindArena) instead of per-term strings.
+  /// `arena` must outlive the index and be used single-writer alongside
+  /// it; the destructor returns every list's chunks to it.
+  explicit MemoryIndex(SlabArena* arena) : arena_(arena) {}
+  ~MemoryIndex();
   MemoryIndex(const MemoryIndex&) = delete;
   MemoryIndex& operator=(const MemoryIndex&) = delete;
 
@@ -43,6 +49,7 @@ class MemoryIndex {
 
  private:
   Vocabulary vocab_;
+  SlabArena* arena_ = nullptr;  // null = per-list string storage
   std::vector<PostingList> lists_;  // indexed by TermId
   std::vector<uint32_t> doc_lengths_;
   uint64_t total_length_ = 0;

@@ -6,6 +6,19 @@
 #include "common/memory_usage.h"
 
 namespace microprov {
+namespace {
+
+size_t EncodeVarint32(uint8_t* dst, uint32_t v) {
+  size_t n = 0;
+  while (v >= 0x80) {
+    dst[n++] = static_cast<uint8_t>(v | 0x80);
+    v >>= 7;
+  }
+  dst[n++] = static_cast<uint8_t>(v);
+  return n;
+}
+
+}  // namespace
 
 void PostingList::Add(DocId doc, uint32_t tf) {
   assert(doc_count_ == 0 || doc >= last_doc_);
@@ -17,49 +30,104 @@ void PostingList::Add(DocId doc, uint32_t tf) {
     return;
   }
   uint32_t delta = doc_count_ == 0 ? doc : doc - last_doc_;
-  PutVarint32(&data_, delta);
-  PutVarint32(&data_, tf);
+  if (arena_ != nullptr) {
+    // Encode the pair on the stack and hand it to the arena whole, so a
+    // pair never straddles a chunk (two varint32s fit the smallest
+    // chunk class: 10 bytes max).
+    uint8_t buf[10];
+    size_t n = EncodeVarint32(buf, delta);
+    n += EncodeVarint32(buf + n, tf);
+    arena_->AppendBytes(&chain_, buf, n);
+    encoded_bytes_ += static_cast<uint32_t>(n);
+  } else {
+    PutVarint32(&data_, delta);
+    PutVarint32(&data_, tf);
+  }
   last_doc_ = doc;
   ++doc_count_;
 }
 
+void PostingList::AppendEncodedTo(std::string* out) const {
+  if (arena_ == nullptr) {
+    out->append(data_);
+    return;
+  }
+  for (SlabArena::Ref ref = chain_.head; ref != SlabArena::kNullRef;
+       ref = arena_->next(ref)) {
+    out->append(reinterpret_cast<const char*>(arena_->Payload(ref)),
+                arena_->used(ref));
+  }
+}
+
 std::vector<Posting> PostingList::Decode() const {
   std::vector<Posting> out;
-  out.reserve(doc_count_);
-  for (auto it = NewIterator(); it.Valid(); it.Next()) {
-    out.push_back(it.posting());
-  }
+  Decode(&out);
   return out;
 }
 
-size_t PostingList::ApproxMemoryUsage() const {
-  return sizeof(PostingList) + ::microprov::ApproxMemoryUsage(data_);
-}
-
-PostingList::Iterator::Iterator(const PostingList* list)
-    : Iterator(std::string_view(list->data_)) {}
-
-PostingList::Iterator::Iterator(std::string_view encoded)
-    : rest_(encoded) {
-  valid_ = !rest_.empty();
-  if (valid_) {
-    uint32_t delta = 0, tf = 0;
-    GetVarint32(&rest_, &delta);
-    GetVarint32(&rest_, &tf);
-    current_ = {delta, tf};
+void PostingList::Decode(std::vector<Posting>* out) const {
+  out->clear();
+  out->reserve(doc_count_);
+  for (auto it = NewIterator(); it.Valid(); it.Next()) {
+    out->push_back(it.posting());
   }
 }
 
-void PostingList::Iterator::Next() {
+void PostingList::FreeStorage() {
+  if (arena_ == nullptr) return;
+  arena_->FreeAll(&chain_);
+  encoded_bytes_ = 0;
+  last_doc_ = 0;
+  doc_count_ = 0;
+}
+
+size_t PostingList::ApproxMemoryUsage() const {
+  if (arena_ != nullptr) {
+    // Chunk bytes this chain has reserved inside the (shared) arena.
+    return sizeof(PostingList) + arena_->ChainCapacityBytes(chain_);
+  }
+  return sizeof(PostingList) + ::microprov::ApproxMemoryUsage(data_);
+}
+
+PostingList::Iterator::Iterator(const PostingList* list) {
+  if (list->arena_ != nullptr) {
+    arena_ = list->arena_;
+    next_chunk_ = list->chain_.head;
+    AdvanceChunk();
+  } else {
+    rest_ = std::string_view(list->data_);
+  }
+  valid_ = ParsePair();
+}
+
+PostingList::Iterator::Iterator(std::string_view encoded) : rest_(encoded) {
+  valid_ = ParsePair();
+}
+
+void PostingList::Iterator::AdvanceChunk() {
+  rest_ = {};
+  while (next_chunk_ != SlabArena::kNullRef && rest_.empty()) {
+    rest_ = std::string_view(
+        reinterpret_cast<const char*>(arena_->Payload(next_chunk_)),
+        arena_->used(next_chunk_));
+    next_chunk_ = arena_->next(next_chunk_);
+  }
+}
+
+bool PostingList::Iterator::ParsePair() {
   if (rest_.empty()) {
-    valid_ = false;
-    return;
+    if (arena_ == nullptr) return false;
+    AdvanceChunk();
+    if (rest_.empty()) return false;
   }
   uint32_t delta = 0, tf = 0;
   GetVarint32(&rest_, &delta);
   GetVarint32(&rest_, &tf);
   current_ = {current_.doc + delta, tf};
+  return true;
 }
+
+void PostingList::Iterator::Next() { valid_ = ParsePair(); }
 
 void PostingList::Iterator::SkipTo(DocId target) {
   while (valid_ && current_.doc < target) Next();

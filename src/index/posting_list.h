@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/slab_arena.h"
 #include "common/status.h"
 
 namespace microprov {
@@ -25,21 +26,52 @@ struct Posting {
 /// frequencies as varints. Append-only; docs must be added in ascending
 /// order (the in-memory index guarantees this because doc ids grow with
 /// insertion).
+///
+/// Two storage modes. By default the encoded stream lives in a private
+/// std::string (self-contained; also what on-disk segments decode from).
+/// BindArena switches the list to a SlabArena byte chain before its
+/// first Add: postings then live in size-classed chunks shared with
+/// every other list in the index, so a million-term index performs zero
+/// per-term heap allocations and its memory is governed by the arena's
+/// block budget. Each encoded (delta, tf) pair is appended atomically —
+/// it never straddles a chunk boundary — so iteration decodes each chunk
+/// independently.
 class PostingList {
  public:
   PostingList() = default;
+
+  /// Stores this list's postings in `arena` (which must outlive the
+  /// list's storage — see FreeStorage). Must be called before the first
+  /// Add; lists that already hold data keep their string storage.
+  void BindArena(SlabArena* arena) {
+    if (doc_count_ == 0) arena_ = arena;
+  }
 
   /// Appends a posting. Requires doc > the last appended doc (or tf
   /// accumulation onto the same trailing doc).
   void Add(DocId doc, uint32_t tf);
 
   uint32_t doc_count() const { return doc_count_; }
-  size_t encoded_size() const { return data_.size(); }
-  /// Raw encoded bytes (for segment serialization).
+  size_t encoded_size() const {
+    return arena_ != nullptr ? encoded_bytes_ : data_.size();
+  }
+  /// Raw encoded bytes. String mode only — arena-backed lists are not
+  /// contiguous; use AppendEncodedTo.
   std::string_view encoded() const { return data_; }
+
+  /// Appends the encoded stream to `out` (segment serialization). Works
+  /// in both modes and produces identical bytes for identical Adds.
+  void AppendEncodedTo(std::string* out) const;
 
   /// Decodes the full list (tests, merges).
   std::vector<Posting> Decode() const;
+  /// Decodes into a caller-owned buffer (cleared first) so repeated
+  /// query-path decodes reuse one allocation.
+  void Decode(std::vector<Posting>* out) const;
+
+  /// Arena mode: returns this list's chunks to the arena and resets the
+  /// list. No-op in string mode.
+  void FreeStorage();
 
   /// Forward iterator over the compressed list.
   class Iterator {
@@ -56,7 +88,14 @@ class PostingList {
     void SkipTo(DocId target);
 
    private:
+    /// Refills rest_ from the next non-empty chunk (arena mode).
+    void AdvanceChunk();
+    /// Parses one (delta, tf) pair from rest_, crossing chunks as needed.
+    bool ParsePair();
+
     std::string_view rest_;
+    const SlabArena* arena_ = nullptr;
+    SlabArena::Ref next_chunk_ = SlabArena::kNullRef;
     Posting current_;
     bool valid_ = false;
   };
@@ -68,6 +107,9 @@ class PostingList {
  private:
   friend class Iterator;
   std::string data_;
+  SlabArena* arena_ = nullptr;
+  SlabArena::ByteChain chain_;
+  uint32_t encoded_bytes_ = 0;
   DocId last_doc_ = 0;
   uint32_t doc_count_ = 0;
 };

@@ -1,15 +1,14 @@
 #include "index/searcher.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 namespace microprov {
 
-std::vector<SearchHit> Searcher::RankAccumulated(
-    std::vector<std::pair<DocId, double>>&& scores, size_t k) const {
-  std::vector<SearchHit> hits;
-  hits.reserve(scores.size());
-  for (const auto& [doc, score] : scores) {
+void Searcher::RankAccumulated(size_t k, SearcherScratch* scratch) {
+  std::vector<SearchHit>& hits = scratch->hits;
+  hits.clear();
+  hits.reserve(scratch->scores.size());
+  for (const auto& [doc, score] : scratch->scores) {
     hits.push_back({doc, score});
   }
   size_t take = std::min(k, hits.size());
@@ -19,12 +18,19 @@ std::vector<SearchHit> Searcher::RankAccumulated(
                       return a.doc < b.doc;
                     });
   hits.resize(take);
-  return hits;
 }
 
 std::vector<SearchHit> Searcher::TopK(
     const std::vector<std::string>& terms, size_t k) const {
-  std::unordered_map<DocId, double> acc;
+  SearcherScratch scratch;
+  return TopK(terms, k, &scratch);
+}
+
+const std::vector<SearchHit>& Searcher::TopK(
+    const std::vector<std::string>& terms, size_t k,
+    SearcherScratch* scratch) const {
+  std::unordered_map<DocId, double>& acc = scratch->acc;
+  acc.clear();
   const uint32_t n = index_->num_docs();
   const double avg = index_->average_doc_length();
   for (const std::string& term : terms) {
@@ -37,33 +43,48 @@ std::vector<SearchHit> Searcher::TopK(
                              params_);
     }
   }
-  std::vector<std::pair<DocId, double>> scores(acc.begin(), acc.end());
-  return RankAccumulated(std::move(scores), k);
+  scratch->scores.assign(acc.begin(), acc.end());
+  RankAccumulated(k, scratch);
+  return scratch->hits;
 }
 
 std::vector<SearchHit> Searcher::TopKConjunctive(
     const std::vector<std::string>& terms, size_t k) const {
-  if (terms.empty()) return {};
+  SearcherScratch scratch;
+  return TopKConjunctive(terms, k, &scratch);
+}
+
+const std::vector<SearchHit>& Searcher::TopKConjunctive(
+    const std::vector<std::string>& terms, size_t k,
+    SearcherScratch* scratch) const {
+  scratch->scores.clear();
+  scratch->hits.clear();
+  if (terms.empty()) return scratch->hits;
   // Gather iterators; an unseen term means an empty result.
-  std::vector<PostingList::Iterator> iters;
-  std::vector<double> idfs;
+  std::vector<PostingList::Iterator>& iters = scratch->iters;
+  std::vector<double>& idfs = scratch->idfs;
+  iters.clear();
+  idfs.clear();
   const uint32_t n = index_->num_docs();
   const double avg = index_->average_doc_length();
   for (const std::string& term : terms) {
     uint32_t df = index_->DocFreq(term);
-    if (df == 0) return {};
+    if (df == 0) return scratch->hits;
     iters.push_back(index_->Postings(term));
     idfs.push_back(Bm25Idf(n, df));
   }
 
-  std::vector<std::pair<DocId, double>> scores;
+  std::vector<std::pair<DocId, double>>& scores = scratch->scores;
   // Classic leapfrog intersection driven by the first iterator.
   while (iters[0].Valid()) {
     DocId candidate = iters[0].posting().doc;
     bool all_match = true;
     for (size_t i = 1; i < iters.size(); ++i) {
       iters[i].SkipTo(candidate);
-      if (!iters[i].Valid()) return RankAccumulated(std::move(scores), k);
+      if (!iters[i].Valid()) {
+        RankAccumulated(k, scratch);
+        return scratch->hits;
+      }
       if (iters[i].posting().doc != candidate) {
         all_match = false;
         // Re-anchor on the larger doc.
@@ -81,7 +102,8 @@ std::vector<SearchHit> Searcher::TopKConjunctive(
       iters[0].Next();
     }
   }
-  return RankAccumulated(std::move(scores), k);
+  RankAccumulated(k, scratch);
+  return scratch->hits;
 }
 
 }  // namespace microprov

@@ -2,6 +2,7 @@
 #define MICROPROV_INDEX_SEARCHER_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "index/bm25.h"
@@ -15,6 +16,17 @@ struct SearchHit {
   double score = 0.0;
 };
 
+/// Reusable buffers for the query path. A caller that keeps one scratch
+/// across queries pays allocations only while the buffers grow to their
+/// working size; steady-state searches touch no heap.
+struct SearcherScratch {
+  std::unordered_map<DocId, double> acc;
+  std::vector<std::pair<DocId, double>> scores;
+  std::vector<SearchHit> hits;
+  std::vector<PostingList::Iterator> iters;
+  std::vector<double> idfs;
+};
+
 /// Ranked retrieval over a MemoryIndex.
 class Searcher {
  public:
@@ -26,13 +38,25 @@ class Searcher {
   std::vector<SearchHit> TopK(const std::vector<std::string>& terms,
                               size_t k) const;
 
+  /// Scratch-backed variant: the result lives in scratch->hits (valid
+  /// until the next call with the same scratch).
+  const std::vector<SearchHit>& TopK(const std::vector<std::string>& terms,
+                                     size_t k,
+                                     SearcherScratch* scratch) const;
+
   /// Conjunctive (AND) retrieval: docs containing every term, BM25-ranked.
   std::vector<SearchHit> TopKConjunctive(
       const std::vector<std::string>& terms, size_t k) const;
 
+  /// Scratch-backed variant of TopKConjunctive.
+  const std::vector<SearchHit>& TopKConjunctive(
+      const std::vector<std::string>& terms, size_t k,
+      SearcherScratch* scratch) const;
+
  private:
-  std::vector<SearchHit> RankAccumulated(
-      std::vector<std::pair<DocId, double>>&& scores, size_t k) const;
+  /// Ranks scratch->scores into scratch->hits (top `k`, score desc, doc
+  /// asc on ties).
+  static void RankAccumulated(size_t k, SearcherScratch* scratch);
 
   const MemoryIndex* index_;
   Bm25Params params_;

@@ -31,7 +31,7 @@ Status WriteSegment(const MemoryIndex& index, const DocStore& docs,
     PutVarint32(&dict, list.doc_count());
     PutVarint64(&dict, blob.size());
     PutVarint32(&dict, static_cast<uint32_t>(list.encoded_size()));
-    blob.append(list.encoded());
+    list.AppendEncodedTo(&blob);
   }
   PutLengthPrefixed(&body, dict);
   PutLengthPrefixed(&body, blob);

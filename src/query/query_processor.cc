@@ -23,7 +23,7 @@ std::vector<MessageSearchResult> MessageSearchIndex::Search(
   terms.insert(terms.end(), parsed.urls.begin(), parsed.urls.end());
   Searcher searcher(&index_);
   std::vector<MessageSearchResult> out;
-  for (const SearchHit& hit : searcher.TopK(terms, k)) {
+  for (const SearchHit& hit : searcher.TopK(terms, k, &scratch_)) {
     out.push_back(MessageSearchResult{
         docs_.ExternalId(hit.doc), hit.score, users_[hit.doc],
         dates_[hit.doc], docs_.Snippet(hit.doc)});

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/slab_arena.h"
 #include "core/engine.h"
 #include "index/doc_store.h"
 #include "index/memory_index.h"
@@ -44,6 +45,8 @@ struct MessageSearchResult {
 /// text-search substrate (BM25 over message keywords + hashtags).
 class MessageSearchIndex {
  public:
+  MessageSearchIndex() : index_(&arena_) {}
+
   /// Indexes a message (keywords, hashtags, URLs).
   void Add(const Message& msg);
 
@@ -54,10 +57,15 @@ class MessageSearchIndex {
   size_t ApproxMemoryUsage() const;
 
  private:
+  // Postings live in a private slab arena (no per-term heap strings);
+  // declared before the index so it outlives it on destruction.
+  SlabArena arena_;
   MemoryIndex index_;
   DocStore docs_;
   std::vector<std::string> users_;
   std::vector<Timestamp> dates_;
+  // Query-path buffers, reused across Search calls.
+  mutable SearcherScratch scratch_;
 };
 
 /// Optional result filters, mirroring the paper's demo-site list view

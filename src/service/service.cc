@@ -29,6 +29,10 @@ StatusOr<std::unique_ptr<Service>> Service::Open(
     return Status::InvalidArgument(
         "stats_interval_ms requires a stats_callback");
   }
+  // An inconsistent memory budget fails Open up front (InvalidArgument)
+  // rather than misbehaving at the first over-budget allocation.
+  Status budget = options.engine.memory.Validate();
+  if (!budget.ok()) return budget;
   std::unique_ptr<Service> service(new Service(options));
 
   std::vector<BundleArchive*> archives;
@@ -106,6 +110,18 @@ StatusOr<std::unique_ptr<Service>> Service::Open(
         registry->GetGauge("microprov_pool_bundles", shard_label));
     service->memory_gauges_.push_back(
         registry->GetGauge("microprov_engine_memory_bytes", shard_label));
+    service->mem_pool_gauges_.push_back(
+        registry->GetGauge("microprov_engine_memory_component_bytes",
+                           shard_label + ",component=\"pool\""));
+    service->mem_index_gauges_.push_back(
+        registry->GetGauge("microprov_engine_memory_component_bytes",
+                           shard_label + ",component=\"summary_index\""));
+    service->mem_arena_gauges_.push_back(
+        registry->GetGauge("microprov_engine_memory_component_bytes",
+                           shard_label + ",component=\"arena\""));
+    service->mem_dict_gauges_.push_back(
+        registry->GetGauge("microprov_engine_memory_component_bytes",
+                           shard_label + ",component=\"dictionary\""));
     if (!options.archive_dir.empty()) {
       service->store_gauges_.push_back(
           registry->GetGauge("microprov_store_bundles", shard_label));
@@ -406,6 +422,16 @@ ServiceStats Service::Stats() const {
   }
   for (obs::Gauge* gauge : memory_gauges_) {
     stats.memory_bytes += static_cast<size_t>(gauge->value());
+  }
+  for (size_t i = 0; i < mem_pool_gauges_.size(); ++i) {
+    stats.memory.pool_bytes +=
+        static_cast<size_t>(mem_pool_gauges_[i]->value());
+    stats.memory.summary_index_bytes +=
+        static_cast<size_t>(mem_index_gauges_[i]->value());
+    stats.memory.arena_bytes +=
+        static_cast<size_t>(mem_arena_gauges_[i]->value());
+    stats.memory.dictionary_bytes +=
+        static_cast<size_t>(mem_dict_gauges_[i]->value());
   }
   for (obs::Gauge* gauge : store_gauges_) {
     stats.archived_bundles += static_cast<uint64_t>(gauge->value());

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/memory_usage.h"
 #include "common/status.h"
 #include "common/statusor.h"
 #include "obs/metrics.h"
@@ -76,6 +77,11 @@ struct ServiceStats {
   size_t live_bundles = 0;
   uint64_t archived_bundles = 0;
   size_t memory_bytes = 0;
+  /// Per-component breakdown of `memory_bytes`, summed over shards
+  /// (same refresh cadence; text_index_bytes stays 0 — the service has
+  /// no flat text index). `memory.arena_bytes` is what
+  /// EngineOptions::memory.index_arena_bytes bounds.
+  MemoryBreakdown memory;
   /// Messages currently waiting in shard queues (sum over shards).
   size_t queue_depth = 0;
   /// Ingest calls that blocked on a full shard queue (backpressure).
@@ -224,6 +230,12 @@ class Service {
   std::vector<obs::Gauge*> pool_gauges_;
   std::vector<obs::Gauge*> memory_gauges_;
   std::vector<obs::Gauge*> store_gauges_;
+  /// Per-component memory gauges backing ServiceStats::memory, indexed
+  /// [shard] for each MemoryBreakdown field the engine publishes.
+  std::vector<obs::Gauge*> mem_pool_gauges_;
+  std::vector<obs::Gauge*> mem_index_gauges_;
+  std::vector<obs::Gauge*> mem_arena_gauges_;
+  std::vector<obs::Gauge*> mem_dict_gauges_;
   /// Durability counters cached for the same reason (null when
   /// durability is disabled).
   obs::Counter* wal_appends_counter_ = nullptr;

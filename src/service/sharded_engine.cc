@@ -208,9 +208,13 @@ size_t ShardedEngine::TotalPoolSize() const {
 }
 
 size_t ShardedEngine::ApproxMemoryUsage() const {
-  size_t total = 0;
+  return MemoryUsage().total();
+}
+
+MemoryBreakdown ShardedEngine::MemoryUsage() const {
+  MemoryBreakdown total;
   for (const auto& shard : shards_) {
-    total += shard->engine.ApproxMemoryUsage();
+    total += shard->engine.MemoryUsage();
   }
   return total;
 }

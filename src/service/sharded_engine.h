@@ -146,6 +146,10 @@ class ShardedEngine {
 
   size_t ApproxMemoryUsage() const;
 
+  /// Per-component footprint summed across shards (post-Flush, like
+  /// every other direct engine read).
+  MemoryBreakdown MemoryUsage() const;
+
  private:
   struct Shard {
     Shard(const EngineOptions& engine_options, BundleArchive* archive,

@@ -1,0 +1,264 @@
+#include "common/slab_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "testing/alloc_counter.h"
+
+namespace microprov {
+namespace {
+
+struct Posting {
+  uint32_t id;
+  uint32_t count;
+};
+
+using Chain = SlabArena::Chain<Posting>;
+
+std::vector<Posting> Collect(const SlabArena& arena, const Chain& chain) {
+  std::vector<Posting> out;
+  arena.ForEach(chain, [&](const Posting& p) { out.push_back(p); });
+  return out;
+}
+
+TEST(SlabArenaTest, AppendAndIterateRoundTrip) {
+  SlabArena arena;
+  Chain chain;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    arena.Append(&chain, Posting{i, i * 2});
+  }
+  const std::vector<Posting> got = Collect(arena, chain);
+  ASSERT_EQ(got.size(), 1000u);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(got[i].id, i);
+    EXPECT_EQ(got[i].count, i * 2);
+  }
+}
+
+TEST(SlabArenaTest, GeometricLadderClimbsClasses) {
+  SlabArena arena;
+  Chain chain;
+  // First chunk is class 0 (16B payload = 2 postings), then each fresh
+  // chunk is one class larger until the ladder tops out.
+  arena.Append(&chain, Posting{0, 0});
+  EXPECT_EQ(arena.class_of(chain.tail), 0);
+  arena.Append(&chain, Posting{1, 0});
+  EXPECT_EQ(arena.class_of(chain.tail), 0);
+  arena.Append(&chain, Posting{2, 0});
+  EXPECT_EQ(arena.class_of(chain.tail), 1);
+  for (uint32_t i = 3; i < 11; ++i) arena.Append(&chain, Posting{i, 0});
+  EXPECT_EQ(arena.class_of(chain.tail), 2);
+  // Enough appends to reach and stay at the top class.
+  for (uint32_t i = 11; i < 2000; ++i) arena.Append(&chain, Posting{i, 0});
+  EXPECT_EQ(arena.class_of(chain.tail), SlabArena::kNumClasses - 1);
+  EXPECT_EQ(Collect(arena, chain).size(), 2000u);
+}
+
+TEST(SlabArenaTest, FindIfReturnsMutablePointer) {
+  SlabArena arena;
+  Chain chain;
+  for (uint32_t i = 0; i < 100; ++i) arena.Append(&chain, Posting{i, 1});
+  Posting* p =
+      arena.FindIf(chain, [](const Posting& e) { return e.id == 57; });
+  ASSERT_NE(p, nullptr);
+  p->count = 42;
+  const std::vector<Posting> got = Collect(arena, chain);
+  EXPECT_EQ(got[57].count, 42u);
+  EXPECT_EQ(arena.FindIf(chain, [](const Posting& e) { return e.id == 999; }),
+            nullptr);
+}
+
+TEST(SlabArenaTest, CompactKeepsOrderAndFreesSurplus) {
+  SlabArena arena;
+  Chain chain;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    arena.Append(&chain, Posting{i, i % 5 == 0 ? 1u : 0u});
+  }
+  const uint64_t freed_before = arena.stats().chunks_freed;
+  const size_t survivors =
+      arena.Compact(&chain, [](const Posting& p) { return p.count > 0; });
+  EXPECT_EQ(survivors, 200u);
+  EXPECT_GT(arena.stats().chunks_freed, freed_before);
+  const std::vector<Posting> got = Collect(arena, chain);
+  ASSERT_EQ(got.size(), 200u);
+  uint32_t prev = 0;
+  for (const Posting& p : got) {
+    EXPECT_EQ(p.id % 5, 0u);
+    EXPECT_GE(p.id, prev);
+    prev = p.id;
+  }
+  // Tail must be valid for further appends.
+  arena.Append(&chain, Posting{5000, 7});
+  EXPECT_EQ(Collect(arena, chain).back().id, 5000u);
+}
+
+TEST(SlabArenaTest, CompactToEmptyFreesWholeChain) {
+  SlabArena arena;
+  Chain chain;
+  for (uint32_t i = 0; i < 500; ++i) arena.Append(&chain, Posting{i, 0});
+  const size_t used_before = arena.stats().used_bytes;
+  const size_t survivors =
+      arena.Compact(&chain, [](const Posting&) { return false; });
+  EXPECT_EQ(survivors, 0u);
+  EXPECT_TRUE(chain.empty());
+  EXPECT_LT(arena.stats().used_bytes, used_before);
+  // Chain is reusable from scratch.
+  arena.Append(&chain, Posting{1, 1});
+  EXPECT_EQ(Collect(arena, chain).size(), 1u);
+}
+
+TEST(SlabArenaTest, FreedChunksAreRecycledBeforeNewBlocks) {
+  SlabArena::Options opt;
+  opt.block_bytes = 8u << 10;
+  SlabArena arena(opt);
+  std::vector<Chain> chains(64);
+  for (auto& c : chains) {
+    for (uint32_t i = 0; i < 200; ++i) arena.Append(&c, Posting{i, 1});
+  }
+  const size_t blocks_after_fill = arena.stats().blocks_allocated;
+  // Free everything, then rebuild the same load: no new blocks needed.
+  for (auto& c : chains) arena.FreeAll(&c);
+  for (auto& c : chains) {
+    for (uint32_t i = 0; i < 200; ++i) arena.Append(&c, Posting{i, 1});
+  }
+  EXPECT_EQ(arena.stats().blocks_allocated, blocks_after_fill);
+  EXPECT_GT(arena.stats().chunks_recycled, 0u);
+}
+
+TEST(SlabArenaTest, SteadyStateAppendsAllocateNoHeap) {
+  SlabArena arena;
+  Chain chain;
+  // Warm up far enough that the chain sits in the top size class and the
+  // current block has room.
+  for (uint32_t i = 0; i < 4096; ++i) arena.Append(&chain, Posting{i, 1});
+  const uint64_t blocks = arena.stats().blocks_allocated;
+  const uint64_t before = testing_util::AllocationCount();
+  for (uint32_t i = 4096; i < 4596; ++i) arena.Append(&chain, Posting{i, 1});
+  if (arena.stats().blocks_allocated == blocks) {
+    EXPECT_EQ(testing_util::AllocationCount(), before)
+        << "appends inside existing blocks must not touch the heap";
+  }
+}
+
+TEST(SlabArenaTest, BudgetAndEvictionSignal) {
+  SlabArena::Options opt;
+  opt.block_bytes = 8u << 10;
+  opt.budget_bytes = 4 * (8u << 10);
+  SlabArena arena(opt);
+  EXPECT_FALSE(arena.over_budget());
+  EXPECT_FALSE(arena.NeedsEviction());
+  std::vector<Chain> chains;
+  while (!arena.over_budget()) {
+    chains.emplace_back();
+    for (uint32_t i = 0; i < 100; ++i) {
+      arena.Append(&chains.back(), Posting{i, 1});
+    }
+  }
+  EXPECT_GE(arena.allocated_bytes(), arena.budget_bytes());
+  // Past the budget the eviction signal fires as soon as the free-list
+  // reserve thins — before demand can force more than a block or two of
+  // growth past the ceiling.
+  const size_t crossing = arena.allocated_bytes();
+  while (!arena.NeedsEviction()) {
+    chains.emplace_back();
+    for (uint32_t i = 0; i < 100; ++i) {
+      arena.Append(&chains.back(), Posting{i, 1});
+    }
+    ASSERT_LE(arena.allocated_bytes(), crossing + 2 * arena.block_bytes());
+  }
+  // Freeing chains restores the reserve and clears the signal.
+  for (auto& c : chains) arena.FreeAll(&c);
+  EXPECT_FALSE(arena.NeedsEviction());
+}
+
+TEST(SlabArenaTest, StatsAccounting) {
+  SlabArena arena;
+  EXPECT_EQ(arena.stats().allocated_bytes, 0u);
+  Chain chain;
+  arena.Append(&chain, Posting{1, 1});
+  const SlabArena::Stats& s = arena.stats();
+  EXPECT_EQ(s.allocated_bytes, arena.block_bytes());
+  EXPECT_GT(s.used_bytes, 0u);
+  EXPECT_LE(s.used_bytes + s.free_bytes + s.wasted_bytes, s.allocated_bytes);
+  arena.FreeAll(&chain);
+  EXPECT_EQ(arena.stats().used_bytes, 0u);
+}
+
+TEST(SlabArenaTest, ByteChainAtomicAppends) {
+  SlabArena arena;
+  SlabArena::ByteChain chain;
+  // Variable-length atoms up to the smallest class payload; each must
+  // land whole inside one chunk.
+  std::mt19937 rng(7);
+  std::vector<uint8_t> expected;
+  for (int i = 0; i < 3000; ++i) {
+    uint8_t atom[16];
+    const size_t n = 1 + rng() % sizeof(atom);
+    for (size_t j = 0; j < n; ++j) {
+      atom[j] = static_cast<uint8_t>(rng());
+      expected.push_back(atom[j]);
+    }
+    arena.AppendBytes(&chain, atom, n);
+  }
+  std::vector<uint8_t> got;
+  for (SlabArena::Ref ref = chain.head; ref != SlabArena::kNullRef;
+       ref = arena.next(ref)) {
+    const uint8_t* p = arena.Payload(ref);
+    got.insert(got.end(), p, p + arena.used(ref));
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(SlabArenaTest, BlockSizeNormalization) {
+  SlabArena::Options opt;
+  opt.block_bytes = 5000;  // not a power of two, below the minimum
+  SlabArena arena(opt);
+  EXPECT_EQ(arena.block_bytes(), 8u << 10);
+  SlabArena::Chain<Posting> chain;
+  for (uint32_t i = 0; i < 10000; ++i) arena.Append(&chain, Posting{i, 1});
+  EXPECT_EQ(Collect(arena, chain).size(), 10000u);
+}
+
+TEST(SlabArenaTest, ManyChainsChurnRoundTrip) {
+  SlabArena::Options opt;
+  opt.block_bytes = 16u << 10;
+  SlabArena arena(opt);
+  std::mt19937 rng(42);
+  constexpr int kChains = 200;
+  std::vector<Chain> chains(kChains);
+  std::vector<std::vector<Posting>> shadow(kChains);
+  for (int round = 0; round < 20; ++round) {
+    for (int c = 0; c < kChains; ++c) {
+      const int op = rng() % 10;
+      if (op < 6) {
+        const Posting p{rng() % 100000, 1 + rng() % 5};
+        arena.Append(&chains[c], p);
+        shadow[c].push_back(p);
+      } else if (op < 8 && !shadow[c].empty()) {
+        const uint32_t victim = shadow[c][rng() % shadow[c].size()].id;
+        arena.Compact(&chains[c],
+                      [victim](const Posting& p) { return p.id != victim; });
+        std::erase_if(shadow[c],
+                      [victim](const Posting& p) { return p.id == victim; });
+      } else if (op == 9 && !shadow[c].empty()) {
+        arena.FreeAll(&chains[c]);
+        shadow[c].clear();
+      }
+    }
+  }
+  for (int c = 0; c < kChains; ++c) {
+    const std::vector<Posting> got = Collect(arena, chains[c]);
+    ASSERT_EQ(got.size(), shadow[c].size()) << "chain " << c;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, shadow[c][i].id) << "chain " << c << " pos " << i;
+      EXPECT_EQ(got[i].count, shadow[c][i].count);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace microprov

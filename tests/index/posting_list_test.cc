@@ -89,5 +89,69 @@ TEST(PostingListTest, LargeDocIdsAndTfs) {
   EXPECT_EQ(decoded[1].tf, 0xFFFFFFFFu);
 }
 
+TEST(PostingListTest, DecodeIntoReusesBuffer) {
+  PostingList list;
+  for (DocId d = 0; d < 50; ++d) list.Add(d * 3, d + 1);
+  std::vector<Posting> buf;
+  list.Decode(&buf);
+  ASSERT_EQ(buf.size(), 50u);
+  const Posting* data = buf.data();
+  list.Decode(&buf);  // same list again: capacity is reused
+  EXPECT_EQ(buf.data(), data);
+  EXPECT_EQ(buf.size(), 50u);
+  EXPECT_EQ(buf[49], (Posting{147, 50}));
+}
+
+TEST(PostingListTest, ArenaModeMatchesStringMode) {
+  SlabArena arena;
+  PostingList plain;
+  PostingList chained;
+  chained.BindArena(&arena);
+  for (DocId d = 0; d < 5000; ++d) {
+    plain.Add(d * 7, d % 13 + 1);
+    chained.Add(d * 7, d % 13 + 1);
+  }
+  EXPECT_EQ(chained.doc_count(), plain.doc_count());
+  EXPECT_EQ(chained.encoded_size(), plain.encoded_size());
+  // Byte-identical encoded stream (segment serialization depends on it).
+  std::string plain_bytes, chained_bytes;
+  plain.AppendEncodedTo(&plain_bytes);
+  chained.AppendEncodedTo(&chained_bytes);
+  EXPECT_EQ(chained_bytes, plain_bytes);
+  EXPECT_EQ(chained.Decode(), plain.Decode());
+}
+
+TEST(PostingListTest, ArenaModeIteratorAndSkipTo) {
+  SlabArena arena;
+  PostingList list;
+  list.BindArena(&arena);
+  for (DocId d = 0; d < 1000; ++d) list.Add(d * 10, 1);
+  auto it = list.NewIterator();
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.posting().doc, 0u);
+  it.SkipTo(4995);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.posting().doc, 5000u);
+  it.SkipTo(9990);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.posting().doc, 9990u);
+  it.Next();
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(PostingListTest, FreeStorageReturnsChunks) {
+  SlabArena arena;
+  PostingList list;
+  list.BindArena(&arena);
+  for (DocId d = 0; d < 10000; ++d) list.Add(d, 1);
+  EXPECT_GT(arena.stats().used_bytes, 0u);
+  list.FreeStorage();
+  EXPECT_EQ(arena.stats().used_bytes, 0u);
+  EXPECT_EQ(list.doc_count(), 0u);
+  // The list is reusable after a free.
+  list.Add(5, 2);
+  EXPECT_EQ(list.Decode(), (std::vector<Posting>{{5, 2}}));
+}
+
 }  // namespace
 }  // namespace microprov

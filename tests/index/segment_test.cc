@@ -28,6 +28,24 @@ class SegmentTest : public ::testing::Test {
   std::string path_;
 };
 
+TEST_F(SegmentTest, ArenaBackedIndexWritesIdenticalSegmentBytes) {
+  // Build the same documents into an arena-backed index; the segment
+  // file must come out byte-for-byte identical to the string-backed one.
+  SlabArena arena;
+  MemoryIndex arena_index(&arena);
+  arena_index.AddDocument({"alpha", "beta"});
+  arena_index.AddDocument({"beta", "gamma", "beta"});
+  arena_index.AddDocument({"delta"});
+  ASSERT_TRUE(WriteSegment(index_, docs_, path_).ok());
+  const std::string arena_path = dir_.path() + "/seg_arena";
+  ASSERT_TRUE(WriteSegment(arena_index, docs_, arena_path).ok());
+  std::string plain_bytes, arena_bytes;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(path_, &plain_bytes).ok());
+  ASSERT_TRUE(
+      Env::Default()->ReadFileToString(arena_path, &arena_bytes).ok());
+  EXPECT_EQ(arena_bytes, plain_bytes);
+}
+
 TEST_F(SegmentTest, WriteOpenRoundTrip) {
   ASSERT_TRUE(WriteSegment(index_, docs_, path_).ok());
   auto reader_or = SegmentReader::Open(path_);
