@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -19,6 +20,7 @@
 #include "core/engine.h"
 #include "gen/generator.h"
 #include "harness.h"
+#include "obs/span.h"
 #include "query/query_processor.h"
 #include "stream/replay.h"
 
@@ -93,6 +95,12 @@ int Run(int argc, char** argv) {
   double flat_recall_sum = 0, bundle_recall_sum = 0;
   double flat_precision_sum = 0;
   int64_t flat_ns = 0, bundle_ns = 0;
+  // Per-stage span deltas for the bundle path: the same parse /
+  // candidates / score / archive / rank spans the query tracer records,
+  // aggregated across the query set.
+  obs::SpanRecorder recorder;
+  std::map<std::string, int64_t> stage_ns;
+  std::map<std::string, uint64_t> stage_count;
   for (const QueryCase& qc : queries) {
     int64_t t0 = MonotonicNanos();
     auto flat_hits = flat.Search(qc.query, kPage);
@@ -109,9 +117,14 @@ int Run(int argc, char** argv) {
             : static_cast<double>(flat_rel) / flat_hits.size();
 
     t0 = MonotonicNanos();
-    auto bundle_hits =
-        bundles.Search({.text = qc.query, .k = kPage, .now = clock.Now()});
+    auto bundle_hits = bundles.Search(
+        {.text = qc.query, .k = kPage, .now = clock.Now()}, &recorder,
+        /*parent_span=*/0, /*shard=*/0, /*shard_trace=*/nullptr);
     bundle_ns += MonotonicNanos() - t0;
+    for (const obs::SpanRecord& span : recorder.Take()) {
+      stage_ns[span.name] += span.duration_nanos;
+      ++stage_count[span.name];
+    }
     // Messages surfaced by the bundle page = union of members of the
     // returned bundles.
     std::unordered_set<MessageId> surfaced;
@@ -139,6 +152,30 @@ int Run(int argc, char** argv) {
                 StringPrintf("%.3f", bundle_recall_sum / n),
                 StringPrintf("%.1f", bundle_ns / n / 1000.0)});
   EmitTable(table, "query_retrieval", options);
+
+  // Where the bundle-path latency goes, stage by stage. The span_stage
+  // lines are machine-parsed by scripts/bench_snapshot.sh.
+  int64_t span_total_ns = 0;
+  for (const auto& [name, ns] : stage_ns) span_total_ns += ns;
+  SeriesTable span_table({"stage", "mean_us", "share_pct"});
+  for (const auto& [name, ns] : stage_ns) {
+    const double count =
+        static_cast<double>(std::max<uint64_t>(1, stage_count[name]));
+    span_table.AddRow(
+        {name, StringPrintf("%.1f", ns / count / 1000.0),
+         StringPrintf("%.1f",
+                      100.0 * ns / std::max<int64_t>(1, span_total_ns))});
+  }
+  EmitTable(span_table, "query_span_stages", options);
+  for (const auto& [name, ns] : stage_ns) {
+    const double count =
+        static_cast<double>(std::max<uint64_t>(1, stage_count[name]));
+    std::printf("span_stage: stage=%s n=%llu mean_us=%.2f total_ms=%.3f "
+                "share=%.1f%%\n",
+                name.c_str(), (unsigned long long)stage_count[name],
+                ns / count / 1000.0, ns / 1e6,
+                100.0 * ns / std::max<int64_t>(1, span_total_ns));
+  }
 
   std::printf("queries: %zu events; flat precision@10=%.3f\n",
               queries.size(), flat_precision_sum / n);

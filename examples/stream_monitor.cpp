@@ -1,21 +1,60 @@
-// Stream monitor: long replay under memory pressure with live runtime
-// telemetry, demonstrating the full microprov::Service deployment —
-// sharded ingestion, Alg. 3 refinement, the on-disk bundle archive, the
-// metrics registry (Service::MetricsText), the periodic StatsReporter,
-// and the opt-in ingest trace ring.
+// Stream monitor: long replay under memory pressure, observed the way a
+// production deployment would be — through the Service's embedded HTTP
+// exposition server. The main thread ingests; a second thread polls
+// GET /metrics, /healthz, and /statusz over real sockets while the
+// stream runs, and the summary at the end pulls the slow-query log and
+// sampled query traces from /debug/slow and /debug/traces.
 //
-//   $ ./stream_monitor [messages] [pool_limit]
+//   $ ./stream_monitor [messages] [pool_limit] [http_port] [linger_ms]
+//
+// http_port 0 (the default) binds an ephemeral port; pass a fixed port
+// plus a linger window to scrape it externally, e.g.
+//
+//   $ ./stream_monitor 50000 2000 9109 15000 &
+//   $ curl -s localhost:9109/healthz
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <thread>
 
 #include "common/string_util.h"
 #include "gen/generator.h"
+#include "obs/http_exporter.h"
 #include "service/service.h"
 
 using namespace microprov;
+
+namespace {
+
+/// One /statusz + /healthz poll, reduced to a monitor row. Returns
+/// false when the scrape itself failed.
+bool PollOnce(uint16_t port, std::string* row) {
+  auto health_or = obs::HttpGetResponse(port, "/healthz");
+  auto status_or = obs::HttpGet(port, "/statusz");
+  if (!health_or.ok() || !status_or.ok()) return false;
+  // Pull a couple of fields out of the JSON by key; the document is
+  // machine-shaped, so a string scan keeps the example dependency-free.
+  auto field = [&](const char* key) -> long long {
+    const std::string needle = std::string("\"") + key + "\":";
+    const size_t pos = status_or->find(needle);
+    return pos == std::string::npos
+               ? -1
+               : std::strtoll(status_or->c_str() + pos + needle.size(),
+                              nullptr, 10);
+  };
+  *row = StringPrintf(
+      "healthz=%d ingested=%lld live=%lld queued=%lld traced=%lld "
+      "slow=%lld",
+      health_or->status, field("messages_ingested"),
+      field("live_bundles"), field("queue_depth"),
+      field("queries_traced"), field("slow_queries"));
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const uint64_t total =
@@ -23,6 +62,10 @@ int main(int argc, char** argv) {
   const size_t pool_limit =
       argc > 2 ? static_cast<size_t>(std::strtoull(argv[2], nullptr, 10))
                : 2000;
+  const int http_port =
+      argc > 3 ? static_cast<int>(std::strtol(argv[3], nullptr, 10)) : 0;
+  const uint64_t linger_ms =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 0;
 
   GeneratorOptions gen_options;
   gen_options.seed = 7102;
@@ -31,22 +74,18 @@ int main(int argc, char** argv) {
   std::vector<Message> messages =
       StreamGenerator(gen_options).Generate();
 
-  // The background reporter ships a Prometheus scrape on a fixed cadence;
-  // here we just count deliveries (a real deployment would serve them
-  // over HTTP or append to a file).
-  std::atomic<uint64_t> scrapes{0};
-
   ServiceOptions options;
   options.num_shards = 2;
   options.engine = EngineOptions::ForConfig(
       IndexConfig::kBundleLimit, pool_limit, /*bundle_cap=*/300);
   options.archive_dir = "stream_monitor_store";
-  options.trace_capacity = 256;  // keep the last 256 ingest decisions
-  options.stats_interval_ms = 250;
-  options.stats_callback = [&](const std::string& prometheus_text) {
-    scrapes.fetch_add(1);
-    (void)prometheus_text;
-  };
+  // Production-shaped observability: sampled ingest traces, sampled
+  // query traces with a slow log, and the HTTP exposition server.
+  options.trace_capacity = 256;
+  options.trace_sample_every = 16;
+  options.query_trace_capacity = 64;
+  options.slow_query_nanos = 5'000'000;  // 5 ms counts as slow here
+  options.http_port = http_port;
   auto service_or = Service::Open(options);
   if (!service_or.ok()) {
     std::fprintf(stderr, "service open failed: %s\n",
@@ -54,9 +93,39 @@ int main(int argc, char** argv) {
     return 1;
   }
   auto& service = *service_or;
+  const uint16_t port = service->http_port();
+  std::printf("serving http://127.0.0.1:%u  (/metrics /healthz /statusz "
+              "/debug/traces /debug/slow)\n",
+              port);
 
-  std::printf("%-19s %s\n", "sim time",
-              "    msgs |   pool | queue | stalls |    memory | archived");
+  // The scrape loop a Prometheus agent would run, as a second thread
+  // hitting the real socket while ingest is live.
+  std::atomic<bool> stop_poller{false};
+  std::atomic<uint64_t> polls_ok{0};
+  std::atomic<uint64_t> polls_failed{0};
+  std::thread poller([&] {
+    while (!stop_poller.load(std::memory_order_acquire)) {
+      std::string row;
+      if (PollOnce(port, &row)) {
+        polls_ok.fetch_add(1, std::memory_order_relaxed);
+        std::printf("[poll] %s\n", row.c_str());
+      } else {
+        polls_failed.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+
+  // Query probe drawn from the stream itself, so the periodic searches
+  // actually hit postings (the generator synthesizes its vocabulary).
+  std::string probe = "party";
+  for (const Message& msg : messages) {
+    if (!msg.hashtags.empty()) {
+      probe = "#" + msg.hashtags.front();
+      break;
+    }
+  }
+
   const uint64_t checkpoint = total < 10 ? 1 : total / 10;
   uint64_t seen = 0;
   for (const Message& msg : messages) {
@@ -67,20 +136,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (++seen % checkpoint == 0) {
-      // Flush first so the checkpoint reflects every message, then read
-      // the TSan-safe aggregate stats (gauges + atomic counters).
-      if (Status st = service->Flush(); !st.ok()) {
-        std::fprintf(stderr, "flush failed: %s\n", st.ToString().c_str());
+      // A query against the live stream: exercises the traced search
+      // path (span tree, per-shard candidate counts) under ingest load.
+      auto results_or = service->Search({.text = probe, .k = 5});
+      if (!results_or.ok()) {
+        std::fprintf(stderr, "search failed: %s\n",
+                     results_or.status().ToString().c_str());
         return 1;
       }
-      ServiceStats stats = service->Stats();
-      std::printf("%s %8s | %6zu | %5zu | %6llu | %9s | %llu\n",
-                  FormatTimestamp(service->Now()).c_str(),
-                  HumanCount(seen).c_str(), stats.live_bundles,
-                  stats.queue_depth,
-                  (unsigned long long)stats.backpressure_stalls,
-                  HumanBytes(stats.memory_bytes).c_str(),
-                  (unsigned long long)stats.archived_bundles);
     }
   }
 
@@ -89,6 +152,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "drain failed: %s\n", st.ToString().c_str());
     return 1;
   }
+  stop_poller.store(true, std::memory_order_release);
+  poller.join();
 
   ServiceStats stats = service->Stats();
   std::printf("\n=== final report ===\n");
@@ -98,30 +163,57 @@ int main(int argc, char** argv) {
               (unsigned long long)stats.archived_bundles);
   std::printf("backpressure:       %llu blocked submits\n",
               (unsigned long long)stats.backpressure_stalls);
-  std::printf("stats reporter:     %llu scrapes delivered\n",
-              (unsigned long long)scrapes.load());
+  std::printf("http polls:         %llu ok, %llu failed\n",
+              (unsigned long long)polls_ok.load(),
+              (unsigned long long)polls_failed.load());
+  for (const obs::ShardHealthSnapshot& h : stats.shard_health) {
+    std::printf("shard %u:            %s (%.0f msg/s, queue hwm %zu)\n",
+                h.shard, obs::ShardHealthName(h.health), h.ingest_rate,
+                h.queue_high_watermark);
+  }
 
-  // One real scrape, filtered to the ingest-path families so the output
-  // stays readable; MetricsText() returns the full exposition.
-  std::printf("\n--- Service::MetricsText() (ingest families) ---\n");
-  std::istringstream scrape(service->MetricsText());
-  for (std::string line; std::getline(scrape, line);) {
-    if (line.find("microprov_engine_") != std::string::npos ||
-        line.find("microprov_pool_") != std::string::npos ||
-        line.find("microprov_shard_") != std::string::npos) {
-      std::printf("%s\n", line.c_str());
+  // One real scrape over the socket, filtered to the shard families so
+  // the output stays readable; /metrics returns the full exposition.
+  auto scrape_or = obs::HttpGet(port, "/metrics");
+  if (scrape_or.ok()) {
+    std::printf("\n--- GET /metrics (shard families) ---\n");
+    std::istringstream scrape(*scrape_or);
+    for (std::string line; std::getline(scrape, line);) {
+      if (line.find("microprov_shard_") != std::string::npos) {
+        std::printf("%s\n", line.c_str());
+      }
     }
   }
 
-  // The trace ring answers "why did the last messages land where they
-  // did?" — candidates considered, their Eq. 1 scores, the decision.
-  std::vector<obs::IngestTraceEvent> events = service->trace()->Snapshot();
-  std::printf("\n--- last %zu ingest decisions (of %llu traced) ---\n",
-              events.size() < 3 ? events.size() : 3,
-              (unsigned long long)service->trace()->total_recorded());
-  for (size_t i = events.size() >= 3 ? events.size() - 3 : 0;
-       i < events.size(); ++i) {
-    std::printf("%s\n", obs::TraceSink::EventToJson(events[i]).c_str());
+  // The query-trace rings answer "what did that query touch, and where
+  // did the time go?" — per-shard term ids, candidate counts, span tree.
+  auto traces_or = obs::HttpGet(port, "/debug/traces");
+  if (traces_or.ok() && !traces_or->empty()) {
+    std::istringstream lines(*traces_or);
+    std::string last, line;
+    while (std::getline(lines, line)) {
+      if (!line.empty()) last = line;
+    }
+    std::printf("\n--- last sampled query trace (GET /debug/traces) ---\n"
+                "%s\n",
+                last.c_str());
+  }
+  auto slow_or = obs::HttpGet(port, "/debug/slow");
+  if (slow_or.ok()) {
+    size_t slow_lines = 0;
+    std::istringstream lines(*slow_or);
+    for (std::string line; std::getline(lines, line);) {
+      if (!line.empty()) ++slow_lines;
+    }
+    std::printf("slow-query log:     %zu entries over %.1f ms "
+                "(GET /debug/slow)\n",
+                slow_lines, options.slow_query_nanos / 1e6);
+  }
+
+  if (linger_ms > 0) {
+    std::printf("lingering %llums for external scrapes...\n",
+                (unsigned long long)linger_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
   }
   std::printf("(archive kept in ./%s; rerun to exercise recovery)\n",
               options.archive_dir.c_str());

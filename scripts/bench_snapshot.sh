@@ -12,6 +12,8 @@
 #   bench_sharded_ingest        service-layer throughput vs shard count
 #   bench_fig13_stage_breakdown per-stage share of ingest cost
 #   bench_wal_overhead          durability (WAL/checkpoint) ingest cost
+#   bench_query_retrieval       bundle vs flat retrieval + query-path
+#                               span-stage latency breakdown
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,7 +27,7 @@ cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" --target \
   bench_micro_core bench_micro_index bench_posting_arena \
   bench_sharded_ingest bench_fig13_stage_breakdown \
-  bench_wal_overhead >/dev/null
+  bench_wal_overhead bench_query_retrieval >/dev/null
 
 echo "== bench_micro_core =="
 "$BUILD/bench/bench_micro_core" \
@@ -42,6 +44,8 @@ echo "== bench_fig13_stage_breakdown =="
 "$BUILD/bench/bench_fig13_stage_breakdown" --seed 42 | tee "$TMP/fig13.txt"
 echo "== bench_wal_overhead =="
 "$BUILD/bench/bench_wal_overhead" --seed 42 | tee "$TMP/wal.txt"
+echo "== bench_query_retrieval =="
+"$BUILD/bench/bench_query_retrieval" --seed 42 | tee "$TMP/query.txt"
 
 python3 - "$LABEL" "$TMP" "$OUT" <<'PY'
 import json, re, subprocess, sys, datetime
@@ -134,6 +138,29 @@ def parse_wal(path):
         })
     return rows
 
+def parse_query(path):
+    """Recall/latency per paradigm + per-stage span deltas."""
+    text = open(path).read()
+    result = {"paradigms": [], "span_stages": {}}
+    for m in re.finditer(
+            r"(flat_message_search|bundle_retrieval)\s+([\d.]+)\s+"
+            r"([\d.]+)", text):
+        result["paradigms"].append({
+            "paradigm": m.group(1),
+            "event_recall_at_10": float(m.group(2)),
+            "latency_us": float(m.group(3)),
+        })
+    for m in re.finditer(
+            r"span_stage: stage=(\w+) n=(\d+) mean_us=([\d.]+) "
+            r"total_ms=([\d.]+) share=([\d.]+)%", text):
+        result["span_stages"][m.group(1)] = {
+            "n": int(m.group(2)),
+            "mean_us": float(m.group(3)),
+            "total_ms": float(m.group(4)),
+            "share_pct": float(m.group(5)),
+        }
+    return result
+
 def parse_fig13(path):
     text = open(path).read()
     result = {}
@@ -165,6 +192,7 @@ snapshot = {
     "sharded_ingest": parse_sharded(f"{tmp}/sharded.txt"),
     "fig13_stage_breakdown": parse_fig13(f"{tmp}/fig13.txt"),
     "wal_overhead": parse_wal(f"{tmp}/wal.txt"),
+    "query_retrieval": parse_query(f"{tmp}/query.txt"),
 }
 
 try:

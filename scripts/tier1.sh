@@ -25,11 +25,16 @@ echo "=== tier 1: TSan build + concurrency tests ==="
 # the group-commit flusher thread against Ingest/Flush/Checkpoint.
 # CrashRecoveryTest forks children that then start threads (the flusher
 # the SIGKILL hooks fire in), which TSan only tolerates with
-# die_after_fork=0 — hence the separate invocation.
+# die_after_fork=0 — hence the separate invocation. The observability
+# suites ride along: Span* (concurrent shard spans into one recorder),
+# HttpExporter* (accept-loop thread vs Stop vs concurrent clients),
+# QueryTrace*/ShardLoad* (scrape-path reads against hot-path writes),
+# and ServiceObservability* (HTTP scrapes racing live ingest plus the
+# frozen-worker/frozen-flusher health verdicts).
 cmake -B build-tsan -S . -DMICROPROV_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target microprov_tests
 ./build-tsan/tests/microprov_tests \
-  --gtest_filter='BoundedSpscQueue*:RouteShard*:ShardedEngine*:Service*:Metrics*:TraceSink*:StatsReporter*:Wal*:EngineStateTest*:ServiceSnapshotTest*:GoldenRecoveryFormatTest*:SlabArena*:PostingArenaAlloc*'
+  --gtest_filter='BoundedSpscQueue*:RouteShard*:ShardedEngine*:Service*:Metrics*:TraceSink*:StatsReporter*:Wal*:EngineStateTest*:ServiceSnapshotTest*:GoldenRecoveryFormatTest*:SlabArena*:PostingArenaAlloc*:Span*:HttpExporter*:QueryTrace*:ShardLoad*:PrometheusLint*'
 TSAN_OPTIONS=die_after_fork=0 ./build-tsan/tests/microprov_tests \
   --gtest_filter='CrashRecoveryTest*'
 

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <vector>
 
+#include "common/clock.h"
+
 namespace microprov {
 
 /// Bounded blocking queue connecting one producer to one consumer (the
@@ -30,15 +32,24 @@ class BoundedSpscQueue {
   /// Enqueues `item`, blocking while the queue holds `capacity` items.
   /// Returns false (and drops the item) if the queue was closed. When
   /// `blocked_out` is non-null it is set to whether this call had to
-  /// wait for space (the caller's backpressure signal).
-  bool Push(T item, bool* blocked_out = nullptr) {
+  /// wait for space (the caller's backpressure signal); when
+  /// `blocked_nanos_out` is non-null the time spent waiting is added to
+  /// it (the clock is read only on the blocked path, so the common
+  /// fast path pays nothing).
+  bool Push(T item, bool* blocked_out = nullptr,
+            int64_t* blocked_nanos_out = nullptr) {
     std::unique_lock<std::mutex> lock(mu_);
     const bool blocked = items_.size() >= capacity_ && !closed_;
     if (blocked_out != nullptr) *blocked_out = blocked;
     if (blocked) {
       ++blocked_pushes_;
+      const int64_t wait_start =
+          blocked_nanos_out != nullptr ? MonotonicNanos() : 0;
       not_full_.wait(lock,
                      [&] { return items_.size() < capacity_ || closed_; });
+      if (blocked_nanos_out != nullptr) {
+        *blocked_nanos_out += MonotonicNanos() - wait_start;
+      }
     }
     if (closed_) return false;
     items_.push_back(std::move(item));

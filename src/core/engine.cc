@@ -191,7 +191,10 @@ StatusOr<IngestResult> ProvenanceEngine::Ingest(const Message& msg) {
   const Timestamp now = clock_->Now();
   IngestResult local;
   Bundle* bundle = nullptr;
-  const bool tracing = options_.trace != nullptr;
+  // Sampling is decided up front so sampled-out messages skip the
+  // candidate-score collection below, not just the final Record.
+  const bool tracing =
+      options_.trace != nullptr && options_.trace->ShouldSample();
 
   // Stage the message and intern its indicants once; every downstream
   // step (candidate fetch, Eq. 1, Alg. 2, index update, bundle

@@ -1,0 +1,296 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace microprov {
+namespace obs {
+
+namespace {
+
+void SetIoTimeout(int fd, int timeout_ms) {
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Writes all of `data`, riding out EINTR and short writes.
+bool WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+bool WriteResponse(int fd, const HttpResponse& response) {
+  std::string head = StringPrintf(
+      "HTTP/1.1 %d %s\r\n"
+      "Content-Type: %s\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n"
+      "\r\n",
+      response.status, ReasonPhrase(response.status),
+      response.content_type.c_str(), response.body.size());
+  return WriteAll(fd, head) && WriteAll(fd, response.body);
+}
+
+/// Reads from `fd` until the end of the request headers ("\r\n\r\n")
+/// or the size cap. GET requests carry no body, so headers are all we
+/// need.
+bool ReadRequestHead(int fd, size_t max_bytes, std::string* out) {
+  char buf[1024];
+  while (out->find("\r\n\r\n") == std::string::npos) {
+    if (out->size() >= max_bytes) return false;
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    out->append(buf, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(Options options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+Status HttpExporter::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("exporter already running");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(
+        StringPrintf("socket: %s", std::strerror(errno)));
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(),
+                  &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        StringPrintf("bad bind address: %s",
+                     options_.bind_address.c_str()));
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::IOError(StringPrintf(
+        "bind %s:%u: %s", options_.bind_address.c_str(), options_.port,
+        std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 16) != 0) {
+    Status status =
+        Status::IOError(StringPrintf("listen: %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) !=
+      0) {
+    Status status = Status::IOError(
+        StringPrintf("getsockname: %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread(&HttpExporter::AcceptLoop, this);
+  return Status::OK();
+}
+
+void HttpExporter::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // shutdown() wakes the blocking accept(); close() follows after join
+  // so the fd can't be recycled under the loop.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpExporter::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Stop() shut the listen socket down; anything else also ends
+      // the loop rather than spinning on a broken fd.
+      break;
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpExporter::ServeConnection(int fd) {
+  SetIoTimeout(fd, options_.io_timeout_ms);
+  served_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string head;
+  if (!ReadRequestHead(fd, options_.max_request_bytes, &head)) {
+    WriteResponse(
+        fd, HttpResponse{head.size() >= options_.max_request_bytes ? 431
+                                                                   : 400,
+                         "text/plain; charset=utf-8", "bad request\n"});
+    return;
+  }
+
+  // Request line: METHOD SP target SP version.
+  size_t line_end = head.find("\r\n");
+  std::string_view line = std::string_view(head).substr(0, line_end);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                             : line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) {
+    WriteResponse(fd, HttpResponse{400, "text/plain; charset=utf-8",
+                                   "bad request\n"});
+    return;
+  }
+  std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET" && method != "HEAD") {
+    WriteResponse(fd, HttpResponse{405, "text/plain; charset=utf-8",
+                                   "only GET is supported\n"});
+    return;
+  }
+  std::string_view path = target;
+  std::string_view query;
+  size_t qmark = target.find('?');
+  if (qmark != std::string_view::npos) {
+    path = target.substr(0, qmark);
+    query = target.substr(qmark + 1);
+  }
+
+  HttpResponse response = handler_(path, query);
+  if (method == "HEAD") response.body.clear();
+  WriteResponse(fd, response);
+}
+
+namespace {
+
+StatusOr<HttpResponse> HttpGetImpl(uint16_t port, std::string_view path,
+                                   int timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(
+        StringPrintf("socket: %s", std::strerror(errno)));
+  }
+  SetIoTimeout(fd, timeout_ms);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = Status::IOError(StringPrintf(
+        "connect 127.0.0.1:%u: %s", port, std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  std::string request =
+      StringPrintf("GET %.*s HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                   "Connection: close\r\n\r\n",
+                   static_cast<int>(path.size()), path.data());
+  if (!WriteAll(fd, request)) {
+    ::close(fd);
+    return Status::IOError("send failed");
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      ::close(fd);
+      return Status::IOError(
+          StringPrintf("recv: %s", std::strerror(errno)));
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos || raw.rfind("HTTP/1.", 0) != 0) {
+    return Status::Corruption("malformed HTTP response");
+  }
+  HttpResponse response;
+  response.status = std::atoi(raw.c_str() + raw.find(' ') + 1);
+  size_t ct = raw.find("Content-Type:");
+  if (ct != std::string::npos && ct < head_end) {
+    size_t value = ct + sizeof("Content-Type:") - 1;
+    size_t eol = raw.find("\r\n", value);
+    while (value < eol && raw[value] == ' ') ++value;
+    response.content_type = raw.substr(value, eol - value);
+  }
+  response.body = raw.substr(head_end + 4);
+  return response;
+}
+
+}  // namespace
+
+StatusOr<std::string> HttpGet(uint16_t port, std::string_view path,
+                              int timeout_ms) {
+  auto response = HttpGetImpl(port, path, timeout_ms);
+  if (!response.ok()) return response.status();
+  if (response->status != 200) {
+    return Status::FailedPrecondition(
+        StringPrintf("GET %.*s: HTTP %d: %s",
+                     static_cast<int>(path.size()), path.data(),
+                     response->status, response->body.c_str()));
+  }
+  return std::move(response->body);
+}
+
+StatusOr<HttpResponse> HttpGetResponse(uint16_t port,
+                                       std::string_view path,
+                                       int timeout_ms) {
+  return HttpGetImpl(port, path, timeout_ms);
+}
+
+}  // namespace obs
+}  // namespace microprov

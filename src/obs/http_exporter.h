@@ -1,0 +1,99 @@
+#ifndef MICROPROV_OBS_HTTP_EXPORTER_H_
+#define MICROPROV_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "common/statusor.h"
+
+namespace microprov {
+namespace obs {
+
+/// The payload a handler produces for one GET.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Minimal embedded exposition server: one blocking accept-loop thread,
+/// POSIX sockets only, serving GET requests through a caller-supplied
+/// handler. Built for scrape traffic (Prometheus, curl, the
+/// stream_monitor example), not for the open internet: requests are
+/// read with a timeout, capped in size, and served one at a time.
+class HttpExporter {
+ public:
+  /// Routes a request path (e.g. "/metrics", query string stripped into
+  /// `query`) to a response. Called from the server thread; must be
+  /// thread-safe against the rest of the process.
+  using Handler = std::function<HttpResponse(std::string_view path,
+                                             std::string_view query)>;
+
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    /// 0 = pick an ephemeral port (see port() after Start).
+    uint16_t port = 0;
+    /// Requests larger than this are rejected with 431.
+    size_t max_request_bytes = 8192;
+    /// Per-connection socket read/write timeout.
+    int io_timeout_ms = 2000;
+  };
+
+  HttpExporter(Options options, Handler handler);
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds, listens, and starts the accept thread. Fails with IOError
+  /// if the address can't be bound.
+  Status Start();
+
+  /// Stops accepting, closes the listen socket, joins the thread.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The bound port (resolves option port 0 to the kernel's pick).
+  /// Valid after a successful Start.
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Requests served (any status), for tests.
+  uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  const Options options_;
+  const Handler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> served_{0};
+  std::thread thread_;
+};
+
+/// Blocking one-shot HTTP GET against 127.0.0.1:`port` (test/example
+/// helper, not a general client). Returns the response body on 200;
+/// non-200 responses come back as FailedPrecondition with the status
+/// line and body in the message.
+StatusOr<std::string> HttpGet(uint16_t port, std::string_view path,
+                              int timeout_ms = 2000);
+
+/// Like HttpGet but surfaces the parsed status code and body for
+/// asserting on non-200 endpoints (/healthz 503).
+StatusOr<HttpResponse> HttpGetResponse(uint16_t port,
+                                       std::string_view path,
+                                       int timeout_ms = 2000);
+
+}  // namespace obs
+}  // namespace microprov
+
+#endif  // MICROPROV_OBS_HTTP_EXPORTER_H_

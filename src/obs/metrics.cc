@@ -37,6 +37,24 @@ void AppendEscapedJson(std::string* out, std::string_view s) {
   }
 }
 
+/// Prometheus HELP text escaping: the exposition format requires `\\`
+/// and `\n` escapes in HELP lines (a raw newline would start a bogus
+/// sample line and break scrapers).
+void AppendEscapedHelp(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
 /// `family{labels} value` (or `family value` when unlabeled); `extra` is
 /// appended to the label body (the quantile label on summaries).
 void AppendSample(std::string* out, const std::string& family,
@@ -144,8 +162,9 @@ std::string MetricsRegistry::PrometheusText() const {
   for (const MetricSnapshot& snap : snaps) {
     if (prev_family == nullptr || *prev_family != snap.name) {
       if (!snap.help.empty()) {
-        StringAppendF(&out, "# HELP %s %s\n", snap.name.c_str(),
-                      snap.help.c_str());
+        StringAppendF(&out, "# HELP %s ", snap.name.c_str());
+        AppendEscapedHelp(&out, snap.help);
+        out += '\n';
       }
       StringAppendF(&out, "# TYPE %s %s\n", snap.name.c_str(),
                     std::string(KindName(snap.kind)).c_str());

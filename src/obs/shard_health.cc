@@ -1,0 +1,126 @@
+#include "obs/shard_health.h"
+
+#include <cmath>
+
+#include "common/clock.h"
+#include "common/string_util.h"
+
+namespace microprov {
+namespace obs {
+
+const char* ShardHealthName(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kOk:
+      return "ok";
+    case ShardHealth::kDegraded:
+      return "degraded";
+    case ShardHealth::kStalled:
+      return "stalled";
+  }
+  return "unknown";
+}
+
+ShardLoadTracker::ShardLoadTracker(uint32_t shard, size_t queue_capacity,
+                                   const ShardHealthOptions& options)
+    : shard_(shard), queue_capacity_(queue_capacity), options_(options) {
+  last_progress_nanos_ = MonotonicNanos();
+}
+
+void ShardLoadTracker::NoteQueueDepth(size_t depth) {
+  size_t hwm = depth_high_watermark_.load(std::memory_order_relaxed);
+  while (depth > hwm &&
+         !depth_high_watermark_.compare_exchange_weak(
+             hwm, depth, std::memory_order_relaxed)) {
+  }
+}
+
+ShardHealthSnapshot ShardLoadTracker::Evaluate(
+    const ShardHealthInputs& inputs) {
+  const int64_t now = MonotonicNanos();
+  const uint64_t ingested = ingested_.load(std::memory_order_relaxed);
+  const uint64_t queries = queries_.load(std::memory_order_relaxed);
+
+  ShardHealthSnapshot snap;
+  snap.shard = shard_;
+  snap.ingested_total = ingested;
+  snap.queries_total = queries;
+  snap.queue_depth = inputs.queue_depth;
+  snap.queue_high_watermark =
+      depth_high_watermark_.load(std::memory_order_relaxed);
+  snap.backpressure_stall_nanos =
+      stall_nanos_.load(std::memory_order_relaxed);
+  snap.wal_pending_bytes = inputs.wal_pending_bytes;
+  snap.wal_flusher_age_nanos = inputs.wal_flusher_age_nanos;
+  snap.arena_bytes = inputs.arena_bytes;
+  snap.arena_budget_bytes = inputs.arena_budget_bytes;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (last_eval_nanos_ == 0) {
+    // First evaluation: seed the baselines, rates stay 0.
+    last_eval_nanos_ = now;
+    last_ingested_ = ingested;
+    last_queries_ = queries;
+    if (ingested > 0) last_progress_nanos_ = now;
+  } else if (now > last_eval_nanos_) {
+    const double dt = (now - last_eval_nanos_) * 1e-9;
+    const double alpha =
+        options_.ewma_tau_seconds > 0
+            ? 1.0 - std::exp(-dt / options_.ewma_tau_seconds)
+            : 1.0;
+    ingest_rate_ = alpha * ((ingested - last_ingested_) / dt) +
+                   (1.0 - alpha) * ingest_rate_;
+    query_rate_ = alpha * ((queries - last_queries_) / dt) +
+                  (1.0 - alpha) * query_rate_;
+    if (ingested != last_ingested_) last_progress_nanos_ = now;
+    last_eval_nanos_ = now;
+    last_ingested_ = ingested;
+    last_queries_ = queries;
+  }
+  snap.ingest_rate = ingest_rate_;
+  snap.query_rate = query_rate_;
+
+  // Verdict: worst condition wins. Stalls are "work is waiting and
+  // nothing has moved for stall_nanos".
+  const int64_t ingest_age = now - last_progress_nanos_;
+  if (inputs.queue_depth > 0 && ingest_age > options_.stall_nanos) {
+    snap.health = ShardHealth::kStalled;
+    snap.reason = StringPrintf("ingest stalled %lldms with %zu queued",
+                               (long long)(ingest_age / 1'000'000),
+                               inputs.queue_depth);
+    return snap;
+  }
+  if (inputs.wal_pending_bytes > 0 && inputs.wal_flusher_age_nanos >= 0 &&
+      inputs.wal_flusher_age_nanos > options_.stall_nanos) {
+    snap.health = ShardHealth::kStalled;
+    snap.reason = StringPrintf(
+        "wal flusher stalled %lldms with %llu bytes pending",
+        (long long)(inputs.wal_flusher_age_nanos / 1'000'000),
+        (unsigned long long)inputs.wal_pending_bytes);
+    return snap;
+  }
+  if (queue_capacity_ > 0 &&
+      inputs.queue_depth >=
+          static_cast<size_t>(options_.degraded_queue_fraction *
+                              static_cast<double>(queue_capacity_)) &&
+      inputs.queue_depth > 0) {
+    snap.health = ShardHealth::kDegraded;
+    snap.reason =
+        StringPrintf("queue depth %zu of %zu", inputs.queue_depth,
+                     queue_capacity_);
+    return snap;
+  }
+  if (inputs.arena_budget_bytes > 0 &&
+      inputs.arena_bytes >= inputs.arena_budget_bytes) {
+    snap.health = ShardHealth::kDegraded;
+    snap.reason = StringPrintf(
+        "arena at budget: %llu of %llu bytes",
+        (unsigned long long)inputs.arena_bytes,
+        (unsigned long long)inputs.arena_budget_bytes);
+    return snap;
+  }
+  snap.health = ShardHealth::kOk;
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace microprov

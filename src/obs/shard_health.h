@@ -1,0 +1,134 @@
+#ifndef MICROPROV_OBS_SHARD_HEALTH_H_
+#define MICROPROV_OBS_SHARD_HEALTH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace microprov {
+namespace obs {
+
+/// Derived per-shard health verdict, worst condition wins.
+enum class ShardHealth {
+  /// Keeping up: queue draining, flusher current, arena under budget.
+  kOk = 0,
+  /// Still making progress but under pressure (deep queue, arena at
+  /// its ceiling) — the shard needs attention before it stalls.
+  kDegraded = 1,
+  /// Not making progress: work is queued (ingest backlog or unflushed
+  /// WAL bytes) and nothing has moved for longer than the stall
+  /// threshold.
+  kStalled = 2,
+};
+
+const char* ShardHealthName(ShardHealth health);
+
+struct ShardHealthOptions {
+  /// Queued work with no progress for this long => stalled.
+  int64_t stall_nanos = 2'000'000'000;  // 2 s
+  /// Queue depth at or above this fraction of capacity => degraded.
+  double degraded_queue_fraction = 0.75;
+  /// EWMA time constant for the ingest/query rates.
+  double ewma_tau_seconds = 5.0;
+};
+
+/// Externally-owned signals fed into Evaluate — the tracker itself only
+/// sees what the hot paths Note*() into it.
+struct ShardHealthInputs {
+  size_t queue_depth = 0;
+  /// WAL bytes accepted but not yet fsynced for this shard (0 when
+  /// durability is off).
+  uint64_t wal_pending_bytes = 0;
+  /// Age of the WAL flusher's last sweep, or -1 when durability is off.
+  int64_t wal_flusher_age_nanos = -1;
+  /// Shard's live arena footprint vs its budget slice (budget 0 =
+  /// unbudgeted).
+  uint64_t arena_bytes = 0;
+  uint64_t arena_budget_bytes = 0;
+};
+
+/// One Evaluate() result: the verdict, why, and the load stats behind
+/// it. Everything a scrape needs for one row of the shard table.
+struct ShardHealthSnapshot {
+  uint32_t shard = 0;
+  ShardHealth health = ShardHealth::kOk;
+  /// Human-readable cause when not ok ("ingest stalled 2100ms", ...).
+  std::string reason;
+  /// EWMA rates, per second.
+  double ingest_rate = 0;
+  double query_rate = 0;
+  uint64_t ingested_total = 0;
+  uint64_t queries_total = 0;
+  size_t queue_depth = 0;
+  size_t queue_high_watermark = 0;
+  /// Cumulative producer time spent blocked on a full queue.
+  int64_t backpressure_stall_nanos = 0;
+  uint64_t wal_pending_bytes = 0;
+  int64_t wal_flusher_age_nanos = -1;
+  uint64_t arena_bytes = 0;
+  uint64_t arena_budget_bytes = 0;
+};
+
+/// Per-shard load accounting: hot paths call the Note*() methods
+/// (relaxed atomics, no locks); Evaluate() folds the counters plus
+/// external inputs into EWMA rates and a health verdict. One tracker
+/// per shard, owned next to the shard it watches.
+class ShardLoadTracker {
+ public:
+  ShardLoadTracker(uint32_t shard, size_t queue_capacity,
+                   const ShardHealthOptions& options);
+
+  ShardLoadTracker(const ShardLoadTracker&) = delete;
+  ShardLoadTracker& operator=(const ShardLoadTracker&) = delete;
+
+  /// Worker drained `count` messages from the queue.
+  void NoteIngested(uint64_t count) {
+    ingested_.fetch_add(count, std::memory_order_relaxed);
+  }
+
+  /// Producer observed the queue at `depth` right after a push.
+  void NoteQueueDepth(size_t depth);
+
+  /// A query touched this shard.
+  void NoteQuery() { queries_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Producer was blocked on a full queue for `nanos`.
+  void NoteBackpressureStall(int64_t nanos) {
+    if (nanos > 0) {
+      stall_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+    }
+  }
+
+  /// Folds the hot-path counters and `inputs` into rates + verdict.
+  /// Called from the stats/scrape path (never the hot path); callers
+  /// are serialized per tracker by an internal mutex.
+  ShardHealthSnapshot Evaluate(const ShardHealthInputs& inputs);
+
+  uint32_t shard() const { return shard_; }
+  const ShardHealthOptions& options() const { return options_; }
+
+ private:
+  const uint32_t shard_;
+  const size_t queue_capacity_;
+  const ShardHealthOptions options_;
+
+  std::atomic<uint64_t> ingested_{0};
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<int64_t> stall_nanos_{0};
+  std::atomic<size_t> depth_high_watermark_{0};
+
+  std::mutex mu_;
+  int64_t last_eval_nanos_ = 0;  // 0 = never evaluated
+  uint64_t last_ingested_ = 0;
+  uint64_t last_queries_ = 0;
+  double ingest_rate_ = 0;
+  double query_rate_ = 0;
+  /// Last time the ingest counter was seen to move (for stall age).
+  int64_t last_progress_nanos_ = 0;
+};
+
+}  // namespace obs
+}  // namespace microprov
+
+#endif  // MICROPROV_OBS_SHARD_HEALTH_H_

@@ -1,0 +1,55 @@
+#include "obs/span.h"
+
+namespace microprov {
+namespace obs {
+
+uint32_t SpanRecorder::Begin(std::string_view name, uint32_t parent,
+                             uint32_t shard) {
+  const int64_t now = MonotonicNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord span;
+  span.id = static_cast<uint32_t>(spans_.size() + 1);
+  span.parent = parent;
+  span.name = std::string(name);
+  span.shard = shard;
+  span.start_nanos = now - epoch_;
+  spans_.push_back(std::move(span));
+  open_.push_back(true);
+  return spans_.back().id;
+}
+
+void SpanRecorder::End(uint32_t id) {
+  const int64_t now = MonotonicNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > spans_.size() || !open_[id - 1]) return;
+  SpanRecord& span = spans_[id - 1];
+  span.duration_nanos = (now - epoch_) - span.start_nanos;
+  open_[id - 1] = false;
+}
+
+std::vector<SpanRecord> SpanRecorder::Take() {
+  const int64_t now = MonotonicNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    if (open_[i]) {
+      spans_[i].duration_nanos = (now - epoch_) - spans_[i].start_nanos;
+    }
+  }
+  open_.clear();
+  std::vector<SpanRecord> out = std::move(spans_);
+  spans_.clear();
+  return out;
+}
+
+std::vector<SpanRecord> SpanRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t SpanRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+}  // namespace obs
+}  // namespace microprov

@@ -1,0 +1,124 @@
+#ifndef MICROPROV_OBS_SPAN_H_
+#define MICROPROV_OBS_SPAN_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace microprov {
+namespace obs {
+
+/// Shard value for spans not tied to any shard (the query-level root,
+/// the cross-shard merge).
+inline constexpr uint32_t kSpanNoShard = 0xffffffffu;
+
+/// One timed interval inside a query. Spans form a tree via `parent`
+/// (0 = root); times are nanoseconds relative to the recorder's epoch,
+/// so a trace dump is self-contained and diffable.
+struct SpanRecord {
+  /// 1-based span id (0 is reserved for "no parent").
+  uint32_t id = 0;
+  uint32_t parent = 0;
+  std::string name;
+  /// Shard the span ran against, or kSpanNoShard.
+  uint32_t shard = kSpanNoShard;
+  int64_t start_nanos = 0;
+  int64_t duration_nanos = 0;
+};
+
+/// Collects the span tree of one traced operation. Thread-safe: shard
+/// fan-out may run spans from concurrent threads. One recorder per
+/// traced query — ids are only unique within a recorder.
+class SpanRecorder {
+ public:
+  SpanRecorder() : epoch_(MonotonicNanos()) {}
+
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  /// Opens a span and returns its id (to parent children under or to
+  /// End later). `parent` 0 makes a root span.
+  uint32_t Begin(std::string_view name, uint32_t parent = 0,
+                 uint32_t shard = kSpanNoShard);
+
+  /// Closes span `id` (no-op for unknown or already-closed ids).
+  void End(uint32_t id);
+
+  /// Moves the recorded spans out, oldest Begin first. Open spans are
+  /// included with their duration so far.
+  std::vector<SpanRecord> Take();
+
+  /// Copy of the recorded spans (tests).
+  std::vector<SpanRecord> Snapshot() const;
+
+  int64_t epoch_nanos() const { return epoch_; }
+  size_t size() const;
+
+ private:
+  const int64_t epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::vector<bool> open_;
+};
+
+/// RAII span handle: Begin at construction, End at scope exit (or at an
+/// explicit End()). A null recorder disables it entirely — no clock
+/// reads, no allocation — so call sites stay branch-free:
+///
+///   Span root(recorder, "search");
+///   Span stage(recorder, "candidates", root.id());
+class Span {
+ public:
+  Span() = default;
+  Span(SpanRecorder* recorder, std::string_view name, uint32_t parent = 0,
+       uint32_t shard = kSpanNoShard)
+      : recorder_(recorder),
+        id_(recorder != nullptr ? recorder->Begin(name, parent, shard)
+                                : 0) {}
+
+  Span(Span&& other) noexcept
+      : recorder_(other.recorder_), id_(other.id_) {
+    other.recorder_ = nullptr;
+    other.id_ = 0;
+  }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      End();
+      recorder_ = other.recorder_;
+      id_ = other.id_;
+      other.recorder_ = nullptr;
+      other.id_ = 0;
+    }
+    return *this;
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { End(); }
+
+  /// Closes the span now (idempotent).
+  void End() {
+    if (recorder_ != nullptr) {
+      recorder_->End(id_);
+      recorder_ = nullptr;
+    }
+  }
+
+  /// Id to parent child spans under (0 when tracing is disabled —
+  /// children then become roots of an empty recorder, harmlessly).
+  uint32_t id() const { return id_; }
+
+ private:
+  SpanRecorder* recorder_ = nullptr;
+  uint32_t id_ = 0;
+};
+
+}  // namespace obs
+}  // namespace microprov
+
+#endif  // MICROPROV_OBS_SPAN_H_

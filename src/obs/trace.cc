@@ -59,8 +59,16 @@ bool ParseBool(std::string_view line, std::string_view key, bool* out) {
 
 }  // namespace
 
-TraceSink::TraceSink(size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+TraceSink::TraceSink(size_t capacity, size_t sample_every)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      sample_every_(sample_every) {}
+
+bool TraceSink::ShouldSample() {
+  if (sample_every_ == 0) return false;
+  if (sample_every_ == 1) return true;
+  uint64_t n = sample_counter_.fetch_add(1, std::memory_order_relaxed);
+  return n % sample_every_ == 0;
+}
 
 void TraceSink::Record(IngestTraceEvent event) {
   std::lock_guard<std::mutex> lock(mu_);

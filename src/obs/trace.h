@@ -1,6 +1,7 @@
 #ifndef MICROPROV_OBS_TRACE_H_
 #define MICROPROV_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -45,10 +46,19 @@ struct IngestTraceEvent {
 /// quality; FromJsonl round-trips the dump.
 class TraceSink {
  public:
-  explicit TraceSink(size_t capacity);
+  /// `sample_every` records 1 in N messages (1 = every message, the
+  /// historical behavior; 0 = never). Sampled-out messages skip event
+  /// assembly entirely — callers gate on ShouldSample() before paying
+  /// the collection cost.
+  explicit TraceSink(size_t capacity, size_t sample_every = 1);
 
   TraceSink(const TraceSink&) = delete;
   TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Advances the sampling counter and returns whether the caller
+  /// should trace this message. Thread-safe; the 1-in-N cadence is
+  /// global across shards, not per shard.
+  bool ShouldSample();
 
   void Record(IngestTraceEvent event);
 
@@ -66,12 +76,15 @@ class TraceSink {
   static std::string EventToJson(const IngestTraceEvent& event);
 
   size_t capacity() const { return capacity_; }
+  size_t sample_every() const { return sample_every_; }
   /// Events ever recorded / overwritten by ring wrap-around.
   uint64_t total_recorded() const;
   uint64_t dropped() const;
 
  private:
   const size_t capacity_;
+  const size_t sample_every_;
+  std::atomic<uint64_t> sample_counter_{0};
   mutable std::mutex mu_;
   std::vector<IngestTraceEvent> ring_;
   size_t next_ = 0;

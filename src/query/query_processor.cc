@@ -16,11 +16,15 @@ void MessageSearchIndex::Add(const Message& msg) {
 }
 
 std::vector<MessageSearchResult> MessageSearchIndex::Search(
-    const std::string& query, size_t k) const {
+    const std::string& query, size_t k, obs::SpanRecorder* recorder,
+    uint32_t parent_span) const {
+  obs::Span parse_span(recorder, "parse", parent_span);
   ParsedQuery parsed = ParseQuery(query);
   std::vector<std::string> terms = parsed.keywords;
   terms.insert(terms.end(), parsed.hashtags.begin(), parsed.hashtags.end());
   terms.insert(terms.end(), parsed.urls.begin(), parsed.urls.end());
+  parse_span.End();
+  obs::Span topk_span(recorder, "topk", parent_span);
   Searcher searcher(&index_);
   std::vector<MessageSearchResult> out;
   for (const SearchHit& hit : searcher.TopK(terms, k, &scratch_)) {
@@ -54,13 +58,37 @@ void BundleQueryProcessor::BindMetrics(obs::MetricsRegistry* registry) {
 }
 
 std::vector<BundleSearchResult> BundleQueryProcessor::Search(
-    const BundleQuery& query) const {
+    const BundleQuery& query, obs::SpanRecorder* recorder,
+    uint32_t parent_span, uint32_t shard,
+    obs::QueryShardTrace* shard_trace) const {
   obs::ScopedLatencyTimer latency_timer(latency_hist_);
   if (queries_counter_ != nullptr) queries_counter_->Increment();
   const size_t k = query.k;
   const Timestamp now = query.now;
   const SearchFilters& filters = query.filters;
+  obs::Span parse_span(recorder, "parse", parent_span, shard);
   ParsedQuery parsed = ParseQuery(query.text);
+  parse_span.End();
+  if (shard_trace != nullptr) {
+    // Resolve the query's terms in this shard's interning dictionary:
+    // -1 marks a term the shard has never seen (so its postings lookup
+    // was guaranteed empty).
+    const IndicantDictionary& dict = engine_->dictionary();
+    auto resolve = [&](IndicantType type, const std::string& value) {
+      TermId id = dict.Find(type, value);
+      shard_trace->term_ids.push_back(
+          id == kInvalidTermId ? -1 : static_cast<int64_t>(id));
+    };
+    for (const std::string& term : parsed.keywords) {
+      resolve(IndicantType::kKeyword, term);
+    }
+    for (const std::string& tag : parsed.hashtags) {
+      resolve(IndicantType::kHashtag, tag);
+    }
+    for (const std::string& url : parsed.urls) {
+      resolve(IndicantType::kUrl, url);
+    }
+  }
   if (parsed.empty()) return {};
 
   auto passes = [&](const Bundle& bundle) {
@@ -79,6 +107,7 @@ std::vector<BundleSearchResult> BundleQueryProcessor::Search(
 
   // Candidate bundles: union of postings for each query term, checking
   // keywords, hashtags (a bare word may name a tag), and URLs.
+  obs::Span candidates_span(recorder, "candidates", parent_span, shard);
   std::unordered_set<BundleId> candidates;
   for (const std::string& term : parsed.keywords) {
     for (BundleId id : index.Lookup(IndicantType::kKeyword, term)) {
@@ -104,6 +133,7 @@ std::vector<BundleSearchResult> BundleQueryProcessor::Search(
       candidates.insert(id);
     }
   }
+  candidates_span.End();
 
   const size_t total_bundles =
       query.total_bundles > 0 ? query.total_bundles : pool.size();
@@ -121,6 +151,7 @@ std::vector<BundleSearchResult> BundleQueryProcessor::Search(
     return result;
   };
 
+  obs::Span score_span(recorder, "score", parent_span, shard);
   std::vector<BundleSearchResult> results;
   results.reserve(candidates.size());
   for (BundleId id : candidates) {
@@ -128,8 +159,12 @@ std::vector<BundleSearchResult> BundleQueryProcessor::Search(
     if (bundle == nullptr || !passes(*bundle)) continue;
     results.push_back(make_result(*bundle, /*archived=*/false));
   }
+  score_span.End();
+  if (shard_trace != nullptr) shard_trace->candidates = results.size();
 
   // Archived candidates via the store's term index.
+  obs::Span archive_span(recorder, "archive", parent_span, shard);
+  const size_t live_results = results.size();
   if (archive_ != nullptr && filters.include_archived) {
     std::unordered_set<BundleId> archived_ids;
     auto collect = [&](const std::string& term) {
@@ -148,9 +183,14 @@ std::vector<BundleSearchResult> BundleQueryProcessor::Search(
       results.push_back(make_result(**bundle_or, /*archived=*/true));
     }
   }
+  archive_span.End();
+  if (shard_trace != nullptr) {
+    shard_trace->archived_candidates = results.size() - live_results;
+  }
   if (candidates_hist_ != nullptr) {
     candidates_hist_->Observe(results.size());
   }
+  obs::Span rank_span(recorder, "rank", parent_span, shard);
   size_t take = std::min(k, results.size());
   std::partial_sort(results.begin(), results.begin() + take, results.end(),
                     [](const BundleSearchResult& a,
@@ -159,12 +199,15 @@ std::vector<BundleSearchResult> BundleQueryProcessor::Search(
                       return a.bundle < b.bundle;
                     });
   results.resize(take);
+  rank_span.End();
+  if (shard_trace != nullptr) shard_trace->results = results.size();
   return results;
 }
 
 std::vector<BundleSearchResult> BundleQueryProcessor::SearchShards(
     const std::vector<const BundleQueryProcessor*>& shards,
-    const BundleQuery& query) {
+    const BundleQuery& query, obs::SpanRecorder* recorder,
+    uint32_t parent_span, obs::QueryTraceEvent* event) {
   BundleQuery shard_query = query;
   if (shard_query.total_bundles == 0) {
     for (const BundleQueryProcessor* shard : shards) {
@@ -173,15 +216,29 @@ std::vector<BundleSearchResult> BundleQueryProcessor::SearchShards(
       }
     }
   }
+  if (event != nullptr) {
+    event->total_bundles = shard_query.total_bundles;
+  }
 
   std::vector<BundleSearchResult> merged;
   size_t consulted = 0;
   for (size_t i = 0; i < shards.size(); ++i) {
     if (shards[i] == nullptr) continue;
     ++consulted;
-    for (BundleSearchResult& hit : shards[i]->Search(shard_query)) {
-      hit.shard = static_cast<uint32_t>(i);
+    const uint32_t shard_index = static_cast<uint32_t>(i);
+    obs::QueryShardTrace shard_trace;
+    shard_trace.shard = shard_index;
+    obs::Span shard_span(recorder, "shard_search", parent_span,
+                         shard_index);
+    for (BundleSearchResult& hit : shards[i]->Search(
+             shard_query, recorder, shard_span.id(), shard_index,
+             event != nullptr ? &shard_trace : nullptr)) {
+      hit.shard = shard_index;
       merged.push_back(std::move(hit));
+    }
+    shard_span.End();
+    if (event != nullptr) {
+      event->shards.push_back(std::move(shard_trace));
     }
   }
   for (const BundleQueryProcessor* shard : shards) {
@@ -190,6 +247,7 @@ std::vector<BundleSearchResult> BundleQueryProcessor::SearchShards(
       break;  // the histogram is shared; one observation per search
     }
   }
+  obs::Span merge_span(recorder, "merge", parent_span);
   size_t take = std::min(query.k, merged.size());
   std::partial_sort(merged.begin(), merged.begin() + take, merged.end(),
                     [](const BundleSearchResult& a,
@@ -199,6 +257,10 @@ std::vector<BundleSearchResult> BundleQueryProcessor::SearchShards(
                       return a.bundle < b.bundle;
                     });
   merged.resize(take);
+  merge_span.End();
+  if (event != nullptr) {
+    event->result_count = merged.size();
+  }
   return merged;
 }
 

@@ -10,6 +10,8 @@
 #include "index/memory_index.h"
 #include "index/searcher.h"
 #include "obs/metrics.h"
+#include "obs/query_trace.h"
+#include "obs/span.h"
 #include "query/bundle_ranker.h"
 #include "storage/bundle_store.h"
 
@@ -50,8 +52,12 @@ class MessageSearchIndex {
   /// Indexes a message (keywords, hashtags, URLs).
   void Add(const Message& msg);
 
-  std::vector<MessageSearchResult> Search(const std::string& query,
-                                          size_t k) const;
+  /// `recorder`, when set, receives "parse" / "topk" stage spans under
+  /// `parent_span`.
+  std::vector<MessageSearchResult> Search(
+      const std::string& query, size_t k,
+      obs::SpanRecorder* recorder = nullptr,
+      uint32_t parent_span = 0) const;
 
   size_t size() const { return docs_.size(); }
   size_t ApproxMemoryUsage() const;
@@ -119,7 +125,19 @@ class BundleQueryProcessor {
   /// Top-k bundles for the request. Candidates are fetched through the
   /// summary index (term -> bundle postings), so cost scales with
   /// matching bundles, not pool size.
-  std::vector<BundleSearchResult> Search(const BundleQuery& query) const;
+  std::vector<BundleSearchResult> Search(const BundleQuery& query) const {
+    return Search(query, nullptr, 0, obs::kSpanNoShard, nullptr);
+  }
+
+  /// Traced variant: `recorder` (nullable) receives per-stage spans
+  /// ("parse", "candidates", "score", "archive", "rank") parented
+  /// under `parent_span` and tagged with `shard`; `shard_trace`
+  /// (nullable) is filled with the shard's interned term ids and
+  /// candidate/result counts.
+  std::vector<BundleSearchResult> Search(
+      const BundleQuery& query, obs::SpanRecorder* recorder,
+      uint32_t parent_span, uint32_t shard,
+      obs::QueryShardTrace* shard_trace) const;
 
   /// Cross-shard fan-out: runs `query` against every processor (one per
   /// shard of a ShardedEngine), tags each hit with its shard index, and
@@ -129,7 +147,17 @@ class BundleQueryProcessor {
   /// modulo bundles the shard routing split (see DESIGN.md).
   static std::vector<BundleSearchResult> SearchShards(
       const std::vector<const BundleQueryProcessor*>& shards,
-      const BundleQuery& query);
+      const BundleQuery& query) {
+    return SearchShards(shards, query, nullptr, 0, nullptr);
+  }
+
+  /// Traced fan-out: opens one "shard_search" span per consulted shard
+  /// plus a "merge" span under `parent_span`, and fills `event` (when
+  /// set) with the resolved IDF total and per-shard contributions.
+  static std::vector<BundleSearchResult> SearchShards(
+      const std::vector<const BundleQueryProcessor*>& shards,
+      const BundleQuery& query, obs::SpanRecorder* recorder,
+      uint32_t parent_span, obs::QueryTraceEvent* event);
 
   /// Cap on archived bundles decoded per query (point reads from disk).
   static constexpr size_t kMaxArchivedCandidates = 64;

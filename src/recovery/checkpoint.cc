@@ -261,8 +261,27 @@ Status DurabilityManager::StartWal(uint64_t durable_floor) {
   flusher_error_ = Status::OK();
   flusher_kick_ = false;
   flusher_stop_ = false;
+  shard_pending_bytes_ =
+      std::make_unique<std::atomic<uint64_t>[]>(num_shards_);
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    shard_pending_bytes_[i].store(0, std::memory_order_relaxed);
+  }
+  flusher_heartbeat_nanos_.store(MonotonicNanos(),
+                                 std::memory_order_release);
   flusher_ = std::thread(&DurabilityManager::FlusherLoop, this);
   return Status::OK();
+}
+
+uint64_t DurabilityManager::PendingShardBytes(uint32_t shard) const {
+  if (shard_pending_bytes_ == nullptr || shard >= num_shards_) return 0;
+  return shard_pending_bytes_[shard].load(std::memory_order_relaxed);
+}
+
+int64_t DurabilityManager::FlusherHeartbeatAgeNanos() const {
+  const int64_t beat =
+      flusher_heartbeat_nanos_.load(std::memory_order_acquire);
+  if (beat == 0) return -1;
+  return MonotonicNanos() - beat;
 }
 
 Status DurabilityManager::EnqueueAppend(uint32_t shard, uint64_t seq,
@@ -287,6 +306,8 @@ Status DurabilityManager::EnqueueAppend(uint32_t shard, uint64_t seq,
       static_cast<uint32_t>(buf.size() - len_at - sizeof(uint32_t));
   EncodeFixed32(&buf[len_at], payload_len);
   pending_bytes_ += payload_len;
+  shard_pending_bytes_[shard].fetch_add(buf.size() - len_at,
+                                        std::memory_order_relaxed);
   ++pending_records_;
   last_enqueued_seq_ = seq;
   // The flusher polls at the group-commit cadence, so the common case
@@ -336,6 +357,8 @@ void DurabilityManager::FlusherLoop() {
       // A kick with nothing pending is already satisfied: everything
       // enqueued has been written and published.
       flusher_kick_ = false;
+      flusher_heartbeat_nanos_.store(MonotonicNanos(),
+                                     std::memory_order_release);
       if (interval.count() > 0) {
         flusher_cv_.wait_for(lk, interval);
       } else {
@@ -369,6 +392,16 @@ void DurabilityManager::FlusherLoop() {
 
     const int64_t t0 = MonotonicNanos();
     Status s = WriteBatch(draining);
+    if (s.ok()) {
+      // Only bytes that actually hit the WAL stop counting as pending:
+      // a flusher stuck (or failed) mid-batch keeps showing its load.
+      for (uint32_t i = 0; i < num_shards_; ++i) {
+        shard_pending_bytes_[i].fetch_sub(draining[i].size(),
+                                          std::memory_order_relaxed);
+      }
+    }
+    flusher_heartbeat_nanos_.store(MonotonicNanos(),
+                                   std::memory_order_release);
     for (std::string& buf : draining) buf.clear();
     if (flushes_counter_ != nullptr) flushes_counter_->Increment();
     if (flush_batch_hist_ != nullptr) {

@@ -1,6 +1,7 @@
 #ifndef MICROPROV_RECOVERY_CHECKPOINT_H_
 #define MICROPROV_RECOVERY_CHECKPOINT_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -161,6 +162,20 @@ class DurabilityManager {
   Status WaitDurable(uint64_t seq);
   uint64_t durable_seq();
 
+  // Flusher-lag telemetry for shard health (lock-free; callable from
+  // the scrape path while ingest runs).
+
+  /// Encoded WAL bytes accepted for `shard` but not yet written by the
+  /// flusher (includes bytes of a batch currently being written, so a
+  /// flusher stuck mid-WriteBatch still shows as pending). 0 when the
+  /// WAL is disabled or not started.
+  uint64_t PendingShardBytes(uint32_t shard) const;
+
+  /// Nanoseconds since the flusher last completed a sweep (idle poll or
+  /// batch write), or -1 when the flusher is not running. A large age
+  /// with pending bytes means the flusher is stuck, not idle.
+  int64_t FlusherHeartbeatAgeNanos() const;
+
   /// True when the next periodic checkpoint should be an incremental
   /// delta (a base exists and the chain is shorter than
   /// full_checkpoint_every).
@@ -239,6 +254,15 @@ class DurabilityManager {
   bool flusher_kick_ = false;
   bool flusher_stop_ = false;
   std::thread flusher_;
+
+  /// Per-shard framed bytes enqueued minus bytes the flusher has
+  /// written — unlike pending_bytes_, these are decremented only AFTER
+  /// WriteBatch succeeds, and they are atomics readable off-lock by the
+  /// health path. Allocated in StartWal.
+  std::unique_ptr<std::atomic<uint64_t>[]> shard_pending_bytes_;
+  /// Monotonic time of the flusher's last completed sweep (0 = not
+  /// running).
+  std::atomic<int64_t> flusher_heartbeat_nanos_{0};
 
   // Observability handles (null without a registry; never owned).
   obs::Counter* appends_counter_ = nullptr;

@@ -13,7 +13,17 @@ Service::Service(const ServiceOptions& options)
     : options_(options),
       registry_(std::make_unique<obs::MetricsRegistry>()) {
   if (options_.trace_capacity > 0) {
-    trace_ = std::make_unique<obs::TraceSink>(options_.trace_capacity);
+    trace_ = std::make_unique<obs::TraceSink>(
+        options_.trace_capacity, options_.trace_sample_every);
+  }
+  if (options_.query_trace_capacity > 0 ||
+      options_.slow_query_nanos > 0) {
+    obs::QueryTraceSinkOptions sink_options;
+    sink_options.capacity = options_.query_trace_capacity;
+    sink_options.sample_every = options_.query_trace_sample_every;
+    sink_options.slow_query_nanos = options_.slow_query_nanos;
+    sink_options.slow_capacity = options_.slow_query_capacity;
+    query_trace_ = std::make_unique<obs::QueryTraceSink>(sink_options);
   }
 }
 
@@ -64,8 +74,11 @@ StatusOr<std::unique_ptr<Service>> Service::Open(
   sharded_options.engine = options.engine.ShardSlice(options.num_shards);
   sharded_options.engine.metrics = service->registry_.get();
   sharded_options.engine.trace = service->trace_.get();
+  sharded_options.health = options.health;
   // Workers start only after recovery has finished mutating shard state.
   sharded_options.defer_workers = true;
+  service->shard_arena_budget_bytes_ =
+      sharded_options.engine.memory.index_arena_bytes;
   service->sharded_ = std::make_unique<ShardedEngine>(sharded_options,
                                                       std::move(archives));
 
@@ -126,14 +139,45 @@ StatusOr<std::unique_ptr<Service>> Service::Open(
       service->store_gauges_.push_back(
           registry->GetGauge("microprov_store_bundles", shard_label));
     }
+    service->health_gauges_.push_back(registry->GetGauge(
+        "microprov_shard_health", shard_label,
+        "Per-shard health verdict: 0=ok, 1=degraded, 2=stalled"));
+    service->ingest_rate_gauges_.push_back(registry->GetGauge(
+        "microprov_shard_ingest_rate", shard_label,
+        "EWMA messages ingested per second, per shard"));
+    service->query_rate_gauges_.push_back(registry->GetGauge(
+        "microprov_shard_query_rate", shard_label,
+        "EWMA queries touching the shard per second"));
+    service->queue_hwm_gauges_.push_back(registry->GetGauge(
+        "microprov_shard_queue_high_watermark", shard_label,
+        "Deepest the shard's input queue has been"));
+    service->stall_nanos_gauges_.push_back(registry->GetGauge(
+        "microprov_shard_backpressure_stall_nanos", shard_label,
+        "Cumulative producer time blocked on the shard's full queue"));
   }
 
   if (options.stats_interval_ms > 0) {
     service->reporter_ = std::make_unique<obs::StatsReporter>(
         std::chrono::milliseconds(options.stats_interval_ms),
         [svc = service.get()] {
+          // Evaluating health first keeps the shipped exposition's
+          // health gauges at most one tick stale.
+          svc->Health();
           svc->options_.stats_callback(svc->MetricsText());
         });
+  }
+
+  if (options.http_port >= 0) {
+    obs::HttpExporter::Options http_options;
+    http_options.bind_address = options.http_bind_address;
+    http_options.port = static_cast<uint16_t>(options.http_port);
+    service->exporter_ = std::make_unique<obs::HttpExporter>(
+        http_options,
+        [svc = service.get()](std::string_view path,
+                              std::string_view query) {
+          return svc->HandleHttp(path, query);
+        });
+    MICROPROV_RETURN_IF_ERROR(service->exporter_->Start());
   }
   return service;
 }
@@ -286,6 +330,16 @@ StatusOr<IngestResult> Service::Ingest(const Message& msg) {
 StatusOr<std::vector<BundleSearchResult>> Service::Search(
     const BundleQuery& query) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Tracing decisions up front: a query is traced when it is sampled
+  // into the main ring OR the slow log is armed (a slow query must be
+  // captured with its spans even when sampled out — the routing
+  // happens at Record time, once the latency is known).
+  const bool sampled =
+      query_trace_ != nullptr && query_trace_->ShouldSample();
+  const bool tracing =
+      query_trace_ != nullptr &&
+      (sampled || query_trace_->options().slow_query_nanos > 0);
+
   // Quiesce: every accepted message must be visible to the query.
   if (!drained_) {
     MICROPROV_RETURN_IF_ERROR(sharded_->Flush());
@@ -297,6 +351,7 @@ StatusOr<std::vector<BundleSearchResult>> Service::Search(
     BundleStore* store = i < stores_.size() ? stores_[i].get() : nullptr;
     processors.emplace_back(&sharded_->shard(i), options_.weights, store,
                             registry_.get());
+    sharded_->load_tracker(i)->NoteQuery();
   }
   std::vector<const BundleQueryProcessor*> shard_ptrs;
   shard_ptrs.reserve(processors.size());
@@ -304,7 +359,31 @@ StatusOr<std::vector<BundleSearchResult>> Service::Search(
 
   BundleQuery effective = query;
   if (effective.now == 0) effective.now = clock_.value();
-  return BundleQueryProcessor::SearchShards(shard_ptrs, effective);
+  if (!tracing) {
+    return BundleQueryProcessor::SearchShards(shard_ptrs, effective);
+  }
+
+  obs::SpanRecorder recorder;
+  obs::QueryTraceEvent event;
+  event.query_id = query_trace_->NextQueryId();
+  event.text = effective.text;
+  event.now = effective.now;
+  event.k = effective.k;
+  obs::Span root(&recorder, "search");
+  const uint32_t root_id = root.id();
+  std::vector<BundleSearchResult> results =
+      BundleQueryProcessor::SearchShards(shard_ptrs, effective,
+                                         &recorder, root_id, &event);
+  root.End();
+  event.spans = recorder.Take();
+  for (const obs::SpanRecord& span : event.spans) {
+    if (span.id == root_id) {
+      event.total_nanos = static_cast<uint64_t>(span.duration_nanos);
+      break;
+    }
+  }
+  query_trace_->Record(std::move(event), sampled);
+  return results;
 }
 
 Status Service::Flush() {
@@ -453,7 +532,177 @@ ServiceStats Service::Stats() const {
   if (replayed_counter_ != nullptr) {
     stats.replayed_messages = replayed_counter_->value();
   }
+  stats.shard_health = Health();
+  if (query_trace_ != nullptr) {
+    stats.queries_traced = query_trace_->total_recorded();
+    stats.slow_queries = query_trace_->slow_recorded();
+  }
   return stats;
+}
+
+obs::ShardHealthSnapshot Service::EvaluateShard(size_t i) const {
+  obs::ShardHealthInputs inputs;
+  // in_flight rather than the raw queue depth: a worker frozen
+  // mid-message has drained the queue but is still sitting on accepted,
+  // unapplied work — exactly the backlog a stall verdict must see.
+  inputs.queue_depth = sharded_->shard_in_flight(i);
+  if (durability_ != nullptr) {
+    inputs.wal_pending_bytes =
+        durability_->PendingShardBytes(static_cast<uint32_t>(i));
+    inputs.wal_flusher_age_nanos = durability_->FlusherHeartbeatAgeNanos();
+  }
+  inputs.arena_bytes =
+      static_cast<uint64_t>(mem_arena_gauges_[i]->value());
+  inputs.arena_budget_bytes = shard_arena_budget_bytes_;
+  obs::ShardHealthSnapshot snap =
+      sharded_->load_tracker(i)->Evaluate(inputs);
+  health_gauges_[i]->Set(static_cast<int64_t>(snap.health));
+  ingest_rate_gauges_[i]->Set(static_cast<int64_t>(snap.ingest_rate));
+  query_rate_gauges_[i]->Set(static_cast<int64_t>(snap.query_rate));
+  queue_hwm_gauges_[i]->Set(
+      static_cast<int64_t>(snap.queue_high_watermark));
+  stall_nanos_gauges_[i]->Set(snap.backpressure_stall_nanos);
+  return snap;
+}
+
+std::vector<obs::ShardHealthSnapshot> Service::Health() const {
+  std::vector<obs::ShardHealthSnapshot> out;
+  out.reserve(sharded_->num_shards());
+  for (size_t i = 0; i < sharded_->num_shards(); ++i) {
+    out.push_back(EvaluateShard(i));
+  }
+  return out;
+}
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          StringAppendF(out, "\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string Service::StatusJson() const {
+  // One Stats() call drives the whole document so the shard table and
+  // the aggregates come from the same instant.
+  const ServiceStats stats = Stats();
+  std::string out;
+  StringAppendF(&out,
+                "{\"messages_ingested\":%llu,\"live_bundles\":%zu,"
+                "\"archived_bundles\":%llu,\"queue_depth\":%zu,"
+                "\"backpressure_stalls\":%llu,"
+                "\"wal_appended_messages\":%llu,"
+                "\"checkpoints_installed\":%llu,"
+                "\"replayed_messages\":%llu,"
+                "\"queries_traced\":%llu,\"slow_queries\":%llu,"
+                "\"memory\":{\"total_bytes\":%zu,\"pool_bytes\":%zu,"
+                "\"summary_index_bytes\":%zu,\"arena_bytes\":%zu,"
+                "\"dictionary_bytes\":%zu},\"shards\":[",
+                (unsigned long long)stats.messages_ingested,
+                stats.live_bundles,
+                (unsigned long long)stats.archived_bundles,
+                stats.queue_depth,
+                (unsigned long long)stats.backpressure_stalls,
+                (unsigned long long)stats.wal_appended_messages,
+                (unsigned long long)stats.checkpoints_installed,
+                (unsigned long long)stats.replayed_messages,
+                (unsigned long long)stats.queries_traced,
+                (unsigned long long)stats.slow_queries,
+                stats.memory_bytes, stats.memory.pool_bytes,
+                stats.memory.summary_index_bytes,
+                stats.memory.arena_bytes,
+                stats.memory.dictionary_bytes);
+  for (size_t i = 0; i < stats.shard_health.size(); ++i) {
+    const obs::ShardHealthSnapshot& h = stats.shard_health[i];
+    const ShardStatsSnapshot& s = stats.shards[i];
+    StringAppendF(
+        &out,
+        "%s{\"shard\":%u,\"health\":\"%s\",\"reason\":\"",
+        i == 0 ? "" : ",", h.shard, obs::ShardHealthName(h.health));
+    AppendJsonEscaped(&out, h.reason);
+    StringAppendF(
+        &out,
+        "\",\"ingest_rate\":%.1f,\"query_rate\":%.1f,"
+        "\"ingested\":%llu,\"enqueued\":%llu,\"queue_depth\":%zu,"
+        "\"queue_high_watermark\":%zu,\"blocked_pushes\":%llu,"
+        "\"backpressure_stall_nanos\":%lld,\"wal_pending_bytes\":%llu,"
+        "\"wal_flusher_age_nanos\":%lld,\"arena_bytes\":%llu,"
+        "\"arena_budget_bytes\":%llu}",
+        h.ingest_rate, h.query_rate, (unsigned long long)h.ingested_total,
+        (unsigned long long)s.enqueued, h.queue_depth,
+        h.queue_high_watermark, (unsigned long long)s.blocked_pushes,
+        (long long)h.backpressure_stall_nanos,
+        (unsigned long long)h.wal_pending_bytes,
+        (long long)h.wal_flusher_age_nanos,
+        (unsigned long long)h.arena_bytes,
+        (unsigned long long)h.arena_budget_bytes);
+  }
+  out += "]}";
+  return out;
+}
+
+obs::HttpResponse Service::HandleHttp(std::string_view path,
+                                      std::string_view query) const {
+  obs::HttpResponse response;
+  if (path == "/metrics") {
+    // Health first, so the scrape's health gauges reflect this instant.
+    Health();
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = MetricsText();
+    return response;
+  }
+  if (path == "/healthz") {
+    std::string detail;
+    bool stalled = false;
+    for (const obs::ShardHealthSnapshot& h : Health()) {
+      if (h.health == obs::ShardHealth::kStalled) {
+        stalled = true;
+        StringAppendF(&detail, "shard %u stalled: %s\n", h.shard,
+                      h.reason.c_str());
+      }
+    }
+    response.status = stalled ? 503 : 200;
+    response.body = stalled ? detail : "ok\n";
+    return response;
+  }
+  if (path == "/statusz") {
+    response.content_type = "application/json";
+    response.body = StatusJson();
+    return response;
+  }
+  if (path == "/debug/traces") {
+    response.content_type = "application/x-ndjson";
+    response.body =
+        query == "ring=ingest" ? TraceJsonl() : QueryTraceJsonl();
+    return response;
+  }
+  if (path == "/debug/slow") {
+    response.content_type = "application/x-ndjson";
+    response.body = SlowQueryJsonl();
+    return response;
+  }
+  response.status = 404;
+  response.body = "not found; try /metrics /healthz /statusz "
+                  "/debug/traces /debug/slow\n";
+  return response;
 }
 
 }  // namespace microprov

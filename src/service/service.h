@@ -10,7 +10,11 @@
 #include "common/memory_usage.h"
 #include "common/status.h"
 #include "common/statusor.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/query_trace.h"
+#include "obs/shard_health.h"
+#include "obs/span.h"
 #include "obs/stats_reporter.h"
 #include "obs/trace.h"
 #include "query/query_processor.h"
@@ -43,6 +47,34 @@ struct ServiceOptions {
   /// buffer, dumpable via TraceJsonl(). 0 disables tracing entirely —
   /// the ingest path then takes no per-message trace cost.
   size_t trace_capacity = 0;
+  /// Trace 1 in N ingested messages (1 = every message, the historical
+  /// behavior). Sampled-out messages skip candidate collection too, so
+  /// tracing can stay enabled under production ingest rates.
+  size_t trace_sample_every = 1;
+
+  /// Opt-in query tracing: keep the last `query_trace_capacity`
+  /// span-annotated QueryTraceEvents (term ids, per-shard candidate
+  /// counts, per-stage nanoseconds), sampled 1 in
+  /// `query_trace_sample_every`. Dump via QueryTraceJsonl() or GET
+  /// /debug/traces.
+  size_t query_trace_capacity = 0;
+  size_t query_trace_sample_every = 1;
+  /// Slow-query log: queries with end-to-end latency over this
+  /// threshold are ALWAYS captured with their full span tree (even
+  /// when sampled out), into a separate ring of `slow_query_capacity`.
+  /// 0 disables the slow log.
+  uint64_t slow_query_nanos = 0;
+  size_t slow_query_capacity = 64;
+
+  /// Thresholds behind the per-shard ok/degraded/stalled verdicts.
+  obs::ShardHealthOptions health;
+
+  /// Embedded HTTP exposition server: -1 disables it (default), 0
+  /// binds an ephemeral port (see Service::http_port()), otherwise the
+  /// given port. Serves GET /metrics, /healthz, /statusz,
+  /// /debug/traces, /debug/slow.
+  int http_port = -1;
+  std::string http_bind_address = "127.0.0.1";
 
   /// When > 0, a background StatsReporter thread invokes
   /// `stats_callback` every `stats_interval_ms` milliseconds with the
@@ -93,6 +125,12 @@ struct ServiceStats {
   /// Messages recovered from the WAL tail when this service opened.
   uint64_t replayed_messages = 0;
   std::vector<ShardStatsSnapshot> shards;
+  /// Per-shard load + health verdicts (EWMA rates, queue high-water
+  /// marks, WAL flusher lag). Evaluated fresh on every Stats() call.
+  std::vector<obs::ShardHealthSnapshot> shard_health;
+  /// Queries served (0 until query tracing is enabled).
+  uint64_t queries_traced = 0;
+  uint64_t slow_queries = 0;
 };
 
 /// The one public entry point to microprov: owns the clock, the
@@ -186,6 +224,41 @@ class Service {
     return trace_ != nullptr ? trace_->ToJsonl() : std::string();
   }
 
+  /// The query trace ring, or nullptr when both query_trace_capacity
+  /// and slow_query_nanos were 0.
+  const obs::QueryTraceSink* query_trace() const {
+    return query_trace_.get();
+  }
+
+  /// JSONL dumps of the sampled query traces / the slow-query log
+  /// (empty when query tracing is disabled). Thread-safe at any time.
+  std::string QueryTraceJsonl() const {
+    return query_trace_ != nullptr ? query_trace_->ToJsonl()
+                                   : std::string();
+  }
+  std::string SlowQueryJsonl() const {
+    return query_trace_ != nullptr ? query_trace_->SlowJsonl()
+                                   : std::string();
+  }
+
+  /// Evaluates every shard's load tracker against the current queue /
+  /// WAL / arena signals, refreshes the health gauges, and returns the
+  /// verdicts. Thread-safe at any time (reads only atomics and
+  /// mutex-guarded queue state, like Stats()).
+  std::vector<obs::ShardHealthSnapshot> Health() const;
+
+  /// The bound exposition port (ephemeral ports resolved), or 0 when
+  /// the HTTP server is disabled.
+  uint16_t http_port() const {
+    return exporter_ != nullptr ? exporter_->port() : 0;
+  }
+
+  /// Routes one exposition request ("/metrics", "/healthz", ...). The
+  /// HTTP server calls this; tests can call it directly without a
+  /// socket.
+  obs::HttpResponse HandleHttp(std::string_view path,
+                               std::string_view query) const;
+
  private:
   explicit Service(const ServiceOptions& options);
 
@@ -203,6 +276,11 @@ class Service {
   /// incremental-checkpoint policy would pick a delta.
   Status CheckpointLocked(bool force_base = false);
 
+  /// Per-shard health inputs + gauge refresh; shared by Health() and
+  /// the /statusz JSON builder.
+  obs::ShardHealthSnapshot EvaluateShard(size_t i) const;
+  std::string StatusJson() const;
+
   ServiceOptions options_;
   /// Serializes Ingest/Search/Flush/Drain.
   std::mutex mu_;
@@ -211,6 +289,7 @@ class Service {
   /// components holding instrument pointers into it.
   std::unique_ptr<obs::MetricsRegistry> registry_;
   std::unique_ptr<obs::TraceSink> trace_;
+  std::unique_ptr<obs::QueryTraceSink> query_trace_;
   std::vector<std::unique_ptr<BundleStore>> stores_;
   std::unique_ptr<recovery::DurabilityManager> durability_;
   std::unique_ptr<ShardedEngine> sharded_;
@@ -242,10 +321,23 @@ class Service {
   obs::Counter* wal_bytes_counter_ = nullptr;
   obs::Counter* checkpoints_counter_ = nullptr;
   obs::Counter* replayed_counter_ = nullptr;
+  /// Per-shard health gauges refreshed by Health() (0=ok, 1=degraded,
+  /// 2=stalled) plus the load stats behind them.
+  std::vector<obs::Gauge*> health_gauges_;
+  std::vector<obs::Gauge*> ingest_rate_gauges_;
+  std::vector<obs::Gauge*> query_rate_gauges_;
+  std::vector<obs::Gauge*> queue_hwm_gauges_;
+  std::vector<obs::Gauge*> stall_nanos_gauges_;
+  /// Each shard's arena budget slice, for the health arena-pressure
+  /// input (0 = unbudgeted).
+  uint64_t shard_arena_budget_bytes_ = 0;
   bool drained_ = false;
-  /// Declared last: stopped/destroyed first, so a late tick never sees
-  /// a half-torn-down service.
+  /// Declared after the components the scrape handlers read, so they
+  /// are destroyed first (the HTTP server joins its accept loop, then
+  /// the reporter stops) and a late tick or scrape never sees a
+  /// half-torn-down service.
   std::unique_ptr<obs::StatsReporter> reporter_;
+  std::unique_ptr<obs::HttpExporter> exporter_;
 };
 
 }  // namespace microprov

@@ -33,6 +33,9 @@ ShardedEngine::ShardedEngine(const ShardedEngineOptions& options,
     engine_options.shard_index = static_cast<uint32_t>(i);
     shards_.push_back(std::make_unique<Shard>(
         engine_options, archive, options_.queue_capacity));
+    shards_.back()->load_tracker = std::make_unique<obs::ShardLoadTracker>(
+        static_cast<uint32_t>(i), options_.queue_capacity,
+        options_.health);
     if (registry != nullptr) {
       const std::string shard_label =
           StringPrintf("shard=\"%zu\"", i);
@@ -99,15 +102,23 @@ Status ShardedEngine::Submit(const Message& msg, uint32_t* shard_out) {
     std::lock_guard<std::mutex> lock(shard.mu);
     if (!shard.error.ok()) return shard.error;
     ++shard.in_flight;
+    // in_flight (queued + in the current batch) doubles as the queue
+    // depth signal — no extra queue-lock acquisition on the hot path.
+    shard.load_tracker->NoteQueueDepth(
+        static_cast<size_t>(shard.in_flight));
   }
   bool blocked = false;
-  if (!shard.queue.Push(msg, &blocked)) {
+  int64_t blocked_nanos = 0;
+  if (!shard.queue.Push(msg, &blocked, &blocked_nanos)) {
     std::lock_guard<std::mutex> lock(shard.mu);
     --shard.in_flight;
     return Status::FailedPrecondition("shard queue closed");
   }
-  if (blocked && backpressure_counter_ != nullptr) {
-    backpressure_counter_->Increment();
+  if (blocked) {
+    if (backpressure_counter_ != nullptr) {
+      backpressure_counter_->Increment();
+    }
+    shard.load_tracker->NoteBackpressureStall(blocked_nanos);
   }
   shard.enqueued.Add();
   if (shard_out != nullptr) *shard_out = idx;
@@ -171,6 +182,7 @@ void ShardedEngine::WorkerLoop(Shard* shard) {
       }
     }
     shard->batches.Add();
+    shard->load_tracker->NoteIngested(n);
     if (batches_counter_ != nullptr) batches_counter_->Increment();
     if (batch_size_hist_ != nullptr) batch_size_hist_->Observe(n);
     if (shard->depth_gauge != nullptr) {
@@ -193,6 +205,12 @@ ShardStatsSnapshot ShardedEngine::shard_stats(size_t i) const {
   snap.blocked_pushes = shard.queue.blocked_pushes();
   snap.queue_depth = shard.queue.size();
   return snap;
+}
+
+size_t ShardedEngine::shard_in_flight(size_t i) const {
+  Shard& shard = *shards_[i];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return static_cast<size_t>(shard.in_flight);
 }
 
 uint64_t ShardedEngine::messages_ingested() const {

@@ -12,6 +12,7 @@
 #include "common/bounded_queue.h"
 #include "common/status.h"
 #include "core/engine.h"
+#include "obs/shard_health.h"
 
 namespace microprov {
 
@@ -37,6 +38,8 @@ struct ShardedEngineOptions {
   /// Start() once it is done mutating shard state single-threaded
   /// (checkpoint import + WAL replay at recovery).
   bool defer_workers = false;
+  /// Thresholds for the per-shard ShardLoadTracker verdicts.
+  obs::ShardHealthOptions health;
 };
 
 /// Point-in-time view of one shard's counters (readable while workers
@@ -138,6 +141,19 @@ class ShardedEngine {
 
   ShardStatsSnapshot shard_stats(size_t i) const;
 
+  /// The shard's load tracker (never null; thread-safe). The ingest
+  /// hot paths feed it; the stats/scrape path calls Evaluate on it.
+  obs::ShardLoadTracker* load_tracker(size_t i) const {
+    return shards_[i]->load_tracker.get();
+  }
+
+  /// Messages accepted for the shard but not yet applied by its worker:
+  /// the queue backlog PLUS the batch currently being ingested. This is
+  /// the health checker's backlog signal — a worker frozen mid-message
+  /// keeps it nonzero even though the queue itself has drained.
+  /// Thread-safe.
+  size_t shard_in_flight(size_t i) const;
+
   /// Total messages ingested across shards (approximate while running).
   uint64_t messages_ingested() const;
 
@@ -172,6 +188,9 @@ class ShardedEngine {
     AtomicCounter enqueued;
     AtomicCounter ingested;
     AtomicCounter batches;
+
+    /// Per-shard load accounting for health verdicts (always present).
+    std::unique_ptr<obs::ShardLoadTracker> load_tracker;
 
     // Observability handles (null without a registry; never owned).
     obs::Counter* ingested_counter = nullptr;

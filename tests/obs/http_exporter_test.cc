@@ -1,0 +1,136 @@
+#include "obs/http_exporter.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace microprov {
+namespace obs {
+namespace {
+
+HttpExporter::Handler EchoHandler() {
+  return [](std::string_view path, std::string_view query) {
+    HttpResponse response;
+    if (path == "/metrics") {
+      response.body = "metric_total 1\n";
+      return response;
+    }
+    if (path == "/query") {
+      response.body = std::string(query);
+      return response;
+    }
+    if (path == "/fail") {
+      response.status = 503;
+      response.body = "down\n";
+      return response;
+    }
+    response.status = 404;
+    response.body = "not found\n";
+    return response;
+  };
+}
+
+TEST(HttpExporterTest, ServesGetOnEphemeralPort) {
+  HttpExporter exporter({.port = 0}, EchoHandler());
+  ASSERT_TRUE(exporter.Start().ok());
+  ASSERT_GT(exporter.port(), 0);
+  EXPECT_TRUE(exporter.running());
+
+  auto body_or = HttpGet(exporter.port(), "/metrics");
+  ASSERT_TRUE(body_or.ok()) << body_or.status().ToString();
+  EXPECT_EQ(*body_or, "metric_total 1\n");
+  EXPECT_GE(exporter.requests_served(), 1u);
+}
+
+TEST(HttpExporterTest, PassesQueryStringToHandler) {
+  HttpExporter exporter({.port = 0}, EchoHandler());
+  ASSERT_TRUE(exporter.Start().ok());
+  auto body_or = HttpGet(exporter.port(), "/query?ring=ingest");
+  ASSERT_TRUE(body_or.ok()) << body_or.status().ToString();
+  EXPECT_EQ(*body_or, "ring=ingest");
+}
+
+TEST(HttpExporterTest, SurfacesNon200Status) {
+  HttpExporter exporter({.port = 0}, EchoHandler());
+  ASSERT_TRUE(exporter.Start().ok());
+
+  // HttpGet folds non-200 into an error...
+  EXPECT_FALSE(HttpGet(exporter.port(), "/fail").ok());
+  EXPECT_FALSE(HttpGet(exporter.port(), "/missing").ok());
+
+  // ...while HttpGetResponse exposes the code + body for asserting.
+  auto response_or = HttpGetResponse(exporter.port(), "/fail");
+  ASSERT_TRUE(response_or.ok()) << response_or.status().ToString();
+  EXPECT_EQ(response_or->status, 503);
+  EXPECT_EQ(response_or->body, "down\n");
+
+  auto missing_or = HttpGetResponse(exporter.port(), "/missing");
+  ASSERT_TRUE(missing_or.ok());
+  EXPECT_EQ(missing_or->status, 404);
+}
+
+TEST(HttpExporterTest, ConcurrentScrapesAllSucceed) {
+  std::atomic<int> handled{0};
+  HttpExporter exporter(
+      {.port = 0}, [&handled](std::string_view, std::string_view) {
+        handled.fetch_add(1, std::memory_order_relaxed);
+        HttpResponse response;
+        response.body = "ok\n";
+        return response;
+      });
+  ASSERT_TRUE(exporter.Start().ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> succeeded{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        auto body_or = HttpGet(exporter.port(), "/metrics");
+        if (body_or.ok() && *body_or == "ok\n") {
+          succeeded.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(succeeded.load(), kThreads * kRequestsPerThread);
+  EXPECT_EQ(handled.load(), kThreads * kRequestsPerThread);
+}
+
+TEST(HttpExporterTest, StopIsIdempotent) {
+  HttpExporter exporter({.port = 0}, EchoHandler());
+  ASSERT_TRUE(exporter.Start().ok());
+  const uint16_t port = exporter.port();
+  ASSERT_TRUE(HttpGet(port, "/metrics").ok());
+
+  exporter.Stop();
+  exporter.Stop();  // idempotent
+  EXPECT_FALSE(exporter.running());
+  // A stopped server no longer answers.
+  EXPECT_FALSE(HttpGet(port, "/metrics", /*timeout_ms=*/200).ok());
+}
+
+TEST(HttpExporterTest, RejectsBindToBadAddress) {
+  HttpExporter exporter({.bind_address = "999.999.999.999"},
+                        EchoHandler());
+  EXPECT_FALSE(exporter.Start().ok());
+}
+
+TEST(HttpExporterTest, ClientErrorsOnClosedPort) {
+  // Grab an ephemeral port, then stop the server so the port is closed.
+  HttpExporter exporter({.port = 0}, EchoHandler());
+  ASSERT_TRUE(exporter.Start().ok());
+  const uint16_t port = exporter.port();
+  exporter.Stop();
+  auto body_or = HttpGet(port, "/metrics", /*timeout_ms=*/200);
+  EXPECT_FALSE(body_or.ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace microprov

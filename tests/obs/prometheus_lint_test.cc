@@ -1,0 +1,207 @@
+// Pins MetricsRegistry::PrometheusText() to the Prometheus text
+// exposition format (version 0.0.4): metric-name grammar, HELP/TYPE
+// ordering, one TYPE per family, counter naming, summary conventions.
+// A real Service registry feeds the lint so every metric the
+// deployment actually exports gets checked, not a synthetic sample.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "service/service.h"
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+using testing_util::MakeMessage;
+
+bool IsValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto valid_first = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  };
+  if (!valid_first(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!valid_first(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The family a sample line belongs to (summaries emit samples under
+/// `<family>_sum` / `<family>_count`).
+std::string FamilyOf(const std::string& sample_name,
+                     const std::set<std::string>& families) {
+  if (families.count(sample_name) > 0) return sample_name;
+  for (const char* suffix : {"_sum", "_count"}) {
+    const std::string s(suffix);
+    if (sample_name.size() > s.size() &&
+        sample_name.compare(sample_name.size() - s.size(), s.size(), s) ==
+            0) {
+      const std::string base =
+          sample_name.substr(0, sample_name.size() - s.size());
+      if (families.count(base) > 0) return base;
+    }
+  }
+  return {};
+}
+
+struct ParsedExposition {
+  /// family -> TYPE string, in order of first appearance.
+  std::map<std::string, std::string> types;
+  std::vector<std::string> type_lines;  // family per TYPE line, in order
+  std::set<std::string> helped;
+  /// Every sample line's metric name, in order.
+  std::vector<std::string> sample_names;
+};
+
+void Parse(const std::string& text, ParsedExposition* out_parsed) {
+  ParsedExposition& out = *out_parsed;
+  std::istringstream in(text);
+  std::string line;
+  std::string pending_help;  // family the last HELP line named
+  while (std::getline(in, line)) {
+    EXPECT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# HELP ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string family;
+      fields >> family;
+      EXPECT_TRUE(out.helped.insert(family).second)
+          << "duplicate HELP for " << family;
+      pending_help = family;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string family, type;
+      fields >> family >> type;
+      EXPECT_TRUE(out.types.emplace(family, type).second)
+          << "duplicate TYPE for " << family;
+      out.type_lines.push_back(family);
+      // HELP, when present, must immediately precede its TYPE line.
+      if (out.helped.count(family) > 0) {
+        EXPECT_EQ(pending_help, family)
+            << "HELP for " << family << " not adjacent to its TYPE";
+      }
+      pending_help.clear();
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment line: " << line;
+    // Sample line: name[{labels}] value
+    const size_t name_end = line.find_first_of("{ ");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    out.sample_names.push_back(line.substr(0, name_end));
+    // Labels, when present, must be well-formed and the value parseable.
+    size_t value_begin = name_end;
+    if (line[name_end] == '{') {
+      const size_t close = line.find('}', name_end);
+      ASSERT_NE(close, std::string::npos) << line;
+      const std::string labels =
+          line.substr(name_end + 1, close - name_end - 1);
+      EXPECT_EQ(labels.find(' '), std::string::npos)
+          << "space inside label body: " << line;
+      EXPECT_NE(labels.find('='), std::string::npos) << line;
+      value_begin = close + 1;
+    }
+    ASSERT_EQ(line[value_begin], ' ') << line;
+    const std::string value = line.substr(value_begin + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    size_t parsed = 0;
+    EXPECT_NO_THROW({ (void)std::stod(value, &parsed); }) << line;
+    EXPECT_EQ(parsed, value.size()) << "trailing junk in value: " << line;
+  }
+}
+
+TEST(PrometheusLintTest, ServiceExpositionConforms) {
+  auto service_or = Service::Open(
+      {.num_shards = 2, .trace_capacity = 8, .query_trace_capacity = 8});
+  ASSERT_TRUE(service_or.ok());
+  Service& service = **service_or;
+  ASSERT_TRUE(
+      service.Ingest(MakeMessage(1, kTestEpoch, "alice", {}, {}, {"redsox"}))
+          .ok());
+  ASSERT_TRUE(service.Search({.text = "redsox", .k = 4}).ok());
+  (void)service.Health();  // populate the health gauges
+
+  const std::string text = service.MetricsText();
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n') << "exposition must end with a newline";
+
+  ParsedExposition parsed;
+  Parse(text, &parsed);
+  ASSERT_FALSE(parsed.types.empty());
+
+  std::set<std::string> families;
+  for (const auto& [family, type] : parsed.types) {
+    families.insert(family);
+    EXPECT_TRUE(IsValidMetricName(family)) << family;
+    EXPECT_TRUE(type == "counter" || type == "gauge" || type == "summary")
+        << family << " has type " << type;
+    // Naming conventions the scrape pipeline relies on.
+    if (type == "counter") {
+      EXPECT_TRUE(family.size() > 6 &&
+                  family.compare(family.size() - 6, 6, "_total") == 0)
+          << "counter " << family << " must end in _total";
+    }
+    EXPECT_EQ(family.rfind("microprov_", 0), 0u)
+        << family << " missing the microprov_ namespace";
+  }
+
+  // One TYPE line per family: families must not be interleaved.
+  std::set<std::string> seen_type;
+  for (const std::string& family : parsed.type_lines) {
+    EXPECT_TRUE(seen_type.insert(family).second)
+        << "family " << family << " declared twice";
+  }
+
+  // Every sample belongs to a declared family; summaries expose
+  // _sum/_count alongside their quantile samples.
+  std::set<std::string> sampled_families;
+  for (const std::string& name : parsed.sample_names) {
+    EXPECT_TRUE(IsValidMetricName(name)) << name;
+    const std::string family = FamilyOf(name, families);
+    EXPECT_FALSE(family.empty()) << "sample " << name << " has no TYPE";
+    if (!family.empty()) sampled_families.insert(family);
+  }
+  for (const auto& [family, type] : parsed.types) {
+    EXPECT_TRUE(sampled_families.count(family) > 0)
+        << "family " << family << " declared but has no samples";
+    if (type == "summary") {
+      size_t sum_samples = 0;
+      size_t count_samples = 0;
+      for (const std::string& name : parsed.sample_names) {
+        if (name == family + "_sum") ++sum_samples;
+        if (name == family + "_count") ++count_samples;
+      }
+      EXPECT_GT(sum_samples, 0u) << family << " missing _sum";
+      EXPECT_GT(count_samples, 0u) << family << " missing _count";
+    }
+  }
+}
+
+TEST(PrometheusLintTest, HelpTextEscapesNewlinesAndBackslashes) {
+  obs::MetricsRegistry registry;
+  registry
+      .GetCounter("weird_help_total", "",
+                  "line one\nline two \\ backslash")
+      ->Increment();
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# HELP weird_help_total line one\\nline two "
+                      "\\\\ backslash\n"),
+            std::string::npos)
+      << text;
+  // The raw newline must not survive into the HELP line.
+  EXPECT_EQ(text.find("line one\nline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace microprov

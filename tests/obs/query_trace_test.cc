@@ -1,0 +1,193 @@
+#include "obs/query_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace microprov {
+namespace obs {
+namespace {
+
+QueryTraceEvent MakeEvent(uint64_t id, uint64_t total_nanos,
+                          const std::string& text = "#redsox") {
+  QueryTraceEvent event;
+  event.query_id = id;
+  event.text = text;
+  event.now = 1251763200;
+  event.k = 10;
+  event.total_bundles = 42;
+  event.result_count = 3;
+  event.total_nanos = total_nanos;
+
+  QueryShardTrace shard;
+  shard.shard = 1;
+  shard.term_ids = {7, -1, 12};
+  shard.candidates = 9;
+  shard.archived_candidates = 2;
+  shard.results = 3;
+  event.shards.push_back(shard);
+
+  SpanRecord root;
+  root.id = 1;
+  root.name = "search";
+  root.start_nanos = 0;
+  root.duration_nanos = static_cast<int64_t>(total_nanos);
+  event.spans.push_back(root);
+  SpanRecord child;
+  child.id = 2;
+  child.parent = 1;
+  child.name = "shard_search";
+  child.shard = 1;
+  child.start_nanos = 100;
+  child.duration_nanos = 900;
+  event.spans.push_back(child);
+  return event;
+}
+
+TEST(QueryTraceSinkTest, SamplingCadence) {
+  QueryTraceSink sink({.capacity = 16, .sample_every = 3});
+  int sampled = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (sink.ShouldSample()) ++sampled;
+  }
+  EXPECT_EQ(sampled, 3);
+
+  QueryTraceSink always({.capacity = 16, .sample_every = 1});
+  EXPECT_TRUE(always.ShouldSample());
+  EXPECT_TRUE(always.ShouldSample());
+
+  QueryTraceSink never({.capacity = 16, .sample_every = 0});
+  EXPECT_FALSE(never.ShouldSample());
+  EXPECT_FALSE(never.ShouldSample());
+}
+
+TEST(QueryTraceSinkTest, RecordRoutesSampledSlowAndDropped) {
+  QueryTraceSink sink({.capacity = 8,
+                       .sample_every = 1,
+                       .slow_query_nanos = 1'000'000,
+                       .slow_capacity = 4});
+
+  // Fast + sampled: main ring only.
+  sink.Record(MakeEvent(1, 500), /*sampled=*/true);
+  // Fast + sampled out: dropped.
+  sink.Record(MakeEvent(2, 500), /*sampled=*/false);
+  // Slow + sampled out: slow ring anyway.
+  sink.Record(MakeEvent(3, 2'000'000), /*sampled=*/false);
+  // Slow + sampled: both rings.
+  sink.Record(MakeEvent(4, 5'000'000), /*sampled=*/true);
+
+  std::vector<QueryTraceEvent> main = sink.Snapshot();
+  std::vector<QueryTraceEvent> slow = sink.SlowSnapshot();
+  ASSERT_EQ(main.size(), 2u);
+  EXPECT_EQ(main[0].query_id, 1u);
+  EXPECT_FALSE(main[0].slow);
+  EXPECT_EQ(main[1].query_id, 4u);
+  EXPECT_TRUE(main[1].slow);
+
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].query_id, 3u);
+  EXPECT_EQ(slow[1].query_id, 4u);
+  EXPECT_TRUE(slow[0].slow);
+
+  EXPECT_EQ(sink.total_recorded(), 2u);
+  EXPECT_EQ(sink.slow_recorded(), 2u);
+  EXPECT_EQ(sink.sampled_out(), 1u);
+}
+
+TEST(QueryTraceSinkTest, SlowDisabledNeverMarksSlow) {
+  QueryTraceSink sink({.capacity = 4, .sample_every = 1});
+  sink.Record(MakeEvent(1, 60'000'000'000ull), /*sampled=*/true);
+  std::vector<QueryTraceEvent> main = sink.Snapshot();
+  ASSERT_EQ(main.size(), 1u);
+  EXPECT_FALSE(main[0].slow);
+  EXPECT_TRUE(sink.SlowSnapshot().empty());
+}
+
+TEST(QueryTraceSinkTest, RingEvictsOldest) {
+  QueryTraceSink sink({.capacity = 3, .sample_every = 1});
+  for (uint64_t id = 1; id <= 5; ++id) {
+    sink.Record(MakeEvent(id, 100), /*sampled=*/true);
+  }
+  std::vector<QueryTraceEvent> main = sink.Snapshot();
+  ASSERT_EQ(main.size(), 3u);
+  EXPECT_EQ(main[0].query_id, 3u);
+  EXPECT_EQ(main[2].query_id, 5u);
+  EXPECT_EQ(sink.total_recorded(), 5u);
+}
+
+TEST(QueryTraceSinkTest, NextQueryIdIsMonotonic) {
+  QueryTraceSink sink({.capacity = 4});
+  EXPECT_EQ(sink.NextQueryId(), 1u);
+  EXPECT_EQ(sink.NextQueryId(), 2u);
+  EXPECT_EQ(sink.NextQueryId(), 3u);
+}
+
+TEST(QueryTraceSinkTest, JsonlRoundTripsEverything) {
+  QueryTraceSink sink({.capacity = 4,
+                       .sample_every = 1,
+                       .slow_query_nanos = 1'000,
+                       .slow_capacity = 4});
+  QueryTraceEvent event =
+      MakeEvent(7, 123'456, "tsunami \"quoted\" \\slash\n#tag");
+  sink.Record(event, /*sampled=*/true);
+
+  std::string jsonl = sink.ToJsonl();
+  auto parsed_or = QueryTraceSink::FromJsonl(jsonl);
+  ASSERT_TRUE(parsed_or.ok()) << parsed_or.status().ToString();
+  ASSERT_EQ(parsed_or->size(), 1u);
+  const QueryTraceEvent& got = (*parsed_or)[0];
+
+  EXPECT_EQ(got.query_id, 7u);
+  EXPECT_EQ(got.text, "tsunami \"quoted\" \\slash\n#tag");
+  EXPECT_EQ(got.now, 1251763200);
+  EXPECT_EQ(got.k, 10u);
+  EXPECT_EQ(got.total_bundles, 42u);
+  EXPECT_EQ(got.result_count, 3u);
+  EXPECT_EQ(got.total_nanos, 123'456u);
+  EXPECT_TRUE(got.slow);
+
+  ASSERT_EQ(got.shards.size(), 1u);
+  EXPECT_EQ(got.shards[0].shard, 1u);
+  EXPECT_EQ(got.shards[0].term_ids, (std::vector<int64_t>{7, -1, 12}));
+  EXPECT_EQ(got.shards[0].candidates, 9u);
+  EXPECT_EQ(got.shards[0].archived_candidates, 2u);
+  EXPECT_EQ(got.shards[0].results, 3u);
+
+  // The span tree reconstructs: ids, parent links, shard tags, times.
+  ASSERT_EQ(got.spans.size(), 2u);
+  EXPECT_EQ(got.spans[0].id, 1u);
+  EXPECT_EQ(got.spans[0].parent, 0u);
+  EXPECT_EQ(got.spans[0].name, "search");
+  EXPECT_EQ(got.spans[0].shard, kSpanNoShard);
+  EXPECT_EQ(got.spans[1].id, 2u);
+  EXPECT_EQ(got.spans[1].parent, 1u);
+  EXPECT_EQ(got.spans[1].name, "shard_search");
+  EXPECT_EQ(got.spans[1].shard, 1u);
+  EXPECT_EQ(got.spans[1].start_nanos, 100);
+  EXPECT_EQ(got.spans[1].duration_nanos, 900);
+}
+
+TEST(QueryTraceSinkTest, FromJsonlRejectsMalformedLines) {
+  EXPECT_FALSE(QueryTraceSink::FromJsonl("not json").ok());
+  EXPECT_FALSE(QueryTraceSink::FromJsonl("{\"query\":}").ok());
+  // Blank lines are fine.
+  auto empty_or = QueryTraceSink::FromJsonl("\n\n");
+  ASSERT_TRUE(empty_or.ok());
+  EXPECT_TRUE(empty_or->empty());
+}
+
+TEST(QueryTraceSinkTest, ZeroCapacityStillCapturesSlow) {
+  QueryTraceSink sink({.capacity = 0,
+                       .sample_every = 1,
+                       .slow_query_nanos = 100,
+                       .slow_capacity = 2});
+  EXPECT_FALSE(sink.ShouldSample());  // no sampled ring to fill
+  sink.Record(MakeEvent(1, 500), /*sampled=*/false);
+  EXPECT_TRUE(sink.Snapshot().empty());
+  EXPECT_EQ(sink.SlowSnapshot().size(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace microprov

@@ -1,0 +1,168 @@
+#include "obs/shard_health.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace microprov {
+namespace obs {
+namespace {
+
+TEST(ShardLoadTrackerTest, FirstEvaluateSeedsBaselines) {
+  ShardLoadTracker tracker(0, /*queue_capacity=*/64, {});
+  tracker.NoteIngested(100);
+  ShardHealthSnapshot snap = tracker.Evaluate({});
+  EXPECT_EQ(snap.health, ShardHealth::kOk);
+  EXPECT_EQ(snap.ingested_total, 100u);
+  // First evaluation only seeds; no interval yet, so rates stay 0.
+  EXPECT_EQ(snap.ingest_rate, 0.0);
+  EXPECT_EQ(snap.query_rate, 0.0);
+}
+
+TEST(ShardLoadTrackerTest, EwmaRatesTrackCounters) {
+  ShardHealthOptions options;
+  options.ewma_tau_seconds = 0.001;  // near-instant convergence
+  ShardLoadTracker tracker(0, 64, options);
+  tracker.Evaluate({});  // seed
+
+  tracker.NoteIngested(500);
+  for (int i = 0; i < 50; ++i) tracker.NoteQuery();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ShardHealthSnapshot snap = tracker.Evaluate({});
+
+  // 500 messages / ~20ms: the rate should land in the right order of
+  // magnitude (timing slop means we only bound it loosely).
+  EXPECT_GT(snap.ingest_rate, 1000.0);
+  EXPECT_GT(snap.query_rate, 100.0);
+  EXPECT_EQ(snap.ingested_total, 500u);
+  EXPECT_EQ(snap.queries_total, 50u);
+
+  // With nothing new, a later evaluation decays toward zero.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ShardHealthSnapshot decayed = tracker.Evaluate({});
+  EXPECT_LT(decayed.ingest_rate, snap.ingest_rate);
+}
+
+TEST(ShardLoadTrackerTest, QueueHighWatermarkIsMonotonic) {
+  ShardLoadTracker tracker(0, 64, {});
+  tracker.NoteQueueDepth(3);
+  tracker.NoteQueueDepth(17);
+  tracker.NoteQueueDepth(5);
+  ShardHealthSnapshot snap = tracker.Evaluate({});
+  EXPECT_EQ(snap.queue_high_watermark, 17u);
+}
+
+TEST(ShardLoadTrackerTest, BackpressureStallAccumulates) {
+  ShardLoadTracker tracker(0, 64, {});
+  tracker.NoteBackpressureStall(1000);
+  tracker.NoteBackpressureStall(500);
+  tracker.NoteBackpressureStall(-7);  // ignored
+  EXPECT_EQ(tracker.Evaluate({}).backpressure_stall_nanos, 1500);
+}
+
+TEST(ShardLoadTrackerTest, DeepQueueIsDegraded) {
+  ShardHealthOptions options;
+  options.degraded_queue_fraction = 0.5;
+  ShardLoadTracker tracker(2, /*queue_capacity=*/100, options);
+  tracker.Evaluate({});  // seed
+
+  ShardHealthSnapshot ok = tracker.Evaluate({.queue_depth = 49});
+  EXPECT_EQ(ok.health, ShardHealth::kOk);
+
+  ShardHealthSnapshot degraded = tracker.Evaluate({.queue_depth = 50});
+  EXPECT_EQ(degraded.health, ShardHealth::kDegraded);
+  EXPECT_NE(degraded.reason.find("queue depth"), std::string::npos);
+  EXPECT_EQ(degraded.shard, 2u);
+}
+
+TEST(ShardLoadTrackerTest, ArenaAtBudgetIsDegraded) {
+  ShardLoadTracker tracker(0, 64, {});
+  tracker.Evaluate({});
+
+  ShardHealthSnapshot under = tracker.Evaluate(
+      {.arena_bytes = 900, .arena_budget_bytes = 1000});
+  EXPECT_EQ(under.health, ShardHealth::kOk);
+
+  ShardHealthSnapshot at = tracker.Evaluate(
+      {.arena_bytes = 1000, .arena_budget_bytes = 1000});
+  EXPECT_EQ(at.health, ShardHealth::kDegraded);
+  EXPECT_NE(at.reason.find("arena"), std::string::npos);
+
+  // Unbudgeted shards never trip the arena check.
+  ShardHealthSnapshot unbudgeted = tracker.Evaluate(
+      {.arena_bytes = 1'000'000, .arena_budget_bytes = 0});
+  EXPECT_EQ(unbudgeted.health, ShardHealth::kOk);
+}
+
+TEST(ShardLoadTrackerTest, QueuedWorkWithoutProgressStalls) {
+  ShardHealthOptions options;
+  options.stall_nanos = 10'000'000;  // 10 ms
+  ShardLoadTracker tracker(0, 64, options);
+  tracker.NoteIngested(1);
+  tracker.Evaluate({});  // seed: progress = now
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  // Queue empty: an idle shard is ok, not stalled.
+  EXPECT_EQ(tracker.Evaluate({}).health, ShardHealth::kOk);
+
+  // Work queued, counter frozen past the threshold: stalled.
+  ShardHealthSnapshot stalled = tracker.Evaluate({.queue_depth = 4});
+  EXPECT_EQ(stalled.health, ShardHealth::kStalled);
+  EXPECT_NE(stalled.reason.find("ingest stalled"), std::string::npos);
+
+  // Progress resets the stall age.
+  tracker.NoteIngested(4);
+  ShardHealthSnapshot recovered = tracker.Evaluate({.queue_depth = 1});
+  EXPECT_EQ(recovered.health, ShardHealth::kOk);
+}
+
+TEST(ShardLoadTrackerTest, StaleWalFlusherWithPendingBytesStalls) {
+  ShardHealthOptions options;
+  options.stall_nanos = 10'000'000;  // 10 ms
+  ShardLoadTracker tracker(0, 64, options);
+  tracker.Evaluate({});
+
+  // Flusher current: fine.
+  ShardHealthSnapshot fresh = tracker.Evaluate(
+      {.wal_pending_bytes = 4096, .wal_flusher_age_nanos = 1'000'000});
+  EXPECT_EQ(fresh.health, ShardHealth::kOk);
+
+  // Flusher silent past the threshold with bytes pending: stalled.
+  ShardHealthSnapshot stalled = tracker.Evaluate(
+      {.wal_pending_bytes = 4096, .wal_flusher_age_nanos = 50'000'000});
+  EXPECT_EQ(stalled.health, ShardHealth::kStalled);
+  EXPECT_NE(stalled.reason.find("wal flusher"), std::string::npos);
+
+  // Nothing pending: a parked flusher is not a problem.
+  ShardHealthSnapshot idle = tracker.Evaluate(
+      {.wal_pending_bytes = 0, .wal_flusher_age_nanos = 50'000'000});
+  EXPECT_EQ(idle.health, ShardHealth::kOk);
+
+  // Durability off (-1 age) never reads as a WAL stall.
+  ShardHealthSnapshot off = tracker.Evaluate(
+      {.wal_pending_bytes = 4096, .wal_flusher_age_nanos = -1});
+  EXPECT_EQ(off.health, ShardHealth::kOk);
+}
+
+TEST(ShardLoadTrackerTest, IngestStallOutranksDegradedQueue) {
+  ShardHealthOptions options;
+  options.stall_nanos = 5'000'000;
+  options.degraded_queue_fraction = 0.1;
+  ShardLoadTracker tracker(0, /*queue_capacity=*/10, options);
+  tracker.Evaluate({});
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  // Deep queue AND no progress: the stall verdict wins.
+  ShardHealthSnapshot snap = tracker.Evaluate({.queue_depth = 9});
+  EXPECT_EQ(snap.health, ShardHealth::kStalled);
+}
+
+TEST(ShardHealthNameTest, NamesAreStable) {
+  EXPECT_STREQ(ShardHealthName(ShardHealth::kOk), "ok");
+  EXPECT_STREQ(ShardHealthName(ShardHealth::kDegraded), "degraded");
+  EXPECT_STREQ(ShardHealthName(ShardHealth::kStalled), "stalled");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace microprov

@@ -1,0 +1,166 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace microprov {
+namespace obs {
+namespace {
+
+const SpanRecord* FindSpan(const std::vector<SpanRecord>& spans,
+                           std::string_view name) {
+  for (const SpanRecord& span : spans) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+TEST(SpanTest, RecordsNestingAndTiming) {
+  SpanRecorder recorder;
+  {
+    Span root(&recorder, "search");
+    ASSERT_EQ(root.id(), 1u);
+    {
+      Span child(&recorder, "candidates", root.id(), /*shard=*/3);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    {
+      Span child(&recorder, "merge", root.id());
+    }
+  }
+  std::vector<SpanRecord> spans = recorder.Take();
+  ASSERT_EQ(spans.size(), 3u);
+
+  const SpanRecord* root = FindSpan(spans, "search");
+  const SpanRecord* candidates = FindSpan(spans, "candidates");
+  const SpanRecord* merge = FindSpan(spans, "merge");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(candidates, nullptr);
+  ASSERT_NE(merge, nullptr);
+
+  // Tree shape: children point at the root, the root at 0.
+  EXPECT_EQ(root->parent, 0u);
+  EXPECT_EQ(candidates->parent, root->id);
+  EXPECT_EQ(merge->parent, root->id);
+  EXPECT_EQ(candidates->shard, 3u);
+  EXPECT_EQ(root->shard, kSpanNoShard);
+
+  // Timing: children start at or after the parent, end at or before
+  // the parent's end, and the slept child shows its sleep.
+  EXPECT_GE(candidates->start_nanos, root->start_nanos);
+  EXPECT_LE(candidates->start_nanos + candidates->duration_nanos,
+            root->start_nanos + root->duration_nanos);
+  EXPECT_GE(merge->start_nanos,
+            candidates->start_nanos + candidates->duration_nanos);
+  EXPECT_GE(candidates->duration_nanos, 2'000'000);
+  EXPECT_GE(root->duration_nanos, candidates->duration_nanos);
+  EXPECT_GE(root->start_nanos, 0);
+}
+
+TEST(SpanTest, ConcurrentShardSpans) {
+  SpanRecorder recorder;
+  const uint32_t root = recorder.Begin("search");
+  constexpr int kShards = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kShards);
+  for (int i = 0; i < kShards; ++i) {
+    threads.emplace_back([&recorder, root, i] {
+      Span shard_span(&recorder, "shard_search", root,
+                      static_cast<uint32_t>(i));
+      Span inner(&recorder, "score", shard_span.id(),
+                 static_cast<uint32_t>(i));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  recorder.End(root);
+
+  std::vector<SpanRecord> spans = recorder.Snapshot();
+  ASSERT_EQ(spans.size(), 1u + 2u * kShards);
+
+  // Ids are unique, every shard contributed one shard_search with one
+  // score child under it, and all parents resolve.
+  std::vector<uint32_t> ids;
+  std::vector<bool> shard_seen(kShards, false);
+  for (const SpanRecord& span : spans) {
+    ids.push_back(span.id);
+    if (span.name == "shard_search") {
+      EXPECT_EQ(span.parent, root);
+      ASSERT_LT(span.shard, static_cast<uint32_t>(kShards));
+      EXPECT_FALSE(shard_seen[span.shard]);
+      shard_seen[span.shard] = true;
+    } else if (span.name == "score") {
+      const auto parent_it =
+          std::find_if(spans.begin(), spans.end(),
+                       [&](const SpanRecord& s) {
+                         return s.id == span.parent;
+                       });
+      ASSERT_NE(parent_it, spans.end());
+      EXPECT_EQ(parent_it->name, "shard_search");
+      EXPECT_EQ(parent_it->shard, span.shard);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+  EXPECT_TRUE(std::all_of(shard_seen.begin(), shard_seen.end(),
+                          [](bool b) { return b; }));
+}
+
+TEST(SpanTest, TakeClosesOpenSpansAndResets) {
+  SpanRecorder recorder;
+  const uint32_t open = recorder.Begin("never_ended");
+  ASSERT_GT(open, 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  std::vector<SpanRecord> spans = recorder.Take();
+  ASSERT_EQ(spans.size(), 1u);
+  // Open spans come out with their duration so far, not 0.
+  EXPECT_GE(spans[0].duration_nanos, 1'000'000);
+
+  // Take drained the recorder; it stays usable.
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_TRUE(recorder.Take().empty());
+  Span again(&recorder, "next_query");
+  again.End();
+  EXPECT_EQ(recorder.size(), 1u);
+}
+
+TEST(SpanTest, EndIsIdempotentAndUnknownIdsAreIgnored) {
+  SpanRecorder recorder;
+  Span span(&recorder, "stage");
+  span.End();
+  span.End();  // second End is a no-op
+  recorder.End(999);  // unknown id ignored
+  std::vector<SpanRecord> spans = recorder.Take();
+  ASSERT_EQ(spans.size(), 1u);
+  const int64_t first_duration = spans[0].duration_nanos;
+  EXPECT_GE(first_duration, 0);
+}
+
+TEST(SpanTest, NullRecorderIsNoOp) {
+  Span disabled(nullptr, "search");
+  EXPECT_EQ(disabled.id(), 0u);
+  disabled.End();  // harmless
+
+  Span child(nullptr, "child", disabled.id());
+  EXPECT_EQ(child.id(), 0u);
+}
+
+TEST(SpanTest, MoveTransfersOwnership) {
+  SpanRecorder recorder;
+  Span a(&recorder, "outer");
+  Span b = std::move(a);
+  a.End();  // moved-from: no-op
+  EXPECT_EQ(recorder.Snapshot().size(), 1u);
+  b.End();
+  std::vector<SpanRecord> spans = recorder.Take();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "outer");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace microprov

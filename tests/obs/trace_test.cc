@@ -100,6 +100,24 @@ TEST(TraceSinkTest, FromJsonlSkipsBlankLinesAndRejectsGarbage) {
   EXPECT_FALSE(TraceSink::FromJsonl("not json\n").ok());
 }
 
+TEST(TraceSinkTest, ShouldSampleFollowsCadence) {
+  TraceSink sink(8, /*sample_every=*/3);
+  EXPECT_EQ(sink.sample_every(), 3u);
+  int sampled = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (sink.ShouldSample()) ++sampled;
+  }
+  EXPECT_EQ(sampled, 3);
+
+  TraceSink all(8);  // default: every message, the historical behavior
+  EXPECT_TRUE(all.ShouldSample());
+  EXPECT_TRUE(all.ShouldSample());
+
+  TraceSink none(8, /*sample_every=*/0);
+  EXPECT_FALSE(none.ShouldSample());
+  EXPECT_FALSE(none.ShouldSample());
+}
+
 TEST(TraceSinkTest, EmptySinkProducesEmptyDump) {
   TraceSink sink(4);
   EXPECT_TRUE(sink.Snapshot().empty());
