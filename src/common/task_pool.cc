@@ -1,0 +1,74 @@
+#include "common/task_pool.h"
+
+namespace microprov {
+
+TaskPool::TaskPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void TaskPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return stop_ || (batch_ != nullptr && batch_->next < batch_->n);
+    });
+    if (stop_) return;
+    Batch* batch = batch_;
+    const size_t i = batch->next++;
+    lock.unlock();
+    (*batch->fn)(i);
+    lock.lock();
+    // `batch` stays valid: ParallelFor keeps it alive until done == n,
+    // and this claim has not been counted yet.
+    if (++batch->done == batch->n) done_cv_.notify_all();
+  }
+}
+
+void TaskPool::ParallelFor(size_t n,
+                           const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  Batch batch;
+  batch.fn = &fn;
+  batch.n = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &batch;
+  }
+  work_cv_.notify_all();
+  // The caller claims indices alongside the workers.
+  for (;;) {
+    size_t i;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (batch.next >= batch.n) break;
+      i = batch.next++;
+    }
+    fn(i);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++batch.done == batch.n) done_cv_.notify_all();
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&batch] { return batch.done == batch.n; });
+  batch_ = nullptr;
+}
+
+}  // namespace microprov

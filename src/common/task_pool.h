@@ -1,0 +1,64 @@
+#ifndef MICROPROV_COMMON_TASK_POOL_H_
+#define MICROPROV_COMMON_TASK_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace microprov {
+
+/// A persistent pool of worker threads for fork-join fan-out (the query
+/// path's per-shard dispatch). One ParallelFor call runs fn(0..n-1),
+/// possibly concurrently, and returns once every index completed — the
+/// calling thread participates, so a pool of W workers gives W+1 lanes
+/// and a pool is never required for progress (TaskPool(0) degrades to a
+/// plain loop).
+///
+/// Batches are serialized: concurrent ParallelFor calls from different
+/// threads queue behind each other rather than interleaving their
+/// indices. Workers idle on a condition variable between batches, so an
+/// idle pool costs no CPU. Index claims are mutex-guarded — the unit of
+/// work is a whole shard search, so claim overhead is noise.
+class TaskPool {
+ public:
+  /// Starts `num_workers` threads (0 = no threads; ParallelFor then
+  /// runs inline on the caller).
+  explicit TaskPool(size_t num_workers);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Runs fn(i) for every i in [0, n), blocking until all complete.
+  /// `fn` may be invoked concurrently from pool workers and the calling
+  /// thread; exceptions must not escape fn.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_workers() const { return workers_.size(); }
+
+ private:
+  struct Batch {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    size_t next = 0;  // next unclaimed index, guarded by mu_
+    size_t done = 0;  // completed indices, guarded by mu_
+  };
+
+  void WorkerLoop();
+
+  /// One batch at a time; holders of batch_mu_ own batch_ publication.
+  std::mutex batch_mu_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Batch* batch_ = nullptr;  // guarded by mu_
+  bool stop_ = false;       // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace microprov
+
+#endif  // MICROPROV_COMMON_TASK_POOL_H_

@@ -72,11 +72,7 @@ void Bundle::AddMessage(Message msg, MessageId parent, ConnectionType type,
 }
 
 uint32_t Bundle::CountOf(IndicantType type, std::string_view value) const {
-  const TermId term = dict_->Find(type, value);
-  if (term == kInvalidTermId) return 0;
-  const TermCounts& counts = counts_[static_cast<size_t>(type)];
-  auto it = counts.find(term);
-  return it == counts.end() ? 0 : it->second;
+  return CountOfId(type, dict_->Find(type, value));
 }
 
 std::vector<std::pair<std::string, uint32_t>> Bundle::ResolvedCounts(

@@ -87,6 +87,17 @@ class Bundle {
   /// for `type` (0 when absent). String boundary: queries and tests.
   uint32_t CountOf(IndicantType type, std::string_view value) const;
 
+  /// Id-space twin of CountOf: `term` must be in this bundle's
+  /// dictionary id space (kInvalidTermId returns 0). The query hot path
+  /// resolves terms once per query and calls this per candidate — no
+  /// string hashing.
+  uint32_t CountOfId(IndicantType type, TermId term) const {
+    if (term == kInvalidTermId) return 0;
+    const TermCounts& counts = counts_[static_cast<size_t>(type)];
+    auto it = counts.find(term);
+    return it == counts.end() ? 0 : it->second;
+  }
+
   bool HasUser(std::string_view user) const {
     return CountOf(IndicantType::kUser, user) > 0;
   }

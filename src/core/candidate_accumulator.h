@@ -69,6 +69,20 @@ class CandidateAccumulator {
     }
   }
 
+  /// True when `id` was slotted this epoch (no insertion). Lets the
+  /// query path dedupe archive hits against the live candidate set
+  /// without a second hash table.
+  bool Contains(BundleId id) const {
+    if (slots_.empty()) return false;
+    size_t idx = static_cast<size_t>(Mix64(id)) & mask_;
+    for (;;) {
+      const SlotEntry& slot = slots_[idx];
+      if (slot.epoch != epoch_) return false;
+      if (slot.bundle == id) return true;
+      idx = (idx + 1) & mask_;
+    }
+  }
+
   size_t size() const { return touched_.size(); }
   bool empty() const { return touched_.empty(); }
   size_t capacity() const { return slots_.size(); }

@@ -221,8 +221,7 @@ std::vector<BundleId> SummaryIndex::Lookup(IndicantType type,
 
 size_t SummaryIndex::DocumentFrequency(IndicantType type,
                                        std::string_view value) const {
-  const TermPostings* list = ListFor(type, dict_->Find(type, value));
-  return list == nullptr ? 0 : list->live;
+  return DocumentFrequencyId(type, dict_->Find(type, value));
 }
 
 size_t SummaryIndex::ApproxMemoryUsage() const {

@@ -90,6 +90,29 @@ class SummaryIndex {
   /// frequency used for query-time IDF. O(1) after the term lookup.
   size_t DocumentFrequency(IndicantType type, std::string_view value) const;
 
+  /// Id-space twin of DocumentFrequency (term already resolved in this
+  /// index's dictionary; kInvalidTermId returns 0). O(1).
+  size_t DocumentFrequencyId(IndicantType type, TermId term) const {
+    const TermPostings* list = ListFor(type, term);
+    return list == nullptr ? 0 : list->live;
+  }
+
+  /// Slots every live posting of (type, term) into `out` — the query
+  /// path's candidate union (Eq. 7 retrieval). Unlike Candidates() this
+  /// applies no fanout cap and tracks no per-type hit counts; unlike
+  /// Lookup() it allocates nothing (dedupe happens in the epoch-stamped
+  /// accumulator). No-op for unknown terms. The caller Resets `out`
+  /// once per query, before the first term.
+  void CollectBundles(IndicantType type, TermId term,
+                      CandidateAccumulator* out) const {
+    const TermPostings* list = ListFor(type, term);
+    if (list == nullptr || list->live == 0) return;
+    arena_->ForEach(list->chain, [out](const Posting& posting) {
+      if (posting.count == 0) return;  // tombstone
+      out->Slot(posting.bundle);
+    });
+  }
+
   /// Number of distinct indicant keys with at least one live posting.
   size_t num_keys() const { return num_keys_; }
   /// Total number of live (key, bundle) postings.

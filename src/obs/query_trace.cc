@@ -310,9 +310,12 @@ std::string QueryTraceSink::EventToJson(const QueryTraceEvent& event) {
     }
     StringAppendF(&out,
                   "],\"candidates\":%llu,\"archived\":%llu,"
+                  "\"examined\":%llu,\"pruned\":%llu,"
                   "\"results\":%llu}",
                   (unsigned long long)st.candidates,
                   (unsigned long long)st.archived_candidates,
+                  (unsigned long long)st.examined,
+                  (unsigned long long)st.pruned,
                   (unsigned long long)st.results);
   }
   out += "],\"spans\":[";
@@ -400,6 +403,8 @@ StatusOr<std::vector<QueryTraceEvent>> QueryTraceSink::FromJsonl(
       int64_t shard = 0;
       int64_t candidates = 0;
       int64_t archived = 0;
+      int64_t examined = 0;
+      int64_t pruned = 0;
       int64_t shard_results = 0;
       size_t terms_open = 0;
       size_t terms_close = 0;
@@ -411,9 +416,14 @@ StatusOr<std::vector<QueryTraceEvent>> QueryTraceSink::FromJsonl(
         return Status::InvalidArgument(StringPrintf(
             "query trace line %zu: malformed shard entry", line_no));
       }
+      // Older trace files predate the prune counters; default both to 0.
+      if (!ParseInt(body, "examined", &examined)) examined = 0;
+      if (!ParseInt(body, "pruned", &pruned)) pruned = 0;
       st.shard = static_cast<uint32_t>(shard);
       st.candidates = static_cast<uint64_t>(candidates);
       st.archived_candidates = static_cast<uint64_t>(archived);
+      st.examined = static_cast<uint64_t>(examined);
+      st.pruned = static_cast<uint64_t>(pruned);
       st.results = static_cast<uint64_t>(shard_results);
       std::string terms(
           body.substr(terms_open + 1, terms_close - terms_open - 1));

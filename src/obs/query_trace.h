@@ -23,10 +23,14 @@ struct QueryShardTrace {
   /// Interned TermIds of the query's terms in this shard's id space,
   /// in parse order; -1 for terms absent from the shard's dictionary.
   std::vector<int64_t> term_ids;
-  /// Live-pool candidates scored (post-filter).
+  /// Live-pool candidates examined (post-filter, pruned included).
   uint64_t candidates = 0;
-  /// Archived bundles decoded and scored.
+  /// Archived bundles examined (decode-capped, pruned included).
   uint64_t archived_candidates = 0;
+  /// Total candidates that reached the scoring stage (live + archived).
+  uint64_t examined = 0;
+  /// Candidates the top-k upper bound skipped without scoring.
+  uint64_t pruned = 0;
   /// Hits this shard returned into the cross-shard merge.
   uint64_t results = 0;
 };

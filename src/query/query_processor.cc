@@ -1,9 +1,59 @@
 #include "query/query_processor.h"
 
 #include <algorithm>
-#include <unordered_set>
+
+#include "core/candidate_accumulator.h"
 
 namespace microprov {
+namespace {
+
+/// Slack for the prune comparison: the upper bound's arithmetic is
+/// associated differently from the score's, so a candidate is skipped
+/// only when its bound sits below the kth score by more than any
+/// accumulated rounding error (scores live in [0, ~2], where double
+/// error is < 1e-14). Candidates whose bound ties the threshold are
+/// scored — the bundle-id tie-break could still admit them — which is
+/// what keeps pruned and unpruned runs byte-identical.
+constexpr double kPruneSlack = 1e-12;
+
+/// Per-thread reusable buffers for the bundle query pipeline: the plan's
+/// term vectors, the epoch-stamped candidate set, the k-bounded heap,
+/// and the archived-id list. Thread-local rather than per-processor so
+/// (a) Search stays const and safe to call concurrently and (b) shard
+/// searches fanned out on a TaskPool get disjoint scratch for free.
+/// Steady-state, a query on a warmed thread performs no allocations
+/// until the k winners are materialized.
+struct QueryScratch {
+  QueryPlanScratch plan;
+  CandidateAccumulator candidates;
+  std::vector<BundleSearchResult> heap;
+  std::vector<BundleId> archived_ids;
+};
+
+QueryScratch& LocalScratch() {
+  static thread_local QueryScratch scratch;
+  return scratch;
+}
+
+/// Pushes `hit` into the k-bounded heap. BundleResultOrder acts as the
+/// heap's operator<, so the "maximum" at the front is the last-sorting —
+/// i.e. worst — retained hit, and a full heap admits `hit` only by
+/// evicting it.
+void PushBounded(std::vector<BundleSearchResult>* heap, size_t k,
+                 BundleSearchResult hit) {
+  const BundleResultOrder better;
+  if (heap->size() < k) {
+    heap->push_back(std::move(hit));
+    std::push_heap(heap->begin(), heap->end(), better);
+    return;
+  }
+  if (!better(hit, heap->front())) return;
+  std::pop_heap(heap->begin(), heap->end(), better);
+  heap->back() = std::move(hit);
+  std::push_heap(heap->begin(), heap->end(), better);
+}
+
+}  // namespace
 
 void MessageSearchIndex::Add(const Message& msg) {
   std::vector<std::string> tokens = msg.keywords;
@@ -26,8 +76,11 @@ std::vector<MessageSearchResult> MessageSearchIndex::Search(
   parse_span.End();
   obs::Span topk_span(recorder, "topk", parent_span);
   Searcher searcher(&index_);
+  // Thread-local (not a mutable member): concurrent Search calls on one
+  // index must not share scoring buffers.
+  static thread_local SearcherScratch scratch;
   std::vector<MessageSearchResult> out;
-  for (const SearchHit& hit : searcher.TopK(terms, k, &scratch_)) {
+  for (const SearchHit& hit : searcher.TopK(terms, k, &scratch)) {
     out.push_back(MessageSearchResult{
         docs_.ExternalId(hit.doc), hit.score, users_[hit.doc],
         dates_[hit.doc], docs_.Snippet(hit.doc)});
@@ -46,12 +99,18 @@ void BundleQueryProcessor::BindMetrics(obs::MetricsRegistry* registry) {
   queries_counter_ =
       registry->GetCounter("microprov_query_requests_total", "",
                            "Bundle search requests served");
+  pruned_counter_ = registry->GetCounter(
+      "microprov_query_candidates_pruned_total", "",
+      "Candidates skipped by the top-k upper-bound prune");
   latency_hist_ =
       registry->GetHistogram("microprov_query_latency_nanos", "",
                              "End-to-end bundle search latency");
-  candidates_hist_ = registry->GetHistogram(
-      "microprov_query_candidates", "",
-      "Candidate bundles scored per query (live + archived)");
+  examined_hist_ = registry->GetHistogram(
+      "microprov_query_candidates_examined", "",
+      "Candidate bundles examined per query (live + archived)");
+  scored_hist_ = registry->GetHistogram(
+      "microprov_query_candidates_scored", "",
+      "Candidate bundles fully scored per query (examined minus pruned)");
   fanout_hist_ = registry->GetHistogram(
       "microprov_query_fanout", "",
       "Shards consulted per cross-shard search");
@@ -61,35 +120,49 @@ std::vector<BundleSearchResult> BundleQueryProcessor::Search(
     const BundleQuery& query, obs::SpanRecorder* recorder,
     uint32_t parent_span, uint32_t shard,
     obs::QueryShardTrace* shard_trace) const {
+  obs::Span parse_span(recorder, "parse", parent_span, shard);
+  ParsedQuery parsed = ParseQuery(query.text);
+  parse_span.End();
+  return SearchParsed(parsed, query, recorder, parent_span, shard,
+                      shard_trace);
+}
+
+std::vector<BundleSearchResult> BundleQueryProcessor::SearchParsed(
+    const ParsedQuery& parsed, const BundleQuery& query,
+    obs::SpanRecorder* recorder, uint32_t parent_span, uint32_t shard,
+    obs::QueryShardTrace* shard_trace) const {
   obs::ScopedLatencyTimer latency_timer(latency_hist_);
   if (queries_counter_ != nullptr) queries_counter_->Increment();
   const size_t k = query.k;
   const Timestamp now = query.now;
   const SearchFilters& filters = query.filters;
-  obs::Span parse_span(recorder, "parse", parent_span, shard);
-  ParsedQuery parsed = ParseQuery(query.text);
-  parse_span.End();
+
+  const SummaryIndex& index = engine_->summary_index();
+  const BundlePool& pool = engine_->pool();
+  const size_t total_bundles =
+      query.total_bundles > 0 ? query.total_bundles : pool.size();
+
+  QueryScratch& scratch = LocalScratch();
+
+  // Resolve every query term into this shard's id spaces once and fold
+  // the per-term IDFs into the plan (the string path recomputed both
+  // per candidate).
+  obs::Span plan_span(recorder, "plan", parent_span, shard);
+  const QueryPlan plan(parsed, engine_->dictionary(), index, total_bundles,
+                       now, weights_, &scratch.plan);
+  plan_span.End();
   if (shard_trace != nullptr) {
-    // Resolve the query's terms in this shard's interning dictionary:
-    // -1 marks a term the shard has never seen (so its postings lookup
-    // was guaranteed empty).
-    const IndicantDictionary& dict = engine_->dictionary();
-    auto resolve = [&](IndicantType type, const std::string& value) {
-      TermId id = dict.Find(type, value);
+    // The shard's view of the query terms: -1 marks a term this shard
+    // never interned (its postings lookup was guaranteed empty).
+    auto push_id = [&](TermId id) {
       shard_trace->term_ids.push_back(
           id == kInvalidTermId ? -1 : static_cast<int64_t>(id));
     };
-    for (const std::string& term : parsed.keywords) {
-      resolve(IndicantType::kKeyword, term);
-    }
-    for (const std::string& tag : parsed.hashtags) {
-      resolve(IndicantType::kHashtag, tag);
-    }
-    for (const std::string& url : parsed.urls) {
-      resolve(IndicantType::kUrl, url);
-    }
+    for (const PlanKeyword& term : plan.keywords()) push_id(term.keyword);
+    for (TermId tag : plan.hashtags()) push_id(tag);
+    for (TermId url : plan.urls()) push_id(url);
   }
-  if (parsed.empty()) return {};
+  if (parsed.empty() || k == 0) return {};
 
   auto passes = [&](const Bundle& bundle) {
     if (bundle.size() < filters.min_bundle_size) return false;
@@ -102,104 +175,150 @@ std::vector<BundleSearchResult> BundleQueryProcessor::Search(
     return true;
   };
 
-  const SummaryIndex& index = engine_->summary_index();
-  const BundlePool& pool = engine_->pool();
-
   // Candidate bundles: union of postings for each query term, checking
-  // keywords, hashtags (a bare word may name a tag), and URLs.
+  // keywords, hashtags (a bare word may name a tag — stem and raw
+  // surface form both), and URLs. Dedupe lives in the epoch-stamped
+  // accumulator; nothing allocates once it reaches working size.
   obs::Span candidates_span(recorder, "candidates", parent_span, shard);
-  std::unordered_set<BundleId> candidates;
-  for (const std::string& term : parsed.keywords) {
-    for (BundleId id : index.Lookup(IndicantType::kKeyword, term)) {
-      candidates.insert(id);
-    }
-    for (BundleId id : index.Lookup(IndicantType::kHashtag, term)) {
-      candidates.insert(id);
-    }
+  CandidateAccumulator& acc = scratch.candidates;
+  acc.Reset();
+  for (const PlanKeyword& term : plan.keywords()) {
+    index.CollectBundles(IndicantType::kKeyword, term.keyword, &acc);
+    index.CollectBundles(IndicantType::kHashtag, term.stem_tag, &acc);
+    index.CollectBundles(IndicantType::kHashtag, term.raw_tag, &acc);
   }
-  // Raw (unstemmed) words reach hashtags stored verbatim.
-  for (const std::string& word : parsed.raw_words) {
-    for (BundleId id : index.Lookup(IndicantType::kHashtag, word)) {
-      candidates.insert(id);
-    }
+  for (TermId tag : plan.hashtags()) {
+    index.CollectBundles(IndicantType::kHashtag, tag, &acc);
   }
-  for (const std::string& tag : parsed.hashtags) {
-    for (BundleId id : index.Lookup(IndicantType::kHashtag, tag)) {
-      candidates.insert(id);
-    }
-  }
-  for (const std::string& url : parsed.urls) {
-    for (BundleId id : index.Lookup(IndicantType::kUrl, url)) {
-      candidates.insert(id);
-    }
+  for (TermId url : plan.urls()) {
+    index.CollectBundles(IndicantType::kUrl, url, &acc);
   }
   candidates_span.End();
 
-  const size_t total_bundles =
-      query.total_bundles > 0 ? query.total_bundles : pool.size();
-  auto make_result = [&](const Bundle& bundle, bool archived) {
-    BundleSearchResult result;
-    result.bundle = bundle.id();
-    result.score = BundleRelevance(parsed, bundle, index, total_bundles,
-                                   now, weights_);
-    result.size = bundle.size();
-    result.last_post = bundle.end_time();
-    for (auto& [word, count] : bundle.TopKeywords(10)) {
-      result.summary_words.push_back(word);
-    }
-    result.archived = archived;
-    return result;
-  };
-
+  // Score into a k-bounded heap of bare {id, score} records; summary
+  // words are materialized for the k winners only, below. With pruning
+  // on and the heap full, a candidate whose upper bound cannot beat the
+  // kth score is dropped before its summaries are touched.
   obs::Span score_span(recorder, "score", parent_span, shard);
-  std::vector<BundleSearchResult> results;
-  results.reserve(candidates.size());
-  for (BundleId id : candidates) {
+  std::vector<BundleSearchResult>& heap = scratch.heap;
+  heap.clear();
+  uint64_t live_examined = 0;
+  uint64_t archived_examined = 0;
+  uint64_t pruned = 0;
+  uint64_t scored = 0;
+  const bool prune = query.prune;
+  acc.ForEach([&](BundleId id, const CandidateHits&) {
     const Bundle* bundle = pool.Get(id);
-    if (bundle == nullptr || !passes(*bundle)) continue;
-    results.push_back(make_result(*bundle, /*archived=*/false));
-  }
+    if (bundle == nullptr || !passes(*bundle)) return;
+    ++live_examined;
+    // Pool bundles are stamped by the shard dictionary; anything else
+    // (defensive) scores through the string path, whose matches the
+    // id-resolved bound does not cover.
+    const bool stamped = &bundle->dictionary() == &plan.dictionary();
+    if (prune && heap.size() == k) {
+      const double bound =
+          stamped ? plan.UpperBound(*bundle) : plan.ArchivedUpperBound();
+      if (bound + kPruneSlack < heap.front().score) {
+        ++pruned;
+        return;
+      }
+    }
+    ++scored;
+    BundleSearchResult hit;
+    hit.bundle = id;
+    hit.score = stamped ? plan.Score(*bundle)
+                        : BundleRelevance(parsed, *bundle, index,
+                                          total_bundles, now, weights_);
+    hit.archived = false;
+    PushBounded(&heap, k, std::move(hit));
+  });
   score_span.End();
-  if (shard_trace != nullptr) shard_trace->candidates = results.size();
 
-  // Archived candidates via the store's term index.
+  // Archived candidates via the store's term index. Archived bundles
+  // decode with private dictionaries, so they score through the string
+  // path; the plan's archived bound (every term assumed to hit) lets a
+  // full heap skip the decode entirely.
   obs::Span archive_span(recorder, "archive", parent_span, shard);
-  const size_t live_results = results.size();
   if (archive_ != nullptr && filters.include_archived) {
-    std::unordered_set<BundleId> archived_ids;
+    std::vector<BundleId>& archived_ids = scratch.archived_ids;
+    archived_ids.clear();
     auto collect = [&](const std::string& term) {
       for (BundleId id : archive_->FindByTerm(term)) {
-        if (candidates.count(id) == 0) archived_ids.insert(id);
+        if (!acc.Contains(id)) archived_ids.push_back(id);
       }
     };
     for (const std::string& term : parsed.keywords) collect(term);
     for (const std::string& word : parsed.raw_words) collect(word);
     for (const std::string& tag : parsed.hashtags) collect(tag);
-    size_t decoded = 0;
+    // Ascending-id order makes which ids fall under the decode cap
+    // deterministic (the unordered_set this replaces was not).
+    std::sort(archived_ids.begin(), archived_ids.end());
+    archived_ids.erase(
+        std::unique(archived_ids.begin(), archived_ids.end()),
+        archived_ids.end());
+    size_t considered = 0;
     for (BundleId id : archived_ids) {
-      if (decoded++ >= kMaxArchivedCandidates) break;
+      if (considered++ >= kMaxArchivedCandidates) break;
+      if (prune && heap.size() == k &&
+          plan.ArchivedUpperBound() + kPruneSlack < heap.front().score) {
+        ++archived_examined;
+        ++pruned;
+        continue;
+      }
       auto bundle_or = archive_->Get(id);
       if (!bundle_or.ok() || !passes(**bundle_or)) continue;
-      results.push_back(make_result(**bundle_or, /*archived=*/true));
+      ++archived_examined;
+      ++scored;
+      BundleSearchResult hit;
+      hit.bundle = id;
+      hit.score = BundleRelevance(parsed, **bundle_or, index,
+                                  total_bundles, now, weights_);
+      hit.archived = true;
+      PushBounded(&heap, k, std::move(hit));
     }
   }
   archive_span.End();
+
+  if (examined_hist_ != nullptr) {
+    examined_hist_->Observe(live_examined + archived_examined);
+  }
+  if (scored_hist_ != nullptr) scored_hist_->Observe(scored);
+  if (pruned_counter_ != nullptr && pruned > 0) {
+    pruned_counter_->Increment(pruned);
+  }
   if (shard_trace != nullptr) {
-    shard_trace->archived_candidates = results.size() - live_results;
+    shard_trace->candidates = live_examined;
+    shard_trace->archived_candidates = archived_examined;
+    shard_trace->examined = live_examined + archived_examined;
+    shard_trace->pruned = pruned;
   }
-  if (candidates_hist_ != nullptr) {
-    candidates_hist_->Observe(results.size());
-  }
+
   obs::Span rank_span(recorder, "rank", parent_span, shard);
-  size_t take = std::min(k, results.size());
-  std::partial_sort(results.begin(), results.begin() + take, results.end(),
-                    [](const BundleSearchResult& a,
-                       const BundleSearchResult& b) {
-                      if (a.score != b.score) return a.score > b.score;
-                      return a.bundle < b.bundle;
-                    });
-  results.resize(take);
+  std::vector<BundleSearchResult> results(heap.begin(), heap.end());
+  std::sort(results.begin(), results.end(), BundleResultOrder{});
+  heap.clear();
   rank_span.End();
+
+  // Deferred materialization: summary words, sizes, and timestamps for
+  // the k winners only.
+  obs::Span mat_span(recorder, "materialize", parent_span, shard);
+  auto materialize = [](const Bundle& bundle, BundleSearchResult* hit) {
+    hit->size = bundle.size();
+    hit->last_post = bundle.end_time();
+    for (auto& [word, count] : bundle.TopKeywords(10)) {
+      hit->summary_words.push_back(word);
+    }
+  };
+  for (BundleSearchResult& hit : results) {
+    if (hit.archived) {
+      auto bundle_or = archive_->Get(hit.bundle);
+      if (bundle_or.ok()) materialize(**bundle_or, &hit);
+    } else {
+      const Bundle* bundle = pool.Get(hit.bundle);
+      if (bundle != nullptr) materialize(*bundle, &hit);
+    }
+  }
+  mat_span.End();
   if (shard_trace != nullptr) shard_trace->results = results.size();
   return results;
 }
@@ -207,7 +326,7 @@ std::vector<BundleSearchResult> BundleQueryProcessor::Search(
 std::vector<BundleSearchResult> BundleQueryProcessor::SearchShards(
     const std::vector<const BundleQueryProcessor*>& shards,
     const BundleQuery& query, obs::SpanRecorder* recorder,
-    uint32_t parent_span, obs::QueryTraceEvent* event) {
+    uint32_t parent_span, obs::QueryTraceEvent* event, TaskPool* pool) {
   BundleQuery shard_query = query;
   if (shard_query.total_bundles == 0) {
     for (const BundleQueryProcessor* shard : shards) {
@@ -220,25 +339,48 @@ std::vector<BundleSearchResult> BundleQueryProcessor::SearchShards(
     event->total_bundles = shard_query.total_bundles;
   }
 
-  std::vector<BundleSearchResult> merged;
-  size_t consulted = 0;
-  for (size_t i = 0; i < shards.size(); ++i) {
-    if (shards[i] == nullptr) continue;
-    ++consulted;
+  // Parse once; every shard evaluates the same ParsedQuery (the former
+  // per-shard Search re-parsed the text N times).
+  obs::Span parse_span(recorder, "parse", parent_span);
+  const ParsedQuery parsed = ParseQuery(shard_query.text);
+  parse_span.End();
+
+  // Per-shard output slots are disjoint, the span recorder is
+  // thread-safe, and shard engines/stores are distinct objects, so the
+  // shard lambda is safe to run concurrently. Results are identical to
+  // the serial order: each shard's output is deterministic and the
+  // merge consumes the slots in shard order.
+  const size_t n = shards.size();
+  std::vector<std::vector<BundleSearchResult>> per_shard(n);
+  std::vector<obs::QueryShardTrace> traces(n);
+  auto run_shard = [&](size_t i) {
+    if (shards[i] == nullptr) return;
     const uint32_t shard_index = static_cast<uint32_t>(i);
-    obs::QueryShardTrace shard_trace;
-    shard_trace.shard = shard_index;
+    traces[i].shard = shard_index;
     obs::Span shard_span(recorder, "shard_search", parent_span,
                          shard_index);
-    for (BundleSearchResult& hit : shards[i]->Search(
-             shard_query, recorder, shard_span.id(), shard_index,
-             event != nullptr ? &shard_trace : nullptr)) {
-      hit.shard = shard_index;
+    per_shard[i] = shards[i]->SearchParsed(
+        parsed, shard_query, recorder, shard_span.id(), shard_index,
+        event != nullptr ? &traces[i] : nullptr);
+    shard_span.End();
+  };
+  if (pool != nullptr && n > 1) {
+    pool->ParallelFor(n, run_shard);
+  } else {
+    for (size_t i = 0; i < n; ++i) run_shard(i);
+  }
+
+  std::vector<BundleSearchResult> merged;
+  size_t consulted = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (shards[i] == nullptr) continue;
+    ++consulted;
+    for (BundleSearchResult& hit : per_shard[i]) {
+      hit.shard = static_cast<uint32_t>(i);
       merged.push_back(std::move(hit));
     }
-    shard_span.End();
     if (event != nullptr) {
-      event->shards.push_back(std::move(shard_trace));
+      event->shards.push_back(std::move(traces[i]));
     }
   }
   for (const BundleQueryProcessor* shard : shards) {
@@ -250,12 +392,7 @@ std::vector<BundleSearchResult> BundleQueryProcessor::SearchShards(
   obs::Span merge_span(recorder, "merge", parent_span);
   size_t take = std::min(query.k, merged.size());
   std::partial_sort(merged.begin(), merged.begin() + take, merged.end(),
-                    [](const BundleSearchResult& a,
-                       const BundleSearchResult& b) {
-                      if (a.score != b.score) return a.score > b.score;
-                      if (a.shard != b.shard) return a.shard < b.shard;
-                      return a.bundle < b.bundle;
-                    });
+                    BundleResultOrder{});
   merged.resize(take);
   merge_span.End();
   if (event != nullptr) {

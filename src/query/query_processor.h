@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/slab_arena.h"
+#include "common/task_pool.h"
 #include "core/engine.h"
 #include "index/doc_store.h"
 #include "index/memory_index.h"
@@ -13,6 +14,7 @@
 #include "obs/query_trace.h"
 #include "obs/span.h"
 #include "query/bundle_ranker.h"
+#include "query/query_plan.h"
 #include "storage/bundle_store.h"
 
 namespace microprov {
@@ -33,6 +35,20 @@ struct BundleSearchResult {
   uint32_t shard = 0;
 };
 
+/// The one total order on search hits, shared by the per-shard top-k heap
+/// and the cross-shard merge: score descending, then shard, then bundle
+/// id ascending. Within a single shard every hit carries the same shard
+/// index, so the order degrades to (score desc, bundle asc) there — the
+/// merge and the per-shard ranking can never disagree on a tie.
+struct BundleResultOrder {
+  bool operator()(const BundleSearchResult& a,
+                  const BundleSearchResult& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.shard != b.shard) return a.shard < b.shard;
+    return a.bundle < b.bundle;
+  }
+};
+
 /// One row of the paper's Fig. 1 flat search: a single message.
 struct MessageSearchResult {
   MessageId message = kInvalidMessageId;
@@ -45,6 +61,9 @@ struct MessageSearchResult {
 /// Flat keyword search over individual messages — the traditional
 /// retrieval paradigm the paper contrasts against (Fig. 1). Backed by the
 /// text-search substrate (BM25 over message keywords + hashtags).
+///
+/// Search is const and safe to call from multiple threads concurrently
+/// (its scratch buffers are thread-local); Add must not race Search.
 class MessageSearchIndex {
  public:
   MessageSearchIndex() : index_(&arena_) {}
@@ -70,8 +89,6 @@ class MessageSearchIndex {
   DocStore docs_;
   std::vector<std::string> users_;
   std::vector<Timestamp> dates_;
-  // Query-path buffers, reused across Search calls.
-  mutable SearcherScratch scratch_;
 };
 
 /// Optional result filters, mirroring the paper's demo-site list view
@@ -103,12 +120,23 @@ struct BundleQuery {
   /// (0 = the engine's own live pool size). Cross-shard fan-out sets the
   /// global bundle count here so per-shard scores stay comparable.
   size_t total_bundles = 0;
+  /// Upper-bound pruning: skip candidates whose score bound cannot beat
+  /// the current kth result. Never changes which results come back (the
+  /// bound dominates the score); off is for A/B measurement.
+  bool prune = true;
 };
 
 /// Bundle retrieval (Section V-C): queries return ranked provenance
 /// bundles from the engine's live pool, scored by Eq. 7. With an
 /// attached BundleStore, bundles that refinement moved to disk are
 /// searched too (via the store's term index) and marked `archived`.
+///
+/// Evaluation is id-native: a QueryPlan resolves the query's terms into
+/// the shard dictionary once, candidates stream through an epoch-stamped
+/// accumulator into a k-bounded heap, and only the k winners are
+/// materialized (summary words, sizes). Search is const and thread-safe
+/// against other Search calls (scratch is thread-local); callers must
+/// still serialize Search against engine mutation, as before.
 class BundleQueryProcessor {
  public:
   /// `metrics`, when set, receives query latency / candidate-count
@@ -130,10 +158,10 @@ class BundleQueryProcessor {
   }
 
   /// Traced variant: `recorder` (nullable) receives per-stage spans
-  /// ("parse", "candidates", "score", "archive", "rank") parented
-  /// under `parent_span` and tagged with `shard`; `shard_trace`
-  /// (nullable) is filled with the shard's interned term ids and
-  /// candidate/result counts.
+  /// ("parse", "plan", "candidates", "score", "archive", "rank",
+  /// "materialize") parented under `parent_span` and tagged with
+  /// `shard`; `shard_trace` (nullable) is filled with the shard's
+  /// interned term ids and examined/pruned/result counts.
   std::vector<BundleSearchResult> Search(
       const BundleQuery& query, obs::SpanRecorder* recorder,
       uint32_t parent_span, uint32_t shard,
@@ -148,16 +176,21 @@ class BundleQueryProcessor {
   static std::vector<BundleSearchResult> SearchShards(
       const std::vector<const BundleQueryProcessor*>& shards,
       const BundleQuery& query) {
-    return SearchShards(shards, query, nullptr, 0, nullptr);
+    return SearchShards(shards, query, nullptr, 0, nullptr, nullptr);
   }
 
   /// Traced fan-out: opens one "shard_search" span per consulted shard
   /// plus a "merge" span under `parent_span`, and fills `event` (when
   /// set) with the resolved IDF total and per-shard contributions.
+  /// With `pool` set, per-shard searches run concurrently on the pool's
+  /// workers (plus the calling thread); results are identical to the
+  /// serial order — per-shard output is deterministic and the merge
+  /// consumes shards in index order either way.
   static std::vector<BundleSearchResult> SearchShards(
       const std::vector<const BundleQueryProcessor*>& shards,
       const BundleQuery& query, obs::SpanRecorder* recorder,
-      uint32_t parent_span, obs::QueryTraceEvent* event);
+      uint32_t parent_span, obs::QueryTraceEvent* event,
+      TaskPool* pool = nullptr);
 
   /// Cap on archived bundles decoded per query (point reads from disk).
   static constexpr size_t kMaxArchivedCandidates = 64;
@@ -165,14 +198,24 @@ class BundleQueryProcessor {
  private:
   void BindMetrics(obs::MetricsRegistry* registry);
 
+  /// The post-parse pipeline, shared by Search (which parses) and
+  /// SearchShards (which parses once and fans the ParsedQuery out to
+  /// every shard).
+  std::vector<BundleSearchResult> SearchParsed(
+      const ParsedQuery& parsed, const BundleQuery& query,
+      obs::SpanRecorder* recorder, uint32_t parent_span, uint32_t shard,
+      obs::QueryShardTrace* shard_trace) const;
+
   const ProvenanceEngine* engine_;
   QueryWeights weights_;
   BundleStore* archive_;
 
   // Observability handles (null without a registry; never owned).
   obs::Counter* queries_counter_ = nullptr;
+  obs::Counter* pruned_counter_ = nullptr;
   obs::HistogramMetric* latency_hist_ = nullptr;
-  obs::HistogramMetric* candidates_hist_ = nullptr;
+  obs::HistogramMetric* examined_hist_ = nullptr;
+  obs::HistogramMetric* scored_hist_ = nullptr;
   obs::HistogramMetric* fanout_hist_ = nullptr;
 };
 

@@ -75,6 +75,12 @@ StatusOr<std::unique_ptr<Service>> Service::Open(
   sharded_options.engine.metrics = service->registry_.get();
   sharded_options.engine.trace = service->trace_.get();
   sharded_options.health = options.health;
+  // The caller participates in the fan-out, so more workers than the
+  // remaining shards would only idle.
+  sharded_options.query_threads =
+      options.num_shards > 0
+          ? std::min(options.query_threads, options.num_shards - 1)
+          : 0;
   // Workers start only after recovery has finished mutating shard state.
   sharded_options.defer_workers = true;
   service->shard_arena_budget_bytes_ =
@@ -360,7 +366,9 @@ StatusOr<std::vector<BundleSearchResult>> Service::Search(
   BundleQuery effective = query;
   if (effective.now == 0) effective.now = clock_.value();
   if (!tracing) {
-    return BundleQueryProcessor::SearchShards(shard_ptrs, effective);
+    return BundleQueryProcessor::SearchShards(shard_ptrs, effective,
+                                              nullptr, 0, nullptr,
+                                              sharded_->query_pool());
   }
 
   obs::SpanRecorder recorder;
@@ -373,7 +381,8 @@ StatusOr<std::vector<BundleSearchResult>> Service::Search(
   const uint32_t root_id = root.id();
   std::vector<BundleSearchResult> results =
       BundleQueryProcessor::SearchShards(shard_ptrs, effective,
-                                         &recorder, root_id, &event);
+                                         &recorder, root_id, &event,
+                                         sharded_->query_pool());
   root.End();
   event.spans = recorder.Take();
   for (const obs::SpanRecord& span : event.spans) {

@@ -37,6 +37,10 @@ struct ServiceOptions {
   EngineOptions engine;
   /// Eq. 7 ranking weights used by Search.
   QueryWeights weights;
+  /// Worker threads for parallel per-shard query fan-out (0 = search
+  /// shards serially on the calling thread). Capped by usefulness at
+  /// num_shards - 1: the caller participates in the fan-out.
+  size_t query_threads = 0;
   /// When non-empty, each shard gets an on-disk BundleStore under
   /// `<archive_dir>/shard-<i>`; bundles leaving memory (refinement,
   /// Drain) land there and stay searchable.

@@ -59,6 +59,9 @@ ShardedEngine::ShardedEngine(const ShardedEngineOptions& options,
         registry->GetHistogram("microprov_shard_batch_size", "",
                                "Messages per worker dequeue batch");
   }
+  if (options_.query_threads > 0) {
+    query_pool_ = std::make_unique<TaskPool>(options_.query_threads);
+  }
   if (!options_.defer_workers) Start();
 }
 

@@ -11,6 +11,7 @@
 #include "common/atomic_counter.h"
 #include "common/bounded_queue.h"
 #include "common/status.h"
+#include "common/task_pool.h"
 #include "core/engine.h"
 #include "obs/shard_health.h"
 
@@ -38,6 +39,10 @@ struct ShardedEngineOptions {
   /// Start() once it is done mutating shard state single-threaded
   /// (checkpoint import + WAL replay at recovery).
   bool defer_workers = false;
+  /// Worker threads in the persistent query fan-out pool (the calling
+  /// thread always participates, so 0 still works — per-shard searches
+  /// just run serially on the caller). The pool idles between queries.
+  size_t query_threads = 0;
   /// Thresholds for the per-shard ShardLoadTracker verdicts.
   obs::ShardHealthOptions health;
 };
@@ -141,6 +146,12 @@ class ShardedEngine {
 
   ShardStatsSnapshot shard_stats(size_t i) const;
 
+  /// The persistent query fan-out pool, or null when query_threads == 0
+  /// (callers fall back to serial per-shard search). Safe to share with
+  /// BundleQueryProcessor::SearchShards under the same flush-barrier
+  /// contract as shard().
+  TaskPool* query_pool() const { return query_pool_.get(); }
+
   /// The shard's load tracker (never null; thread-safe). The ingest
   /// hot paths feed it; the stats/scrape path calls Evaluate on it.
   obs::ShardLoadTracker* load_tracker(size_t i) const {
@@ -201,6 +212,7 @@ class ShardedEngine {
 
   ShardedEngineOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<TaskPool> query_pool_;
   bool started_ = false;
   bool drained_ = false;
 

@@ -1,0 +1,88 @@
+#include "common/task_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace microprov {
+namespace {
+
+TEST(TaskPoolTest, RunsEveryIndexExactlyOnce) {
+  TaskPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(hits.size(),
+                   [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(TaskPoolTest, ZeroWorkersRunsInline) {
+  TaskPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(8);
+  pool.ParallelFor(ran.size(),
+                   [&](size_t i) { ran[i] = std::this_thread::get_id(); });
+  for (std::thread::id id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(TaskPoolTest, ZeroTasksReturnsImmediately) {
+  TaskPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(TaskPoolTest, SingleTaskRunsOnCaller) {
+  TaskPool pool(2);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran;
+  pool.ParallelFor(1, [&](size_t) { ran = std::this_thread::get_id(); });
+  EXPECT_EQ(ran, caller);
+}
+
+TEST(TaskPoolTest, ReusableAcrossBatches) {
+  TaskPool pool(2);
+  std::atomic<uint64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(16, [&](size_t i) { sum.fetch_add(i + 1); });
+  }
+  // 50 rounds of 1 + 2 + ... + 16.
+  EXPECT_EQ(sum.load(), 50u * (16u * 17u / 2u));
+}
+
+TEST(TaskPoolTest, MoreTasksThanLanes) {
+  TaskPool pool(2);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(),
+                   [&](size_t i) { hits[i].fetch_add(1); });
+  int total = 0;
+  for (auto& h : hits) total += h.load();
+  EXPECT_EQ(total, 1000);
+}
+
+TEST(TaskPoolTest, ConcurrentParallelForCallsSerialize) {
+  // Two threads issue batches against one pool; batches must not steal
+  // each other's indices.
+  TaskPool pool(2);
+  std::vector<std::atomic<int>> a(64);
+  std::vector<std::atomic<int>> b(64);
+  std::thread other([&] {
+    for (int round = 0; round < 20; ++round) {
+      pool.ParallelFor(b.size(), [&](size_t i) { b[i].fetch_add(1); });
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    pool.ParallelFor(a.size(), [&](size_t i) { a[i].fetch_add(1); });
+  }
+  other.join();
+  for (auto& h : a) EXPECT_EQ(h.load(), 20);
+  for (auto& h : b) EXPECT_EQ(h.load(), 20);
+}
+
+}  // namespace
+}  // namespace microprov

@@ -25,6 +25,8 @@ QueryTraceEvent MakeEvent(uint64_t id, uint64_t total_nanos,
   shard.term_ids = {7, -1, 12};
   shard.candidates = 9;
   shard.archived_candidates = 2;
+  shard.examined = 11;
+  shard.pruned = 4;
   shard.results = 3;
   event.shards.push_back(shard);
 
@@ -152,6 +154,8 @@ TEST(QueryTraceSinkTest, JsonlRoundTripsEverything) {
   EXPECT_EQ(got.shards[0].term_ids, (std::vector<int64_t>{7, -1, 12}));
   EXPECT_EQ(got.shards[0].candidates, 9u);
   EXPECT_EQ(got.shards[0].archived_candidates, 2u);
+  EXPECT_EQ(got.shards[0].examined, 11u);
+  EXPECT_EQ(got.shards[0].pruned, 4u);
   EXPECT_EQ(got.shards[0].results, 3u);
 
   // The span tree reconstructs: ids, parent links, shard tags, times.
@@ -166,6 +170,23 @@ TEST(QueryTraceSinkTest, JsonlRoundTripsEverything) {
   EXPECT_EQ(got.spans[1].shard, 1u);
   EXPECT_EQ(got.spans[1].start_nanos, 100);
   EXPECT_EQ(got.spans[1].duration_nanos, 900);
+}
+
+TEST(QueryTraceSinkTest, FromJsonlDefaultsPruneFieldsWhenAbsent) {
+  // Trace files written before the prune counters existed still parse;
+  // the missing fields default to zero.
+  const char* line =
+      "{\"query\":1,\"text\":\"x\",\"now\":0,\"k\":5,\"total_bundles\":1,"
+      "\"results\":1,\"total_nanos\":10,\"slow\":false,"
+      "\"shards\":[{\"shard\":0,\"terms\":[3],\"candidates\":4,"
+      "\"archived\":1,\"results\":1}],\"spans\":[]}\n";
+  auto parsed_or = QueryTraceSink::FromJsonl(line);
+  ASSERT_TRUE(parsed_or.ok()) << parsed_or.status().ToString();
+  ASSERT_EQ(parsed_or->size(), 1u);
+  ASSERT_EQ((*parsed_or)[0].shards.size(), 1u);
+  EXPECT_EQ((*parsed_or)[0].shards[0].candidates, 4u);
+  EXPECT_EQ((*parsed_or)[0].shards[0].examined, 0u);
+  EXPECT_EQ((*parsed_or)[0].shards[0].pruned, 0u);
 }
 
 TEST(QueryTraceSinkTest, FromJsonlRejectsMalformedLines) {

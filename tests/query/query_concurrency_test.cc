@@ -1,0 +1,209 @@
+// Thread-safety coverage for the query path, run under TSan by
+// scripts/tier1.sh: concurrent flat searches (the former mutable-scratch
+// data race), concurrent bundle searches on one processor (thread-local
+// query scratch), TaskPool-driven shard fan-out, and Service searches
+// racing live ingest with a query pool attached.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query/query_processor.h"
+#include "service/service.h"
+#include "testing/test_util.h"
+
+namespace microprov {
+namespace {
+
+using testing_util::kTestEpoch;
+
+Message TextMessage(MessageId id, Timestamp date, const std::string& user,
+                    const std::string& text) {
+  Message msg;
+  msg.id = id;
+  msg.date = date;
+  msg.user = user;
+  msg.text = text;
+  ExtractIndicants(&msg);
+  return msg;
+}
+
+const char* const kTexts[] = {
+    "yankee redsox game tonight #mlb", "tsunami warning issued #alert",
+    "concert ticket strike",           "vote tonight #rally",
+    "yankee game flood warning",       "redsox ticket #mlb",
+};
+
+TEST(QueryConcurrencyTest, FlatSearchesRunConcurrently) {
+  MessageSearchIndex index;
+  for (int i = 0; i < 200; ++i) {
+    index.Add(TextMessage(i + 1, kTestEpoch + i,
+                          "user" + std::to_string(i % 7),
+                          kTexts[i % std::size(kTexts)]));
+  }
+  const auto expected = index.Search("yankee game", 10);
+  ASSERT_FALSE(expected.empty());
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 50; ++round) {
+        const auto got = index.Search("yankee game", 10);
+        if (got.size() != expected.size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < got.size(); ++i) {
+          if (got[i].message != expected[i].message ||
+              got[i].score != expected[i].score) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(QueryConcurrencyTest, BundleSearchesShareOneProcessor) {
+  SimulatedClock clock(kTestEpoch);
+  ProvenanceEngine engine(EngineOptions::ForConfig(IndexConfig::kFullIndex),
+                          &clock, nullptr);
+  for (int i = 0; i < 300; ++i) {
+    Message msg = TextMessage(i + 1, kTestEpoch + i * 60,
+                              "user" + std::to_string(i % 5),
+                              kTexts[i % std::size(kTexts)]);
+    clock.Advance(msg.date);
+    ASSERT_TRUE(engine.Ingest(msg).ok());
+  }
+  const Timestamp now = kTestEpoch + kSecondsPerDay;
+  BundleQueryProcessor processor(&engine);
+
+  std::vector<std::vector<BundleSearchResult>> expected;
+  for (const char* text : kTexts) {
+    expected.push_back(
+        processor.Search({.text = text, .k = 5, .now = now}));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 40; ++round) {
+        const size_t q = (t + round) % std::size(kTexts);
+        const auto got =
+            processor.Search({.text = kTexts[q], .k = 5, .now = now});
+        if (got.size() != expected[q].size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < got.size(); ++i) {
+          if (got[i].bundle != expected[q][i].bundle ||
+              got[i].score != expected[q][i].score ||
+              got[i].summary_words != expected[q][i].summary_words) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(QueryConcurrencyTest, TaskPoolFanOutAcrossShards) {
+  constexpr size_t kNumShards = 4;
+  std::vector<std::unique_ptr<SimulatedClock>> clocks;
+  std::vector<std::unique_ptr<ProvenanceEngine>> engines;
+  for (size_t i = 0; i < kNumShards; ++i) {
+    clocks.push_back(std::make_unique<SimulatedClock>(kTestEpoch));
+    engines.push_back(std::make_unique<ProvenanceEngine>(
+        EngineOptions::ForConfig(IndexConfig::kFullIndex),
+        clocks.back().get(), nullptr));
+  }
+  for (int i = 0; i < 400; ++i) {
+    const size_t shard = i % kNumShards;
+    Message msg = TextMessage(i + 1, kTestEpoch + i * 30,
+                              "user" + std::to_string(i % 5),
+                              kTexts[i % std::size(kTexts)]);
+    clocks[shard]->Advance(msg.date);
+    ASSERT_TRUE(engines[shard]->Ingest(msg).ok());
+  }
+  std::vector<BundleQueryProcessor> processors;
+  processors.reserve(kNumShards);
+  for (size_t i = 0; i < kNumShards; ++i) {
+    processors.emplace_back(engines[i].get());
+  }
+  std::vector<const BundleQueryProcessor*> shard_ptrs;
+  for (const auto& p : processors) shard_ptrs.push_back(&p);
+
+  TaskPool pool(3);
+  const Timestamp now = kTestEpoch + kSecondsPerDay;
+  for (int round = 0; round < 30; ++round) {
+    BundleQuery query{.text = kTexts[round % std::size(kTexts)],
+                      .k = 10,
+                      .now = now};
+    const auto serial = BundleQueryProcessor::SearchShards(
+        shard_ptrs, query, nullptr, 0, nullptr, nullptr);
+    const auto parallel = BundleQueryProcessor::SearchShards(
+        shard_ptrs, query, nullptr, 0, nullptr, &pool);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].bundle, parallel[i].bundle);
+      EXPECT_EQ(serial[i].score, parallel[i].score);
+      EXPECT_EQ(serial[i].shard, parallel[i].shard);
+    }
+  }
+}
+
+TEST(QueryConcurrencyTest, ServiceSearchesRaceLiveIngest) {
+  // One thread streams messages while another fans queries out on the
+  // service's persistent query pool. The service serializes the two
+  // internally; this pins the lock discipline (and, under TSan, the
+  // pool workers reading shard state the ingest workers write).
+  auto service_or = Service::Open({.num_shards = 4, .query_threads = 3});
+  ASSERT_TRUE(service_or.ok());
+  Service& service = **service_or;
+
+  std::atomic<bool> ingest_failed{false};
+  std::thread ingester([&] {
+    for (int i = 0; i < 2000; ++i) {
+      Message msg = TextMessage(i + 1, kTestEpoch + i,
+                                "user" + std::to_string(i % 9),
+                                kTexts[i % std::size(kTexts)]);
+      if (!service.Ingest(msg).ok()) {
+        ingest_failed.store(true);
+        return;
+      }
+    }
+  });
+  std::atomic<bool> search_failed{false};
+  std::thread searcher([&] {
+    for (int round = 0; round < 100; ++round) {
+      auto results_or = service.Search(
+          {.text = kTexts[round % std::size(kTexts)], .k = 10});
+      if (!results_or.ok()) {
+        search_failed.store(true);
+        return;
+      }
+    }
+  });
+  ingester.join();
+  searcher.join();
+  EXPECT_FALSE(ingest_failed.load());
+  EXPECT_FALSE(search_failed.load());
+
+  ASSERT_TRUE(service.Flush().ok());
+  auto final_or = service.Search({.text = "yankee game", .k = 10});
+  ASSERT_TRUE(final_or.ok());
+  EXPECT_FALSE(final_or->empty());
+}
+
+}  // namespace
+}  // namespace microprov
